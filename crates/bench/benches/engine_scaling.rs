@@ -1,0 +1,73 @@
+//! The Fig. 4 performance dimension: spiking-simulation throughput of the
+//! parallel engine at several worker counts against the sequential
+//! reference simulator, on the paper's 10³-neuron / 10⁴-synapse workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_device::{Device, DeviceConfig};
+use reference_sim::ReferenceSimulator;
+use snn_core::network::RecurrentNetwork;
+use snn_core::sim::GenericEngine;
+use std::hint::black_box;
+
+fn fig4_workload() -> (RecurrentNetwork, Vec<f64>) {
+    let net = RecurrentNetwork::random(1000, 10_000, 0.1, 0.5, 2024);
+    let i_ext: Vec<f64> = (0..1000).map(|j| if j % 9 == 0 { 4.5 } else { 2.0 }).collect();
+    (net, i_ext)
+}
+
+fn bench_spiking_simulation(c: &mut Criterion) {
+    let (net, i_ext) = fig4_workload();
+    let mut group = c.benchmark_group("fig4_spike_sim_100ms");
+    group.sample_size(10);
+
+    group.bench_function("reference_sequential", |b| {
+        b.iter(|| {
+            let mut sim = ReferenceSimulator::new(&net, 5.0, 0.5);
+            black_box(sim.run(&i_ext, 100.0))
+        });
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        let device = Device::new(DeviceConfig::default().with_workers(workers));
+        group.bench_with_input(
+            BenchmarkId::new("parallel_engine", workers),
+            &device,
+            |b, device| {
+                b.iter(|| {
+                    let mut engine = GenericEngine::new(&net, device, 5.0, 0.5);
+                    black_box(engine.run(&i_ext, 100.0))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_device_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_launch_64k");
+    group.sample_size(20);
+    for workers in [1usize, 4] {
+        let device = Device::new(DeviceConfig::default().with_workers(workers));
+        let mut buf = device.alloc("bench", 65_536, 1.0f64);
+        group.bench_with_input(BenchmarkId::new("map", workers), &workers, |b, _| {
+            b.iter(|| {
+                device.launch_mut("bench_map", &mut buf, |i, v| {
+                    *v = (*v + i as f64).sin();
+                });
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reduce", workers), &workers, |b, _| {
+            b.iter(|| {
+                black_box(device.reduce("bench_reduce", 65_536, 0.0f64, |i| i as f64, |a, b| a + b))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_spiking_simulation, bench_device_primitives
+);
+criterion_main!(benches);

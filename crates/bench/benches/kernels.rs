@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the numeric kernels: neuron models, the Philox
+//! generator, quantization under each rounding mode, and rate encoding.
+//! These anchor the per-step costs that the Fig. 4 performance comparison
+//! aggregates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use gpu_device::Philox4x32;
+use qformat::{QFormat, Quantizer, Rounding};
+use snn_core::config::{LifParams, NetworkConfig, Preset};
+use snn_core::neuron::{AdexNeuron, AdexParams, IzhikevichNeuron, IzhikevichParams, LifNeuron, NeuronModel};
+use spike_encoding::RateEncoder;
+use std::hint::black_box;
+
+fn bench_neuron_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neuron_step");
+    let lif = LifNeuron::new(LifParams::default());
+    group.bench_function("lif", |b| {
+        let mut state = lif.initial_state();
+        b.iter(|| black_box(lif.step(&mut state, black_box(5.0), 0.5)));
+    });
+    let izh = IzhikevichNeuron::new(IzhikevichParams::regular_spiking());
+    group.bench_function("izhikevich", |b| {
+        let mut state = izh.initial_state();
+        b.iter(|| black_box(izh.step(&mut state, black_box(8.0), 0.5)));
+    });
+    let adex = AdexNeuron::new(AdexParams::default());
+    group.bench_function("adex", |b| {
+        let mut state = adex.initial_state();
+        b.iter(|| black_box(adex.step(&mut state, black_box(700.0), 0.5)));
+    });
+    group.finish();
+}
+
+fn bench_philox(c: &mut Criterion) {
+    let mut group = c.benchmark_group("philox");
+    let gen = Philox4x32::new(42);
+    group.bench_function("block", |b| {
+        let mut ctr = 0u32;
+        b.iter(|| {
+            ctr = ctr.wrapping_add(1);
+            black_box(gen.block([ctr, 0, 0, 0]))
+        });
+    });
+    group.bench_function("uniform", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(gen.uniform(7, i))
+        });
+    });
+    group.bench_function("stream_f64", |b| {
+        let mut stream = gen.stream(3);
+        b.iter(|| black_box(stream.next_f64()));
+    });
+    group.finish();
+}
+
+fn bench_quantizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantize");
+    for format in [QFormat::Q0_2, QFormat::Q1_7, QFormat::Q1_15] {
+        for rounding in Rounding::ALL {
+            let q = Quantizer::new(format, rounding);
+            group.bench_with_input(
+                BenchmarkId::new(format.to_string(), rounding.to_string()),
+                &q,
+                |b, q| {
+                    let mut x = 0.0f64;
+                    b.iter(|| {
+                        x = (x + 0.001) % 1.0;
+                        black_box(q.quantize_raw(black_box(x), 0.37))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_rate_encoding(c: &mut Criterion) {
+    let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 784, 100);
+    let encoder = RateEncoder::new(cfg.frequency);
+    let dataset = snn_datasets::synthetic_mnist(1, 0, 1);
+    let pixels = dataset.train[0].image.pixels().to_vec();
+    c.bench_function("rate_encode_784px", |b| {
+        b.iter_batched(
+            || pixels.clone(),
+            |px| black_box(encoder.rates(&px)),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_neuron_models, bench_philox, bench_quantizer, bench_rate_encoding
+);
+criterion_main!(benches);

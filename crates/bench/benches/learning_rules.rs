@@ -1,0 +1,63 @@
+//! Plasticity-rule micro-benchmarks: decision throughput of the
+//! deterministic baseline vs the stochastic rule, and the full conductance
+//! transition (decision + magnitude + quantization) at each precision —
+//! the per-event cost behind every Table II cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snn_core::config::{NetworkConfig, Preset, RuleKind};
+use snn_core::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp, UpdateKind};
+use snn_core::synapse::SynapseMatrix;
+use std::hint::black_box;
+
+fn bench_rule_decisions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rule_decision");
+    let det = DeterministicStdp::new(20.0);
+    let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 784, 100);
+    let stoch = StochasticStdp::new(cfg.stochastic);
+    group.bench_function("deterministic", |b| {
+        let mut dt = 0.0;
+        b.iter(|| {
+            dt = (dt + 0.7) % 60.0;
+            black_box(det.on_post_spike(black_box(dt), 0.5))
+        });
+    });
+    group.bench_function("stochastic", |b| {
+        let mut dt = 0.0;
+        b.iter(|| {
+            dt = (dt + 0.7) % 60.0;
+            black_box(stoch.on_post_spike(black_box(dt), 0.5))
+        });
+    });
+    group.finish();
+}
+
+fn bench_conductance_transition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conductance_update");
+    for preset in [Preset::FullPrecision, Preset::Bit16, Preset::Bit8, Preset::Bit2] {
+        let cfg = NetworkConfig::from_preset(preset, 16, 4).with_rule(RuleKind::Stochastic);
+        let matrix = SynapseMatrix::new_random(&cfg, 1);
+        let ctx = matrix.update_ctx();
+        group.bench_with_input(
+            BenchmarkId::new("potentiate", cfg.precision.to_string()),
+            &ctx,
+            |b, ctx| {
+                let mut g = 0.5f64;
+                b.iter(|| {
+                    g = ctx.updated(black_box(g), UpdateKind::Potentiate, 0.37);
+                    if g > 0.7 {
+                        g = 0.3;
+                    }
+                    black_box(g)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_rule_decisions, bench_conductance_transition
+);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! End-to-end presentation benchmarks: one image through the full learning
+//! engine (encode → current → neurons → WTA → STDP) for the configurations
+//! behind each table/figure — baseline vs stochastic, full vs low
+//! precision, baseline vs high-frequency schedule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_device::{Device, DeviceConfig};
+use snn_core::config::{NetworkConfig, Preset, RuleKind};
+use snn_core::sim::WtaEngine;
+use spike_encoding::RateEncoder;
+use std::hint::black_box;
+
+fn rates_for(cfg: &NetworkConfig) -> Vec<f64> {
+    let dataset = snn_datasets::synthetic_mnist(1, 0, 1);
+    RateEncoder::new(cfg.frequency).rates(dataset.train[0].image.pixels())
+}
+
+fn bench_presentations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("present_100ms_100n");
+    group.sample_size(10);
+    let device = Device::new(DeviceConfig::default());
+    for (name, preset, rule) in [
+        ("det_fp32", Preset::FullPrecision, RuleKind::Deterministic),
+        ("stoch_fp32", Preset::FullPrecision, RuleKind::Stochastic),
+        ("stoch_q17", Preset::Bit8, RuleKind::Stochastic),
+        ("stoch_q02", Preset::Bit2, RuleKind::Stochastic),
+        ("stoch_highfreq", Preset::HighFrequency, RuleKind::Stochastic),
+    ] {
+        let cfg = NetworkConfig::from_preset(preset, 784, 100).with_rule(rule);
+        let rates = rates_for(&cfg);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            let mut engine = WtaEngine::new(cfg.clone(), &device, 42);
+            b.iter(|| {
+                engine.reset_transients();
+                black_box(engine.present(&rates, 100.0, true))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference_vs_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plasticity_overhead");
+    group.sample_size(10);
+    let device = Device::new(DeviceConfig::default());
+    let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 784, 100);
+    let rates = rates_for(&cfg);
+    for (name, plastic) in [("inference", false), ("training", true)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &plastic, |b, &plastic| {
+            let mut engine = WtaEngine::new(cfg.clone(), &device, 42);
+            b.iter(|| {
+                engine.reset_transients();
+                black_box(engine.present(&rates, 100.0, plastic))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(500)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_presentations, bench_inference_vs_training
+);
+criterion_main!(benches);

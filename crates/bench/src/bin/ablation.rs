@@ -1,0 +1,122 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! 1. which stochastic window carries the low-precision robustness
+//!    (potentiation-only vs depression-only vs both);
+//! 2. adaptive-threshold homeostasis on/off;
+//! 3. the `gamma_dep_scale` calibration sweep;
+//! 4. short-term vs symmetric stochastic windows at high input frequency.
+//!
+//! Run: `cargo run -p bench --release --bin ablation`
+
+use bench::{dataset_for, device, pct, results_dir, scale_banner, write_json_records, TextTable};
+use snn_core::config::{Preset, RuleKind};
+use snn_datasets::DatasetKind;
+use snn_learning::experiments::{Experiment, RunRecord};
+
+fn run(e: &Experiment, dataset: &snn_datasets::Dataset) -> RunRecord {
+    e.run(dataset, &device())
+}
+
+fn main() {
+    let scale = scale_banner("Ablations: stochastic windows, homeostasis, calibration");
+    let dataset = dataset_for(DatasetKind::Mnist, scale, 5);
+    let mut records: Vec<RunRecord> = Vec::new();
+    let mut table = TextTable::new(["ablation", "variant", "accuracy %", "g_floor"]);
+
+    // 1. Window ablation at 2-bit precision.
+    for (variant, zero_pot, zero_dep) in [
+        ("both windows", false, false),
+        ("potentiation only", false, true),
+        ("depression only", true, false),
+    ] {
+        let mut e = Experiment::from_preset(
+            format!("windows/{variant}"),
+            Preset::Bit2,
+            RuleKind::Stochastic,
+            784,
+            scale,
+        );
+        if zero_pot {
+            e.trainer.network.stochastic.gamma_pot = 0.0;
+        }
+        if zero_dep {
+            e.trainer.network.stochastic.gamma_dep = 0.0;
+        }
+        let r = run(&e, &dataset);
+        table.row([
+            "stochastic window (Q0.2)".to_string(),
+            variant.into(),
+            pct(r.accuracy),
+            format!("{:.3}", r.g_floor_fraction),
+        ]);
+        records.push(r);
+    }
+
+    // 2. Homeostasis on/off at full precision.
+    for (variant, theta_plus) in [("on (θ+ = 0.05)", 0.05), ("off", 0.0)] {
+        let mut e = Experiment::from_preset(
+            format!("homeostasis/{variant}"),
+            Preset::FullPrecision,
+            RuleKind::Stochastic,
+            784,
+            scale,
+        )
+        .with_learning_rate_scale(scale.lr_compensation());
+        e.trainer.network.theta_plus = theta_plus;
+        let r = run(&e, &dataset);
+        table.row([
+            "homeostasis (fp32)".to_string(),
+            variant.into(),
+            pct(r.accuracy),
+            format!("{:.3}", r.g_floor_fraction),
+        ]);
+        records.push(r);
+    }
+
+    // 3. gamma_dep_scale calibration sweep at 2-bit precision.
+    for gamma_dep_scale in [0.05, 0.15, 0.5, 1.0] {
+        let mut e = Experiment::from_preset(
+            format!("dep-scale/{gamma_dep_scale}"),
+            Preset::Bit2,
+            RuleKind::Stochastic,
+            784,
+            scale,
+        );
+        e.trainer.network.gamma_dep_scale = gamma_dep_scale;
+        let r = run(&e, &dataset);
+        table.row([
+            "gamma_dep_scale (Q0.2)".to_string(),
+            format!("{gamma_dep_scale}"),
+            pct(r.accuracy),
+            format!("{:.3}", r.g_floor_fraction),
+        ]);
+        records.push(r);
+    }
+
+    // 4. Short-term vs symmetric windows at the 5–78 Hz range.
+    for (variant, tau_pot, tau_dep) in [("short-term (80/5)", 80.0, 5.0), ("symmetric (30/10)", 30.0, 10.0)] {
+        let mut e = Experiment::from_preset(
+            format!("hf-window/{variant}"),
+            Preset::HighFrequency,
+            RuleKind::Stochastic,
+            784,
+            scale,
+        )
+        .with_learning_rate_scale(scale.lr_compensation());
+        e.trainer.network.stochastic.tau_pot_ms = tau_pot;
+        e.trainer.network.stochastic.tau_dep_ms = tau_dep;
+        let r = run(&e, &dataset);
+        table.row([
+            "window shape @ 78 Hz".to_string(),
+            variant.into(),
+            pct(r.accuracy),
+            format!("{:.3}", r.g_floor_fraction),
+        ]);
+        records.push(r);
+    }
+
+    println!("{table}");
+    let path = results_dir().join("ablation.json");
+    write_json_records(&path, &records).expect("write records");
+    println!("records -> {}", path.display());
+}

@@ -1,0 +1,48 @@
+//! Calibration probe: runs the full pipeline on synthetic MNIST at quick
+//! scale and reports spiking statistics — used to tune `v_spike`,
+//! homeostasis, learning-rate scaling and WTA parameters before the figure
+//! harnesses run.
+
+use bench::TextTable;
+use gpu_device::{Device, DeviceConfig};
+use snn_core::config::{Preset, RuleKind};
+use snn_learning::experiments::{Experiment, Scale};
+use snn_datasets::{load_or_synthesize, DatasetKind};
+
+fn main() {
+    let device = Device::new(DeviceConfig::default());
+    let mut scale = Scale::quick();
+    if let Ok(n) = std::env::var("CAL_TRAIN").map(|v| v.parse::<usize>().unwrap()) {
+        scale.n_train_images = n;
+    }
+    let lr: f64 = std::env::var("CAL_LR").map(|v| v.parse().unwrap()).unwrap_or(10.0);
+    let dataset = load_or_synthesize(
+        DatasetKind::Mnist,
+        None,
+        scale.n_train_images.min(2000),
+        scale.n_labeling + scale.n_inference,
+        1,
+    );
+
+    let mut table = TextTable::new(["config", "accuracy", "abstain", "g_mean", "g_floor", "wall_s"]);
+    for (label, preset, rule) in [
+        ("stoch fp32", Preset::FullPrecision, RuleKind::Stochastic),
+        ("det fp32", Preset::FullPrecision, RuleKind::Deterministic),
+        ("stoch Q1.7", Preset::Bit8, RuleKind::Stochastic),
+        ("det Q1.7", Preset::Bit8, RuleKind::Deterministic),
+    ] {
+        let rec = Experiment::from_preset(label, preset, rule, 784, scale)
+            .with_learning_rate_scale(lr)
+            .run(&dataset, &device);
+        table.row([
+            label.to_string(),
+            format!("{:.3}", rec.accuracy),
+            format!("{:.3}", rec.abstention_rate),
+            format!("{:.3}", rec.g_mean),
+            format!("{:.3}", rec.g_floor_fraction),
+            format!("{:.1}", rec.train_wall_s),
+        ]);
+    }
+    println!("lr_scale={lr} train={} exc={}", scale.n_train_images, scale.n_excitatory);
+    println!("{table}");
+}

@@ -1,0 +1,100 @@
+//! Deep diagnostic: trains one configuration while printing spiking
+//! statistics and the learned receptive fields.
+
+use gpu_device::{Device, DeviceConfig};
+use snn_core::config::{NetworkConfig, Preset, RuleKind, StdpMagnitudes};
+use snn_core::sim::WtaEngine;
+use snn_datasets::{load_or_synthesize, DatasetKind, Image};
+use snn_learning::{Classifier, Labeler};
+use spike_encoding::RateEncoder;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let n_exc = env_usize("DIAG_EXC", 30);
+    let n_train = env_usize("DIAG_TRAIN", 300);
+    let lr_p = env_f64("DIAG_LRP", 10.0);
+    let lr_d = env_f64("DIAG_LRD", 10.0);
+    let v_spike = env_f64("DIAG_VSPIKE", 1.0);
+    let theta_plus = env_f64("DIAG_THETA", 0.05);
+    let rule = match std::env::var("DIAG_RULE").as_deref() {
+        Ok("det") => RuleKind::Deterministic,
+        _ => RuleKind::Stochastic,
+    };
+    let preset = match std::env::var("DIAG_PRESET").as_deref() {
+        Ok("bit8") => Preset::Bit8,
+        Ok("bit2") => Preset::Bit2,
+        _ => Preset::FullPrecision,
+    };
+
+    let mut cfg = NetworkConfig::from_preset(preset, 784, n_exc).with_rule(rule);
+    cfg.v_spike = v_spike;
+    cfg.theta_plus = theta_plus;
+    if let StdpMagnitudes::Querlioz { alpha_p, beta_p, alpha_d, beta_d } = cfg.magnitudes {
+        cfg.magnitudes = StdpMagnitudes::Querlioz {
+            alpha_p: alpha_p * lr_p,
+            beta_p,
+            alpha_d: alpha_d * lr_d,
+            beta_d,
+        };
+    }
+    println!("rule={rule} preset={preset:?} lr_p={lr_p} lr_d={lr_d} v_spike={v_spike} theta+={theta_plus}");
+
+    let dataset = load_or_synthesize(DatasetKind::Mnist, None, n_train, 160, 1);
+    let device = Device::new(DeviceConfig::default());
+    let encoder = RateEncoder::new(cfg.frequency);
+    let mut engine = WtaEngine::new(cfg, &device, 42);
+
+    let mut total_spikes = 0u64;
+    let mut winners_per_image = Vec::new();
+    for (k, s) in dataset.train.iter().cycle().take(n_train).enumerate() {
+        engine.reset_transients();
+        let counts = engine.present(&encoder.rates(s.image.pixels()), 500.0, true);
+        let spikes: u32 = counts.iter().sum();
+        total_spikes += u64::from(spikes);
+        winners_per_image.push(counts.iter().filter(|&&c| c > 0).count());
+        if (k + 1) % 100 == 0 {
+            println!(
+                "after {:>4} images: spikes/img {:.1}, distinct winners/img {:.2}, g_mean {:.3}",
+                k + 1,
+                total_spikes as f64 / (k + 1) as f64,
+                winners_per_image.iter().sum::<usize>() as f64 / winners_per_image.len() as f64,
+                engine.synapses().mean(),
+            );
+        }
+    }
+
+    // Label + infer.
+    let (label_set, infer_set) = dataset.labeling_split(60);
+    let mut labeler = Labeler::new(n_exc, 10);
+    for s in label_set {
+        engine.reset_transients();
+        let counts = engine.present(&encoder.rates(s.image.pixels()), 500.0, false);
+        labeler.record(s.label, &counts);
+    }
+    let labels = labeler.assign();
+    println!("labels: {labels:?}");
+    let classifier = Classifier::new(labels.clone(), 10);
+    let mut correct = 0;
+    for s in infer_set {
+        engine.reset_transients();
+        let counts = engine.present(&encoder.rates(s.image.pixels()), 500.0, false);
+        if classifier.predict(&counts) == Some(s.label) {
+            correct += 1;
+        }
+    }
+    println!("accuracy: {:.3}", correct as f64 / infer_set.len() as f64);
+
+    // Receptive fields of the first 6 neurons.
+    for (j, &label) in labels.iter().enumerate().take(6.min(n_exc)) {
+        let (lo, hi) = engine.synapses().bounds();
+        let img = Image::from_f64(28, 28, engine.synapses().row(j), lo, hi);
+        println!("neuron {j} (label {label}), contrast {:.3}:", engine.synapses().row_contrast(j));
+        println!("{}", img.to_ascii());
+    }
+}

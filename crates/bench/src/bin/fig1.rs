@@ -1,0 +1,102 @@
+//! Fig. 1 — neuron and synapse characteristics:
+//! (a) LIF spiking frequency vs input current,
+//! (b) spiking behaviour of one driven neuron,
+//! (c) stochastic-STDP probabilities vs spike-time difference,
+//! (d) pixel-intensity → spike-train-frequency conversion.
+//!
+//! Run: `cargo run -p bench --release --bin fig1 [-- a|b|c|d]`
+
+use bench::TextTable;
+use snn_core::config::{LifParams, NetworkConfig, Preset};
+use snn_core::neuron::{fi_curve, LifNeuron, NeuronModel};
+use snn_core::stdp::StochasticStdp;
+use spike_encoding::RateEncoder;
+
+fn main() {
+    let panel = std::env::args().nth(1);
+    let all = panel.is_none();
+    let panel = panel.unwrap_or_default();
+    if all || panel == "a" {
+        panel_a();
+    }
+    if all || panel == "b" {
+        panel_b();
+    }
+    if all || panel == "c" {
+        panel_c();
+    }
+    if all || panel == "d" {
+        panel_d();
+    }
+}
+
+fn panel_a() {
+    println!("-- Fig. 1(a): LIF spiking frequency vs input current --");
+    let params = LifParams::default();
+    let neuron = LifNeuron::new(params);
+    println!("rheobase current: {:.3}\n", params.rheobase());
+    let currents: Vec<f64> = (0..=24).map(|k| f64::from(k) * 0.5).collect();
+    let mut table = TextTable::new(["I", "f_sim (Hz)", "f_analytic (Hz)"]);
+    for (i, f) in fi_curve(params, &currents, 3000.0, 0.05) {
+        table.row([
+            format!("{i:.1}"),
+            format!("{f:.1}"),
+            format!("{:.1}", neuron.analytic_rate_hz(i)),
+        ]);
+    }
+    println!("{table}");
+}
+
+fn panel_b() {
+    println!("-- Fig. 1(b): spiking behaviour (membrane trace, I = 5.0) --");
+    let neuron = LifNeuron::new(LifParams::default());
+    let mut state = neuron.initial_state();
+    let dt = 0.5;
+    let mut trace = String::new();
+    for step in 0..160 {
+        let spiked = neuron.step(&mut state, 5.0, dt);
+        if spiked {
+            trace.push('|');
+        } else {
+            // Map [-75, -60] to five glyph levels.
+            let level = ((state.v + 75.0) / 3.2).clamp(0.0, 4.9) as usize;
+            trace.push([' ', '.', '-', '=', '#'][level]);
+        }
+        if step % 80 == 79 {
+            trace.push('\n');
+        }
+    }
+    println!("{trace}\n('|' marks a spike followed by reset; 80 columns = 40 ms)\n");
+}
+
+fn panel_c() {
+    println!("-- Fig. 1(c): stochastic STDP probabilities vs Δt --");
+    let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 784, 100);
+    let rule = StochasticStdp::new(cfg.stochastic);
+    let mut table = TextTable::new(["Δt (ms)", "P_pot", "P_dep"]);
+    for dt in [0.0, 2.0, 5.0, 10.0, 20.0, 30.0, 50.0, 80.0, 120.0] {
+        table.row([
+            format!("{dt:.0}"),
+            format!("{:.3}", rule.p_pot(dt)),
+            format!("{:.3}", rule.p_dep(dt)),
+        ]);
+    }
+    println!("{table}");
+    println!("(γ_pot = {:.1} caps potentiation at coincidence; depression", cfg.stochastic.gamma_pot);
+    println!("saturates at γ_dep for stale inputs — Eqs. 6–7)\n");
+}
+
+fn panel_d() {
+    println!("-- Fig. 1(d): pixel intensity → spike-train frequency --");
+    let mut table = TextTable::new(["intensity", "baseline 1-22 Hz", "high-freq 5-78 Hz"]);
+    let base = RateEncoder::new(NetworkConfig::from_preset(Preset::FullPrecision, 784, 100).frequency);
+    let fast = RateEncoder::new(NetworkConfig::from_preset(Preset::HighFrequency, 784, 100).frequency);
+    for intensity in [0u8, 32, 64, 96, 128, 160, 192, 224, 255] {
+        table.row([
+            format!("{intensity}"),
+            format!("{:.1}", base.frequency_for(intensity)),
+            format!("{:.1}", fast.frequency_for(intensity)),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,128 @@
+//! Fig. 5 — visualization of synapse conductance:
+//! (a) baseline vs stochastic STDP receptive fields on digits and apparel,
+//! (b) the effect of the input-frequency range on stochastic learning.
+//!
+//! Emits PGM mosaics under `results/` plus per-configuration contrast
+//! statistics (the quantitative version of "learns unique features" vs
+//! "learns the overlapping features of all classes").
+//!
+//! Run: `cargo run -p bench --release --bin fig5 [-- a|b]`
+
+use bench::{conductance_mosaic, dataset_for, device, pct, results_dir, scale_banner, write_json_records, write_pgm, TextTable};
+use serde::Serialize;
+use snn_core::config::{Preset, RuleKind};
+use snn_datasets::DatasetKind;
+use snn_learning::experiments::{Experiment, Scale};
+use snn_learning::{Trainer, TrainOutcome};
+
+#[derive(Serialize)]
+struct Fig5Record {
+    panel: String,
+    dataset: String,
+    rule: String,
+    f_max_hz: f64,
+    accuracy: f64,
+    mean_contrast: f64,
+    mosaic_pgm: String,
+}
+
+fn mean_contrast(outcome: &TrainOutcome) -> f64 {
+    let n = outcome.synapses.n_post();
+    (0..n).map(|j| outcome.synapses.row_contrast(j)).sum::<f64>() / n as f64
+}
+
+fn train(experiment: &Experiment, kind: DatasetKind, scale: Scale) -> TrainOutcome {
+    let dataset = dataset_for(kind, scale, 5);
+    Trainer::new(experiment.trainer.clone(), &device()).run(&dataset)
+}
+
+/// Identity of one fig-5 cell: panel letter, dataset, rule and range.
+struct Cell<'a> {
+    panel: &'a str,
+    kind: DatasetKind,
+    rule: RuleKind,
+    f_max: f64,
+    name: &'a str,
+}
+
+fn emit(records: &mut Vec<Fig5Record>, table: &mut TextTable, cell: &Cell<'_>, outcome: &TrainOutcome) {
+    let Cell { panel, kind, rule, f_max, name } = *cell;
+    let pgm = results_dir().join(format!("fig5_{name}.pgm"));
+    let cols = (outcome.synapses.n_post() as f64).sqrt().ceil() as usize;
+    let rows = outcome.synapses.n_post().div_ceil(cols);
+    write_pgm(&pgm, &conductance_mosaic(&outcome.synapses, 28, 28, cols, rows))
+        .expect("write mosaic");
+    let contrast = mean_contrast(outcome);
+    table.row([
+        panel.to_string(),
+        format!("{kind:?}"),
+        rule.to_string(),
+        format!("{f_max:.0}"),
+        pct(outcome.accuracy),
+        format!("{contrast:.4}"),
+    ]);
+    records.push(Fig5Record {
+        panel: panel.into(),
+        dataset: format!("{kind:?}"),
+        rule: rule.to_string(),
+        f_max_hz: f_max,
+        accuracy: outcome.accuracy,
+        mean_contrast: contrast,
+        mosaic_pgm: pgm.display().to_string(),
+    });
+}
+
+fn main() {
+    let scale = scale_banner("Fig. 5: conductance-array visualization");
+    let panel = std::env::args().nth(1).unwrap_or_default();
+    let mut records = Vec::new();
+    let mut table =
+        TextTable::new(["panel", "dataset", "rule", "f_max", "accuracy %", "mean contrast"]);
+
+    if panel.is_empty() || panel == "a" {
+        for kind in [DatasetKind::Mnist, DatasetKind::Fashion] {
+            for rule in [RuleKind::Deterministic, RuleKind::Stochastic] {
+                let e = Experiment::from_preset("fig5a", Preset::FullPrecision, rule, 784, scale)
+                    .with_learning_rate_scale(scale.lr_compensation());
+                let outcome = train(&e, kind, scale);
+                let name = format!("a_{kind:?}_{rule}").to_lowercase();
+                let cell = Cell { panel: "a", kind, rule, f_max: 22.0, name: &name };
+                emit(&mut records, &mut table, &cell, &outcome);
+            }
+        }
+    }
+
+    if panel.is_empty() || panel == "b" {
+        for f_max in [22.0, 44.0, 78.0, 120.0] {
+            let e = Experiment::from_preset(
+                "fig5b",
+                Preset::FullPrecision,
+                RuleKind::Stochastic,
+                784,
+                scale,
+            )
+            .with_learning_rate_scale(scale.lr_compensation())
+            .with_f_max(f_max);
+            let outcome = train(&e, DatasetKind::Mnist, scale);
+            let name = format!("b_fmax{f_max:.0}");
+            let cell = Cell {
+                panel: "b",
+                kind: DatasetKind::Mnist,
+                rule: RuleKind::Stochastic,
+                f_max,
+                name: &name,
+            };
+            emit(&mut records, &mut table, &cell, &outcome);
+        }
+    }
+
+    println!("{table}");
+    println!("paper shape: on digits both rules develop per-class patterns; on the");
+    println!("apparel data only stochastic STDP keeps per-neuron contrast (the");
+    println!("baseline's fields converge to the class-average blob). Raising f_max");
+    println!("past the working range dissolves the patterns (panel b).");
+
+    let path = results_dir().join("fig5.json");
+    write_json_records(&path, &records).expect("write records");
+    println!("records -> {}", path.display());
+}

@@ -1,0 +1,87 @@
+//! Fig. 6 — high-frequency and low-precision operation:
+//! (a) input spike trains at the baseline (1–22 Hz) and boosted (5–78 Hz)
+//!     ranges, as rasters;
+//! (b) the conductance distribution after Q1.7 learning under stochastic
+//!     vs deterministic STDP (the collapse-to-floor comparison).
+//!
+//! Run: `cargo run -p bench --release --bin fig6 [-- a|b]`
+
+use bench::{dataset_for, device, histogram_ascii, pct, results_dir, scale_banner, write_json_records, TextTable};
+use serde::Serialize;
+use snn_core::config::{NetworkConfig, Preset, RuleKind};
+use snn_datasets::DatasetKind;
+use snn_learning::experiments::Experiment;
+use spike_encoding::{PoissonTrain, RateEncoder};
+
+#[derive(Serialize)]
+struct Fig6Record {
+    rule: String,
+    precision: String,
+    accuracy: f64,
+    g_floor_fraction: f64,
+    histogram: Vec<u64>,
+}
+
+fn main() {
+    let scale = scale_banner("Fig. 6: high-frequency trains and low-precision distributions");
+    let panel = std::env::args().nth(1).unwrap_or_default();
+
+    if panel.is_empty() || panel == "a" {
+        println!("-- Fig. 6(a): input spike trains (16 pixel rows of one digit) --");
+        let dataset = dataset_for(DatasetKind::Mnist, scale, 5);
+        let image = &dataset.train[0].image;
+        for preset in [Preset::FullPrecision, Preset::HighFrequency] {
+            let cfg = NetworkConfig::from_preset(preset, 784, 1);
+            let encoder = RateEncoder::new(cfg.frequency);
+            println!(
+                "\n{}–{} Hz ('#' = spike, 200 ms window):",
+                cfg.frequency.f_min_hz, cfg.frequency.f_max_hz
+            );
+            // Sample 16 trains across the image, biased to the digit rows.
+            for k in 0..16 {
+                let pixel = 28 * (6 + k) + 14; // a vertical slice through the glyph
+                let rate = encoder.frequency_for(image.pixels()[pixel]);
+                let train = PoissonTrain::new(7, pixel as u64);
+                let mut bins = vec!['.'; 100];
+                for t in train.spike_times(rate, 200.0, 0.5) {
+                    bins[(t / 2.0) as usize] = '#';
+                }
+                println!(
+                    "  px{pixel:>4} ({:>3}): {}",
+                    image.pixels()[pixel],
+                    bins.iter().collect::<String>()
+                );
+            }
+        }
+        println!("\npaper shape: at the boosted range the dark-pixel rows form a");
+        println!("visibly denser band — information arrives faster.\n");
+    }
+
+    if panel.is_empty() || panel == "b" {
+        println!("-- Fig. 6(b): Q1.7 conductance distribution, stochastic vs deterministic --");
+        let dataset = dataset_for(DatasetKind::Mnist, scale, 5);
+        let mut records = Vec::new();
+        let mut table = TextTable::new(["rule", "accuracy %", "fraction at G_min"]);
+        for rule in [RuleKind::Stochastic, RuleKind::Deterministic] {
+            let record = Experiment::from_preset("fig6b", Preset::Bit8, rule, 784, scale)
+                .run(&dataset, &device());
+            println!("\n{rule} STDP, Q1.7 ({} synapses):", 784 * scale.n_excitatory);
+            println!("{}", histogram_ascii(&record.g_histogram, 40));
+            table.row([rule.to_string(), pct(record.accuracy), format!("{:.3}", record.g_floor_fraction)]);
+            records.push(Fig6Record {
+                rule: rule.to_string(),
+                precision: "Q1.7".into(),
+                accuracy: record.accuracy,
+                g_floor_fraction: record.g_floor_fraction,
+                histogram: record.g_histogram,
+            });
+        }
+        println!("{table}");
+        println!("paper shape: under deterministic STDP a large portion of synapses");
+        println!("drops to the minimal conductance value; stochastic STDP retains a");
+        println!("spread distribution.");
+        let path = results_dir().join("fig6b.json");
+        write_json_records(&path, &records).expect("write records");
+        println!("records -> {}", path.display());
+    }
+}

@@ -1,0 +1,130 @@
+//! Fig. 7 — high-frequency learning:
+//! (a) accuracy loss vs maximum input frequency, for both rules;
+//! (b) accuracy vs run time: the baseline schedule against high-frequency
+//!     learning.
+//!
+//! Run: `cargo run -p bench --release --bin fig7 [-- a|b]`
+
+use bench::{dataset_for, device, pct, results_dir, scale_banner, write_json_records, TextTable};
+use serde::Serialize;
+use snn_core::config::{Preset, RuleKind};
+use snn_datasets::DatasetKind;
+use snn_learning::experiments::Experiment;
+
+#[derive(Serialize)]
+struct Fig7aRecord {
+    rule: String,
+    f_max_hz: f64,
+    accuracy: f64,
+    accuracy_loss_vs_best: f64,
+}
+
+#[derive(Serialize)]
+struct Fig7bRecord {
+    schedule: String,
+    simulated_ms: f64,
+    wall_s: f64,
+    accuracy: f64,
+    curve: Vec<(usize, f64, f64)>,
+}
+
+fn main() {
+    let scale = scale_banner("Fig. 7: accuracy vs input frequency and run time");
+    let panel = std::env::args().nth(1).unwrap_or_default();
+    let dataset = dataset_for(DatasetKind::Mnist, scale, 5);
+    let dev = device();
+
+    if panel.is_empty() || panel == "a" {
+        println!("-- Fig. 7(a): accuracy loss vs f_max --");
+        let sweep = [22.0, 44.0, 66.0, 78.0, 100.0, 140.0, 200.0];
+        let seeds: u64 = std::env::var("PSS_SEEDS").ok().and_then(|v| v.parse().ok()).unwrap_or(1);
+        let mut records = Vec::new();
+        let mut table = TextTable::new(["rule", "f_max (Hz)", "accuracy %", "loss (pts)"]);
+        for rule in [RuleKind::Deterministic, RuleKind::Stochastic] {
+            let mut accs = Vec::new();
+            for &f_max in &sweep {
+                let mut acc_sum = 0.0;
+                for seed in 0..seeds {
+                    // Both rules sweep the same base schedule (500 ms
+                    // presentations); the stochastic rule additionally uses
+                    // the short-term window parameters the paper introduces
+                    // for high-frequency operation (higher τ_pot, lower
+                    // τ_dep — Section IV-C).
+                    let mut e =
+                        Experiment::from_preset("fig7a", Preset::FullPrecision, rule, 784, scale)
+                            .with_learning_rate_scale(scale.lr_compensation())
+                            .with_f_max(f_max)
+                            .with_seed(42 + seed);
+                    if rule == RuleKind::Stochastic {
+                        e.trainer.network.stochastic.gamma_pot = 0.3;
+                        e.trainer.network.stochastic.tau_pot_ms = 80.0;
+                        e.trainer.network.stochastic.gamma_dep = 0.2;
+                        e.trainer.network.stochastic.tau_dep_ms = 5.0;
+                    }
+                    let record = e.run(&dataset, &dev);
+                    acc_sum += record.accuracy;
+                }
+                accs.push((f_max, acc_sum / seeds as f64));
+            }
+            let best = accs.iter().map(|&(_, a)| a).fold(0.0, f64::max);
+            for &(f_max, acc) in &accs {
+                table.row([
+                    rule.to_string(),
+                    format!("{f_max:.0}"),
+                    pct(acc),
+                    format!("{:.1}", (best - acc) * 100.0),
+                ]);
+                records.push(Fig7aRecord {
+                    rule: rule.to_string(),
+                    f_max_hz: f_max,
+                    accuracy: acc,
+                    accuracy_loss_vs_best: best - acc,
+                });
+            }
+        }
+        println!("{table}");
+        println!("paper shape: accuracy holds over a working range then drops sharply;");
+        println!("the short-term stochastic window keeps the knee at a much higher");
+        println!("f_max (~78 Hz) than the deterministic rule (~22 Hz).\n");
+        write_json_records(&results_dir().join("fig7a.json"), &records).expect("write");
+    }
+
+    if panel.is_empty() || panel == "b" {
+        println!("-- Fig. 7(b): accuracy vs run time --");
+        let mut records = Vec::new();
+        let mut table =
+            TextTable::new(["schedule", "simulated (s)", "wall (s)", "accuracy %"]);
+        for (name, preset) in [
+            ("baseline 1-22 Hz / 500 ms", Preset::FullPrecision),
+            ("high-freq 5-78 Hz / 100 ms", Preset::HighFrequency),
+        ] {
+            let mut scale_with_curve = scale;
+            scale_with_curve.eval_every = Some((scale.n_train_images / 6).max(1));
+            let record = Experiment::from_preset(name, preset, RuleKind::Stochastic, 784, scale_with_curve)
+                .with_learning_rate_scale(scale.lr_compensation())
+                .run(&dataset, &dev);
+            table.row([
+                name.to_string(),
+                format!("{:.1}", record.train_simulated_ms / 1000.0),
+                format!("{:.1}", record.train_wall_s),
+                pct(record.accuracy),
+            ]);
+            records.push(Fig7bRecord {
+                schedule: name.into(),
+                simulated_ms: record.train_simulated_ms,
+                wall_s: record.train_wall_s,
+                accuracy: record.accuracy,
+                curve: record
+                    .curve
+                    .iter()
+                    .map(|p| (p.images_seen, p.simulated_ms, p.accuracy))
+                    .collect(),
+            });
+        }
+        println!("{table}");
+        println!("paper shape: the high-frequency schedule reaches its accuracy in");
+        println!("~5x less simulated time (542 -> 131 minutes at paper scale) with a");
+        println!("graceful final-accuracy cost.");
+        write_json_records(&results_dir().join("fig7b.json"), &records).expect("write");
+    }
+}

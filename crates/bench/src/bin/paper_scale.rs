@@ -1,0 +1,56 @@
+//! Runs one configuration at the paper's full protocol: 1000 excitatory
+//! neurons, the complete 60 000-image training pass, 1000 labeling and
+//! 9000 inference images. Hours of CPU time on a laptop — this is the
+//! faithful end-point of the scale ladder, not the default harness.
+//!
+//! Run: `cargo run -p bench --release --bin paper_scale -- <config>`
+//! where `<config>` is one of `stoch-fp32` (default), `det-fp32`,
+//! `stoch-q17`, `stoch-q02`, `high-freq`.
+
+use bench::{dataset_for, device, pct, results_dir, write_json_records};
+use snn_core::config::{Preset, RuleKind};
+use snn_datasets::DatasetKind;
+use snn_learning::experiments::{Experiment, Scale};
+
+fn main() {
+    let config = std::env::args().nth(1).unwrap_or_else(|| "stoch-fp32".into());
+    let (preset, rule) = match config.as_str() {
+        "stoch-fp32" => (Preset::FullPrecision, RuleKind::Stochastic),
+        "det-fp32" => (Preset::FullPrecision, RuleKind::Deterministic),
+        "stoch-q17" => (Preset::Bit8, RuleKind::Stochastic),
+        "stoch-q02" => (Preset::Bit2, RuleKind::Stochastic),
+        "high-freq" => (Preset::HighFrequency, RuleKind::Stochastic),
+        other => {
+            eprintln!("unknown config `{other}`; see --bin paper_scale source for options");
+            std::process::exit(2);
+        }
+    };
+    let mut scale = Scale::paper();
+    scale.eval_every = Some(5000);
+    println!(
+        "paper-scale run: {config} — {} neurons, {} training images; this takes hours.",
+        scale.n_excitatory, scale.n_train_images
+    );
+    let dataset = dataset_for(DatasetKind::Mnist, scale, 5);
+    let record = Experiment::from_preset(config.clone(), preset, rule, 784, scale)
+        .with_learning_rate_scale(scale.lr_compensation()) // 1.0 at paper scale
+        .run(&dataset, &device());
+    println!(
+        "{config}: accuracy {}%, abstention {:.1}%, wall {:.0} s, simulated {:.0} min",
+        pct(record.accuracy),
+        record.abstention_rate * 100.0,
+        record.train_wall_s,
+        record.train_simulated_ms / 60_000.0
+    );
+    for p in &record.curve {
+        println!(
+            "  {:>6} images ({:>6.1} simulated min): {}%",
+            p.images_seen,
+            p.simulated_ms / 60_000.0,
+            pct(p.accuracy)
+        );
+    }
+    let path = results_dir().join(format!("paper_scale_{config}.json"));
+    write_json_records(&path, &[record]).expect("write record");
+    println!("record -> {}", path.display());
+}

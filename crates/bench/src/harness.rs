@@ -1,0 +1,75 @@
+//! Shared plumbing for the figure/table binaries: scale selection, dataset
+//! acquisition, result directories and record emission.
+
+use gpu_device::{Device, DeviceConfig};
+use snn_datasets::{load_or_synthesize, Dataset, DatasetKind};
+use snn_learning::experiments::Scale;
+use std::path::PathBuf;
+
+/// Where the harness binaries drop JSON records and PGM figures.
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    std::env::var("PSS_RESULTS").map_or_else(|_| PathBuf::from("results"), PathBuf::from)
+}
+
+/// The device every harness binary runs on.
+#[must_use]
+pub fn device() -> Device {
+    Device::new(DeviceConfig::default())
+}
+
+/// Resolves the scale from `PSS_SCALE` and prints the standard banner.
+#[must_use]
+pub fn scale_banner(what: &str) -> Scale {
+    let scale = Scale::from_env();
+    println!(
+        "== {what} ==\nscale: {} excitatory neurons, {} train / {} label / {} infer images \
+         (set PSS_SCALE=quick|standard|paper)\n",
+        scale.n_excitatory, scale.n_train_images, scale.n_labeling, scale.n_inference
+    );
+    scale
+}
+
+/// Fetches (or synthesizes) the dataset sized for `scale`.
+#[must_use]
+pub fn dataset_for(kind: DatasetKind, scale: Scale, seed: u64) -> Dataset {
+    load_or_synthesize(
+        kind,
+        None,
+        scale.n_train_images,
+        scale.n_labeling + scale.n_inference,
+        seed,
+    )
+}
+
+/// Formats an accuracy as a percentage cell.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_defaults_to_results() {
+        if std::env::var("PSS_RESULTS").is_err() {
+            assert_eq!(results_dir(), PathBuf::from("results"));
+        }
+    }
+
+    #[test]
+    fn dataset_for_respects_scale() {
+        let scale = Scale::quick();
+        let ds = dataset_for(DatasetKind::Mnist, scale, 1);
+        assert_eq!(ds.train.len(), scale.n_train_images);
+        assert_eq!(ds.test.len(), scale.n_labeling + scale.n_inference);
+    }
+
+    #[test]
+    fn pct_formats_one_decimal() {
+        assert_eq!(pct(0.961), "96.1");
+        assert_eq!(pct(0.0), "0.0");
+    }
+}

@@ -1,0 +1,13 @@
+//! Shared harness utilities for the experiment binaries and Criterion
+//! benches: text tables, CSV/JSON emission, and PGM image dumps for the
+//! conductance-map figures.
+
+#![deny(missing_docs)]
+
+pub mod harness;
+pub mod output;
+pub mod viz;
+
+pub use harness::{dataset_for, device, pct, results_dir, scale_banner};
+pub use output::{write_json_records, TextTable};
+pub use viz::{conductance_map, conductance_mosaic, histogram_ascii, write_pgm};

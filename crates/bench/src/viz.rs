@@ -1,0 +1,116 @@
+//! Conductance-map visualization (Fig. 5 / Fig. 8a) as PGM images and
+//! ASCII panels.
+
+use snn_core::synapse::SynapseMatrix;
+use snn_datasets::Image;
+use std::io;
+use std::path::Path;
+
+/// Renders one neuron's receptive field as a 2-D image, rescaled over the
+/// matrix's conductance bounds.
+///
+/// # Panics
+///
+/// Panics if the matrix rows are not `width × height` long.
+#[must_use]
+pub fn conductance_map(synapses: &SynapseMatrix, neuron: usize, width: usize, height: usize) -> Image {
+    let row = synapses.row(neuron);
+    assert_eq!(row.len(), width * height, "row is not width×height");
+    let (lo, hi) = synapses.bounds();
+    Image::from_f64(width, height, row, lo, hi)
+}
+
+/// Tiles the receptive fields of the first `cols × rows` neurons into one
+/// mosaic image (the Fig. 5 panels).
+#[must_use]
+pub fn conductance_mosaic(
+    synapses: &SynapseMatrix,
+    field_w: usize,
+    field_h: usize,
+    cols: usize,
+    rows: usize,
+) -> Image {
+    let mut mosaic = Image::black(cols * (field_w + 1) - 1, rows * (field_h + 1) - 1);
+    for tile in 0..(cols * rows).min(synapses.n_post()) {
+        let map = conductance_map(synapses, tile, field_w, field_h);
+        let (tx, ty) = (tile % cols, tile / cols);
+        for y in 0..field_h {
+            for x in 0..field_w {
+                mosaic.blend_max(tx * (field_w + 1) + x, ty * (field_h + 1) + y, map.get(x, y));
+            }
+        }
+    }
+    mosaic
+}
+
+/// Writes an image as a binary PGM (P5) file — viewable everywhere, no
+/// codec dependencies.
+pub fn write_pgm(path: &Path, image: &Image) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut data = format!("P5\n{} {}\n255\n", image.width(), image.height()).into_bytes();
+    data.extend_from_slice(image.pixels());
+    std::fs::write(path, data)
+}
+
+/// Renders a histogram as ASCII bars (the Fig. 6b panels).
+#[must_use]
+pub fn histogram_ascii(counts: &[u64], width: usize) -> String {
+    let max = counts.iter().copied().max().unwrap_or(0).max(1);
+    counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            format!("bin {i:>2} |{bar:<width$}| {c}\n")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snn_core::config::{NetworkConfig, Preset};
+
+    fn matrix() -> SynapseMatrix {
+        let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 16, 6);
+        SynapseMatrix::new_random(&cfg, 3)
+    }
+
+    #[test]
+    fn conductance_map_has_field_geometry() {
+        let m = matrix();
+        let img = conductance_map(&m, 0, 4, 4);
+        assert_eq!((img.width(), img.height()), (4, 4));
+    }
+
+    #[test]
+    fn mosaic_tiles_with_separators() {
+        let m = matrix();
+        let img = conductance_mosaic(&m, 4, 4, 3, 2);
+        assert_eq!(img.width(), 3 * 5 - 1);
+        assert_eq!(img.height(), 2 * 5 - 1);
+    }
+
+    #[test]
+    fn pgm_roundtrip_header() {
+        let m = matrix();
+        let img = conductance_map(&m, 1, 4, 4);
+        let path = std::env::temp_dir().join(format!("viz-{}.pgm", std::process::id()));
+        write_pgm(&path, &img).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n4 4\n255\n"));
+        assert_eq!(bytes.len(), 11 + 16);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn histogram_ascii_scales_bars() {
+        let text = histogram_ascii(&[0, 5, 10], 10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[2].contains("##########"));
+        assert!(!lines[0].contains('#'));
+    }
+}

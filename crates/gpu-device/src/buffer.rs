@@ -1,0 +1,184 @@
+//! Typed device memory with host↔device transfer accounting.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// Cumulative host↔device traffic, in bytes and transfer counts.
+///
+/// The paper's Fig. 4 performance discussion attributes ParallelSpikeSim's
+/// spike-simulation overhead to its unified data structures; these counters
+/// let the benches report the equivalent memory-traffic picture.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TransferStats {
+    /// Bytes copied host → device.
+    pub htod_bytes: u64,
+    /// Bytes copied device → host.
+    pub dtoh_bytes: u64,
+    /// Number of host → device transfers.
+    pub htod_count: u64,
+    /// Number of device → host transfers.
+    pub dtoh_count: u64,
+}
+
+impl TransferStats {
+    /// Total bytes moved in either direction.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.htod_bytes + self.dtoh_bytes
+    }
+}
+
+/// A typed buffer in simulated device memory.
+///
+/// Reading and writing the contents from kernels goes through
+/// [`DeviceBuffer::as_slice`] / [`DeviceBuffer::as_mut_slice`] (kernels run
+/// on the device, so no transfer is recorded); moving data across the
+/// simulated PCIe bus uses [`DeviceBuffer::copy_from_host`] /
+/// [`DeviceBuffer::copy_to_host`], which update the owning device's
+/// [`TransferStats`].
+#[derive(Debug)]
+pub struct DeviceBuffer<T> {
+    data: Vec<T>,
+    label: &'static str,
+    stats: Arc<Mutex<TransferStats>>,
+}
+
+impl<T: Copy> DeviceBuffer<T> {
+    pub(crate) fn new(
+        label: &'static str,
+        data: Vec<T>,
+        stats: Arc<Mutex<TransferStats>>,
+    ) -> Self {
+        {
+            let mut s = stats.lock();
+            s.htod_bytes += (data.len() * std::mem::size_of::<T>()) as u64;
+            s.htod_count += 1;
+        }
+        DeviceBuffer { data, label, stats }
+    }
+
+    /// The debug label given at allocation.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Device-side view of the contents (no transfer recorded).
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable device-side view of the contents (no transfer recorded).
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Copies `src` into the buffer, recording a host→device transfer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != self.len()`.
+    pub fn copy_from_host(&mut self, src: &[T]) {
+        assert_eq!(src.len(), self.data.len(), "size mismatch on htod copy");
+        self.data.copy_from_slice(src);
+        let mut s = self.stats.lock();
+        s.htod_bytes += std::mem::size_of_val(src) as u64;
+        s.htod_count += 1;
+    }
+
+    /// Copies the buffer out to a host vector, recording a device→host
+    /// transfer.
+    #[must_use]
+    pub fn copy_to_host(&self) -> Vec<T> {
+        let mut s = self.stats.lock();
+        s.dtoh_bytes += std::mem::size_of_val(self.data.as_slice()) as u64;
+        s.dtoh_count += 1;
+        drop(s);
+        self.data.clone()
+    }
+
+    /// Fills the buffer with `value` on-device.
+    pub fn fill(&mut self, value: T) {
+        self.data.fill(value);
+    }
+}
+
+impl<T: Copy> Deref for DeviceBuffer<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T: Copy> DerefMut for DeviceBuffer<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> Arc<Mutex<TransferStats>> {
+        Arc::new(Mutex::new(TransferStats::default()))
+    }
+
+    #[test]
+    fn allocation_counts_as_htod() {
+        let s = stats();
+        let buf = DeviceBuffer::new("x", vec![0u64; 100], Arc::clone(&s));
+        assert_eq!(buf.len(), 100);
+        assert_eq!(s.lock().htod_bytes, 800);
+        assert_eq!(s.lock().htod_count, 1);
+    }
+
+    #[test]
+    fn copies_update_both_directions() {
+        let s = stats();
+        let mut buf = DeviceBuffer::new("x", vec![0.0f64; 10], Arc::clone(&s));
+        buf.copy_from_host(&[1.0; 10]);
+        let back = buf.copy_to_host();
+        assert_eq!(back, vec![1.0; 10]);
+        let snap = *s.lock();
+        assert_eq!(snap.htod_bytes, 160); // alloc + copy
+        assert_eq!(snap.dtoh_bytes, 80);
+        assert_eq!(snap.total_bytes(), 240);
+        assert_eq!(snap.dtoh_count, 1);
+    }
+
+    #[test]
+    fn device_side_access_records_nothing() {
+        let s = stats();
+        let mut buf = DeviceBuffer::new("x", vec![5i32; 4], Arc::clone(&s));
+        let before = *s.lock();
+        buf.as_mut_slice()[0] = 7;
+        assert_eq!(buf.as_slice()[0], 7);
+        buf.fill(9);
+        assert_eq!(*s.lock(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_copy_rejected() {
+        let s = stats();
+        let mut buf = DeviceBuffer::new("x", vec![0u8; 4], s);
+        buf.copy_from_host(&[0u8; 5]);
+    }
+}

@@ -1,0 +1,453 @@
+//! The simulated GPU device: allocation, kernel launch, profiling.
+
+use crate::buffer::{DeviceBuffer, TransferStats};
+use crate::grid::LaunchDims;
+use crate::pool::WorkerPool;
+use crate::profiler::{KernelProfiler, ProfileReport};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configuration for a simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceConfig {
+    /// Number of worker threads ("streaming multiprocessors"). `1` runs all
+    /// kernels inline on the calling thread.
+    pub workers: usize,
+    /// Threads per block for launches that do not specify geometry.
+    pub block_size: usize,
+    /// Launches whose total work is below this many logical items run
+    /// inline on the calling thread: pool dispatch costs ~10 µs, so tiny
+    /// kernels are faster serial. Inline execution is observationally
+    /// identical — kernels are pure per-index functions, so results do not
+    /// depend on where they run.
+    pub min_parallel_items: usize,
+    /// Whether to record per-kernel timings.
+    pub profile: bool,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(8);
+        DeviceConfig {
+            workers,
+            block_size: LaunchDims::DEFAULT_BLOCK,
+            profile: true,
+            min_parallel_items: 4096,
+        }
+    }
+}
+
+impl DeviceConfig {
+    /// A single-worker (serial) configuration, useful for determinism
+    /// baselines and micro-benchmarks.
+    #[must_use]
+    pub fn serial() -> Self {
+        DeviceConfig { workers: 1, ..Default::default() }
+    }
+
+    /// Sets the worker count.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+}
+
+/// A simulated GPU.
+///
+/// All launch methods are *deterministic in the worker count*: kernels are
+/// pure per-index functions over disjoint data, reductions combine block
+/// partials in block order, and randomness comes from counter-based
+/// [`crate::Philox4x32`] streams. Running with 1 or 8 workers produces
+/// bit-identical results; only wall time changes.
+pub struct Device {
+    pool: Option<WorkerPool>,
+    config: DeviceConfig,
+    profiler: KernelProfiler,
+    transfers: Arc<Mutex<TransferStats>>,
+}
+
+/// A raw-pointer wrapper that lets disjoint index ranges of one slice be
+/// mutated from several workers. Soundness is by construction: every launch
+/// partitions the index space so no two workers touch the same element.
+struct SharedMut<T>(*mut T);
+
+// SAFETY: access is partitioned by index; see `SharedMut` docs.
+unsafe impl<T: Send> Send for SharedMut<T> {}
+// SAFETY: as above — the wrapper itself hands out only disjoint elements.
+unsafe impl<T: Send> Sync for SharedMut<T> {}
+
+impl Device {
+    /// Brings up a device with `config`.
+    #[must_use]
+    pub fn new(config: DeviceConfig) -> Self {
+        let pool = if config.workers > 1 {
+            Some(WorkerPool::new(config.workers))
+        } else {
+            None
+        };
+        Device {
+            pool,
+            config,
+            profiler: KernelProfiler::new(),
+            transfers: Arc::new(Mutex::new(TransferStats::default())),
+        }
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.config.workers.max(1)
+    }
+
+    /// The device configuration.
+    #[must_use]
+    pub fn config(&self) -> DeviceConfig {
+        self.config
+    }
+
+    /// Snapshot of cumulative host↔device traffic.
+    #[must_use]
+    pub fn transfer_stats(&self) -> TransferStats {
+        *self.transfers.lock()
+    }
+
+    /// Snapshot of the kernel profile.
+    #[must_use]
+    pub fn profile(&self) -> ProfileReport {
+        self.profiler.report()
+    }
+
+    /// Clears profiler state.
+    pub fn reset_profile(&self) {
+        self.profiler.reset();
+    }
+
+    /// Allocates a buffer of `len` elements initialized to `init`.
+    #[must_use]
+    pub fn alloc<T: Copy>(&self, label: &'static str, len: usize, init: T) -> DeviceBuffer<T> {
+        DeviceBuffer::new(label, vec![init; len], Arc::clone(&self.transfers))
+    }
+
+    /// Allocates a buffer initialized from a host slice.
+    #[must_use]
+    pub fn alloc_from_slice<T: Copy>(&self, label: &'static str, src: &[T]) -> DeviceBuffer<T> {
+        DeviceBuffer::new(label, src.to_vec(), Arc::clone(&self.transfers))
+    }
+
+    fn dims_for(&self, n: usize) -> LaunchDims {
+        LaunchDims::cover(n, self.config.block_size)
+    }
+
+    /// The pool to dispatch on, or `None` when `work_items` is small enough
+    /// that inline execution wins.
+    fn pool_for(&self, work_items: usize) -> Option<&WorkerPool> {
+        if work_items < self.config.min_parallel_items {
+            None
+        } else {
+            self.pool.as_ref()
+        }
+    }
+
+    /// Launches `kernel` over global thread ids `0..n` (read-only or
+    /// interior-mutability kernels).
+    pub fn launch<K>(&self, name: &'static str, n: usize, kernel: K)
+    where
+        K: Fn(usize) + Sync,
+    {
+        let dims = self.dims_for(n);
+        self.timed(name, n, || match self.pool_for(n) {
+            None => (0..n).for_each(&kernel),
+            Some(pool) => {
+                let workers = pool.workers();
+                pool.run(|wid| {
+                    let mut block = wid;
+                    while block < dims.grid {
+                        for i in dims.block_range(block, n) {
+                            kernel(i);
+                        }
+                        block += workers;
+                    }
+                });
+            }
+        });
+    }
+
+    /// Launches a per-element mutation kernel over `data`: each logical
+    /// thread `i` receives `&mut data[i]`.
+    pub fn launch_slice_mut<T, K>(&self, name: &'static str, data: &mut [T], kernel: K)
+    where
+        T: Send,
+        K: Fn(usize, &mut T) + Sync,
+    {
+        let n = data.len();
+        let dims = self.dims_for(n);
+        let base = SharedMut(data.as_mut_ptr());
+        self.timed(name, n, || match self.pool_for(n) {
+            None => {
+                // Serial path: plain iteration, no unsafe needed.
+                // SAFETY: `base` is unused here; iterate directly.
+                let data = unsafe { std::slice::from_raw_parts_mut(base.0, n) };
+                for (i, item) in data.iter_mut().enumerate() {
+                    kernel(i, item);
+                }
+            }
+            Some(pool) => {
+                let workers = pool.workers();
+                let base = &base;
+                pool.run(|wid| {
+                    let mut block = wid;
+                    while block < dims.grid {
+                        for i in dims.block_range(block, n) {
+                            // SAFETY: block ranges partition 0..n and each
+                            // block is visited by exactly one worker
+                            // (strided assignment), so `i` is touched once.
+                            let item = unsafe { &mut *base.0.add(i) };
+                            kernel(i, item);
+                        }
+                        block += workers;
+                    }
+                });
+            }
+        });
+    }
+
+    /// Launches a per-element mutation kernel over a device buffer.
+    pub fn launch_mut<T, K>(&self, name: &'static str, buf: &mut DeviceBuffer<T>, kernel: K)
+    where
+        T: Copy + Send,
+        K: Fn(usize, &mut T) + Sync,
+    {
+        self.launch_slice_mut(name, buf.as_mut_slice(), kernel);
+    }
+
+    /// Launches a kernel over row-chunks of `data`: logical thread `r`
+    /// receives `&mut data[r*row_len .. (r+1)*row_len]`. This mirrors a CUDA
+    /// kernel where each thread owns one matrix row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `row_len`.
+    pub fn launch_rows_mut<T, K>(
+        &self,
+        name: &'static str,
+        data: &mut [T],
+        row_len: usize,
+        kernel: K,
+    ) where
+        T: Send,
+        K: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(row_len > 0, "row length must be positive");
+        assert_eq!(data.len() % row_len, 0, "data not a whole number of rows");
+        let rows = data.len() / row_len;
+        let dims = LaunchDims::cover(rows, 1.max(self.config.block_size / 32));
+        let base = SharedMut(data.as_mut_ptr());
+        self.timed(name, rows, || match self.pool_for(rows * row_len) {
+            None => {
+                // SAFETY: serial path, exclusive access.
+                let data = unsafe { std::slice::from_raw_parts_mut(base.0, rows * row_len) };
+                for (r, row) in data.chunks_exact_mut(row_len).enumerate() {
+                    kernel(r, row);
+                }
+            }
+            Some(pool) => {
+                let workers = pool.workers();
+                let base = &base;
+                pool.run(|wid| {
+                    let mut block = wid;
+                    while block < dims.grid {
+                        for r in dims.block_range(block, rows) {
+                            // SAFETY: rows are disjoint and each row index is
+                            // visited by exactly one worker.
+                            let row = unsafe {
+                                std::slice::from_raw_parts_mut(base.0.add(r * row_len), row_len)
+                            };
+                            kernel(r, row);
+                        }
+                        block += workers;
+                    }
+                });
+            }
+        });
+    }
+
+    /// A deterministic parallel map-reduce over `0..n`: block partials are
+    /// combined in ascending block order regardless of worker count.
+    pub fn reduce<T, M, C>(&self, name: &'static str, n: usize, identity: T, map: M, combine: C) -> T
+    where
+        T: Send + Sync + Clone,
+        M: Fn(usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync,
+    {
+        let dims = self.dims_for(n);
+        let mut partials: Vec<T> = vec![identity.clone(); dims.grid];
+        let combine_ref = &combine;
+        let map_ref = &map;
+        {
+            let base = SharedMut(partials.as_mut_ptr());
+            self.timed(name, n, || match self.pool_for(n) {
+                None => {
+                    // SAFETY: serial path, exclusive access.
+                    let parts = unsafe { std::slice::from_raw_parts_mut(base.0, dims.grid) };
+                    for (b, slot) in parts.iter_mut().enumerate() {
+                        let mut acc = identity.clone();
+                        for i in dims.block_range(b, n) {
+                            acc = combine_ref(acc, map_ref(i));
+                        }
+                        *slot = acc;
+                    }
+                }
+                Some(pool) => {
+                    let workers = pool.workers();
+                    let base = &base;
+                    let identity = &identity;
+                    pool.run(|wid| {
+                        let mut block = wid;
+                        while block < dims.grid {
+                            let mut acc = identity.clone();
+                            for i in dims.block_range(block, n) {
+                                acc = combine_ref(acc, map_ref(i));
+                            }
+                            // SAFETY: one writer per block slot.
+                            unsafe { *base.0.add(block) = acc };
+                            block += workers;
+                        }
+                    });
+                }
+            });
+        }
+        partials
+            .into_iter()
+            .fold(identity, combine)
+    }
+
+    fn timed<F: FnOnce()>(&self, name: &'static str, threads: usize, f: F) {
+        if self.config.profile {
+            let start = Instant::now();
+            f();
+            self.profiler.record(name, threads, start.elapsed());
+        } else {
+            f();
+        }
+    }
+}
+
+impl std::fmt::Debug for Device {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Device")
+            .field("workers", &self.workers())
+            .field("block_size", &self.config.block_size)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev(workers: usize) -> Device {
+        Device::new(DeviceConfig::default().with_workers(workers))
+    }
+
+    #[test]
+    fn launch_mut_touches_every_element_once() {
+        for workers in [1, 2, 7] {
+            let d = dev(workers);
+            let mut buf = d.alloc("counts", 10_000, 0u32);
+            d.launch_mut("incr", &mut buf, |i, v| *v += i as u32 + 1);
+            for (i, &v) in buf.as_slice().iter().enumerate() {
+                assert_eq!(v, i as u32 + 1, "workers={workers}, i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let run = |workers: usize| -> Vec<f64> {
+            let d = dev(workers);
+            let mut buf = d.alloc("v", 4097, 1.0f64);
+            d.launch_mut("scale", &mut buf, |i, v| *v *= (i as f64).sin());
+            buf.copy_to_host()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(3));
+        assert_eq!(serial, run(8));
+    }
+
+    #[test]
+    fn reduce_is_deterministic_and_correct() {
+        for workers in [1, 4] {
+            let d = dev(workers);
+            let n = 100_001usize;
+            let sum = d.reduce("sum", n, 0u64, |i| i as u64, |a, b| a + b);
+            assert_eq!(sum, (n as u64 - 1) * n as u64 / 2, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn rows_mut_gives_whole_rows() {
+        let d = dev(4);
+        let mut data = vec![0u32; 12 * 64];
+        d.launch_rows_mut("rows", &mut data, 64, |r, row| {
+            assert_eq!(row.len(), 64);
+            for v in row.iter_mut() {
+                *v = r as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v as usize, i / 64);
+        }
+    }
+
+    #[test]
+    fn empty_launches_are_noops() {
+        let d = dev(4);
+        d.launch("nothing", 0, |_| panic!("must not run"));
+        let mut empty: Vec<u8> = Vec::new();
+        d.launch_slice_mut("nothing2", &mut empty, |_, _| panic!("must not run"));
+        assert_eq!(d.reduce("nothing3", 0, 7u32, |_| 0, |a, b| a + b), 7);
+    }
+
+    #[test]
+    fn profiler_records_launches() {
+        let d = dev(2);
+        d.launch("k1", 100, |_| {});
+        d.launch("k1", 100, |_| {});
+        let report = d.profile();
+        let k1 = report.get("k1").expect("k1 profiled");
+        assert_eq!(k1.launches, 2);
+        assert_eq!(k1.threads, 200);
+    }
+
+    #[test]
+    fn transfer_stats_flow_through_buffers() {
+        let d = dev(1);
+        let buf = d.alloc("a", 1000, 0u8);
+        let _ = buf.copy_to_host();
+        let stats = d.transfer_stats();
+        assert_eq!(stats.htod_bytes, 1000);
+        assert_eq!(stats.dtoh_bytes, 1000);
+    }
+
+    #[test]
+    fn serial_config_runs_inline() {
+        let d = Device::new(DeviceConfig::serial());
+        assert_eq!(d.workers(), 1);
+        let mut buf = d.alloc("x", 16, 0u8);
+        d.launch_mut("set", &mut buf, |_, v| *v = 1);
+        assert!(buf.as_slice().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of rows")]
+    fn ragged_rows_rejected() {
+        let d = dev(1);
+        let mut data = vec![0u8; 10];
+        d.launch_rows_mut("bad", &mut data, 3, |_, _| {});
+    }
+}

@@ -1,0 +1,100 @@
+//! CUDA-style launch geometry.
+
+use serde::{Deserialize, Serialize};
+
+/// Grid/block launch dimensions, mirroring a 1-D CUDA launch
+/// `kernel<<<grid, block>>>`.
+///
+/// The simulated device schedules whole blocks onto workers, so the block
+/// size controls work-distribution granularity exactly like on hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LaunchDims {
+    /// Number of blocks in the grid.
+    pub grid: usize,
+    /// Threads per block.
+    pub block: usize,
+}
+
+impl LaunchDims {
+    /// The block size used when the caller does not specify one. 256 is the
+    /// conventional CUDA default for memory-bound kernels.
+    pub const DEFAULT_BLOCK: usize = 256;
+
+    /// Computes dimensions covering `n` logical threads with the given
+    /// block size (the last block may be partially full).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is zero.
+    #[must_use]
+    pub fn cover(n: usize, block: usize) -> Self {
+        assert!(block > 0, "block size must be positive");
+        LaunchDims { grid: n.div_ceil(block), block }
+    }
+
+    /// Dimensions covering `n` threads with the default block size.
+    #[must_use]
+    pub fn for_threads(n: usize) -> Self {
+        Self::cover(n, Self::DEFAULT_BLOCK)
+    }
+
+    /// Total threads launched (including padding in the last block).
+    #[must_use]
+    pub fn total_threads(&self) -> usize {
+        self.grid * self.block
+    }
+
+    /// The half-open global-id range `[start, end)` covered by `block_idx`,
+    /// clipped to `n` logical threads.
+    #[must_use]
+    pub fn block_range(&self, block_idx: usize, n: usize) -> std::ops::Range<usize> {
+        let start = (block_idx * self.block).min(n);
+        let end = ((block_idx + 1) * self.block).min(n);
+        start..end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cover_rounds_up() {
+        let d = LaunchDims::cover(1000, 256);
+        assert_eq!(d.grid, 4);
+        assert_eq!(d.total_threads(), 1024);
+    }
+
+    #[test]
+    fn exact_fit_has_no_padding() {
+        let d = LaunchDims::cover(512, 256);
+        assert_eq!(d.grid, 2);
+        assert_eq!(d.total_threads(), 512);
+    }
+
+    #[test]
+    fn block_ranges_partition_the_index_space() {
+        let n = 1000;
+        let d = LaunchDims::cover(n, 256);
+        let mut covered = vec![false; n];
+        for b in 0..d.grid {
+            for i in d.block_range(b, n) {
+                assert!(!covered[i], "index {i} covered twice");
+                covered[i] = true;
+            }
+        }
+        assert!(covered.iter().all(|&c| c));
+    }
+
+    #[test]
+    fn empty_launch_is_empty() {
+        let d = LaunchDims::cover(0, 128);
+        assert_eq!(d.grid, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn zero_block_rejected() {
+        let _ = LaunchDims::cover(10, 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Simulated GPU execution substrate for the ParallelSpikeSim reproduction.
+//!
+//! The original ParallelSpikeSim runs its neuron-update and STDP kernels as
+//! CUDA grids and draws stochastic-STDP randomness from the on-board cuRAND
+//! generator. This crate reproduces the *execution semantics* of that stack
+//! on the CPU so the rest of the system is written exactly as it would be
+//! against a real device:
+//!
+//! * [`Device`] — owns a persistent pool of worker threads (the "streaming
+//!   multiprocessors") and launches data-parallel kernels over an index
+//!   space, with a barrier between launches, mirroring the implicit
+//!   synchronization between dependent CUDA kernel launches on one stream.
+//! * [`DeviceBuffer`] — typed device memory with explicit host↔device copy
+//!   operations and byte-accurate transfer accounting, standing in for
+//!   `cudaMemcpy`.
+//! * [`Philox4x32`] / [`PhiloxStream`] — the counter-based random number
+//!   generator family used by cuRAND. Counter-based streams make the
+//!   stochastic STDP draws *independent of thread scheduling*: the draw for
+//!   (synapse, step) is a pure function of (seed, synapse, step), so results
+//!   are bit-identical at any worker count.
+//! * [`KernelProfiler`] — per-kernel cumulative wall time and launch counts,
+//!   standing in for `nvprof`, used by the Fig. 4 performance comparison.
+//!
+//! # Example
+//!
+//! ```
+//! use gpu_device::{Device, DeviceConfig};
+//!
+//! let device = Device::new(DeviceConfig::default());
+//! let mut buf = device.alloc_from_slice("v", &[0.0f64; 1024]);
+//! device.launch_mut("add_one", &mut buf, |_tid, v| *v += 1.0);
+//! assert!(buf.as_slice().iter().all(|&v| v == 1.0));
+//! ```
+
+#![deny(missing_docs)]
+
+mod buffer;
+mod device;
+mod grid;
+mod philox;
+mod pool;
+mod profiler;
+
+pub use buffer::{DeviceBuffer, TransferStats};
+pub use device::{Device, DeviceConfig};
+pub use grid::LaunchDims;
+pub use philox::{Philox4x32, PhiloxStream};
+pub use pool::WorkerPool;
+pub use profiler::{KernelProfiler, KernelStats, ProfileReport};

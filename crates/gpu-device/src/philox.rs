@@ -1,0 +1,257 @@
+//! Philox4x32-10 counter-based random number generation.
+//!
+//! Philox is the generator family behind cuRAND's default device API. Being
+//! counter-based, it has no sequential state: output block `i` of stream `s`
+//! is a pure function `philox(key(seed, s), counter(i))`. That property is
+//! what lets a GPU hand every thread its own reproducible stream, and it is
+//! what makes our stochastic-STDP results independent of how kernel indices
+//! are scheduled across workers.
+
+/// The Philox4x32-10 block cipher: 10 rounds over a 128-bit counter with a
+/// 64-bit key.
+///
+/// Constants follow Salmon et al., "Parallel random numbers: as easy as
+/// 1, 2, 3" (SC'11), matching the cuRAND implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Philox4x32 {
+    key: [u32; 2],
+}
+
+const PHILOX_M0: u32 = 0xD251_1F53;
+const PHILOX_M1: u32 = 0xCD9E_8D57;
+const PHILOX_W0: u32 = 0x9E37_79B9;
+const PHILOX_W1: u32 = 0xBB67_AE85;
+const ROUNDS: usize = 10;
+
+#[inline]
+fn mulhilo(a: u32, b: u32) -> (u32, u32) {
+    let p = u64::from(a) * u64::from(b);
+    ((p >> 32) as u32, p as u32)
+}
+
+impl Philox4x32 {
+    /// Creates a generator keyed by `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Philox4x32 { key: [seed as u32, (seed >> 32) as u32] }
+    }
+
+    /// Encrypts one 128-bit counter block, producing four independent
+    /// uniform `u32`s.
+    #[must_use]
+    pub fn block(&self, counter: [u32; 4]) -> [u32; 4] {
+        let mut ctr = counter;
+        let mut key = self.key;
+        for _ in 0..ROUNDS {
+            let (hi0, lo0) = mulhilo(PHILOX_M0, ctr[0]);
+            let (hi1, lo1) = mulhilo(PHILOX_M1, ctr[2]);
+            ctr = [
+                hi1 ^ ctr[1] ^ key[0],
+                lo1,
+                hi0 ^ ctr[3] ^ key[1],
+                lo0,
+            ];
+            key[0] = key[0].wrapping_add(PHILOX_W0);
+            key[1] = key[1].wrapping_add(PHILOX_W1);
+        }
+        ctr
+    }
+
+    /// Returns the `word`-th `u32` (0..4) of the block addressed by
+    /// (`stream`, `index`). This is the stateless kernel-side entry point.
+    #[must_use]
+    pub fn at(&self, stream: u64, index: u64, word: usize) -> u32 {
+        debug_assert!(word < 4);
+        let ctr = [
+            index as u32,
+            (index >> 32) as u32,
+            stream as u32,
+            (stream >> 32) as u32,
+        ];
+        self.block(ctr)[word]
+    }
+
+    /// A uniform draw in `[0, 1)` addressed by (`stream`, `index`).
+    ///
+    /// Uses all 32 bits of one output word: `u32 / 2^32`.
+    #[must_use]
+    pub fn uniform(&self, stream: u64, index: u64) -> f64 {
+        f64::from(self.at(stream, index, 0)) / (u64::from(u32::MAX) + 1) as f64
+    }
+
+    /// A second independent uniform for the same (`stream`, `index`)
+    /// address, drawn from a different output word.
+    #[must_use]
+    pub fn uniform2(&self, stream: u64, index: u64) -> f64 {
+        f64::from(self.at(stream, index, 1)) / (u64::from(u32::MAX) + 1) as f64
+    }
+
+    /// Creates a sequential stream view over (`seed`, `stream`).
+    #[must_use]
+    pub fn stream(&self, stream: u64) -> PhiloxStream {
+        PhiloxStream { gen: *self, stream, index: 0, cache: [0; 4], cached: 0 }
+    }
+}
+
+/// A sequential iterator view over one Philox stream, for host-side code
+/// that wants ordinary `next_*` RNG ergonomics (e.g. dataset generation).
+#[derive(Debug, Clone)]
+pub struct PhiloxStream {
+    gen: Philox4x32,
+    stream: u64,
+    index: u64,
+    cache: [u32; 4],
+    cached: usize,
+}
+
+impl PhiloxStream {
+    /// Next uniform `u32`.
+    pub fn next_u32(&mut self) -> u32 {
+        if self.cached == 0 {
+            let ctr = [
+                self.index as u32,
+                (self.index >> 32) as u32,
+                self.stream as u32,
+                (self.stream >> 32) as u32,
+            ];
+            self.cache = self.gen.block(ctr);
+            self.index += 1;
+            self.cached = 4;
+        }
+        self.cached -= 1;
+        self.cache[self.cached]
+    }
+
+    /// Next uniform `u64`.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Next uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random bits, the full mantissa of an f64.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Next uniform integer in `[0, bound)` by rejection-free scaling.
+    pub fn next_below(&mut self, bound: u32) -> u32 {
+        debug_assert!(bound > 0);
+        ((u64::from(self.next_u32()) * u64::from(bound)) >> 32) as u32
+    }
+
+    /// A draw from the standard normal distribution (Box–Muller).
+    pub fn next_normal(&mut self) -> f64 {
+        let u1 = self.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_zero_key_zero_counter() {
+        // Reference vector for Philox4x32-10 from the Random123 test suite:
+        // key = {0,0}, counter = {0,0,0,0}.
+        let g = Philox4x32::new(0);
+        assert_eq!(
+            g.block([0, 0, 0, 0]),
+            [0x6627_E8D5, 0xE169_C58D, 0xBC57_AC4C, 0x9B00_DBD8]
+        );
+    }
+
+    #[test]
+    fn known_answer_all_ones() {
+        // key = {0xffffffff, 0xffffffff}, counter = all ones.
+        let g = Philox4x32::new(u64::MAX);
+        assert_eq!(
+            g.block([u32::MAX; 4]),
+            [0x408F_276D, 0x41C8_3B0E, 0xA20B_C7C6, 0x6D54_51FD]
+        );
+    }
+
+    #[test]
+    fn counters_give_distinct_blocks() {
+        let g = Philox4x32::new(42);
+        let a = g.block([0, 0, 0, 0]);
+        let b = g.block([1, 0, 0, 0]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stateless_at_matches_block() {
+        let g = Philox4x32::new(7);
+        let blk = g.block([5, 0, 9, 0]);
+        for (w, &word) in blk.iter().enumerate() {
+            assert_eq!(g.at(9, 5, w), word);
+        }
+    }
+
+    #[test]
+    fn uniform_in_unit_interval() {
+        let g = Philox4x32::new(123);
+        for i in 0..10_000u64 {
+            let u = g.uniform(0, i);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_near_half() {
+        let g = Philox4x32::new(99);
+        let n = 100_000u64;
+        let mean: f64 = (0..n).map(|i| g.uniform(3, i)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let g = Philox4x32::new(1);
+        let mut s0 = g.stream(0);
+        let mut s1 = g.stream(1);
+        let a: Vec<u32> = (0..16).map(|_| s0.next_u32()).collect();
+        let b: Vec<u32> = (0..16).map(|_| s1.next_u32()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stream_is_reproducible() {
+        let g = Philox4x32::new(1);
+        let a: Vec<u64> = {
+            let mut s = g.stream(5);
+            (0..32).map(|_| s.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut s = g.stream(5);
+            (0..32).map(|_| s.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let g = Philox4x32::new(2024);
+        let mut s = g.stream(0);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| s.next_normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let g = Philox4x32::new(8);
+        let mut s = g.stream(0);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = s.next_below(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+}

@@ -1,0 +1,193 @@
+//! A persistent worker-thread pool with scoped (borrow-friendly) dispatch.
+//!
+//! Kernel launches happen millions of times per training run (one per
+//! simulation step per kernel), so spawning OS threads per launch is not an
+//! option. This pool keeps its workers alive for the lifetime of the
+//! [`crate::Device`] and hands each launch to every worker through a
+//! channel; the caller blocks on a countdown latch until all workers have
+//! finished, which is what makes lending stack-borrowed closures to the
+//! workers sound (the same technique scoped thread pools such as rayon's
+//! use internally).
+
+use crossbeam::channel::{self, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A countdown latch: `wait` returns once `count_down` has been called the
+/// configured number of times.
+struct Latch {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch { remaining: Mutex::new(count), all_done: Condvar::new() }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock();
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut remaining = self.remaining.lock();
+        while *remaining > 0 {
+            self.all_done.wait(&mut remaining);
+        }
+    }
+}
+
+/// The closure reference shipped to workers. The `'static` lifetime is a lie
+/// told once, inside [`WorkerPool::run`], where blocking on the latch keeps
+/// the borrowed environment alive for the closure's entire execution.
+type Job = &'static (dyn Fn(usize) + Sync);
+
+struct Message {
+    job: Job,
+    latch: Arc<Latch>,
+}
+
+/// A fixed-size pool of persistent worker threads.
+pub struct WorkerPool {
+    senders: Vec<Sender<Message>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for worker_id in 0..workers {
+            let (tx, rx) = channel::unbounded::<Message>();
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gpu-sm-{worker_id}"))
+                    .spawn(move || {
+                        for msg in rx {
+                            (msg.job)(worker_id);
+                            msg.latch.count_down();
+                        }
+                    })
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        WorkerPool { senders, handles }
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `f(worker_id)` on every worker concurrently and blocks until all
+    /// calls return.
+    ///
+    /// `f` may borrow from the caller's stack: the blocking wait below keeps
+    /// those borrows alive while any worker can still observe them.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let latch = Arc::new(Latch::new(self.workers()));
+        let f_ref: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: only the reference's lifetime is erased; the pointee type
+        // is unchanged. `f` lives on this stack frame and `latch.wait()`
+        // below does not return until every worker has called `count_down`,
+        // which each does strictly after its last use of `job`. Hence no
+        // worker can observe the reference after `run` returns and the
+        // borrow never outlives `f`.
+        let job: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), Job>(f_ref)
+        };
+        for tx in &self.senders {
+            tx.send(Message { job, latch: Arc::clone(&latch) })
+                .expect("worker thread terminated unexpectedly");
+        }
+        latch.wait();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.senders.clear(); // closing the channels stops the workers
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("workers", &self.workers()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_worker_runs_once() {
+        let pool = WorkerPool::new(4);
+        let count = AtomicUsize::new(0);
+        pool.run(|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn borrows_from_stack_are_visible() {
+        let pool = WorkerPool::new(3);
+        let data = [1usize, 2, 3];
+        let sum = AtomicUsize::new(0);
+        pool.run(|wid| {
+            sum.fetch_add(data[wid], Ordering::SeqCst);
+        });
+        assert_eq!(sum.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn sequential_runs_are_ordered() {
+        let pool = WorkerPool::new(2);
+        let value = AtomicUsize::new(0);
+        pool.run(|_| {
+            value.fetch_add(1, Ordering::SeqCst);
+        });
+        let after_first = value.load(Ordering::SeqCst);
+        pool.run(|_| {
+            value.fetch_add(10, Ordering::SeqCst);
+        });
+        assert_eq!(after_first, 2);
+        assert_eq!(value.load(Ordering::SeqCst), 22);
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.workers(), 1);
+    }
+
+    #[test]
+    fn many_launches_do_not_leak_or_deadlock() {
+        let pool = WorkerPool::new(4);
+        let count = AtomicUsize::new(0);
+        for _ in 0..10_000 {
+            pool.run(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 40_000);
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-kernel timing, the simulator's stand-in for `nvprof`.
+
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Accumulated statistics for one kernel name.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct KernelStats {
+    /// Number of launches.
+    pub launches: u64,
+    /// Total wall time across launches, in nanoseconds.
+    pub total_ns: u64,
+    /// Total logical threads executed.
+    pub threads: u64,
+}
+
+impl KernelStats {
+    /// Mean wall time per launch.
+    #[must_use]
+    pub fn mean(&self) -> Duration {
+        self.total_ns
+            .checked_div(self.launches)
+            .map_or(Duration::ZERO, Duration::from_nanos)
+    }
+
+    /// Total wall time as a [`Duration`].
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+}
+
+/// Collects per-kernel-name launch counts and cumulative wall time.
+#[derive(Debug, Default)]
+pub struct KernelProfiler {
+    entries: Mutex<HashMap<&'static str, KernelStats>>,
+}
+
+impl KernelProfiler {
+    /// Creates an empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one launch of `name` covering `threads` logical threads.
+    pub fn record(&self, name: &'static str, threads: usize, elapsed: Duration) {
+        let mut entries = self.entries.lock();
+        let e = entries.entry(name).or_default();
+        e.launches += 1;
+        e.total_ns += elapsed.as_nanos() as u64;
+        e.threads += threads as u64;
+    }
+
+    /// Snapshot of all kernels, sorted by descending total time.
+    #[must_use]
+    pub fn report(&self) -> ProfileReport {
+        let mut kernels: Vec<(String, KernelStats)> = self
+            .entries
+            .lock()
+            .iter()
+            .map(|(name, stats)| ((*name).to_owned(), *stats))
+            .collect();
+        kernels.sort_by_key(|(_, stats)| std::cmp::Reverse(stats.total_ns));
+        ProfileReport { kernels }
+    }
+
+    /// Clears all recorded entries.
+    pub fn reset(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+/// An ordered snapshot of kernel statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct ProfileReport {
+    /// (kernel name, stats), sorted by descending total time.
+    pub kernels: Vec<(String, KernelStats)>,
+}
+
+impl ProfileReport {
+    /// Total time across all kernels.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.kernels.iter().map(|(_, s)| s.total_ns).sum())
+    }
+
+    /// Looks up one kernel's stats by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&KernelStats> {
+        self.kernels.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+}
+
+impl std::fmt::Display for ProfileReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:<28} {:>10} {:>14} {:>12}", "kernel", "launches", "total", "mean")?;
+        for (name, s) in &self.kernels {
+            writeln!(
+                f,
+                "{:<28} {:>10} {:>12.3?} {:>12.3?}",
+                name,
+                s.launches,
+                s.total(),
+                s.mean()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let p = KernelProfiler::new();
+        p.record("lif_step", 1000, Duration::from_micros(10));
+        p.record("lif_step", 1000, Duration::from_micros(30));
+        p.record("stdp", 784, Duration::from_micros(5));
+        let r = p.report();
+        let lif = r.get("lif_step").unwrap();
+        assert_eq!(lif.launches, 2);
+        assert_eq!(lif.threads, 2000);
+        assert_eq!(lif.total(), Duration::from_micros(40));
+        assert_eq!(lif.mean(), Duration::from_micros(20));
+    }
+
+    #[test]
+    fn report_sorted_by_total_time() {
+        let p = KernelProfiler::new();
+        p.record("small", 1, Duration::from_nanos(10));
+        p.record("big", 1, Duration::from_millis(1));
+        let r = p.report();
+        assert_eq!(r.kernels[0].0, "big");
+        assert_eq!(r.total(), Duration::from_nanos(1_000_010));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let p = KernelProfiler::new();
+        p.record("k", 1, Duration::from_nanos(1));
+        p.reset();
+        assert!(p.report().kernels.is_empty());
+    }
+
+    #[test]
+    fn empty_stats_mean_is_zero() {
+        assert_eq!(KernelStats::default().mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_contains_kernel_names() {
+        let p = KernelProfiler::new();
+        p.record("encode_inputs", 784, Duration::from_micros(3));
+        let text = p.report().to_string();
+        assert!(text.contains("encode_inputs"));
+    }
+}

@@ -1,0 +1,73 @@
+//! Property tests: the device's worker-count invariance and the Philox
+//! generator's statistical/addressing properties.
+
+use gpu_device::{Device, DeviceConfig, Philox4x32};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any per-element map gives identical results at any worker count,
+    /// including when the launch crosses the inline-threshold boundary.
+    #[test]
+    fn launch_results_worker_invariant(n in 1usize..10_000, workers in 2usize..6, seed in 0u64..1000) {
+        let run = |w: usize| {
+            let device = Device::new(DeviceConfig::default().with_workers(w));
+            let mut buf = device.alloc("p", n, 0u64);
+            device.launch_mut("hash", &mut buf, |i, v| {
+                *v = Philox4x32::new(seed).at(0, i as u64, 0) as u64;
+            });
+            buf.copy_to_host()
+        };
+        prop_assert_eq!(run(1), run(workers));
+    }
+
+    /// Deterministic reduce: block-ordered combination is associative-safe
+    /// for integer sums at any worker count.
+    #[test]
+    fn reduce_worker_invariant(n in 1usize..50_000, workers in 2usize..6) {
+        let serial = Device::new(DeviceConfig::default().with_workers(1))
+            .reduce("s", n, 0u64, |i| (i as u64).wrapping_mul(2_654_435_761), u64::wrapping_add);
+        let parallel = Device::new(DeviceConfig::default().with_workers(workers))
+            .reduce("p", n, 0u64, |i| (i as u64).wrapping_mul(2_654_435_761), u64::wrapping_add);
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Philox blocks never collide across distinct counters (spot check on
+    /// random pairs).
+    #[test]
+    fn philox_blocks_distinct(seed in 0u64..1000, a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        prop_assume!(a != b);
+        let g = Philox4x32::new(seed);
+        prop_assert_ne!(g.block([a as u32, (a >> 32) as u32, 0, 0]),
+                        g.block([b as u32, (b >> 32) as u32, 0, 0]));
+    }
+
+    /// Stream draws are always in [0, 1).
+    #[test]
+    fn uniforms_in_unit_interval(seed in 0u64..1000, stream in 0u64..1000) {
+        let g = Philox4x32::new(seed);
+        let mut s = g.stream(stream);
+        for _ in 0..64 {
+            let u = s.next_f64();
+            prop_assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    /// Rows-mut partitions exactly: every row written once, by row index.
+    #[test]
+    fn rows_mut_partitions(rows in 1usize..200, row_len in 1usize..64, workers in 1usize..5) {
+        let device = Device::new(DeviceConfig::default().with_workers(workers));
+        let mut data = vec![u32::MAX; rows * row_len];
+        device.launch_rows_mut("rows", &mut data, row_len, |r, row| {
+            for v in row.iter_mut() {
+                // A non-MAX value would mean the element was visited twice.
+                assert_eq!(*v, u32::MAX, "element visited twice");
+                *v = r as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            prop_assert_eq!(v as usize, i / row_len);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Q-format descriptors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An unsigned `Q(m.n)` fixed-point format: `m` integer bits and `n`
+/// fractional bits, `m + n` total bits.
+///
+/// The representable range is `[0, 2^m − 2^−n]` with a resolution (one least
+/// significant bit) of `2^−n`. The paper's learning precisions map to the
+/// associated constants: [`QFormat::Q0_2`], [`QFormat::Q0_4`],
+/// [`QFormat::Q1_7`] and [`QFormat::Q1_15`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QFormat {
+    int_bits: u8,
+    frac_bits: u8,
+}
+
+impl QFormat {
+    /// 2-bit format `Q0.2`: values `{0, 0.25, 0.5, 0.75}`.
+    pub const Q0_2: QFormat = QFormat { int_bits: 0, frac_bits: 2 };
+    /// 4-bit format `Q0.4`: 16 levels on `[0, 15/16]`.
+    pub const Q0_4: QFormat = QFormat { int_bits: 0, frac_bits: 4 };
+    /// 8-bit format `Q1.7`: 256 levels on `[0, 255/128]`.
+    pub const Q1_7: QFormat = QFormat { int_bits: 1, frac_bits: 7 };
+    /// 16-bit format `Q1.15`: 65536 levels on `[0, 65535/32768]`.
+    pub const Q1_15: QFormat = QFormat { int_bits: 1, frac_bits: 15 };
+
+    /// Creates a format with `int_bits` integer and `frac_bits` fractional
+    /// bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total width is zero or exceeds 31 bits (the raw value is
+    /// held in a `u32` and quantization arithmetic needs one spare bit).
+    #[must_use]
+    pub fn new(int_bits: u8, frac_bits: u8) -> Self {
+        let total = u32::from(int_bits) + u32::from(frac_bits);
+        assert!(total >= 1, "Q-format must have at least one bit");
+        assert!(total <= 31, "Q-format wider than 31 bits is not supported");
+        QFormat { int_bits, frac_bits }
+    }
+
+    /// Number of integer bits (`m` in `Qm.n`).
+    #[must_use]
+    pub fn int_bits(&self) -> u8 {
+        self.int_bits
+    }
+
+    /// Number of fractional bits (`n` in `Qm.n`).
+    #[must_use]
+    pub fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// Total bit width `m + n`.
+    #[must_use]
+    pub fn total_bits(&self) -> u8 {
+        self.int_bits + self.frac_bits
+    }
+
+    /// The value of one least significant bit, `2^−n`.
+    #[must_use]
+    pub fn resolution(&self) -> f64 {
+        (f64::from(self.frac_bits)).exp2().recip()
+    }
+
+    /// The paper's fixed conductance step for ≤ 8-bit learning:
+    /// `ΔG = 1 / 2^w` with `w` the **total** bit width (Section III-C).
+    ///
+    /// Note that for formats with integer bits (e.g. `Q1.7`) this step is
+    /// *smaller than one LSB*, which is exactly why the rounding option
+    /// matters: under truncation a potentiation by `ΔG` is always rounded
+    /// away while a depression still clears a full LSB.
+    #[must_use]
+    pub fn paper_delta_g(&self) -> f64 {
+        (f64::from(self.total_bits())).exp2().recip()
+    }
+
+    /// Largest representable value, `2^m − 2^−n`.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        (f64::from(self.int_bits)).exp2() - self.resolution()
+    }
+
+    /// Largest raw (integer) code, `2^(m+n) − 1`.
+    #[must_use]
+    pub fn max_raw(&self) -> u32 {
+        (1u32 << self.total_bits()) - 1
+    }
+
+    /// Number of distinct representable levels, `2^(m+n)`.
+    #[must_use]
+    pub fn levels(&self) -> u64 {
+        1u64 << self.total_bits()
+    }
+
+    /// Converts a raw code to its real value.
+    #[must_use]
+    pub fn raw_to_f64(&self, raw: u32) -> f64 {
+        f64::from(raw) * self.resolution()
+    }
+
+    /// Clamps `x` to the representable range `[0, max_value]`.
+    #[must_use]
+    pub fn clamp(&self, x: f64) -> f64 {
+        x.clamp(0.0, self.max_value())
+    }
+}
+
+impl fmt::Display for QFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_formats_have_expected_widths() {
+        assert_eq!(QFormat::Q0_2.total_bits(), 2);
+        assert_eq!(QFormat::Q0_4.total_bits(), 4);
+        assert_eq!(QFormat::Q1_7.total_bits(), 8);
+        assert_eq!(QFormat::Q1_15.total_bits(), 16);
+    }
+
+    #[test]
+    fn resolution_is_one_lsb() {
+        assert_eq!(QFormat::Q0_2.resolution(), 0.25);
+        assert_eq!(QFormat::Q0_4.resolution(), 1.0 / 16.0);
+        assert_eq!(QFormat::Q1_7.resolution(), 1.0 / 128.0);
+        assert_eq!(QFormat::Q1_15.resolution(), 1.0 / 32768.0);
+    }
+
+    #[test]
+    fn paper_delta_g_uses_total_width() {
+        assert_eq!(QFormat::Q0_2.paper_delta_g(), 0.25);
+        assert_eq!(QFormat::Q0_4.paper_delta_g(), 1.0 / 16.0);
+        // One integer bit: the step is half an LSB.
+        assert_eq!(QFormat::Q1_7.paper_delta_g(), 1.0 / 256.0);
+    }
+
+    #[test]
+    fn max_value_covers_unit_conductance_range() {
+        // G_max = 1.0 must be representable for the 8/16-bit formats.
+        assert!(QFormat::Q1_7.max_value() >= 1.0);
+        assert!(QFormat::Q1_15.max_value() >= 1.0);
+        // and not for the fraction-only formats.
+        assert!(QFormat::Q0_2.max_value() < 1.0);
+        assert!(QFormat::Q0_4.max_value() < 1.0);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(QFormat::Q1_7.to_string(), "Q1.7");
+        assert_eq!(QFormat::Q0_2.to_string(), "Q0.2");
+    }
+
+    #[test]
+    fn levels_and_max_raw_agree() {
+        for q in [QFormat::Q0_2, QFormat::Q0_4, QFormat::Q1_7, QFormat::Q1_15] {
+            assert_eq!(u64::from(q.max_raw()) + 1, q.levels());
+            assert!((q.raw_to_f64(q.max_raw()) - q.max_value()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bit")]
+    fn zero_width_rejected() {
+        let _ = QFormat::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than 31")]
+    fn overwide_rejected() {
+        let _ = QFormat::new(16, 16);
+    }
+}

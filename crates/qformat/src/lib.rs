@@ -1,0 +1,41 @@
+//! Unsigned Q-format fixed-point arithmetic for low-precision synaptic learning.
+//!
+//! This crate is the numeric substrate of the ParallelSpikeSim reproduction.
+//! Synapse conductances in the paper are stored and updated in unsigned
+//! fixed-point formats `Q0.2`, `Q0.4`, `Q1.7` and `Q1.15` (2, 4, 8 and
+//! 16 total bits), and every conductance update is re-quantized with one of
+//! three rounding options:
+//!
+//! * **bit truncation** — round toward zero (drop the sub-LSB bits),
+//! * **round to nearest** — ties away from zero,
+//! * **stochastic rounding** — round up with probability proportional to the
+//!   distance past the truncated grid point (Eq. 8 of the paper):
+//!   `P(round up) = (x − trunc(x)) · 2^n` for `n` fractional bits.
+//!
+//! The crate is deliberately RNG-agnostic: stochastic rounding takes the
+//! uniform draw as an argument so that callers can use counter-based,
+//! reproducible random streams (see the `gpu-device` crate).
+//!
+//! # Example
+//!
+//! ```
+//! use qformat::{QFormat, Rounding, Quantizer};
+//!
+//! let q = Quantizer::new(QFormat::Q1_7, Rounding::Nearest);
+//! let v = q.quantize(0.5039, 0.0); // uniform draw unused for Nearest
+//! assert_eq!(v.to_f64(), 0.5);     // snapped to the 1/128 grid
+//! ```
+
+#![deny(missing_docs)]
+
+mod format;
+mod quantizer;
+mod rounding;
+mod signed;
+mod value;
+
+pub use format::QFormat;
+pub use quantizer::Quantizer;
+pub use rounding::Rounding;
+pub use signed::SignedQFormat;
+pub use value::QValue;

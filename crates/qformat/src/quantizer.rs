@@ -1,0 +1,129 @@
+//! Quantization of real-valued conductances onto a Q-format grid.
+
+use crate::{QFormat, QValue, Rounding};
+use serde::{Deserialize, Serialize};
+
+/// A (format, rounding mode) pair that maps real values onto the fixed-point
+/// grid.
+///
+/// This is the object the learning module threads through every conductance
+/// update: the new conductance `G ± ΔG` is computed in `f64` and immediately
+/// re-quantized, so the stored state never leaves the grid (Section III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Quantizer {
+    format: QFormat,
+    rounding: Rounding,
+}
+
+impl Quantizer {
+    /// Creates a quantizer for `format` using `rounding`.
+    #[must_use]
+    pub fn new(format: QFormat, rounding: Rounding) -> Self {
+        Quantizer { format, rounding }
+    }
+
+    /// The target format.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// The rounding mode.
+    #[must_use]
+    pub fn rounding(&self) -> Rounding {
+        self.rounding
+    }
+
+    /// Quantizes `x` to the grid, saturating to the representable range.
+    ///
+    /// `uniform` must be a draw from `[0, 1)`; it is consumed only by
+    /// stochastic rounding.
+    #[must_use]
+    pub fn quantize(&self, x: f64, uniform: f64) -> QValue {
+        QValue::from_raw(self.quantize_raw(x, uniform), self.format)
+    }
+
+    /// Like [`Quantizer::quantize`] but returns the raw grid code. This is
+    /// the hot-path entry point used by the synapse kernels.
+    #[must_use]
+    pub fn quantize_raw(&self, x: f64, uniform: f64) -> u32 {
+        let clamped = self.format.clamp(x);
+        let scaled = clamped / self.format.resolution();
+        let code = self.rounding.round_scaled(scaled, uniform);
+        // Rounding up from the clamped maximum can overshoot by one code.
+        (code as u32).min(self.format.max_raw())
+    }
+
+    /// Quantizes `x` and returns the value as `f64` (grid point).
+    #[must_use]
+    pub fn quantize_f64(&self, x: f64, uniform: f64) -> f64 {
+        self.format.raw_to_f64(self.quantize_raw(x, uniform))
+    }
+
+    /// Worst-case absolute quantization error of this mode: one LSB for
+    /// truncation and stochastic rounding, half an LSB for round-to-nearest.
+    #[must_use]
+    pub fn max_error(&self) -> f64 {
+        match self.rounding {
+            Rounding::Truncate | Rounding::Stochastic => self.format.resolution(),
+            Rounding::Nearest => self.format.resolution() / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_saturate_to_range() {
+        let q = Quantizer::new(QFormat::Q0_2, Rounding::Nearest);
+        assert_eq!(q.quantize_f64(5.0, 0.0), 0.75);
+        assert_eq!(q.quantize_f64(-1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn truncation_never_rounds_up() {
+        let q = Quantizer::new(QFormat::Q1_7, Rounding::Truncate);
+        // Half an LSB above a grid point: stays put.
+        let x = 0.5 + 1.0 / 256.0;
+        assert_eq!(q.quantize_f64(x, 0.0), 0.5);
+    }
+
+    #[test]
+    fn nearest_rounds_half_lsb_up() {
+        let q = Quantizer::new(QFormat::Q1_7, Rounding::Nearest);
+        let x = 0.5 + 1.0 / 256.0;
+        assert_eq!(q.quantize_f64(x, 0.0), 0.5 + 1.0 / 128.0);
+    }
+
+    #[test]
+    fn stochastic_expectation_matches_value() {
+        // Eq. 8: over many draws the mean of the quantized value must
+        // approach the unquantized input.
+        let q = Quantizer::new(QFormat::Q0_4, Rounding::Stochastic);
+        let x = 0.40; // between 6/16 = 0.375 and 7/16 = 0.4375
+        let n = 10_000;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let u = (f64::from(i) + 0.5) / f64::from(n); // deterministic uniform sweep
+            sum += q.quantize_f64(x, u);
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - x).abs() < 1e-3, "mean {mean} differs from {x}");
+    }
+
+    #[test]
+    fn rounding_up_from_max_does_not_overflow() {
+        let q = Quantizer::new(QFormat::Q0_2, Rounding::Stochastic);
+        let v = q.quantize(0.75 + 0.1, 0.0);
+        assert_eq!(v.raw(), QFormat::Q0_2.max_raw());
+    }
+
+    #[test]
+    fn max_error_by_mode() {
+        let f = QFormat::Q0_4;
+        assert_eq!(Quantizer::new(f, Rounding::Nearest).max_error(), f.resolution() / 2.0);
+        assert_eq!(Quantizer::new(f, Rounding::Truncate).max_error(), f.resolution());
+    }
+}

@@ -1,0 +1,88 @@
+//! Rounding modes for re-quantization of conductance updates.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three rounding options studied in Section III-C of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rounding {
+    /// Bit truncation: keep the bits that fit, i.e. round toward zero.
+    Truncate,
+    /// Round to the nearest grid point (ties round up).
+    Nearest,
+    /// Stochastic rounding per Eq. 8: round up with probability
+    /// `(x − trunc(x)) · 2^n`, otherwise down.
+    Stochastic,
+}
+
+impl Rounding {
+    /// All modes, in the column order of Table II.
+    pub const ALL: [Rounding; 3] = [Rounding::Truncate, Rounding::Nearest, Rounding::Stochastic];
+
+    /// Rounds `scaled` (a value already expressed in LSB units, i.e.
+    /// `x · 2^n`) to an integer grid code.
+    ///
+    /// `uniform` must be a draw from `[0, 1)`; it is only consumed by
+    /// [`Rounding::Stochastic`].
+    #[must_use]
+    pub fn round_scaled(&self, scaled: f64, uniform: f64) -> f64 {
+        debug_assert!(scaled >= 0.0, "Q-format values are unsigned");
+        match self {
+            Rounding::Truncate => scaled.floor(),
+            Rounding::Nearest => (scaled + 0.5).floor(),
+            Rounding::Stochastic => {
+                let down = scaled.floor();
+                let frac = scaled - down;
+                if uniform < frac {
+                    down + 1.0
+                } else {
+                    down
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Rounding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Rounding::Truncate => "truncation",
+            Rounding::Nearest => "rounding to nearest",
+            Rounding::Stochastic => "stochastic",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate_floors() {
+        assert_eq!(Rounding::Truncate.round_scaled(3.99, 0.0), 3.0);
+        assert_eq!(Rounding::Truncate.round_scaled(3.0, 0.0), 3.0);
+    }
+
+    #[test]
+    fn nearest_rounds_half_up() {
+        assert_eq!(Rounding::Nearest.round_scaled(3.5, 0.0), 4.0);
+        assert_eq!(Rounding::Nearest.round_scaled(3.49, 0.0), 3.0);
+        assert_eq!(Rounding::Nearest.round_scaled(3.51, 0.0), 4.0);
+    }
+
+    #[test]
+    fn stochastic_uses_uniform_threshold() {
+        // frac = 0.25: rounds up iff uniform < 0.25.
+        assert_eq!(Rounding::Stochastic.round_scaled(3.25, 0.10), 4.0);
+        assert_eq!(Rounding::Stochastic.round_scaled(3.25, 0.25), 3.0);
+        assert_eq!(Rounding::Stochastic.round_scaled(3.25, 0.99), 3.0);
+    }
+
+    #[test]
+    fn stochastic_on_grid_never_moves() {
+        for u in [0.0, 0.5, 0.999_999] {
+            assert_eq!(Rounding::Stochastic.round_scaled(5.0, u), 5.0);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Signed two's-complement Q-format, for substrates beyond unsigned
+//! conductances (e.g. signed weight deltas or inhibitory weights).
+//!
+//! The paper's synapses are unsigned (`G ∈ [G_min, G_max]`), so the
+//! simulator itself only uses [`crate::QFormat`]; the signed variant
+//! rounds out the fixed-point substrate for downstream users and shares
+//! the same three rounding modes.
+
+use crate::Rounding;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A signed `Q(m.n)` fixed-point format: one sign bit, `m` integer bits and
+/// `n` fractional bits (`1 + m + n` total), two's complement.
+///
+/// Range is `[−2^m, 2^m − 2^−n]` with resolution `2^−n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SignedQFormat {
+    int_bits: u8,
+    frac_bits: u8,
+}
+
+impl SignedQFormat {
+    /// Creates a signed format with `int_bits` integer and `frac_bits`
+    /// fractional bits (plus the implicit sign bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total width (including sign) exceeds 31 bits or the
+    /// format has no magnitude bits.
+    #[must_use]
+    pub fn new(int_bits: u8, frac_bits: u8) -> Self {
+        let total = 1 + u32::from(int_bits) + u32::from(frac_bits);
+        assert!(total >= 2, "signed Q-format needs at least one magnitude bit");
+        assert!(total <= 31, "signed Q-format wider than 31 bits is not supported");
+        SignedQFormat { int_bits, frac_bits }
+    }
+
+    /// Number of integer bits (excluding sign).
+    #[must_use]
+    pub fn int_bits(&self) -> u8 {
+        self.int_bits
+    }
+
+    /// Number of fractional bits.
+    #[must_use]
+    pub fn frac_bits(&self) -> u8 {
+        self.frac_bits
+    }
+
+    /// Total bit width including the sign bit.
+    #[must_use]
+    pub fn total_bits(&self) -> u8 {
+        1 + self.int_bits + self.frac_bits
+    }
+
+    /// One least significant bit, `2^−n`.
+    #[must_use]
+    pub fn resolution(&self) -> f64 {
+        f64::from(self.frac_bits).exp2().recip()
+    }
+
+    /// Most negative representable value, `−2^m`.
+    #[must_use]
+    pub fn min_value(&self) -> f64 {
+        -f64::from(self.int_bits).exp2()
+    }
+
+    /// Most positive representable value, `2^m − 2^−n`.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        f64::from(self.int_bits).exp2() - self.resolution()
+    }
+
+    /// Converts a signed raw code to its real value.
+    #[must_use]
+    pub fn raw_to_f64(&self, raw: i32) -> f64 {
+        f64::from(raw) * self.resolution()
+    }
+
+    /// The raw code bounds `(min, max)`.
+    #[must_use]
+    pub fn raw_bounds(&self) -> (i32, i32) {
+        let mag = 1i32 << (self.int_bits + self.frac_bits);
+        (-mag, mag - 1)
+    }
+
+    /// Quantizes `x` under `rounding`, saturating to the representable
+    /// range. `uniform` in `[0, 1)` feeds stochastic rounding.
+    ///
+    /// Negative values round symmetrically: truncation is toward zero,
+    /// stochastic rounding is unbiased in expectation on both sides.
+    #[must_use]
+    pub fn quantize_raw(&self, x: f64, rounding: Rounding, uniform: f64) -> i32 {
+        let clamped = x.clamp(self.min_value(), self.max_value());
+        let scaled = clamped / self.resolution();
+        let code = if scaled >= 0.0 {
+            rounding.round_scaled(scaled, uniform)
+        } else {
+            -rounding.round_scaled(-scaled, uniform)
+        };
+        let (lo, hi) = self.raw_bounds();
+        (code as i32).clamp(lo, hi)
+    }
+
+    /// Quantizes `x` and returns the grid value as `f64`.
+    #[must_use]
+    pub fn quantize_f64(&self, x: f64, rounding: Rounding, uniform: f64) -> f64 {
+        self.raw_to_f64(self.quantize_raw(x, rounding, uniform))
+    }
+}
+
+impl fmt::Display for SignedQFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sQ{}.{}", self.int_bits, self.frac_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq1_6() -> SignedQFormat {
+        SignedQFormat::new(1, 6)
+    }
+
+    #[test]
+    fn range_and_resolution() {
+        let q = sq1_6();
+        assert_eq!(q.total_bits(), 8);
+        assert_eq!(q.min_value(), -2.0);
+        assert_eq!(q.max_value(), 2.0 - 1.0 / 64.0);
+        assert_eq!(q.resolution(), 1.0 / 64.0);
+        assert_eq!(q.raw_bounds(), (-128, 127));
+    }
+
+    #[test]
+    fn truncation_rounds_toward_zero_on_both_sides() {
+        let q = sq1_6();
+        assert_eq!(q.quantize_f64(0.99 / 64.0, Rounding::Truncate, 0.0), 0.0);
+        assert_eq!(q.quantize_f64(-0.99 / 64.0, Rounding::Truncate, 0.0), 0.0);
+        assert_eq!(q.quantize_f64(-1.5 / 64.0, Rounding::Truncate, 0.0), -1.0 / 64.0);
+    }
+
+    #[test]
+    fn saturation_at_both_rails() {
+        let q = sq1_6();
+        assert_eq!(q.quantize_f64(100.0, Rounding::Nearest, 0.0), q.max_value());
+        assert_eq!(q.quantize_f64(-100.0, Rounding::Nearest, 0.0), q.min_value());
+    }
+
+    #[test]
+    fn stochastic_rounding_unbiased_negative_side() {
+        let q = sq1_6();
+        let x = -0.4 / 64.0; // -0.4 of one LSB
+        let n = 10_000;
+        let mean: f64 = (0..n)
+            .map(|k| {
+                let u = (f64::from(k) + 0.5) / f64::from(n);
+                q.quantize_f64(x, Rounding::Stochastic, u)
+            })
+            .sum::<f64>()
+            / f64::from(n);
+        assert!((mean - x).abs() < 1e-4, "mean {mean} vs {x}");
+    }
+
+    #[test]
+    fn grid_points_are_fixed_points() {
+        let q = sq1_6();
+        for raw in [-128i32, -77, -1, 0, 1, 99, 127] {
+            let v = q.raw_to_f64(raw);
+            for mode in Rounding::ALL {
+                assert_eq!(q.quantize_raw(v, mode, 0.7), raw, "{mode} at {raw}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_notation() {
+        assert_eq!(sq1_6().to_string(), "sQ1.6");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one magnitude bit")]
+    fn degenerate_format_rejected() {
+        let _ = SignedQFormat::new(0, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! A fixed-point value paired with its format.
+
+use crate::QFormat;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single unsigned fixed-point value: a raw code interpreted under a
+/// [`QFormat`].
+///
+/// `QValue` is a convenience wrapper used at API boundaries and in tests; the
+/// hot simulation path stores raw codes in flat arrays and quantizes through
+/// [`crate::Quantizer`] directly.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QValue {
+    raw: u32,
+    format: QFormat,
+}
+
+impl QValue {
+    /// Wraps a raw code in `format`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` exceeds the format's largest code.
+    #[must_use]
+    pub fn from_raw(raw: u32, format: QFormat) -> Self {
+        assert!(
+            raw <= format.max_raw(),
+            "raw code {raw} out of range for {format}"
+        );
+        QValue { raw, format }
+    }
+
+    /// The zero value of `format`.
+    #[must_use]
+    pub fn zero(format: QFormat) -> Self {
+        QValue { raw: 0, format }
+    }
+
+    /// The largest representable value of `format`.
+    #[must_use]
+    pub fn max(format: QFormat) -> Self {
+        QValue { raw: format.max_raw(), format }
+    }
+
+    /// The raw integer code.
+    #[must_use]
+    pub fn raw(&self) -> u32 {
+        self.raw
+    }
+
+    /// The format this value is interpreted under.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// The real value, `raw · 2^−n`.
+    #[must_use]
+    pub fn to_f64(&self) -> f64 {
+        self.format.raw_to_f64(self.raw)
+    }
+
+    /// Adds one LSB, saturating at the top of the range.
+    #[must_use]
+    pub fn saturating_incr(&self) -> Self {
+        QValue {
+            raw: (self.raw + 1).min(self.format.max_raw()),
+            format: self.format,
+        }
+    }
+
+    /// Subtracts one LSB, saturating at zero.
+    #[must_use]
+    pub fn saturating_decr(&self) -> Self {
+        QValue { raw: self.raw.saturating_sub(1), format: self.format }
+    }
+}
+
+impl PartialEq for QValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.format == other.format && self.raw == other.raw
+    }
+}
+
+impl Eq for QValue {}
+
+impl PartialOrd for QValue {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.format == other.format {
+            Some(self.raw.cmp(&other.raw))
+        } else {
+            self.to_f64().partial_cmp(&other.to_f64())
+        }
+    }
+}
+
+impl fmt::Display for QValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.to_f64(), self.format)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_raw_value() {
+        let v = QValue::from_raw(64, QFormat::Q1_7);
+        assert_eq!(v.to_f64(), 0.5);
+        assert_eq!(v.raw(), 64);
+    }
+
+    #[test]
+    fn saturating_arithmetic_stays_in_range() {
+        let top = QValue::max(QFormat::Q0_2);
+        assert_eq!(top.saturating_incr(), top);
+        let bottom = QValue::zero(QFormat::Q0_2);
+        assert_eq!(bottom.saturating_decr(), bottom);
+        assert_eq!(bottom.saturating_incr().to_f64(), 0.25);
+    }
+
+    #[test]
+    fn cross_format_comparison_uses_real_value() {
+        let half8 = QValue::from_raw(64, QFormat::Q1_7);
+        let half16 = QValue::from_raw(16384, QFormat::Q1_15);
+        assert_eq!(half8.partial_cmp(&half16), Some(Ordering::Equal));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_raw_rejected() {
+        let _ = QValue::from_raw(4, QFormat::Q0_2);
+    }
+}

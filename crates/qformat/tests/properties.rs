@@ -1,0 +1,82 @@
+//! Property-based tests for the fixed-point substrate.
+
+use proptest::prelude::*;
+use qformat::{QFormat, Quantizer, Rounding};
+
+fn arb_format() -> impl Strategy<Value = QFormat> {
+    (0u8..=2, 1u8..=16).prop_map(|(m, n)| QFormat::new(m, n))
+}
+
+fn arb_rounding() -> impl Strategy<Value = Rounding> {
+    prop_oneof![
+        Just(Rounding::Truncate),
+        Just(Rounding::Nearest),
+        Just(Rounding::Stochastic),
+    ]
+}
+
+proptest! {
+    /// Quantization always lands on a representable grid point.
+    #[test]
+    fn quantize_lands_on_grid(f in arb_format(), r in arb_rounding(),
+                              x in -1.0f64..4.0, u in 0.0f64..1.0) {
+        let q = Quantizer::new(f, r);
+        let y = q.quantize_f64(x, u);
+        let code = y / f.resolution();
+        prop_assert!((code - code.round()).abs() < 1e-9);
+        prop_assert!(y >= 0.0);
+        prop_assert!(y <= f.max_value() + 1e-12);
+    }
+
+    /// Quantizing a grid point is the identity under every mode.
+    #[test]
+    fn grid_points_are_fixed_points(f in arb_format(), r in arb_rounding(),
+                                    raw in 0u32..1024, u in 0.0f64..1.0) {
+        let raw = raw % (f.max_raw() + 1);
+        let x = f.raw_to_f64(raw);
+        let q = Quantizer::new(f, r);
+        prop_assert_eq!(q.quantize_raw(x, u), raw);
+    }
+
+    /// Quantization error is bounded by the mode's max_error.
+    #[test]
+    fn error_bounded(f in arb_format(), r in arb_rounding(),
+                     x in 0.0f64..1.0, u in 0.0f64..1.0) {
+        let q = Quantizer::new(f, r);
+        let x = f.clamp(x);
+        let y = q.quantize_f64(x, u);
+        prop_assert!((y - x).abs() <= q.max_error() + 1e-12,
+                     "|{} - {}| > {}", y, x, q.max_error());
+    }
+
+    /// Quantization is monotone: x <= x' implies Q(x) <= Q(x') for the two
+    /// deterministic modes.
+    #[test]
+    fn deterministic_modes_monotone(f in arb_format(),
+                                    r in prop_oneof![Just(Rounding::Truncate), Just(Rounding::Nearest)],
+                                    a in 0.0f64..2.0, b in 0.0f64..2.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let q = Quantizer::new(f, r);
+        prop_assert!(q.quantize_raw(lo, 0.0) <= q.quantize_raw(hi, 0.0));
+    }
+
+    /// Stochastic rounding with the same uniform draw is monotone in x too.
+    #[test]
+    fn stochastic_monotone_given_draw(f in arb_format(), u in 0.0f64..1.0,
+                                      a in 0.0f64..2.0, b in 0.0f64..2.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let q = Quantizer::new(f, Rounding::Stochastic);
+        prop_assert!(q.quantize_raw(lo, u) <= q.quantize_raw(hi, u));
+    }
+
+    /// Truncation <= stochastic <= truncation + 1 LSB, and nearest is within
+    /// one LSB of truncation.
+    #[test]
+    fn mode_ordering(f in arb_format(), x in 0.0f64..1.0, u in 0.0f64..1.0) {
+        let t = Quantizer::new(f, Rounding::Truncate).quantize_raw(x, u);
+        let s = Quantizer::new(f, Rounding::Stochastic).quantize_raw(x, u);
+        let n = Quantizer::new(f, Rounding::Nearest).quantize_raw(x, u);
+        prop_assert!(s == t || s == t + 1 || s == f.max_raw());
+        prop_assert!(n == t || n == t + 1 || n == f.max_raw());
+    }
+}

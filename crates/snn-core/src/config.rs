@@ -1,0 +1,755 @@
+//! All simulation and learning parameters, including the paper's Table I
+//! presets encoded verbatim.
+
+use crate::neuron::{AdexParams, IzhikevichParams};
+use crate::SnnError;
+use qformat::{QFormat, Rounding};
+use serde::{Deserialize, Serialize};
+
+/// Leaky integrate-and-fire parameters (Eqs. 1–2).
+///
+/// The membrane evolves as `dv/dt = a + b·v + c·I` and resets to `v_reset`
+/// when `v > v_threshold`. Defaults are the paper's Section III-D values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifParams {
+    /// Constant drive term `a` (mV/ms).
+    pub a: f64,
+    /// Leak coefficient `b` (1/ms); negative for a stable resting state.
+    pub b: f64,
+    /// Current gain `c` (mV/ms per unit current).
+    pub c: f64,
+    /// Spike threshold `v_threshold` (mV).
+    pub v_threshold: f64,
+    /// Post-spike reset value `v_reset` (mV).
+    pub v_reset: f64,
+    /// Initial membrane potential (mV).
+    pub v_init: f64,
+    /// Absolute refractory period after a spike (ms).
+    pub t_refractory_ms: f64,
+}
+
+impl Default for LifParams {
+    fn default() -> Self {
+        // Section III-D: "V_th is -60.2, V_reset is -74.7, a is -6.77,
+        // b is -0.0989 and c is 0.314"; initial potential -70.0.
+        LifParams {
+            a: -6.77,
+            b: -0.0989,
+            c: 0.314,
+            v_threshold: -60.2,
+            v_reset: -74.7,
+            v_init: -70.0,
+            t_refractory_ms: 2.0,
+        }
+    }
+}
+
+impl LifParams {
+    /// The resting potential `−a/b`, where the leak balances the drive.
+    #[must_use]
+    pub fn v_rest(&self) -> f64 {
+        -self.a / self.b
+    }
+
+    /// The rheobase: the smallest constant current that can ever reach
+    /// threshold (where `dv/dt = 0` exactly at threshold).
+    #[must_use]
+    pub fn rheobase(&self) -> f64 {
+        -(self.a + self.b * self.v_threshold) / self.c
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), SnnError> {
+        if self.b >= 0.0 {
+            return Err(SnnError::InvalidConfig {
+                field: "lif.b",
+                reason: format!("leak coefficient must be negative, got {}", self.b),
+            });
+        }
+        if self.v_reset >= self.v_threshold {
+            return Err(SnnError::InvalidConfig {
+                field: "lif.v_reset",
+                reason: "reset must lie below threshold".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Conductance-update magnitudes.
+///
+/// For 16-bit and floating-point learning the paper uses the
+/// conductance-dependent exponentials of Eqs. 4–5; for ≤ 8-bit learning the
+/// step is the fixed value `ΔG = 1/2^w` (Section III-C).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StdpMagnitudes {
+    /// Eqs. 4–5: `ΔG_p = α_p·e^{−β_p (G−G_min)/(G_max−G_min)}`,
+    /// `ΔG_d = α_d·e^{−β_d (G_max−G)/(G_max−G_min)}`.
+    Querlioz {
+        /// Potentiation amplitude `α_p`.
+        alpha_p: f64,
+        /// Potentiation decay `β_p`.
+        beta_p: f64,
+        /// Depression amplitude `α_d`.
+        alpha_d: f64,
+        /// Depression decay `β_d`.
+        beta_d: f64,
+    },
+    /// The fixed low-precision step `ΔG = 1/2^w` (`w` = total bit width).
+    FixedStep {
+        /// The step magnitude.
+        delta_g: f64,
+    },
+}
+
+impl StdpMagnitudes {
+    /// Potentiation magnitude at conductance `g` within `[g_min, g_max]`.
+    #[must_use]
+    pub fn potentiation(&self, g: f64, g_min: f64, g_max: f64) -> f64 {
+        match *self {
+            StdpMagnitudes::Querlioz { alpha_p, beta_p, .. } => {
+                alpha_p * (-beta_p * (g - g_min) / (g_max - g_min)).exp()
+            }
+            StdpMagnitudes::FixedStep { delta_g } => delta_g,
+        }
+    }
+
+    /// Depression magnitude at conductance `g` within `[g_min, g_max]`.
+    #[must_use]
+    pub fn depression(&self, g: f64, g_min: f64, g_max: f64) -> f64 {
+        match *self {
+            StdpMagnitudes::Querlioz { alpha_d, beta_d, .. } => {
+                alpha_d * (-beta_d * (g_max - g) / (g_max - g_min)).exp()
+            }
+            StdpMagnitudes::FixedStep { delta_g } => delta_g,
+        }
+    }
+}
+
+/// Stochastic-STDP acceptance probabilities (Eqs. 6–7).
+///
+/// Both probabilities are evaluated when the post-neuron spikes, as a
+/// function of `Δt ≥ 0`, the time since the synapse's pre-neuron last
+/// fired:
+///
+/// * `P_pot(Δt) = γ_pot·e^{−Δt/τ_pot}` — "higher when Δt is smaller,
+///   indicating a stronger causal relationship" (Eq. 6);
+/// * `P_dep(Δt) = γ_dep·(1 − e^{−Δt/τ_dep})` — "higher when Δt is larger":
+///   stale or never-active inputs depress, saturating at `γ_dep` (Eq. 7).
+///
+/// The two windows are complementary: an input that fired within `τ_pot`
+/// of the post spike tends to potentiate, one silent for longer than
+/// `τ_dep` tends to depress, and each decision is a probability draw rather
+/// than a certainty — the paper's stochastic analogue of the deterministic
+/// post-triggered baseline. The maxima `γ_pot`, `γ_dep` cap both curves
+/// (Fig. 1c).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StochasticParams {
+    /// Maximum potentiation probability `γ_pot`.
+    pub gamma_pot: f64,
+    /// Potentiation time constant `τ_pot` (ms).
+    pub tau_pot_ms: f64,
+    /// Maximum depression probability `γ_dep`.
+    pub gamma_dep: f64,
+    /// Depression time constant `τ_dep` (ms).
+    pub tau_dep_ms: f64,
+}
+
+impl StochasticParams {
+    /// `P_pot(Δt)` for `Δt ≥ 0` (ms); zero for a never-active input.
+    #[must_use]
+    pub fn p_pot(&self, dt_ms: f64) -> f64 {
+        debug_assert!(dt_ms >= 0.0);
+        if dt_ms.is_finite() {
+            self.gamma_pot * (-dt_ms / self.tau_pot_ms).exp()
+        } else {
+            0.0
+        }
+    }
+
+    /// `P_dep(Δt)` for `Δt ≥ 0` (ms); saturates at `γ_dep` for a
+    /// never-active input.
+    #[must_use]
+    pub fn p_dep(&self, dt_ms: f64) -> f64 {
+        debug_assert!(dt_ms >= 0.0);
+        if dt_ms.is_finite() {
+            self.gamma_dep * (1.0 - (-dt_ms / self.tau_dep_ms).exp())
+        } else {
+            self.gamma_dep
+        }
+    }
+}
+
+/// Which point-neuron model the excitatory layer runs.
+///
+/// The paper's experiments all use LIF (Eqs. 1–2); Izhikevich and AdEx are
+/// the "different neuron models" the simulator advertises. For the
+/// two-variable models the adaptive threshold θ is applied as an
+/// inhibitory current offset (their spike condition is model-internal
+/// rather than a comparable voltage threshold).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NeuronModelKind {
+    /// Leaky integrate-and-fire with the [`LifParams`] of this config.
+    Lif,
+    /// Izhikevich (2003) two-variable model.
+    Izhikevich(IzhikevichParams),
+    /// Adaptive exponential integrate-and-fire.
+    Adex(AdexParams),
+}
+
+/// How the winner-take-all lateral inhibition of Fig. 3 is realized.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InhibitionMode {
+    /// The inhibitory layer is folded into the engine: a spiking
+    /// excitatory neuron suppresses all others for `t_inh` within the same
+    /// step (the default; what the paper's description reduces to when the
+    /// inhibitory neurons are fast).
+    Implicit,
+    /// The inhibitory layer is simulated explicitly: each excitatory spike
+    /// drives its private inhibitory LIF partner with `w_exc_to_inh`
+    /// current, and only when that partner itself fires does the
+    /// suppression of the other excitatory neurons begin — adding the
+    /// second layer's integration latency to the WTA loop.
+    Explicit {
+        /// Drive injected into the partner per excitatory spike.
+        w_exc_to_inh: f64,
+    },
+}
+
+/// Numeric precision of the synapse conductances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit floating point: conductances stay continuous.
+    Float32,
+    /// Fixed point under a [`QFormat`], re-quantized on every update.
+    Fixed(QFormat),
+}
+
+impl Precision {
+    /// Total bit width of the representation.
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        match self {
+            Precision::Float32 => 32,
+            Precision::Fixed(q) => q.total_bits(),
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Precision::Float32 => f.write_str("fp32"),
+            Precision::Fixed(q) => write!(f, "{q}"),
+        }
+    }
+}
+
+/// Which plasticity rule drives learning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleKind {
+    /// The deterministic baseline (Querlioz-style post-triggered updates).
+    Deterministic,
+    /// The paper's stochastic rule (Eqs. 6–7).
+    Stochastic,
+}
+
+impl std::fmt::Display for RuleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuleKind::Deterministic => f.write_str("deterministic"),
+            RuleKind::Stochastic => f.write_str("stochastic"),
+        }
+    }
+}
+
+/// The input-frequency range of the rate encoder (Fig. 1d).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrequencyRange {
+    /// Frequency of a zero-intensity pixel (Hz).
+    pub f_min_hz: f64,
+    /// Frequency of a full-intensity pixel (Hz).
+    pub f_max_hz: f64,
+}
+
+impl FrequencyRange {
+    /// Creates a range; `f_min` may equal `f_max`.
+    #[must_use]
+    pub fn new(f_min_hz: f64, f_max_hz: f64) -> Self {
+        FrequencyRange { f_min_hz, f_max_hz }
+    }
+
+    /// Frequency for an 8-bit pixel intensity, linear in intensity.
+    #[must_use]
+    pub fn frequency_for(&self, intensity: u8) -> f64 {
+        let t = f64::from(intensity) / 255.0;
+        self.f_min_hz + (self.f_max_hz - self.f_min_hz) * t
+    }
+}
+
+/// The Table I learning presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Preset {
+    /// 2-bit fixed point (Q0.2).
+    Bit2,
+    /// 4-bit fixed point (Q0.4).
+    Bit4,
+    /// 8-bit fixed point (Q1.7).
+    Bit8,
+    /// 16-bit fixed point (Q1.15).
+    Bit16,
+    /// High-frequency learning (5–78 Hz, short-term stochastic window).
+    HighFrequency,
+    /// 32-bit floating point at the baseline 1–22 Hz range.
+    FullPrecision,
+}
+
+impl Preset {
+    /// All presets in Table I order, then full precision.
+    pub const ALL: [Preset; 6] = [
+        Preset::Bit2,
+        Preset::Bit4,
+        Preset::Bit8,
+        Preset::Bit16,
+        Preset::HighFrequency,
+        Preset::FullPrecision,
+    ];
+}
+
+/// Complete configuration of the learning network (Fig. 3 architecture).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Number of input spike trains (one per pixel; 784 for 28×28 images).
+    pub n_inputs: usize,
+    /// Number of excitatory neurons in the first layer (1000 in the paper).
+    pub n_excitatory: usize,
+    /// Neuron model parameters (used by [`NeuronModelKind::Lif`]).
+    pub lif: LifParams,
+    /// Which neuron model the excitatory layer runs.
+    pub neuron: NeuronModelKind,
+    /// Simulation step (ms).
+    pub dt_ms: f64,
+    /// Which plasticity rule to use.
+    pub rule: RuleKind,
+    /// Update magnitudes (Eqs. 4–5 or fixed step).
+    pub magnitudes: StdpMagnitudes,
+    /// Stochastic acceptance parameters (Eqs. 6–7); also used by the
+    /// deterministic rule for its pairing window.
+    pub stochastic: StochasticParams,
+    /// Calibration scale applied to `γ_dep` when the stochastic rule is
+    /// instantiated.
+    ///
+    /// With Poisson-encoded inputs the expected age of a pre spike at a
+    /// post-spike event makes the depression window open far more often
+    /// than the potentiation window (`E[P_dep] ≈ 2.6·E[P_pot]` even for a
+    /// 22 Hz pattern pixel), so Table I's equal `γ` values would collapse
+    /// every conductance to `G_min`. Scaling `γ_dep` restores the drift
+    /// balance the paper's results require — pattern inputs net-potentiate,
+    /// background inputs net-depress (see DESIGN.md §calibration).
+    pub gamma_dep_scale: f64,
+    /// Conductance bounds `G_min`, `G_max`.
+    pub g_min: f64,
+    /// Upper conductance bound.
+    pub g_max: f64,
+    /// Storage precision of conductances.
+    pub precision: Precision,
+    /// Rounding mode applied on every fixed-point update.
+    pub rounding: Rounding,
+    /// LTP pairing window for the deterministic rule (ms): on a post spike,
+    /// synapses whose pre fired within this window potentiate, all others
+    /// depress (Querlioz crossbar rule).
+    pub ltp_window_ms: f64,
+    /// Winner-take-all inhibition duration `t_inh` (ms).
+    pub t_inh_ms: f64,
+    /// How the inhibitory layer is realized.
+    pub inhibition: InhibitionMode,
+    /// Amplitude of the voltage spike a pre-neuron transmits (Eq. 3's
+    /// `v_pre`); scales all synaptic currents.
+    pub v_spike: f64,
+    /// Synaptic current decay time constant (ms).
+    pub tau_syn_ms: f64,
+    /// Input frequency range of the rate encoder.
+    pub frequency: FrequencyRange,
+    /// Adaptive-threshold homeostasis: per-spike threshold increment (mV).
+    /// Zero disables homeostasis.
+    pub theta_plus: f64,
+    /// Homeostasis decay time constant (ms).
+    pub tau_theta_ms: f64,
+    /// Bounds of the uniform conductance initialization, as fractions of
+    /// `[g_min, g_max]`.
+    pub init_range: (f64, f64),
+    /// Optional per-neuron incoming-weight normalization: after each
+    /// training presentation every receptive field is rescaled so its
+    /// conductances sum to this target (Diehl-style). `None` (the paper's
+    /// configuration) disables it; provided as an ablatable extension.
+    pub weight_norm_target: Option<f64>,
+}
+
+impl NetworkConfig {
+    /// Builds the configuration for a Table I `preset` with the given
+    /// network size.
+    ///
+    /// `Preset::Bit16`, `Preset::HighFrequency` and `Preset::FullPrecision`
+    /// use the Querlioz magnitudes (`α_p = 0.01, β_p = 3, α_d = 0.005,
+    /// β_d = 3`); the ≤ 8-bit presets use the fixed `1/2^w` step, exactly as
+    /// in Table I (where their α/β columns are "-").
+    #[must_use]
+    pub fn from_preset(preset: Preset, n_inputs: usize, n_excitatory: usize) -> Self {
+        let querlioz = StdpMagnitudes::Querlioz {
+            alpha_p: 0.01,
+            beta_p: 3.0,
+            alpha_d: 0.005,
+            beta_d: 3.0,
+        };
+        let low_freq = FrequencyRange::new(1.0, 22.0);
+        let (precision, magnitudes, stochastic, frequency) = match preset {
+            Preset::Bit2 => (
+                Precision::Fixed(QFormat::Q0_2),
+                StdpMagnitudes::FixedStep { delta_g: QFormat::Q0_2.paper_delta_g() },
+                StochasticParams {
+                    gamma_pot: 0.2,
+                    tau_pot_ms: 20.0,
+                    gamma_dep: 0.2,
+                    tau_dep_ms: 10.0,
+                },
+                low_freq,
+            ),
+            Preset::Bit4 => (
+                Precision::Fixed(QFormat::Q0_4),
+                StdpMagnitudes::FixedStep { delta_g: QFormat::Q0_4.paper_delta_g() },
+                StochasticParams {
+                    gamma_pot: 0.3,
+                    tau_pot_ms: 30.0,
+                    gamma_dep: 0.3,
+                    tau_dep_ms: 10.0,
+                },
+                low_freq,
+            ),
+            Preset::Bit8 => (
+                Precision::Fixed(QFormat::Q1_7),
+                StdpMagnitudes::FixedStep { delta_g: QFormat::Q1_7.paper_delta_g() },
+                StochasticParams {
+                    gamma_pot: 0.5,
+                    tau_pot_ms: 30.0,
+                    gamma_dep: 0.5,
+                    tau_dep_ms: 10.0,
+                },
+                low_freq,
+            ),
+            Preset::Bit16 => (
+                Precision::Fixed(QFormat::Q1_15),
+                querlioz,
+                StochasticParams {
+                    gamma_pot: 0.9,
+                    tau_pot_ms: 30.0,
+                    gamma_dep: 0.9,
+                    tau_dep_ms: 10.0,
+                },
+                low_freq,
+            ),
+            Preset::HighFrequency => (
+                Precision::Float32,
+                querlioz,
+                StochasticParams {
+                    gamma_pot: 0.3,
+                    tau_pot_ms: 80.0,
+                    gamma_dep: 0.2,
+                    tau_dep_ms: 5.0,
+                },
+                FrequencyRange::new(5.0, 78.0),
+            ),
+            Preset::FullPrecision => (
+                Precision::Float32,
+                querlioz,
+                StochasticParams {
+                    gamma_pot: 0.9,
+                    tau_pot_ms: 30.0,
+                    gamma_dep: 0.9,
+                    tau_dep_ms: 10.0,
+                },
+                low_freq,
+            ),
+        };
+        // Depression calibration per precision regime: soft-bounded Querlioz
+        // magnitudes self-stabilize (scale 1.0); fixed-step walks need the
+        // depression event rate reduced in proportion to how coarse the
+        // step is (see the `gamma_dep_scale` field docs).
+        let gamma_dep_scale = match preset {
+            Preset::Bit2 => 0.15,
+            Preset::Bit4 => 0.3,
+            Preset::Bit8 => 0.5,
+            _ => 1.0,
+        };
+        // G_max/G_min are "-" in Table I for the ≤8-bit rows: the bounds are
+        // the format's own range.
+        let (g_min, g_max) = match precision {
+            Precision::Fixed(q) if q.total_bits() <= 8 => (0.0, q.max_value().min(1.0)),
+            _ => (0.0, 1.0),
+        };
+        NetworkConfig {
+            n_inputs,
+            n_excitatory,
+            lif: LifParams::default(),
+            neuron: NeuronModelKind::Lif,
+            dt_ms: 0.5,
+            rule: RuleKind::Stochastic,
+            magnitudes,
+            stochastic,
+            g_min,
+            g_max,
+            precision,
+            rounding: Rounding::Stochastic,
+            gamma_dep_scale,
+            ltp_window_ms: 20.0,
+            t_inh_ms: 10.0,
+            inhibition: InhibitionMode::Implicit,
+            v_spike: 1.0,
+            tau_syn_ms: 5.0,
+            frequency,
+            theta_plus: 0.05,
+            tau_theta_ms: 1.0e5,
+            init_range: (0.3, 0.8),
+            weight_norm_target: None,
+        }
+    }
+
+    /// Switches the plasticity rule.
+    #[must_use]
+    pub fn with_rule(mut self, rule: RuleKind) -> Self {
+        self.rule = rule;
+        self
+    }
+
+    /// Switches the rounding mode.
+    #[must_use]
+    pub fn with_rounding(mut self, rounding: Rounding) -> Self {
+        self.rounding = rounding;
+        self
+    }
+
+    /// Overrides the input frequency range.
+    #[must_use]
+    pub fn with_frequency(mut self, f_min_hz: f64, f_max_hz: f64) -> Self {
+        self.frequency = FrequencyRange::new(f_min_hz, f_max_hz);
+        self
+    }
+
+    /// Total number of plastic synapses (`n_inputs × n_excitatory`).
+    #[must_use]
+    pub fn n_synapses(&self) -> usize {
+        self.n_inputs * self.n_excitatory
+    }
+
+    /// Validates the full configuration.
+    pub fn validate(&self) -> Result<(), SnnError> {
+        self.lif.validate()?;
+        if self.n_inputs == 0 {
+            return Err(SnnError::InvalidConfig {
+                field: "n_inputs",
+                reason: "network needs at least one input train".into(),
+            });
+        }
+        if self.n_excitatory == 0 {
+            return Err(SnnError::InvalidConfig {
+                field: "n_excitatory",
+                reason: "network needs at least one excitatory neuron".into(),
+            });
+        }
+        if self.dt_ms <= 0.0 || self.dt_ms.is_nan() {
+            return Err(SnnError::InvalidConfig {
+                field: "dt_ms",
+                reason: format!("step must be positive, got {}", self.dt_ms),
+            });
+        }
+        if self.g_min >= self.g_max {
+            return Err(SnnError::InvalidConfig {
+                field: "g_min/g_max",
+                reason: format!("need g_min < g_max, got [{}, {}]", self.g_min, self.g_max),
+            });
+        }
+        if let Precision::Fixed(q) = self.precision {
+            if self.g_max > q.max_value() + 1e-12 {
+                return Err(SnnError::InvalidConfig {
+                    field: "g_max",
+                    reason: format!("{} cannot represent g_max = {}", q, self.g_max),
+                });
+            }
+        }
+        if !(0.0..=1.0).contains(&self.gamma_dep_scale) {
+            return Err(SnnError::InvalidConfig {
+                field: "gamma_dep_scale",
+                reason: format!("must lie in [0, 1], got {}", self.gamma_dep_scale),
+            });
+        }
+        for (name, p) in [
+            ("gamma_pot", self.stochastic.gamma_pot),
+            ("gamma_dep", self.stochastic.gamma_dep),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(SnnError::InvalidConfig {
+                    field: "stochastic",
+                    reason: format!("{name} must be a probability, got {p}"),
+                });
+            }
+        }
+        if let Some(target) = self.weight_norm_target {
+            if !(target > 0.0) {
+                return Err(SnnError::InvalidConfig {
+                    field: "weight_norm_target",
+                    reason: format!("normalization target must be positive, got {target}"),
+                });
+            }
+        }
+        let (lo, hi) = self.init_range;
+        if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+            return Err(SnnError::InvalidConfig {
+                field: "init_range",
+                reason: format!("must be an ordered pair of fractions, got ({lo}, {hi})"),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_lif_constants() {
+        let p = LifParams::default();
+        assert_eq!(p.v_threshold, -60.2);
+        assert_eq!(p.v_reset, -74.7);
+        assert_eq!(p.a, -6.77);
+        assert_eq!(p.b, -0.0989);
+        assert_eq!(p.c, 0.314);
+        assert_eq!(p.v_init, -70.0);
+    }
+
+    #[test]
+    fn rest_and_rheobase_are_consistent() {
+        let p = LifParams::default();
+        // Resting potential must lie between reset and threshold for the
+        // neuron to be excitable but quiescent at zero input.
+        let rest = p.v_rest();
+        assert!(rest > p.v_reset && rest < p.v_threshold, "rest = {rest}");
+        // Rheobase: at I slightly above, dv/dt > 0 at threshold.
+        let i = p.rheobase() + 1e-9;
+        let dvdt = p.a + p.b * p.v_threshold + p.c * i;
+        assert!(dvdt > 0.0);
+    }
+
+    #[test]
+    fn table1_presets_match_paper() {
+        let c2 = NetworkConfig::from_preset(Preset::Bit2, 784, 100);
+        assert_eq!(c2.stochastic.gamma_pot, 0.2);
+        assert_eq!(c2.stochastic.tau_pot_ms, 20.0);
+        assert_eq!(c2.stochastic.tau_dep_ms, 10.0);
+        assert_eq!(c2.frequency.f_max_hz, 22.0);
+        assert_eq!(c2.frequency.f_min_hz, 1.0);
+        assert_eq!(c2.precision, Precision::Fixed(QFormat::Q0_2));
+        assert!(matches!(c2.magnitudes, StdpMagnitudes::FixedStep { delta_g } if delta_g == 0.25));
+
+        let c16 = NetworkConfig::from_preset(Preset::Bit16, 784, 100);
+        assert_eq!(c16.stochastic.gamma_pot, 0.9);
+        assert!(matches!(
+            c16.magnitudes,
+            StdpMagnitudes::Querlioz { alpha_p, beta_p, alpha_d, beta_d }
+                if alpha_p == 0.01 && beta_p == 3.0 && alpha_d == 0.005 && beta_d == 3.0
+        ));
+        assert_eq!((c16.g_min, c16.g_max), (0.0, 1.0));
+
+        let hf = NetworkConfig::from_preset(Preset::HighFrequency, 784, 100);
+        assert_eq!(hf.frequency.f_max_hz, 78.0);
+        assert_eq!(hf.frequency.f_min_hz, 5.0);
+        assert_eq!(hf.stochastic.tau_pot_ms, 80.0);
+        assert_eq!(hf.stochastic.tau_dep_ms, 5.0);
+        assert_eq!(hf.stochastic.gamma_pot, 0.3);
+        assert_eq!(hf.stochastic.gamma_dep, 0.2);
+    }
+
+    #[test]
+    fn stochastic_windows_are_complementary() {
+        let s = StochasticParams {
+            gamma_pot: 0.9,
+            tau_pot_ms: 30.0,
+            gamma_dep: 0.9,
+            tau_dep_ms: 10.0,
+        };
+        // Potentiation peaks at coincidence and decays.
+        assert_eq!(s.p_pot(0.0), 0.9);
+        assert!(s.p_pot(10.0) < s.p_pot(1.0));
+        assert_eq!(s.p_pot(f64::INFINITY), 0.0);
+        // Depression is closed at coincidence and saturates with staleness.
+        assert_eq!(s.p_dep(0.0), 0.0);
+        assert!(s.p_dep(20.0) > s.p_dep(2.0));
+        assert_eq!(s.p_dep(f64::INFINITY), 0.9);
+    }
+
+    #[test]
+    fn querlioz_magnitudes_soft_bound() {
+        let m = StdpMagnitudes::Querlioz { alpha_p: 0.01, beta_p: 3.0, alpha_d: 0.005, beta_d: 3.0 };
+        // Potentiation shrinks as G approaches G_max.
+        assert!(m.potentiation(0.9, 0.0, 1.0) < m.potentiation(0.1, 0.0, 1.0));
+        // Depression shrinks as G approaches G_min.
+        assert!(m.depression(0.1, 0.0, 1.0) < m.depression(0.9, 0.0, 1.0));
+        // At the extremes, amplitudes are α and α·e^{−β}.
+        assert!((m.potentiation(0.0, 0.0, 1.0) - 0.01).abs() < 1e-12);
+        assert!((m.potentiation(1.0, 0.0, 1.0) - 0.01 * (-3.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frequency_map_is_linear() {
+        let f = FrequencyRange::new(1.0, 22.0);
+        assert_eq!(f.frequency_for(0), 1.0);
+        assert_eq!(f.frequency_for(255), 22.0);
+        let mid = f.frequency_for(128);
+        assert!(mid > 11.0 && mid < 12.0);
+    }
+
+    #[test]
+    fn validation_accepts_all_presets() {
+        for preset in Preset::ALL {
+            let cfg = NetworkConfig::from_preset(preset, 784, 100);
+            cfg.validate().unwrap_or_else(|e| panic!("{preset:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut cfg = NetworkConfig::from_preset(Preset::FullPrecision, 784, 100);
+        cfg.dt_ms = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = NetworkConfig::from_preset(Preset::FullPrecision, 784, 100);
+        cfg.g_max = cfg.g_min;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = NetworkConfig::from_preset(Preset::Bit2, 784, 100);
+        cfg.g_max = 2.0; // not representable in Q0.2
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = NetworkConfig::from_preset(Preset::FullPrecision, 784, 100);
+        cfg.stochastic.gamma_pot = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = NetworkConfig::from_preset(Preset::FullPrecision, 784, 100);
+        cfg.n_inputs = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn low_precision_g_max_fits_format() {
+        let c = NetworkConfig::from_preset(Preset::Bit2, 784, 100);
+        assert_eq!(c.g_max, 0.75);
+        let c = NetworkConfig::from_preset(Preset::Bit8, 784, 100);
+        assert_eq!(c.g_max, 1.0);
+    }
+
+    #[test]
+    fn precision_display_and_bits() {
+        assert_eq!(Precision::Float32.to_string(), "fp32");
+        assert_eq!(Precision::Fixed(QFormat::Q1_7).to_string(), "Q1.7");
+        assert_eq!(Precision::Fixed(QFormat::Q1_15).bits(), 16);
+    }
+}

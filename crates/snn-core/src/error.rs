@@ -1,0 +1,69 @@
+//! Error type for network construction and simulation.
+
+use std::fmt;
+
+/// Errors produced by network construction and simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnnError {
+    /// A configuration value is out of its valid range.
+    InvalidConfig {
+        /// The offending field.
+        field: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// A topology refers to a neuron index that does not exist.
+    NeuronOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The population size it was checked against.
+        population: usize,
+    },
+    /// Input data does not match the network's input width.
+    InputSizeMismatch {
+        /// Expected number of input trains.
+        expected: usize,
+        /// Received number of values.
+        got: usize,
+    },
+}
+
+impl fmt::Display for SnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnnError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration for `{field}`: {reason}")
+            }
+            SnnError::NeuronOutOfRange { index, population } => {
+                write!(f, "neuron index {index} out of range for population of {population}")
+            }
+            SnnError::InputSizeMismatch { expected, got } => {
+                write!(f, "input size mismatch: network expects {expected} trains, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SnnError::InvalidConfig { field: "dt_ms", reason: "must be positive".into() };
+        assert!(e.to_string().contains("dt_ms"));
+        let e = SnnError::NeuronOutOfRange { index: 10, population: 5 };
+        assert!(e.to_string().contains("10"));
+        let e = SnnError::InputSizeMismatch { expected: 784, got: 100 };
+        assert!(e.to_string().contains("784"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_error<E: std::error::Error>(_: E) {}
+        takes_error(SnnError::InputSizeMismatch { expected: 1, got: 2 });
+    }
+}

@@ -1,0 +1,64 @@
+//! Core spiking-neural-network library of the ParallelSpikeSim reproduction.
+//!
+//! This crate implements the paper's primary contribution — unsupervised
+//! STDP learning with a *stochastic* plasticity rule and *low-precision*
+//! synapses — together with the neuron, synapse and network substrates it
+//! runs on:
+//!
+//! * [`neuron`] — spiking neuron models: the paper's leaky integrate-and-fire
+//!   (Eqs. 1–3) plus Izhikevich and AdEx variants ("support different
+//!   neuron/synaptic models").
+//! * [`stdp`] — plasticity: the deterministic baseline (Querlioz-style
+//!   conductance-dependent magnitudes, Eqs. 4–5) and the stochastic rule
+//!   (acceptance probabilities exponential in the pre/post spike-time
+//!   difference, Eqs. 6–7).
+//! * [`synapse`] — the conductance matrix with optional fixed-point storage
+//!   and per-update re-quantization under a selectable rounding mode.
+//! * [`network`] — topology descriptions: the paper's two-layer
+//!   winner-take-all architecture (Fig. 3) and generic random networks for
+//!   the Fig. 4 cross-validation.
+//! * [`sim`] — the simulation engines: the learning engine
+//!   ([`sim::WtaEngine`]) that runs kernels on a [`gpu_device::Device`], and
+//!   a generic recurrent engine for arbitrary topologies.
+//! * [`config`] — every parameter of the paper, including the Table I
+//!   presets, encoded verbatim.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use snn_core::config::{NetworkConfig, Preset};
+//! use snn_core::sim::WtaEngine;
+//! use gpu_device::{Device, DeviceConfig};
+//!
+//! let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 16, 4);
+//! let device = Device::new(DeviceConfig::serial());
+//! let mut engine = WtaEngine::new(cfg, &device, 42);
+//!
+//! // Present one "image": sixteen input trains firing at 60 Hz for 100 ms.
+//! let spikes = engine.present(&[60.0; 16], 100.0, true);
+//! assert_eq!(spikes.len(), 4); // one count per excitatory neuron
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod config;
+mod error;
+pub mod network;
+pub mod neuron;
+pub mod sim;
+pub mod stdp;
+pub mod synapse;
+
+pub use error::SnnError;
+
+/// Convenience re-exports of the types most callers need.
+pub mod prelude {
+    pub use crate::config::{
+        LifParams, NetworkConfig, Precision, Preset, RuleKind, StdpMagnitudes, StochasticParams,
+    };
+    pub use crate::neuron::{LifNeuron, NeuronModel};
+    pub use crate::sim::{SpikeRaster, WtaEngine};
+    pub use crate::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp};
+    pub use crate::synapse::SynapseMatrix;
+    pub use crate::SnnError;
+}

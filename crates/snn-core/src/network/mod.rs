@@ -1,0 +1,81 @@
+//! Network topologies.
+//!
+//! Two families cover the paper's experiments:
+//!
+//! * [`WtaTopology`] — the Fig. 3 learning architecture: input spike trains
+//!   all-to-all onto an excitatory layer, with a 1:1 inhibitory layer that
+//!   implements winner-take-all lateral inhibition.
+//! * [`RecurrentNetwork`] — an arbitrary sparse recurrent network of LIF
+//!   neurons, used for the Fig. 4 cross-validation against the sequential
+//!   reference simulator (10³ neurons, 10⁴ synapses in the paper).
+
+mod recurrent;
+
+pub use recurrent::{Csr, RecurrentNetwork, Synapse};
+
+use crate::SnnError;
+use serde::{Deserialize, Serialize};
+
+/// The Fig. 3 two-layer winner-take-all topology.
+///
+/// Input trains connect all-to-all to the excitatory layer; each excitatory
+/// neuron drives its private partner in the inhibition layer, which in turn
+/// inhibits every *other* excitatory neuron for `t_inh` — so the inhibitory
+/// layer needs no explicit simulation and is folded into the engine's WTA
+/// step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WtaTopology {
+    /// Number of input spike trains (one per pixel).
+    pub n_inputs: usize,
+    /// Number of excitatory (and, implicitly, inhibitory) neurons.
+    pub n_excitatory: usize,
+}
+
+impl WtaTopology {
+    /// Creates the topology, validating both populations are non-empty.
+    pub fn new(n_inputs: usize, n_excitatory: usize) -> Result<Self, SnnError> {
+        if n_inputs == 0 {
+            return Err(SnnError::InvalidConfig {
+                field: "n_inputs",
+                reason: "need at least one input train".into(),
+            });
+        }
+        if n_excitatory == 0 {
+            return Err(SnnError::InvalidConfig {
+                field: "n_excitatory",
+                reason: "need at least one excitatory neuron".into(),
+            });
+        }
+        Ok(WtaTopology { n_inputs, n_excitatory })
+    }
+
+    /// Number of plastic synapses (all-to-all).
+    #[must_use]
+    pub fn n_synapses(&self) -> usize {
+        self.n_inputs * self.n_excitatory
+    }
+
+    /// The paper's MNIST configuration: 784 trains onto 1000 neurons
+    /// (784 000 plastic synapses).
+    #[must_use]
+    pub fn paper_mnist() -> Self {
+        WtaTopology { n_inputs: 784, n_excitatory: 1000 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_topology_has_784k_synapses() {
+        assert_eq!(WtaTopology::paper_mnist().n_synapses(), 784_000);
+    }
+
+    #[test]
+    fn empty_populations_rejected() {
+        assert!(WtaTopology::new(0, 10).is_err());
+        assert!(WtaTopology::new(10, 0).is_err());
+        assert!(WtaTopology::new(1, 1).is_ok());
+    }
+}

@@ -1,0 +1,177 @@
+//! Arbitrary sparse recurrent networks (the Fig. 4 workload).
+
+use crate::config::LifParams;
+use crate::SnnError;
+use gpu_device::Philox4x32;
+use serde::{Deserialize, Serialize};
+
+/// One directed synapse of a recurrent network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Synapse {
+    /// Source neuron index.
+    pub pre: u32,
+    /// Target neuron index.
+    pub post: u32,
+    /// Synaptic weight (conductance × spike amplitude, in current units).
+    pub weight: f64,
+}
+
+/// A sparse recurrent network of LIF neurons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecurrentNetwork {
+    /// Population size.
+    pub n_neurons: usize,
+    /// The synapse list.
+    pub synapses: Vec<Synapse>,
+    /// Shared neuron parameters.
+    pub lif: LifParams,
+}
+
+impl RecurrentNetwork {
+    /// Generates a random network: `n_synapses` synapses with endpoints
+    /// uniform over the population (self-loops excluded) and weights uniform
+    /// in `[weight_lo, weight_hi]`. Fully determined by `seed`.
+    ///
+    /// The Fig. 4 workload is `random(1000, 10_000, …)`.
+    #[must_use]
+    pub fn random(
+        n_neurons: usize,
+        n_synapses: usize,
+        weight_lo: f64,
+        weight_hi: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(n_neurons >= 2, "need at least two neurons for self-loop-free synapses");
+        let philox = Philox4x32::new(seed ^ 0x7e70_7030);
+        let mut stream = philox.stream(0);
+        let synapses = (0..n_synapses)
+            .map(|_| {
+                let pre = stream.next_below(n_neurons as u32);
+                let mut post = stream.next_below(n_neurons as u32);
+                if post == pre {
+                    post = (post + 1) % n_neurons as u32;
+                }
+                let weight = weight_lo + stream.next_f64() * (weight_hi - weight_lo);
+                Synapse { pre, post, weight }
+            })
+            .collect();
+        RecurrentNetwork { n_neurons, synapses, lif: LifParams::default() }
+    }
+
+    /// Validates all endpoints are in range.
+    pub fn validate(&self) -> Result<(), SnnError> {
+        self.lif.validate()?;
+        for s in &self.synapses {
+            for idx in [s.pre, s.post] {
+                if idx as usize >= self.n_neurons {
+                    return Err(SnnError::NeuronOutOfRange {
+                        index: idx as usize,
+                        population: self.n_neurons,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the CSR adjacency (grouped by pre-neuron) the engines iterate.
+    #[must_use]
+    pub fn to_csr(&self) -> Csr {
+        let mut counts = vec![0u32; self.n_neurons + 1];
+        for s in &self.synapses {
+            counts[s.pre as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; self.synapses.len()];
+        let mut weights = vec![0.0f64; self.synapses.len()];
+        for s in &self.synapses {
+            let slot = cursor[s.pre as usize] as usize;
+            targets[slot] = s.post;
+            weights[slot] = s.weight;
+            cursor[s.pre as usize] += 1;
+        }
+        Csr { offsets, targets, weights }
+    }
+}
+
+/// Compressed sparse row adjacency, grouped by pre-synaptic neuron.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Csr {
+    /// Row offsets: synapses of neuron `i` live at
+    /// `offsets[i]..offsets[i+1]`.
+    pub offsets: Vec<u32>,
+    /// Post-neuron of each synapse.
+    pub targets: Vec<u32>,
+    /// Weight of each synapse.
+    pub weights: Vec<f64>,
+}
+
+impl Csr {
+    /// The outgoing (target, weight) pairs of neuron `pre`.
+    pub fn out_edges(&self, pre: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.offsets[pre] as usize;
+        let hi = self.offsets[pre + 1] as usize;
+        self.targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_network_is_valid_and_deterministic() {
+        let a = RecurrentNetwork::random(100, 1000, 0.0, 1.0, 5);
+        let b = RecurrentNetwork::random(100, 1000, 0.0, 1.0, 5);
+        assert_eq!(a, b);
+        a.validate().unwrap();
+        assert_eq!(a.synapses.len(), 1000);
+        assert!(a.synapses.iter().all(|s| s.pre != s.post), "no self-loops");
+        assert!(a.synapses.iter().all(|s| (0.0..=1.0).contains(&s.weight)));
+    }
+
+    #[test]
+    fn csr_preserves_all_edges() {
+        let net = RecurrentNetwork::random(50, 500, -0.5, 0.5, 9);
+        let csr = net.to_csr();
+        let mut rebuilt: Vec<(u32, u32, f64)> = Vec::new();
+        for pre in 0..net.n_neurons {
+            for (post, w) in csr.out_edges(pre) {
+                rebuilt.push((pre as u32, post, w));
+            }
+        }
+        assert_eq!(rebuilt.len(), net.synapses.len());
+        let mut original: Vec<(u32, u32, f64)> =
+            net.synapses.iter().map(|s| (s.pre, s.post, s.weight)).collect();
+        original.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        rebuilt.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(original, rebuilt);
+    }
+
+    #[test]
+    fn validate_catches_out_of_range() {
+        let mut net = RecurrentNetwork::random(10, 20, 0.0, 1.0, 1);
+        net.synapses[0].post = 99;
+        assert!(matches!(net.validate(), Err(SnnError::NeuronOutOfRange { index: 99, .. })));
+    }
+
+    #[test]
+    fn neurons_without_edges_have_empty_rows() {
+        let net = RecurrentNetwork {
+            n_neurons: 3,
+            synapses: vec![Synapse { pre: 0, post: 1, weight: 1.0 }],
+            lif: LifParams::default(),
+        };
+        let csr = net.to_csr();
+        assert_eq!(csr.out_edges(0).count(), 1);
+        assert_eq!(csr.out_edges(1).count(), 0);
+        assert_eq!(csr.out_edges(2).count(), 0);
+    }
+}

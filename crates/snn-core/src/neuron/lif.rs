@@ -1,0 +1,166 @@
+//! The paper's leaky integrate-and-fire model (Eqs. 1–2).
+
+use super::{NeuronModel, NeuronState};
+use crate::config::LifParams;
+
+/// Leaky integrate-and-fire neuron:
+/// `dv/dt = a + b·v + c·I`, reset to `v_reset` on crossing `v_threshold`
+/// (Eqs. 1–2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LifNeuron {
+    params: LifParams,
+}
+
+impl LifNeuron {
+    /// Creates a neuron with `params`.
+    #[must_use]
+    pub fn new(params: LifParams) -> Self {
+        LifNeuron { params }
+    }
+
+    /// The model parameters.
+    #[must_use]
+    pub fn params(&self) -> LifParams {
+        self.params
+    }
+
+    /// Analytic inter-spike interval (ms) under constant current `i`,
+    /// ignoring the refractory period. Returns `None` below rheobase.
+    ///
+    /// For `dv/dt = b·(v − v∞)` with `v∞ = −(a + c·I)/b`, the time from
+    /// reset to threshold is `t = (1/b)·ln((v_th − v∞)/(v_reset − v∞))`.
+    #[must_use]
+    pub fn analytic_isi_ms(&self, i: f64) -> Option<f64> {
+        let p = self.params;
+        let v_inf = -(p.a + p.c * i) / p.b;
+        if v_inf <= p.v_threshold {
+            return None;
+        }
+        let t = (1.0 / p.b) * ((p.v_threshold - v_inf) / (p.v_reset - v_inf)).ln();
+        Some(t + p.t_refractory_ms)
+    }
+
+    /// Analytic steady-state firing rate (Hz) under constant current `i`.
+    #[must_use]
+    pub fn analytic_rate_hz(&self, i: f64) -> f64 {
+        self.analytic_isi_ms(i).map_or(0.0, |isi| 1000.0 / isi)
+    }
+}
+
+impl NeuronModel for LifNeuron {
+    fn step(&self, state: &mut NeuronState, i_syn: f64, dt_ms: f64) -> bool {
+        let p = self.params;
+        if state.refractory_ms > 0.0 {
+            state.refractory_ms = (state.refractory_ms - dt_ms).max(0.0);
+            state.v = p.v_reset;
+            return false;
+        }
+        let dv = p.a + p.b * state.v + p.c * i_syn;
+        state.v += dv * dt_ms;
+        if state.v > p.v_threshold {
+            state.v = p.v_reset;
+            state.refractory_ms = p.t_refractory_ms;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn initial_state(&self) -> NeuronState {
+        NeuronState::at(self.params.v_init)
+    }
+
+    fn name(&self) -> &'static str {
+        "LIF"
+    }
+}
+
+/// Samples the f–I curve of Fig. 1(a): firing rate at each current in
+/// `currents`, simulated for `duration_ms` at step `dt_ms`.
+#[must_use]
+pub fn fi_curve(params: LifParams, currents: &[f64], duration_ms: f64, dt_ms: f64) -> Vec<(f64, f64)> {
+    let neuron = LifNeuron::new(params);
+    currents
+        .iter()
+        .map(|&i| (i, super::firing_rate(&neuron, i, duration_ms, dt_ms)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neuron() -> LifNeuron {
+        LifNeuron::new(LifParams::default())
+    }
+
+    #[test]
+    fn resting_state_is_stable() {
+        let n = neuron();
+        let mut s = n.initial_state();
+        for _ in 0..10_000 {
+            assert!(!n.step(&mut s, 0.0, 0.1));
+        }
+        // Settles to the analytic resting potential.
+        assert!((s.v - n.params().v_rest()).abs() < 0.05, "v = {}", s.v);
+    }
+
+    #[test]
+    fn strong_current_causes_spiking_and_reset() {
+        let n = neuron();
+        let mut s = n.initial_state();
+        let mut spiked = false;
+        for _ in 0..10_000 {
+            if n.step(&mut s, 10.0, 0.1) {
+                spiked = true;
+                assert_eq!(s.v, n.params().v_reset);
+                break;
+            }
+        }
+        assert!(spiked);
+    }
+
+    #[test]
+    fn refractory_period_holds_at_reset() {
+        let p = LifParams { t_refractory_ms: 5.0, ..LifParams::default() };
+        let n = LifNeuron::new(p);
+        let mut s = n.initial_state();
+        // Drive to spike.
+        while !n.step(&mut s, 20.0, 0.1) {}
+        // During the refractory window the membrane is pinned.
+        for _ in 0..49 {
+            assert!(!n.step(&mut s, 100.0, 0.1));
+            assert_eq!(s.v, p.v_reset);
+        }
+    }
+
+    #[test]
+    fn simulated_rate_matches_analytic() {
+        let p = LifParams { t_refractory_ms: 0.0, ..LifParams::default() };
+        let n = LifNeuron::new(p);
+        for i in [3.0, 5.0, 10.0] {
+            let analytic = n.analytic_rate_hz(i);
+            let simulated = super::super::firing_rate(&n, i, 5000.0, 0.01);
+            let rel = (simulated - analytic).abs() / analytic;
+            assert!(rel < 0.05, "I={i}: simulated {simulated} vs analytic {analytic}");
+        }
+    }
+
+    #[test]
+    fn analytic_rate_zero_below_rheobase() {
+        let n = neuron();
+        let i = n.params().rheobase() * 0.99;
+        assert_eq!(n.analytic_rate_hz(i), 0.0);
+        assert!(n.analytic_rate_hz(n.params().rheobase() * 1.5) > 0.0);
+    }
+
+    #[test]
+    fn fi_curve_is_monotone_nondecreasing() {
+        let currents: Vec<f64> = (0..=20).map(|k| f64::from(k) * 0.5).collect();
+        let curve = fi_curve(LifParams::default(), &currents, 2000.0, 0.1);
+        for pair in curve.windows(2) {
+            assert!(pair[1].1 >= pair[0].1 - 1e-9, "non-monotone at {:?}", pair);
+        }
+        assert_eq!(curve.len(), currents.len());
+    }
+}

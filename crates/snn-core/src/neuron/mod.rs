@@ -1,0 +1,95 @@
+//! Spiking neuron models.
+//!
+//! ParallelSpikeSim "support\[s\] different neuron/synaptic models"; this
+//! module provides the paper's leaky integrate-and-fire model (Eqs. 1–2)
+//! plus Izhikevich and adaptive-exponential variants behind a common
+//! [`NeuronModel`] trait. All models advance with explicit-Euler steps in
+//! milliseconds, matching the simulator's fixed-step engine.
+
+mod adex;
+mod izhikevich;
+mod lif;
+
+pub use adex::{AdexNeuron, AdexParams};
+pub use izhikevich::{IzhikevichNeuron, IzhikevichParams};
+pub use lif::{fi_curve, LifNeuron};
+
+/// Dynamic state shared by all point-neuron models.
+///
+/// `recovery` is used by the two-variable models (Izhikevich `u`, AdEx `w`)
+/// and ignored by LIF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeuronState {
+    /// Membrane potential (mV).
+    pub v: f64,
+    /// Recovery/adaptation variable (model-specific units).
+    pub recovery: f64,
+    /// Time remaining in the absolute refractory period (ms).
+    pub refractory_ms: f64,
+}
+
+impl NeuronState {
+    /// A state at `v` with no recovery activation and no refractoriness.
+    #[must_use]
+    pub fn at(v: f64) -> Self {
+        NeuronState { v, recovery: 0.0, refractory_ms: 0.0 }
+    }
+}
+
+/// A point-neuron model advanced by explicit Euler integration.
+pub trait NeuronModel {
+    /// Advances `state` by `dt_ms` under input current `i_syn`.
+    /// Returns `true` if the neuron spiked during this step (the membrane
+    /// has already been reset when this returns).
+    fn step(&self, state: &mut NeuronState, i_syn: f64, dt_ms: f64) -> bool;
+
+    /// The state a fresh neuron of this model starts in.
+    fn initial_state(&self) -> NeuronState;
+
+    /// Model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Measures the steady-state firing rate (Hz) of `model` under constant
+/// current `i`, simulated for `duration_ms` with step `dt_ms`.
+///
+/// Used to regenerate the f–I curve of Fig. 1(a).
+pub fn firing_rate<M: NeuronModel>(model: &M, i: f64, duration_ms: f64, dt_ms: f64) -> f64 {
+    let mut state = model.initial_state();
+    let steps = (duration_ms / dt_ms).round() as u64;
+    // Discard a warm-up third so the rate reflects the limit cycle, not the
+    // initial transient.
+    let warmup = steps / 3;
+    let mut spikes = 0u64;
+    for step in 0..steps {
+        if model.step(&mut state, i, dt_ms) && step >= warmup {
+            spikes += 1;
+        }
+    }
+    let measured_ms = (steps - warmup) as f64 * dt_ms;
+    spikes as f64 / (measured_ms / 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LifParams;
+
+    #[test]
+    fn firing_rate_zero_below_rheobase() {
+        let p = LifParams::default();
+        let lif = LifNeuron::new(p);
+        let rate = firing_rate(&lif, p.rheobase() * 0.5, 2000.0, 0.1);
+        assert_eq!(rate, 0.0);
+    }
+
+    #[test]
+    fn firing_rate_monotone_in_current() {
+        let lif = LifNeuron::new(LifParams::default());
+        let r1 = firing_rate(&lif, 3.0, 2000.0, 0.1);
+        let r2 = firing_rate(&lif, 5.0, 2000.0, 0.1);
+        let r3 = firing_rate(&lif, 8.0, 2000.0, 0.1);
+        assert!(r1 < r2 && r2 < r3, "rates: {r1} {r2} {r3}");
+        assert!(r1 > 0.0);
+    }
+}

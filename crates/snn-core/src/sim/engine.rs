@@ -1,0 +1,831 @@
+//! The winner-take-all learning engine (Fig. 2/3 of the paper).
+
+use crate::config::{InhibitionMode, NetworkConfig, NeuronModelKind, RuleKind};
+use crate::neuron::{AdexNeuron, IzhikevichNeuron, LifNeuron, NeuronModel, NeuronState};
+use crate::sim::SpikeRaster;
+use crate::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp};
+use crate::synapse::SynapseMatrix;
+use crate::SnnError;
+use gpu_device::{Device, Philox4x32};
+
+/// Per-excitatory-neuron dynamic state, kept as an array of structs so the
+/// neuron-update kernel touches one cache line per neuron.
+#[derive(Debug, Clone, Copy)]
+struct ExcCell {
+    v: f64,
+    recovery: f64,
+    theta: f64,
+    refractory_ms: f64,
+    inhibited_until: f64,
+    last_spike: f64,
+    spiked: bool,
+}
+
+/// Stream-id name spaces for the counter-based RNG, so input encoding,
+/// synapse draws and initialization never share a stream.
+const STREAM_KIND_INPUT: u64 = 1 << 40;
+const STREAM_KIND_SYNAPSE: u64 = 2 << 40;
+
+/// The unsupervised-learning engine: rate-coded input trains, an excitatory
+/// LIF layer with all-to-all plastic synapses, winner-take-all lateral
+/// inhibition, and on-line (deterministic or stochastic) STDP.
+///
+/// Every per-neuron and per-synapse stage executes as a data-parallel kernel
+/// on the supplied [`Device`]; all randomness (input Poisson trains, STDP
+/// acceptance, stochastic rounding) is drawn from counter-based Philox
+/// streams keyed by `(entity id, step)`, so a run is bit-reproducible for a
+/// given seed at any worker count.
+pub struct WtaEngine<'d> {
+    cfg: NetworkConfig,
+    device: &'d Device,
+    rule: Box<dyn PlasticityRule>,
+    synapses: SynapseMatrix,
+    cells: Vec<ExcCell>,
+    i_syn: Vec<f64>,
+    last_pre: Vec<f64>,
+    input_spiked: Vec<u8>,
+    spiking_inputs: Vec<u32>,
+    philox: Philox4x32,
+    time_ms: f64,
+    step: u64,
+    /// Explicit inhibitory layer state (one LIF partner per excitatory
+    /// neuron), present only in [`InhibitionMode::Explicit`].
+    inh_cells: Option<Vec<NeuronState>>,
+    inh_drive: Vec<f64>,
+    raster: Option<SpikeRaster>,
+    traced_neuron: Option<usize>,
+    potential_trace: Vec<(f64, f64)>,
+    syn_decay: f64,
+    theta_decay: f64,
+}
+
+impl<'d> WtaEngine<'d> {
+    /// Builds an engine for `cfg` on `device`, with all randomness keyed by
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; use
+    /// [`WtaEngine::try_new`] for fallible construction.
+    #[must_use]
+    pub fn new(cfg: NetworkConfig, device: &'d Device, seed: u64) -> Self {
+        Self::try_new(cfg, device, seed).expect("invalid network configuration")
+    }
+
+    /// Fallible constructor: validates `cfg` first.
+    pub fn try_new(cfg: NetworkConfig, device: &'d Device, seed: u64) -> Result<Self, SnnError> {
+        cfg.validate()?;
+        let rule: Box<dyn PlasticityRule> = match cfg.rule {
+            RuleKind::Deterministic => Box::new(DeterministicStdp::new(cfg.ltp_window_ms)),
+            RuleKind::Stochastic => {
+                // Apply the documented depression calibration (see
+                // NetworkConfig::gamma_dep_scale).
+                let mut params = cfg.stochastic;
+                params.gamma_dep *= cfg.gamma_dep_scale;
+                Box::new(StochasticStdp::new(params))
+            }
+        };
+        let synapses = SynapseMatrix::new_random(&cfg, seed);
+        let init_state = match cfg.neuron {
+            NeuronModelKind::Lif => LifNeuron::new(cfg.lif).initial_state(),
+            NeuronModelKind::Izhikevich(p) => IzhikevichNeuron::new(p).initial_state(),
+            NeuronModelKind::Adex(p) => AdexNeuron::new(p).initial_state(),
+        };
+        let cell = ExcCell {
+            v: init_state.v,
+            recovery: init_state.recovery,
+            theta: 0.0,
+            refractory_ms: 0.0,
+            inhibited_until: f64::NEG_INFINITY,
+            last_spike: f64::NEG_INFINITY,
+            spiked: false,
+        };
+        let syn_decay = (-cfg.dt_ms / cfg.tau_syn_ms).exp();
+        let theta_decay = (-cfg.dt_ms / cfg.tau_theta_ms).exp();
+        let inh_cells = match cfg.inhibition {
+            InhibitionMode::Implicit => None,
+            InhibitionMode::Explicit { .. } => {
+                Some(vec![LifNeuron::new(cfg.lif).initial_state(); cfg.n_excitatory])
+            }
+        };
+        Ok(WtaEngine {
+            inh_cells,
+            inh_drive: vec![0.0; cfg.n_excitatory],
+            cells: vec![cell; cfg.n_excitatory],
+            i_syn: vec![0.0; cfg.n_excitatory],
+            last_pre: vec![f64::NEG_INFINITY; cfg.n_inputs],
+            input_spiked: vec![0; cfg.n_inputs],
+            spiking_inputs: Vec::with_capacity(cfg.n_inputs),
+            philox: Philox4x32::new(seed),
+            time_ms: 0.0,
+            step: 0,
+            raster: None,
+            traced_neuron: None,
+            potential_trace: Vec::new(),
+            syn_decay,
+            theta_decay,
+            rule,
+            synapses,
+            device,
+            cfg,
+        })
+    }
+
+    /// The configuration this engine was built with.
+    #[must_use]
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// The plastic synapse matrix.
+    #[must_use]
+    pub fn synapses(&self) -> &SynapseMatrix {
+        &self.synapses
+    }
+
+    /// Replaces the synapse matrix (e.g. when restoring a checkpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix shape does not match the configuration.
+    pub fn set_synapses(&mut self, synapses: SynapseMatrix) {
+        assert_eq!(synapses.n_pre(), self.cfg.n_inputs, "pre population mismatch");
+        assert_eq!(synapses.n_post(), self.cfg.n_excitatory, "post population mismatch");
+        self.synapses = synapses;
+    }
+
+    /// Current simulated time (ms).
+    #[must_use]
+    pub fn time_ms(&self) -> f64 {
+        self.time_ms
+    }
+
+    /// The adaptive-threshold offsets (homeostasis state).
+    #[must_use]
+    pub fn thetas(&self) -> Vec<f64> {
+        self.cells.iter().map(|c| c.theta).collect()
+    }
+
+    /// Enables or disables spike-event recording.
+    pub fn record_raster(&mut self, enable: bool) {
+        self.raster = if enable { Some(SpikeRaster::new()) } else { None };
+    }
+
+    /// Takes the recorded raster, leaving an empty one if recording is
+    /// enabled.
+    pub fn take_raster(&mut self) -> Option<SpikeRaster> {
+        self.raster.as_mut().map(std::mem::take)
+    }
+
+    /// Starts (or stops, with `None`) recording the membrane potential of
+    /// one excitatory neuron at every step — the Fig. 1(b) style trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the neuron index is out of range.
+    pub fn trace_potential(&mut self, neuron: Option<usize>) {
+        if let Some(j) = neuron {
+            assert!(j < self.cfg.n_excitatory, "traced neuron out of range");
+        }
+        self.traced_neuron = neuron;
+        self.potential_trace.clear();
+    }
+
+    /// Takes the recorded `(time_ms, v)` membrane trace.
+    pub fn take_potential_trace(&mut self) -> Vec<(f64, f64)> {
+        std::mem::take(&mut self.potential_trace)
+    }
+
+    /// Rescales every receptive field so its conductances sum to `target`,
+    /// re-quantizing under the configured rounding mode (Diehl-style weight
+    /// normalization; an extension over the paper, off by default).
+    pub fn normalize_receptive_fields(&mut self, target: f64) {
+        assert!(target > 0.0, "normalization target must be positive");
+        let ctx = self.synapses.update_ctx();
+        let philox = self.philox;
+        let step = self.step;
+        let n_pre = self.cfg.n_inputs;
+        self.device.launch_rows_mut(
+            "normalize_weights",
+            self.synapses.as_flat_mut(),
+            n_pre,
+            |j, row| {
+                let sum: f64 = row.iter().sum();
+                if sum <= 0.0 {
+                    return;
+                }
+                let scale = target / sum;
+                for (i, g) in row.iter_mut().enumerate() {
+                    let syn = (j * n_pre + i) as u64;
+                    let u = philox.uniform2(STREAM_KIND_SYNAPSE | syn, step.wrapping_add(1));
+                    *g = ctx.requantize(*g * scale, u);
+                }
+            },
+        );
+    }
+
+    /// Resets membrane potentials, synaptic currents, inhibition, and the
+    /// pre/post spike timers — everything except the learned conductances
+    /// and the homeostasis thresholds. Called between image presentations.
+    pub fn reset_transients(&mut self) {
+        let init_state = match self.cfg.neuron {
+            NeuronModelKind::Lif => LifNeuron::new(self.cfg.lif).initial_state(),
+            NeuronModelKind::Izhikevich(p) => IzhikevichNeuron::new(p).initial_state(),
+            NeuronModelKind::Adex(p) => AdexNeuron::new(p).initial_state(),
+        };
+        for c in &mut self.cells {
+            c.v = init_state.v;
+            c.recovery = init_state.recovery;
+            c.refractory_ms = 0.0;
+            c.inhibited_until = f64::NEG_INFINITY;
+            c.last_spike = f64::NEG_INFINITY;
+            c.spiked = false;
+        }
+        self.i_syn.fill(0.0);
+        self.last_pre.fill(f64::NEG_INFINITY);
+        self.inh_drive.fill(0.0);
+        if let Some(inh) = &mut self.inh_cells {
+            let init = LifNeuron::new(self.cfg.lif).initial_state();
+            inh.fill(init);
+        }
+    }
+
+    /// Presents one stimulus for `duration_ms`: each input train fires as a
+    /// Poisson process at `rates_hz[i]`. With `plastic` the STDP rule and
+    /// homeostasis run; without, the network only infers.
+    ///
+    /// Returns the spike count of every excitatory neuron during this
+    /// presentation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates_hz.len()` differs from the configured input count.
+    pub fn present(&mut self, rates_hz: &[f64], duration_ms: f64, plastic: bool) -> Vec<u32> {
+        assert_eq!(
+            rates_hz.len(),
+            self.cfg.n_inputs,
+            "rate vector does not match input population"
+        );
+        let dt = self.cfg.dt_ms;
+        // Per-step spike probability; a train faster than 1/dt saturates.
+        let p_spike: Vec<f64> =
+            rates_hz.iter().map(|&f| (f * dt / 1000.0).clamp(0.0, 1.0)).collect();
+        let steps = (duration_ms / dt).round() as u64;
+        let mut counts = vec![0u32; self.cfg.n_excitatory];
+        for _ in 0..steps {
+            self.step_once(&p_spike, plastic, &mut counts);
+        }
+        counts
+    }
+
+    /// One `dt` step of the full pipeline.
+    fn step_once(&mut self, p_spike: &[f64], plastic: bool, counts: &mut [u32]) {
+        let t = self.time_ms;
+        let dt = self.cfg.dt_ms;
+        let step = self.step;
+        let philox = self.philox;
+        let n_pre = self.cfg.n_inputs;
+
+        // (1) Input encoding kernel: Bernoulli(p) per train from the
+        // train's own counter stream.
+        {
+            let p_spike_ref = p_spike;
+            self.device.launch_slice_mut("encode_inputs", &mut self.input_spiked, |i, s| {
+                let u = philox.uniform(STREAM_KIND_INPUT | i as u64, step);
+                *s = u8::from(u < p_spike_ref[i]);
+            });
+        }
+        self.spiking_inputs.clear();
+        for (i, &s) in self.input_spiked.iter().enumerate() {
+            if s != 0 {
+                self.spiking_inputs.push(i as u32);
+                self.last_pre[i] = t;
+            }
+        }
+
+        // (2) Anti-causal depression kernel: a pre spike arriving after a
+        // recent post spike may depress. Neither built-in rule uses this
+        // pathway (depression is consolidated at the post event), but the
+        // dispatch supports custom rules that do.
+        if plastic && self.rule.uses_pre_events() && !self.spiking_inputs.is_empty() {
+            let ctx = self.synapses.update_ctx();
+            let rule = &*self.rule;
+            let spikers = &self.spiking_inputs;
+            let cells = &self.cells;
+            self.device.launch_rows_mut(
+                "stdp_pre_dep",
+                self.synapses.as_flat_mut(),
+                n_pre,
+                |j, row| {
+                    let dt_pair = t - cells[j].last_spike;
+                    if !dt_pair.is_finite() {
+                        return;
+                    }
+                    for &i in spikers {
+                        let syn = (j * n_pre + i as usize) as u64;
+                        let u_accept = philox.uniform2(STREAM_KIND_SYNAPSE | syn, step);
+                        if let Some(kind) = rule.on_pre_spike(dt_pair, u_accept) {
+                            let u_round =
+                                f64::from(philox.at(STREAM_KIND_SYNAPSE | syn, step, 3))
+                                    / (u64::from(u32::MAX) + 1) as f64;
+                            row[i as usize] = ctx.updated(row[i as usize], kind, u_round);
+                        }
+                    }
+                },
+            );
+        }
+
+        // (3) Current accumulation kernel (Eq. 3): exponentially decaying
+        // synaptic current plus this step's arrivals.
+        {
+            let g = self.synapses.as_flat();
+            let spikers = &self.spiking_inputs;
+            let v_spike = self.cfg.v_spike;
+            let decay = self.syn_decay;
+            self.device.launch_slice_mut("accumulate_current", &mut self.i_syn, |j, i_j| {
+                let mut acc = *i_j * decay;
+                let row = &g[j * n_pre..(j + 1) * n_pre];
+                for &i in spikers {
+                    acc += row[i as usize] * v_spike;
+                }
+                *i_j = acc;
+            });
+        }
+
+        // (4) Neuron update kernel (Eqs. 1–2 plus adaptive threshold; the
+        // configured model decides the dynamics).
+        {
+            let lif_params = self.cfg.lif;
+            let neuron_kind = self.cfg.neuron;
+            let i_syn = &self.i_syn;
+            let theta_decay = self.theta_decay;
+            let homeostasis = plastic && self.cfg.theta_plus > 0.0;
+            self.device.launch_slice_mut("update_neurons", &mut self.cells, |j, cell| {
+                cell.spiked = false;
+                if homeostasis {
+                    cell.theta *= theta_decay;
+                }
+                let inhibited = t < cell.inhibited_until;
+                let mut state = NeuronState {
+                    v: cell.v,
+                    recovery: cell.recovery,
+                    refractory_ms: cell.refractory_ms,
+                };
+                let spiked = match neuron_kind {
+                    NeuronModelKind::Lif => {
+                        if inhibited {
+                            cell.v = lif_params.v_reset;
+                            return;
+                        }
+                        // Homeostasis shifts the LIF threshold directly.
+                        let mut params = lif_params;
+                        params.v_threshold += cell.theta;
+                        LifNeuron::new(params).step(&mut state, i_syn[j], dt)
+                    }
+                    NeuronModelKind::Izhikevich(p) => {
+                        if inhibited {
+                            return;
+                        }
+                        // Two-variable models take θ as an inhibitory
+                        // current offset.
+                        IzhikevichNeuron::new(p).step(&mut state, i_syn[j] - cell.theta, dt)
+                    }
+                    NeuronModelKind::Adex(p) => {
+                        if inhibited {
+                            return;
+                        }
+                        AdexNeuron::new(p).step(&mut state, i_syn[j] - cell.theta, dt)
+                    }
+                };
+                cell.v = state.v;
+                cell.recovery = state.recovery;
+                cell.refractory_ms = state.refractory_ms;
+                cell.spiked = spiked;
+            });
+        }
+
+        if let Some(j) = self.traced_neuron {
+            self.potential_trace.push((t, self.cells[j].v));
+        }
+
+        // (5) Winner-take-all: every spiker's inhibition partner suppresses
+        // all non-spiking excitatory neurons for t_inh (Fig. 3).
+        let mut any_spiked = false;
+        for (j, cell) in self.cells.iter_mut().enumerate() {
+            if cell.spiked {
+                any_spiked = true;
+                cell.last_spike = t;
+                if plastic {
+                    cell.theta += self.cfg.theta_plus;
+                }
+                counts[j] += 1;
+                if let Some(r) = &mut self.raster {
+                    r.push(t, j as u32);
+                }
+            }
+        }
+        match self.cfg.inhibition {
+            InhibitionMode::Implicit => {
+                if any_spiked {
+                    let until = t + self.cfg.t_inh_ms;
+                    for cell in &mut self.cells {
+                        if !cell.spiked {
+                            cell.inhibited_until = until;
+                        }
+                    }
+                }
+            }
+            InhibitionMode::Explicit { w_exc_to_inh } => {
+                // Drive each spiker's private inhibitory partner; the
+                // partner integrates like any LIF neuron and only its own
+                // spike opens the suppression window.
+                for (j, cell) in self.cells.iter().enumerate() {
+                    self.inh_drive[j] *= self.syn_decay;
+                    if cell.spiked {
+                        self.inh_drive[j] += w_exc_to_inh;
+                    }
+                }
+                let lif = LifNeuron::new(self.cfg.lif);
+                let inh = self.inh_cells.as_mut().expect("explicit mode has partners");
+                let mut inh_spikers: Vec<usize> = Vec::new();
+                for (j, state) in inh.iter_mut().enumerate() {
+                    if lif.step(state, self.inh_drive[j], dt) {
+                        inh_spikers.push(j);
+                    }
+                }
+                if !inh_spikers.is_empty() {
+                    let until = t + self.cfg.t_inh_ms;
+                    for (k, cell) in self.cells.iter_mut().enumerate() {
+                        if inh_spikers.iter().any(|&j| j != k) {
+                            cell.inhibited_until = cell.inhibited_until.max(until);
+                        }
+                    }
+                }
+            }
+        }
+
+        // (6) Causal STDP kernel: every incoming synapse of a spiking
+        // neuron consults the rule with its pre spike timer (Eqs. 4–6).
+        if plastic && any_spiked {
+            let ctx = self.synapses.update_ctx();
+            let rule = &*self.rule;
+            let cells = &self.cells;
+            let last_pre = &self.last_pre;
+            self.device.launch_rows_mut(
+                "stdp_post",
+                self.synapses.as_flat_mut(),
+                n_pre,
+                |j, row| {
+                    if !cells[j].spiked {
+                        return;
+                    }
+                    for (i, g) in row.iter_mut().enumerate() {
+                        let dt_pair = t - last_pre[i];
+                        let syn = (j * n_pre + i) as u64;
+                        let u_accept = philox.uniform(STREAM_KIND_SYNAPSE | syn, step);
+                        if let Some(kind) = rule.on_post_spike(dt_pair, u_accept) {
+                            let u_round =
+                                f64::from(philox.at(STREAM_KIND_SYNAPSE | syn, step, 2))
+                                    / (u64::from(u32::MAX) + 1) as f64;
+                            *g = ctx.updated(*g, kind, u_round);
+                        }
+                    }
+                },
+            );
+        }
+
+        self.step += 1;
+        self.time_ms += dt;
+    }
+}
+
+impl std::fmt::Debug for WtaEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WtaEngine")
+            .field("n_inputs", &self.cfg.n_inputs)
+            .field("n_excitatory", &self.cfg.n_excitatory)
+            .field("rule", &self.cfg.rule)
+            .field("precision", &self.cfg.precision)
+            .field("time_ms", &self.time_ms)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Preset, RuleKind};
+    use gpu_device::DeviceConfig;
+
+    fn cfg(n_in: usize, n_exc: usize) -> NetworkConfig {
+        NetworkConfig::from_preset(Preset::FullPrecision, n_in, n_exc)
+    }
+
+    fn strong_rates(n: usize) -> Vec<f64> {
+        vec![200.0; n]
+    }
+
+    #[test]
+    fn silent_inputs_produce_no_spikes() {
+        let device = Device::new(DeviceConfig::serial());
+        let mut e = WtaEngine::new(cfg(16, 4), &device, 1);
+        let counts = e.present(&[0.0; 16], 200.0, true);
+        assert!(counts.iter().all(|&c| c == 0));
+        assert!(e.synapses().check_invariants());
+    }
+
+    #[test]
+    fn strong_input_drives_spiking() {
+        let device = Device::new(DeviceConfig::serial());
+        let mut cfg = cfg(16, 4);
+        cfg.v_spike = 2.0;
+        let mut e = WtaEngine::new(cfg, &device, 1);
+        let counts = e.present(&strong_rates(16), 500.0, false);
+        assert!(counts.iter().sum::<u32>() > 0, "counts = {counts:?}");
+    }
+
+    #[test]
+    fn learning_potentiates_active_synapses() {
+        let device = Device::new(DeviceConfig::serial());
+        let mut c = cfg(16, 2);
+        c.v_spike = 2.0;
+        c.theta_plus = 0.0;
+        let mut e = WtaEngine::new(c, &device, 3);
+        // Drive inputs 0..8 hard, leave 8..16 silent.
+        let mut rates = vec![0.0; 16];
+        for r in rates.iter_mut().take(8) {
+            *r = 150.0;
+        }
+        let before_active: f64 =
+            (0..8).map(|i| e.synapses().get(i, 0) + e.synapses().get(i, 1)).sum();
+        let counts = e.present(&rates, 2000.0, true);
+        assert!(counts.iter().sum::<u32>() > 0, "network must spike to learn");
+        let after_active: f64 =
+            (0..8).map(|i| e.synapses().get(i, 0) + e.synapses().get(i, 1)).sum();
+        assert!(
+            after_active > before_active,
+            "active synapses should potentiate: {before_active} -> {after_active}"
+        );
+        assert!(e.synapses().check_invariants());
+    }
+
+    #[test]
+    fn deterministic_rule_depresses_silent_synapses() {
+        let device = Device::new(DeviceConfig::serial());
+        let mut c = cfg(16, 2).with_rule(RuleKind::Deterministic);
+        c.v_spike = 2.0;
+        c.theta_plus = 0.0;
+        let mut e = WtaEngine::new(c, &device, 3);
+        let mut rates = vec![0.0; 16];
+        for r in rates.iter_mut().take(8) {
+            *r = 150.0;
+        }
+        let before_silent: f64 =
+            (8..16).map(|i| e.synapses().get(i, 0) + e.synapses().get(i, 1)).sum();
+        let counts = e.present(&rates, 2000.0, true);
+        assert!(counts.iter().sum::<u32>() > 0);
+        let after_silent: f64 =
+            (8..16).map(|i| e.synapses().get(i, 0) + e.synapses().get(i, 1)).sum();
+        assert!(
+            after_silent < before_silent,
+            "silent synapses should depress under the baseline rule"
+        );
+    }
+
+    #[test]
+    fn inference_never_changes_conductances() {
+        let device = Device::new(DeviceConfig::serial());
+        let mut c = cfg(16, 4);
+        c.v_spike = 2.0;
+        let mut e = WtaEngine::new(c, &device, 9);
+        let before = e.synapses().as_flat().to_vec();
+        let _ = e.present(&strong_rates(16), 500.0, false);
+        assert_eq!(e.synapses().as_flat(), &before[..]);
+    }
+
+    #[test]
+    fn runs_are_seed_reproducible() {
+        let run = |seed: u64| {
+            let device = Device::new(DeviceConfig::serial());
+            let mut c = cfg(16, 4);
+            c.v_spike = 2.0;
+            let mut e = WtaEngine::new(c, &device, seed);
+            let counts = e.present(&strong_rates(16), 300.0, true);
+            (counts, e.synapses().as_flat().to_vec())
+        };
+        let (c1, g1) = run(5);
+        let (c2, g2) = run(5);
+        let (c3, g3) = run(6);
+        assert_eq!(c1, c2);
+        assert_eq!(g1, g2);
+        assert!(c1 != c3 || g1 != g3, "different seeds should diverge");
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        // 256 × 32 synapses exceed the device's inline threshold, so the
+        // STDP kernels genuinely run on the pool at workers > 1.
+        let run = |workers: usize| {
+            let device = Device::new(DeviceConfig::default().with_workers(workers));
+            let mut c = cfg(256, 32);
+            c.v_spike = 1.0;
+            let mut e = WtaEngine::new(c, &device, 11);
+            let counts = e.present(&strong_rates(256), 300.0, true);
+            (counts, e.synapses().as_flat().to_vec())
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(4));
+    }
+
+    #[test]
+    fn wta_inhibition_limits_simultaneous_winners() {
+        let device = Device::new(DeviceConfig::serial());
+        let mut c = cfg(16, 8);
+        c.v_spike = 3.0;
+        c.t_inh_ms = 50.0;
+        c.theta_plus = 0.0;
+        let mut e = WtaEngine::new(c, &device, 2);
+        e.record_raster(true);
+        let _ = e.present(&strong_rates(16), 200.0, false);
+        let raster = e.take_raster().unwrap();
+        // Group spikes by time: after the first spike, inhibition must keep
+        // the other neurons silent for t_inh.
+        let events = raster.events();
+        assert!(!events.is_empty());
+        // All spikes in the first step are simultaneous winners; every
+        // other neuron must stay silent for the whole inhibition window.
+        let t0 = events[0].0;
+        let winners: std::collections::HashSet<u32> =
+            events.iter().take_while(|&&(t, _)| t == t0).map(|&(_, n)| n).collect();
+        for &(t, n) in events {
+            if t > t0 && t < t0 + 50.0 {
+                assert!(
+                    winners.contains(&n),
+                    "non-winner {n} spiked at {t} inside the inhibition window"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_transients_preserves_learning_state() {
+        let device = Device::new(DeviceConfig::serial());
+        let mut c = cfg(16, 4);
+        c.v_spike = 2.0;
+        let mut e = WtaEngine::new(c, &device, 7);
+        let _ = e.present(&strong_rates(16), 300.0, true);
+        let g = e.synapses().as_flat().to_vec();
+        let theta = e.thetas();
+        e.reset_transients();
+        assert_eq!(e.synapses().as_flat(), &g[..]);
+        assert_eq!(e.thetas(), theta);
+    }
+
+    #[test]
+    fn homeostasis_raises_thresholds_of_active_neurons() {
+        let device = Device::new(DeviceConfig::serial());
+        let mut c = cfg(16, 4);
+        c.v_spike = 2.0;
+        c.theta_plus = 0.1;
+        let mut e = WtaEngine::new(c, &device, 4);
+        let counts = e.present(&strong_rates(16), 500.0, true);
+        let thetas = e.thetas();
+        for (j, (&count, &theta)) in counts.iter().zip(&thetas).enumerate() {
+            if count > 0 {
+                assert!(theta > 0.0, "spiking neuron {j} should have raised threshold");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_vector_length_is_checked() {
+        let device = Device::new(DeviceConfig::serial());
+        let mut e = WtaEngine::new(cfg(16, 4), &device, 1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.present(&[1.0; 8], 10.0, false)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn weight_normalization_hits_target_and_stays_on_grid() {
+        let device = Device::new(DeviceConfig::serial());
+        for preset in [Preset::FullPrecision, Preset::Bit8] {
+            let c = NetworkConfig::from_preset(preset, 32, 4);
+            let mut e = WtaEngine::new(c, &device, 3);
+            let target = 10.0;
+            e.normalize_receptive_fields(target);
+            assert!(e.synapses().check_invariants(), "{preset:?}");
+            for j in 0..4 {
+                let sum: f64 = e.synapses().row(j).iter().sum();
+                // Fixed-point rows land within one LSB per synapse of the
+                // target; float rows are exact.
+                let tol = match preset {
+                    Preset::Bit8 => 32.0 / 128.0,
+                    _ => 1e-9,
+                };
+                assert!((sum - target).abs() <= tol, "{preset:?}: row {j} sums to {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn potential_trace_records_every_step() {
+        let device = Device::new(DeviceConfig::serial());
+        let mut c = cfg(16, 4);
+        c.v_spike = 2.0;
+        let mut e = WtaEngine::new(c.clone(), &device, 1);
+        e.trace_potential(Some(2));
+        let _ = e.present(&strong_rates(16), 50.0, false);
+        let trace = e.take_potential_trace();
+        assert_eq!(trace.len(), 100); // 50 ms at 0.5 ms steps
+        assert!(trace.iter().all(|&(_, v)| v.is_finite()));
+        // Times strictly increase by dt.
+        for pair in trace.windows(2) {
+            assert!((pair[1].0 - pair[0].0 - c.dt_ms).abs() < 1e-9);
+        }
+        // Stopping the trace clears and stops recording.
+        e.trace_potential(None);
+        let _ = e.present(&strong_rates(16), 10.0, false);
+        assert!(e.take_potential_trace().is_empty());
+    }
+
+    #[test]
+    fn explicit_inhibitory_layer_suppresses_activity() {
+        use crate::config::InhibitionMode;
+        // A partner layer that can fire suppresses far more activity than
+        // one that never reaches threshold (w = 0 ⇒ no inhibition at all).
+        let run = |w_exc_to_inh: f64| {
+            let device = Device::new(DeviceConfig::serial());
+            let mut c = cfg(16, 8);
+            c.v_spike = 3.0;
+            c.t_inh_ms = 50.0;
+            c.theta_plus = 0.0;
+            c.inhibition = InhibitionMode::Explicit { w_exc_to_inh };
+            let mut e = WtaEngine::new(c, &device, 2);
+            e.present(&strong_rates(16), 300.0, false).iter().sum::<u32>()
+        };
+        let uninhibited = run(0.0);
+        let inhibited = run(20.0);
+        assert!(inhibited > 0, "explicit mode must still spike");
+        assert!(
+            inhibited * 2 < uninhibited,
+            "partner-gated inhibition should suppress most spikes: {inhibited} vs {uninhibited}"
+        );
+    }
+
+    #[test]
+    fn explicit_mode_learns_like_implicit() {
+        use crate::config::InhibitionMode;
+        let device = Device::new(DeviceConfig::serial());
+        let mut c = cfg(16, 2);
+        c.v_spike = 2.0;
+        c.theta_plus = 0.0;
+        c.inhibition = InhibitionMode::Explicit { w_exc_to_inh: 20.0 };
+        let mut e = WtaEngine::new(c, &device, 3);
+        let mut rates = vec![0.0; 16];
+        for r in rates.iter_mut().take(8) {
+            *r = 150.0;
+        }
+        let before: f64 = (0..8).map(|i| e.synapses().get(i, 0) + e.synapses().get(i, 1)).sum();
+        let counts = e.present(&rates, 2000.0, true);
+        assert!(counts.iter().sum::<u32>() > 0);
+        let after: f64 = (0..8).map(|i| e.synapses().get(i, 0) + e.synapses().get(i, 1)).sum();
+        assert!(after > before, "active synapses should potentiate: {before} -> {after}");
+    }
+
+    #[test]
+    fn izhikevich_layer_spikes_and_learns() {
+        use crate::config::NeuronModelKind;
+        use crate::neuron::IzhikevichParams;
+        let device = Device::new(DeviceConfig::serial());
+        let mut c = cfg(16, 4);
+        c.neuron = NeuronModelKind::Izhikevich(IzhikevichParams::regular_spiking());
+        c.v_spike = 4.0; // Izhikevich needs ~10 units of drive
+        let mut e = WtaEngine::new(c, &device, 5);
+        let counts = e.present(&strong_rates(16), 500.0, true);
+        assert!(counts.iter().sum::<u32>() > 0, "Izhikevich layer must spike");
+        assert!(e.synapses().check_invariants());
+    }
+
+    #[test]
+    fn adex_layer_spikes() {
+        use crate::config::NeuronModelKind;
+        use crate::neuron::AdexParams;
+        let device = Device::new(DeviceConfig::serial());
+        let mut c = cfg(16, 4);
+        c.neuron = NeuronModelKind::Adex(AdexParams::default());
+        c.v_spike = 250.0; // AdEx currents are in pA
+        let mut e = WtaEngine::new(c, &device, 5);
+        let counts = e.present(&strong_rates(16), 500.0, false);
+        assert!(counts.iter().sum::<u32>() > 0, "AdEx layer must spike");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let device = Device::new(DeviceConfig::serial());
+        let mut c = cfg(16, 4);
+        c.dt_ms = -1.0;
+        assert!(WtaEngine::try_new(c, &device, 0).is_err());
+    }
+}

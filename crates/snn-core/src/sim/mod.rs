@@ -1,0 +1,18 @@
+//! Simulation engines.
+//!
+//! * [`WtaEngine`] — the learning engine for the Fig. 3 architecture:
+//!   rate-coded inputs, LIF excitatory layer, winner-take-all inhibition,
+//!   and on-line STDP, with every stage running as a data-parallel kernel
+//!   on a [`gpu_device::Device`].
+//! * [`GenericEngine`] — a fixed-step simulator for arbitrary
+//!   [`crate::network::RecurrentNetwork`]s, the ParallelSpikeSim side of the
+//!   Fig. 4 cross-validation.
+//! * [`SpikeRaster`] — spike event recording shared by both engines.
+
+mod engine;
+mod generic;
+mod recorder;
+
+pub use engine::WtaEngine;
+pub use generic::GenericEngine;
+pub use recorder::SpikeRaster;

@@ -1,0 +1,198 @@
+//! Spike-event recording.
+
+use serde::{Deserialize, Serialize};
+
+/// A recorded sequence of spike events `(time_ms, neuron)`.
+///
+/// Backs the raster plots of Fig. 6(a) and the agreement metric of Fig. 4.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SpikeRaster {
+    events: Vec<(f64, u32)>,
+}
+
+impl SpikeRaster {
+    /// An empty raster.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a spike of `neuron` at `time_ms`.
+    pub fn push(&mut self, time_ms: f64, neuron: u32) {
+        self.events.push((time_ms, neuron));
+    }
+
+    /// All events in recording order (non-decreasing time).
+    #[must_use]
+    pub fn events(&self) -> &[(f64, u32)] {
+        &self.events
+    }
+
+    /// Total number of spikes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no spikes were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Clears all events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Spike count per neuron, for a population of `n` neurons.
+    #[must_use]
+    pub fn counts(&self, n: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; n];
+        for &(_, neuron) in &self.events {
+            if let Some(c) = counts.get_mut(neuron as usize) {
+                *c += 1;
+            }
+        }
+        counts
+    }
+
+    /// Mean population firing rate in Hz over `duration_ms`, for `n`
+    /// neurons.
+    #[must_use]
+    pub fn mean_rate_hz(&self, n: usize, duration_ms: f64) -> f64 {
+        if n == 0 || duration_ms <= 0.0 {
+            return 0.0;
+        }
+        self.events.len() as f64 / (n as f64 * duration_ms / 1000.0)
+    }
+
+    /// The spike-train coincidence rate against `other`: the fraction of
+    /// this raster's spikes that have a matching spike (same neuron, time
+    /// within `tol_ms`) in the other raster. 1.0 means every spike is
+    /// matched — the Fig. 4 "similar spiking activities" check.
+    #[must_use]
+    pub fn coincidence(&self, other: &SpikeRaster, tol_ms: f64) -> f64 {
+        if self.events.is_empty() {
+            return if other.events.is_empty() { 1.0 } else { 0.0 };
+        }
+        // Index the other raster by neuron for efficient lookup.
+        let mut by_neuron: std::collections::HashMap<u32, Vec<f64>> =
+            std::collections::HashMap::new();
+        for &(t, n) in &other.events {
+            by_neuron.entry(n).or_default().push(t);
+        }
+        let matched = self
+            .events
+            .iter()
+            .filter(|&&(t, n)| {
+                by_neuron
+                    .get(&n)
+                    .is_some_and(|times| {
+                        // times is sorted (recording order); binary search window.
+                        let idx = times.partition_point(|&x| x < t - tol_ms);
+                        times.get(idx).is_some_and(|&x| (x - t).abs() <= tol_ms)
+                    })
+            })
+            .count();
+        matched as f64 / self.events.len() as f64
+    }
+
+    /// Renders an ASCII raster: one row per neuron in `neurons`, time
+    /// binned into `cols` columns over `[0, duration_ms]`; `#` marks a bin
+    /// containing at least one spike (Fig. 6a).
+    #[must_use]
+    pub fn to_ascii(&self, neurons: std::ops::Range<u32>, duration_ms: f64, cols: usize) -> String {
+        let mut out = String::new();
+        for n in neurons {
+            let mut row = vec![b'.'; cols];
+            for &(t, ev_n) in &self.events {
+                if ev_n == n && t < duration_ms {
+                    let col = ((t / duration_ms) * cols as f64) as usize;
+                    row[col.min(cols - 1)] = b'#';
+                }
+            }
+            out.push_str(&format!("{n:>5} |"));
+            out.push_str(std::str::from_utf8(&row).expect("ascii"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raster(events: &[(f64, u32)]) -> SpikeRaster {
+        let mut r = SpikeRaster::new();
+        for &(t, n) in events {
+            r.push(t, n);
+        }
+        r
+    }
+
+    #[test]
+    fn counts_per_neuron() {
+        let r = raster(&[(1.0, 0), (2.0, 0), (3.0, 2)]);
+        assert_eq!(r.counts(3), vec![2, 0, 1]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn counts_ignores_out_of_range_neurons() {
+        let r = raster(&[(1.0, 9)]);
+        assert_eq!(r.counts(3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn mean_rate() {
+        // 10 spikes from 5 neurons over 1000 ms = 2 Hz per neuron.
+        let mut r = SpikeRaster::new();
+        for k in 0..10 {
+            r.push(f64::from(k) * 100.0, k % 5);
+        }
+        assert!((r.mean_rate_hz(5, 1000.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_rasters_coincide_fully() {
+        let r = raster(&[(1.0, 0), (5.0, 1), (9.0, 0)]);
+        assert_eq!(r.coincidence(&r, 0.1), 1.0);
+    }
+
+    #[test]
+    fn disjoint_rasters_do_not_coincide() {
+        let a = raster(&[(1.0, 0)]);
+        let b = raster(&[(100.0, 0)]);
+        assert_eq!(a.coincidence(&b, 1.0), 0.0);
+        let c = raster(&[(1.0, 5)]);
+        assert_eq!(a.coincidence(&c, 1.0), 0.0);
+    }
+
+    #[test]
+    fn tolerance_window_matches_jittered_spikes() {
+        let a = raster(&[(10.0, 3)]);
+        let b = raster(&[(10.4, 3)]);
+        assert_eq!(a.coincidence(&b, 0.5), 1.0);
+        assert_eq!(a.coincidence(&b, 0.3), 0.0);
+    }
+
+    #[test]
+    fn empty_rasters_are_trivially_coincident() {
+        let e = SpikeRaster::new();
+        assert_eq!(e.coincidence(&e, 1.0), 1.0);
+        let r = raster(&[(1.0, 0)]);
+        assert_eq!(e.coincidence(&r, 1.0), 0.0);
+    }
+
+    #[test]
+    fn ascii_raster_marks_spikes() {
+        let r = raster(&[(0.0, 0), (99.0, 1)]);
+        let text = r.to_ascii(0..2, 100.0, 10);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('#'));
+        assert!(lines[1].ends_with('#'));
+    }
+}

@@ -1,0 +1,95 @@
+//! The deterministic baseline rule.
+
+use super::{PlasticityRule, UpdateKind};
+use crate::config::RuleKind;
+
+/// Querlioz-style deterministic STDP, the paper's baseline (refs. \[3\], \[4\]).
+///
+/// On every post-synaptic spike, *every* incoming synapse updates: those
+/// whose pre-neuron fired within `ltp_window_ms` potentiate (the causal
+/// input contributed to the spike), all others depress. This all-to-all
+/// post-triggered scheme is what drives pattern separation in crossbar-style
+/// unsupervised learning — and, at low precision, what wipes memory out:
+/// every post spike moves every synapse by a full step, deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeterministicStdp {
+    ltp_window_ms: f64,
+}
+
+impl DeterministicStdp {
+    /// Creates the rule with the given LTP pairing window (ms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is not positive.
+    #[must_use]
+    pub fn new(ltp_window_ms: f64) -> Self {
+        assert!(ltp_window_ms > 0.0, "LTP window must be positive");
+        DeterministicStdp { ltp_window_ms }
+    }
+
+    /// The LTP pairing window (ms).
+    #[must_use]
+    pub fn ltp_window_ms(&self) -> f64 {
+        self.ltp_window_ms
+    }
+}
+
+impl PlasticityRule for DeterministicStdp {
+    fn on_post_spike(&self, dt_ms: f64, _uniform: f64) -> Option<UpdateKind> {
+        if dt_ms <= self.ltp_window_ms {
+            Some(UpdateKind::Potentiate)
+        } else {
+            Some(UpdateKind::Depress)
+        }
+    }
+
+    fn on_pre_spike(&self, _dt_ms: f64, _uniform: f64) -> Option<UpdateKind> {
+        // Depression is handled exhaustively on the post side.
+        None
+    }
+
+    fn kind(&self) -> RuleKind {
+        RuleKind::Deterministic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recent_pre_potentiates() {
+        let r = DeterministicStdp::new(20.0);
+        assert_eq!(r.on_post_spike(0.0, 0.5), Some(UpdateKind::Potentiate));
+        assert_eq!(r.on_post_spike(20.0, 0.5), Some(UpdateKind::Potentiate));
+    }
+
+    #[test]
+    fn stale_pre_depresses() {
+        let r = DeterministicStdp::new(20.0);
+        assert_eq!(r.on_post_spike(20.1, 0.5), Some(UpdateKind::Depress));
+        assert_eq!(r.on_post_spike(f64::INFINITY, 0.5), Some(UpdateKind::Depress));
+    }
+
+    #[test]
+    fn decision_ignores_uniform_draw() {
+        let r = DeterministicStdp::new(20.0);
+        for u in [0.0, 0.3, 0.999] {
+            assert_eq!(r.on_post_spike(5.0, u), Some(UpdateKind::Potentiate));
+            assert_eq!(r.on_post_spike(50.0, u), Some(UpdateKind::Depress));
+        }
+    }
+
+    #[test]
+    fn pre_spike_is_inert() {
+        let r = DeterministicStdp::new(20.0);
+        assert_eq!(r.on_pre_spike(1.0, 0.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = DeterministicStdp::new(0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Spike-timing-dependent plasticity rules.
+//!
+//! Both rules are expressed as *pure decision functions* over a spike
+//! pairing: given the time separation of the pre/post spikes (and, for the
+//! stochastic rule, a uniform acceptance draw), they decide whether the
+//! synapse potentiates, depresses, or is left alone. Update *magnitudes*
+//! (Eqs. 4–5 or the fixed low-precision step) live in
+//! [`crate::config::StdpMagnitudes`] and are applied by
+//! [`crate::synapse::SynapseMatrix`]; this separation keeps the decision
+//! logic trivially testable and lets the engine swap rules at run time.
+//!
+//! * [`DeterministicStdp`] — the baseline: Querlioz-style post-triggered
+//!   all-to-all updates. On every post-synaptic spike, synapses whose
+//!   pre-neuron fired within the LTP window potentiate and all others
+//!   depress. No randomness.
+//! * [`StochasticStdp`] — the paper's contribution: each pairing is accepted
+//!   with a probability exponential in the spike-time difference (Eqs. 6–7).
+//!   Causal pairings (pre before post) potentiate with `P_pot`, anti-causal
+//!   pairings (post before pre, evaluated when the pre spike arrives)
+//!   depress with `P_dep`.
+
+mod deterministic;
+mod stochastic;
+
+pub use deterministic::DeterministicStdp;
+pub use stochastic::StochasticStdp;
+
+use crate::config::RuleKind;
+
+/// The direction of a synaptic update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// Long-term potentiation: conductance increases.
+    Potentiate,
+    /// Long-term depression: conductance decreases.
+    Depress,
+}
+
+/// A plasticity rule: decides the fate of a synapse at each spike pairing.
+///
+/// `dt_ms` is always the non-negative separation between the two spikes
+/// (use `f64::INFINITY` when the partner never spiked); `uniform` is a draw
+/// from `[0, 1)` consumed only by stochastic rules.
+pub trait PlasticityRule: Send + Sync {
+    /// Decision for the causal pairing, evaluated when the **post**-neuron
+    /// spikes: the pre-neuron last fired `dt_ms` ago.
+    fn on_post_spike(&self, dt_ms: f64, uniform: f64) -> Option<UpdateKind>;
+
+    /// Decision for the anti-causal pairing, evaluated when the
+    /// **pre**-neuron spikes: the post-neuron last fired `dt_ms` ago.
+    fn on_pre_spike(&self, dt_ms: f64, uniform: f64) -> Option<UpdateKind>;
+
+    /// Whether [`PlasticityRule::on_pre_spike`] can ever return an update.
+    /// The engine skips the pre-side kernel entirely when this is `false`
+    /// (both built-in rules consolidate depression at the post event).
+    fn uses_pre_events(&self) -> bool {
+        false
+    }
+
+    /// Which family this rule belongs to.
+    fn kind(&self) -> RuleKind;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StochasticParams;
+
+    fn stochastic() -> StochasticStdp {
+        StochasticStdp::new(StochasticParams {
+            gamma_pot: 0.9,
+            tau_pot_ms: 30.0,
+            gamma_dep: 0.9,
+            tau_dep_ms: 10.0,
+        })
+    }
+
+    #[test]
+    fn rules_report_their_kind() {
+        assert_eq!(DeterministicStdp::new(20.0).kind(), RuleKind::Deterministic);
+        assert_eq!(stochastic().kind(), RuleKind::Stochastic);
+    }
+
+    #[test]
+    fn trait_objects_are_usable() {
+        let rules: Vec<Box<dyn PlasticityRule>> =
+            vec![Box::new(DeterministicStdp::new(20.0)), Box::new(stochastic())];
+        for rule in &rules {
+            // A coincident causal pairing must never *depress*.
+            assert_ne!(rule.on_post_spike(0.0, 0.0), Some(UpdateKind::Depress));
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The paper's stochastic STDP rule (Eqs. 6–7).
+
+use super::{PlasticityRule, UpdateKind};
+use crate::config::{RuleKind, StochasticParams};
+
+/// Stochastic STDP: every pairing decision is a probability draw.
+///
+/// Evaluated at each post-synaptic spike with `Δt` the time since the
+/// synapse's pre-neuron last fired:
+///
+/// * potentiate with `P_pot = γ_pot·e^{−Δt/τ_pot}` (Eq. 6) — the causal
+///   window, "higher when Δt is smaller";
+/// * otherwise depress with `P_dep = γ_dep·(1 − e^{−Δt/τ_dep})` (Eq. 7) —
+///   the complementary window, "higher when Δt is larger", saturating at
+///   `γ_dep` for inputs that never fired.
+///
+/// The *level* of causal relationship — not just its sign — is therefore
+/// encoded in how often a synapse actually moves. This rarefaction of
+/// updates is what preserves memory at low precision and what tolerates
+/// high input frequencies (Sections IV-B/C/D).
+///
+/// A large `τ_pot` with a small `τ_dep` produces the "short-term" behaviour
+/// used for high-frequency learning (Table I, last row): the potentiation
+/// window stays wide while depression reacts only to genuinely stale
+/// inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StochasticStdp {
+    params: StochasticParams,
+}
+
+impl StochasticStdp {
+    /// Creates the rule with acceptance parameters `params`.
+    #[must_use]
+    pub fn new(params: StochasticParams) -> Self {
+        StochasticStdp { params }
+    }
+
+    /// The acceptance parameters.
+    #[must_use]
+    pub fn params(&self) -> StochasticParams {
+        self.params
+    }
+
+    /// The potentiation probability for a causal separation `dt_ms`.
+    #[must_use]
+    pub fn p_pot(&self, dt_ms: f64) -> f64 {
+        self.params.p_pot(dt_ms)
+    }
+
+    /// The depression probability for a separation `dt_ms`.
+    #[must_use]
+    pub fn p_dep(&self, dt_ms: f64) -> f64 {
+        self.params.p_dep(dt_ms)
+    }
+}
+
+impl PlasticityRule for StochasticStdp {
+    fn on_post_spike(&self, dt_ms: f64, uniform: f64) -> Option<UpdateKind> {
+        // One draw decides between the two mutually exclusive windows:
+        // [0, P_pot) → potentiate, [P_pot, P_pot + P_dep) → depress.
+        let p_pot = self.params.p_pot(dt_ms);
+        if uniform < p_pot {
+            Some(UpdateKind::Potentiate)
+        } else if uniform < p_pot + self.params.p_dep(dt_ms) {
+            Some(UpdateKind::Depress)
+        } else {
+            None
+        }
+    }
+
+    fn on_pre_spike(&self, _dt_ms: f64, _uniform: f64) -> Option<UpdateKind> {
+        // Depression is consolidated at the post event via the
+        // complementary window.
+        None
+    }
+
+    fn kind(&self) -> RuleKind {
+        RuleKind::Stochastic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rule() -> StochasticStdp {
+        StochasticStdp::new(StochasticParams {
+            gamma_pot: 0.9,
+            tau_pot_ms: 30.0,
+            gamma_dep: 0.6,
+            tau_dep_ms: 10.0,
+        })
+    }
+
+    #[test]
+    fn coincident_pairing_potentiates_below_gamma() {
+        let r = rule();
+        assert_eq!(r.on_post_spike(0.0, 0.89), Some(UpdateKind::Potentiate));
+        // At Δt = 0 the depression window is closed, so draws above γ_pot
+        // leave the synapse alone.
+        assert_eq!(r.on_post_spike(0.0, 0.90), None);
+    }
+
+    #[test]
+    fn stale_pairing_depresses_with_probability_gamma_dep() {
+        let r = rule();
+        // Δt ≫ both windows: P_pot ≈ 0, P_dep ≈ γ_dep.
+        assert_eq!(r.on_post_spike(1000.0, 0.3), Some(UpdateKind::Depress));
+        assert_eq!(r.on_post_spike(1000.0, 0.7), None);
+    }
+
+    #[test]
+    fn never_spiked_input_depresses_at_full_gamma() {
+        let r = rule();
+        assert_eq!(r.on_post_spike(f64::INFINITY, 0.59), Some(UpdateKind::Depress));
+        assert_eq!(r.on_post_spike(f64::INFINITY, 0.61), None);
+    }
+
+    #[test]
+    fn potentiation_decays_and_depression_grows_with_separation() {
+        let r = rule();
+        assert!(r.p_pot(5.0) > r.p_pot(50.0));
+        assert!(r.p_dep(5.0) < r.p_dep(50.0));
+        // Complementarity: depression saturates at γ_dep.
+        assert!((r.p_dep(1e6) - 0.6).abs() < 1e-9);
+        assert_eq!(r.p_pot(0.0), 0.9);
+        assert_eq!(r.p_dep(0.0), 0.0);
+    }
+
+    #[test]
+    fn pre_side_events_are_inert() {
+        assert_eq!(rule().on_pre_spike(3.0, 0.0), None);
+    }
+
+    #[test]
+    fn empirical_rates_match_probabilities() {
+        let r = rule();
+        let dt = 12.0;
+        let n = 100_000;
+        let mut pots = 0;
+        let mut deps = 0;
+        for k in 0..n {
+            let u = (f64::from(k) + 0.5) / f64::from(n);
+            match r.on_post_spike(dt, u) {
+                Some(UpdateKind::Potentiate) => pots += 1,
+                Some(UpdateKind::Depress) => deps += 1,
+                None => {}
+            }
+        }
+        let pot_rate = f64::from(pots) / f64::from(n);
+        let dep_rate = f64::from(deps) / f64::from(n);
+        assert!((pot_rate - r.p_pot(dt)).abs() < 1e-3, "pot {pot_rate} vs {}", r.p_pot(dt));
+        // The single-draw partition clips depression mass when the two
+        // windows overlap enough that P_pot + P_dep > 1.
+        let expected_dep = r.p_dep(dt).min(1.0 - r.p_pot(dt));
+        assert!((dep_rate - expected_dep).abs() < 1e-3, "dep {dep_rate} vs {expected_dep}");
+    }
+
+    #[test]
+    fn short_term_configuration_reshapes_windows() {
+        // The high-frequency preset: long potentiation memory, depression
+        // that reacts within a few ms of staleness.
+        let short = StochasticStdp::new(StochasticParams {
+            gamma_pot: 0.3,
+            tau_pot_ms: 80.0,
+            gamma_dep: 0.2,
+            tau_dep_ms: 5.0,
+        });
+        // Potentiation stays live at 50 ms separation…
+        assert!(short.p_pot(50.0) > 0.15);
+        // …while the depression window is nearly fully open by 25 ms.
+        assert!(short.p_dep(25.0) > 0.19);
+    }
+}

@@ -1,0 +1,409 @@
+//! The plastic synapse population: conductance storage, update application,
+//! quantization, and statistics.
+
+use crate::config::{NetworkConfig, Precision, StdpMagnitudes};
+use crate::stdp::UpdateKind;
+use gpu_device::Philox4x32;
+use qformat::Quantizer;
+use serde::{Deserialize, Serialize};
+
+/// The all-to-all conductance matrix between the input trains and the
+/// excitatory layer.
+///
+/// Layout is row-major `[post][pre]`, so each excitatory neuron's receptive
+/// field (its "conductance array" in the paper's terms) is one contiguous
+/// row — the access pattern of both the current-accumulation and the
+/// post-spike STDP kernels.
+///
+/// Conductances are stored as `f64` but, under a fixed-point
+/// [`Precision`], every value is kept exactly on the format's grid: each
+/// update computes `G ± ΔG` in float and immediately re-quantizes with the
+/// configured rounding mode.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynapseMatrix {
+    n_pre: usize,
+    n_post: usize,
+    g: Vec<f64>,
+    g_min: f64,
+    g_max: f64,
+    magnitudes: StdpMagnitudes,
+    quantizer: Option<Quantizer>,
+}
+
+impl SynapseMatrix {
+    /// Creates the matrix with conductances drawn uniformly from the
+    /// configured init range (then snapped to the grid under fixed-point
+    /// precision). `seed` keys the reproducible init stream.
+    #[must_use]
+    pub fn new_random(cfg: &NetworkConfig, seed: u64) -> Self {
+        let quantizer = match cfg.precision {
+            Precision::Float32 => None,
+            Precision::Fixed(format) => Some(Quantizer::new(format, cfg.rounding)),
+        };
+        let (lo_frac, hi_frac) = cfg.init_range;
+        let lo = cfg.g_min + lo_frac * (cfg.g_max - cfg.g_min);
+        let hi = cfg.g_min + hi_frac * (cfg.g_max - cfg.g_min);
+        let philox = Philox4x32::new(seed ^ 0x5e_ed_1e_af);
+        let n = cfg.n_inputs * cfg.n_excitatory;
+        let g = (0..n)
+            .map(|idx| {
+                let u = philox.uniform(idx as u64, 0);
+                let raw = lo + u * (hi - lo);
+                match &quantizer {
+                    None => raw,
+                    Some(q) => q.quantize_f64(raw, philox.uniform2(idx as u64, 0)),
+                }
+            })
+            .collect();
+        SynapseMatrix {
+            n_pre: cfg.n_inputs,
+            n_post: cfg.n_excitatory,
+            g,
+            g_min: cfg.g_min,
+            g_max: cfg.g_max,
+            magnitudes: cfg.magnitudes,
+            quantizer,
+        }
+    }
+
+    /// Number of pre-synaptic inputs.
+    #[must_use]
+    pub fn n_pre(&self) -> usize {
+        self.n_pre
+    }
+
+    /// Number of post-synaptic neurons.
+    #[must_use]
+    pub fn n_post(&self) -> usize {
+        self.n_post
+    }
+
+    /// Total synapse count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.g.len()
+    }
+
+    /// Whether the matrix is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.g.is_empty()
+    }
+
+    /// The conductance bounds `(g_min, g_max)`.
+    #[must_use]
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.g_min, self.g_max)
+    }
+
+    /// One neuron's receptive field: the conductances of all its incoming
+    /// synapses (the paper's per-neuron "conductance array", Fig. 5).
+    #[must_use]
+    pub fn row(&self, post: usize) -> &[f64] {
+        &self.g[post * self.n_pre..(post + 1) * self.n_pre]
+    }
+
+    /// Mutable view of one neuron's receptive field.
+    pub fn row_mut(&mut self, post: usize) -> &mut [f64] {
+        &mut self.g[post * self.n_pre..(post + 1) * self.n_pre]
+    }
+
+    /// The full flat conductance slice (row-major `[post][pre]`).
+    #[must_use]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.g
+    }
+
+    /// Mutable full flat conductance slice. Used by the engine's row-parallel
+    /// kernels; values written here must already be on the grid.
+    pub fn as_flat_mut(&mut self) -> &mut [f64] {
+        &mut self.g
+    }
+
+    /// The conductance of synapse (`pre` → `post`).
+    #[must_use]
+    pub fn get(&self, pre: usize, post: usize) -> f64 {
+        self.g[post * self.n_pre + pre]
+    }
+
+    /// The copyable update context used by the engine's parallel kernels:
+    /// it carries everything needed to compute a conductance transition
+    /// without borrowing the matrix itself.
+    #[must_use]
+    pub fn update_ctx(&self) -> UpdateCtx {
+        UpdateCtx {
+            magnitudes: self.magnitudes,
+            g_min: self.g_min,
+            g_max: self.g_max,
+            quantizer: self.quantizer,
+        }
+    }
+
+    /// Applies `kind` to the conductance value `g`, returning the new
+    /// (clamped, quantized) value. `uniform` feeds stochastic rounding.
+    #[must_use]
+    pub fn updated_value(&self, g: f64, kind: UpdateKind, uniform: f64) -> f64 {
+        self.update_ctx().updated(g, kind, uniform)
+    }
+
+    /// Applies `kind` to synapse (`pre` → `post`) in place.
+    pub fn apply(&mut self, pre: usize, post: usize, kind: UpdateKind, uniform: f64) {
+        let idx = post * self.n_pre + pre;
+        self.g[idx] = self.updated_value(self.g[idx], kind, uniform);
+    }
+
+    /// Mean conductance.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.g.is_empty() {
+            return 0.0;
+        }
+        self.g.iter().sum::<f64>() / self.g.len() as f64
+    }
+
+    /// Histogram of all conductances over `bins` equal-width bins spanning
+    /// `[g_min, g_max]` (Fig. 6b).
+    #[must_use]
+    pub fn histogram(&self, bins: usize) -> Vec<u64> {
+        assert!(bins > 0, "need at least one bin");
+        let mut counts = vec![0u64; bins];
+        let width = (self.g_max - self.g_min) / bins as f64;
+        for &g in &self.g {
+            let bin = (((g - self.g_min) / width) as usize).min(bins - 1);
+            counts[bin] += 1;
+        }
+        counts
+    }
+
+    /// Fraction of synapses at (or within one part in 10⁹ of) `g_min`, the
+    /// collapse indicator discussed around Fig. 6(b).
+    #[must_use]
+    pub fn fraction_at_floor(&self) -> f64 {
+        if self.g.is_empty() {
+            return 0.0;
+        }
+        let eps = (self.g_max - self.g_min) * 1e-9;
+        let at_floor = self.g.iter().filter(|&&g| g <= self.g_min + eps).count();
+        at_floor as f64 / self.g.len() as f64
+    }
+
+    /// Receptive-field contrast of one neuron: the standard deviation of its
+    /// row, a proxy for how distinct a learned pattern is (Fig. 5).
+    #[must_use]
+    pub fn row_contrast(&self, post: usize) -> f64 {
+        let row = self.row(post);
+        let mean = row.iter().sum::<f64>() / row.len() as f64;
+        (row.iter().map(|&g| (g - mean).powi(2)).sum::<f64>() / row.len() as f64).sqrt()
+    }
+
+    /// Verifies every conductance is inside bounds and (under fixed-point
+    /// precision) exactly on the grid. Used by integration tests and debug
+    /// assertions.
+    #[must_use]
+    pub fn check_invariants(&self) -> bool {
+        self.g.iter().all(|&g| {
+            let in_bounds = g >= self.g_min - 1e-12 && g <= self.g_max + 1e-12;
+            let on_grid = match &self.quantizer {
+                None => true,
+                Some(q) => {
+                    let code = g / q.format().resolution();
+                    (code - code.round()).abs() < 1e-9
+                }
+            };
+            in_bounds && on_grid
+        })
+    }
+}
+
+/// The conductance transition function, detached from the matrix storage so
+/// parallel kernels can hold it by value while mutating row slices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpdateCtx {
+    magnitudes: StdpMagnitudes,
+    g_min: f64,
+    g_max: f64,
+    quantizer: Option<Quantizer>,
+}
+
+impl UpdateCtx {
+    /// Clamps and re-quantizes an arbitrary candidate conductance — used by
+    /// weight normalization, which scales a whole row off-grid at once.
+    #[must_use]
+    pub fn requantize(&self, candidate: f64, uniform: f64) -> f64 {
+        let clamped = candidate.clamp(self.g_min, self.g_max);
+        match &self.quantizer {
+            None => clamped,
+            Some(q) => q.quantize_f64(clamped, uniform).clamp(self.g_min, self.g_max),
+        }
+    }
+
+    /// Computes the post-update conductance for a synapse currently at `g`:
+    /// magnitude from Eqs. 4–5 (or the fixed step), clamp to
+    /// `[g_min, g_max]`, then re-quantize under the configured rounding mode
+    /// (`uniform` feeds stochastic rounding).
+    #[must_use]
+    pub fn updated(&self, g: f64, kind: UpdateKind, uniform: f64) -> f64 {
+        let candidate = match kind {
+            UpdateKind::Potentiate => {
+                g + self.magnitudes.potentiation(g, self.g_min, self.g_max)
+            }
+            UpdateKind::Depress => g - self.magnitudes.depression(g, self.g_min, self.g_max),
+        };
+        let clamped = candidate.clamp(self.g_min, self.g_max);
+        match &self.quantizer {
+            None => clamped,
+            Some(q) => q.quantize_f64(clamped, uniform).clamp(self.g_min, self.g_max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NetworkConfig, Preset, RuleKind};
+    use qformat::Rounding;
+
+    fn cfg(preset: Preset) -> NetworkConfig {
+        NetworkConfig::from_preset(preset, 16, 4).with_rule(RuleKind::Stochastic)
+    }
+
+    #[test]
+    fn random_init_within_configured_range() {
+        let c = cfg(Preset::FullPrecision);
+        let m = SynapseMatrix::new_random(&c, 1);
+        let (lo, hi) = (
+            c.g_min + c.init_range.0 * (c.g_max - c.g_min),
+            c.g_min + c.init_range.1 * (c.g_max - c.g_min),
+        );
+        for &g in m.as_flat() {
+            assert!(g >= lo - 1e-12 && g <= hi + 1e-12, "g = {g}");
+        }
+        assert_eq!(m.len(), 64);
+    }
+
+    #[test]
+    fn init_is_seed_deterministic() {
+        let c = cfg(Preset::FullPrecision);
+        let a = SynapseMatrix::new_random(&c, 7);
+        let b = SynapseMatrix::new_random(&c, 7);
+        let d = SynapseMatrix::new_random(&c, 8);
+        assert_eq!(a.as_flat(), b.as_flat());
+        assert_ne!(a.as_flat(), d.as_flat());
+    }
+
+    #[test]
+    fn fixed_point_init_lands_on_grid() {
+        let c = cfg(Preset::Bit2);
+        let m = SynapseMatrix::new_random(&c, 3);
+        assert!(m.check_invariants());
+        for &g in m.as_flat() {
+            assert!([0.0, 0.25, 0.5, 0.75].iter().any(|&q| (g - q).abs() < 1e-12), "g = {g}");
+        }
+    }
+
+    #[test]
+    fn querlioz_updates_respect_soft_bounds() {
+        let c = cfg(Preset::FullPrecision);
+        let mut m = SynapseMatrix::new_random(&c, 1);
+        // Hammer one synapse with potentiation: must converge toward g_max
+        // without ever exceeding it.
+        for _ in 0..10_000 {
+            m.apply(0, 0, UpdateKind::Potentiate, 0.5);
+        }
+        let g = m.get(0, 0);
+        assert!(g <= c.g_max && g > 0.9, "g = {g}");
+        for _ in 0..10_000 {
+            m.apply(0, 0, UpdateKind::Depress, 0.5);
+        }
+        let g = m.get(0, 0);
+        assert!(g >= c.g_min && g < 0.1, "g = {g}");
+    }
+
+    #[test]
+    fn fixed_step_moves_exactly_one_step_when_on_grid() {
+        // Q0.2: ΔG = 0.25 = 1 LSB, so updates walk the 4-level ladder.
+        let c = cfg(Preset::Bit2);
+        let mut m = SynapseMatrix::new_random(&c, 1);
+        let before = m.get(0, 0);
+        m.apply(0, 0, UpdateKind::Potentiate, 0.99);
+        let after = m.get(0, 0);
+        if before < c.g_max {
+            assert!((after - before - 0.25).abs() < 1e-12, "{before} -> {after}");
+        } else {
+            assert_eq!(after, before);
+        }
+    }
+
+    #[test]
+    fn q17_truncation_swallows_potentiation_but_not_depression() {
+        // The asymmetry behind the Fig. 6(b) collapse: ΔG = 1/256 is half an
+        // LSB, so under truncation +ΔG rounds back down while −ΔG clears a
+        // whole LSB.
+        let mut c = cfg(Preset::Bit8);
+        c.rounding = Rounding::Truncate;
+        let m = SynapseMatrix::new_random(&c, 1);
+        let g0 = 0.5; // on the Q1.7 grid
+        let up = m.updated_value(g0, UpdateKind::Potentiate, 0.0);
+        let down = m.updated_value(g0, UpdateKind::Depress, 0.0);
+        assert_eq!(up, g0, "potentiation must be truncated away");
+        assert!((g0 - down - 1.0 / 128.0).abs() < 1e-12, "depression clears one LSB");
+    }
+
+    #[test]
+    fn q17_stochastic_rounding_is_unbiased_about_half_step() {
+        let mut c = cfg(Preset::Bit8);
+        c.rounding = Rounding::Stochastic;
+        let m = SynapseMatrix::new_random(&c, 1);
+        let g0 = 0.5;
+        let n = 10_000;
+        let ups = (0..n)
+            .filter(|&k| {
+                let u = (f64::from(k) + 0.5) / f64::from(n);
+                m.updated_value(g0, UpdateKind::Potentiate, u) > g0
+            })
+            .count();
+        let frac = ups as f64 / f64::from(n);
+        assert!((frac - 0.5).abs() < 0.01, "up fraction = {frac}");
+    }
+
+    #[test]
+    fn histogram_partitions_population() {
+        let c = cfg(Preset::FullPrecision);
+        let m = SynapseMatrix::new_random(&c, 2);
+        let h = m.histogram(10);
+        assert_eq!(h.iter().sum::<u64>(), m.len() as u64);
+    }
+
+    #[test]
+    fn fraction_at_floor_detects_collapse() {
+        let c = cfg(Preset::FullPrecision);
+        let mut m = SynapseMatrix::new_random(&c, 2);
+        assert_eq!(m.fraction_at_floor(), 0.0);
+        for row in 0..m.n_post() {
+            for v in m.row_mut(row).iter_mut() {
+                *v = 0.0;
+            }
+        }
+        assert_eq!(m.fraction_at_floor(), 1.0);
+    }
+
+    #[test]
+    fn rows_are_contiguous_receptive_fields() {
+        let c = cfg(Preset::FullPrecision);
+        let mut m = SynapseMatrix::new_random(&c, 9);
+        m.row_mut(2)[5] = 0.123;
+        assert_eq!(m.get(5, 2), 0.123);
+        assert_eq!(m.row(2).len(), 16);
+    }
+
+    #[test]
+    fn contrast_zero_for_flat_row() {
+        let c = cfg(Preset::FullPrecision);
+        let mut m = SynapseMatrix::new_random(&c, 4);
+        for v in m.row_mut(0).iter_mut() {
+            *v = 0.4;
+        }
+        assert!(m.row_contrast(0) < 1e-12);
+        assert!(m.row_contrast(1) > 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests on the core learning data structures: the synapse matrix
+//! never leaves its grid or bounds under any update sequence, the
+//! plasticity rules respect their probability semantics, and the engine's
+//! observable state stays sane across random stimuli.
+
+use gpu_device::{Device, DeviceConfig, Philox4x32};
+use proptest::prelude::*;
+use qformat::Rounding;
+use snn_core::config::{NetworkConfig, Preset, RuleKind, StochasticParams};
+use snn_core::sim::WtaEngine;
+use snn_core::stdp::{PlasticityRule, StochasticStdp, UpdateKind};
+use snn_core::synapse::SynapseMatrix;
+
+fn arb_preset() -> impl Strategy<Value = Preset> {
+    prop_oneof![
+        Just(Preset::Bit2),
+        Just(Preset::Bit4),
+        Just(Preset::Bit8),
+        Just(Preset::Bit16),
+        Just(Preset::FullPrecision),
+    ]
+}
+
+fn arb_rounding() -> impl Strategy<Value = Rounding> {
+    prop_oneof![
+        Just(Rounding::Truncate),
+        Just(Rounding::Nearest),
+        Just(Rounding::Stochastic),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever sequence of potentiations/depressions with whatever
+    /// rounding draws is applied, every conductance stays in bounds and on
+    /// the fixed-point grid.
+    #[test]
+    fn synapse_matrix_invariants_under_random_updates(
+        preset in arb_preset(),
+        rounding in arb_rounding(),
+        seed in 0u64..500,
+        ops in prop::collection::vec((0usize..64, prop::bool::ANY, 0.0f64..1.0), 0..400),
+    ) {
+        let cfg = NetworkConfig::from_preset(preset, 8, 8).with_rounding(rounding);
+        let mut m = SynapseMatrix::new_random(&cfg, seed);
+        for (idx, pot, u) in ops {
+            let (pre, post) = (idx % 8, idx / 8);
+            let kind = if pot { UpdateKind::Potentiate } else { UpdateKind::Depress };
+            m.apply(pre, post, kind, u);
+        }
+        prop_assert!(m.check_invariants(), "invariants violated for {preset:?}/{rounding:?}");
+    }
+
+    /// Potentiation never decreases a conductance; depression never
+    /// increases one.
+    #[test]
+    fn update_directions_are_monotone(
+        preset in arb_preset(),
+        rounding in arb_rounding(),
+        g_frac in 0.0f64..1.0,
+        u in 0.0f64..1.0,
+    ) {
+        let cfg = NetworkConfig::from_preset(preset, 4, 4).with_rounding(rounding);
+        let m = SynapseMatrix::new_random(&cfg, 1);
+        let (lo, hi) = m.bounds();
+        // Snap the starting point onto the representable grid first.
+        let g0 = m.updated_value(lo + g_frac * (hi - lo), UpdateKind::Potentiate, 1.0 - f64::EPSILON)
+            .min(hi);
+        let up = m.updated_value(g0, UpdateKind::Potentiate, u);
+        let down = m.updated_value(g0, UpdateKind::Depress, u);
+        prop_assert!(up >= g0 - 1e-12, "potentiation decreased {g0} -> {up}");
+        prop_assert!(down <= g0 + 1e-12, "depression increased {g0} -> {down}");
+    }
+
+    /// The stochastic rule's acceptance is monotone in the draw: if a
+    /// pairing is accepted at draw `u`, it is accepted at any smaller draw
+    /// (with the same or stronger outcome ordering pot-before-dep).
+    #[test]
+    fn stochastic_acceptance_monotone_in_draw(
+        dt in 0.0f64..200.0,
+        u1 in 0.0f64..1.0,
+        u2 in 0.0f64..1.0,
+    ) {
+        let rule = StochasticStdp::new(StochasticParams {
+            gamma_pot: 0.7,
+            tau_pot_ms: 30.0,
+            gamma_dep: 0.5,
+            tau_dep_ms: 10.0,
+        });
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        if rule.on_post_spike(dt, hi) == Some(UpdateKind::Potentiate) {
+            prop_assert_eq!(rule.on_post_spike(dt, lo), Some(UpdateKind::Potentiate));
+        }
+        if rule.on_post_spike(dt, lo).is_none() {
+            prop_assert!(rule.on_post_spike(dt, hi).is_none());
+        }
+    }
+
+    /// Presentations return one count per neuron, never panic for valid
+    /// rates, and leave conductances on the grid.
+    #[test]
+    fn engine_presentations_stay_sane(
+        preset in arb_preset(),
+        rule in prop_oneof![Just(RuleKind::Deterministic), Just(RuleKind::Stochastic)],
+        seed in 0u64..100,
+        rate in 0.0f64..120.0,
+    ) {
+        let device = Device::new(DeviceConfig::serial());
+        let cfg = NetworkConfig::from_preset(preset, 16, 4).with_rule(rule);
+        let mut engine = WtaEngine::new(cfg, &device, seed);
+        let counts = engine.present(&[rate; 16], 100.0, true);
+        prop_assert_eq!(counts.len(), 4);
+        prop_assert!(engine.synapses().check_invariants());
+    }
+}
+
+/// Non-proptest statistical check: engine input encoding matches the
+/// requested Poisson rate (via the observable downstream effect — a single
+/// always-on synapse row and the analytic LIF response would be
+/// over-coupled, so we check the raster of a pass-through network).
+#[test]
+fn empirical_acceptance_of_rule_matches_probability_under_philox() {
+    let rule = StochasticStdp::new(StochasticParams {
+        gamma_pot: 0.6,
+        tau_pot_ms: 25.0,
+        gamma_dep: 0.4,
+        tau_dep_ms: 10.0,
+    });
+    let philox = Philox4x32::new(99);
+    let dt = 18.0;
+    let n = 200_000u64;
+    let accepted = (0..n)
+        .filter(|&i| rule.on_post_spike(dt, philox.uniform(0, i)).is_some())
+        .count();
+    let rate = accepted as f64 / n as f64;
+    let expect = (rule.p_pot(dt) + rule.p_dep(dt)).min(1.0);
+    assert!(
+        (rate - expect).abs() < 5e-3,
+        "acceptance {rate} vs expected {expect} under Philox draws"
+    );
+}

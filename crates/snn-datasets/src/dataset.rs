@@ -1,0 +1,127 @@
+//! Labeled datasets and split bookkeeping.
+
+use crate::Image;
+use serde::{Deserialize, Serialize};
+
+/// One labeled sample.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabeledImage {
+    /// The image.
+    pub image: Image,
+    /// Its class label (`0..n_classes`).
+    pub label: u8,
+}
+
+/// A train/test split of labeled images.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"synthetic-mnist"`).
+    pub name: String,
+    /// Number of classes.
+    pub n_classes: usize,
+    /// Training samples.
+    pub train: Vec<LabeledImage>,
+    /// Test samples. Following the paper's protocol, the first 1000 (or
+    /// [`Dataset::labeling_split`]) are used to label neurons and the rest
+    /// for inference.
+    pub test: Vec<LabeledImage>,
+}
+
+impl Dataset {
+    /// Splits the test set into (labeling set, inference set) at
+    /// `n_labeling` samples, mirroring the paper's 1000/9000 protocol.
+    #[must_use]
+    pub fn labeling_split(&self, n_labeling: usize) -> (&[LabeledImage], &[LabeledImage]) {
+        let n = n_labeling.min(self.test.len());
+        self.test.split_at(n)
+    }
+
+    /// Truncates both splits (keeps the leading samples).
+    #[must_use]
+    pub fn truncated(mut self, n_train: usize, n_test: usize) -> Self {
+        self.train.truncate(n_train);
+        self.test.truncate(n_test);
+        self
+    }
+
+    /// Per-class sample counts over the training split.
+    #[must_use]
+    pub fn train_class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for s in &self.train {
+            if let Some(c) = counts.get_mut(usize::from(s.label)) {
+                *c += 1;
+            }
+        }
+        counts
+    }
+
+    /// Validates labels are in range and all images share one geometry.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        let all = self.train.iter().chain(&self.test);
+        let mut geometry: Option<(usize, usize)> = None;
+        for s in all {
+            if usize::from(s.label) >= self.n_classes {
+                return false;
+            }
+            let dims = (s.image.width(), s.image.height());
+            match geometry {
+                None => geometry = Some(dims),
+                Some(g) if g != dims => return false,
+                _ => {}
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let mk = |label: u8| LabeledImage { image: Image::black(4, 4), label };
+        Dataset {
+            name: "tiny".into(),
+            n_classes: 3,
+            train: vec![mk(0), mk(1), mk(1), mk(2)],
+            test: vec![mk(2), mk(0), mk(1)],
+        }
+    }
+
+    #[test]
+    fn class_counts() {
+        assert_eq!(tiny().train_class_counts(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn labeling_split_respects_bounds() {
+        let ds = tiny();
+        let (label, infer) = ds.labeling_split(2);
+        assert_eq!(label.len(), 2);
+        assert_eq!(infer.len(), 1);
+        let (label, infer) = ds.labeling_split(100);
+        assert_eq!(label.len(), 3);
+        assert!(infer.is_empty());
+    }
+
+    #[test]
+    fn truncation_keeps_leading_samples() {
+        let ds = tiny().truncated(2, 1);
+        assert_eq!(ds.train.len(), 2);
+        assert_eq!(ds.test.len(), 1);
+        assert_eq!(ds.train[0].label, 0);
+    }
+
+    #[test]
+    fn consistency_checks_labels_and_geometry() {
+        assert!(tiny().is_consistent());
+        let mut bad = tiny();
+        bad.train[0].label = 9;
+        assert!(!bad.is_consistent());
+        let mut bad = tiny();
+        bad.test[0].image = Image::black(5, 4);
+        assert!(!bad.is_consistent());
+    }
+}

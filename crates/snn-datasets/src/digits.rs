@@ -1,0 +1,232 @@
+//! Procedural hand-written-digit generator (MNIST substitute).
+//!
+//! Each digit class is a set of unit-space polylines; samples are rendered
+//! with per-sample affine jitter, stroke-thickness variation and pixel
+//! noise. The result preserves what the paper's "simple" task needs:
+//! sparse, high-contrast glyphs whose classes occupy distinct regions of
+//! pixel space.
+
+use crate::render::{stroke_polyline, Affine, Pt};
+use crate::{Dataset, Image, LabeledImage};
+use gpu_device::{Philox4x32, PhiloxStream};
+
+const SIZE: usize = 28;
+
+/// Unit-space polylines for each digit class.
+fn strokes(digit: u8) -> Vec<Vec<Pt>> {
+    match digit {
+        0 => vec![ellipse((0.5, 0.5), 0.22, 0.32, 20)],
+        1 => vec![vec![(0.38, 0.3), (0.52, 0.18), (0.52, 0.82)], vec![(0.38, 0.82), (0.66, 0.82)]],
+        2 => vec![vec![
+            (0.3, 0.32),
+            (0.38, 0.2),
+            (0.58, 0.18),
+            (0.7, 0.3),
+            (0.66, 0.45),
+            (0.42, 0.62),
+            (0.3, 0.8),
+            (0.72, 0.8),
+        ]],
+        3 => vec![vec![
+            (0.32, 0.22),
+            (0.55, 0.18),
+            (0.68, 0.3),
+            (0.55, 0.46),
+            (0.42, 0.48),
+            (0.55, 0.5),
+            (0.7, 0.64),
+            (0.55, 0.8),
+            (0.32, 0.76),
+        ]],
+        4 => vec![
+            vec![(0.62, 0.82), (0.62, 0.18), (0.3, 0.6), (0.74, 0.6)],
+        ],
+        5 => vec![vec![
+            (0.68, 0.2),
+            (0.36, 0.2),
+            (0.34, 0.48),
+            (0.56, 0.44),
+            (0.7, 0.58),
+            (0.62, 0.78),
+            (0.34, 0.8),
+        ]],
+        6 => vec![
+            vec![(0.62, 0.18), (0.42, 0.36), (0.34, 0.6)],
+            ellipse((0.5, 0.64), 0.17, 0.17, 16),
+        ],
+        7 => vec![
+            vec![(0.3, 0.2), (0.7, 0.2), (0.46, 0.82)],
+            vec![(0.38, 0.52), (0.62, 0.52)],
+        ],
+        8 => vec![
+            ellipse((0.5, 0.34), 0.15, 0.15, 16),
+            ellipse((0.5, 0.66), 0.18, 0.17, 16),
+        ],
+        9 => vec![
+            ellipse((0.5, 0.36), 0.17, 0.17, 16),
+            vec![(0.66, 0.4), (0.62, 0.62), (0.5, 0.82)],
+        ],
+        _ => panic!("digit class must be 0..10, got {digit}"),
+    }
+}
+
+/// Closed elliptical polyline.
+fn ellipse(center: Pt, rx: f64, ry: f64, segments: usize) -> Vec<Pt> {
+    (0..=segments)
+        .map(|k| {
+            let angle = std::f64::consts::TAU * k as f64 / segments as f64;
+            (center.0 + rx * angle.cos(), center.1 + ry * angle.sin())
+        })
+        .collect()
+}
+
+/// Draws one augmented digit sample.
+pub(crate) fn render_digit(digit: u8, rng: &mut PhiloxStream) -> Image {
+    let mut img = Image::black(SIZE, SIZE);
+    let affine = Affine {
+        rotate_rad: (rng.next_f64() - 0.5) * 0.35, // ±10°
+        scale_x: 0.9 + rng.next_f64() * 0.25,
+        scale_y: 0.9 + rng.next_f64() * 0.25,
+        translate: ((rng.next_f64() - 0.5) * 0.14, (rng.next_f64() - 0.5) * 0.14),
+    };
+    let thickness = 0.045 + rng.next_f64() * 0.03;
+    let intensity = 200 + rng.next_below(56) as u8;
+    for line in strokes(digit) {
+        stroke_polyline(&mut img, &line, affine, thickness, intensity);
+    }
+    add_noise(&mut img, rng, 10.0);
+    img
+}
+
+/// Adds clamped Gaussian pixel noise.
+pub(crate) fn add_noise(img: &mut Image, rng: &mut PhiloxStream, sigma: f64) {
+    for p in img.pixels_mut() {
+        let noisy = f64::from(*p) + rng.next_normal() * sigma;
+        *p = noisy.clamp(0.0, 255.0) as u8;
+    }
+}
+
+/// Generates a synthetic MNIST-like dataset: `n_train` training and
+/// `n_test` test samples with labels cycling through the 10 digit classes,
+/// fully determined by `seed`.
+#[must_use]
+pub fn synthetic_mnist(n_train: usize, n_test: usize, seed: u64) -> Dataset {
+    let philox = Philox4x32::new(seed ^ 0xd161_7000);
+    let gen = |stream_base: u64, n: usize| -> Vec<LabeledImage> {
+        (0..n)
+            .map(|k| {
+                let label = (k % 10) as u8;
+                let mut rng = philox.stream(stream_base + k as u64);
+                LabeledImage { image: render_digit(label, &mut rng), label }
+            })
+            .collect()
+    };
+    Dataset {
+        name: "synthetic-mnist".into(),
+        n_classes: 10,
+        train: gen(0, n_train),
+        test: gen(1 << 32, n_test),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_renders_nonempty() {
+        let philox = Philox4x32::new(1);
+        for digit in 0..10u8 {
+            let mut rng = philox.stream(u64::from(digit));
+            let img = render_digit(digit, &mut rng);
+            assert!(img.coverage(64) > 0.02, "digit {digit} too sparse");
+            assert!(img.coverage(64) < 0.5, "digit {digit} too dense");
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let a = synthetic_mnist(20, 5, 7);
+        let b = synthetic_mnist(20, 5, 7);
+        assert_eq!(a, b);
+        let c = synthetic_mnist(20, 5, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn labels_cycle_through_all_classes() {
+        let ds = synthetic_mnist(20, 10, 1);
+        assert_eq!(ds.train_class_counts(), vec![2; 10]);
+        assert!(ds.is_consistent());
+    }
+
+    #[test]
+    fn train_and_test_samples_differ() {
+        let ds = synthetic_mnist(10, 10, 1);
+        // Same labels, different augmentation streams.
+        assert_ne!(ds.train[0].image, ds.test[0].image);
+    }
+
+    #[test]
+    fn same_class_samples_vary_but_overlap() {
+        let ds = synthetic_mnist(30, 0, 3);
+        let (a, b) = (&ds.train[0].image, &ds.train[10].image);
+        assert_ne!(a, b, "augmentation must vary samples");
+        // Class-consistent core: the two zeros still share lit pixels.
+        let both = a
+            .pixels()
+            .iter()
+            .zip(b.pixels())
+            .filter(|&(&x, &y)| x > 64 && y > 64)
+            .count();
+        assert!(both > 10, "same-class samples should overlap (got {both})");
+    }
+
+    #[test]
+    fn classes_are_distinguishable_by_centroid() {
+        // Nearest-centroid accuracy on held-out samples must beat chance by
+        // a wide margin — the generator's separability guarantee.
+        let ds = synthetic_mnist(400, 100, 5);
+        let dim = 28 * 28;
+        let mut centroids = vec![vec![0.0f64; dim]; 10];
+        let mut counts = [0usize; 10];
+        for s in &ds.train {
+            counts[usize::from(s.label)] += 1;
+            for (c, &p) in centroids[usize::from(s.label)].iter_mut().zip(s.image.pixels()) {
+                *c += f64::from(p);
+            }
+        }
+        for (c, &n) in centroids.iter_mut().zip(&counts) {
+            for v in c.iter_mut() {
+                *v /= n as f64;
+            }
+        }
+        let correct = ds
+            .test
+            .iter()
+            .filter(|s| {
+                let best = centroids
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        let da: f64 = a
+                            .iter()
+                            .zip(s.image.pixels())
+                            .map(|(&c, &p)| (c - f64::from(p)).powi(2))
+                            .sum();
+                        let db: f64 = b
+                            .iter()
+                            .zip(s.image.pixels())
+                            .map(|(&c, &p)| (c - f64::from(p)).powi(2))
+                            .sum();
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .map(|(i, _)| i as u8)
+                    .unwrap();
+                best == s.label
+            })
+            .count();
+        let acc = correct as f64 / ds.test.len() as f64;
+        assert!(acc > 0.8, "nearest-centroid accuracy only {acc}");
+    }
+}

@@ -1,0 +1,273 @@
+//! Procedural apparel-silhouette generator (Fashion-MNIST substitute).
+//!
+//! Fashion-MNIST is the paper's "complex" task because its classes are
+//! filled shapes with heavy inter-class overlap (pullover vs. coat vs.
+//! shirt differ in small details, not location). The generator reproduces
+//! exactly that structure: filled polygon silhouettes where the torso
+//! classes share most of their pixels and differ only in sleeves, collars
+//! and hems.
+
+use crate::digits::add_noise;
+use crate::render::{fill_polygon, stroke_polyline, Affine, Pt};
+use crate::{Dataset, Image, LabeledImage};
+use gpu_device::{Philox4x32, PhiloxStream};
+
+const SIZE: usize = 28;
+
+/// Torso polygon shared by the upper-body garment classes — the source of
+/// the inter-class overlap.
+fn torso(waist: f64, length: f64) -> Vec<Pt> {
+    vec![
+        (0.34, 0.22),
+        (0.66, 0.22),
+        (0.68, 0.3),
+        (0.5 + waist, 0.3 + length * 0.5),
+        (0.5 + waist, 0.22 + length),
+        (0.5 - waist, 0.22 + length),
+        (0.5 - waist, 0.3 + length * 0.5),
+        (0.32, 0.3),
+    ]
+}
+
+fn short_sleeves() -> [Vec<Pt>; 2] {
+    [
+        vec![(0.34, 0.22), (0.2, 0.3), (0.24, 0.42), (0.36, 0.36)],
+        vec![(0.66, 0.22), (0.8, 0.3), (0.76, 0.42), (0.64, 0.36)],
+    ]
+}
+
+fn long_sleeves() -> [Vec<Pt>; 2] {
+    [
+        vec![(0.34, 0.22), (0.2, 0.3), (0.16, 0.66), (0.28, 0.68), (0.36, 0.36)],
+        vec![(0.66, 0.22), (0.8, 0.3), (0.84, 0.66), (0.72, 0.68), (0.64, 0.36)],
+    ]
+}
+
+/// The filled polygons (and optional detail strokes) for each class.
+fn silhouette(class: u8) -> (Vec<Vec<Pt>>, Vec<Vec<Pt>>) {
+    match class {
+        // 0: T-shirt/top — torso + short sleeves.
+        0 => {
+            let mut polys = vec![torso(0.16, 0.44)];
+            polys.extend(short_sleeves());
+            (polys, vec![])
+        }
+        // 1: Trouser — two long legs from a waistband.
+        1 => (
+            vec![
+                vec![(0.36, 0.18), (0.64, 0.18), (0.62, 0.3), (0.38, 0.3)],
+                vec![(0.38, 0.3), (0.49, 0.3), (0.47, 0.9), (0.36, 0.9)],
+                vec![(0.51, 0.3), (0.62, 0.3), (0.64, 0.9), (0.53, 0.9)],
+            ],
+            vec![],
+        ),
+        // 2: Pullover — torso + long sleeves (overlaps 0, 4, 6).
+        2 => {
+            let mut polys = vec![torso(0.17, 0.46)];
+            polys.extend(long_sleeves());
+            (polys, vec![])
+        }
+        // 3: Dress — narrow top flaring to a wide hem.
+        3 => (
+            vec![vec![
+                (0.4, 0.16),
+                (0.6, 0.16),
+                (0.58, 0.34),
+                (0.72, 0.84),
+                (0.28, 0.84),
+                (0.42, 0.34),
+            ]],
+            vec![],
+        ),
+        // 4: Coat — pullover shape, longer hem, plus a front opening line.
+        4 => {
+            let mut polys = vec![torso(0.18, 0.56)];
+            polys.extend(long_sleeves());
+            (polys, vec![vec![(0.5, 0.24), (0.5, 0.76)]])
+        }
+        // 5: Sandal — sole bar plus straps.
+        5 => (
+            vec![vec![(0.18, 0.62), (0.82, 0.58), (0.84, 0.68), (0.2, 0.72)]],
+            vec![
+                vec![(0.3, 0.62), (0.42, 0.46), (0.54, 0.6)],
+                vec![(0.56, 0.6), (0.68, 0.44), (0.78, 0.58)],
+            ],
+        ),
+        // 6: Shirt — torso + long sleeves + collar notch (overlaps 2, 4).
+        6 => {
+            let mut polys = vec![torso(0.16, 0.46)];
+            polys.extend(long_sleeves());
+            (
+                polys,
+                vec![vec![(0.44, 0.22), (0.5, 0.3), (0.56, 0.22)], vec![(0.5, 0.34), (0.5, 0.6)]],
+            )
+        }
+        // 7: Sneaker — low profile with a flat sole.
+        7 => (
+            vec![vec![
+                (0.16, 0.6),
+                (0.42, 0.52),
+                (0.62, 0.5),
+                (0.82, 0.58),
+                (0.84, 0.7),
+                (0.16, 0.7),
+            ]],
+            vec![vec![(0.3, 0.6), (0.4, 0.56)], vec![(0.45, 0.58), (0.55, 0.54)]],
+        ),
+        // 8: Bag — body rectangle plus handle arc.
+        8 => (
+            vec![vec![(0.24, 0.42), (0.76, 0.42), (0.8, 0.78), (0.2, 0.78)]],
+            vec![vec![(0.36, 0.42), (0.38, 0.26), (0.5, 0.2), (0.62, 0.26), (0.64, 0.42)]],
+        ),
+        // 9: Ankle boot — sneaker with a shaft.
+        9 => (
+            vec![vec![
+                (0.3, 0.3),
+                (0.52, 0.3),
+                (0.54, 0.52),
+                (0.72, 0.56),
+                (0.8, 0.64),
+                (0.8, 0.72),
+                (0.28, 0.72),
+            ]],
+            vec![],
+        ),
+        _ => panic!("fashion class must be 0..10, got {class}"),
+    }
+}
+
+/// Draws one augmented apparel sample.
+fn render_fashion(class: u8, rng: &mut PhiloxStream) -> Image {
+    let mut img = Image::black(SIZE, SIZE);
+    let affine = Affine {
+        rotate_rad: (rng.next_f64() - 0.5) * 0.16, // ±4.5° — garments stay upright
+        scale_x: 0.88 + rng.next_f64() * 0.24,
+        scale_y: 0.88 + rng.next_f64() * 0.24,
+        translate: ((rng.next_f64() - 0.5) * 0.1, (rng.next_f64() - 0.5) * 0.1),
+    };
+    let fill = 140 + rng.next_below(80) as u8;
+    let (polys, details) = silhouette(class);
+    for poly in &polys {
+        fill_polygon(&mut img, poly, affine, fill);
+    }
+    for line in &details {
+        // Details are darker or brighter than the fill — a texture cue.
+        let detail = if class == 4 { 40 } else { 230 };
+        stroke_polyline(&mut img, line, affine, 0.05, detail);
+    }
+    // Garment texture: mild multiplicative shading + additive noise.
+    for p in img.pixels_mut() {
+        if *p > 0 {
+            let shade = 0.85 + rng.next_f64() * 0.3;
+            *p = (f64::from(*p) * shade).clamp(0.0, 255.0) as u8;
+        }
+    }
+    add_noise(&mut img, rng, 12.0);
+    img
+}
+
+/// Generates a synthetic Fashion-MNIST-like dataset, fully determined by
+/// `seed`, with labels cycling through the 10 apparel classes.
+#[must_use]
+pub fn synthetic_fashion(n_train: usize, n_test: usize, seed: u64) -> Dataset {
+    let philox = Philox4x32::new(seed ^ 0xfa51_0700);
+    let gen = |stream_base: u64, n: usize| -> Vec<LabeledImage> {
+        (0..n)
+            .map(|k| {
+                let label = (k % 10) as u8;
+                let mut rng = philox.stream(stream_base + k as u64);
+                LabeledImage { image: render_fashion(label, &mut rng), label }
+            })
+            .collect()
+    };
+    Dataset {
+        name: "synthetic-fashion".into(),
+        n_classes: 10,
+        train: gen(0, n_train),
+        test: gen(1 << 32, n_test),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_class_renders_with_substantial_fill() {
+        let philox = Philox4x32::new(2);
+        for class in 0..10u8 {
+            let mut rng = philox.stream(u64::from(class));
+            let img = render_fashion(class, &mut rng);
+            assert!(img.coverage(64) > 0.05, "class {class} too sparse");
+        }
+    }
+
+    #[test]
+    fn fashion_denser_than_digits() {
+        // The "complex" task has much higher ink coverage than digit
+        // strokes — one of the two properties the substitution preserves.
+        let fashion = synthetic_fashion(50, 0, 3);
+        let digits = crate::synthetic_mnist(50, 0, 3);
+        let mean = |ds: &Dataset| {
+            ds.train.iter().map(|s| s.image.coverage(64)).sum::<f64>() / ds.train.len() as f64
+        };
+        assert!(mean(&fashion) > 1.3 * mean(&digits));
+    }
+
+    #[test]
+    fn torso_classes_overlap_heavily() {
+        // Pullover (2), coat (4) and shirt (6) must share most lit pixels —
+        // the other property the substitution preserves.
+        let philox = Philox4x32::new(5);
+        let imgs: Vec<Image> = [2u8, 4, 6]
+            .iter()
+            .map(|&c| {
+                let mut rng = philox.stream(u64::from(c) + 100);
+                render_fashion(c, &mut rng)
+            })
+            .collect();
+        for (i, a) in imgs.iter().enumerate() {
+            for b in &imgs[i + 1..] {
+                let a_lit = a.pixels().iter().filter(|&&p| p > 64).count();
+                let shared = a
+                    .pixels()
+                    .iter()
+                    .zip(b.pixels())
+                    .filter(|&(&x, &y)| x > 64 && y > 64)
+                    .count();
+                let overlap = shared as f64 / a_lit as f64;
+                assert!(overlap > 0.6, "torso classes overlap only {overlap}");
+            }
+        }
+    }
+
+    #[test]
+    fn trouser_and_bag_are_distinct() {
+        let philox = Philox4x32::new(6);
+        let mut r1 = philox.stream(1);
+        let mut r2 = philox.stream(2);
+        let trouser = render_fashion(1, &mut r1);
+        let bag = render_fashion(8, &mut r2);
+        let t_lit = trouser.pixels().iter().filter(|&&p| p > 64).count();
+        let shared = trouser
+            .pixels()
+            .iter()
+            .zip(bag.pixels())
+            .filter(|&(&x, &y)| x > 64 && y > 64)
+            .count();
+        assert!((shared as f64) < 0.8 * t_lit as f64);
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        assert_eq!(synthetic_fashion(10, 5, 9), synthetic_fashion(10, 5, 9));
+        assert_ne!(synthetic_fashion(10, 5, 9), synthetic_fashion(10, 5, 10));
+    }
+
+    #[test]
+    fn dataset_is_consistent() {
+        let ds = synthetic_fashion(20, 10, 1);
+        assert!(ds.is_consistent());
+        assert_eq!(ds.n_classes, 10);
+    }
+}

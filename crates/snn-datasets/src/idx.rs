@@ -1,0 +1,192 @@
+//! The IDX file format used by MNIST and Fashion-MNIST.
+//!
+//! Implements enough of the codec to read and write the four canonical
+//! files (`train-images-idx3-ubyte`, `train-labels-idx1-ubyte`,
+//! `t10k-images-idx3-ubyte`, `t10k-labels-idx1-ubyte`), so real data is
+//! used whenever it is available.
+
+use crate::{Dataset, Image, LabeledImage};
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC_IMAGES: u32 = 0x0000_0803;
+const MAGIC_LABELS: u32 = 0x0000_0801;
+
+/// Reads an IDX3 unsigned-byte image file.
+pub fn read_images<R: Read>(mut reader: R) -> io::Result<Vec<Image>> {
+    let magic = read_u32(&mut reader)?;
+    if magic != MAGIC_IMAGES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad IDX image magic {magic:#010x}"),
+        ));
+    }
+    let count = read_u32(&mut reader)? as usize;
+    let rows = read_u32(&mut reader)? as usize;
+    let cols = read_u32(&mut reader)? as usize;
+    if rows == 0 || cols == 0 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "zero-sized IDX images"));
+    }
+    let mut images = Vec::with_capacity(count);
+    let mut buf = vec![0u8; rows * cols];
+    for _ in 0..count {
+        reader.read_exact(&mut buf)?;
+        images.push(Image::from_pixels(cols, rows, buf.clone()));
+    }
+    Ok(images)
+}
+
+/// Reads an IDX1 unsigned-byte label file.
+pub fn read_labels<R: Read>(mut reader: R) -> io::Result<Vec<u8>> {
+    let magic = read_u32(&mut reader)?;
+    if magic != MAGIC_LABELS {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad IDX label magic {magic:#010x}"),
+        ));
+    }
+    let count = read_u32(&mut reader)? as usize;
+    let mut labels = vec![0u8; count];
+    reader.read_exact(&mut labels)?;
+    Ok(labels)
+}
+
+/// Writes images in IDX3 format.
+///
+/// # Panics
+///
+/// Panics if the images do not all share one geometry.
+pub fn write_images<W: Write>(mut writer: W, images: &[Image]) -> io::Result<()> {
+    let (cols, rows) = images
+        .first()
+        .map_or((0, 0), |img| (img.width(), img.height()));
+    write_u32(&mut writer, MAGIC_IMAGES)?;
+    write_u32(&mut writer, images.len() as u32)?;
+    write_u32(&mut writer, rows as u32)?;
+    write_u32(&mut writer, cols as u32)?;
+    for img in images {
+        assert_eq!((img.width(), img.height()), (cols, rows), "mixed image geometry");
+        writer.write_all(img.pixels())?;
+    }
+    Ok(())
+}
+
+/// Writes labels in IDX1 format.
+pub fn write_labels<W: Write>(mut writer: W, labels: &[u8]) -> io::Result<()> {
+    write_u32(&mut writer, MAGIC_LABELS)?;
+    write_u32(&mut writer, labels.len() as u32)?;
+    writer.write_all(labels)
+}
+
+/// Loads a full dataset from a directory containing the four canonical
+/// MNIST-layout files.
+pub fn load_dataset(dir: &Path) -> io::Result<Dataset> {
+    let load_split = |images_name: &str, labels_name: &str| -> io::Result<Vec<LabeledImage>> {
+        let images = read_images(fs::File::open(dir.join(images_name))?)?;
+        let labels = read_labels(fs::File::open(dir.join(labels_name))?)?;
+        if images.len() != labels.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{images_name}: {} images vs {} labels", images.len(), labels.len()),
+            ));
+        }
+        Ok(images
+            .into_iter()
+            .zip(labels)
+            .map(|(image, label)| LabeledImage { image, label })
+            .collect())
+    };
+    let train = load_split("train-images-idx3-ubyte", "train-labels-idx1-ubyte")?;
+    let test = load_split("t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte")?;
+    let n_classes = train
+        .iter()
+        .chain(&test)
+        .map(|s| usize::from(s.label) + 1)
+        .max()
+        .unwrap_or(0);
+    Ok(Dataset { name: dir.display().to_string(), n_classes, train, test })
+}
+
+/// Saves a dataset in the canonical four-file layout (used to materialize
+/// synthetic datasets for external tools).
+pub fn save_dataset(dir: &Path, dataset: &Dataset) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    let save_split = |images_name: &str, labels_name: &str, split: &[LabeledImage]| -> io::Result<()> {
+        let images: Vec<Image> = split.iter().map(|s| s.image.clone()).collect();
+        let labels: Vec<u8> = split.iter().map(|s| s.label).collect();
+        write_images(fs::File::create(dir.join(images_name))?, &images)?;
+        write_labels(fs::File::create(dir.join(labels_name))?, &labels)
+    };
+    save_split("train-images-idx3-ubyte", "train-labels-idx1-ubyte", &dataset.train)?;
+    save_split("t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte", &dataset.test)
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    reader.read_exact(&mut buf)?;
+    Ok(u32::from_be_bytes(buf))
+}
+
+fn write_u32<W: Write>(writer: &mut W, value: u32) -> io::Result<()> {
+    writer.write_all(&value.to_be_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_roundtrip() {
+        let images = vec![
+            Image::from_pixels(2, 3, vec![1, 2, 3, 4, 5, 6]),
+            Image::from_pixels(2, 3, vec![9, 8, 7, 6, 5, 4]),
+        ];
+        let mut buf = Vec::new();
+        write_images(&mut buf, &images).unwrap();
+        let back = read_images(buf.as_slice()).unwrap();
+        assert_eq!(images, back);
+    }
+
+    #[test]
+    fn label_roundtrip() {
+        let labels = vec![0u8, 9, 4, 4, 1];
+        let mut buf = Vec::new();
+        write_labels(&mut buf, &labels).unwrap();
+        assert_eq!(read_labels(buf.as_slice()).unwrap(), labels);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = Vec::new();
+        write_labels(&mut buf, &[1, 2, 3]).unwrap();
+        assert!(read_images(buf.as_slice()).is_err());
+        let mut buf = Vec::new();
+        write_images(&mut buf, &[Image::black(2, 2)]).unwrap();
+        assert!(read_labels(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncated_file_is_an_error() {
+        let mut buf = Vec::new();
+        write_images(&mut buf, &[Image::black(4, 4)]).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_images(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn dataset_roundtrip_via_directory() {
+        let dir = std::env::temp_dir().join(format!("idx-test-{}", std::process::id()));
+        let ds = crate::synthetic_mnist(12, 6, 1);
+        save_dataset(&dir, &ds).unwrap();
+        let back = load_dataset(&dir).unwrap();
+        assert_eq!(back.train.len(), 12);
+        assert_eq!(back.test.len(), 6);
+        assert_eq!(back.n_classes, 10);
+        for (a, b) in ds.train.iter().zip(&back.train) {
+            assert_eq!(a.image, b.image);
+            assert_eq!(a.label, b.label);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

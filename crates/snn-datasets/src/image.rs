@@ -1,0 +1,169 @@
+//! 8-bit grayscale images.
+
+use serde::{Deserialize, Serialize};
+
+/// An 8-bit grayscale image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl Image {
+    /// An all-black image of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn black(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "image dimensions must be positive");
+        Image { width, height, pixels: vec![0; width * height] }
+    }
+
+    /// Wraps existing pixel data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels.len() != width * height`.
+    #[must_use]
+    pub fn from_pixels(width: usize, height: usize, pixels: Vec<u8>) -> Self {
+        assert_eq!(pixels.len(), width * height, "pixel buffer does not match dimensions");
+        Image { width, height, pixels }
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The flat pixel buffer (row-major).
+    #[must_use]
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Mutable flat pixel buffer.
+    pub fn pixels_mut(&mut self) -> &mut [u8] {
+        &mut self.pixels
+    }
+
+    /// The pixel at (`x`, `y`).
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets the pixel at (`x`, `y`), keeping the brighter of old and new
+    /// (max blending, the natural compositing rule for strokes).
+    pub fn blend_max(&mut self, x: usize, y: usize, value: u8) {
+        let p = &mut self.pixels[y * self.width + x];
+        *p = (*p).max(value);
+    }
+
+    /// Mean intensity over all pixels, in `[0, 255]`.
+    #[must_use]
+    pub fn mean_intensity(&self) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        self.pixels.iter().map(|&p| f64::from(p)).sum::<f64>() / self.pixels.len() as f64
+    }
+
+    /// Fraction of pixels above `threshold` — the "ink coverage".
+    #[must_use]
+    pub fn coverage(&self, threshold: u8) -> f64 {
+        let lit = self.pixels.iter().filter(|&&p| p > threshold).count();
+        lit as f64 / self.pixels.len() as f64
+    }
+
+    /// Renders the image as ASCII art (for terminal inspection of learned
+    /// receptive fields and generated samples).
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let level = usize::from(self.get(x, y)) * (RAMP.len() - 1) / 255;
+                out.push(RAMP[level] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Builds an image from per-pixel `f64` values in `[lo, hi]`, linearly
+    /// rescaled to 8 bits. Used to visualize conductance arrays (Fig. 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != width * height` or `lo >= hi`.
+    #[must_use]
+    pub fn from_f64(width: usize, height: usize, values: &[f64], lo: f64, hi: f64) -> Self {
+        assert_eq!(values.len(), width * height, "value buffer does not match dimensions");
+        assert!(lo < hi, "need lo < hi for rescaling");
+        let pixels = values
+            .iter()
+            .map(|&v| (((v - lo) / (hi - lo)).clamp(0.0, 1.0) * 255.0).round() as u8)
+            .collect();
+        Image { width, height, pixels }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn black_image_is_black() {
+        let img = Image::black(4, 3);
+        assert_eq!(img.width(), 4);
+        assert_eq!(img.height(), 3);
+        assert_eq!(img.mean_intensity(), 0.0);
+        assert_eq!(img.coverage(0), 0.0);
+    }
+
+    #[test]
+    fn blend_max_keeps_brightest() {
+        let mut img = Image::black(2, 2);
+        img.blend_max(0, 0, 100);
+        img.blend_max(0, 0, 50);
+        assert_eq!(img.get(0, 0), 100);
+        img.blend_max(0, 0, 200);
+        assert_eq!(img.get(0, 0), 200);
+    }
+
+    #[test]
+    fn ascii_has_one_row_per_line() {
+        let mut img = Image::black(3, 2);
+        img.blend_max(1, 0, 255);
+        let text = img.to_ascii();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 3);
+        assert!(lines[0].contains('@'));
+    }
+
+    #[test]
+    fn from_f64_rescales() {
+        let img = Image::from_f64(2, 1, &[0.0, 1.0], 0.0, 1.0);
+        assert_eq!(img.pixels(), &[0, 255]);
+        let img = Image::from_f64(2, 1, &[-5.0, 5.0], 0.0, 1.0);
+        assert_eq!(img.pixels(), &[0, 255], "values clamp to range");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match dimensions")]
+    fn mismatched_buffer_rejected() {
+        let _ = Image::from_pixels(2, 2, vec![0; 3]);
+    }
+}

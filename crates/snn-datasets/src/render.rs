@@ -1,0 +1,181 @@
+//! A tiny vector rasterizer for the procedural dataset generators.
+//!
+//! Shapes are described in a unit coordinate space (`[0,1]²`, origin top
+//! left), transformed by a per-sample affine jitter, then rasterized onto
+//! the 28×28 grid with soft-edged strokes or scanline-filled polygons.
+
+use crate::Image;
+
+/// A 2-D point in unit shape space.
+pub(crate) type Pt = (f64, f64);
+
+/// An affine jitter: rotation, anisotropic scale about the shape center,
+/// then translation. All magnitudes are in unit-space fractions.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Affine {
+    pub rotate_rad: f64,
+    pub scale_x: f64,
+    pub scale_y: f64,
+    pub translate: Pt,
+}
+
+impl Affine {
+    #[allow(dead_code)] // exercised by unit tests; kept for shape authors
+    pub(crate) const IDENTITY: Affine =
+        Affine { rotate_rad: 0.0, scale_x: 1.0, scale_y: 1.0, translate: (0.0, 0.0) };
+
+    /// Applies the transform to a unit-space point (rotating and scaling
+    /// about the shape center `(0.5, 0.5)`).
+    pub(crate) fn apply(&self, p: Pt) -> Pt {
+        let (cx, cy) = (0.5, 0.5);
+        let (x, y) = (p.0 - cx, p.1 - cy);
+        let (x, y) = (x * self.scale_x, y * self.scale_y);
+        let (sin, cos) = self.rotate_rad.sin_cos();
+        let (x, y) = (x * cos - y * sin, x * sin + y * cos);
+        (x + cx + self.translate.0, y + cy + self.translate.1)
+    }
+}
+
+/// Distance from point `p` to segment `a`–`b`.
+fn dist_to_segment(p: Pt, a: Pt, b: Pt) -> f64 {
+    let (vx, vy) = (b.0 - a.0, b.1 - a.1);
+    let (wx, wy) = (p.0 - a.0, p.1 - a.1);
+    let len2 = vx * vx + vy * vy;
+    let t = if len2 == 0.0 { 0.0 } else { ((wx * vx + wy * vy) / len2).clamp(0.0, 1.0) };
+    let (dx, dy) = (p.0 - (a.0 + t * vx), p.1 - (a.1 + t * vy));
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Strokes a polyline onto `img` with the given thickness (unit-space) and
+/// peak intensity; edges fall off linearly over half a pixel.
+pub(crate) fn stroke_polyline(
+    img: &mut Image,
+    points: &[Pt],
+    affine: Affine,
+    thickness: f64,
+    intensity: u8,
+) {
+    if points.len() < 2 {
+        return;
+    }
+    let pts: Vec<Pt> = points.iter().map(|&p| affine.apply(p)).collect();
+    let w = img.width();
+    let h = img.height();
+    let half = thickness / 2.0;
+    let soft = 0.5 / w as f64; // half-pixel anti-aliasing band
+    for y in 0..h {
+        for x in 0..w {
+            let p = ((x as f64 + 0.5) / w as f64, (y as f64 + 0.5) / h as f64);
+            let d = pts
+                .windows(2)
+                .map(|seg| dist_to_segment(p, seg[0], seg[1]))
+                .fold(f64::INFINITY, f64::min);
+            if d < half + soft {
+                let fade = ((half + soft - d) / soft).clamp(0.0, 1.0);
+                img.blend_max(x, y, (f64::from(intensity) * fade).round() as u8);
+            }
+        }
+    }
+}
+
+/// Fills a polygon (even–odd rule) onto `img` at the given intensity.
+pub(crate) fn fill_polygon(img: &mut Image, points: &[Pt], affine: Affine, intensity: u8) {
+    if points.len() < 3 {
+        return;
+    }
+    let pts: Vec<Pt> = points.iter().map(|&p| affine.apply(p)).collect();
+    let w = img.width();
+    let h = img.height();
+    for y in 0..h {
+        let py = (y as f64 + 0.5) / h as f64;
+        for x in 0..w {
+            let px = (x as f64 + 0.5) / w as f64;
+            let mut inside = false;
+            let mut j = pts.len() - 1;
+            for i in 0..pts.len() {
+                let (xi, yi) = pts[i];
+                let (xj, yj) = pts[j];
+                if (yi > py) != (yj > py) && px < (xj - xi) * (py - yi) / (yj - yi) + xi {
+                    inside = !inside;
+                }
+                j = i;
+            }
+            if inside {
+                img.blend_max(x, y, intensity);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_affine_is_identity() {
+        let p = (0.3, 0.8);
+        let q = Affine::IDENTITY.apply(p);
+        assert!((p.0 - q.0).abs() < 1e-12 && (p.1 - q.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_shifts_points() {
+        let a = Affine { translate: (0.1, -0.2), ..Affine::IDENTITY };
+        let q = a.apply((0.5, 0.5));
+        assert!((q.0 - 0.6).abs() < 1e-12);
+        assert!((q.1 - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_center() {
+        let a = Affine { rotate_rad: 1.0, ..Affine::IDENTITY };
+        let q = a.apply((0.5, 0.5));
+        assert!((q.0 - 0.5).abs() < 1e-12 && (q.1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stroke_lights_pixels_along_the_line() {
+        let mut img = Image::black(28, 28);
+        stroke_polyline(
+            &mut img,
+            &[(0.2, 0.5), (0.8, 0.5)],
+            Affine::IDENTITY,
+            0.08,
+            255,
+        );
+        // Center of the stroke is lit…
+        assert!(img.get(14, 14) > 200);
+        // …corners are not.
+        assert_eq!(img.get(0, 0), 0);
+        assert_eq!(img.get(27, 27), 0);
+    }
+
+    #[test]
+    fn degenerate_polyline_is_a_noop() {
+        let mut img = Image::black(8, 8);
+        stroke_polyline(&mut img, &[(0.5, 0.5)], Affine::IDENTITY, 0.1, 255);
+        assert_eq!(img.mean_intensity(), 0.0);
+    }
+
+    #[test]
+    fn filled_square_covers_its_interior() {
+        let mut img = Image::black(28, 28);
+        fill_polygon(
+            &mut img,
+            &[(0.25, 0.25), (0.75, 0.25), (0.75, 0.75), (0.25, 0.75)],
+            Affine::IDENTITY,
+            200,
+        );
+        assert_eq!(img.get(14, 14), 200);
+        assert_eq!(img.get(2, 2), 0);
+        // Roughly a quarter of the image is covered.
+        let cov = img.coverage(0);
+        assert!((cov - 0.25).abs() < 0.05, "coverage = {cov}");
+    }
+
+    #[test]
+    fn distance_to_degenerate_segment_is_point_distance() {
+        let d = dist_to_segment((3.0, 4.0), (0.0, 0.0), (0.0, 0.0));
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+}

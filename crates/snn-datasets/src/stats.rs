@@ -1,0 +1,175 @@
+//! Dataset statistics: class centroids, ink coverage, and the inter-class
+//! overlap matrix that quantifies what makes Fashion-MNIST "complex".
+
+use crate::Dataset;
+
+/// Per-class statistics of one dataset split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    n_classes: usize,
+    dim: usize,
+    /// Per-class mean image, values in `[0, 255]`.
+    centroids: Vec<Vec<f64>>,
+    /// Per-class sample counts.
+    counts: Vec<usize>,
+    /// Mean ink coverage (fraction of pixels > 64) per class.
+    coverage: Vec<f64>,
+}
+
+impl DatasetStats {
+    /// Computes statistics over the training split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the training split is empty.
+    #[must_use]
+    pub fn of_train(dataset: &Dataset) -> Self {
+        assert!(!dataset.train.is_empty(), "empty training split");
+        let dim = dataset.train[0].image.pixels().len();
+        let n_classes = dataset.n_classes;
+        let mut centroids = vec![vec![0.0f64; dim]; n_classes];
+        let mut counts = vec![0usize; n_classes];
+        let mut coverage = vec![0.0f64; n_classes];
+        for sample in &dataset.train {
+            let class = usize::from(sample.label);
+            counts[class] += 1;
+            coverage[class] += sample.image.coverage(64);
+            for (c, &p) in centroids[class].iter_mut().zip(sample.image.pixels()) {
+                *c += f64::from(p);
+            }
+        }
+        for class in 0..n_classes {
+            if counts[class] > 0 {
+                let n = counts[class] as f64;
+                for c in &mut centroids[class] {
+                    *c /= n;
+                }
+                coverage[class] /= n;
+            }
+        }
+        DatasetStats { n_classes, dim, centroids, counts, coverage }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// The mean image of one class.
+    #[must_use]
+    pub fn centroid(&self, class: u8) -> &[f64] {
+        &self.centroids[usize::from(class)]
+    }
+
+    /// Samples seen for one class.
+    #[must_use]
+    pub fn count(&self, class: u8) -> usize {
+        self.counts[usize::from(class)]
+    }
+
+    /// Mean ink coverage of one class.
+    #[must_use]
+    pub fn coverage(&self, class: u8) -> f64 {
+        self.coverage[usize::from(class)]
+    }
+
+    /// Cosine similarity between the centroids of two classes — the
+    /// overlap measure: ≈ 1 for classes occupying the same pixels (the
+    /// fashion torso group), lower for disjoint classes.
+    #[must_use]
+    pub fn centroid_overlap(&self, a: u8, b: u8) -> f64 {
+        let (x, y) = (self.centroid(a), self.centroid(b));
+        let dot: f64 = x.iter().zip(y).map(|(&p, &q)| p * q).sum();
+        let nx: f64 = x.iter().map(|&p| p * p).sum::<f64>().sqrt();
+        let ny: f64 = y.iter().map(|&q| q * q).sum::<f64>().sqrt();
+        if nx == 0.0 || ny == 0.0 {
+            0.0
+        } else {
+            dot / (nx * ny)
+        }
+    }
+
+    /// Mean off-diagonal centroid overlap — a single "task complexity"
+    /// number: higher means classes share more pixels.
+    #[must_use]
+    pub fn mean_overlap(&self) -> f64 {
+        let mut sum = 0.0;
+        let mut pairs = 0u32;
+        for a in 0..self.n_classes as u8 {
+            for b in (a + 1)..self.n_classes as u8 {
+                if self.counts[usize::from(a)] > 0 && self.counts[usize::from(b)] > 0 {
+                    sum += self.centroid_overlap(a, b);
+                    pairs += 1;
+                }
+            }
+        }
+        if pairs == 0 {
+            0.0
+        } else {
+            sum / f64::from(pairs)
+        }
+    }
+
+    /// Pixel dimensionality.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{synthetic_fashion, synthetic_mnist};
+
+    #[test]
+    fn centroids_average_to_class_means() {
+        let ds = synthetic_mnist(40, 0, 3);
+        let stats = DatasetStats::of_train(&ds);
+        assert_eq!(stats.n_classes(), 10);
+        assert_eq!(stats.dim(), 784);
+        for class in 0..10u8 {
+            assert_eq!(stats.count(class), 4);
+            // Manual mean of class-0 pixel 0.
+        }
+        let manual: f64 = ds
+            .train
+            .iter()
+            .filter(|s| s.label == 0)
+            .map(|s| f64::from(s.image.pixels()[400]))
+            .sum::<f64>()
+            / 4.0;
+        assert!((stats.centroid(0)[400] - manual).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_overlap_is_unity() {
+        let ds = synthetic_mnist(30, 0, 1);
+        let stats = DatasetStats::of_train(&ds);
+        for class in 0..10u8 {
+            assert!((stats.centroid_overlap(class, class) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fashion_overlaps_more_than_digits() {
+        // The quantitative version of the substitution argument: the
+        // complex dataset's classes share more pixel mass.
+        let digits = DatasetStats::of_train(&synthetic_mnist(100, 0, 5));
+        let fashion = DatasetStats::of_train(&synthetic_fashion(100, 0, 5));
+        assert!(
+            fashion.mean_overlap() > digits.mean_overlap(),
+            "fashion overlap {} should exceed digits {}",
+            fashion.mean_overlap(),
+            digits.mean_overlap()
+        );
+    }
+
+    #[test]
+    fn torso_classes_are_the_overlap_peak() {
+        let stats = DatasetStats::of_train(&synthetic_fashion(100, 0, 7));
+        // Pullover (2) vs coat (4) overlap beats trouser (1) vs bag (8).
+        assert!(stats.centroid_overlap(2, 4) > stats.centroid_overlap(1, 8));
+    }
+}

@@ -1,0 +1,61 @@
+//! Property tests over the procedural dataset generators and IDX codec.
+
+use proptest::prelude::*;
+use snn_datasets::{idx, synthetic_fashion, synthetic_mnist, Image};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any requested split sizes are honored and every image is 28×28 with
+    /// a valid label.
+    #[test]
+    fn generators_honor_sizes(n_train in 0usize..40, n_test in 0usize..20, seed in 0u64..100) {
+        for ds in [synthetic_mnist(n_train, n_test, seed), synthetic_fashion(n_train, n_test, seed)] {
+            prop_assert_eq!(ds.train.len(), n_train);
+            prop_assert_eq!(ds.test.len(), n_test);
+            prop_assert!(ds.is_consistent());
+            for s in ds.train.iter().chain(&ds.test) {
+                prop_assert_eq!((s.image.width(), s.image.height()), (28, 28));
+                prop_assert!(s.label < 10);
+            }
+        }
+    }
+
+    /// IDX roundtrip is lossless for arbitrary image content.
+    #[test]
+    fn idx_image_roundtrip(pixels in prop::collection::vec(0u8..=255, 24), count in 1usize..4) {
+        let images: Vec<Image> = (0..count)
+            .map(|_| Image::from_pixels(6, 4, pixels.clone()))
+            .collect();
+        let mut buf = Vec::new();
+        idx::write_images(&mut buf, &images).unwrap();
+        prop_assert_eq!(idx::read_images(buf.as_slice()).unwrap(), images);
+    }
+
+    /// IDX label roundtrip is lossless.
+    #[test]
+    fn idx_label_roundtrip(labels in prop::collection::vec(0u8..=255, 0..64)) {
+        let mut buf = Vec::new();
+        idx::write_labels(&mut buf, &labels).unwrap();
+        prop_assert_eq!(idx::read_labels(buf.as_slice()).unwrap(), labels);
+    }
+
+    /// Corrupting the magic always fails cleanly.
+    #[test]
+    fn idx_corrupt_magic_rejected(byte in 0usize..4, val in 1u8..=255) {
+        let mut buf = Vec::new();
+        idx::write_labels(&mut buf, &[1, 2, 3]).unwrap();
+        buf[byte] ^= val;
+        prop_assert!(idx::read_labels(buf.as_slice()).is_err());
+    }
+
+    /// Image::from_f64 maps the bounds to 0 and 255 and is monotone.
+    #[test]
+    fn from_f64_monotone(vals in prop::collection::vec(0.0f64..1.0, 16)) {
+        let img = Image::from_f64(4, 4, &vals, 0.0, 1.0);
+        for (v, &p) in vals.iter().zip(img.pixels()) {
+            let expect = (v * 255.0).round() as u8;
+            prop_assert_eq!(p, expect);
+        }
+    }
+}

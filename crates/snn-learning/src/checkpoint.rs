@@ -1,0 +1,79 @@
+//! Serialization of trained network state.
+
+use crate::TrainOutcome;
+use std::io;
+use std::path::Path;
+
+/// Serializes a training outcome to JSON.
+pub fn to_json(outcome: &TrainOutcome) -> serde_json::Result<String> {
+    serde_json::to_string(outcome)
+}
+
+/// Deserializes a training outcome from JSON.
+pub fn from_json(json: &str) -> serde_json::Result<TrainOutcome> {
+    serde_json::from_str(json)
+}
+
+/// Writes a training outcome to `path` as JSON.
+pub fn save(outcome: &TrainOutcome, path: &Path) -> io::Result<()> {
+    let json = to_json(outcome).map_err(io::Error::other)?;
+    std::fs::write(path, json)
+}
+
+/// Reads a training outcome back from `path`.
+pub fn load(path: &Path) -> io::Result<TrainOutcome> {
+    let json = std::fs::read_to_string(path)?;
+    from_json(&json).map_err(io::Error::other)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::ConfusionMatrix;
+    use snn_core::config::{NetworkConfig, Preset};
+    use snn_core::synapse::SynapseMatrix;
+
+    fn outcome() -> TrainOutcome {
+        let cfg = NetworkConfig::from_preset(Preset::Bit8, 4, 2);
+        let mut confusion = ConfusionMatrix::new(2);
+        confusion.record(0, 0);
+        confusion.record(1, 0);
+        TrainOutcome {
+            synapses: SynapseMatrix::new_random(&cfg, 1),
+            thetas: vec![0.1, 0.2],
+            labels: vec![0, 1],
+            confusion,
+            accuracy: 0.5,
+            abstention_rate: 0.0,
+            curve: vec![],
+            train_simulated_ms: 100.0,
+            train_wall_s: 0.1,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_state() {
+        let a = outcome();
+        let json = to_json(&a).unwrap();
+        let b = from_json(&json).unwrap();
+        assert_eq!(a.synapses.as_flat(), b.synapses.as_flat());
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.confusion, b.confusion);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = std::env::temp_dir().join(format!("ckpt-{}.json", std::process::id()));
+        let a = outcome();
+        save(&a, &path).unwrap();
+        let b = load(&path).unwrap();
+        assert_eq!(a.thetas, b.thetas);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_json("{not json").is_err());
+    }
+}

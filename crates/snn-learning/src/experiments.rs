@@ -1,0 +1,357 @@
+//! One-call experiment runner used by the figure and table harnesses.
+//!
+//! Every table/figure in the paper's evaluation reduces to "train this
+//! configuration on this dataset and report accuracy / timing / conductance
+//! statistics"; [`Experiment`] packages that. [`Scale`] decouples the
+//! network/protocol size from the configuration so the same harness runs at
+//! smoke-test, standard (default) and paper scale.
+
+use crate::{Trainer, TrainerConfig, TrainOutcome};
+use gpu_device::Device;
+use qformat::Rounding;
+use serde::{Deserialize, Serialize};
+use snn_core::config::{NetworkConfig, Preset, RuleKind};
+use snn_datasets::Dataset;
+
+/// Protocol sizes: how big the network is and how much data each phase
+/// sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// Excitatory population size.
+    pub n_excitatory: usize,
+    /// Training presentations.
+    pub n_train_images: usize,
+    /// Labeling presentations.
+    pub n_labeling: usize,
+    /// Inference presentations.
+    pub n_inference: usize,
+    /// Learning-curve probe period (`None` disables).
+    pub eval_every: Option<usize>,
+}
+
+impl Scale {
+    /// Smoke-test scale: seconds per run.
+    #[must_use]
+    pub fn quick() -> Self {
+        Scale {
+            n_excitatory: 30,
+            n_train_images: 150,
+            n_labeling: 40,
+            n_inference: 80,
+            eval_every: None,
+        }
+    }
+
+    /// The default harness scale: minutes per sweep, stable statistics.
+    #[must_use]
+    pub fn standard() -> Self {
+        Scale {
+            n_excitatory: 80,
+            n_train_images: 800,
+            n_labeling: 120,
+            n_inference: 300,
+            eval_every: None,
+        }
+    }
+
+    /// The paper's full scale (1000 neurons, 60 000 training images,
+    /// 1000/9000 test protocol). Hours of CPU time — provided for
+    /// completeness.
+    #[must_use]
+    pub fn paper() -> Self {
+        Scale {
+            n_excitatory: 1000,
+            n_train_images: 60_000,
+            n_labeling: 1000,
+            n_inference: 9000,
+            eval_every: None,
+        }
+    }
+
+    /// Reads the scale from the `PSS_SCALE` environment variable
+    /// (`quick` / `standard` / `paper`), defaulting to `standard`.
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("PSS_SCALE").as_deref() {
+            Ok("quick") => Scale::quick(),
+            Ok("paper") => Scale::paper(),
+            _ => Scale::standard(),
+        }
+    }
+
+    /// The learning-rate compensation appropriate for this scale: the
+    /// paper's Querlioz amplitudes assume 60 000 presentations, so reduced
+    /// runs scale them up (see
+    /// [`Experiment::with_learning_rate_scale`]).
+    #[must_use]
+    pub fn lr_compensation(&self) -> f64 {
+        if self.n_train_images >= 20_000 {
+            1.0
+        } else {
+            10.0
+        }
+    }
+}
+
+/// A fully specified experiment: a labeled [`TrainerConfig`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Harness label (appears in tables and JSON records).
+    pub label: String,
+    /// The trainer configuration to run.
+    pub trainer: TrainerConfig,
+}
+
+impl Experiment {
+    /// Builds an experiment from a Table I `preset` with the given rule, at
+    /// `scale`, for images of `n_pixels` inputs.
+    ///
+    /// The presentation time follows the preset's frequency regime: 100 ms
+    /// for [`Preset::HighFrequency`], 500 ms otherwise (Section IV-C).
+    #[must_use]
+    pub fn from_preset(
+        label: impl Into<String>,
+        preset: Preset,
+        rule: RuleKind,
+        n_pixels: usize,
+        scale: Scale,
+    ) -> Self {
+        let network = NetworkConfig::from_preset(preset, n_pixels, scale.n_excitatory)
+            .with_rule(rule);
+        let t_learn_ms = if preset == Preset::HighFrequency { 100.0 } else { 500.0 };
+        Experiment {
+            label: label.into(),
+            trainer: TrainerConfig {
+                network,
+                t_learn_ms,
+                n_train_images: scale.n_train_images,
+                n_labeling: scale.n_labeling,
+                n_inference: scale.n_inference,
+                seed: 42,
+                eval_every: scale.eval_every,
+                eval_probe: (40, 80),
+            },
+        }
+    }
+
+    /// Overrides the rounding mode (Table II's sweep axis).
+    #[must_use]
+    pub fn with_rounding(mut self, rounding: Rounding) -> Self {
+        self.trainer.network.rounding = rounding;
+        self
+    }
+
+    /// Scales the Querlioz update amplitudes (`α_p`, `α_d`) by `factor`.
+    ///
+    /// The paper's amplitudes are tuned for 60 000 training presentations;
+    /// reduced-scale harness runs present far fewer images, so the same
+    /// total conductance movement needs proportionally larger per-event
+    /// steps. Fixed-step (≤ 8-bit) magnitudes are format-defined and are
+    /// not scaled.
+    #[must_use]
+    pub fn with_learning_rate_scale(mut self, factor: f64) -> Self {
+        use snn_core::config::StdpMagnitudes;
+        if let StdpMagnitudes::Querlioz { alpha_p, beta_p, alpha_d, beta_d } =
+            self.trainer.network.magnitudes
+        {
+            self.trainer.network.magnitudes = StdpMagnitudes::Querlioz {
+                alpha_p: alpha_p * factor,
+                beta_p,
+                alpha_d: alpha_d * factor,
+                beta_d,
+            };
+        }
+        self
+    }
+
+    /// Overrides the maximum input frequency at a *fixed* presentation
+    /// time — the Fig. 7(a) sweep axis, where pushing `f_max` past the
+    /// working range drives the network into the chaotic regime.
+    #[must_use]
+    pub fn with_f_max(mut self, f_max_hz: f64) -> Self {
+        let f_min = self.trainer.network.frequency.f_min_hz;
+        self.trainer.network.frequency = snn_core::config::FrequencyRange::new(f_min, f_max_hz);
+        self
+    }
+
+    /// Overrides the maximum input frequency and rescales the presentation
+    /// time to keep the per-image spike budget constant — the
+    /// frequency-control module's boost + learning-time-reduction pairing
+    /// (Section IV-C).
+    #[must_use]
+    pub fn with_f_max_scaled_time(mut self, f_max_hz: f64) -> Self {
+        let factor = f_max_hz / self.trainer.network.frequency.f_max_hz;
+        self = self.with_f_max(f_max_hz);
+        self.trainer.t_learn_ms /= factor;
+        self
+    }
+
+    /// Overrides the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.trainer.seed = seed;
+        self
+    }
+
+    /// Runs the experiment and condenses the outcome into a [`RunRecord`].
+    #[must_use]
+    pub fn run(&self, dataset: &Dataset, device: &Device) -> RunRecord {
+        let outcome = Trainer::new(self.trainer.clone(), device).run(dataset);
+        RunRecord::from_outcome(self, dataset, &outcome)
+    }
+
+    /// Runs the experiment once per seed and aggregates the accuracies.
+    ///
+    /// Single runs at reduced scale carry several points of seed noise;
+    /// the sweep harnesses use this to report mean ± std instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seeds` is empty.
+    #[must_use]
+    pub fn run_seeds(&self, dataset: &Dataset, device: &Device, seeds: &[u64]) -> SeedStats {
+        assert!(!seeds.is_empty(), "need at least one seed");
+        let runs: Vec<RunRecord> = seeds
+            .iter()
+            .map(|&seed| self.clone().with_seed(seed).run(dataset, device))
+            .collect();
+        let n = runs.len() as f64;
+        let mean = runs.iter().map(|r| r.accuracy).sum::<f64>() / n;
+        let var = runs.iter().map(|r| (r.accuracy - mean).powi(2)).sum::<f64>() / n;
+        SeedStats { mean_accuracy: mean, std_accuracy: var.sqrt(), runs }
+    }
+}
+
+/// Accuracy statistics over several seeds of one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeedStats {
+    /// Mean accuracy across seeds.
+    pub mean_accuracy: f64,
+    /// Population standard deviation of the accuracy.
+    pub std_accuracy: f64,
+    /// The individual run records.
+    pub runs: Vec<RunRecord>,
+}
+
+/// The condensed result of one run — everything the tables and figures
+/// report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The experiment label.
+    pub label: String,
+    /// The dataset name.
+    pub dataset: String,
+    /// Rule family.
+    pub rule: RuleKind,
+    /// Storage precision (e.g. `"Q1.7"`, `"fp32"`).
+    pub precision: String,
+    /// Rounding mode.
+    pub rounding: String,
+    /// Input frequency range `(f_min, f_max)` in Hz.
+    pub frequency_hz: (f64, f64),
+    /// Presentation time per image (ms).
+    pub t_learn_ms: f64,
+    /// Final test accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Abstention rate during inference.
+    pub abstention_rate: f64,
+    /// Total simulated learning time (ms).
+    pub train_simulated_ms: f64,
+    /// Wall-clock training time (s).
+    pub train_wall_s: f64,
+    /// Mean conductance after training.
+    pub g_mean: f64,
+    /// Fraction of synapses collapsed to `G_min` (Fig. 6b indicator).
+    pub g_floor_fraction: f64,
+    /// 32-bin conductance histogram (Fig. 6b).
+    pub g_histogram: Vec<u64>,
+    /// Learning curve (Fig. 8c), if probes were enabled.
+    pub curve: Vec<crate::LearningCurvePoint>,
+}
+
+impl RunRecord {
+    fn from_outcome(experiment: &Experiment, dataset: &Dataset, outcome: &TrainOutcome) -> Self {
+        let network = &experiment.trainer.network;
+        RunRecord {
+            label: experiment.label.clone(),
+            dataset: dataset.name.clone(),
+            rule: network.rule,
+            precision: network.precision.to_string(),
+            rounding: network.rounding.to_string(),
+            frequency_hz: (network.frequency.f_min_hz, network.frequency.f_max_hz),
+            t_learn_ms: experiment.trainer.t_learn_ms,
+            accuracy: outcome.accuracy,
+            abstention_rate: outcome.abstention_rate,
+            train_simulated_ms: outcome.train_simulated_ms,
+            train_wall_s: outcome.train_wall_s,
+            g_mean: outcome.synapses.mean(),
+            g_floor_fraction: outcome.synapses.fraction_at_floor(),
+            g_histogram: outcome.synapses.histogram(32),
+            curve: outcome.curve.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_experiments_follow_frequency_regime() {
+        let scale = Scale::quick();
+        let base = Experiment::from_preset("b", Preset::FullPrecision, RuleKind::Stochastic, 784, scale);
+        assert_eq!(base.trainer.t_learn_ms, 500.0);
+        let fast =
+            Experiment::from_preset("h", Preset::HighFrequency, RuleKind::Stochastic, 784, scale);
+        assert_eq!(fast.trainer.t_learn_ms, 100.0);
+        assert_eq!(fast.trainer.network.frequency.f_max_hz, 78.0);
+    }
+
+    #[test]
+    fn f_max_override_keeps_duration_fixed() {
+        let scale = Scale::quick();
+        let e = Experiment::from_preset("x", Preset::FullPrecision, RuleKind::Stochastic, 784, scale)
+            .with_f_max(44.0);
+        assert_eq!(e.trainer.network.frequency.f_max_hz, 44.0);
+        assert_eq!(e.trainer.t_learn_ms, 500.0);
+    }
+
+    #[test]
+    fn scaled_time_override_preserves_spike_budget() {
+        let scale = Scale::quick();
+        let e = Experiment::from_preset("x", Preset::FullPrecision, RuleKind::Stochastic, 784, scale)
+            .with_f_max_scaled_time(44.0);
+        assert_eq!(e.trainer.network.frequency.f_max_hz, 44.0);
+        assert_eq!(e.trainer.t_learn_ms, 250.0);
+    }
+
+    #[test]
+    fn rounding_override_applies() {
+        let e = Experiment::from_preset(
+            "r",
+            Preset::Bit8,
+            RuleKind::Deterministic,
+            784,
+            Scale::quick(),
+        )
+        .with_rounding(Rounding::Truncate);
+        assert_eq!(e.trainer.network.rounding, Rounding::Truncate);
+    }
+
+    #[test]
+    fn scale_from_env_defaults_to_standard() {
+        // The test environment does not set PSS_SCALE.
+        if std::env::var("PSS_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::standard());
+        }
+    }
+
+    #[test]
+    fn paper_scale_matches_protocol() {
+        let s = Scale::paper();
+        assert_eq!(s.n_excitatory, 1000);
+        assert_eq!(s.n_train_images, 60_000);
+        assert_eq!(s.n_labeling, 1000);
+        assert_eq!(s.n_inference, 9000);
+    }
+}

@@ -1,0 +1,185 @@
+//! Neuron labeling and spike-count classification (Section III-B).
+
+use serde::{Deserialize, Serialize};
+
+/// The label given to neurons that never responded during labeling.
+pub const UNASSIGNED: u8 = u8::MAX;
+
+/// Accumulates per-neuron class responses over the labeling set and assigns
+/// each neuron the class it responded to most.
+///
+/// "After learning is complete, the first 1000 images in the test set are
+/// used to label all the neurons in the first layer."
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Labeler {
+    n_neurons: usize,
+    n_classes: usize,
+    /// `responses[neuron * n_classes + class]` = total spikes.
+    responses: Vec<u64>,
+}
+
+impl Labeler {
+    /// An empty accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(n_neurons: usize, n_classes: usize) -> Self {
+        assert!(n_neurons > 0 && n_classes > 0, "populations must be non-empty");
+        Labeler { n_neurons, n_classes, responses: vec![0; n_neurons * n_classes] }
+    }
+
+    /// Records the spike counts of one labeling presentation of class
+    /// `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len()` or `class` are out of range.
+    pub fn record(&mut self, class: u8, counts: &[u32]) {
+        assert_eq!(counts.len(), self.n_neurons, "count vector mismatch");
+        assert!(usize::from(class) < self.n_classes, "class out of range");
+        for (j, &c) in counts.iter().enumerate() {
+            self.responses[j * self.n_classes + usize::from(class)] += u64::from(c);
+        }
+    }
+
+    /// Assigns every neuron its most-responded class ([`UNASSIGNED`] for
+    /// neurons that never spiked).
+    #[must_use]
+    pub fn assign(&self) -> Vec<u8> {
+        (0..self.n_neurons)
+            .map(|j| {
+                let row = &self.responses[j * self.n_classes..(j + 1) * self.n_classes];
+                let (best, &max) = row
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &c)| c)
+                    .expect("n_classes > 0");
+                if max == 0 {
+                    UNASSIGNED
+                } else {
+                    best as u8
+                }
+            })
+            .collect()
+    }
+
+    /// Fraction of neurons that responded at least once.
+    #[must_use]
+    pub fn assignment_rate(&self) -> f64 {
+        let assigned = self.assign().iter().filter(|&&l| l != UNASSIGNED).count();
+        assigned as f64 / self.n_neurons as f64
+    }
+}
+
+/// Classifies images by the mean spike count of each label group.
+///
+/// Using the mean (not the sum) keeps classes with many assigned neurons
+/// from dominating the vote.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Classifier {
+    labels: Vec<u8>,
+    n_classes: usize,
+}
+
+impl Classifier {
+    /// Builds a classifier from per-neuron labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes` is zero.
+    #[must_use]
+    pub fn new(labels: Vec<u8>, n_classes: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        Classifier { labels, n_classes }
+    }
+
+    /// The per-neuron labels.
+    #[must_use]
+    pub fn labels(&self) -> &[u8] {
+        &self.labels
+    }
+
+    /// Predicts the class of one presentation from its spike counts;
+    /// `None` when no assigned neuron spiked (an abstention, counted as an
+    /// error by the evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len()` differs from the label vector.
+    #[must_use]
+    pub fn predict(&self, counts: &[u32]) -> Option<u8> {
+        assert_eq!(counts.len(), self.labels.len(), "count vector mismatch");
+        let mut sums = vec![0u64; self.n_classes];
+        let mut sizes = vec![0u64; self.n_classes];
+        for (&label, &c) in self.labels.iter().zip(counts) {
+            if label != UNASSIGNED {
+                sums[usize::from(label)] += u64::from(c);
+                sizes[usize::from(label)] += 1;
+            }
+        }
+        let (best, score) = sums
+            .iter()
+            .zip(&sizes)
+            .map(|(&s, &n)| if n == 0 { 0.0 } else { s as f64 / n as f64 })
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))?;
+        if score > 0.0 {
+            Some(best as u8)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeler_assigns_strongest_class() {
+        let mut l = Labeler::new(3, 2);
+        l.record(0, &[5, 0, 1]);
+        l.record(1, &[1, 0, 4]);
+        let labels = l.assign();
+        assert_eq!(labels, vec![0, UNASSIGNED, 1]);
+        assert!((l.assignment_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labeler_accumulates_over_presentations() {
+        let mut l = Labeler::new(1, 2);
+        l.record(0, &[2]);
+        l.record(1, &[1]);
+        l.record(1, &[2]);
+        assert_eq!(l.assign(), vec![1]);
+    }
+
+    #[test]
+    fn classifier_votes_by_group_mean() {
+        // Class 0 owns two neurons, class 1 owns one. Sums would favor
+        // class 0 (3 > 2); means favor class 1 (1.5 < 2).
+        let c = Classifier::new(vec![0, 0, 1], 2);
+        assert_eq!(c.predict(&[2, 1, 2]), Some(1));
+    }
+
+    #[test]
+    fn classifier_abstains_on_silence() {
+        let c = Classifier::new(vec![0, 1], 2);
+        assert_eq!(c.predict(&[0, 0]), None);
+    }
+
+    #[test]
+    fn unassigned_neurons_do_not_vote() {
+        let c = Classifier::new(vec![UNASSIGNED, 1], 2);
+        assert_eq!(c.predict(&[100, 1]), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "count vector mismatch")]
+    fn wrong_count_length_rejected() {
+        let c = Classifier::new(vec![0, 1], 2);
+        let _ = c.predict(&[1]);
+    }
+}

@@ -1,0 +1,28 @@
+//! The unsupervised-learning pipeline of the ParallelSpikeSim reproduction.
+//!
+//! Implements the paper's Section III-B protocol end to end:
+//!
+//! 1. **Training** — every training image is rate-encoded and presented to
+//!    the winner-take-all network for `t_learn` ms with plasticity on
+//!    ([`Trainer`]).
+//! 2. **Labeling** — the first part of the test set is presented with
+//!    plasticity off; each neuron is assigned the class it responds to most
+//!    ([`Labeler`]).
+//! 3. **Inference** — the rest of the test set is classified by the
+//!    spike-count vote of each label group ([`Classifier`]).
+//!
+//! [`metrics`] provides the confusion matrix and the moving error rate that
+//! backs the paper's learning curves (Fig. 8c); [`checkpoint`] serializes
+//! trained state; [`experiments`] wraps the whole pipeline into the
+//! one-call experiment runner the benches and figure harnesses use.
+
+#![deny(missing_docs)]
+
+pub mod checkpoint;
+pub mod experiments;
+mod labeler;
+pub mod metrics;
+mod trainer;
+
+pub use labeler::{Classifier, Labeler, UNASSIGNED};
+pub use trainer::{LearningCurvePoint, TrainOutcome, Trainer, TrainerConfig};

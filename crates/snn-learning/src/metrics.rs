@@ -1,0 +1,245 @@
+//! Evaluation metrics: confusion matrix and moving error rate.
+
+use serde::{Deserialize, Serialize};
+
+/// A square confusion matrix over `n_classes` classes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n_classes: usize,
+    /// `counts[truth * n_classes + predicted]`.
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix for `n_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_classes` is zero.
+    #[must_use]
+    pub fn new(n_classes: usize) -> Self {
+        assert!(n_classes > 0, "need at least one class");
+        ConfusionMatrix { n_classes, counts: vec![0; n_classes * n_classes] }
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Records one (truth, predicted) observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, truth: u8, predicted: u8) {
+        let (t, p) = (usize::from(truth), usize::from(predicted));
+        assert!(t < self.n_classes && p < self.n_classes, "label out of range");
+        self.counts[t * self.n_classes + p] += 1;
+    }
+
+    /// The count at (truth, predicted).
+    #[must_use]
+    pub fn get(&self, truth: u8, predicted: u8) -> u64 {
+        self.counts[usize::from(truth) * self.n_classes + usize::from(predicted)]
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy in `[0, 1]`; zero when empty.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.n_classes)
+            .map(|c| self.counts[c * self.n_classes + c])
+            .sum();
+        correct as f64 / total as f64
+    }
+
+    /// Per-class recall (correct / truth-count); `None` for unseen classes.
+    #[must_use]
+    pub fn recall(&self, class: u8) -> Option<f64> {
+        let c = usize::from(class);
+        let row: u64 = self.counts[c * self.n_classes..(c + 1) * self.n_classes]
+            .iter()
+            .sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.counts[c * self.n_classes + c] as f64 / row as f64)
+        }
+    }
+
+    /// Merges another matrix into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics on class-count mismatch.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.n_classes, other.n_classes, "class count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "truth\\pred")?;
+        for p in 0..self.n_classes {
+            write!(f, "{p:>6}")?;
+        }
+        writeln!(f)?;
+        for t in 0..self.n_classes {
+            write!(f, "{t:>10}")?;
+            for p in 0..self.n_classes {
+                write!(f, "{:>6}", self.counts[t * self.n_classes + p])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A sliding-window error rate: the paper's "moving error rate" axis in
+/// Fig. 8(c).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MovingErrorRate {
+    window: usize,
+    outcomes: std::collections::VecDeque<bool>,
+}
+
+impl MovingErrorRate {
+    /// A window of the most recent `window` classifications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        MovingErrorRate { window, outcomes: std::collections::VecDeque::new() }
+    }
+
+    /// Records one classification outcome.
+    pub fn record(&mut self, correct: bool) {
+        if self.outcomes.len() == self.window {
+            self.outcomes.pop_front();
+        }
+        self.outcomes.push_back(correct);
+    }
+
+    /// Error rate over the current window; `None` before any observation.
+    #[must_use]
+    pub fn error_rate(&self) -> Option<f64> {
+        if self.outcomes.is_empty() {
+            return None;
+        }
+        let errors = self.outcomes.iter().filter(|&&c| !c).count();
+        Some(errors as f64 / self.outcomes.len() as f64)
+    }
+
+    /// Number of outcomes currently in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether no outcomes have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_of_perfect_predictions() {
+        let mut m = ConfusionMatrix::new(3);
+        for c in 0..3u8 {
+            m.record(c, c);
+        }
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.total(), 3);
+    }
+
+    #[test]
+    fn accuracy_counts_diagonal_only() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(0, 0);
+        m.record(0, 1);
+        m.record(1, 1);
+        m.record(1, 1);
+        assert_eq!(m.accuracy(), 0.75);
+        assert_eq!(m.get(0, 1), 1);
+    }
+
+    #[test]
+    fn recall_handles_unseen_classes() {
+        let mut m = ConfusionMatrix::new(3);
+        m.record(0, 0);
+        m.record(0, 2);
+        assert_eq!(m.recall(0), Some(0.5));
+        assert_eq!(m.recall(1), None);
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_accuracy() {
+        assert_eq!(ConfusionMatrix::new(4).accuracy(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ConfusionMatrix::new(2);
+        a.record(0, 0);
+        let mut b = ConfusionMatrix::new(2);
+        b.record(0, 1);
+        b.record(1, 1);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert!((a.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_label_rejected() {
+        ConfusionMatrix::new(2).record(0, 5);
+    }
+
+    #[test]
+    fn moving_error_tracks_window() {
+        let mut m = MovingErrorRate::new(4);
+        assert_eq!(m.error_rate(), None);
+        for _ in 0..4 {
+            m.record(false);
+        }
+        assert_eq!(m.error_rate(), Some(1.0));
+        for _ in 0..4 {
+            m.record(true);
+        }
+        assert_eq!(m.error_rate(), Some(0.0));
+        m.record(false);
+        assert_eq!(m.error_rate(), Some(0.25));
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn display_renders_grid() {
+        let mut m = ConfusionMatrix::new(2);
+        m.record(1, 0);
+        let text = m.to_string();
+        assert!(text.contains("truth\\pred"));
+        assert_eq!(text.lines().count(), 3);
+    }
+}

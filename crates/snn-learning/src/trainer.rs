@@ -1,0 +1,332 @@
+//! The training loop: present, learn, periodically evaluate.
+
+use crate::labeler::{Classifier, Labeler};
+use crate::metrics::ConfusionMatrix;
+use gpu_device::Device;
+use serde::{Deserialize, Serialize};
+use snn_core::config::NetworkConfig;
+use snn_core::sim::WtaEngine;
+use snn_core::synapse::SynapseMatrix;
+use snn_datasets::{Dataset, LabeledImage};
+use spike_encoding::RateEncoder;
+
+/// Configuration of one training run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// The network and learning-rule configuration (usually from a Table I
+    /// preset).
+    pub network: NetworkConfig,
+    /// Presentation time per training image (ms).
+    pub t_learn_ms: f64,
+    /// How many training images to present (cycling through the dataset if
+    /// it is smaller).
+    pub n_train_images: usize,
+    /// How many test images label the neurons (the paper uses 1000).
+    pub n_labeling: usize,
+    /// How many test images to classify (the paper uses the remaining
+    /// 9000). `usize::MAX` means "all remaining".
+    pub n_inference: usize,
+    /// RNG seed for the engine and synapse initialization.
+    pub seed: u64,
+    /// Evaluate a small probe (labeling + inference on truncated sets)
+    /// every this many training images, producing the learning curve of
+    /// Fig. 8(c). `None` disables curve collection.
+    pub eval_every: Option<usize>,
+    /// Probe sizes (labeling, inference) for curve evaluation.
+    pub eval_probe: (usize, usize),
+}
+
+impl TrainerConfig {
+    /// A reasonable reduced-scale default around `network`: 500 ms per
+    /// image, no curve probes.
+    #[must_use]
+    pub fn new(network: NetworkConfig) -> Self {
+        TrainerConfig {
+            network,
+            t_learn_ms: 500.0,
+            n_train_images: 1000,
+            n_labeling: 100,
+            n_inference: usize::MAX,
+            seed: 42,
+            eval_every: None,
+            eval_probe: (60, 100),
+        }
+    }
+}
+
+/// One point of the learning curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LearningCurvePoint {
+    /// Training images presented so far.
+    pub images_seen: usize,
+    /// Simulated time elapsed so far (ms) — the x-axis of Fig. 8(c).
+    pub simulated_ms: f64,
+    /// Probe accuracy at this point.
+    pub accuracy: f64,
+}
+
+/// Everything a finished run produces.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainOutcome {
+    /// The learned conductances.
+    pub synapses: SynapseMatrix,
+    /// Final homeostasis thresholds.
+    pub thetas: Vec<f64>,
+    /// Per-neuron class labels.
+    pub labels: Vec<u8>,
+    /// Final test confusion matrix.
+    pub confusion: ConfusionMatrix,
+    /// Final test accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Fraction of inference presentations where no assigned neuron spiked.
+    pub abstention_rate: f64,
+    /// Learning-curve probes (empty unless `eval_every` was set).
+    pub curve: Vec<LearningCurvePoint>,
+    /// Total simulated time (ms) spent in the training phase.
+    pub train_simulated_ms: f64,
+    /// Wall-clock seconds spent in the training phase.
+    pub train_wall_s: f64,
+}
+
+/// Runs the paper's three-phase protocol over a dataset.
+pub struct Trainer<'d> {
+    config: TrainerConfig,
+    device: &'d Device,
+}
+
+impl<'d> Trainer<'d> {
+    /// Creates a trainer executing on `device`.
+    #[must_use]
+    pub fn new(config: TrainerConfig, device: &'d Device) -> Self {
+        Trainer { config, device }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Runs training, labeling and inference over `dataset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or its geometry does not match the
+    /// network's input count.
+    #[must_use]
+    pub fn run(&self, dataset: &Dataset) -> TrainOutcome {
+        assert!(!dataset.train.is_empty(), "training split is empty");
+        assert!(!dataset.test.is_empty(), "test split is empty");
+        let sample = &dataset.train[0].image;
+        assert_eq!(
+            sample.width() * sample.height(),
+            self.config.network.n_inputs,
+            "image geometry does not match the network's input count"
+        );
+
+        let encoder = RateEncoder::new(self.config.network.frequency);
+        let mut engine = WtaEngine::new(self.config.network.clone(), self.device, self.config.seed);
+        let mut curve = Vec::new();
+
+        // Phase 1: training.
+        let started = std::time::Instant::now();
+        for k in 0..self.config.n_train_images {
+            let sample = &dataset.train[k % dataset.train.len()];
+            let rates = encoder.rates(sample.image.pixels());
+            engine.reset_transients();
+            let _ = engine.present(&rates, self.config.t_learn_ms, true);
+            if let Some(target) = self.config.network.weight_norm_target {
+                engine.normalize_receptive_fields(target);
+            }
+
+            if let Some(every) = self.config.eval_every {
+                if (k + 1) % every == 0 {
+                    let (probe_label, probe_infer) = self.config.eval_probe;
+                    let (acc, _, _) = self.evaluate(
+                        &mut engine,
+                        &encoder,
+                        dataset,
+                        probe_label,
+                        probe_infer,
+                    );
+                    curve.push(LearningCurvePoint {
+                        images_seen: k + 1,
+                        simulated_ms: (k + 1) as f64 * self.config.t_learn_ms,
+                        accuracy: acc,
+                    });
+                }
+            }
+        }
+        let train_wall_s = started.elapsed().as_secs_f64();
+        let train_simulated_ms = self.config.n_train_images as f64 * self.config.t_learn_ms;
+
+        // Phases 2 + 3: labeling and inference.
+        let (accuracy, confusion, details) = self.evaluate(
+            &mut engine,
+            &encoder,
+            dataset,
+            self.config.n_labeling,
+            self.config.n_inference,
+        );
+
+        TrainOutcome {
+            synapses: engine.synapses().clone(),
+            thetas: engine.thetas(),
+            labels: details.0,
+            confusion,
+            accuracy,
+            abstention_rate: details.1,
+            curve,
+            train_simulated_ms,
+            train_wall_s,
+        }
+    }
+
+    /// Labels neurons on the first `n_labeling` test images and classifies
+    /// the next `n_inference`. Returns (accuracy, confusion, (labels,
+    /// abstention rate)).
+    fn evaluate(
+        &self,
+        engine: &mut WtaEngine<'_>,
+        encoder: &RateEncoder,
+        dataset: &Dataset,
+        n_labeling: usize,
+        n_inference: usize,
+    ) -> (f64, ConfusionMatrix, (Vec<u8>, f64)) {
+        let (label_set, infer_set) = dataset.labeling_split(n_labeling);
+        let infer_set: &[LabeledImage] =
+            &infer_set[..n_inference.min(infer_set.len())];
+
+        let mut labeler = Labeler::new(self.config.network.n_excitatory, dataset.n_classes);
+        for sample in label_set {
+            let rates = encoder.rates(sample.image.pixels());
+            engine.reset_transients();
+            let counts = engine.present(&rates, self.config.t_learn_ms, false);
+            labeler.record(sample.label, &counts);
+        }
+        let labels = labeler.assign();
+        let classifier = Classifier::new(labels.clone(), dataset.n_classes);
+
+        let mut confusion = ConfusionMatrix::new(dataset.n_classes);
+        let mut abstentions = 0usize;
+        for sample in infer_set {
+            let rates = encoder.rates(sample.image.pixels());
+            engine.reset_transients();
+            let counts = engine.present(&rates, self.config.t_learn_ms, false);
+            match classifier.predict(&counts) {
+                Some(predicted) => confusion.record(sample.label, predicted),
+                None => abstentions += 1,
+            }
+        }
+        // Abstentions count as errors in the headline accuracy.
+        let total = infer_set.len().max(1);
+        let accuracy = confusion.accuracy() * confusion.total() as f64 / total as f64;
+        let abstention_rate = abstentions as f64 / total as f64;
+        (accuracy, confusion, (labels, abstention_rate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_device::DeviceConfig;
+    use snn_core::config::{Preset, RuleKind};
+
+    /// A tiny two-class dataset of clearly separated patterns: left-half
+    /// bright vs right-half bright 8×8 images.
+    fn two_class_dataset(n_train: usize, n_test: usize) -> Dataset {
+        let make = |label: u8, k: usize| {
+            let mut pixels = vec![0u8; 64];
+            for y in 0..8 {
+                for x in 0..8 {
+                    let lit = if label == 0 { x < 4 } else { x >= 4 };
+                    if lit {
+                        // Mild per-sample variation.
+                        pixels[y * 8 + x] = 200 + ((k * 7 + x + y) % 40) as u8;
+                    }
+                }
+            }
+            LabeledImage { image: snn_datasets::Image::from_pixels(8, 8, pixels), label }
+        };
+        let gen = |n: usize| (0..n).map(|k| make((k % 2) as u8, k)).collect();
+        Dataset { name: "two-class".into(), n_classes: 2, train: gen(n_train), test: gen(n_test) }
+    }
+
+    fn quick_config(rule: RuleKind) -> TrainerConfig {
+        let mut network = NetworkConfig::from_preset(Preset::FullPrecision, 64, 8).with_rule(rule);
+        network.v_spike = 0.8;
+        // Small net: boost the rate range so the probe runs are short.
+        network = network.with_frequency(2.0, 60.0);
+        TrainerConfig {
+            network,
+            t_learn_ms: 150.0,
+            n_train_images: 60,
+            n_labeling: 20,
+            n_inference: 40,
+            seed: 7,
+            eval_every: None,
+            eval_probe: (10, 10),
+        }
+    }
+
+    #[test]
+    fn learns_two_trivially_separable_classes() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let dataset = two_class_dataset(60, 60);
+        let outcome = Trainer::new(quick_config(RuleKind::Stochastic), &device).run(&dataset);
+        assert!(
+            outcome.accuracy > 0.9,
+            "stochastic STDP should separate the two halves, got {}",
+            outcome.accuracy
+        );
+        assert!(outcome.synapses.check_invariants());
+    }
+
+    #[test]
+    fn deterministic_rule_also_learns_simple_task() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let dataset = two_class_dataset(60, 60);
+        let outcome = Trainer::new(quick_config(RuleKind::Deterministic), &device).run(&dataset);
+        assert!(
+            outcome.accuracy > 0.8,
+            "the baseline must handle the simple task, got {}",
+            outcome.accuracy
+        );
+    }
+
+    #[test]
+    fn learning_curve_is_collected() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let dataset = two_class_dataset(40, 30);
+        let mut cfg = quick_config(RuleKind::Stochastic);
+        cfg.n_train_images = 30;
+        cfg.eval_every = Some(10);
+        let outcome = Trainer::new(cfg, &device).run(&dataset);
+        assert_eq!(outcome.curve.len(), 3);
+        assert_eq!(outcome.curve[0].images_seen, 10);
+        assert!(outcome.curve[2].simulated_ms > outcome.curve[0].simulated_ms);
+    }
+
+    #[test]
+    fn outcome_is_seed_reproducible() {
+        let device = Device::new(DeviceConfig::default().with_workers(3));
+        let dataset = two_class_dataset(20, 20);
+        let mut cfg = quick_config(RuleKind::Stochastic);
+        cfg.n_train_images = 20;
+        let a = Trainer::new(cfg.clone(), &device).run(&dataset);
+        let b = Trainer::new(cfg, &device).run(&dataset);
+        assert_eq!(a.accuracy, b.accuracy);
+        assert_eq!(a.synapses.as_flat(), b.synapses.as_flat());
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    #[should_panic(expected = "image geometry")]
+    fn geometry_mismatch_rejected() {
+        let device = Device::new(DeviceConfig::serial());
+        let dataset = two_class_dataset(4, 4); // 64-pixel images
+        let mut cfg = quick_config(RuleKind::Stochastic);
+        cfg.network.n_inputs = 100;
+        let _ = Trainer::new(cfg, &device).run(&dataset);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests on the labeling/classification protocol and metrics.
+
+use proptest::prelude::*;
+use snn_learning::metrics::{ConfusionMatrix, MovingErrorRate};
+use snn_learning::{Classifier, Labeler, UNASSIGNED};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The label assigned to a neuron is always a class it actually
+    /// responded to (or UNASSIGNED).
+    #[test]
+    fn labels_come_from_observed_responses(
+        presentations in prop::collection::vec(
+            (0u8..4, prop::collection::vec(0u32..5, 6)), 0..20),
+    ) {
+        let mut labeler = Labeler::new(6, 4);
+        let mut responded = [[false; 4]; 6];
+        for (class, counts) in &presentations {
+            labeler.record(*class, counts);
+            for (j, &c) in counts.iter().enumerate() {
+                if c > 0 {
+                    responded[j][usize::from(*class)] = true;
+                }
+            }
+        }
+        for (j, &label) in labeler.assign().iter().enumerate() {
+            if label == UNASSIGNED {
+                prop_assert!(responded[j].iter().all(|&r| !r));
+            } else {
+                prop_assert!(responded[j][usize::from(label)]);
+            }
+        }
+    }
+
+    /// The classifier's prediction is invariant to scaling all counts by a
+    /// positive integer (the vote is a ratio of means).
+    #[test]
+    fn prediction_scale_invariant(
+        labels in prop::collection::vec(prop_oneof![0u8..3, Just(UNASSIGNED)], 5),
+        counts in prop::collection::vec(0u32..50, 5),
+        k in 1u32..5,
+    ) {
+        let c = Classifier::new(labels, 3);
+        let scaled: Vec<u32> = counts.iter().map(|&x| x * k).collect();
+        prop_assert_eq!(c.predict(&counts), c.predict(&scaled));
+    }
+
+    /// Accuracy is always correct/total and within [0, 1].
+    #[test]
+    fn confusion_accuracy_bounds(obs in prop::collection::vec((0u8..5, 0u8..5), 0..100)) {
+        let mut m = ConfusionMatrix::new(5);
+        let mut correct = 0u64;
+        for &(t, p) in &obs {
+            m.record(t, p);
+            if t == p {
+                correct += 1;
+            }
+        }
+        if obs.is_empty() {
+            prop_assert_eq!(m.accuracy(), 0.0);
+        } else {
+            prop_assert!((m.accuracy() - correct as f64 / obs.len() as f64).abs() < 1e-12);
+        }
+    }
+
+    /// The moving error rate equals the exact error fraction of the last
+    /// `window` outcomes.
+    #[test]
+    fn moving_error_is_exact_window_fraction(
+        outcomes in prop::collection::vec(prop::bool::ANY, 1..60),
+        window in 1usize..20,
+    ) {
+        let mut m = MovingErrorRate::new(window);
+        for &o in &outcomes {
+            m.record(o);
+        }
+        let tail: Vec<bool> = outcomes.iter().rev().take(window).copied().collect();
+        let errors = tail.iter().filter(|&&c| !c).count();
+        prop_assert_eq!(m.error_rate(), Some(errors as f64 / tail.len() as f64));
+    }
+}

@@ -1,0 +1,116 @@
+//! First-spike latency coding — an alternative to rate coding where each
+//! pixel fires exactly once, earlier for brighter pixels.
+//!
+//! The paper's pipeline is purely rate-coded; latency coding is the
+//! standard "what's next" for fast SNN inference (information arrives in
+//! one spike wave instead of a rate estimate), so it is provided as an
+//! extension with the same deterministic, seedless semantics.
+
+use serde::{Deserialize, Serialize};
+
+/// Encodes pixel intensity as time-to-first-spike within a window:
+/// `t = window · (1 − I/255)` for pixels above the activity threshold;
+/// dimmer pixels fire later, sub-threshold pixels never fire.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyEncoder {
+    window_ms: f64,
+    threshold: u8,
+}
+
+impl LatencyEncoder {
+    /// Creates an encoder over a spike window of `window_ms`, with pixels
+    /// at or below `threshold` staying silent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is not positive.
+    #[must_use]
+    pub fn new(window_ms: f64, threshold: u8) -> Self {
+        assert!(window_ms > 0.0, "latency window must be positive");
+        LatencyEncoder { window_ms, threshold }
+    }
+
+    /// The spike window (ms).
+    #[must_use]
+    pub fn window_ms(&self) -> f64 {
+        self.window_ms
+    }
+
+    /// The spike time of one pixel, or `None` if it stays silent.
+    #[must_use]
+    pub fn spike_time(&self, intensity: u8) -> Option<f64> {
+        if intensity <= self.threshold {
+            return None;
+        }
+        Some(self.window_ms * (1.0 - f64::from(intensity) / 255.0))
+    }
+
+    /// Encodes a whole image into per-train first-spike times.
+    #[must_use]
+    pub fn spike_times(&self, pixels: &[u8]) -> Vec<Option<f64>> {
+        pixels.iter().map(|&p| self.spike_time(p)).collect()
+    }
+
+    /// The train indices that fire during simulation step `step` of length
+    /// `dt_ms`, for a previously encoded image.
+    #[must_use]
+    pub fn spikes_in_step(times: &[Option<f64>], step: u64, dt_ms: f64) -> Vec<u32> {
+        let lo = step as f64 * dt_ms;
+        let hi = lo + dt_ms;
+        times
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| {
+                t.filter(|&t| t >= lo && t < hi).map(|_| i as u32)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brighter_pixels_fire_earlier() {
+        let e = LatencyEncoder::new(100.0, 0);
+        let bright = e.spike_time(255).unwrap();
+        let mid = e.spike_time(128).unwrap();
+        let dim = e.spike_time(1).unwrap();
+        assert!(bright < mid && mid < dim);
+        assert_eq!(bright, 0.0);
+        assert!(dim < 100.0);
+    }
+
+    #[test]
+    fn subthreshold_pixels_stay_silent() {
+        let e = LatencyEncoder::new(50.0, 32);
+        assert_eq!(e.spike_time(0), None);
+        assert_eq!(e.spike_time(32), None);
+        assert!(e.spike_time(33).is_some());
+    }
+
+    #[test]
+    fn every_active_pixel_fires_exactly_once_across_steps() {
+        let e = LatencyEncoder::new(20.0, 10);
+        let pixels: Vec<u8> = (0..=255).step_by(5).map(|p| p as u8).collect();
+        let times = e.spike_times(&pixels);
+        let dt = 0.5;
+        let mut fired = vec![0u32; pixels.len()];
+        for step in 0..((20.0 / dt) as u64 + 1) {
+            for i in LatencyEncoder::spikes_in_step(&times, step, dt) {
+                fired[i as usize] += 1;
+            }
+        }
+        for (i, (&count, &px)) in fired.iter().zip(&pixels).enumerate() {
+            let expected = u32::from(px > 10);
+            assert_eq!(count, expected, "pixel {i} (intensity {px}) fired {count} times");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = LatencyEncoder::new(0.0, 0);
+    }
+}

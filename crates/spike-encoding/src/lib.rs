@@ -1,0 +1,28 @@
+//! Input encoding for the ParallelSpikeSim reproduction.
+//!
+//! The paper inserts "an additional module between input images and spiking
+//! neuron simulator that allows controlling the frequency of the input spike
+//! train" (Section III-A). This crate is that module:
+//!
+//! * [`RateEncoder`] — converts 8-bit pixel intensities into per-train spike
+//!   frequencies, linear within a `[f_min, f_max]` range (Fig. 1d).
+//! * [`PoissonTrain`] / [`RegularTrain`] — standalone spike-train generators
+//!   over counter-based random streams, used for raster figures and tests
+//!   (the learning engine generates its Poisson trains on-device with the
+//!   same addressing).
+//! * [`FrequencyController`] — the two-phase frequency-control module:
+//!   *frequency boost* (widen the range toward the 5–78 Hz high-frequency
+//!   regime) and *learning-time reduction* (shrink the per-image
+//!   presentation window, 500 ms → 100 ms in the paper).
+
+#![deny(missing_docs)]
+
+mod controller;
+mod latency;
+mod rate;
+mod trains;
+
+pub use controller::{EncodingSchedule, FrequencyController};
+pub use latency::LatencyEncoder;
+pub use rate::RateEncoder;
+pub use trains::{PoissonTrain, RegularTrain};

@@ -1,0 +1,105 @@
+//! Pixel-intensity → spike-frequency rate coding (Fig. 1d).
+
+use serde::{Deserialize, Serialize};
+use snn_core::config::FrequencyRange;
+
+/// Converts 8-bit pixel intensities into per-train spike frequencies.
+///
+/// "Pixel intensity of input images, which is an 8-bit value, is encoded
+/// into specific spiking frequency of one spike train … Frequency is in a
+/// range between `f_input_max` and `f_input_min`, and proportional to the
+/// pixel intensity" (Section III-B). With `invert` set, the mapping flips so
+/// that *low* stored intensity maps to `f_max` — the convention for data
+/// where ink is darker than the background.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateEncoder {
+    range: FrequencyRange,
+    invert: bool,
+}
+
+impl RateEncoder {
+    /// Creates an encoder over `range` with the direct mapping
+    /// (intensity 255 → `f_max`).
+    #[must_use]
+    pub fn new(range: FrequencyRange) -> Self {
+        RateEncoder { range, invert: false }
+    }
+
+    /// Flips the mapping so intensity 0 → `f_max`.
+    #[must_use]
+    pub fn inverted(mut self) -> Self {
+        self.invert = true;
+        self
+    }
+
+    /// The frequency range.
+    #[must_use]
+    pub fn range(&self) -> FrequencyRange {
+        self.range
+    }
+
+    /// The frequency (Hz) assigned to one pixel.
+    #[must_use]
+    pub fn frequency_for(&self, intensity: u8) -> f64 {
+        let i = if self.invert { 255 - intensity } else { intensity };
+        self.range.frequency_for(i)
+    }
+
+    /// Encodes a whole image into per-train frequencies.
+    #[must_use]
+    pub fn rates(&self, pixels: &[u8]) -> Vec<f64> {
+        pixels.iter().map(|&p| self.frequency_for(p)).collect()
+    }
+
+    /// The expected total input spike rate (Hz summed over trains) for an
+    /// image — a cheap activity predictor used to sanity-check workloads.
+    #[must_use]
+    pub fn total_rate_hz(&self, pixels: &[u8]) -> f64 {
+        pixels.iter().map(|&p| self.frequency_for(p)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encoder() -> RateEncoder {
+        RateEncoder::new(FrequencyRange::new(1.0, 22.0))
+    }
+
+    #[test]
+    fn endpoints_map_to_range_limits() {
+        let e = encoder();
+        assert_eq!(e.frequency_for(0), 1.0);
+        assert_eq!(e.frequency_for(255), 22.0);
+    }
+
+    #[test]
+    fn mapping_is_monotone() {
+        let e = encoder();
+        let mut prev = -1.0;
+        for p in 0..=255u8 {
+            let f = e.frequency_for(p);
+            assert!(f >= prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn inverted_mapping_flips_endpoints() {
+        let e = encoder().inverted();
+        assert_eq!(e.frequency_for(0), 22.0);
+        assert_eq!(e.frequency_for(255), 1.0);
+    }
+
+    #[test]
+    fn rates_covers_every_pixel() {
+        let e = encoder();
+        let pixels = [0u8, 128, 255];
+        let rates = e.rates(&pixels);
+        assert_eq!(rates.len(), 3);
+        assert_eq!(rates[0], 1.0);
+        assert_eq!(rates[2], 22.0);
+        assert!((e.total_rate_hz(&pixels) - rates.iter().sum::<f64>()).abs() < 1e-12);
+    }
+}

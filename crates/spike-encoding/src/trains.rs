@@ -1,0 +1,132 @@
+//! Standalone spike-train generators.
+
+use gpu_device::Philox4x32;
+
+/// A Poisson spike train over a counter-based random stream.
+///
+/// Spike decisions are addressed by `(train id, step)` exactly as the
+/// learning engine addresses its on-device draws, so a standalone train and
+/// an engine input with the same seed/stream produce identical spikes.
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonTrain {
+    philox: Philox4x32,
+    train_id: u64,
+}
+
+impl PoissonTrain {
+    /// Creates a train keyed by (`seed`, `train_id`).
+    #[must_use]
+    pub fn new(seed: u64, train_id: u64) -> Self {
+        PoissonTrain { philox: Philox4x32::new(seed), train_id }
+    }
+
+    /// Whether the train spikes at `step`, given a per-step probability.
+    #[must_use]
+    pub fn spikes_at(&self, step: u64, p_spike: f64) -> bool {
+        self.philox.uniform(self.train_id, step) < p_spike
+    }
+
+    /// Generates all spike times (ms) for a constant-rate train over
+    /// `duration_ms` at step `dt_ms`.
+    #[must_use]
+    pub fn spike_times(&self, rate_hz: f64, duration_ms: f64, dt_ms: f64) -> Vec<f64> {
+        let p = (rate_hz * dt_ms / 1000.0).clamp(0.0, 1.0);
+        let steps = (duration_ms / dt_ms).round() as u64;
+        (0..steps)
+            .filter(|&s| self.spikes_at(s, p))
+            .map(|s| s as f64 * dt_ms)
+            .collect()
+    }
+
+    /// Empirical rate (Hz) over a window — convenience for tests and
+    /// figure harnesses.
+    #[must_use]
+    pub fn empirical_rate_hz(&self, rate_hz: f64, duration_ms: f64, dt_ms: f64) -> f64 {
+        let n = self.spike_times(rate_hz, duration_ms, dt_ms).len();
+        n as f64 / (duration_ms / 1000.0)
+    }
+}
+
+/// A regular (evenly spaced) spike train, for deterministic stimuli.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegularTrain {
+    /// Phase offset of the first spike (ms).
+    pub phase_ms: f64,
+}
+
+impl RegularTrain {
+    /// A train with first spike at `phase_ms`.
+    #[must_use]
+    pub fn new(phase_ms: f64) -> Self {
+        RegularTrain { phase_ms }
+    }
+
+    /// Spike times (ms) at `rate_hz` over `duration_ms`.
+    #[must_use]
+    pub fn spike_times(&self, rate_hz: f64, duration_ms: f64) -> Vec<f64> {
+        if rate_hz <= 0.0 {
+            return Vec::new();
+        }
+        let period = 1000.0 / rate_hz;
+        let mut times = Vec::new();
+        let mut t = self.phase_ms;
+        while t < duration_ms {
+            times.push(t);
+            t += period;
+        }
+        times
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_approximates_target() {
+        let train = PoissonTrain::new(42, 0);
+        for target in [5.0, 22.0, 78.0] {
+            let measured = train.empirical_rate_hz(target, 200_000.0, 0.5);
+            let rel = (measured - target).abs() / target;
+            assert!(rel < 0.05, "target {target} Hz, measured {measured} Hz");
+        }
+    }
+
+    #[test]
+    fn poisson_trains_are_reproducible_and_distinct() {
+        let a = PoissonTrain::new(1, 0);
+        let b = PoissonTrain::new(1, 0);
+        let c = PoissonTrain::new(1, 1);
+        assert_eq!(a.spike_times(20.0, 1000.0, 0.5), b.spike_times(20.0, 1000.0, 0.5));
+        assert_ne!(a.spike_times(20.0, 1000.0, 0.5), c.spike_times(20.0, 1000.0, 0.5));
+    }
+
+    #[test]
+    fn zero_rate_never_spikes() {
+        let train = PoissonTrain::new(7, 3);
+        assert!(train.spike_times(0.0, 10_000.0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn saturated_rate_spikes_every_step() {
+        let train = PoissonTrain::new(7, 3);
+        // 1/dt = 2000 Hz saturates the per-step probability at 1.
+        let times = train.spike_times(2000.0, 100.0, 0.5);
+        assert_eq!(times.len(), 200);
+    }
+
+    #[test]
+    fn regular_train_is_evenly_spaced() {
+        let t = RegularTrain::new(2.0);
+        let times = t.spike_times(100.0, 50.0);
+        assert_eq!(times.len(), 5); // 2, 12, 22, 32, 42
+        for pair in times.windows(2) {
+            assert!((pair[1] - pair[0] - 10.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn regular_train_zero_rate_is_silent() {
+        assert!(RegularTrain::new(0.0).spike_times(0.0, 100.0).is_empty());
+    }
+}

@@ -1,0 +1,73 @@
+//! Property and statistical tests for the encoding layer.
+
+use proptest::prelude::*;
+use snn_core::config::FrequencyRange;
+use spike_encoding::{EncodingSchedule, FrequencyController, PoissonTrain, RateEncoder, RegularTrain};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The rate map is affine and stays within the configured range.
+    #[test]
+    fn rates_within_range(f_min in 0.0f64..20.0, span in 0.1f64..200.0, px in 0u8..=255) {
+        let enc = RateEncoder::new(FrequencyRange::new(f_min, f_min + span));
+        let f = enc.frequency_for(px);
+        prop_assert!(f >= f_min - 1e-12 && f <= f_min + span + 1e-12);
+    }
+
+    /// Inversion is an involution on frequencies: invert twice == original.
+    #[test]
+    fn inverted_encoder_mirrors(px in 0u8..=255) {
+        let range = FrequencyRange::new(1.0, 22.0);
+        let direct = RateEncoder::new(range);
+        let inverted = RateEncoder::new(range).inverted();
+        prop_assert!((direct.frequency_for(px) - inverted.frequency_for(255 - px)).abs() < 1e-9);
+    }
+
+    /// Regular trains have exactly period-spaced spikes inside the window.
+    #[test]
+    fn regular_trains_spacing(rate in 1.0f64..500.0, phase in 0.0f64..5.0) {
+        let times = RegularTrain::new(phase).spike_times(rate, 1000.0);
+        let period = 1000.0 / rate;
+        for pair in times.windows(2) {
+            prop_assert!((pair[1] - pair[0] - period).abs() < 1e-9);
+        }
+        prop_assert!(times.iter().all(|&t| t < 1000.0));
+    }
+
+    /// Boost followed by reduce preserves the expected spike budget for
+    /// every pixel intensity, not just the mean.
+    #[test]
+    fn frequency_controller_budget_invariant(factor in 0.2f64..8.0, px in 0u8..=255) {
+        let c = FrequencyController::new(EncodingSchedule::baseline());
+        let base = c.base().expected_spikes_per_train(px);
+        let fast = c.boost_and_reduce(factor).expected_spikes_per_train(px);
+        prop_assert!((base - fast).abs() < 1e-9);
+    }
+}
+
+/// Statistical check: Poisson trains hit their target rate within 5% over
+/// a long window, across the paper's frequency range.
+#[test]
+fn poisson_rates_are_calibrated() {
+    for (stream, target) in [(0u64, 1.0f64), (1, 5.0), (2, 22.0), (3, 78.0)] {
+        let train = PoissonTrain::new(7, stream);
+        let measured = train.empirical_rate_hz(target, 2_000_000.0, 0.5);
+        let sigma = (target / 2000.0_f64).sqrt(); // Poisson std-dev of the rate estimate
+        let rel = (measured - target).abs() / target;
+        assert!(rel < (4.0 * sigma / target).max(0.03), "stream {stream}: target {target} Hz, measured {measured} Hz");
+    }
+}
+
+/// The coefficient of variation of Poisson inter-spike intervals is ~1
+/// (the memorylessness the learning dynamics assume).
+#[test]
+fn poisson_isi_cv_near_one() {
+    let train = PoissonTrain::new(3, 0);
+    let times = train.spike_times(20.0, 2_000_000.0, 0.5);
+    let isis: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+    let mean = isis.iter().sum::<f64>() / isis.len() as f64;
+    let var = isis.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / isis.len() as f64;
+    let cv = var.sqrt() / mean;
+    assert!((cv - 1.0).abs() < 0.05, "ISI CV = {cv}");
+}

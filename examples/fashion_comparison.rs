@@ -1,0 +1,49 @@
+//! The paper's headline comparison (Section IV-B): on the complex,
+//! feature-rich apparel dataset, stochastic STDP keeps learning while the
+//! deterministic baseline converges to the overlapping features of all
+//! classes.
+//!
+//! Run with: `cargo run --release --example fashion_comparison`
+
+use parallel_spike_sim::prelude::*;
+
+fn main() {
+    let device = Device::new(DeviceConfig::default());
+    let scale = Scale {
+        n_excitatory: 40,
+        n_train_images: 400,
+        n_labeling: 60,
+        n_inference: 100,
+        eval_every: None,
+    };
+
+    for kind in [DatasetKind::Mnist, DatasetKind::Fashion] {
+        let dataset = load_or_synthesize(
+            kind,
+            None,
+            scale.n_train_images,
+            scale.n_labeling + scale.n_inference,
+            21,
+        );
+        println!("--- {} ---", dataset.name);
+        let mut records = Vec::new();
+        for rule in [RuleKind::Deterministic, RuleKind::Stochastic] {
+            let record =
+                Experiment::from_preset(format!("{rule}"), Preset::FullPrecision, rule, 784, scale)
+                    .with_learning_rate_scale(scale.lr_compensation())
+                    .run(&dataset, &device);
+            println!(
+                "  {:<14} accuracy {:>5.1}%  mean conductance {:.3}",
+                rule.to_string(),
+                record.accuracy * 100.0,
+                record.g_mean
+            );
+            records.push(record);
+        }
+        let gain = (records[1].accuracy - records[0].accuracy) * 100.0;
+        println!("  stochastic - deterministic: {gain:+.1} points\n");
+    }
+    println!("Expected shape (paper): a modest stochastic advantage on digits");
+    println!("(~+4 points) and a decisive one on the apparel data, where the");
+    println!("baseline fails to separate the overlapping classes.");
+}

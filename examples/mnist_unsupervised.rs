@@ -1,0 +1,69 @@
+//! Unsupervised digit learning with receptive-field visualization: trains
+//! the winner-take-all network on synthetic MNIST and prints the learned
+//! conductance arrays as ASCII panels (the paper's Fig. 5 view).
+//!
+//! Uses real MNIST automatically if `MNIST_DIR` points at the IDX files.
+//!
+//! Run with: `cargo run --release --example mnist_unsupervised`
+
+use parallel_spike_sim::prelude::*;
+
+fn main() {
+    let device = Device::new(DeviceConfig::default());
+    let dataset = load_or_synthesize(DatasetKind::Mnist, None, 600, 200, 11);
+    println!("dataset: {}", dataset.name);
+
+    let mut config = NetworkConfig::from_preset(Preset::FullPrecision, 784, 40)
+        .with_rule(RuleKind::Stochastic);
+    // Reduced-scale learning-rate compensation (the paper's amplitudes
+    // assume 60 000 presentations).
+    if let parallel_spike_sim::core::config::StdpMagnitudes::Querlioz {
+        alpha_p,
+        beta_p,
+        alpha_d,
+        beta_d,
+    } = config.magnitudes
+    {
+        config.magnitudes = parallel_spike_sim::core::config::StdpMagnitudes::Querlioz {
+            alpha_p: alpha_p * 10.0,
+            beta_p,
+            alpha_d: alpha_d * 10.0,
+            beta_d,
+        };
+    }
+
+    let trainer_config = TrainerConfig {
+        network: config,
+        t_learn_ms: 500.0,
+        n_train_images: 600,
+        n_labeling: 80,
+        n_inference: 120,
+        seed: 3,
+        eval_every: None,
+        eval_probe: (40, 60),
+    };
+    let outcome = Trainer::new(trainer_config, &device).run(&dataset);
+
+    println!("accuracy: {:.1}%", outcome.accuracy * 100.0);
+    println!("confusion matrix:\n{}", outcome.confusion);
+
+    // Show the four highest-contrast receptive fields.
+    let mut order: Vec<usize> = (0..outcome.synapses.n_post()).collect();
+    order.sort_by(|&a, &b| {
+        outcome
+            .synapses
+            .row_contrast(b)
+            .partial_cmp(&outcome.synapses.row_contrast(a))
+            .unwrap()
+    });
+    let (lo, hi) = outcome.synapses.bounds();
+    for &j in order.iter().take(4) {
+        let img = Image::from_f64(28, 28, outcome.synapses.row(j), lo, hi);
+        println!(
+            "neuron {j}: label {}, contrast {:.3}",
+            outcome.labels[j],
+            outcome.synapses.row_contrast(j)
+        );
+        println!("{}", img.to_ascii());
+    }
+}

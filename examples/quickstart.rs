@@ -1,0 +1,55 @@
+//! Quickstart: train a small spiking network on synthetic digits with
+//! stochastic STDP, then classify.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use parallel_spike_sim::prelude::*;
+
+fn main() {
+    // 1. A device to run kernels on (simulated GPU; worker threads).
+    let device = Device::new(DeviceConfig::default());
+    println!("device: {} workers", device.workers());
+
+    // 2. Data: a small synthetic-MNIST stream (28×28, 10 classes).
+    let dataset = synthetic_mnist(300, 150, 7);
+    println!("dataset: {} train / {} test", dataset.train.len(), dataset.test.len());
+
+    // 3. An experiment from the paper's full-precision preset.
+    let scale = Scale {
+        n_excitatory: 50,
+        n_train_images: 300,
+        n_labeling: 60,
+        n_inference: 90,
+        eval_every: Some(100),
+    };
+    let experiment = Experiment::from_preset(
+        "quickstart",
+        Preset::FullPrecision,
+        RuleKind::Stochastic,
+        784,
+        scale,
+    )
+    .with_learning_rate_scale(scale.lr_compensation());
+
+    // 4. Train, label, infer.
+    let record = experiment.run(&dataset, &device);
+    println!("\nlearning curve:");
+    for point in &record.curve {
+        println!(
+            "  after {:>4} images ({:>6.0} ms simulated): accuracy {:.1}%",
+            point.images_seen,
+            point.simulated_ms,
+            point.accuracy * 100.0
+        );
+    }
+    println!(
+        "\nfinal accuracy: {:.1}%  (abstained on {:.1}% of images)",
+        record.accuracy * 100.0,
+        record.abstention_rate * 100.0
+    );
+    println!(
+        "simulated learning time: {:.0} ms; wall time: {:.1} s",
+        record.train_simulated_ms, record.train_wall_s
+    );
+    println!("mean conductance after training: {:.3}", record.g_mean);
+}

@@ -1,0 +1,76 @@
+//! Pure spiking-simulation demo (no learning): the LIF f–I curve
+//! (Fig. 1a), a Poisson-train raster, and the cross-validation of the
+//! parallel engine against the sequential reference simulator (Fig. 4).
+//!
+//! Run with: `cargo run --release --example spiking_demo`
+
+use parallel_spike_sim::core::network::RecurrentNetwork;
+use parallel_spike_sim::core::neuron::fi_curve;
+use parallel_spike_sim::prelude::*;
+use parallel_spike_sim::reference::ReferenceSimulator;
+
+fn main() {
+    // 1. The f–I curve of the paper's LIF parameters.
+    let params = LifParams::default();
+    let currents: Vec<f64> = (0..=10).map(f64::from).collect();
+    println!("LIF f-I curve (Fig. 1a), rheobase = {:.2}:", params.rheobase());
+    for (i, f) in fi_curve(params, &currents, 2000.0, 0.1) {
+        let bar = "#".repeat((f / 5.0) as usize);
+        println!("  I = {i:>4.1}: {f:>6.1} Hz |{bar}");
+    }
+
+    // 2. A Poisson spike train at the baseline and boosted frequencies.
+    println!("\ninput spike trains (200 ms, '.' = 2 ms bin, '#' = spike):");
+    for rate in [22.0, 78.0] {
+        let train = PoissonTrainView::new(rate);
+        println!("  {rate:>4.0} Hz |{train}");
+    }
+
+    // 3. Cross-validation: 1000 neurons, 10_000 synapses — the Fig. 4
+    // workload — must produce identical spike trains in the parallel
+    // engine and the independent sequential reference.
+    let net = RecurrentNetwork::random(1000, 10_000, 0.1, 0.5, 4);
+    let i_ext: Vec<f64> = (0..1000).map(|j| if j % 7 == 0 { 5.0 } else { 1.5 }).collect();
+
+    let started = std::time::Instant::now();
+    let mut reference = ReferenceSimulator::new(&net, 5.0, 0.5);
+    let ref_counts = reference.run(&i_ext, 1000.0);
+    let ref_time = started.elapsed();
+
+    let device = Device::new(DeviceConfig::default());
+    let started = std::time::Instant::now();
+    let mut engine = GenericEngine::new(&net, &device, 5.0, 0.5);
+    let eng_counts = engine.run(&i_ext, 1000.0);
+    let eng_time = started.elapsed();
+
+    let total: u32 = eng_counts.iter().sum();
+    let agree = engine.raster().coincidence(reference.raster(), 1e-9);
+    println!("\nFig. 4 workload: 1000 LIF neurons, 10k synapses, 1 s simulated");
+    println!("  total spikes: {total}");
+    println!("  spike-train agreement vs reference: {:.1}%", agree * 100.0);
+    println!("  reference (sequential): {ref_time:?}; engine ({} workers): {eng_time:?}", device.workers());
+    assert_eq!(ref_counts, eng_counts, "engines must agree exactly");
+}
+
+/// Tiny display helper for a Poisson train.
+struct PoissonTrainView {
+    rate: f64,
+}
+
+impl PoissonTrainView {
+    fn new(rate: f64) -> Self {
+        PoissonTrainView { rate }
+    }
+}
+
+impl std::fmt::Display for PoissonTrainView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let train = parallel_spike_sim::encoding::PoissonTrain::new(7, 0);
+        let times = train.spike_times(self.rate, 200.0, 0.5);
+        let mut bins = vec!['.'; 100];
+        for t in times {
+            bins[(t / 2.0) as usize] = '#';
+        }
+        write!(f, "{}", bins.into_iter().collect::<String>())
+    }
+}

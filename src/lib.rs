@@ -1,0 +1,68 @@
+//! # ParallelSpikeSim (Rust reproduction)
+//!
+//! A faithful, CPU-parallel reproduction of *"Fast and Low-Precision
+//! Learning in GPU-Accelerated Spiking Neural Network"* (She, Long,
+//! Mukhopadhyay — DATE 2019): unsupervised learning in a spiking neural
+//! network with **stochastic STDP**, **low-precision (down to 2-bit)
+//! synapses** with three rounding options, and **input-frequency control**
+//! for fast learning.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`](mod@core) (`snn-core`) — neuron models, plasticity rules,
+//!   synapse matrix, WTA network and engines;
+//! * [`device`] (`gpu-device`) — the simulated-GPU execution substrate;
+//! * [`fixed`] (`qformat`) — Q-format fixed point and rounding modes;
+//! * [`encoding`] (`spike-encoding`) — rate coding and frequency control;
+//! * [`datasets`] (`snn-datasets`) — synthetic MNIST/Fashion-MNIST and the
+//!   IDX codec;
+//! * [`learning`] (`snn-learning`) — the train/label/infer pipeline;
+//! * [`reference`](mod@reference) (`reference-sim`) — the sequential golden-model
+//!   simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parallel_spike_sim::prelude::*;
+//!
+//! // A small network learning a tiny synthetic-digit stream.
+//! let device = Device::new(DeviceConfig::default());
+//! let dataset = synthetic_mnist(60, 30, 7);
+//! let scale = Scale { n_excitatory: 20, n_train_images: 60, n_labeling: 15,
+//!                     n_inference: 15, eval_every: None };
+//! let record = Experiment::from_preset("demo", Preset::FullPrecision,
+//!                                      RuleKind::Stochastic, 784, scale)
+//!     .with_learning_rate_scale(scale.lr_compensation())
+//!     .run(&dataset, &device);
+//! assert!(record.accuracy >= 0.0 && record.accuracy <= 1.0);
+//! ```
+
+pub use gpu_device as device;
+pub use qformat as fixed;
+pub use reference_sim as reference;
+pub use snn_core as core;
+pub use snn_datasets as datasets;
+pub use snn_learning as learning;
+pub use spike_encoding as encoding;
+
+/// The types most applications need, in one import.
+pub mod prelude {
+    pub use gpu_device::{Device, DeviceConfig, Philox4x32};
+    pub use qformat::{QFormat, Quantizer, Rounding};
+    pub use snn_core::config::{
+        FrequencyRange, InhibitionMode, LifParams, NetworkConfig, NeuronModelKind, Precision,
+        Preset, RuleKind,
+    };
+    pub use snn_core::neuron::{LifNeuron, NeuronModel};
+    pub use snn_core::sim::{GenericEngine, SpikeRaster, WtaEngine};
+    pub use snn_core::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp};
+    pub use snn_datasets::{
+        load_or_synthesize, synthetic_fashion, synthetic_mnist, Dataset, DatasetKind,
+        DatasetStats, Image,
+    };
+    pub use snn_learning::experiments::{Experiment, RunRecord, Scale, SeedStats};
+    pub use snn_learning::{Classifier, Labeler, Trainer, TrainerConfig};
+    pub use spike_encoding::{
+        EncodingSchedule, FrequencyController, LatencyEncoder, RateEncoder,
+    };
+}

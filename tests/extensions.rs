@@ -1,0 +1,107 @@
+//! Integration tests for the extension features beyond the paper's core:
+//! weight normalization, multi-seed statistics, latency encoding, and
+//! alternative neuron models in the full pipeline.
+
+use parallel_spike_sim::core::config::NeuronModelKind;
+use parallel_spike_sim::core::neuron::IzhikevichParams;
+use parallel_spike_sim::encoding::LatencyEncoder;
+use parallel_spike_sim::prelude::*;
+
+#[test]
+fn weight_normalized_training_keeps_row_budgets() {
+    let device = Device::new(DeviceConfig::default());
+    let dataset = synthetic_mnist(40, 30, 3);
+    let mut network = NetworkConfig::from_preset(Preset::FullPrecision, 784, 12);
+    network.weight_norm_target = Some(80.0);
+    let outcome = Trainer::new(
+        TrainerConfig {
+            network,
+            t_learn_ms: 200.0,
+            n_train_images: 40,
+            n_labeling: 15,
+            n_inference: 15,
+            seed: 4,
+            eval_every: None,
+            eval_probe: (5, 5),
+        },
+        &device,
+    )
+    .run(&dataset);
+    for j in 0..outcome.synapses.n_post() {
+        let sum: f64 = outcome.synapses.row(j).iter().sum();
+        assert!((sum - 80.0).abs() < 1e-6, "row {j} sums to {sum}");
+    }
+    assert!(outcome.synapses.check_invariants());
+}
+
+#[test]
+fn multi_seed_stats_aggregate_correctly() {
+    let device = Device::new(DeviceConfig::default());
+    let scale = Scale {
+        n_excitatory: 10,
+        n_train_images: 25,
+        n_labeling: 10,
+        n_inference: 15,
+        eval_every: None,
+    };
+    let dataset = synthetic_mnist(scale.n_train_images, 25, 8);
+    let stats = Experiment::from_preset("seeds", Preset::FullPrecision, RuleKind::Stochastic, 784, scale)
+        .run_seeds(&dataset, &device, &[1, 2, 3]);
+    assert_eq!(stats.runs.len(), 3);
+    let mean = stats.runs.iter().map(|r| r.accuracy).sum::<f64>() / 3.0;
+    assert!((stats.mean_accuracy - mean).abs() < 1e-12);
+    assert!(stats.std_accuracy >= 0.0);
+}
+
+#[test]
+fn latency_encoding_orders_first_spikes_by_intensity() {
+    let dataset = synthetic_mnist(1, 0, 1);
+    let image = &dataset.train[0].image;
+    let encoder = LatencyEncoder::new(50.0, 16);
+    let times = encoder.spike_times(image.pixels());
+    // The brightest pixel fires first among all active pixels.
+    let brightest = image
+        .pixels()
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, &p)| p)
+        .map(|(i, _)| i)
+        .unwrap();
+    let first = times
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &t)| t.map(|t| (i, t)))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|(i, _)| i)
+        .unwrap();
+    assert_eq!(image.pixels()[first], image.pixels()[brightest]);
+    // Silent pixels are exactly the sub-threshold ones.
+    for (i, &t) in times.iter().enumerate() {
+        assert_eq!(t.is_none(), image.pixels()[i] <= 16, "pixel {i}");
+    }
+}
+
+#[test]
+fn izhikevich_pipeline_runs_end_to_end() {
+    let device = Device::new(DeviceConfig::default());
+    let dataset = synthetic_mnist(30, 20, 6);
+    let mut network = NetworkConfig::from_preset(Preset::FullPrecision, 784, 10);
+    network.neuron = NeuronModelKind::Izhikevich(IzhikevichParams::regular_spiking());
+    network.v_spike = 4.0;
+    let outcome = Trainer::new(
+        TrainerConfig {
+            network,
+            t_learn_ms: 200.0,
+            n_train_images: 30,
+            n_labeling: 10,
+            n_inference: 10,
+            seed: 2,
+            eval_every: None,
+            eval_probe: (5, 5),
+        },
+        &device,
+    )
+    .run(&dataset);
+    assert!(outcome.accuracy >= 0.0);
+    assert!(outcome.synapses.check_invariants());
+}

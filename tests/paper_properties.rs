@@ -1,0 +1,131 @@
+//! Integration tests asserting the paper's qualitative results (the
+//! "shape" of every headline claim) at smoke-test scale.
+
+use parallel_spike_sim::prelude::*;
+
+fn scale() -> Scale {
+    Scale {
+        n_excitatory: 25,
+        n_train_images: 250,
+        n_labeling: 40,
+        n_inference: 80,
+        eval_every: None,
+    }
+}
+
+fn run(preset: Preset, rule: RuleKind, dataset: &Dataset, device: &Device) -> RunRecord {
+    Experiment::from_preset(format!("{preset:?}-{rule}"), preset, rule, 784, scale())
+        .with_learning_rate_scale(scale().lr_compensation())
+        .run(dataset, device)
+}
+
+/// Section IV-D / Table II: at 2-bit precision the deterministic baseline
+/// collapses toward chance while stochastic STDP keeps learning.
+#[test]
+fn stochastic_stdp_survives_2bit_where_deterministic_fails() {
+    let device = Device::new(DeviceConfig::default());
+    let dataset = synthetic_mnist(scale().n_train_images, 120, 31);
+    let stochastic = run(Preset::Bit2, RuleKind::Stochastic, &dataset, &device);
+    let deterministic = run(Preset::Bit2, RuleKind::Deterministic, &dataset, &device);
+    assert!(
+        stochastic.accuracy > deterministic.accuracy + 0.15,
+        "stochastic {} must clearly beat deterministic {} at 2 bits",
+        stochastic.accuracy,
+        deterministic.accuracy
+    );
+    assert!(
+        stochastic.accuracy > 0.25,
+        "stochastic 2-bit should stay well above chance, got {}",
+        stochastic.accuracy
+    );
+}
+
+/// Fig. 6(b): under deterministic low-precision learning a large portion of
+/// synapses drops to the minimum conductance; stochastic learning keeps a
+/// healthier distribution.
+#[test]
+fn deterministic_low_precision_collapses_conductances() {
+    let device = Device::new(DeviceConfig::default());
+    let dataset = synthetic_mnist(scale().n_train_images, 120, 37);
+    let stochastic = run(Preset::Bit8, RuleKind::Stochastic, &dataset, &device);
+    let deterministic = run(Preset::Bit8, RuleKind::Deterministic, &dataset, &device);
+    assert!(
+        deterministic.g_floor_fraction > stochastic.g_floor_fraction,
+        "baseline floor fraction {} should exceed stochastic {}",
+        deterministic.g_floor_fraction,
+        stochastic.g_floor_fraction
+    );
+}
+
+/// Section IV-C: the high-frequency schedule needs 5× less simulated time
+/// per training set.
+#[test]
+fn high_frequency_preset_cuts_simulated_time() {
+    let device = Device::new(DeviceConfig::default());
+    let small = Scale {
+        n_excitatory: 15,
+        n_train_images: 60,
+        n_labeling: 20,
+        n_inference: 30,
+        eval_every: None,
+    };
+    let dataset = synthetic_mnist(small.n_train_images, 50, 41);
+    let base = Experiment::from_preset("b", Preset::FullPrecision, RuleKind::Stochastic, 784, small)
+        .with_learning_rate_scale(10.0)
+        .run(&dataset, &device);
+    let fast =
+        Experiment::from_preset("h", Preset::HighFrequency, RuleKind::Stochastic, 784, small)
+            .with_learning_rate_scale(10.0)
+            .run(&dataset, &device);
+    let ratio = base.train_simulated_ms / fast.train_simulated_ms;
+    assert!((ratio - 5.0).abs() < 1e-9, "simulated-time ratio {ratio} should be 5x");
+    // And the fast schedule must still learn something.
+    assert!(fast.accuracy > 0.15, "high-frequency accuracy {}", fast.accuracy);
+}
+
+/// Fig. 7(a): pushing f_max far beyond the working range degrades accuracy.
+#[test]
+fn extreme_input_frequency_degrades_learning() {
+    let device = Device::new(DeviceConfig::default());
+    let small = Scale {
+        n_excitatory: 15,
+        n_train_images: 100,
+        n_labeling: 25,
+        n_inference: 50,
+        eval_every: None,
+    };
+    let dataset = synthetic_mnist(small.n_train_images, 75, 43);
+    let normal =
+        Experiment::from_preset("n", Preset::FullPrecision, RuleKind::Deterministic, 784, small)
+            .with_learning_rate_scale(10.0)
+            .run(&dataset, &device);
+    let extreme =
+        Experiment::from_preset("x", Preset::FullPrecision, RuleKind::Deterministic, 784, small)
+            .with_learning_rate_scale(10.0)
+            .with_f_max(400.0)
+            .run(&dataset, &device);
+    assert!(
+        extreme.accuracy < normal.accuracy + 0.05,
+        "extreme frequency {} should not beat the working range {}",
+        extreme.accuracy,
+        normal.accuracy
+    );
+}
+
+/// Table I parameters are exposed exactly as published.
+#[test]
+fn table1_presets_are_faithful() {
+    for (preset, gamma_pot, tau_pot, tau_dep, f_max) in [
+        (Preset::Bit2, 0.2, 20.0, 10.0, 22.0),
+        (Preset::Bit4, 0.3, 30.0, 10.0, 22.0),
+        (Preset::Bit8, 0.5, 30.0, 10.0, 22.0),
+        (Preset::Bit16, 0.9, 30.0, 10.0, 22.0),
+        (Preset::HighFrequency, 0.3, 80.0, 5.0, 78.0),
+    ] {
+        let cfg = NetworkConfig::from_preset(preset, 784, 100);
+        assert_eq!(cfg.stochastic.gamma_pot, gamma_pot, "{preset:?}");
+        assert_eq!(cfg.stochastic.tau_pot_ms, tau_pot, "{preset:?}");
+        assert_eq!(cfg.stochastic.tau_dep_ms, tau_dep, "{preset:?}");
+        assert_eq!(cfg.frequency.f_max_hz, f_max, "{preset:?}");
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration tests: dataset → encoding → engine → learning →
+//! classification, across crates.
+
+use parallel_spike_sim::learning::checkpoint;
+use parallel_spike_sim::prelude::*;
+
+fn quick_scale() -> Scale {
+    Scale {
+        n_excitatory: 25,
+        n_train_images: 120,
+        n_labeling: 30,
+        n_inference: 60,
+        eval_every: None,
+    }
+}
+
+#[test]
+fn full_pipeline_beats_chance_on_synthetic_digits() {
+    let device = Device::new(DeviceConfig::default());
+    let scale = quick_scale();
+    let dataset = synthetic_mnist(scale.n_train_images, 90, 17);
+    let record = Experiment::from_preset(
+        "it-digits",
+        Preset::FullPrecision,
+        RuleKind::Stochastic,
+        784,
+        scale,
+    )
+    .with_learning_rate_scale(scale.lr_compensation())
+    .run(&dataset, &device);
+    // Chance is 10%; demand a wide margin even at smoke scale.
+    assert!(record.accuracy > 0.3, "accuracy {} not above chance", record.accuracy);
+}
+
+#[test]
+fn pipeline_is_deterministic_across_worker_counts() {
+    let scale = Scale {
+        n_excitatory: 12,
+        n_train_images: 30,
+        n_labeling: 10,
+        n_inference: 20,
+        eval_every: None,
+    };
+    let dataset = synthetic_mnist(scale.n_train_images, 30, 3);
+    let run = |workers: usize| {
+        let device = Device::new(DeviceConfig::default().with_workers(workers));
+        Experiment::from_preset("det-check", Preset::Bit8, RuleKind::Stochastic, 784, scale)
+            .run(&dataset, &device)
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.accuracy, parallel.accuracy);
+    assert_eq!(serial.g_histogram, parallel.g_histogram);
+    assert_eq!(serial.g_mean, parallel.g_mean);
+}
+
+#[test]
+fn checkpoint_roundtrip_preserves_behaviour() {
+    let device = Device::new(DeviceConfig::default());
+    let scale = Scale {
+        n_excitatory: 10,
+        n_train_images: 20,
+        n_labeling: 10,
+        n_inference: 10,
+        eval_every: None,
+    };
+    let dataset = synthetic_mnist(20, 20, 5);
+    let trainer = Trainer::new(
+        TrainerConfig {
+            network: NetworkConfig::from_preset(Preset::FullPrecision, 784, 10),
+            t_learn_ms: 200.0,
+            n_train_images: scale.n_train_images,
+            n_labeling: scale.n_labeling,
+            n_inference: scale.n_inference,
+            seed: 9,
+            eval_every: None,
+            eval_probe: (5, 5),
+        },
+        &device,
+    );
+    let outcome = trainer.run(&dataset);
+
+    let json = checkpoint::to_json(&outcome).unwrap();
+    let restored = checkpoint::from_json(&json).unwrap();
+    assert_eq!(outcome.synapses.as_flat(), restored.synapses.as_flat());
+    assert_eq!(outcome.labels, restored.labels);
+
+    // A fresh engine with the restored conductances classifies identically:
+    // present one image to both and compare spike counts.
+    let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 784, 10);
+    let encoder = RateEncoder::new(cfg.frequency);
+    let rates = encoder.rates(dataset.test[0].image.pixels());
+    let mut a = WtaEngine::new(cfg.clone(), &device, 1);
+    a.set_synapses(outcome.synapses.clone());
+    let mut b = WtaEngine::new(cfg, &device, 1);
+    b.set_synapses(restored.synapses.clone());
+    assert_eq!(a.present(&rates, 200.0, false), b.present(&rates, 200.0, false));
+}
+
+#[test]
+fn idx_loader_feeds_the_pipeline() {
+    // Materialize a synthetic dataset as real IDX files, reload it through
+    // the codec, and run the pipeline on the loaded copy.
+    use parallel_spike_sim::datasets::idx;
+    let dir = std::env::temp_dir().join(format!("pss-idx-{}", std::process::id()));
+    let original = synthetic_mnist(40, 30, 2);
+    idx::save_dataset(&dir, &original).unwrap();
+    let loaded = idx::load_dataset(&dir).unwrap();
+    assert_eq!(loaded.train.len(), 40);
+
+    let device = Device::new(DeviceConfig::default());
+    let scale = Scale {
+        n_excitatory: 10,
+        n_train_images: 40,
+        n_labeling: 15,
+        n_inference: 15,
+        eval_every: None,
+    };
+    let record =
+        Experiment::from_preset("idx", Preset::FullPrecision, RuleKind::Stochastic, 784, scale)
+            .run(&loaded, &device);
+    assert!(record.accuracy >= 0.0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn abstention_and_accuracy_are_consistent() {
+    let device = Device::new(DeviceConfig::default());
+    let scale = quick_scale();
+    let dataset = synthetic_mnist(scale.n_train_images, 90, 29);
+    let record =
+        Experiment::from_preset("cons", Preset::FullPrecision, RuleKind::Stochastic, 784, scale)
+            .with_learning_rate_scale(scale.lr_compensation())
+            .run(&dataset, &device);
+    assert!(record.accuracy >= 0.0 && record.accuracy <= 1.0);
+    assert!(record.abstention_rate >= 0.0 && record.abstention_rate <= 1.0);
+    // Accuracy can never exceed the answered fraction.
+    assert!(record.accuracy <= 1.0 - record.abstention_rate + 1e-9);
+}

@@ -127,6 +127,17 @@ impl Device {
         self.profiler.reset();
     }
 
+    /// Adds `delta` to a named monotonic profiler counter. Engines use this
+    /// to account for work an execution strategy *avoided* (e.g. synapse
+    /// updates deferred or dense launches skipped by a lazy path) — wall
+    /// time alone cannot show work that never ran. No-op when profiling is
+    /// disabled.
+    pub fn bump_counter(&self, name: &'static str, delta: u64) {
+        if self.config.profile {
+            self.profiler.bump(name, delta);
+        }
+    }
+
     /// Allocates a buffer of `len` elements initialized to `init`.
     #[must_use]
     pub fn alloc<T: Copy>(&self, label: &'static str, len: usize, init: T) -> DeviceBuffer<T> {
@@ -268,6 +279,117 @@ impl Device {
                                 std::slice::from_raw_parts_mut(base.0.add(r * row_len), row_len)
                             };
                             kernel(r, row);
+                        }
+                        block += workers;
+                    }
+                });
+            }
+        });
+    }
+
+    /// A fused gather/scatter row launch: logical thread `k` gathers row
+    /// index `rows[k]` and receives that row of **two** same-shape matrices
+    /// (`&mut a[r*row_len..]`, `&mut b[r*row_len..]`) in one dispatch. This
+    /// is the shape of lazy, event-driven passes — a data-dependent *active
+    /// set* of rows, each carrying paired state (e.g. conductances plus
+    /// applied-update watermarks) — and fusing the pair keeps the whole pass
+    /// on one worker-pool dispatch instead of two.
+    ///
+    /// Because the real work of a gathered pass depends on per-row event
+    /// data the device cannot see, the caller supplies `work_items`, the
+    /// estimated number of logical work items, and the device uses it for
+    /// the inline-vs-pool decision exactly as a dense launch would use its
+    /// element count.
+    ///
+    /// The kernel receives `(k, r, a_row, b_row)` with `k` the position in
+    /// `rows` and `r = rows[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or are not whole rows, or if a
+    /// row index is out of range. `rows` must not contain duplicates (two
+    /// workers would alias one row); this is asserted in debug builds.
+    pub fn launch_gather_rows_mut<A, B, K>(
+        &self,
+        name: &'static str,
+        rows: &[u32],
+        a: &mut [A],
+        b: &mut [B],
+        row_len: usize,
+        work_items: usize,
+        kernel: K,
+    ) where
+        A: Send,
+        B: Send,
+        K: Fn(usize, usize, &mut [A], &mut [B]) + Sync,
+    {
+        assert!(row_len > 0, "row length must be positive");
+        assert_eq!(a.len(), b.len(), "gathered matrices must have the same shape");
+        assert_eq!(a.len() % row_len, 0, "data not a whole number of rows");
+        let n_rows = a.len() / row_len;
+        assert!(
+            rows.iter().all(|&r| (r as usize) < n_rows),
+            "gather row index out of range"
+        );
+        debug_assert!(
+            {
+                let mut seen = vec![false; n_rows];
+                rows.iter().all(|&r| !std::mem::replace(&mut seen[r as usize], true))
+            },
+            "gather list contains duplicate rows"
+        );
+        let n = rows.len();
+        // Gather lists are data-dependent and usually far smaller than a
+        // dense row launch (tens of active rows, not the whole matrix). At
+        // the dense row-block size most of a small gather would land in one
+        // block — i.e. on one worker — so cap the block so the list spreads
+        // over every worker with a few blocks each for balance. Results are
+        // partition-independent (disjoint rows, pure kernels), so this only
+        // changes wall time.
+        let row_block = 1.max(self.config.block_size / 32).min(1.max(n.div_ceil(4 * self.workers())));
+        let dims = LaunchDims::cover(n, row_block);
+        let base_a = SharedMut(a.as_mut_ptr());
+        let base_b = SharedMut(b.as_mut_ptr());
+        self.timed(name, n, || match self.pool_for(work_items) {
+            None => {
+                // SAFETY: serial path, exclusive access to both slices.
+                for (k, &r) in rows.iter().enumerate() {
+                    let r = r as usize;
+                    let row_a = unsafe {
+                        std::slice::from_raw_parts_mut(base_a.0.add(r * row_len), row_len)
+                    };
+                    let row_b = unsafe {
+                        std::slice::from_raw_parts_mut(base_b.0.add(r * row_len), row_len)
+                    };
+                    kernel(k, r, row_a, row_b);
+                }
+            }
+            Some(pool) => {
+                let workers = pool.workers();
+                let base_a = &base_a;
+                let base_b = &base_b;
+                pool.run(|wid| {
+                    let mut block = wid;
+                    while block < dims.grid {
+                        for k in dims.block_range(block, n) {
+                            let r = rows[k] as usize;
+                            // SAFETY: gather positions partition 0..n, each
+                            // visited by exactly one worker, and the gather
+                            // list holds distinct rows — so every row pair
+                            // is touched by one worker only.
+                            let row_a = unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    base_a.0.add(r * row_len),
+                                    row_len,
+                                )
+                            };
+                            let row_b = unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    base_b.0.add(r * row_len),
+                                    row_len,
+                                )
+                            };
+                            kernel(k, r, row_a, row_b);
                         }
                         block += workers;
                     }
@@ -449,5 +571,73 @@ mod tests {
         let d = dev(1);
         let mut data = vec![0u8; 10];
         d.launch_rows_mut("bad", &mut data, 3, |_, _| {});
+    }
+
+    #[test]
+    fn gather_rows_touches_only_listed_rows() {
+        for workers in [1, 2, 5] {
+            let d = dev(workers);
+            let (rows, row_len) = (16usize, 8usize);
+            let mut a = vec![0.0f64; rows * row_len];
+            let mut b = vec![0u32; rows * row_len];
+            let gather: Vec<u32> = vec![3, 0, 11, 7];
+            // Force the pool path with a large work hint at workers > 1.
+            d.launch_gather_rows_mut("gather", &gather, &mut a, &mut b, row_len, 1 << 20, |k, r, ra, rb| {
+                assert_eq!(gather[k] as usize, r);
+                for (va, vb) in ra.iter_mut().zip(rb.iter_mut()) {
+                    *va += (r + 1) as f64;
+                    *vb += 1;
+                }
+            });
+            for r in 0..rows {
+                let listed = gather.contains(&(r as u32));
+                for i in 0..row_len {
+                    let expect_a = if listed { (r + 1) as f64 } else { 0.0 };
+                    let expect_b = u32::from(listed);
+                    assert_eq!(a[r * row_len + i], expect_a, "workers={workers} row={r}");
+                    assert_eq!(b[r * row_len + i], expect_b, "workers={workers} row={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_rows_small_hint_runs_inline() {
+        let d = dev(4);
+        let mut a = vec![0u8; 4 * 4];
+        let mut b = vec![0u8; 4 * 4];
+        // work hint below min_parallel_items → inline even with a pool.
+        d.launch_gather_rows_mut("inline", &[2], &mut a, &mut b, 4, 4, |_, r, ra, _| {
+            ra.fill(r as u8);
+        });
+        assert!(a[8..12].iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "same shape")]
+    fn gather_rows_shape_mismatch_rejected() {
+        let d = dev(1);
+        let mut a = vec![0u8; 8];
+        let mut b = vec![0u8; 4];
+        d.launch_gather_rows_mut("bad", &[0], &mut a, &mut b, 4, 4, |_, _, _, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gather_rows_index_out_of_range_rejected() {
+        let d = dev(1);
+        let mut a = vec![0u8; 8];
+        let mut b = vec![0u8; 8];
+        d.launch_gather_rows_mut("bad", &[2], &mut a, &mut b, 4, 4, |_, _, _, _| {});
+    }
+
+    #[test]
+    fn counters_flow_through_device() {
+        let d = dev(2);
+        d.bump_counter("skipped", 100);
+        d.bump_counter("skipped", 11);
+        assert_eq!(d.profile().counter("skipped"), Some(111));
+        d.reset_profile();
+        assert_eq!(d.profile().counter("skipped"), None);
     }
 }

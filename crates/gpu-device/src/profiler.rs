@@ -32,10 +32,13 @@ impl KernelStats {
     }
 }
 
-/// Collects per-kernel-name launch counts and cumulative wall time.
+/// Collects per-kernel-name launch counts and cumulative wall time, plus
+/// named monotonic counters for work that kernels *avoid* (skipped or
+/// deferred items in lazy execution paths).
 #[derive(Debug, Default)]
 pub struct KernelProfiler {
     entries: Mutex<HashMap<&'static str, KernelStats>>,
+    counters: Mutex<HashMap<&'static str, u64>>,
 }
 
 impl KernelProfiler {
@@ -54,6 +57,11 @@ impl KernelProfiler {
         e.threads += threads as u64;
     }
 
+    /// Adds `delta` to the named monotonic counter.
+    pub fn bump(&self, name: &'static str, delta: u64) {
+        *self.counters.lock().entry(name).or_default() += delta;
+    }
+
     /// Snapshot of all kernels, sorted by descending total time.
     #[must_use]
     pub fn report(&self) -> ProfileReport {
@@ -64,12 +72,20 @@ impl KernelProfiler {
             .map(|(name, stats)| ((*name).to_owned(), *stats))
             .collect();
         kernels.sort_by_key(|(_, stats)| std::cmp::Reverse(stats.total_ns));
-        ProfileReport { kernels }
+        let mut counters: Vec<(String, u64)> = self
+            .counters
+            .lock()
+            .iter()
+            .map(|(name, value)| ((*name).to_owned(), *value))
+            .collect();
+        counters.sort();
+        ProfileReport { kernels, counters }
     }
 
-    /// Clears all recorded entries.
+    /// Clears all recorded entries and counters.
     pub fn reset(&self) {
         self.entries.lock().clear();
+        self.counters.lock().clear();
     }
 }
 
@@ -78,6 +94,8 @@ impl KernelProfiler {
 pub struct ProfileReport {
     /// (kernel name, stats), sorted by descending total time.
     pub kernels: Vec<(String, KernelStats)>,
+    /// (counter name, value), sorted by name.
+    pub counters: Vec<(String, u64)>,
 }
 
 impl ProfileReport {
@@ -91,6 +109,12 @@ impl ProfileReport {
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&KernelStats> {
         self.kernels.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Looks up one monotonic counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 }
 
@@ -106,6 +130,12 @@ impl std::fmt::Display for ProfileReport {
                 s.total(),
                 s.mean()
             )?;
+        }
+        if !self.counters.is_empty() {
+            writeln!(f, "{:<28} {:>10}", "counter", "value")?;
+            for (name, value) in &self.counters {
+                writeln!(f, "{name:<28} {value:>10}")?;
+            }
         }
         Ok(())
     }
@@ -143,8 +173,24 @@ mod tests {
     fn reset_clears() {
         let p = KernelProfiler::new();
         p.record("k", 1, Duration::from_nanos(1));
+        p.bump("c", 3);
         p.reset();
         assert!(p.report().kernels.is_empty());
+        assert!(p.report().counters.is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_sort_by_name() {
+        let p = KernelProfiler::new();
+        p.bump("updates_deferred", 10);
+        p.bump("dense_items_skipped", 784);
+        p.bump("updates_deferred", 5);
+        let r = p.report();
+        assert_eq!(r.counter("updates_deferred"), Some(15));
+        assert_eq!(r.counter("dense_items_skipped"), Some(784));
+        assert_eq!(r.counter("missing"), None);
+        assert_eq!(r.counters[0].0, "dense_items_skipped");
+        assert!(r.to_string().contains("updates_deferred"));
     }
 
     #[test]

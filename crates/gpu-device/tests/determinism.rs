@@ -70,4 +70,78 @@ proptest! {
             prop_assert_eq!(v as usize, i / row_len);
         }
     }
+
+    /// Gather-rows launches (the lazy-plasticity settle kernels) touch
+    /// exactly the listed rows, in both buffers, at any worker count.
+    #[test]
+    fn gather_rows_worker_invariant(
+        rows in 2usize..120,
+        row_len in 1usize..48,
+        stride in 1usize..5,
+        workers in 1usize..5,
+    ) {
+        let gathered: Vec<u32> = (0..rows).step_by(stride).map(|r| r as u32).collect();
+        let device = Device::new(DeviceConfig::default().with_workers(workers));
+        let mut a = vec![0u64; rows * row_len];
+        let mut b = vec![0u32; rows * row_len];
+        // Force the pool path with a large work hint.
+        device.launch_gather_rows_mut("gather", &gathered, &mut a, &mut b, row_len, 1 << 20,
+            |k, r, a_row, b_row| {
+                for (x, y) in a_row.iter_mut().zip(b_row.iter_mut()) {
+                    *x = (r as u64) << 32 | k as u64;
+                    *y += 1;
+                }
+            });
+        for r in 0..rows {
+            let listed = gathered.binary_search(&(r as u32)).is_ok();
+            for i in 0..row_len {
+                let expect_b = u32::from(listed);
+                prop_assert_eq!(b[r * row_len + i], expect_b, "row {} visit count", r);
+                if listed {
+                    prop_assert_eq!((a[r * row_len + i] >> 32) as usize, r);
+                }
+            }
+        }
+    }
+}
+
+/// Bit-reproducibility of full trainer outcomes across the worker-count ×
+/// plasticity-execution matrix: the acceptance gate of the lazy engine.
+/// The 784 × 8 network exceeds the pool dispatch threshold, so workers > 1
+/// genuinely exercise parallel settle kernels.
+mod trainer_matrix {
+    use gpu_device::{Device, DeviceConfig};
+    use snn_core::config::{NetworkConfig, PlasticityExecution, Preset, RuleKind};
+    use snn_datasets::synthetic_mnist;
+    use snn_learning::{Trainer, TrainerConfig};
+
+    fn outcome(workers: usize, exec: PlasticityExecution) -> (Vec<f64>, Vec<u8>, f64) {
+        let device = Device::new(DeviceConfig::default().with_workers(workers));
+        let network = NetworkConfig::from_preset(Preset::Bit8, 784, 8)
+            .with_rule(RuleKind::Stochastic)
+            .with_plasticity(exec);
+        let mut cfg = TrainerConfig::new(network);
+        cfg.t_learn_ms = 100.0;
+        cfg.n_train_images = 12;
+        cfg.n_labeling = 8;
+        cfg.n_inference = 8;
+        cfg.seed = 3;
+        let dataset = synthetic_mnist(12, 16, 5);
+        let out = Trainer::new(cfg, &device).run(&dataset);
+        (out.synapses.as_flat().to_vec(), out.labels, out.accuracy)
+    }
+
+    #[test]
+    fn trainer_outcome_invariant_across_workers_and_execution() {
+        let baseline = outcome(1, PlasticityExecution::Eager);
+        for workers in [1usize, 2, 8] {
+            for exec in [PlasticityExecution::Eager, PlasticityExecution::Lazy] {
+                let got = outcome(workers, exec);
+                assert_eq!(
+                    baseline, got,
+                    "trainer outcome diverged at workers={workers}, exec={exec}"
+                );
+            }
+        }
+    }
 }

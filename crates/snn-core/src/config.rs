@@ -245,6 +245,34 @@ impl std::fmt::Display for Precision {
     }
 }
 
+/// How the engine executes STDP updates.
+///
+/// Both modes produce **bit-identical** results for the same seed: every
+/// update decision and rounding draw is keyed by `(synapse, step)` on a
+/// counter-based Philox stream, so *when* an update is computed cannot
+/// change *what* is computed (see DESIGN.md §lazy-plasticity).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlasticityExecution {
+    /// Apply every update at the step that generates it, walking each
+    /// spiking neuron's full receptive field. This is the dense reference
+    /// path the differential tests treat as the oracle.
+    Eager,
+    /// Defer updates as per-row events and settle synapses at touch time
+    /// (pre-spike reads and an end-of-presentation flush), so per-step work
+    /// scales with spike activity instead of `n_inputs × n_excitatory`.
+    #[default]
+    Lazy,
+}
+
+impl std::fmt::Display for PlasticityExecution {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlasticityExecution::Eager => f.write_str("eager"),
+            PlasticityExecution::Lazy => f.write_str("lazy"),
+        }
+    }
+}
+
 /// Which plasticity rule drives learning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RuleKind {
@@ -331,6 +359,13 @@ pub struct NetworkConfig {
     pub dt_ms: f64,
     /// Which plasticity rule to use.
     pub rule: RuleKind,
+    /// How STDP updates are executed (eager reference path or the lazy
+    /// event-driven path). Defaults to [`PlasticityExecution::Lazy`]; the
+    /// two are bit-identical for the same seed. Rules that consume pre-side
+    /// events ([`crate::stdp::PlasticityRule::uses_pre_events`]) force the
+    /// eager path.
+    #[serde(default)]
+    pub plasticity: PlasticityExecution,
     /// Update magnitudes (Eqs. 4–5 or fixed step).
     pub magnitudes: StdpMagnitudes,
     /// Stochastic acceptance parameters (Eqs. 6–7); also used by the
@@ -493,6 +528,7 @@ impl NetworkConfig {
             neuron: NeuronModelKind::Lif,
             dt_ms: 0.5,
             rule: RuleKind::Stochastic,
+            plasticity: PlasticityExecution::default(),
             magnitudes,
             stochastic,
             g_min,
@@ -517,6 +553,13 @@ impl NetworkConfig {
     #[must_use]
     pub fn with_rule(mut self, rule: RuleKind) -> Self {
         self.rule = rule;
+        self
+    }
+
+    /// Switches the plasticity execution mode.
+    #[must_use]
+    pub fn with_plasticity(mut self, plasticity: PlasticityExecution) -> Self {
+        self.plasticity = plasticity;
         self
     }
 
@@ -666,6 +709,24 @@ mod tests {
         assert_eq!(hf.stochastic.tau_dep_ms, 5.0);
         assert_eq!(hf.stochastic.gamma_pot, 0.3);
         assert_eq!(hf.stochastic.gamma_dep, 0.2);
+    }
+
+    #[test]
+    fn plasticity_defaults_to_lazy_and_deserializes_when_absent() {
+        let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 16, 4);
+        assert_eq!(cfg.plasticity, PlasticityExecution::Lazy);
+        assert_eq!(
+            cfg.with_plasticity(PlasticityExecution::Eager).plasticity,
+            PlasticityExecution::Eager
+        );
+        // Configs serialized before the field existed must still load.
+        let mut json: serde_json::Value =
+            serde_json::to_value(NetworkConfig::from_preset(Preset::Bit8, 16, 4)).unwrap();
+        json.as_object_mut().unwrap().remove("plasticity");
+        let restored: NetworkConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(restored.plasticity, PlasticityExecution::Lazy);
+        assert_eq!(format!("{}", PlasticityExecution::Lazy), "lazy");
+        assert_eq!(format!("{}", PlasticityExecution::Eager), "eager");
     }
 
     #[test]

@@ -51,10 +51,24 @@ pub mod synapse;
 
 pub use error::SnnError;
 
+/// RNG stream-id name spaces shared by the engine and the synapse settle
+/// kernels, so input encoding and synapse draws never share a Philox
+/// stream. Keyed draws are `(name space | entity id, step)`; keeping the
+/// constants in one place — and public — is what makes the eager and lazy
+/// plasticity paths (and external differential tests) consume *identical*
+/// randomness.
+pub mod streams {
+    /// Input-train Bernoulli encoding draws.
+    pub const INPUT: u64 = 1 << 40;
+    /// Synapse acceptance and rounding draws.
+    pub const SYNAPSE: u64 = 2 << 40;
+}
+
 /// Convenience re-exports of the types most callers need.
 pub mod prelude {
     pub use crate::config::{
-        LifParams, NetworkConfig, Precision, Preset, RuleKind, StdpMagnitudes, StochasticParams,
+        LifParams, NetworkConfig, PlasticityExecution, Precision, Preset, RuleKind,
+        StdpMagnitudes, StochasticParams,
     };
     pub use crate::neuron::{LifNeuron, NeuronModel};
     pub use crate::sim::{SpikeRaster, WtaEngine};

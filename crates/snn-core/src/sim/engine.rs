@@ -1,10 +1,12 @@
 //! The winner-take-all learning engine (Fig. 2/3 of the paper).
 
-use crate::config::{InhibitionMode, NetworkConfig, NeuronModelKind, RuleKind};
+use crate::config::{
+    InhibitionMode, NetworkConfig, NeuronModelKind, PlasticityExecution, RuleKind,
+};
 use crate::neuron::{AdexNeuron, IzhikevichNeuron, LifNeuron, NeuronModel, NeuronState};
 use crate::sim::SpikeRaster;
 use crate::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp};
-use crate::synapse::SynapseMatrix;
+use crate::synapse::{PlasticityLedger, PostEvent, SettleCtx, SynapseMatrix};
 use crate::SnnError;
 use gpu_device::{Device, Philox4x32};
 
@@ -21,10 +23,10 @@ struct ExcCell {
     spiked: bool,
 }
 
-/// Stream-id name spaces for the counter-based RNG, so input encoding,
-/// synapse draws and initialization never share a stream.
-const STREAM_KIND_INPUT: u64 = 1 << 40;
-const STREAM_KIND_SYNAPSE: u64 = 2 << 40;
+// Stream-id name spaces for the counter-based RNG (shared with the synapse
+// settle kernels via `crate::streams`, which is what makes the eager and
+// lazy plasticity paths draw identical randomness).
+use crate::streams::{INPUT as STREAM_KIND_INPUT, SYNAPSE as STREAM_KIND_SYNAPSE};
 
 /// The unsupervised-learning engine: rate-coded input trains, an excitatory
 /// LIF layer with all-to-all plastic synapses, winner-take-all lateral
@@ -45,6 +47,14 @@ pub struct WtaEngine<'d> {
     last_pre: Vec<f64>,
     input_spiked: Vec<u8>,
     spiking_inputs: Vec<u32>,
+    spiking_posts: Vec<u32>,
+    /// Resolved execution strategy: `cfg.plasticity`, downgraded to `Eager`
+    /// when the rule consumes pre-side events (the deferral protocol only
+    /// covers post-triggered updates).
+    exec: PlasticityExecution,
+    /// Deferred post-spike events of the lazy path (empty-capacity in eager
+    /// mode).
+    ledger: PlasticityLedger,
     philox: Philox4x32,
     time_ms: f64,
     step: u64,
@@ -108,7 +118,18 @@ impl<'d> WtaEngine<'d> {
                 Some(vec![LifNeuron::new(cfg.lif).initial_state(); cfg.n_excitatory])
             }
         };
+        let exec = if rule.uses_pre_events() {
+            PlasticityExecution::Eager
+        } else {
+            cfg.plasticity
+        };
+        let ledger = match exec {
+            PlasticityExecution::Lazy => PlasticityLedger::new(cfg.n_inputs, cfg.n_excitatory),
+            PlasticityExecution::Eager => PlasticityLedger::new(cfg.n_inputs, 0),
+        };
         Ok(WtaEngine {
+            exec,
+            ledger,
             inh_cells,
             inh_drive: vec![0.0; cfg.n_excitatory],
             cells: vec![cell; cfg.n_excitatory],
@@ -116,6 +137,7 @@ impl<'d> WtaEngine<'d> {
             last_pre: vec![f64::NEG_INFINITY; cfg.n_inputs],
             input_spiked: vec![0; cfg.n_inputs],
             spiking_inputs: Vec::with_capacity(cfg.n_inputs),
+            spiking_posts: Vec::with_capacity(cfg.n_excitatory),
             philox: Philox4x32::new(seed),
             time_ms: 0.0,
             step: 0,
@@ -137,9 +159,20 @@ impl<'d> WtaEngine<'d> {
         &self.cfg
     }
 
+    /// The plasticity execution strategy actually in effect — `cfg.plasticity`
+    /// unless the rule consumes pre-side events, which forces eager updates.
+    #[must_use]
+    pub fn plasticity_execution(&self) -> PlasticityExecution {
+        self.exec
+    }
+
     /// The plastic synapse matrix.
+    ///
+    /// The matrix is always fully settled here: the lazy path flushes its
+    /// deferred-update ledger before [`WtaEngine::present`] returns.
     #[must_use]
     pub fn synapses(&self) -> &SynapseMatrix {
+        debug_assert!(self.ledger.is_idle(), "observing an unsettled synapse matrix");
         &self.synapses
     }
 
@@ -151,6 +184,7 @@ impl<'d> WtaEngine<'d> {
     pub fn set_synapses(&mut self, synapses: SynapseMatrix) {
         assert_eq!(synapses.n_pre(), self.cfg.n_inputs, "pre population mismatch");
         assert_eq!(synapses.n_post(), self.cfg.n_excitatory, "post population mismatch");
+        debug_assert!(self.ledger.is_idle(), "replacing an unsettled synapse matrix");
         self.synapses = synapses;
     }
 
@@ -201,6 +235,7 @@ impl<'d> WtaEngine<'d> {
     /// normalization; an extension over the paper, off by default).
     pub fn normalize_receptive_fields(&mut self, target: f64) {
         assert!(target > 0.0, "normalization target must be positive");
+        debug_assert!(self.ledger.is_idle(), "normalizing an unsettled synapse matrix");
         let ctx = self.synapses.update_ctx();
         let philox = self.philox;
         let step = self.step;
@@ -228,6 +263,7 @@ impl<'d> WtaEngine<'d> {
     /// pre/post spike timers — everything except the learned conductances
     /// and the homeostasis thresholds. Called between image presentations.
     pub fn reset_transients(&mut self) {
+        debug_assert!(self.ledger.is_idle(), "resetting with unsettled plasticity events");
         let init_state = match self.cfg.neuron {
             NeuronModelKind::Lif => LifNeuron::new(self.cfg.lif).initial_state(),
             NeuronModelKind::Izhikevich(p) => IzhikevichNeuron::new(p).initial_state(),
@@ -275,7 +311,75 @@ impl<'d> WtaEngine<'d> {
         for _ in 0..steps {
             self.step_once(&p_spike, plastic, &mut counts);
         }
+        self.flush_plasticity();
         counts
+    }
+
+    /// Settles every deferred plasticity event into the synapse matrix and
+    /// clears the ledger. Called automatically at the end of every
+    /// [`WtaEngine::present`]; a no-op in eager mode (or when nothing is
+    /// pending), so the matrix is always settled at every public
+    /// observation point.
+    pub fn flush_plasticity(&mut self) {
+        if self.ledger.is_idle() {
+            return;
+        }
+        let outstanding = self.ledger.outstanding_updates();
+        let sctx = self.synapses.settle_ctx(&*self.rule, self.philox);
+        let n_pre = self.cfg.n_inputs;
+        let last_pre = &self.last_pre;
+        let (events, applied, active) = self.ledger.split();
+        Self::launch_settle(
+            self.device,
+            "stdp_flush_settle",
+            active,
+            self.synapses.as_flat_mut(),
+            applied,
+            sctx,
+            events,
+            n_pre,
+            last_pre,
+            None,
+        );
+        self.device.bump_counter("stdp_flush_rows", active.len() as u64);
+        self.device.bump_counter("stdp_updates_settled_at_flush", outstanding);
+        self.ledger.clear_settled();
+    }
+
+    /// Launches one gather settle kernel: for each listed row, apply its
+    /// pending events to the given columns (`None` = the whole row). The
+    /// per-row work is proportional to pending events × touched columns —
+    /// the active-pair iteration at the heart of the lazy path.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_settle(
+        device: &Device,
+        name: &'static str,
+        rows: &[u32],
+        g: &mut [f64],
+        applied: &mut [u32],
+        sctx: SettleCtx<'_>,
+        events: &[Vec<PostEvent>],
+        n_pre: usize,
+        last_pre: &[f64],
+        columns: Option<&[u32]>,
+    ) {
+        let work = rows.len() * columns.map_or(n_pre, <[u32]>::len);
+        device.launch_gather_rows_mut(name, rows, g, applied, n_pre, work, |_k, j, g_row, a_row| {
+            let evs = events[j].as_slice();
+            match columns {
+                Some(cols) => {
+                    for &i in cols {
+                        let i = i as usize;
+                        sctx.settle_synapse(&mut g_row[i], &mut a_row[i], evs, j, i, last_pre[i]);
+                    }
+                }
+                None => {
+                    for i in 0..n_pre {
+                        sctx.settle_synapse(&mut g_row[i], &mut a_row[i], evs, j, i, last_pre[i]);
+                    }
+                }
+            }
+        });
     }
 
     /// One `dt` step of the full pipeline.
@@ -299,8 +403,33 @@ impl<'d> WtaEngine<'d> {
         for (i, &s) in self.input_spiked.iter().enumerate() {
             if s != 0 {
                 self.spiking_inputs.push(i as u32);
-                self.last_pre[i] = t;
             }
+        }
+
+        // (1b) Touch-time settle (lazy path): a spiking input's column is
+        // about to be read by the accumulation kernel and its timestamp is
+        // about to change, so deferred updates on (active row × spiking
+        // column) pairs must land NOW, while `last_pre` still holds the
+        // value the eager path read when each event was recorded.
+        if !self.ledger.is_idle() && !self.spiking_inputs.is_empty() {
+            let sctx = self.synapses.settle_ctx(&*self.rule, philox);
+            let last_pre = &self.last_pre;
+            let (events, applied, active) = self.ledger.split();
+            Self::launch_settle(
+                self.device,
+                "stdp_touch_settle",
+                active,
+                self.synapses.as_flat_mut(),
+                applied,
+                sctx,
+                events,
+                n_pre,
+                last_pre,
+                Some(&self.spiking_inputs),
+            );
+        }
+        for &i in &self.spiking_inputs {
+            self.last_pre[i as usize] = t;
         }
 
         // (2) Anti-causal depression kernel: a pre spike arriving after a
@@ -411,9 +540,11 @@ impl<'d> WtaEngine<'d> {
         // (5) Winner-take-all: every spiker's inhibition partner suppresses
         // all non-spiking excitatory neurons for t_inh (Fig. 3).
         let mut any_spiked = false;
+        self.spiking_posts.clear();
         for (j, cell) in self.cells.iter_mut().enumerate() {
             if cell.spiked {
                 any_spiked = true;
+                self.spiking_posts.push(j as u32);
                 cell.last_spike = t;
                 if plastic {
                     cell.theta += self.cfg.theta_plus;
@@ -464,34 +595,75 @@ impl<'d> WtaEngine<'d> {
             }
         }
 
-        // (6) Causal STDP kernel: every incoming synapse of a spiking
-        // neuron consults the rule with its pre spike timer (Eqs. 4–6).
+        // (6) Causal STDP: every incoming synapse of a spiking neuron
+        // consults the rule with its pre spike timer (Eqs. 4–6). The eager
+        // path scans the whole matrix now; the lazy path records one event
+        // per spiking row and settles only the coincident (spiking input ×
+        // spiking post) pairs, deferring the rest to touch time.
         if plastic && any_spiked {
-            let ctx = self.synapses.update_ctx();
-            let rule = &*self.rule;
-            let cells = &self.cells;
-            let last_pre = &self.last_pre;
-            self.device.launch_rows_mut(
-                "stdp_post",
-                self.synapses.as_flat_mut(),
-                n_pre,
-                |j, row| {
-                    if !cells[j].spiked {
-                        return;
+            match self.exec {
+                PlasticityExecution::Eager => {
+                    let ctx = self.synapses.update_ctx();
+                    let rule = &*self.rule;
+                    let cells = &self.cells;
+                    let last_pre = &self.last_pre;
+                    self.device.launch_rows_mut(
+                        "stdp_post",
+                        self.synapses.as_flat_mut(),
+                        n_pre,
+                        |j, row| {
+                            if !cells[j].spiked {
+                                return;
+                            }
+                            for (i, g) in row.iter_mut().enumerate() {
+                                let dt_pair = t - last_pre[i];
+                                let syn = (j * n_pre + i) as u64;
+                                let u_accept = philox.uniform(STREAM_KIND_SYNAPSE | syn, step);
+                                if let Some(kind) = rule.on_post_spike(dt_pair, u_accept) {
+                                    let u_round =
+                                        f64::from(philox.at(STREAM_KIND_SYNAPSE | syn, step, 2))
+                                            / (u64::from(u32::MAX) + 1) as f64;
+                                    *g = ctx.updated(*g, kind, u_round);
+                                }
+                            }
+                        },
+                    );
+                }
+                PlasticityExecution::Lazy => {
+                    for &j in &self.spiking_posts {
+                        self.ledger.record_post(j as usize, step, t);
                     }
-                    for (i, g) in row.iter_mut().enumerate() {
-                        let dt_pair = t - last_pre[i];
-                        let syn = (j * n_pre + i) as u64;
-                        let u_accept = philox.uniform(STREAM_KIND_SYNAPSE | syn, step);
-                        if let Some(kind) = rule.on_post_spike(dt_pair, u_accept) {
-                            let u_round =
-                                f64::from(philox.at(STREAM_KIND_SYNAPSE | syn, step, 2))
-                                    / (u64::from(u32::MAX) + 1) as f64;
-                            *g = ctx.updated(*g, kind, u_round);
-                        }
+                    self.device.bump_counter(
+                        "stdp_updates_deferred",
+                        self.spiking_posts.len() as u64 * n_pre as u64,
+                    );
+                    self.device.bump_counter(
+                        "stdp_dense_items_skipped",
+                        self.cfg.n_excitatory as u64 * n_pre as u64,
+                    );
+                    // Coincident pairs pair with `last_pre = t` (Δt = 0) in
+                    // the eager path, so they must settle before this step's
+                    // timestamps go stale — earlier events on these synapses
+                    // were already settled by this step's touch pass.
+                    if !self.spiking_inputs.is_empty() {
+                        let sctx = self.synapses.settle_ctx(&*self.rule, philox);
+                        let last_pre = &self.last_pre;
+                        let (events, applied, _) = self.ledger.split();
+                        Self::launch_settle(
+                            self.device,
+                            "stdp_post_settle",
+                            &self.spiking_posts,
+                            self.synapses.as_flat_mut(),
+                            applied,
+                            sctx,
+                            events,
+                            n_pre,
+                            last_pre,
+                            Some(&self.spiking_inputs),
+                        );
                     }
-                },
-            );
+                }
+            }
         }
 
         self.step += 1;
@@ -828,4 +1000,81 @@ mod tests {
         c.dt_ms = -1.0;
         assert!(WtaEngine::try_new(c, &device, 0).is_err());
     }
+
+    #[test]
+    fn lazy_execution_is_the_default() {
+        let device = Device::new(DeviceConfig::serial());
+        let e = WtaEngine::new(cfg(16, 4), &device, 1);
+        assert_eq!(e.plasticity_execution(), PlasticityExecution::Lazy);
+        let e = WtaEngine::new(cfg(16, 4).with_plasticity(PlasticityExecution::Eager), &device, 1);
+        assert_eq!(e.plasticity_execution(), PlasticityExecution::Eager);
+    }
+
+    /// The heart of the lazy-plasticity contract: for the same seed, the
+    /// deferred path must reproduce the eager path bit for bit — counts,
+    /// conductances, thresholds and the full spike raster — for every
+    /// rule under both full and low precision.
+    #[test]
+    fn lazy_matches_eager_bit_for_bit() {
+        let device = Device::new(DeviceConfig::serial());
+        for preset in [Preset::FullPrecision, Preset::Bit8, Preset::Bit2] {
+            for rule in [RuleKind::Stochastic, RuleKind::Deterministic] {
+                let run = |exec: PlasticityExecution| {
+                    let mut c = NetworkConfig::from_preset(preset, 24, 6)
+                        .with_rule(rule)
+                        .with_plasticity(exec);
+                    c.v_spike = 2.0;
+                    let mut e = WtaEngine::new(c, &device, 17);
+                    e.record_raster(true);
+                    let mut rates = vec![0.0; 24];
+                    for (i, r) in rates.iter_mut().enumerate() {
+                        *r = if i % 3 == 0 { 120.0 } else { 15.0 };
+                    }
+                    let counts = e.present(&rates, 500.0, true);
+                    (counts, e.synapses().as_flat().to_vec(), e.thetas(), e.take_raster())
+                };
+                let eager = run(PlasticityExecution::Eager);
+                let lazy = run(PlasticityExecution::Lazy);
+                assert_eq!(eager, lazy, "{preset:?}/{rule:?} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_matches_eager_on_the_worker_pool() {
+        // 256 × 32 synapses exceed the inline threshold, so the settle
+        // gather kernels genuinely run on the pool.
+        let run = |workers: usize, exec: PlasticityExecution| {
+            let device = Device::new(DeviceConfig::default().with_workers(workers));
+            let mut c = cfg(256, 32).with_plasticity(exec);
+            c.v_spike = 1.0;
+            let mut e = WtaEngine::new(c, &device, 11);
+            let counts = e.present(&strong_rates(256), 300.0, true);
+            (counts, e.synapses().as_flat().to_vec())
+        };
+        let eager_serial = run(1, PlasticityExecution::Eager);
+        assert_eq!(eager_serial, run(1, PlasticityExecution::Lazy));
+        assert_eq!(eager_serial, run(4, PlasticityExecution::Lazy));
+    }
+
+    #[test]
+    fn lazy_run_reports_deferred_work_and_flushes() {
+        let device = Device::new(DeviceConfig::serial());
+        let mut c = cfg(16, 4);
+        c.v_spike = 2.0;
+        let mut e = WtaEngine::new(c, &device, 1);
+        let counts = e.present(&strong_rates(16), 300.0, true);
+        assert!(counts.iter().sum::<u32>() > 0, "network must spike");
+        // The matrix is settled at present() exit; a second flush is a no-op.
+        let g = e.synapses().as_flat().to_vec();
+        e.flush_plasticity();
+        assert_eq!(e.synapses().as_flat(), &g[..]);
+        let report = device.profile();
+        let deferred = report.counter("stdp_updates_deferred").unwrap_or(0);
+        let skipped = report.counter("stdp_dense_items_skipped").unwrap_or(0);
+        assert!(deferred > 0, "spiking plastic run must defer updates");
+        assert!(skipped >= deferred, "every deferral skips a dense scan");
+        assert!(report.counter("stdp_flush_rows").unwrap_or(0) > 0);
+    }
+
 }

@@ -49,6 +49,12 @@ impl PlasticityRule for DeterministicStdp {
         None
     }
 
+    fn consumes_acceptance_draw(&self) -> bool {
+        // The decision depends only on Δt, so settle passes may elide the
+        // acceptance draw (see `decision_ignores_uniform_draw` below).
+        false
+    }
+
     fn kind(&self) -> RuleKind {
         RuleKind::Deterministic
     }

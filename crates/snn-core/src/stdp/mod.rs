@@ -57,6 +57,16 @@ pub trait PlasticityRule: Send + Sync {
         false
     }
 
+    /// Whether [`PlasticityRule::on_post_spike`] actually reads its
+    /// `uniform` argument. Because every draw comes from a counter-based
+    /// Philox stream keyed by `(synapse, step)` — not from shared generator
+    /// state — a rule that ignores the draw lets the lazy settle path skip
+    /// computing the Philox block entirely without changing any result.
+    /// Defaults to `true` (the safe answer for custom rules).
+    fn consumes_acceptance_draw(&self) -> bool {
+        true
+    }
+
     /// Which family this rule belongs to.
     fn kind(&self) -> RuleKind;
 }

@@ -1,10 +1,11 @@
 //! The plastic synapse population: conductance storage, update application,
-//! quantization, and statistics.
+//! quantization, statistics, and the lazy-plasticity settle machinery
+//! (deferred post-spike events plus the touch-time settle API).
 
 use crate::config::{NetworkConfig, Precision, StdpMagnitudes};
-use crate::stdp::UpdateKind;
+use crate::stdp::{PlasticityRule, UpdateKind};
 use gpu_device::Philox4x32;
-use qformat::Quantizer;
+use qformat::{Quantizer, Rounding};
 use serde::{Deserialize, Serialize};
 
 /// The all-to-all conductance matrix between the input trains and the
@@ -139,6 +140,62 @@ impl SynapseMatrix {
         }
     }
 
+    /// Builds the settle context the lazy-plasticity kernels thread through
+    /// every touch-time settle: the update transition plus the rule and the
+    /// Philox generator, with the draw-elision flags resolved once.
+    #[must_use]
+    pub fn settle_ctx<'a>(
+        &self,
+        rule: &'a dyn PlasticityRule,
+        philox: Philox4x32,
+    ) -> SettleCtx<'a> {
+        let ctx = self.update_ctx();
+        SettleCtx {
+            accept_draws: rule.consumes_acceptance_draw(),
+            round_draws: ctx.consumes_rounding_draw(),
+            n_pre: self.n_pre,
+            ctx,
+            rule,
+            philox,
+        }
+    }
+
+    /// Settles every pending event of `ledger` into this matrix, serially
+    /// on the host, then clears the ledger. The engine performs the same
+    /// work on-device via the gather kernels; this entry point lets tests
+    /// and tools drive the settle contract directly.
+    ///
+    /// `last_pre[i]` must be input `i`'s most recent spike time — under the
+    /// deferral protocol it equals the value the eager path would have read
+    /// at each pending event (see DESIGN.md §lazy-plasticity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger or `last_pre` shape does not match the matrix.
+    pub fn settle_all(
+        &mut self,
+        ledger: &mut PlasticityLedger,
+        rule: &dyn PlasticityRule,
+        philox: Philox4x32,
+        last_pre: &[f64],
+    ) {
+        assert_eq!(ledger.n_pre, self.n_pre, "ledger pre population mismatch");
+        assert_eq!(last_pre.len(), self.n_pre, "last_pre length mismatch");
+        let sctx = self.settle_ctx(rule, philox);
+        let n_pre = self.n_pre;
+        let (events, applied, active) = ledger.split();
+        for &j in active {
+            let j = j as usize;
+            let evs: &[PostEvent] = &events[j];
+            let g_row = &mut self.g[j * n_pre..(j + 1) * n_pre];
+            let a_row = &mut applied[j * n_pre..(j + 1) * n_pre];
+            for (i, (g, a)) in g_row.iter_mut().zip(a_row.iter_mut()).enumerate() {
+                sctx.settle_synapse(g, a, evs, j, i, last_pre[i]);
+            }
+        }
+        ledger.clear_settled();
+    }
+
     /// Applies `kind` to the conductance value `g`, returning the new
     /// (clamped, quantized) value. `uniform` feeds stochastic rounding.
     #[must_use]
@@ -254,6 +311,244 @@ impl UpdateCtx {
             None => clamped,
             Some(q) => q.quantize_f64(clamped, uniform).clamp(self.g_min, self.g_max),
         }
+    }
+
+    /// Whether [`UpdateCtx::updated`] actually reads its `uniform`
+    /// argument. Because every rounding draw is a counter-based Philox
+    /// block keyed by `(synapse, step)` — not shared generator state — an
+    /// update that provably ignores the draw lets the lazy settle path
+    /// skip computing the block without changing any result:
+    ///
+    /// * no quantizer (full precision) or a non-stochastic rounding mode
+    ///   never consumes the draw;
+    /// * a fixed step that is a whole number of LSBs, with on-grid clamp
+    ///   bounds, keeps every candidate exactly on the grid, and on-grid
+    ///   values are fixed points of stochastic rounding (`frac = 0` rounds
+    ///   down for every draw).
+    ///
+    /// Conductance-dependent (Querlioz) magnitudes under stochastic
+    /// rounding always consume the draw, as does a fixed step smaller than
+    /// one LSB (e.g. the Q1.7 preset's `ΔG = 1/256`).
+    #[must_use]
+    pub fn consumes_rounding_draw(&self) -> bool {
+        let Some(q) = &self.quantizer else { return false };
+        match q.rounding() {
+            Rounding::Truncate | Rounding::Nearest => false,
+            Rounding::Stochastic => match self.magnitudes {
+                StdpMagnitudes::Querlioz { .. } => true,
+                StdpMagnitudes::FixedStep { delta_g } => {
+                    let res = q.format().resolution();
+                    let on_grid = |x: f64| {
+                        let code = x / res;
+                        (code - code.round()).abs() < 1e-9
+                    };
+                    !(on_grid(delta_g) && on_grid(self.g_min) && on_grid(self.g_max))
+                }
+            },
+        }
+    }
+}
+
+/// One deferred post-spike event of an excitatory row: the step index that
+/// keys the row's Philox draws and the simulated time the eager path would
+/// have used for the `Δt` pairing.
+///
+/// `t_ms` is the engine's *accumulated* clock value at the event, not
+/// `step × dt`: the eager path pairs spikes with the accumulated clock, and
+/// bit-identity requires replaying exactly that float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PostEvent {
+    /// Engine step at which the post-neuron spiked.
+    pub step: u64,
+    /// Simulated time (ms) of the spike.
+    pub t_ms: f64,
+}
+
+/// The deferred-update ledger of the lazy plasticity path.
+///
+/// Instead of walking a spiking neuron's full receptive field at every post
+/// spike, the lazy engine appends one [`PostEvent`] per spike to the row's
+/// event list and applies the updates later, at *touch time*: when a pre
+/// input spikes (its column is about to be read and its timestamp is about
+/// to change), when a post row spikes coincidently, and at the
+/// end-of-presentation flush. The per-synapse `applied` watermark records
+/// how many of the row's events each synapse has absorbed, so settles are
+/// idempotent and order-independent across synapses.
+#[derive(Debug, Clone)]
+pub struct PlasticityLedger {
+    n_pre: usize,
+    /// Per post row: deferred events in step order.
+    events: Vec<Vec<PostEvent>>,
+    /// Per synapse (`[post][pre]` layout, matching the conductance matrix):
+    /// number of the row's events already applied.
+    applied: Vec<u32>,
+    /// Rows with at least one pending event, in first-event order — the
+    /// active set the gather kernels iterate.
+    active: Vec<u32>,
+    is_active: Vec<bool>,
+}
+
+impl PlasticityLedger {
+    /// An empty ledger for an `n_pre × n_post` matrix.
+    #[must_use]
+    pub fn new(n_pre: usize, n_post: usize) -> Self {
+        PlasticityLedger {
+            n_pre,
+            events: vec![Vec::new(); n_post],
+            applied: vec![0; n_pre * n_post],
+            active: Vec::new(),
+            is_active: vec![false; n_post],
+        }
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// The active set: rows with pending events, in first-event order.
+    #[must_use]
+    pub fn active_rows(&self) -> &[u32] {
+        &self.active
+    }
+
+    /// Iterates the active rows as `usize` indices.
+    pub fn pending_rows(&self) -> impl Iterator<Item = usize> + '_ {
+        self.active.iter().map(|&j| j as usize)
+    }
+
+    /// The pending events of one row.
+    #[must_use]
+    pub fn pending_events(&self, post: usize) -> &[PostEvent] {
+        &self.events[post]
+    }
+
+    /// Records a post-spike event for row `post` at `(step, t_ms)`.
+    ///
+    /// Events must be recorded in non-decreasing step order (the settle
+    /// loop replays them sequentially per synapse).
+    pub fn record_post(&mut self, post: usize, step: u64, t_ms: f64) {
+        debug_assert!(
+            self.events[post].last().is_none_or(|e| e.step <= step),
+            "events must be recorded in step order"
+        );
+        self.events[post].push(PostEvent { step, t_ms });
+        if !std::mem::replace(&mut self.is_active[post], true) {
+            self.active.push(post as u32);
+        }
+    }
+
+    /// Number of synapse updates recorded but not yet applied.
+    #[must_use]
+    pub fn outstanding_updates(&self) -> u64 {
+        self.active
+            .iter()
+            .map(|&j| {
+                let j = j as usize;
+                let scheduled = self.events[j].len() as u64 * self.n_pre as u64;
+                let done: u64 = self.applied[j * self.n_pre..(j + 1) * self.n_pre]
+                    .iter()
+                    .map(|&a| u64::from(a))
+                    .sum();
+                scheduled - done
+            })
+            .sum()
+    }
+
+    /// Splits the ledger into the borrows a settle kernel needs: the
+    /// per-row events (shared), the per-synapse applied watermarks
+    /// (mutable, same `[post][pre]` layout as the conductance matrix), and
+    /// the active row set (the gather list).
+    pub fn split(&mut self) -> (&[Vec<PostEvent>], &mut [u32], &[u32]) {
+        (&self.events, &mut self.applied, &self.active)
+    }
+
+    /// Resets the ledger after a full flush: every active row's events are
+    /// dropped and its applied watermarks return to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if any active row still has unapplied events.
+    pub fn clear_settled(&mut self) {
+        debug_assert_eq!(self.outstanding_updates(), 0, "clearing an unsettled ledger");
+        for &j in &self.active {
+            let j = j as usize;
+            self.events[j].clear();
+            self.applied[j * self.n_pre..(j + 1) * self.n_pre].fill(0);
+            self.is_active[j] = false;
+        }
+        self.active.clear();
+    }
+}
+
+/// Everything a settle kernel needs besides the row slices themselves: the
+/// conductance transition, the plasticity rule, the Philox generator, and
+/// the resolved draw-elision flags. `Copy`, so parallel kernels hold it by
+/// value.
+#[derive(Clone, Copy)]
+pub struct SettleCtx<'a> {
+    ctx: UpdateCtx,
+    rule: &'a dyn PlasticityRule,
+    philox: Philox4x32,
+    n_pre: usize,
+    accept_draws: bool,
+    round_draws: bool,
+}
+
+impl SettleCtx<'_> {
+    /// Whether the acceptance draw is elided (the rule ignores it).
+    #[must_use]
+    pub fn elides_acceptance_draw(&self) -> bool {
+        !self.accept_draws
+    }
+
+    /// Whether the rounding draw is elided (the update ignores it).
+    #[must_use]
+    pub fn elides_rounding_draw(&self) -> bool {
+        !self.round_draws
+    }
+
+    /// Applies synapse (`pre` → `post`)'s pending events — `events[*applied..]`
+    /// — to its conductance `g`, advancing the watermark to the full event
+    /// count.
+    ///
+    /// `last_pre_ms` must be the pre input's most recent spike time, which
+    /// under the deferral protocol equals the timestamp the eager path read
+    /// at each of these events: a synapse is always settled *before* its
+    /// pre-side timestamp changes. Draw streams are keyed `(synapse,
+    /// event step)`, so each event consumes exactly the Philox words the
+    /// eager path consumed for it, whenever it is applied.
+    #[inline]
+    pub fn settle_synapse(
+        &self,
+        g: &mut f64,
+        applied: &mut u32,
+        events: &[PostEvent],
+        post: usize,
+        pre: usize,
+        last_pre_ms: f64,
+    ) {
+        let start = *applied as usize;
+        if start >= events.len() {
+            return;
+        }
+        let stream = crate::streams::SYNAPSE | (post * self.n_pre + pre) as u64;
+        for ev in &events[start..] {
+            let dt_pair = ev.t_ms - last_pre_ms;
+            let u_accept =
+                if self.accept_draws { self.philox.uniform(stream, ev.step) } else { 0.0 };
+            if let Some(kind) = self.rule.on_post_spike(dt_pair, u_accept) {
+                let u_round = if self.round_draws {
+                    f64::from(self.philox.at(stream, ev.step, 2))
+                        / (u64::from(u32::MAX) + 1) as f64
+                } else {
+                    0.5
+                };
+                *g = self.ctx.updated(*g, kind, u_round);
+            }
+        }
+        *applied = events.len() as u32;
     }
 }
 
@@ -405,5 +700,164 @@ mod tests {
         }
         assert!(m.row_contrast(0) < 1e-12);
         assert!(m.row_contrast(1) > 0.0);
+    }
+
+    // ---- lazy-plasticity settle machinery ----
+
+    use crate::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp};
+
+    fn rule_for(c: &NetworkConfig) -> Box<dyn PlasticityRule> {
+        match c.rule {
+            RuleKind::Deterministic => Box::new(DeterministicStdp::new(c.ltp_window_ms)),
+            RuleKind::Stochastic => Box::new(StochasticStdp::new(c.stochastic)),
+        }
+    }
+
+    /// Replays events exactly the way the engine's eager phase-6 kernel
+    /// does: all synapses of the spiking row, draws keyed `(synapse, step)`.
+    fn eager_replay(
+        m: &mut SynapseMatrix,
+        rule: &dyn PlasticityRule,
+        philox: Philox4x32,
+        last_pre: &[f64],
+        events: &[(usize, u64, f64)],
+    ) {
+        let ctx = m.update_ctx();
+        let n_pre = m.n_pre();
+        for &(j, step, t_ms) in events {
+            for i in 0..n_pre {
+                let syn = j * n_pre + i;
+                let stream = crate::streams::SYNAPSE | syn as u64;
+                let u_accept = philox.uniform(stream, step);
+                if let Some(kind) = rule.on_post_spike(t_ms - last_pre[i], u_accept) {
+                    let u_round = f64::from(philox.at(stream, step, 2))
+                        / (u64::from(u32::MAX) + 1) as f64;
+                    let g = &mut m.as_flat_mut()[syn];
+                    *g = ctx.updated(*g, kind, u_round);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_tracks_pending_work() {
+        let mut l = PlasticityLedger::new(4, 3);
+        assert!(l.is_idle());
+        l.record_post(2, 5, 2.5);
+        l.record_post(0, 6, 3.0);
+        l.record_post(2, 7, 3.5);
+        assert!(!l.is_idle());
+        assert_eq!(l.active_rows(), &[2, 0]);
+        assert_eq!(l.pending_rows().collect::<Vec<_>>(), vec![2, 0]);
+        assert_eq!(l.pending_events(2).len(), 2);
+        assert_eq!(l.pending_events(1).len(), 0);
+        assert_eq!(l.outstanding_updates(), 3 * 4);
+        // Advance every watermark as a settle pass would, then clear.
+        let (events, applied, active) = l.split();
+        for &j in active {
+            let j = j as usize;
+            let n = events[j].len() as u32;
+            applied[j * 4..(j + 1) * 4].fill(n);
+        }
+        assert_eq!(l.outstanding_updates(), 0);
+        l.clear_settled();
+        assert!(l.is_idle());
+        assert_eq!(l.pending_events(2).len(), 0);
+    }
+
+    #[test]
+    fn settle_all_is_bit_identical_to_eager_replay() {
+        // (post row, step, t_ms) in step order: rows 1 and 2 spike.
+        let events = [(1usize, 3u64, 1.5), (2, 5, 2.5), (1, 9, 4.5)];
+        let last_pre: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.25 - 1.0).collect();
+        for preset in [Preset::FullPrecision, Preset::Bit8, Preset::Bit2] {
+            for kind in [RuleKind::Deterministic, RuleKind::Stochastic] {
+                let c = cfg(preset).with_rule(kind);
+                let philox = Philox4x32::new(99);
+                let rule = rule_for(&c);
+
+                let mut eager = SynapseMatrix::new_random(&c, 21);
+                eager_replay(&mut eager, &*rule, philox, &last_pre, &events);
+
+                let mut lazy = SynapseMatrix::new_random(&c, 21);
+                let mut ledger = PlasticityLedger::new(lazy.n_pre(), lazy.n_post());
+                for &(j, step, t_ms) in &events {
+                    ledger.record_post(j, step, t_ms);
+                }
+                lazy.settle_all(&mut ledger, &*rule, philox, &last_pre);
+
+                assert!(ledger.is_idle());
+                assert_eq!(eager.as_flat(), lazy.as_flat(), "{preset:?}/{kind:?}");
+                assert!(lazy.check_invariants(), "{preset:?}/{kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn settle_watermark_makes_partial_settles_idempotent() {
+        let c = cfg(Preset::FullPrecision);
+        let philox = Philox4x32::new(7);
+        let rule = rule_for(&c);
+        let last_pre = vec![0.0; 16];
+
+        let mut once = SynapseMatrix::new_random(&c, 5);
+        let mut ledger = PlasticityLedger::new(16, 4);
+        ledger.record_post(1, 2, 1.0);
+        once.settle_all(&mut ledger, &*rule, philox, &last_pre);
+
+        // Same event, but synapse (1, 3) is settled early via the touch
+        // API; the later full settle must not re-apply it.
+        let mut twice = SynapseMatrix::new_random(&c, 5);
+        let mut ledger = PlasticityLedger::new(16, 4);
+        ledger.record_post(1, 2, 1.0);
+        {
+            let sctx = twice.settle_ctx(&*rule, philox);
+            let (events, applied, _) = ledger.split();
+            let evs = &events[1];
+            // Manual single-synapse touch at flat index 1*16 + 3.
+            let mut g = twice.as_flat()[19];
+            sctx.settle_synapse(&mut g, &mut applied[19], evs, 1, 3, last_pre[3]);
+            twice.as_flat_mut()[19] = g;
+        }
+        twice.settle_all(&mut ledger, &*rule, philox, &last_pre);
+        assert_eq!(once.as_flat(), twice.as_flat());
+    }
+
+    #[test]
+    fn draw_elision_flags_match_the_configuration() {
+        let philox = Philox4x32::new(0);
+        // Deterministic rule never reads its acceptance draw.
+        let c = cfg(Preset::FullPrecision).with_rule(RuleKind::Deterministic);
+        let det = DeterministicStdp::new(c.ltp_window_ms);
+        let sto = StochasticStdp::new(c.stochastic);
+        let m = SynapseMatrix::new_random(&c, 1);
+        assert!(m.settle_ctx(&det, philox).elides_acceptance_draw());
+        assert!(!m.settle_ctx(&sto, philox).elides_acceptance_draw());
+        // Full precision has no quantizer: rounding draw elided.
+        assert!(m.settle_ctx(&sto, philox).elides_rounding_draw());
+        // Bit2: ΔG = 0.25 is exactly one Q0.2 LSB — on-grid candidates are
+        // fixed points of stochastic rounding, so the draw is elided.
+        let m2 = SynapseMatrix::new_random(&cfg(Preset::Bit2), 1);
+        assert!(!m2.update_ctx().consumes_rounding_draw());
+        // Bit8: ΔG = 1/256 is half a Q1.7 LSB — off-grid, draw required.
+        let m8 = SynapseMatrix::new_random(&cfg(Preset::Bit8), 1);
+        assert!(m8.update_ctx().consumes_rounding_draw());
+        // Non-stochastic rounding never consumes the draw, even off-grid.
+        let mut c8 = cfg(Preset::Bit8);
+        c8.rounding = Rounding::Truncate;
+        assert!(!SynapseMatrix::new_random(&c8, 1).update_ctx().consumes_rounding_draw());
+        // Querlioz magnitudes under quantized stochastic rounding do.
+        let m16 = SynapseMatrix::new_random(&cfg(Preset::Bit16), 1);
+        assert!(m16.update_ctx().consumes_rounding_draw());
+    }
+
+    #[test]
+    #[should_panic(expected = "ledger pre population mismatch")]
+    fn settle_all_rejects_mismatched_ledger() {
+        let c = cfg(Preset::FullPrecision);
+        let mut m = SynapseMatrix::new_random(&c, 1);
+        let rule = rule_for(&c);
+        let mut ledger = PlasticityLedger::new(8, 4);
+        m.settle_all(&mut ledger, &*rule, Philox4x32::new(0), &[0.0; 16]);
     }
 }

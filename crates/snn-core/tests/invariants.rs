@@ -6,10 +6,10 @@
 use gpu_device::{Device, DeviceConfig, Philox4x32};
 use proptest::prelude::*;
 use qformat::Rounding;
-use snn_core::config::{NetworkConfig, Preset, RuleKind, StochasticParams};
+use snn_core::config::{NetworkConfig, PlasticityExecution, Preset, RuleKind, StochasticParams};
 use snn_core::sim::WtaEngine;
-use snn_core::stdp::{PlasticityRule, StochasticStdp, UpdateKind};
-use snn_core::synapse::SynapseMatrix;
+use snn_core::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp, UpdateKind};
+use snn_core::synapse::{PlasticityLedger, SynapseMatrix};
 
 fn arb_preset() -> impl Strategy<Value = Preset> {
     prop_oneof![
@@ -112,6 +112,106 @@ proptest! {
         let counts = engine.present(&[rate; 16], 100.0, true);
         prop_assert_eq!(counts.len(), 4);
         prop_assert!(engine.synapses().check_invariants());
+    }
+
+    /// The lazy-plasticity settle contract, matrix level: for any random
+    /// post-spike sequence, lazily settled conductances equal the values an
+    /// eager per-event accumulation produces — bit for bit, since both draw
+    /// from the same `(synapse, step)`-keyed Philox streams — and the
+    /// matrix honors its grid/bounds invariants after *every* settle.
+    #[test]
+    fn lazy_settle_equals_eager_accumulation(
+        preset in arb_preset(),
+        rounding in arb_rounding(),
+        rule_kind in prop_oneof![Just(RuleKind::Deterministic), Just(RuleKind::Stochastic)],
+        seed in 0u64..500,
+        raw_events in prop::collection::vec((0usize..6, 1u64..40), 1..30),
+        pre_offsets in prop::collection::vec(0.0f64..10.0, 12),
+    ) {
+        const N_PRE: usize = 12;
+        const N_POST: usize = 6;
+        let cfg = NetworkConfig::from_preset(preset, N_PRE, N_POST)
+            .with_rule(rule_kind)
+            .with_rounding(rounding);
+        let rule: Box<dyn PlasticityRule> = match rule_kind {
+            RuleKind::Deterministic => Box::new(DeterministicStdp::new(cfg.ltp_window_ms)),
+            RuleKind::Stochastic => Box::new(StochasticStdp::new(cfg.stochastic)),
+        };
+        let philox = Philox4x32::new(seed ^ 0xabcd);
+        let dt_ms = cfg.dt_ms;
+        // Sort sparse (row, step) pairs into a valid ascending spike
+        // sequence; last_pre stays fixed, as it does between pre spikes.
+        let mut events: Vec<(usize, u64)> = raw_events;
+        events.sort_by_key(|&(_, step)| step);
+        let last_pre: Vec<f64> = pre_offsets.iter().map(|&o| o - 5.0).collect();
+
+        // Eager: apply every event the moment it happens.
+        let mut eager = SynapseMatrix::new_random(&cfg, seed);
+        let ctx = eager.update_ctx();
+        for &(j, step) in &events {
+            let t_ms = step as f64 * dt_ms;
+            for i in 0..N_PRE {
+                let syn = j * N_PRE + i;
+                let stream = snn_core::streams::SYNAPSE | syn as u64;
+                let u_accept = philox.uniform(stream, step);
+                if let Some(kind) = rule.on_post_spike(t_ms - last_pre[i], u_accept) {
+                    let u_round = f64::from(philox.at(stream, step, 2))
+                        / (u64::from(u32::MAX) + 1) as f64;
+                    let g = &mut eager.as_flat_mut()[syn];
+                    *g = ctx.updated(*g, kind, u_round);
+                }
+            }
+        }
+
+        // Lazy: record everything, settle in two waves (a partial touch of
+        // the even columns, then the full flush), checking invariants
+        // after every settle.
+        let mut lazy = SynapseMatrix::new_random(&cfg, seed);
+        let mut ledger = PlasticityLedger::new(N_PRE, N_POST);
+        for &(j, step) in &events {
+            ledger.record_post(j, step, step as f64 * dt_ms);
+        }
+        {
+            let sctx = lazy.settle_ctx(&*rule, philox);
+            let (evs, applied, active) = ledger.split();
+            for &j in active {
+                let j = j as usize;
+                for i in (0..N_PRE).step_by(2) {
+                    let syn = j * N_PRE + i;
+                    let mut g = lazy.as_flat()[syn];
+                    sctx.settle_synapse(&mut g, &mut applied[syn], &evs[j], j, i, last_pre[i]);
+                    lazy.as_flat_mut()[syn] = g;
+                }
+            }
+        }
+        prop_assert!(lazy.check_invariants(), "invariants broken after partial settle");
+        lazy.settle_all(&mut ledger, &*rule, philox, &last_pre);
+        prop_assert!(ledger.is_idle());
+        prop_assert!(lazy.check_invariants(), "invariants broken after full settle");
+        prop_assert_eq!(eager.as_flat(), lazy.as_flat(),
+            "lazy settle diverged for {:?}/{:?}/{:?}", preset, rule_kind, rounding);
+    }
+
+    /// The lazy-plasticity contract, engine level: eager and lazy execution
+    /// produce bit-identical conductances and spike counts for random
+    /// presets, rules, seeds and stimuli.
+    #[test]
+    fn engine_lazy_equals_eager(
+        preset in arb_preset(),
+        rule in prop_oneof![Just(RuleKind::Deterministic), Just(RuleKind::Stochastic)],
+        seed in 0u64..100,
+        rate in 10.0f64..150.0,
+    ) {
+        let run = |exec: PlasticityExecution| {
+            let device = Device::new(DeviceConfig::serial());
+            let cfg = NetworkConfig::from_preset(preset, 16, 4)
+                .with_rule(rule)
+                .with_plasticity(exec);
+            let mut engine = WtaEngine::new(cfg, &device, seed);
+            let counts = engine.present(&[rate; 16], 150.0, true);
+            (counts, engine.synapses().as_flat().to_vec(), engine.thetas())
+        };
+        prop_assert_eq!(run(PlasticityExecution::Eager), run(PlasticityExecution::Lazy));
     }
 }
 

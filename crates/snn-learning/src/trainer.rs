@@ -14,7 +14,10 @@ use spike_encoding::RateEncoder;
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainerConfig {
     /// The network and learning-rule configuration (usually from a Table I
-    /// preset).
+    /// preset). This includes the plasticity execution strategy
+    /// (`network.plasticity`): the default lazy event-driven path and the
+    /// eager dense path produce bit-identical outcomes for the same seed,
+    /// so the knob only trades wall-clock time.
     pub network: NetworkConfig,
     /// Presentation time per training image (ms).
     pub t_learn_ms: f64,
@@ -318,6 +321,25 @@ mod tests {
         assert_eq!(a.accuracy, b.accuracy);
         assert_eq!(a.synapses.as_flat(), b.synapses.as_flat());
         assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn eager_and_lazy_executions_train_identically() {
+        use snn_core::config::PlasticityExecution;
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let dataset = two_class_dataset(20, 20);
+        let run = |exec| {
+            let mut cfg = quick_config(RuleKind::Stochastic);
+            cfg.network = cfg.network.with_plasticity(exec);
+            cfg.n_train_images = 20;
+            Trainer::new(cfg, &device).run(&dataset)
+        };
+        let eager = run(PlasticityExecution::Eager);
+        let lazy = run(PlasticityExecution::Lazy);
+        assert_eq!(eager.synapses.as_flat(), lazy.synapses.as_flat());
+        assert_eq!(eager.thetas, lazy.thetas);
+        assert_eq!(eager.labels, lazy.labels);
+        assert_eq!(eager.accuracy, lazy.accuracy);
     }
 
     #[test]

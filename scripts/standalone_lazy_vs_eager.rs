@@ -1,0 +1,808 @@
+//! Standalone, dependency-free replica of the eager vs lazy plasticity
+//! paths, used to generate `results/BENCH_lazy_plasticity.json` in an
+//! offline environment where the cargo registry is unreachable and the
+//! workspace (which depends on crossbeam/serde/etc.) cannot be built.
+//!
+//! Everything behaviour-relevant is copied verbatim from the workspace
+//! sources so the measurement is faithful:
+//!   * Philox4x32-10            <- crates/gpu-device/src/philox.rs
+//!   * stochastic STDP rule     <- crates/snn-core/src/stdp/stochastic.rs
+//!   * Querlioz update math     <- crates/snn-core/src/config.rs (FullPrecision preset)
+//!   * stream keying + phases   <- crates/snn-core/src/sim/engine.rs
+//!   * pool dispatch semantics  <- crates/gpu-device/src/device.rs
+//!     (persistent workers, inline below min_parallel_items = 4096)
+//!
+//! Workload: the ISSUE's sparse-activity shape — 784 inputs -> 1000
+//! excitatory neurons, rate-coded digits in the 1-22 Hz range, WTA-style
+//! rare post spikes with a 10 ms inhibition window. Post spikes are driven
+//! by a synthetic (but Philox-deterministic) winner process shared by both
+//! paths, so the replica isolates exactly the plasticity path the bench
+//! bin times via the device profiler.
+//!
+//! Build & run:  rustc --edition 2021 -O scripts/standalone_lazy_vs_eager.rs && ./standalone_lazy_vs_eager
+
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------- Philox
+
+const PHILOX_M0: u32 = 0xD251_1F53;
+const PHILOX_M1: u32 = 0xCD9E_8D57;
+const PHILOX_W0: u32 = 0x9E37_79B9;
+const PHILOX_W1: u32 = 0xBB67_AE85;
+
+#[derive(Clone, Copy)]
+struct Philox {
+    key: [u32; 2],
+}
+
+#[inline]
+fn mulhilo(a: u32, b: u32) -> (u32, u32) {
+    let p = u64::from(a) * u64::from(b);
+    ((p >> 32) as u32, p as u32)
+}
+
+impl Philox {
+    fn new(seed: u64) -> Self {
+        Philox { key: [seed as u32, (seed >> 32) as u32] }
+    }
+
+    fn block(&self, counter: [u32; 4]) -> [u32; 4] {
+        let mut ctr = counter;
+        let mut key = self.key;
+        for _ in 0..10 {
+            let (hi0, lo0) = mulhilo(PHILOX_M0, ctr[0]);
+            let (hi1, lo1) = mulhilo(PHILOX_M1, ctr[2]);
+            ctr = [hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0];
+            key[0] = key[0].wrapping_add(PHILOX_W0);
+            key[1] = key[1].wrapping_add(PHILOX_W1);
+        }
+        ctr
+    }
+
+    #[inline]
+    fn at(&self, stream: u64, index: u64, word: usize) -> u32 {
+        let ctr =
+            [index as u32, (index >> 32) as u32, stream as u32, (stream >> 32) as u32];
+        self.block(ctr)[word]
+    }
+
+    #[inline]
+    fn uniform(&self, stream: u64, index: u64) -> f64 {
+        f64::from(self.at(stream, index, 0)) / (u64::from(u32::MAX) + 1) as f64
+    }
+
+}
+
+// -------------------------------------------- rule + update (FullPrecision)
+
+const STREAM_INPUT: u64 = 1 << 40;
+const STREAM_SYNAPSE: u64 = 2 << 40;
+
+// FullPrecision preset: gamma_pot 0.9, tau_pot 30 ms, gamma_dep 0.9
+// (gamma_dep_scale = 1.0), tau_dep 10 ms; Querlioz magnitudes
+// alpha_p 0.01 / beta_p 3 / alpha_d 0.005 / beta_d 3; G in [0, 1], float
+// storage (no quantizer => rounding draw elided on the lazy path).
+const GAMMA_POT: f64 = 0.9;
+const TAU_POT: f64 = 30.0;
+const GAMMA_DEP: f64 = 0.9;
+const TAU_DEP: f64 = 10.0;
+const G_MIN: f64 = 0.0;
+const G_MAX: f64 = 1.0;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    Pot,
+    Dep,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Rule {
+    /// StochasticStdp: acceptance-draw-consuming (Eqs. 6-7).
+    Stochastic,
+    /// DeterministicStdp (ltp_window_ms = 20.0): ignores the draw, so the
+    /// lazy settle path elides the acceptance Philox block entirely.
+    Deterministic,
+}
+
+const LTP_WINDOW_MS: f64 = 20.0;
+
+impl Rule {
+    fn name(self) -> &'static str {
+        match self {
+            Rule::Stochastic => "stochastic",
+            Rule::Deterministic => "deterministic",
+        }
+    }
+
+    fn consumes_acceptance_draw(self) -> bool {
+        self == Rule::Stochastic
+    }
+}
+
+#[inline]
+fn on_post_spike(rule: Rule, dt_ms: f64, uniform: f64) -> Option<Kind> {
+    if rule == Rule::Deterministic {
+        return Some(if dt_ms <= LTP_WINDOW_MS { Kind::Pot } else { Kind::Dep });
+    }
+    let p_pot = if dt_ms.is_finite() { GAMMA_POT * (-dt_ms / TAU_POT).exp() } else { 0.0 };
+    if uniform < p_pot {
+        return Some(Kind::Pot);
+    }
+    let p_dep = if dt_ms.is_finite() {
+        GAMMA_DEP * (1.0 - (-dt_ms / TAU_DEP).exp())
+    } else {
+        GAMMA_DEP
+    };
+    if uniform < p_pot + p_dep {
+        Some(Kind::Dep)
+    } else {
+        None
+    }
+}
+
+#[inline]
+fn updated(g: f64, kind: Kind) -> f64 {
+    let span = G_MAX - G_MIN;
+    let candidate = match kind {
+        Kind::Pot => g + 0.01 * (-3.0 * (g - G_MIN) / span).exp(),
+        Kind::Dep => g - 0.005 * (-3.0 * (G_MAX - g) / span).exp(),
+    };
+    candidate.clamp(G_MIN, G_MAX)
+}
+
+// --------------------------------------------------- worker pool (device)
+
+type Job = Box<dyn FnOnce() + Send>;
+
+const MIN_PARALLEL_ITEMS: usize = 4096;
+
+/// The container exposes a single CPU core, so running the device's worker
+/// pool for real would only add scheduler noise without parallel speedup.
+/// Instead each launch's per-worker partitions (built exactly as the
+/// workspace device partitions rows) execute inline, individually timed:
+/// the *sum* is the serial 1-core cost, the *max* is the launch's critical
+/// path — the wall time the same partitioning yields when each partition
+/// has its own core. Pool dispatch overhead is excluded from both, which
+/// favours the eager baseline (it launches ~10x more kernels).
+fn run_jobs(jobs: Vec<Job>) -> (Duration, Duration) {
+    let (mut sum, mut max) = (Duration::ZERO, Duration::ZERO);
+    for job in jobs {
+        let started = Instant::now();
+        job();
+        let d = started.elapsed();
+        sum += d;
+        max = max.max(d);
+    }
+    (sum, max)
+}
+
+/// Send-able raw view over a buffer whose rows each launch partitions
+/// disjointly across workers (the device's SharedMut idiom).
+struct RawMut<T>(*mut T);
+unsafe impl<T> Send for RawMut<T> {}
+impl<T> Clone for RawMut<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for RawMut<T> {}
+struct Raw<T>(*const T);
+unsafe impl<T> Send for Raw<T> {}
+impl<T> Clone for Raw<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Raw<T> {}
+
+// ------------------------------------------------------------- workload
+
+const N_PRE: usize = 784;
+const N_POST: usize = 1000;
+const DT_MS: f64 = 0.5;
+const STEPS_PER_IMAGE: u64 = 300; // 150 ms
+const N_IMAGES: usize = 10;
+const T_INH_STEPS: u64 = 20; // 10 ms WTA inhibition window
+const SEED: u64 = 2019;
+
+/// Per-pixel rates: digit-like sparse images, ink at f_max = 22 Hz,
+/// background at f_min = 1 Hz.
+fn rates_for(image: usize) -> Vec<f64> {
+    (0..N_PRE)
+        .map(|i| {
+            let (x, y) = (i % 28, i / 28);
+            if (x * 31 + y * 17 + image * 13) % 97 < 15 {
+                22.0
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+/// Synthetic WTA winner stream: Philox-deterministic, shared by both
+/// paths; at most one winner per step, silenced for t_inh after a spike.
+fn winners() -> Vec<Option<u32>> {
+    let philox = Philox::new(777);
+    let total = STEPS_PER_IMAGE * N_IMAGES as u64;
+    let mut inhibited_until = 0u64;
+    (0..total)
+        .map(|step| {
+            if step < inhibited_until || philox.uniform(3 << 40, step) >= 0.08 {
+                return None;
+            }
+            inhibited_until = step + T_INH_STEPS;
+            Some((philox.at((3 << 40) | 1, step, 0) % N_POST as u32) as u32)
+        })
+        .collect()
+}
+
+fn initial_g() -> Vec<f64> {
+    // SynapseMatrix::new_random: init stream seed ^ 0x5eed1eaf, uniform in
+    // [0.3, 0.8] of the [G_MIN, G_MAX] span, no quantizer at FullPrecision.
+    let philox = Philox::new(SEED ^ 0x5e_ed_1e_af);
+    (0..N_PRE * N_POST)
+        .map(|idx| {
+            let u = philox.uniform(idx as u64, 0);
+            0.3 + u * (0.8 - 0.3)
+        })
+        .collect()
+}
+
+struct RunOut {
+    g: Vec<f64>,
+    /// Serial 1-core plasticity kernel cost (sum over all partitions).
+    /// Mirrors the bench bin's metric: the device profiler times kernel
+    /// launches, so engine-side ledger bookkeeping is NOT part of this.
+    plasticity: Duration,
+    /// Critical-path kernel cost with SIM_WORKERS-way block-cyclic row
+    /// partitioning (max partition per launch; inline work counts in full).
+    plasticity_par: Duration,
+    /// Engine-side ledger bookkeeping outside any kernel (the flush's
+    /// outstanding-updates counter + ledger clear). Reported separately
+    /// for transparency; zero on the eager path.
+    bookkeeping: Duration,
+    /// Number of launches routed through the worker pool (>= the inline
+    /// threshold), each of which costs a dispatch on real hardware.
+    pooled_launches: u64,
+    wall: Duration,
+    deferred: u64,
+    skipped: u64,
+    settled_at_flush: u64,
+}
+
+/// Worker count the critical-path measurement simulates (the bench bin's
+/// default on CI-class hardware).
+const SIM_WORKERS: usize = 8;
+
+/// Pool dispatch cost per POOLED launch, from the device's own
+/// documentation (`DeviceConfig::min_parallel_items`: "pool dispatch costs
+/// ~10 us, so tiny kernels are faster serial"). The bench bin's profiler
+/// metric wraps dispatch, and a 1-core container cannot measure 8-worker
+/// dispatch, so it is modelled at the documented value and reported as a
+/// separate JSON field. Inline (sub-threshold) launches dispatch nothing.
+const DISPATCH_US: f64 = 10.0;
+/// Rows per launch block for dense row launches:
+/// `LaunchDims::cover(n, block_size / 32)` with the default block_size of
+/// 256. Workers take blocks round-robin.
+const BLOCK_ROWS: usize = 8;
+
+/// Row block for a gather launch over `n` rows: capped so a small
+/// data-dependent active set still spreads across every worker
+/// (mirrors `Device::launch_gather_rows_mut`).
+fn gather_block(n: usize) -> usize {
+    BLOCK_ROWS.min(1.max(n.div_ceil(4 * SIM_WORKERS)))
+}
+
+/// The eager reference: phase-6 dense `stdp_post` launch on every spiking
+/// step (work hint n_post * n_pre -> always pool-dispatched; non-spiking
+/// rows exit on the flag check, exactly like the workspace kernel).
+fn run_eager(rule: Rule, winner_by_step: &[Option<u32>]) -> RunOut {
+    let philox = Philox::new(SEED);
+    let mut g = initial_g();
+    let mut last_pre = vec![f64::NEG_INFINITY; N_PRE];
+    let mut spiked = vec![false; N_POST];
+    let mut plasticity = Duration::ZERO;
+    let mut plasticity_par = Duration::ZERO;
+    let mut pooled_launches = 0u64;
+    let wall_start = Instant::now();
+    let mut step = 0u64;
+    for image in 0..N_IMAGES {
+        let p_spike: Vec<f64> = rates_for(image).iter().map(|f| f * DT_MS / 1000.0).collect();
+        last_pre.fill(f64::NEG_INFINITY);
+        for _ in 0..STEPS_PER_IMAGE {
+            let t = step as f64 * DT_MS;
+            for i in 0..N_PRE {
+                if philox.uniform(STREAM_INPUT | i as u64, step) < p_spike[i] {
+                    last_pre[i] = t;
+                }
+            }
+            if let Some(w) = winner_by_step[step as usize] {
+                spiked[w as usize] = true;
+                // Dense launch: row blocks taken round-robin by the
+                // (simulated) pool, as `launch_rows_mut` does. The one
+                // spiking row lands in a single block on a single worker,
+                // so the critical path barely improves on serial — eager's
+                // parallelism is wasted on flag checks under sparse WTA
+                // activity.
+                let n_blocks = N_POST.div_ceil(BLOCK_ROWS);
+                let gp = RawMut(g.as_mut_ptr());
+                let lp = Raw(last_pre.as_ptr());
+                let sp = Raw(spiked.as_ptr());
+                let jobs: Vec<Job> = (0..SIM_WORKERS)
+                    .map(|w| {
+                        Box::new(move || {
+                            // Rebind whole wrappers: edition-2021 closures
+                            // otherwise capture the raw-pointer fields.
+                            let (gp, lp, sp) = (gp, lp, sp);
+                            let mut block = w;
+                            while block < n_blocks {
+                                let lo = block * BLOCK_ROWS;
+                                let hi = (lo + BLOCK_ROWS).min(N_POST);
+                                for j in lo..hi {
+                                unsafe {
+                                    if !*sp.0.add(j) {
+                                        continue;
+                                    }
+                                    for i in 0..N_PRE {
+                                        let dt_pair = t - *lp.0.add(i);
+                                        let syn = j * N_PRE + i;
+                                        let stream = STREAM_SYNAPSE | syn as u64;
+                                        let u = philox.uniform(stream, step);
+                                        if let Some(kind) = on_post_spike(rule, dt_pair, u) {
+                                            // Eager computes the rounding draw
+                                            // inside the accept branch (word 2
+                                            // of a fresh block); FullPrecision
+                                            // ignores its value but pays for it.
+                                            let _u_round = f64::from(philox.at(stream, step, 2))
+                                                / (u64::from(u32::MAX) + 1) as f64;
+                                            let cell = gp.0.add(syn);
+                                            *cell = updated(*cell, kind);
+                                        }
+                                    }
+                                }
+                                }
+                                block += SIM_WORKERS;
+                            }
+                        }) as Job
+                    })
+                    .collect();
+                let (sum, max) = run_jobs(jobs);
+                plasticity += sum;
+                plasticity_par += max;
+                pooled_launches += 1; // work hint n_post*n_pre >= threshold
+                spiked[w as usize] = false;
+            }
+            step += 1;
+        }
+    }
+    RunOut {
+        g,
+        plasticity,
+        plasticity_par,
+        bookkeeping: Duration::ZERO,
+        pooled_launches,
+        wall: wall_start.elapsed(),
+        deferred: 0,
+        skipped: 0,
+        settled_at_flush: 0,
+    }
+}
+
+struct Ledger {
+    events: Vec<Vec<(u64, f64)>>,
+    applied: Vec<u32>,
+    active: Vec<u32>,
+    is_active: Vec<bool>,
+}
+
+#[inline]
+fn settle_synapse(
+    rule: Rule,
+    philox: &Philox,
+    g: &mut f64,
+    applied: &mut u32,
+    events: &[(u64, f64)],
+    syn: usize,
+    last_pre: f64,
+) {
+    let start = *applied as usize;
+    if start >= events.len() {
+        return;
+    }
+    let stream = STREAM_SYNAPSE | syn as u64;
+    let accept_draws = rule.consumes_acceptance_draw();
+    for &(ev_step, ev_t) in &events[start..] {
+        let u = if accept_draws { philox.uniform(stream, ev_step) } else { 0.0 };
+        if let Some(kind) = on_post_spike(rule, ev_t - last_pre, u) {
+            // round_draws elided: no quantizer at FullPrecision.
+            *g = updated(*g, kind);
+        }
+    }
+    *applied = events.len() as u32;
+}
+
+/// The lazy path: touch-time settles + event recording + coincident
+/// settles per step, full row-parallel flush at presentation end.
+fn run_lazy(rule: Rule, winner_by_step: &[Option<u32>]) -> RunOut {
+    let philox = Philox::new(SEED);
+    let mut g = initial_g();
+    let mut last_pre = vec![f64::NEG_INFINITY; N_PRE];
+    let mut ledger = Ledger {
+        events: vec![Vec::new(); N_POST],
+        applied: vec![0u32; N_PRE * N_POST],
+        active: Vec::new(),
+        is_active: vec![false; N_POST],
+    };
+    let mut spiking_inputs: Vec<u32> = Vec::new();
+    let (mut deferred, mut skipped, mut settled_at_flush) = (0u64, 0u64, 0u64);
+    let mut plasticity = Duration::ZERO;
+    let mut plasticity_par = Duration::ZERO;
+    let mut bookkeeping = Duration::ZERO;
+    let mut pooled_launches = 0u64;
+    let wall_start = Instant::now();
+    let mut step = 0u64;
+    for image in 0..N_IMAGES {
+        let p_spike: Vec<f64> = rates_for(image).iter().map(|f| f * DT_MS / 1000.0).collect();
+        last_pre.fill(f64::NEG_INFINITY);
+        for _ in 0..STEPS_PER_IMAGE {
+            let t = step as f64 * DT_MS;
+            spiking_inputs.clear();
+            for i in 0..N_PRE {
+                if philox.uniform(STREAM_INPUT | i as u64, step) < p_spike[i] {
+                    spiking_inputs.push(i as u32);
+                }
+            }
+            // (1b) touch-time settle before the timestamps change; work
+            // is active_rows x spiking_cols < MIN_PARALLEL_ITEMS -> inline.
+            if !ledger.active.is_empty() && !spiking_inputs.is_empty() {
+                let started = Instant::now();
+                for &j in &ledger.active {
+                    let j = j as usize;
+                    let evs = &ledger.events[j];
+                    for &i in &spiking_inputs {
+                        let syn = j * N_PRE + i as usize;
+                        settle_synapse(
+                            rule,
+                            &philox,
+                            &mut g[syn],
+                            &mut ledger.applied[syn],
+                            evs,
+                            syn,
+                            last_pre[i as usize],
+                        );
+                    }
+                }
+                let d = started.elapsed();
+                plasticity += d;
+                plasticity_par += d; // inline: fully on the critical path
+            }
+            for &i in &spiking_inputs {
+                last_pre[i as usize] = t;
+            }
+            // (6) record + coincident settle.
+            if let Some(w) = winner_by_step[step as usize] {
+                let started = Instant::now();
+                let j = w as usize;
+                if !ledger.is_active[j] {
+                    ledger.is_active[j] = true;
+                    ledger.active.push(w);
+                }
+                ledger.events[j].push((step, t));
+                deferred += N_PRE as u64;
+                skipped += (N_POST * N_PRE) as u64;
+                for &i in &spiking_inputs {
+                    let syn = j * N_PRE + i as usize;
+                    settle_synapse(
+                        rule,
+                        &philox,
+                        &mut g[syn],
+                        &mut ledger.applied[syn],
+                        &ledger.events[j],
+                        syn,
+                        last_pre[i as usize],
+                    );
+                }
+                let d = started.elapsed();
+                plasticity += d;
+                plasticity_par += d; // inline: fully on the critical path
+            }
+            step += 1;
+        }
+        // flush_plasticity(): settle every active row, row-parallel when
+        // the work hint clears the inline threshold.
+        if !ledger.active.is_empty() {
+            // Ledger bookkeeping (`outstanding_updates` + `clear_settled`
+            // below) runs on the engine thread OUTSIDE any kernel, exactly
+            // like `flush_plasticity`; the bench bin's plasticity-path
+            // metric is built from device-profiler *kernel* stats, so it
+            // lands in `bookkeeping`, not `plasticity`.
+            let bk_start = Instant::now();
+            settled_at_flush += ledger
+                .active
+                .iter()
+                .map(|&j| {
+                    let j = j as usize;
+                    (0..N_PRE)
+                        .map(|i| {
+                            ledger.events[j].len() as u64
+                                - u64::from(ledger.applied[j * N_PRE + i])
+                        })
+                        .sum::<u64>()
+                })
+                .sum::<u64>();
+            bookkeeping += bk_start.elapsed();
+            let pool_path = ledger.active.len() * N_PRE >= MIN_PARALLEL_ITEMS;
+            let started = Instant::now();
+            if pool_path {
+                let gp = RawMut(g.as_mut_ptr());
+                let ap = RawMut(ledger.applied.as_mut_ptr());
+                let lp = Raw(last_pre.as_ptr());
+                let evp = Raw(ledger.events.as_ptr());
+                let rows = Raw(ledger.active.as_ptr());
+                let n_rows = ledger.active.len();
+                let block_rows = gather_block(n_rows);
+                let n_blocks = n_rows.div_ceil(block_rows);
+                let jobs: Vec<Job> = (0..SIM_WORKERS)
+                    .map(|w| {
+                        Box::new(move || {
+                            let (gp, ap, lp, evp, rows) = (gp, ap, lp, evp, rows);
+                            let philox = Philox::new(SEED);
+                            let mut block = w;
+                            while block < n_blocks {
+                                let lo = block * block_rows;
+                                let hi = (lo + block_rows).min(n_rows);
+                                for k in lo..hi {
+                                    unsafe {
+                                        let j = *rows.0.add(k) as usize;
+                                        let evs: &Vec<(u64, f64)> = &*evp.0.add(j);
+                                        for i in 0..N_PRE {
+                                            let syn = j * N_PRE + i;
+                                            settle_synapse(
+                                                rule,
+                                                &philox,
+                                                &mut *gp.0.add(syn),
+                                                &mut *ap.0.add(syn),
+                                                evs,
+                                                syn,
+                                                *lp.0.add(i),
+                                            );
+                                        }
+                                    }
+                                }
+                                block += SIM_WORKERS;
+                            }
+                        }) as Job
+                    })
+                    .collect();
+                let setup = started.elapsed();
+                plasticity += setup;
+                plasticity_par += setup;
+                let (sum, max) = run_jobs(jobs);
+                plasticity += sum;
+                plasticity_par += max; // rows settle in parallel at flush
+                pooled_launches += 1;
+            } else {
+                for k in 0..ledger.active.len() {
+                    let j = ledger.active[k] as usize;
+                    for i in 0..N_PRE {
+                        let syn = j * N_PRE + i;
+                        let evs = &ledger.events[j];
+                        settle_synapse(
+                            rule,
+                            &philox,
+                            &mut g[syn],
+                            &mut ledger.applied[syn],
+                            evs,
+                            syn,
+                            last_pre[i],
+                        );
+                    }
+                }
+                let d = started.elapsed();
+                plasticity += d;
+                plasticity_par += d;
+            }
+            let tail_start = Instant::now();
+            for j in ledger.active.drain(..).map(|j| j as usize) {
+                ledger.is_active[j] = false;
+                ledger.events[j].clear();
+                ledger.applied[j * N_PRE..(j + 1) * N_PRE].fill(0);
+            }
+            bookkeeping += tail_start.elapsed();
+        }
+    }
+    RunOut {
+        g,
+        plasticity,
+        plasticity_par,
+        bookkeeping,
+        pooled_launches,
+        wall: wall_start.elapsed(),
+        deferred,
+        skipped,
+        settled_at_flush,
+    }
+}
+
+fn main() {
+    let winner_by_step = winners();
+    let n_events = winner_by_step.iter().flatten().count();
+    println!(
+        "replica: {N_PRE} -> {N_POST}, {N_IMAGES} x {STEPS_PER_IMAGE} steps, \
+         {n_events} post-spike events, {SIM_WORKERS} simulated workers"
+    );
+
+    let provenance = format!(
+        "standalone dependency-free replica (scripts/standalone_lazy_vs_eager.rs, rustc --edition 2021 -O) because the \
+         cargo registry is unreachable in this offline environment; Philox, rule, update math, \
+         stream keying and row-partitioning semantics copied verbatim from the workspace \
+         sources; plasticity_path counts kernel launch time only, matching the bench bin's \
+         device-profiler metric (engine-side ledger bookkeeping is reported separately as \
+         ledger_bookkeeping_ms); the container exposes 1 CPU core, so plasticity_path_ms is \
+         the measured serial kernel cost and plasticity_path_parallel_ms is the measured \
+         per-partition critical path for {SIM_WORKERS}-way block-cyclic row partitioning; \
+         the profiler metric the bench bin reports wraps pool dispatch, which a 1-core \
+         container cannot measure for 8 workers, so *_incl_dispatch_ms adds the \
+         device-documented ~10 us per POOLED launch (DeviceConfig::min_parallel_items doc; \
+         eager dispatches every per-event stdp_post launch, lazy only its flush launches — \
+         touch/post settles run inline below the pool threshold) and the speedup metric uses \
+         those; kernels-only ratios are reported alongside; synthetic Philox-deterministic \
+         WTA winner stream shared by both paths; regenerate in-workspace with `cargo run -p \
+         bench --release --bin lazy_vs_eager`"
+    );
+    let mut records: Vec<String> = Vec::new();
+    for rule in [Rule::Deterministic, Rule::Stochastic] {
+        // Warm-up run, then take the minimum plasticity-path times over REPS
+        // runs per path: the workload is a few ms, so single runs are
+        // scheduler-noise dominated. Serial and critical-path minima are
+        // tracked independently; g and the counters are bit-deterministic
+        // across runs, so any rep's RunOut carries them.
+        const REPS: usize = 25;
+        let _ = run_eager(rule, &winner_by_step);
+        let _ = run_lazy(rule, &winner_by_step);
+        let mut eager = run_eager(rule, &winner_by_step);
+        let mut lazy = run_lazy(rule, &winner_by_step);
+        for _ in 1..REPS {
+            let e = run_eager(rule, &winner_by_step);
+            eager.plasticity = eager.plasticity.min(e.plasticity);
+            eager.plasticity_par = eager.plasticity_par.min(e.plasticity_par);
+            eager.wall = eager.wall.min(e.wall);
+            let l = run_lazy(rule, &winner_by_step);
+            lazy.plasticity = lazy.plasticity.min(l.plasticity);
+            lazy.plasticity_par = lazy.plasticity_par.min(l.plasticity_par);
+            lazy.bookkeeping = lazy.bookkeeping.min(l.bookkeeping);
+            lazy.wall = lazy.wall.min(l.wall);
+        }
+
+        let identical = eager.g == lazy.g;
+        let changed = {
+            let init = initial_g();
+            eager.g.iter().zip(&init).filter(|(a, b)| a != b).count()
+        };
+        println!(
+            "\n[{}] bit-identical: {identical} ({} synapses, {} changed by learning)",
+            rule.name(),
+            eager.g.len(),
+            changed
+        );
+        assert!(identical, "lazy diverged from eager ({})", rule.name());
+        assert!(changed > 0, "vacuous run: no synapse moved");
+
+        let e_ms = eager.plasticity.as_secs_f64() * 1000.0;
+        let l_ms = lazy.plasticity.as_secs_f64() * 1000.0;
+        let ep_ms = eager.plasticity_par.as_secs_f64() * 1000.0;
+        let lp_ms = lazy.plasticity_par.as_secs_f64() * 1000.0;
+        let e_disp_ms = eager.pooled_launches as f64 * DISPATCH_US / 1000.0;
+        let l_disp_ms = lazy.pooled_launches as f64 * DISPATCH_US / 1000.0;
+        let epd_ms = ep_ms + e_disp_ms;
+        let lpd_ms = lp_ms + l_disp_ms;
+        let speedup_serial = e_ms / l_ms;
+        let speedup_par_kernels = ep_ms / lp_ms;
+        let speedup_par = epd_ms / lpd_ms;
+        let meets = speedup_par >= 2.0;
+        let rule_note = match rule {
+            Rule::Deterministic => {
+                "the deterministic rule is the full draw-elision case: settles skip the \
+                 acceptance draw entirely, so lazy wins on batching, launch count and flush \
+                 row-parallelism"
+            }
+            Rule::Stochastic => {
+                "the stochastic rule must replay the unconditional per-pair acceptance draw \
+                 at settle time to stay bit-identical, so no draw elision is possible and \
+                 the speedup comes only from ~10x fewer pooled launches plus flush \
+                 row-parallelism; it falls short of 2x on this container and is expected to \
+                 clear the bar only where real dispatch exceeds the modeled ~10 us"
+            }
+        };
+        println!(
+            "[{}] eager plasticity path: serial {e_ms:.3} ms, {SIM_WORKERS}-worker critical \
+             path {ep_ms:.3} ms + {} pooled dispatches {e_disp_ms:.3} ms = {epd_ms:.3} ms",
+            rule.name(),
+            eager.pooled_launches
+        );
+        println!(
+            "[{}] lazy  plasticity path: serial {l_ms:.3} ms, {SIM_WORKERS}-worker critical \
+             path {lp_ms:.3} ms + {} pooled dispatches {l_disp_ms:.3} ms = {lpd_ms:.3} ms",
+            rule.name(),
+            lazy.pooled_launches
+        );
+        println!(
+            "[{}] plasticity-path speedup: serial {speedup_serial:.2}x, {SIM_WORKERS}-worker \
+             kernels-only {speedup_par_kernels:.2}x, incl dispatch {speedup_par:.2}x",
+            rule.name()
+        );
+        println!(
+            "[{}] lazy ledger bookkeeping (outside kernels): {:.3} ms",
+            rule.name(),
+            lazy.bookkeeping.as_secs_f64() * 1e3
+        );
+        println!(
+            "[{}] lazy counters: deferred={} dense_items_skipped={} settled_at_flush={}",
+            rule.name(),
+            lazy.deferred,
+            lazy.skipped,
+            lazy.settled_at_flush
+        );
+
+        let record = |exec: &str, r: &RunOut, kernels: &str| {
+            format!(
+                "  {{\n    \"execution\": \"{exec}\",\n    \"preset\": \"full-precision\",\n    \
+                 \"rule\": \"{}\",\n    \"n_inputs\": {N_PRE},\n    \"n_excitatory\": \
+                 {N_POST},\n    \"workers\": {SIM_WORKERS},\n    \"n_images\": {N_IMAGES},\n    \
+                 \"t_present_ms\": {:.1},\n    \"wall_ms_total\": {:.3},\n    \
+                 \"plasticity_path_ms\": {:.3},\n    \"plasticity_path_parallel_ms\": {:.3},\n    \
+                 \"pooled_kernel_launches\": {},\n    \
+                 \"modeled_dispatch_ms\": {:.3},\n    \
+                 \"plasticity_path_parallel_incl_dispatch_ms\": {:.3},\n    \
+                 \"ledger_bookkeeping_ms\": {:.3},\n    \
+                 \"plasticity_kernels\": {kernels},\n    \
+                 \"updates_deferred\": {},\n    \"dense_items_skipped\": {},\n    \
+                 \"updates_settled_at_flush\": {},\n    \"bit_identical_to_eager\": true,\n    \
+                 \"provenance\": \"{provenance}\"\n  }}",
+                rule.name(),
+                STEPS_PER_IMAGE as f64 * DT_MS,
+                r.wall.as_secs_f64() * 1000.0,
+                r.plasticity.as_secs_f64() * 1000.0,
+                r.plasticity_par.as_secs_f64() * 1000.0,
+                r.pooled_launches,
+                r.pooled_launches as f64 * DISPATCH_US / 1000.0,
+                r.plasticity_par.as_secs_f64() * 1000.0
+                    + r.pooled_launches as f64 * DISPATCH_US / 1000.0,
+                r.bookkeeping.as_secs_f64() * 1000.0,
+                r.deferred,
+                r.skipped,
+                r.settled_at_flush,
+            )
+        };
+        records.push(record("eager", &eager, &format!("[[\"stdp_post\", {e_ms:.3}]]")));
+        records.push(record(
+            "lazy",
+            &lazy,
+            &format!(
+                "[[\"stdp_touch_settle + stdp_post_settle + stdp_flush_settle\", {l_ms:.3}]]"
+            ),
+        ));
+        records.push(format!(
+            "  {{\n    \"metric\": \"plasticity_path_speedup\",\n    \"rule\": \"{}\",\n    \
+             \"value\": {speedup_par:.3},\n    \
+             \"parallel_kernels_only_value\": {speedup_par_kernels:.3},\n    \
+             \"serial_1core_value\": {speedup_serial:.3},\n    \
+             \"requirement\": \">= 2.0\",\n    \"meets_requirement\": {meets},\n    \
+             \"note\": \"value is the {SIM_WORKERS}-worker critical-path speedup including \
+             the device-documented ~10 us dispatch per pooled launch, matching the profiler \
+             metric the in-workspace bench reports: under sparse WTA activity eager pays one \
+             pooled dense launch per post-spike event and its one active row's 784 pair \
+             updates land on a single worker, while lazy batches work into ~10x fewer pooled \
+             launches whose flush settles all active rows in parallel. Kernels-only and \
+             serial 1-core ratios are reported alongside; serial is smaller because the \
+             per-pair Querlioz exp() update dominates both paths on one core. Rule-specific: \
+             {rule_note}.\"\n  }}",
+            rule.name()
+        ));
+    }
+
+    let json = format!("[\n{}\n]\n", records.join(",\n"));
+    std::fs::write("/root/repo/results/BENCH_lazy_plasticity.json", json).unwrap();
+    println!("\nwrote /root/repo/results/BENCH_lazy_plasticity.json");
+}

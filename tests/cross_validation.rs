@@ -6,6 +6,12 @@ use parallel_spike_sim::core::sim::GenericEngine;
 use parallel_spike_sim::prelude::*;
 use parallel_spike_sim::reference::ReferenceSimulator;
 
+/// Spike-time matching tolerance for raster coincidence checks. Both
+/// engines stamp events with the identical accumulated-f64 clock, so
+/// "coincident" means bit-equal times; the tolerance only absorbs the
+/// comparison's own representation, not any model disagreement.
+const COINCIDENCE_TOL_MS: f64 = 1e-9;
+
 #[test]
 fn engines_agree_on_paper_scale_network() {
     // 10^3 LIF neurons, 10^4 synapses — exactly the Fig. 4 workload.
@@ -22,10 +28,38 @@ fn engines_agree_on_paper_scale_network() {
     let eng_counts = engine.run(&i_ext, 500.0);
 
     assert_eq!(ref_counts, eng_counts);
-    assert_eq!(engine.raster().coincidence(reference.raster(), 1e-9), 1.0);
+    assert_eq!(engine.raster().coincidence(reference.raster(), COINCIDENCE_TOL_MS), 1.0);
     // The workload must actually produce activity for the check to mean
     // anything.
     assert!(eng_counts.iter().map(|&c| u64::from(c)).sum::<u64>() > 1000);
+}
+
+#[test]
+fn generic_engine_is_worker_count_invariant() {
+    // The parallel engine cross-checked against itself: a serial run and
+    // pool runs at several widths must agree bit for bit — counts and full
+    // rasters — on a workload big enough to engage the pool.
+    let net = RecurrentNetwork::random(600, 24_000, 0.08, 0.45, 77);
+    let i_ext: Vec<f64> = (0..600).map(|j| if j % 7 == 0 { 4.0 } else { 2.5 }).collect();
+
+    let run = |workers: usize| {
+        let device = Device::new(DeviceConfig::default().with_workers(workers));
+        let mut engine = GenericEngine::new(&net, &device, 5.0, 0.5);
+        let counts = engine.run(&i_ext, 400.0);
+        (counts, engine.raster().clone())
+    };
+
+    let serial = run(1);
+    assert!(serial.0.iter().map(|&c| u64::from(c)).sum::<u64>() > 500, "workload too quiet");
+    for workers in [2, 8] {
+        let parallel = run(workers);
+        assert_eq!(serial.0, parallel.0, "{workers} workers: counts diverged");
+        assert_eq!(
+            serial.1.coincidence(&parallel.1, COINCIDENCE_TOL_MS),
+            1.0,
+            "{workers} workers: rasters diverged"
+        );
+    }
 }
 
 #[test]

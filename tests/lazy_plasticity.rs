@@ -1,0 +1,126 @@
+//! Differential tests for the lazy event-driven plasticity engine: for the
+//! same seed, the deferred path must reproduce the eager dense path **bit
+//! for bit** — conductances, spike rasters, spike counts, homeostasis
+//! thresholds and end-to-end accuracy — across precision presets and both
+//! plasticity rules.
+//!
+//! The contract that makes this possible: every acceptance and rounding
+//! draw comes from a counter-based Philox stream keyed by `(synapse, step)`,
+//! so an update computes the same result whenever it is applied, and the
+//! lazy engine settles each synapse before its pre-side timestamp changes
+//! (see DESIGN.md §lazy-plasticity).
+
+use parallel_spike_sim::prelude::*;
+
+/// The precision sweep of the differential layer: full precision plus the
+/// Table I fixed-point formats from 16 bits down to 4.
+const PRESETS: [Preset; 4] = [Preset::FullPrecision, Preset::Bit16, Preset::Bit8, Preset::Bit4];
+
+/// One plastic presentation stream on MNIST-shaped input (784 trains), long
+/// enough for hundreds of post spikes and thousands of deferred updates.
+fn run_presentations(
+    preset: Preset,
+    rule: RuleKind,
+    exec: PlasticityExecution,
+    workers: usize,
+) -> (Vec<u32>, Vec<f64>, Vec<f64>, SpikeRaster) {
+    let device = Device::new(DeviceConfig::default().with_workers(workers));
+    let cfg = NetworkConfig::from_preset(preset, 784, 20)
+        .with_rule(rule)
+        .with_plasticity(exec);
+    let mut engine = WtaEngine::new(cfg, &device, 2019);
+    engine.record_raster(true);
+    let encoder = RateEncoder::new(engine.config().frequency);
+    let dataset = synthetic_mnist(6, 1, 11);
+    let mut counts = vec![0u32; 20];
+    for sample in &dataset.train {
+        let rates = encoder.rates(sample.image.pixels());
+        engine.reset_transients();
+        for (c, n) in counts.iter_mut().zip(engine.present(&rates, 120.0, true)) {
+            *c += n;
+        }
+    }
+    let raster = engine.take_raster().expect("raster enabled");
+    (counts, engine.synapses().as_flat().to_vec(), engine.thetas(), raster)
+}
+
+#[test]
+fn lazy_matches_eager_across_presets_and_rules() {
+    for preset in PRESETS {
+        for rule in [RuleKind::Stochastic, RuleKind::Deterministic] {
+            let eager = run_presentations(preset, rule, PlasticityExecution::Eager, 2);
+            let lazy = run_presentations(preset, rule, PlasticityExecution::Lazy, 2);
+            assert_eq!(eager.0, lazy.0, "{preset:?}/{rule:?}: spike counts diverged");
+            assert_eq!(eager.1, lazy.1, "{preset:?}/{rule:?}: conductances diverged");
+            assert_eq!(eager.2, lazy.2, "{preset:?}/{rule:?}: thresholds diverged");
+            assert_eq!(eager.3, lazy.3, "{preset:?}/{rule:?}: rasters diverged");
+            // A silent network would make the equalities vacuous.
+            assert!(eager.0.iter().sum::<u32>() > 0, "{preset:?}/{rule:?}: no spikes");
+        }
+    }
+}
+
+#[test]
+fn lazy_matches_eager_under_non_stochastic_rounding() {
+    // Truncation and nearest rounding elide the rounding draw on the lazy
+    // path; the elision must not disturb any other stream.
+    for rounding in [Rounding::Truncate, Rounding::Nearest] {
+        let run = |exec: PlasticityExecution| {
+            let device = Device::new(DeviceConfig::default().with_workers(2));
+            let cfg = NetworkConfig::from_preset(Preset::Bit8, 784, 12)
+                .with_rounding(rounding)
+                .with_plasticity(exec);
+            let mut engine = WtaEngine::new(cfg, &device, 5);
+            let encoder = RateEncoder::new(engine.config().frequency);
+            let dataset = synthetic_mnist(3, 1, 4);
+            let mut flats = Vec::new();
+            for sample in &dataset.train {
+                let rates = encoder.rates(sample.image.pixels());
+                engine.reset_transients();
+                let _ = engine.present(&rates, 120.0, true);
+                flats.push(engine.synapses().as_flat().to_vec());
+            }
+            flats
+        };
+        assert_eq!(
+            run(PlasticityExecution::Eager),
+            run(PlasticityExecution::Lazy),
+            "{rounding:?}"
+        );
+    }
+}
+
+#[test]
+fn lazy_trainer_reaches_identical_accuracy() {
+    // End-to-end: the full train → label → infer protocol on a small
+    // synthetic-MNIST run must produce identical outcomes, not merely
+    // similar accuracy.
+    let dataset = synthetic_mnist(40, 40, 9);
+    for (preset, rule) in
+        [(Preset::FullPrecision, RuleKind::Stochastic), (Preset::Bit8, RuleKind::Deterministic)]
+    {
+        let run = |exec: PlasticityExecution| {
+            let device = Device::new(DeviceConfig::default().with_workers(2));
+            let mut cfg = TrainerConfig::new(
+                NetworkConfig::from_preset(preset, 784, 16)
+                    .with_rule(rule)
+                    .with_plasticity(exec),
+            );
+            cfg.t_learn_ms = 120.0;
+            cfg.n_train_images = 40;
+            cfg.n_labeling = 20;
+            cfg.n_inference = 20;
+            Trainer::new(cfg, &device).run(&dataset)
+        };
+        let eager = run(PlasticityExecution::Eager);
+        let lazy = run(PlasticityExecution::Lazy);
+        assert_eq!(
+            eager.synapses.as_flat(),
+            lazy.synapses.as_flat(),
+            "{preset:?}/{rule:?}: learned conductances diverged"
+        );
+        assert_eq!(eager.labels, lazy.labels, "{preset:?}/{rule:?}");
+        assert_eq!(eager.accuracy, lazy.accuracy, "{preset:?}/{rule:?}");
+        assert_eq!(eager.abstention_rate, lazy.abstention_rate, "{preset:?}/{rule:?}");
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md): build + full test suite.
+#
+# Every PR must leave this green. The test suite includes the lazy-plasticity
+# differential layer (tests/lazy_plasticity.rs, crates/*/tests/*.rs), which
+# proves eager and lazy execution bit-identical before anything else runs.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q

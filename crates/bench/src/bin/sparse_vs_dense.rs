@@ -1,0 +1,307 @@
+//! Sparse vs dense current delivery: wall time, delivery-path kernel time
+//! and avoided work across the paper's input-frequency sweep, plus a
+//! built-in differential check that the two paths stay bit-identical.
+//!
+//! The workload is the paper's unsupervised-learning shape — a 784 → 1000
+//! WTA network presented with rate-coded digits — swept over the Fig. 5
+//! maximum input frequencies f_max ∈ {22, 44, 78, 120} Hz. At 22 Hz only a
+//! few percent of inputs spike per step, so the dense path's full
+//! `n_inputs × n_excitatory` row scan is almost entirely wasted; the sparse
+//! path scans only the compacted active list through the transposed
+//! conductance view. A second sweep drives the input toward saturation to
+//! locate the crossover where the sparse path's bookkeeping (compaction,
+//! per-block partial sums, transposed-view refreshes) stops paying for
+//! itself.
+//!
+//! Run: `cargo run -p bench --release --bin sparse_vs_dense`
+
+use bench::{results_dir, write_json_records, TextTable};
+use gpu_device::{Device, DeviceConfig};
+use serde::Serialize;
+use snn_core::config::{CurrentDelivery, NetworkConfig, Preset};
+use snn_core::sim::WtaEngine;
+use snn_datasets::synthetic_mnist;
+use spike_encoding::RateEncoder;
+use std::time::Instant;
+
+/// Kernels that make up the current-delivery path of each strategy. The
+/// fused encode+compact kernel is shared (the dense path also consumes the
+/// spike flags it writes), so it is charged to both.
+const SPARSE_KERNELS: [&str; 2] = ["encode_compact", "deliver_integrate_sparse"];
+const DENSE_KERNELS: [&str; 2] = ["encode_compact", "deliver_integrate_dense"];
+
+#[derive(Serialize)]
+struct SparseVsDenseRecord {
+    delivery: String,
+    f_max_hz: f64,
+    preset: String,
+    n_inputs: usize,
+    n_excitatory: usize,
+    workers: usize,
+    n_images: usize,
+    t_present_ms: f64,
+    wall_ms_total: f64,
+    delivery_path_ms: f64,
+    delivery_kernels: Vec<(String, f64)>,
+    /// Mean fraction of inputs on the active list per step.
+    active_fraction_mean: f64,
+    active_spikes: u64,
+    /// Dense: row items actually scanned. Sparse: row items the dense path
+    /// would have scanned for the steps' inactive inputs.
+    dense_items: u64,
+    dense_items_skipped: u64,
+    bit_identical_to_dense: bool,
+    /// How these numbers were produced (hardware-free replication note).
+    provenance: String,
+}
+
+#[derive(Serialize)]
+struct SpeedupRecord {
+    metric: String,
+    f_max_hz: f64,
+    active_fraction_mean: f64,
+    end_to_end_value: f64,
+    delivery_path_value: f64,
+    requirement: String,
+    meets_requirement: bool,
+    note: String,
+}
+
+struct RunResult {
+    wall_ms: f64,
+    delivery_ms: f64,
+    kernels: Vec<(String, f64)>,
+    active_fraction: f64,
+    active_spikes: u64,
+    dense_items: u64,
+    skipped: u64,
+    flat: Vec<f64>,
+    counts: Vec<u32>,
+}
+
+fn run(delivery: CurrentDelivery, f_max: f64, workers: usize, n_images: usize, t_ms: f64) -> RunResult {
+    let device = Device::new(DeviceConfig::default().with_workers(workers));
+    let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 784, 1000)
+        .with_frequency(1.0, f_max)
+        .with_delivery(delivery);
+    let mut engine = WtaEngine::new(cfg, &device, 2019);
+    let encoder = RateEncoder::new(engine.config().frequency);
+    let dataset = synthetic_mnist(n_images, 1, 7);
+
+    let started = Instant::now();
+    let mut counts = vec![0u32; 1000];
+    for sample in &dataset.train {
+        let rates = encoder.rates(sample.image.pixels());
+        engine.reset_transients();
+        for (acc, n) in counts.iter_mut().zip(engine.present(&rates, t_ms, true)) {
+            *acc += n;
+        }
+    }
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    let report = device.profile();
+    let names: &[&str] =
+        if delivery == CurrentDelivery::Sparse { &SPARSE_KERNELS } else { &DENSE_KERNELS };
+    let kernels: Vec<(String, f64)> = names
+        .iter()
+        .map(|&n| (n.to_owned(), report.get(n).map_or(0.0, |s| s.total().as_secs_f64() * 1000.0)))
+        .collect();
+    RunResult {
+        wall_ms,
+        delivery_ms: kernels.iter().map(|(_, ms)| ms).sum(),
+        kernels,
+        active_fraction: report.gauge("active_fraction").map_or(0.0, |g| g.mean()),
+        active_spikes: report.counter("delivery_active_spikes").unwrap_or(0),
+        dense_items: report.counter("delivery_dense_items").unwrap_or(0),
+        skipped: report.counter("delivery_dense_items_skipped").unwrap_or(0),
+        flat: engine.synapses().as_flat().to_vec(),
+        counts,
+    }
+}
+
+fn main() {
+    println!("== sparse vs dense current delivery: 784 -> 1000, rate-coded digits ==\n");
+    let workers = std::thread::available_parallelism().map_or(4, usize::from).min(8);
+    let n_images = 10;
+    let t_ms = 150.0;
+
+    let provenance = format!(
+        "measured in-process on {workers} worker threads; kernel times from the device profiler \
+         (simulated-GPU substrate), wall times include plasticity/inhibition phases shared by \
+         both paths; the speedup is algorithmic (items scanned), not thread-count dependent"
+    );
+    let mut records: Vec<SparseVsDenseRecord> = Vec::new();
+    let mut speedups: Vec<SpeedupRecord> = Vec::new();
+
+    // --- the paper's Fig. 5 frequency sweep -----------------------------
+    for f_max in [22.0, 44.0, 78.0, 120.0] {
+        println!("-- f_max = {f_max} Hz --");
+        let dense = run(CurrentDelivery::Dense, f_max, workers, n_images, t_ms);
+        let sparse = run(CurrentDelivery::Sparse, f_max, workers, n_images, t_ms);
+
+        let identical = dense.flat == sparse.flat && dense.counts == sparse.counts;
+        assert!(identical, "sparse run diverged from dense run (f_max={f_max}) — determinism broken");
+        println!(
+            "bit-identity: OK ({} synapses, {} total spikes, active fraction {:.4})\n",
+            dense.flat.len(),
+            dense.counts.iter().map(|&c| u64::from(c)).sum::<u64>(),
+            sparse.active_fraction
+        );
+
+        let mut table =
+            TextTable::new(["delivery", "wall (ms)", "delivery path (ms)", "items scanned"]);
+        for (name, r, items) in
+            [("dense", &dense, dense.dense_items), ("sparse", &sparse, sparse.active_spikes * 1000)]
+        {
+            table.row([
+                name.to_string(),
+                format!("{:.1}", r.wall_ms),
+                format!("{:.2}", r.delivery_ms),
+                items.to_string(),
+            ]);
+        }
+        println!("{table}");
+        let path_speedup = dense.delivery_ms / sparse.delivery_ms.max(1e-9);
+        let wall_speedup = dense.wall_ms / sparse.wall_ms.max(1e-9);
+        println!(
+            "[f_max={f_max}] delivery-path speedup: {path_speedup:.2}x   \
+             end-to-end: {wall_speedup:.2}x\n"
+        );
+
+        for (name, r) in [("dense", &dense), ("sparse", &sparse)] {
+            records.push(SparseVsDenseRecord {
+                delivery: name.into(),
+                f_max_hz: f_max,
+                preset: "full-precision".into(),
+                n_inputs: 784,
+                n_excitatory: 1000,
+                workers,
+                n_images,
+                t_present_ms: t_ms,
+                wall_ms_total: r.wall_ms,
+                delivery_path_ms: r.delivery_ms,
+                delivery_kernels: r.kernels.clone(),
+                active_fraction_mean: r.active_fraction,
+                active_spikes: r.active_spikes,
+                dense_items: r.dense_items,
+                dense_items_skipped: r.skipped,
+                bit_identical_to_dense: identical,
+                provenance: provenance.clone(),
+            });
+        }
+        speedups.push(SpeedupRecord {
+            metric: "end_to_end_speedup".into(),
+            f_max_hz: f_max,
+            active_fraction_mean: sparse.active_fraction,
+            end_to_end_value: wall_speedup,
+            delivery_path_value: path_speedup,
+            requirement: if f_max == 22.0 { ">= 2.0".into() } else { "reported".into() },
+            meets_requirement: f_max != 22.0 || wall_speedup >= 2.0,
+            note: "sparse scans only the compacted active list through the transposed \
+                   conductance view; dense scans every n_inputs x n_excitatory item each step"
+                .into(),
+        });
+    }
+
+    // --- saturation sweep: find the honest crossover --------------------
+    // Rate coding clamps the Bernoulli probability at 1 for rates >= 1/dt,
+    // so pushing f_max toward 2 kHz drives the active fraction toward 1,
+    // where the sparse path's compaction + per-block partial sums +
+    // transposed-view refreshes are pure overhead over a dense scan.
+    println!("-- saturation sweep (crossover search) --");
+    let mut crossover: Option<(f64, f64)> = None;
+    for f_max in [250.0, 500.0, 1000.0, 2000.0] {
+        let dense = run(CurrentDelivery::Dense, f_max, workers, 3, 60.0);
+        let sparse = run(CurrentDelivery::Sparse, f_max, workers, 3, 60.0);
+        assert_eq!(dense.flat, sparse.flat, "divergence at f_max={f_max}");
+        let wall_speedup = dense.wall_ms / sparse.wall_ms.max(1e-9);
+        println!(
+            "f_max={f_max:>6} Hz  active fraction {:.3}  end-to-end speedup {wall_speedup:.2}x",
+            sparse.active_fraction
+        );
+        if wall_speedup < 1.0 && crossover.is_none() {
+            crossover = Some((f_max, sparse.active_fraction));
+        }
+        speedups.push(SpeedupRecord {
+            metric: "saturation_sweep".into(),
+            f_max_hz: f_max,
+            active_fraction_mean: sparse.active_fraction,
+            end_to_end_value: wall_speedup,
+            delivery_path_value: dense.delivery_ms / sparse.delivery_ms.max(1e-9),
+            requirement: "reported".into(),
+            meets_requirement: true,
+            note: "crossover probe: above the crossover active fraction, prefer \
+                   CurrentDelivery::Dense"
+                .into(),
+        });
+    }
+    match crossover {
+        Some((f, a)) => println!(
+            "\ncrossover: sparse loses to dense from f_max ~ {f} Hz (active fraction ~ {a:.2})"
+        ),
+        None => println!(
+            "\nno crossover on the digit workload: rate coding bounds the active fraction at \
+             the image's ink fraction (~0.12 here), where the sparse path still wins"
+        ),
+    }
+
+    // --- uniform-input probe: the true crossover ------------------------
+    // Digits can't saturate the whole input layer, so probe with uniform
+    // rate vectors (Bernoulli probability = fraction) and plasticity off,
+    // isolating the encode → deliver → integrate pipeline the two paths
+    // actually differ in.
+    println!("\n-- uniform-input probe (plasticity off) --");
+    let probe = |delivery: CurrentDelivery, frac: f64| {
+        let device = Device::new(DeviceConfig::default().with_workers(workers));
+        let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 784, 1000)
+            .with_delivery(delivery);
+        let mut engine = WtaEngine::new(cfg, &device, 2019);
+        let rates = vec![frac * 2000.0; 784];
+        let started = Instant::now();
+        let counts = engine.present(&rates, 300.0, false);
+        let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        (wall_ms, counts)
+    };
+    let mut uniform_crossover: Option<f64> = None;
+    for frac in [0.05, 0.25, 0.5, 0.75, 1.0] {
+        let (dense_ms, dense_counts) = probe(CurrentDelivery::Dense, frac);
+        let (sparse_ms, sparse_counts) = probe(CurrentDelivery::Sparse, frac);
+        assert_eq!(dense_counts, sparse_counts, "divergence at active fraction {frac}");
+        let speedup = dense_ms / sparse_ms.max(1e-9);
+        println!("active fraction {frac:.2}  end-to-end speedup {speedup:.2}x");
+        if speedup < 1.0 && uniform_crossover.is_none() {
+            uniform_crossover = Some(frac);
+        }
+        speedups.push(SpeedupRecord {
+            metric: "uniform_probe".into(),
+            f_max_hz: frac * 2000.0,
+            active_fraction_mean: frac,
+            end_to_end_value: speedup,
+            delivery_path_value: speedup,
+            requirement: "reported".into(),
+            meets_requirement: true,
+            note: "uniform rates, plasticity off: isolates the delivery pipeline to locate \
+                   the dense/sparse crossover"
+                .into(),
+        });
+    }
+    match uniform_crossover {
+        Some(f) => println!("\ncrossover: prefer Dense above ~{f:.2} active fraction"),
+        None => println!("\nsparse never lost to dense, even with every input active"),
+    }
+
+    let path = results_dir().join("BENCH_sparse_delivery.json");
+    #[derive(Serialize)]
+    #[serde(untagged)]
+    enum Record {
+        Run(SparseVsDenseRecord),
+        Speedup(SpeedupRecord),
+    }
+    let all: Vec<Record> = records
+        .into_iter()
+        .map(Record::Run)
+        .chain(speedups.into_iter().map(Record::Speedup))
+        .collect();
+    write_json_records(&path, &all).expect("write bench record");
+    println!("\nwrote {}", path.display());
+}

@@ -1,11 +1,12 @@
 //! The simulated GPU device: allocation, kernel launch, profiling.
 
 use crate::buffer::{DeviceBuffer, TransferStats};
+use crate::fused::FusedCtx;
 use crate::grid::LaunchDims;
 use crate::pool::WorkerPool;
 use crate::profiler::{KernelProfiler, ProfileReport};
 use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 /// Configuration for a simulated device.
@@ -16,11 +17,15 @@ pub struct DeviceConfig {
     pub workers: usize,
     /// Threads per block for launches that do not specify geometry.
     pub block_size: usize,
-    /// Launches whose total work is below this many logical items run
-    /// inline on the calling thread: pool dispatch costs ~10 µs, so tiny
-    /// kernels are faster serial. Inline execution is observationally
-    /// identical — kernels are pure per-index functions, so results do not
-    /// depend on where they run.
+    /// Launches whose estimated *cost* is below this threshold run inline
+    /// on the calling thread: pool dispatch costs ~10 µs, so tiny kernels
+    /// are faster serial. Cost is measured in unit work items — an item
+    /// count scaled by the per-item kernel weight — so a short active list
+    /// with a heavy per-item kernel still dispatches to the pool (see the
+    /// `*_weighted` launch variants), while a long list of trivial items
+    /// stays inline. Inline execution is observationally identical —
+    /// kernels are pure per-index functions, so results do not depend on
+    /// where they run.
     pub min_parallel_items: usize,
     /// Whether to record per-kernel timings.
     pub profile: bool,
@@ -69,6 +74,42 @@ pub struct Device {
     config: DeviceConfig,
     profiler: KernelProfiler,
     transfers: Arc<Mutex<TransferStats>>,
+    scratch: Mutex<Vec<Vec<f64>>>,
+}
+
+/// A zero-initialised `f64` scratch buffer leased from the device's
+/// scratch pool (see [`Device::lease_scratch_f64`]). Dereferences to
+/// `[f64]`; dropping the lease returns the allocation to the pool so
+/// per-step temporaries (e.g. partial-sum blocks) never re-allocate in
+/// steady state.
+pub struct ScratchLease<'d> {
+    buf: Vec<f64>,
+    pool: &'d Mutex<Vec<Vec<f64>>>,
+}
+
+impl std::ops::Deref for ScratchLease<'_> {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for ScratchLease<'_> {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        &mut self.buf
+    }
+}
+
+impl Drop for ScratchLease<'_> {
+    fn drop(&mut self) {
+        self.pool.lock().push(std::mem::take(&mut self.buf));
+    }
+}
+
+impl std::fmt::Debug for ScratchLease<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScratchLease").field("len", &self.buf.len()).finish()
+    }
 }
 
 /// A raw-pointer wrapper that lets disjoint index ranges of one slice be
@@ -95,6 +136,7 @@ impl Device {
             config,
             profiler: KernelProfiler::new(),
             transfers: Arc::new(Mutex::new(TransferStats::default())),
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -138,6 +180,28 @@ impl Device {
         }
     }
 
+    /// Records one sample of a named profiler gauge — a per-step scalar
+    /// observation (e.g. the fraction of inputs active this step) whose
+    /// mean/min/max over the run is the quantity of interest. No-op when
+    /// profiling is disabled.
+    pub fn record_gauge(&self, name: &'static str, value: f64) {
+        if self.config.profile {
+            self.profiler.gauge(name, value);
+        }
+    }
+
+    /// Leases a zero-initialised `f64` scratch buffer of `len` elements
+    /// from the device's reuse pool. Dropping the lease returns the
+    /// allocation, so steady-state per-step temporaries (partial-sum
+    /// blocks, compaction staging) stop allocating after warm-up.
+    #[must_use]
+    pub fn lease_scratch_f64(&self, len: usize) -> ScratchLease<'_> {
+        let mut buf = self.scratch.lock().pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        ScratchLease { buf, pool: &self.scratch }
+    }
+
     /// Allocates a buffer of `len` elements initialized to `init`.
     #[must_use]
     pub fn alloc<T: Copy>(&self, label: &'static str, len: usize, init: T) -> DeviceBuffer<T> {
@@ -154,10 +218,11 @@ impl Device {
         LaunchDims::cover(n, self.config.block_size)
     }
 
-    /// The pool to dispatch on, or `None` when `work_items` is small enough
-    /// that inline execution wins.
-    fn pool_for(&self, work_items: usize) -> Option<&WorkerPool> {
-        if work_items < self.config.min_parallel_items {
+    /// The pool to dispatch on, or `None` when the estimated launch `cost`
+    /// (unit work items: element count × per-item kernel weight) is small
+    /// enough that inline execution wins.
+    fn pool_for(&self, cost: usize) -> Option<&WorkerPool> {
+        if cost < self.config.min_parallel_items {
             None
         } else {
             self.pool.as_ref()
@@ -170,8 +235,26 @@ impl Device {
     where
         K: Fn(usize) + Sync,
     {
+        self.launch_weighted(name, n, 1, kernel);
+    }
+
+    /// Like [`launch`](Self::launch), but the inline-vs-pool decision uses
+    /// `n × per_item_cost` instead of the bare item count. Use for short
+    /// index spaces with heavy per-item kernels (event-driven passes,
+    /// per-row scans) that would otherwise serialise inline.
+    pub fn launch_weighted<K>(
+        &self,
+        name: &'static str,
+        n: usize,
+        per_item_cost: usize,
+        kernel: K,
+    ) where
+        K: Fn(usize) + Sync,
+    {
         let dims = self.dims_for(n);
-        self.timed(name, n, || match self.pool_for(n) {
+        let cost = n.saturating_mul(per_item_cost.max(1));
+        let pool = self.pool_for(cost);
+        self.timed(name, n, 0, pool.is_some(), || match pool {
             None => (0..n).for_each(&kernel),
             Some(pool) => {
                 let workers = pool.workers();
@@ -195,10 +278,29 @@ impl Device {
         T: Send,
         K: Fn(usize, &mut T) + Sync,
     {
+        self.launch_slice_mut_weighted(name, data, 1, kernel);
+    }
+
+    /// Like [`launch_slice_mut`](Self::launch_slice_mut), but the
+    /// inline-vs-pool decision uses `data.len() × per_item_cost` — see
+    /// [`launch_weighted`](Self::launch_weighted).
+    pub fn launch_slice_mut_weighted<T, K>(
+        &self,
+        name: &'static str,
+        data: &mut [T],
+        per_item_cost: usize,
+        kernel: K,
+    ) where
+        T: Send,
+        K: Fn(usize, &mut T) + Sync,
+    {
         let n = data.len();
         let dims = self.dims_for(n);
+        let bytes = (std::mem::size_of_val(data) * 2) as u64;
         let base = SharedMut(data.as_mut_ptr());
-        self.timed(name, n, || match self.pool_for(n) {
+        let cost = n.saturating_mul(per_item_cost.max(1));
+        let pool = self.pool_for(cost);
+        self.timed(name, n, bytes, pool.is_some(), || match pool {
             None => {
                 // Serial path: plain iteration, no unsafe needed.
                 // SAFETY: `base` is unused here; iterate directly.
@@ -223,6 +325,36 @@ impl Device {
                         block += workers;
                     }
                 });
+            }
+        });
+    }
+
+    /// Runs a *fused* multi-stage kernel in at most one pool dispatch.
+    ///
+    /// Every worker executes `kernel` once with a [`FusedCtx`] carrying its
+    /// identity and the cross-stage barrier; the kernel partitions each
+    /// stage's index space itself via [`FusedCtx::chunk`] /
+    /// [`FusedCtx::strided`] and separates dependent stages with
+    /// [`FusedCtx::sync`]. Use [`crate::SharedSlice`] views for the buffers
+    /// the stages mutate. When the estimated `cost` (unit work items across all
+    /// stages) is below the dispatch threshold the kernel runs inline with
+    /// a single worker and no-op syncs — bit-identical by the usual
+    /// disjoint-index argument.
+    ///
+    /// `bytes` is the caller's estimate of data read + written, recorded in
+    /// the profiler's `bytes_touched` column.
+    pub fn launch_fused<K>(&self, name: &'static str, cost: usize, bytes: u64, kernel: K)
+    where
+        K: Fn(&FusedCtx<'_>) + Sync,
+    {
+        let pool = self.pool_for(cost);
+        self.timed(name, cost, bytes, pool.is_some(), || match pool {
+            None => kernel(&FusedCtx::inline()),
+            Some(pool) => {
+                let workers = pool.workers();
+                let barrier = Barrier::new(workers);
+                let barrier = &barrier;
+                pool.run(|wid| kernel(&FusedCtx::pooled(wid, workers, barrier)));
             }
         });
     }
@@ -257,8 +389,10 @@ impl Device {
         assert_eq!(data.len() % row_len, 0, "data not a whole number of rows");
         let rows = data.len() / row_len;
         let dims = LaunchDims::cover(rows, 1.max(self.config.block_size / 32));
+        let bytes = (std::mem::size_of_val(data) * 2) as u64;
         let base = SharedMut(data.as_mut_ptr());
-        self.timed(name, rows, || match self.pool_for(rows * row_len) {
+        let pool = self.pool_for(rows * row_len);
+        self.timed(name, rows, bytes, pool.is_some(), || match pool {
             None => {
                 // SAFETY: serial path, exclusive access.
                 let data = unsafe { std::slice::from_raw_parts_mut(base.0, rows * row_len) };
@@ -348,9 +482,12 @@ impl Device {
         // changes wall time.
         let row_block = 1.max(self.config.block_size / 32).min(1.max(n.div_ceil(4 * self.workers())));
         let dims = LaunchDims::cover(n, row_block);
+        let bytes =
+            (n * row_len * (std::mem::size_of::<A>() + std::mem::size_of::<B>()) * 2) as u64;
         let base_a = SharedMut(a.as_mut_ptr());
         let base_b = SharedMut(b.as_mut_ptr());
-        self.timed(name, n, || match self.pool_for(work_items) {
+        let pool = self.pool_for(work_items);
+        self.timed(name, n, bytes, pool.is_some(), || match pool {
             None => {
                 // SAFETY: serial path, exclusive access to both slices.
                 for (k, &r) in rows.iter().enumerate() {
@@ -412,7 +549,8 @@ impl Device {
         let map_ref = &map;
         {
             let base = SharedMut(partials.as_mut_ptr());
-            self.timed(name, n, || match self.pool_for(n) {
+            let pool = self.pool_for(n);
+            self.timed(name, n, 0, pool.is_some(), || match pool {
                 None => {
                     // SAFETY: serial path, exclusive access.
                     let parts = unsafe { std::slice::from_raw_parts_mut(base.0, dims.grid) };
@@ -448,11 +586,18 @@ impl Device {
             .fold(identity, combine)
     }
 
-    fn timed<F: FnOnce()>(&self, name: &'static str, threads: usize, f: F) {
+    fn timed<F: FnOnce()>(
+        &self,
+        name: &'static str,
+        threads: usize,
+        bytes: u64,
+        pooled: bool,
+        f: F,
+    ) {
         if self.config.profile {
             let start = Instant::now();
             f();
-            self.profiler.record(name, threads, start.elapsed());
+            self.profiler.record(name, threads, bytes, pooled, start.elapsed());
         } else {
             f();
         }
@@ -639,5 +784,110 @@ mod tests {
         assert_eq!(d.profile().counter("skipped"), Some(111));
         d.reset_profile();
         assert_eq!(d.profile().counter("skipped"), None);
+    }
+
+    #[test]
+    fn fused_launch_barrier_orders_stages() {
+        use crate::fused::SharedSlice;
+        for workers in [1, 2, 7] {
+            let d = dev(workers);
+            let n = 10_000usize;
+            let mut a = vec![0u64; n];
+            let mut b = vec![0u64; n];
+            {
+                let av = SharedSlice::new(&mut a);
+                let bv = SharedSlice::new(&mut b);
+                d.launch_fused("fused_test", 2 * n, 0, |ctx| {
+                    for i in ctx.chunk(n) {
+                        // SAFETY: chunk() partitions 0..n across workers.
+                        unsafe { av.write(i, i as u64) };
+                    }
+                    // Stage 2 reads a neighbour written by another worker,
+                    // so it is only correct if sync() is a real barrier.
+                    ctx.sync();
+                    for i in ctx.strided(n) {
+                        // SAFETY: strided() partitions 0..n; reads of `av`
+                        // race with nothing — stage 1 writes are ordered by
+                        // the barrier.
+                        let v = unsafe { av.read((i + 1) % n) };
+                        unsafe { bv.write(i, v * 2) };
+                    }
+                });
+            }
+            for (i, &v) in b.iter().enumerate() {
+                assert_eq!(v, (((i + 1) % n) * 2) as u64, "workers={workers} i={i}");
+            }
+            let stats = *d.profile().get("fused_test").unwrap();
+            assert_eq!(stats.launches, 1);
+            assert_eq!(stats.pooled_launches, u64::from(workers > 1));
+        }
+    }
+
+    #[test]
+    fn fused_launch_small_cost_runs_inline() {
+        use crate::fused::SharedSlice;
+        let d = dev(4);
+        let mut hits = vec![0u32; 8];
+        {
+            let view = SharedSlice::new(&mut hits);
+            d.launch_fused("tiny_fused", 8, 0, |ctx| {
+                assert_eq!(ctx.workers(), 1, "below-threshold fused launch must run inline");
+                for i in ctx.chunk(8) {
+                    // SAFETY: single inline worker.
+                    unsafe { *view.get_mut(i) += 1 };
+                }
+                ctx.sync();
+            });
+        }
+        assert!(hits.iter().all(|&h| h == 1));
+        assert_eq!(d.profile().get("tiny_fused").unwrap().pooled_launches, 0);
+    }
+
+    #[test]
+    fn weighted_launch_dispatches_small_heavy_kernels_to_pool() {
+        let d = dev(4);
+        let mut data = vec![0u8; 64];
+        // 64 items at weight 1 is far below the threshold → inline.
+        d.launch_slice_mut("light", &mut data, |_, v| *v += 1);
+        // The same 64 items with a heavy per-item cost estimate → pooled.
+        d.launch_slice_mut_weighted("heavy", &mut data, 1 << 10, |_, v| *v += 1);
+        let report = d.profile();
+        assert_eq!(report.get("light").unwrap().pooled_launches, 0);
+        assert_eq!(report.get("heavy").unwrap().pooled_launches, 1);
+        assert!(data.iter().all(|&v| v == 2));
+    }
+
+    #[test]
+    fn scratch_leases_zero_and_reuse() {
+        let d = dev(1);
+        {
+            let mut lease = d.lease_scratch_f64(128);
+            assert_eq!(lease.len(), 128);
+            assert!(lease.iter().all(|&v| v == 0.0));
+            lease[3] = 42.0;
+        }
+        let lease = d.lease_scratch_f64(64);
+        assert!(lease.iter().all(|&v| v == 0.0), "reused scratch must be re-zeroed");
+        drop(lease);
+        let empty = d.lease_scratch_f64(0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn gauges_flow_through_device() {
+        let d = dev(2);
+        d.record_gauge("occupancy", 0.25);
+        d.record_gauge("occupancy", 0.75);
+        let g = *d.profile().gauge("occupancy").unwrap();
+        assert_eq!(g.samples, 2);
+        assert!((g.mean() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_touched_estimated_for_typed_launches() {
+        let d = dev(1);
+        let mut data = vec![0.0f64; 100];
+        d.launch_slice_mut("touch", &mut data, |_, v| *v = 1.0);
+        assert_eq!(d.profile().get("touch").unwrap().bytes_touched, 100 * 8 * 2);
     }
 }

@@ -1,0 +1,255 @@
+//! Cooperative fused launches: the building blocks that let one worker-pool
+//! dispatch execute several barrier-separated kernel stages, the simulated
+//! analogue of CUDA kernel fusion with cooperative grid synchronisation.
+//!
+//! A classic launch pays the fixed dispatch latency once per kernel; a
+//! simulation step made of 5–7 small kernels pays it 5–7 times. A *fused*
+//! launch hands every worker a [`FusedCtx`] and runs one closure that walks
+//! through multiple stages, calling [`FusedCtx::sync`] between stages that
+//! have cross-worker data dependencies. Determinism is unchanged: each
+//! stage still partitions its index space so no two workers touch the same
+//! element, and [`crate::Device::launch_fused`] runs the same closure
+//! inline (one worker, no-op syncs) when the estimated cost is below the
+//! dispatch threshold.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::Barrier;
+
+/// Per-worker execution context inside a fused launch.
+///
+/// Provides the worker's identity, two index-space partitioning helpers
+/// ([`chunk`](Self::chunk) and [`strided`](Self::strided)) and the
+/// cross-stage barrier ([`sync`](Self::sync)). When the launch runs inline
+/// there is exactly one worker and `sync` is a no-op, so fused kernels are
+/// written once and behave identically on both paths.
+pub struct FusedCtx<'a> {
+    worker: usize,
+    workers: usize,
+    barrier: Option<&'a Barrier>,
+}
+
+impl<'a> FusedCtx<'a> {
+    /// Context for the inline (single-worker) path.
+    pub(crate) fn inline() -> Self {
+        FusedCtx { worker: 0, workers: 1, barrier: None }
+    }
+
+    /// Context for worker `worker` of a pooled dispatch over `workers`
+    /// workers sharing `barrier`.
+    pub(crate) fn pooled(worker: usize, workers: usize, barrier: &'a Barrier) -> Self {
+        FusedCtx { worker, workers, barrier: Some(barrier) }
+    }
+
+    /// This worker's id in `0..workers()`.
+    #[must_use]
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Number of workers executing this launch (1 on the inline path).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Barrier between stages: blocks until every worker of the launch has
+    /// arrived, establishing happens-before for all writes made in the
+    /// previous stage. No-op on the inline path.
+    pub fn sync(&self) {
+        if let Some(barrier) = self.barrier {
+            barrier.wait();
+        }
+    }
+
+    /// This worker's contiguous share of an index space `0..n`: the spaces
+    /// of all workers partition `0..n`, sizes differ by at most one, and
+    /// ranges are ascending in worker id. Use for stages where each worker
+    /// should stream a cache-friendly contiguous region.
+    #[must_use]
+    pub fn chunk(&self, n: usize) -> Range<usize> {
+        let per = n / self.workers;
+        let rem = n % self.workers;
+        let start = self.worker * per + self.worker.min(rem);
+        let len = per + usize::from(self.worker < rem);
+        start..start + len
+    }
+
+    /// This worker's strided share of an index space `0..n`: indices
+    /// `worker, worker + workers, …`. Use for stages whose per-index cost
+    /// varies, so expensive indices spread over all workers.
+    pub fn strided(&self, n: usize) -> impl Iterator<Item = usize> + '_ {
+        (self.worker..n).step_by(self.workers)
+    }
+}
+
+/// A shareable view over a mutable slice for fused kernels.
+///
+/// Fused stages need several slices mutable at once from every worker; the
+/// borrow checker cannot see the per-stage index partitioning, so this
+/// wrapper moves the disjointness obligation to the caller, exactly like
+/// raw device pointers in a real CUDA kernel.
+///
+/// # Safety contract
+///
+/// All accessors are `unsafe`; the caller must guarantee that within one
+/// stage (between two [`FusedCtx::sync`] points, or launch start/end) no
+/// element is written by one worker while any other worker reads or writes
+/// it. Conflicting accesses in *different* stages are fine — the barrier
+/// orders them.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is partitioned by index per the type-level contract; the
+// wrapper itself hands out only caller-chosen elements.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+// SAFETY: as above.
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps `slice`; the wrapper borrows it mutably for `'a`.
+    #[must_use]
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    /// Length of the underlying slice.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable access to element `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < len()`, and no other worker may access element `i` in this
+    /// stage (see the type-level contract).
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn get_mut(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len, "SharedSlice index {i} out of range {}", self.len);
+        unsafe { &mut *self.ptr.add(i) }
+    }
+
+    /// Reads element `i` by copy.
+    ///
+    /// # Safety
+    ///
+    /// `i < len()`, and no other worker may *write* element `i` in this
+    /// stage.
+    #[must_use]
+    pub unsafe fn read(&self, i: usize) -> T
+    where
+        T: Copy,
+    {
+        debug_assert!(i < self.len, "SharedSlice index {i} out of range {}", self.len);
+        unsafe { *self.ptr.add(i) }
+    }
+
+    /// Writes element `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < len()`, and no other worker may access element `i` in this
+    /// stage.
+    pub unsafe fn write(&self, i: usize, value: T) {
+        debug_assert!(i < self.len, "SharedSlice index {i} out of range {}", self.len);
+        unsafe { self.ptr.add(i).write(value) };
+    }
+
+    /// Mutable access to the sub-slice `range`.
+    ///
+    /// # Safety
+    ///
+    /// `range` must be in bounds, and no other worker may access any
+    /// element of `range` in this stage.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, range: Range<usize>) -> &mut [T] {
+        debug_assert!(
+            range.start <= range.end && range.end <= self.len,
+            "SharedSlice range {range:?} out of range {}",
+            self.len
+        );
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_partitions_exactly() {
+        for workers in 1..=9usize {
+            for n in [0usize, 1, 7, 64, 1000] {
+                let barrier = Barrier::new(1);
+                let mut covered = vec![0u32; n];
+                for w in 0..workers {
+                    let ctx = FusedCtx { worker: w, workers, barrier: Some(&barrier) };
+                    for i in ctx.chunk(n) {
+                        covered[i] += 1;
+                    }
+                }
+                assert!(covered.iter().all(|&c| c == 1), "workers={workers} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sizes_differ_by_at_most_one() {
+        let barrier = Barrier::new(1);
+        let sizes: Vec<usize> = (0..5)
+            .map(|w| FusedCtx { worker: w, workers: 5, barrier: Some(&barrier) }.chunk(13).len())
+            .collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 13);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+    }
+
+    #[test]
+    fn strided_partitions_exactly() {
+        let barrier = Barrier::new(1);
+        let mut covered = vec![0u32; 23];
+        for w in 0..4 {
+            let ctx = FusedCtx { worker: w, workers: 4, barrier: Some(&barrier) };
+            for i in ctx.strided(23) {
+                covered[i] += 1;
+            }
+        }
+        assert!(covered.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn inline_ctx_owns_the_whole_space() {
+        let ctx = FusedCtx::inline();
+        assert_eq!(ctx.worker(), 0);
+        assert_eq!(ctx.workers(), 1);
+        assert_eq!(ctx.chunk(10), 0..10);
+        assert_eq!(ctx.strided(3).collect::<Vec<_>>(), vec![0, 1, 2]);
+        ctx.sync(); // must not deadlock or panic
+    }
+
+    #[test]
+    fn shared_slice_round_trips() {
+        let mut data = vec![0.0f64; 8];
+        let view = SharedSlice::new(&mut data);
+        assert_eq!(view.len(), 8);
+        assert!(!view.is_empty());
+        // SAFETY: single-threaded test, disjoint by construction.
+        unsafe {
+            view.write(3, 1.5);
+            *view.get_mut(4) += 2.0;
+            view.slice_mut(5..7).fill(9.0);
+            assert_eq!(view.read(3), 1.5);
+        }
+        assert_eq!(data, vec![0.0, 0.0, 0.0, 1.5, 2.0, 9.0, 9.0, 0.0]);
+    }
+}

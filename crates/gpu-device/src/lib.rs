@@ -36,14 +36,16 @@
 
 mod buffer;
 mod device;
+mod fused;
 mod grid;
 mod philox;
 mod pool;
 mod profiler;
 
 pub use buffer::{DeviceBuffer, TransferStats};
-pub use device::{Device, DeviceConfig};
+pub use device::{Device, DeviceConfig, ScratchLease};
+pub use fused::{FusedCtx, SharedSlice};
 pub use grid::LaunchDims;
 pub use philox::{Philox4x32, PhiloxStream};
 pub use pool::WorkerPool;
-pub use profiler::{KernelProfiler, KernelStats, ProfileReport};
+pub use profiler::{GaugeStats, KernelProfiler, KernelStats, ProfileReport};

@@ -10,10 +10,19 @@ use std::time::Duration;
 pub struct KernelStats {
     /// Number of launches.
     pub launches: u64,
+    /// Launches that actually dispatched to the worker pool (the rest ran
+    /// inline because their estimated cost was below the dispatch
+    /// threshold). Lets tests and benches verify the inline-vs-pool
+    /// decision instead of inferring it from wall time.
+    pub pooled_launches: u64,
     /// Total wall time across launches, in nanoseconds.
     pub total_ns: u64,
     /// Total logical threads executed.
     pub threads: u64,
+    /// Estimated bytes read + written across launches. This is a *model*
+    /// number derived from the launch shape (elements × element size), not
+    /// a hardware measurement — launches over opaque index spaces record 0.
+    pub bytes_touched: u64,
 }
 
 impl KernelStats {
@@ -30,15 +39,55 @@ impl KernelStats {
     pub fn total(&self) -> Duration {
         Duration::from_nanos(self.total_ns)
     }
+
+    /// Estimated aggregate bandwidth (bytes touched / total time), or 0
+    /// when nothing was timed.
+    #[must_use]
+    pub fn bytes_per_second(&self) -> f64 {
+        if self.total_ns == 0 {
+            0.0
+        } else {
+            self.bytes_touched as f64 / (self.total_ns as f64 * 1e-9)
+        }
+    }
+}
+
+/// Accumulated samples of one named gauge: a per-launch scalar observation
+/// (e.g. the fraction of inputs active this step) where the *mean* over
+/// samples is the quantity of interest, unlike monotonic counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Serialize)]
+pub struct GaugeStats {
+    /// Sum of all recorded samples.
+    pub sum: f64,
+    /// Number of samples recorded.
+    pub samples: u64,
+    /// Smallest sample seen.
+    pub min: f64,
+    /// Largest sample seen.
+    pub max: f64,
+}
+
+impl GaugeStats {
+    /// Mean over all samples, or 0 when nothing was recorded.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum / self.samples as f64
+        }
+    }
 }
 
 /// Collects per-kernel-name launch counts and cumulative wall time, plus
 /// named monotonic counters for work that kernels *avoid* (skipped or
-/// deferred items in lazy execution paths).
+/// deferred items in lazy execution paths) and named gauges for sampled
+/// scalars (e.g. active-list occupancy).
 #[derive(Debug, Default)]
 pub struct KernelProfiler {
     entries: Mutex<HashMap<&'static str, KernelStats>>,
     counters: Mutex<HashMap<&'static str, u64>>,
+    gauges: Mutex<HashMap<&'static str, GaugeStats>>,
 }
 
 impl KernelProfiler {
@@ -48,18 +97,44 @@ impl KernelProfiler {
         Self::default()
     }
 
-    /// Records one launch of `name` covering `threads` logical threads.
-    pub fn record(&self, name: &'static str, threads: usize, elapsed: Duration) {
+    /// Records one launch of `name` covering `threads` logical threads that
+    /// touched an estimated `bytes` of data; `pooled` says whether it
+    /// dispatched to the worker pool or ran inline.
+    pub fn record(
+        &self,
+        name: &'static str,
+        threads: usize,
+        bytes: u64,
+        pooled: bool,
+        elapsed: Duration,
+    ) {
         let mut entries = self.entries.lock();
         let e = entries.entry(name).or_default();
         e.launches += 1;
+        e.pooled_launches += u64::from(pooled);
         e.total_ns += elapsed.as_nanos() as u64;
         e.threads += threads as u64;
+        e.bytes_touched += bytes;
     }
 
     /// Adds `delta` to the named monotonic counter.
     pub fn bump(&self, name: &'static str, delta: u64) {
         *self.counters.lock().entry(name).or_default() += delta;
+    }
+
+    /// Records one sample of the named gauge.
+    pub fn gauge(&self, name: &'static str, value: f64) {
+        let mut gauges = self.gauges.lock();
+        let g = gauges.entry(name).or_default();
+        if g.samples == 0 {
+            g.min = value;
+            g.max = value;
+        } else {
+            g.min = g.min.min(value);
+            g.max = g.max.max(value);
+        }
+        g.sum += value;
+        g.samples += 1;
     }
 
     /// Snapshot of all kernels, sorted by descending total time.
@@ -79,13 +154,21 @@ impl KernelProfiler {
             .map(|(name, value)| ((*name).to_owned(), *value))
             .collect();
         counters.sort();
-        ProfileReport { kernels, counters }
+        let mut gauges: Vec<(String, GaugeStats)> = self
+            .gauges
+            .lock()
+            .iter()
+            .map(|(name, stats)| ((*name).to_owned(), *stats))
+            .collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        ProfileReport { kernels, counters, gauges }
     }
 
-    /// Clears all recorded entries and counters.
+    /// Clears all recorded entries, counters and gauges.
     pub fn reset(&self) {
         self.entries.lock().clear();
         self.counters.lock().clear();
+        self.gauges.lock().clear();
     }
 }
 
@@ -96,6 +179,8 @@ pub struct ProfileReport {
     pub kernels: Vec<(String, KernelStats)>,
     /// (counter name, value), sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// (gauge name, stats), sorted by name.
+    pub gauges: Vec<(String, GaugeStats)>,
 }
 
 impl ProfileReport {
@@ -116,25 +201,71 @@ impl ProfileReport {
     pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
+
+    /// Looks up one gauge's stats by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<&GaugeStats> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+}
+
+/// Renders a byte count with a binary-prefix unit for the summary table.
+fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
 }
 
 impl std::fmt::Display for ProfileReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{:<28} {:>10} {:>14} {:>12}", "kernel", "launches", "total", "mean")?;
+        writeln!(
+            f,
+            "{:<28} {:>10} {:>8} {:>14} {:>12} {:>12}",
+            "kernel", "launches", "pooled", "total", "mean", "bytes"
+        )?;
         for (name, s) in &self.kernels {
             writeln!(
                 f,
-                "{:<28} {:>10} {:>12.3?} {:>12.3?}",
+                "{:<28} {:>10} {:>8} {:>12.3?} {:>12.3?} {:>12}",
                 name,
                 s.launches,
+                s.pooled_launches,
                 s.total(),
-                s.mean()
+                s.mean(),
+                human_bytes(s.bytes_touched)
             )?;
         }
         if !self.counters.is_empty() {
             writeln!(f, "{:<28} {:>10}", "counter", "value")?;
             for (name, value) in &self.counters {
                 writeln!(f, "{name:<28} {value:>10}")?;
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(
+                f,
+                "{:<28} {:>10} {:>10} {:>10} {:>10}",
+                "gauge", "mean", "min", "max", "samples"
+            )?;
+            for (name, g) in &self.gauges {
+                writeln!(
+                    f,
+                    "{:<28} {:>10.4} {:>10.4} {:>10.4} {:>10}",
+                    name,
+                    g.mean(),
+                    g.min,
+                    g.max,
+                    g.samples
+                )?;
             }
         }
         Ok(())
@@ -148,13 +279,15 @@ mod tests {
     #[test]
     fn records_accumulate() {
         let p = KernelProfiler::new();
-        p.record("lif_step", 1000, Duration::from_micros(10));
-        p.record("lif_step", 1000, Duration::from_micros(30));
-        p.record("stdp", 784, Duration::from_micros(5));
+        p.record("lif_step", 1000, 8000, true, Duration::from_micros(10));
+        p.record("lif_step", 1000, 8000, false, Duration::from_micros(30));
+        p.record("stdp", 784, 0, false, Duration::from_micros(5));
         let r = p.report();
         let lif = r.get("lif_step").unwrap();
         assert_eq!(lif.launches, 2);
+        assert_eq!(lif.pooled_launches, 1);
         assert_eq!(lif.threads, 2000);
+        assert_eq!(lif.bytes_touched, 16_000);
         assert_eq!(lif.total(), Duration::from_micros(40));
         assert_eq!(lif.mean(), Duration::from_micros(20));
     }
@@ -162,8 +295,8 @@ mod tests {
     #[test]
     fn report_sorted_by_total_time() {
         let p = KernelProfiler::new();
-        p.record("small", 1, Duration::from_nanos(10));
-        p.record("big", 1, Duration::from_millis(1));
+        p.record("small", 1, 0, false, Duration::from_nanos(10));
+        p.record("big", 1, 0, false, Duration::from_millis(1));
         let r = p.report();
         assert_eq!(r.kernels[0].0, "big");
         assert_eq!(r.total(), Duration::from_nanos(1_000_010));
@@ -172,11 +305,13 @@ mod tests {
     #[test]
     fn reset_clears() {
         let p = KernelProfiler::new();
-        p.record("k", 1, Duration::from_nanos(1));
+        p.record("k", 1, 0, false, Duration::from_nanos(1));
         p.bump("c", 3);
+        p.gauge("g", 0.5);
         p.reset();
         assert!(p.report().kernels.is_empty());
         assert!(p.report().counters.is_empty());
+        assert!(p.report().gauges.is_empty());
     }
 
     #[test]
@@ -194,15 +329,50 @@ mod tests {
     }
 
     #[test]
+    fn gauges_track_mean_min_max() {
+        let p = KernelProfiler::new();
+        p.gauge("active_fraction", 0.02);
+        p.gauge("active_fraction", 0.06);
+        p.gauge("active_fraction", 0.04);
+        let r = p.report();
+        let g = r.gauge("active_fraction").unwrap();
+        assert_eq!(g.samples, 3);
+        assert!((g.mean() - 0.04).abs() < 1e-12);
+        assert_eq!(g.min, 0.02);
+        assert_eq!(g.max, 0.06);
+        assert!(r.to_string().contains("active_fraction"));
+        assert!(r.gauge("missing").is_none());
+    }
+
+    #[test]
     fn empty_stats_mean_is_zero() {
         assert_eq!(KernelStats::default().mean(), Duration::ZERO);
+        assert_eq!(GaugeStats::default().mean(), 0.0);
+        assert_eq!(KernelStats::default().bytes_per_second(), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_estimate_uses_bytes_and_time() {
+        let p = KernelProfiler::new();
+        p.record("k", 1, 1_000_000, true, Duration::from_millis(1));
+        let r = p.report();
+        let bps = r.get("k").unwrap().bytes_per_second();
+        assert!((bps - 1e9).abs() / 1e9 < 1e-6);
+    }
+
+    #[test]
+    fn human_bytes_renders_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(2048), "2.0 KiB");
+        assert_eq!(human_bytes(3 * 1024 * 1024), "3.0 MiB");
     }
 
     #[test]
     fn display_contains_kernel_names() {
         let p = KernelProfiler::new();
-        p.record("encode_inputs", 784, Duration::from_micros(3));
+        p.record("encode_inputs", 784, 0, false, Duration::from_micros(3));
         let text = p.report().to_string();
         assert!(text.contains("encode_inputs"));
+        assert!(text.contains("pooled"));
     }
 }

@@ -273,6 +273,37 @@ impl std::fmt::Display for PlasticityExecution {
     }
 }
 
+/// How the engine delivers synaptic current each step.
+///
+/// Both modes compute the *same canonical sum* — each neuron's incoming
+/// current is accumulated over the step's spiking inputs in ascending input
+/// order, folded in fixed-size blocks — so they are **bit-identical** for
+/// the same seed and at any worker count (see DESIGN.md §sparse-delivery).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CurrentDelivery {
+    /// Scan every neuron's full receptive field each step, gating each
+    /// synapse on its input's spike flag: `O(n_inputs × n_excitatory)` per
+    /// step regardless of activity. This is the reference path the
+    /// differential tests treat as the oracle.
+    Dense,
+    /// Deliver current *from spikes to neurons*: compact the step's spiking
+    /// inputs into an active list and gather over `active × n_excitatory`
+    /// through a transposed (neuron-major) conductance view, so per-step
+    /// delivery work scales with input activity (well under 2% of inputs at
+    /// the paper's 1–22 Hz baseline rates).
+    #[default]
+    Sparse,
+}
+
+impl std::fmt::Display for CurrentDelivery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CurrentDelivery::Dense => f.write_str("dense"),
+            CurrentDelivery::Sparse => f.write_str("sparse"),
+        }
+    }
+}
+
 /// Which plasticity rule drives learning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum RuleKind {
@@ -366,6 +397,12 @@ pub struct NetworkConfig {
     /// eager path.
     #[serde(default)]
     pub plasticity: PlasticityExecution,
+    /// How synaptic current is delivered each step (dense reference scan or
+    /// the sparse active-list gather). Defaults to
+    /// [`CurrentDelivery::Sparse`]; the two are bit-identical for the same
+    /// seed.
+    #[serde(default)]
+    pub delivery: CurrentDelivery,
     /// Update magnitudes (Eqs. 4–5 or fixed step).
     pub magnitudes: StdpMagnitudes,
     /// Stochastic acceptance parameters (Eqs. 6–7); also used by the
@@ -529,6 +566,7 @@ impl NetworkConfig {
             dt_ms: 0.5,
             rule: RuleKind::Stochastic,
             plasticity: PlasticityExecution::default(),
+            delivery: CurrentDelivery::default(),
             magnitudes,
             stochastic,
             g_min,
@@ -560,6 +598,13 @@ impl NetworkConfig {
     #[must_use]
     pub fn with_plasticity(mut self, plasticity: PlasticityExecution) -> Self {
         self.plasticity = plasticity;
+        self
+    }
+
+    /// Switches the current-delivery strategy.
+    #[must_use]
+    pub fn with_delivery(mut self, delivery: CurrentDelivery) -> Self {
+        self.delivery = delivery;
         self
     }
 
@@ -727,6 +772,21 @@ mod tests {
         assert_eq!(restored.plasticity, PlasticityExecution::Lazy);
         assert_eq!(format!("{}", PlasticityExecution::Lazy), "lazy");
         assert_eq!(format!("{}", PlasticityExecution::Eager), "eager");
+    }
+
+    #[test]
+    fn delivery_defaults_to_sparse_and_deserializes_when_absent() {
+        let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 16, 4);
+        assert_eq!(cfg.delivery, CurrentDelivery::Sparse);
+        assert_eq!(cfg.with_delivery(CurrentDelivery::Dense).delivery, CurrentDelivery::Dense);
+        // Configs serialized before the field existed must still load.
+        let mut json: serde_json::Value =
+            serde_json::to_value(NetworkConfig::from_preset(Preset::Bit8, 16, 4)).unwrap();
+        json.as_object_mut().unwrap().remove("delivery");
+        let restored: NetworkConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(restored.delivery, CurrentDelivery::Sparse);
+        assert_eq!(format!("{}", CurrentDelivery::Sparse), "sparse");
+        assert_eq!(format!("{}", CurrentDelivery::Dense), "dense");
     }
 
     #[test]

@@ -67,12 +67,12 @@ pub mod streams {
 /// Convenience re-exports of the types most callers need.
 pub mod prelude {
     pub use crate::config::{
-        LifParams, NetworkConfig, PlasticityExecution, Precision, Preset, RuleKind,
-        StdpMagnitudes, StochasticParams,
+        CurrentDelivery, LifParams, NetworkConfig, PlasticityExecution, Precision, Preset,
+        RuleKind, StdpMagnitudes, StochasticParams,
     };
     pub use crate::neuron::{LifNeuron, NeuronModel};
     pub use crate::sim::{SpikeRaster, WtaEngine};
     pub use crate::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp};
-    pub use crate::synapse::SynapseMatrix;
+    pub use crate::synapse::{SynapseMatrix, TransposedConductances};
     pub use crate::SnnError;
 }

@@ -1,14 +1,31 @@
 //! The winner-take-all learning engine (Fig. 2/3 of the paper).
 
 use crate::config::{
-    InhibitionMode, NetworkConfig, NeuronModelKind, PlasticityExecution, RuleKind,
+    CurrentDelivery, InhibitionMode, LifParams, NetworkConfig, NeuronModelKind,
+    PlasticityExecution, RuleKind,
 };
 use crate::neuron::{AdexNeuron, IzhikevichNeuron, LifNeuron, NeuronModel, NeuronState};
 use crate::sim::SpikeRaster;
 use crate::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp};
-use crate::synapse::{PlasticityLedger, PostEvent, SettleCtx, SynapseMatrix};
+use crate::synapse::{
+    PlasticityLedger, PostEvent, SettleCtx, SynapseMatrix, TransposedConductances,
+};
 use crate::SnnError;
-use gpu_device::{Device, Philox4x32};
+use gpu_device::{Device, DeviceBuffer, Philox4x32, SharedSlice};
+
+/// Canonical summation block of the current-delivery kernels: both the
+/// dense and the sparse path fold this step's active (spiking) inputs —
+/// taken in ascending index order — into per-block partial sums of exactly
+/// this many spikes, then add the blocks to the decayed current in
+/// ascending block order. The block structure depends only on the data,
+/// never on the worker count or the delivery mode, which is what makes
+/// `Dense` and `Sparse` bit-identical at any parallelism.
+const SPIKE_BLOCK: usize = 32;
+
+/// Post-neuron tile width of the sparse scatter stage: each work item owns
+/// one `(spike block × neuron tile)` rectangle of the partial-sum matrix,
+/// so no two workers ever write the same partial cell.
+const POST_TILE: usize = 256;
 
 /// Per-excitatory-neuron dynamic state, kept as an array of structs so the
 /// neuron-update kernel touches one cache line per neuron.
@@ -46,7 +63,19 @@ pub struct WtaEngine<'d> {
     i_syn: Vec<f64>,
     last_pre: Vec<f64>,
     input_spiked: Vec<u8>,
-    spiking_inputs: Vec<u32>,
+    /// Compacted ascending indices of this step's spiking inputs (the
+    /// *active-spike list*); only the prefix written by the fused
+    /// encode+compact kernel each step is meaningful.
+    spike_list: DeviceBuffer<u32>,
+    /// Number of valid entries in [`Self::spike_list`] this step.
+    active_inputs: usize,
+    /// Per-worker spike counts feeding the compaction's prefix-offset pass.
+    worker_slots: Vec<u32>,
+    /// Neuron-major mirror of the synapse matrix, present only under
+    /// [`CurrentDelivery::Sparse`]; kept bit-coherent with the row-major
+    /// learning-side matrix by a rectangle refresh after every
+    /// matrix-mutating pass.
+    transposed: Option<TransposedConductances>,
     spiking_posts: Vec<u32>,
     /// Resolved execution strategy: `cfg.plasticity`, downgraded to `Eager`
     /// when the rule consumes pre-side events (the deferral protocol only
@@ -127,7 +156,12 @@ impl<'d> WtaEngine<'d> {
             PlasticityExecution::Lazy => PlasticityLedger::new(cfg.n_inputs, cfg.n_excitatory),
             PlasticityExecution::Eager => PlasticityLedger::new(cfg.n_inputs, 0),
         };
+        let transposed = match cfg.delivery {
+            CurrentDelivery::Sparse => Some(TransposedConductances::new(&synapses)),
+            CurrentDelivery::Dense => None,
+        };
         Ok(WtaEngine {
+            transposed,
             exec,
             ledger,
             inh_cells,
@@ -136,7 +170,9 @@ impl<'d> WtaEngine<'d> {
             i_syn: vec![0.0; cfg.n_excitatory],
             last_pre: vec![f64::NEG_INFINITY; cfg.n_inputs],
             input_spiked: vec![0; cfg.n_inputs],
-            spiking_inputs: Vec::with_capacity(cfg.n_inputs),
+            spike_list: device.alloc("spike_list", cfg.n_inputs, 0u32),
+            active_inputs: 0,
+            worker_slots: vec![0; device.workers()],
             spiking_posts: Vec::with_capacity(cfg.n_excitatory),
             philox: Philox4x32::new(seed),
             time_ms: 0.0,
@@ -166,6 +202,12 @@ impl<'d> WtaEngine<'d> {
         self.exec
     }
 
+    /// The current-delivery strategy in effect (`cfg.delivery`).
+    #[must_use]
+    pub fn current_delivery(&self) -> CurrentDelivery {
+        self.cfg.delivery
+    }
+
     /// The plastic synapse matrix.
     ///
     /// The matrix is always fully settled here: the lazy path flushes its
@@ -186,6 +228,9 @@ impl<'d> WtaEngine<'d> {
         assert_eq!(synapses.n_post(), self.cfg.n_excitatory, "post population mismatch");
         debug_assert!(self.ledger.is_idle(), "replacing an unsettled synapse matrix");
         self.synapses = synapses;
+        if self.transposed.is_some() {
+            self.transposed = Some(TransposedConductances::new(&self.synapses));
+        }
     }
 
     /// Current simulated time (ms).
@@ -257,6 +302,10 @@ impl<'d> WtaEngine<'d> {
                 }
             },
         );
+        if let Some(gt) = &mut self.transposed {
+            let cells = gt.refresh(&self.synapses, None, None);
+            self.device.bump_counter("transpose_cells_refreshed", cells);
+        }
     }
 
     /// Resets membrane potentials, synaptic currents, inhibition, and the
@@ -343,6 +392,10 @@ impl<'d> WtaEngine<'d> {
         );
         self.device.bump_counter("stdp_flush_rows", active.len() as u64);
         self.device.bump_counter("stdp_updates_settled_at_flush", outstanding);
+        if let Some(gt) = &mut self.transposed {
+            let cells = gt.refresh(&self.synapses, Some(active), None);
+            self.device.bump_counter("transpose_cells_refreshed", cells);
+        }
         self.ledger.clear_settled();
     }
 
@@ -363,7 +416,15 @@ impl<'d> WtaEngine<'d> {
         last_pre: &[f64],
         columns: Option<&[u32]>,
     ) {
-        let work = rows.len() * columns.map_or(n_pre, <[u32]>::len);
+        // The per-row settle work is pending events × touched columns, not
+        // just the row count — a short active list with deep event queues
+        // still deserves the pool.
+        let cols_len = columns.map_or(n_pre, <[u32]>::len);
+        let work = rows
+            .iter()
+            .map(|&j| events[j as usize].len())
+            .sum::<usize>()
+            .saturating_mul(cols_len);
         device.launch_gather_rows_mut(name, rows, g, applied, n_pre, work, |_k, j, g_row, a_row| {
             let evs = events[j].as_slice();
             match columns {
@@ -390,28 +451,59 @@ impl<'d> WtaEngine<'d> {
         let philox = self.philox;
         let n_pre = self.cfg.n_inputs;
 
-        // (1) Input encoding kernel: Bernoulli(p) per train from the
-        // train's own counter stream.
+        // (1) Fused encode + compact kernel: Bernoulli(p) per train from
+        // the train's own counter stream, then a two-phase parallel
+        // compaction of the spiking indices into the active-spike list.
+        // Workers own contiguous ascending chunks and write their spikes at
+        // an exclusive prefix offset of the per-worker counts, so the list
+        // is globally ascending at any worker count.
         {
+            self.worker_slots.fill(0);
             let p_spike_ref = p_spike;
-            self.device.launch_slice_mut("encode_inputs", &mut self.input_spiked, |i, s| {
-                let u = philox.uniform(STREAM_KIND_INPUT | i as u64, step);
-                *s = u8::from(u < p_spike_ref[i]);
+            let spiked = SharedSlice::new(&mut self.input_spiked);
+            let list = SharedSlice::new(self.spike_list.as_mut_slice());
+            let slots = SharedSlice::new(&mut self.worker_slots);
+            let bytes = (n_pre * (8 + 2 + 4)) as u64;
+            self.device.launch_fused("encode_compact", n_pre * 2, bytes, |ctx| {
+                let chunk = ctx.chunk(n_pre);
+                let mut count = 0u32;
+                for i in chunk.clone() {
+                    let u = philox.uniform(STREAM_KIND_INPUT | i as u64, step);
+                    let s = u8::from(u < p_spike_ref[i]);
+                    // SAFETY: chunk() ranges partition 0..n_pre per worker.
+                    unsafe { spiked.write(i, s) };
+                    count += u32::from(s);
+                }
+                // SAFETY: one count slot per worker.
+                unsafe { slots.write(ctx.worker(), count) };
+                ctx.sync();
+                let mut offset = 0usize;
+                for w in 0..ctx.worker() {
+                    // SAFETY: the counts are read-only in this stage.
+                    offset += unsafe { slots.read(w) } as usize;
+                }
+                for i in chunk {
+                    // SAFETY: this worker wrote `i` itself in stage 1.
+                    if unsafe { spiked.read(i) } != 0 {
+                        // SAFETY: prefix offsets give disjoint output ranges.
+                        unsafe { list.write(offset, i as u32) };
+                        offset += 1;
+                    }
+                }
             });
         }
-        self.spiking_inputs.clear();
-        for (i, &s) in self.input_spiked.iter().enumerate() {
-            if s != 0 {
-                self.spiking_inputs.push(i as u32);
-            }
-        }
+        let n_active = self.worker_slots.iter().map(|&c| c as usize).sum::<usize>();
+        self.active_inputs = n_active;
+        self.device.record_gauge("active_fraction", n_active as f64 / n_pre as f64);
+        self.device.bump_counter("delivery_active_spikes", n_active as u64);
+        let spikers = &self.spike_list.as_slice()[..n_active];
 
         // (1b) Touch-time settle (lazy path): a spiking input's column is
         // about to be read by the accumulation kernel and its timestamp is
         // about to change, so deferred updates on (active row × spiking
         // column) pairs must land NOW, while `last_pre` still holds the
         // value the eager path read when each event was recorded.
-        if !self.ledger.is_idle() && !self.spiking_inputs.is_empty() {
+        if !self.ledger.is_idle() && n_active > 0 {
             let sctx = self.synapses.settle_ctx(&*self.rule, philox);
             let last_pre = &self.last_pre;
             let (events, applied, active) = self.ledger.split();
@@ -425,10 +517,17 @@ impl<'d> WtaEngine<'d> {
                 events,
                 n_pre,
                 last_pre,
-                Some(&self.spiking_inputs),
+                Some(spikers),
             );
+            // The settle mutated the (active rows × spiking columns)
+            // rectangle, and the sparse kernel is about to stream exactly
+            // those columns — re-mirror them into the transposed view.
+            if let Some(gt) = &mut self.transposed {
+                let cells = gt.refresh(&self.synapses, Some(active), Some(spikers));
+                self.device.bump_counter("transpose_cells_refreshed", cells);
+            }
         }
-        for &i in &self.spiking_inputs {
+        for &i in spikers {
             self.last_pre[i as usize] = t;
         }
 
@@ -436,10 +535,9 @@ impl<'d> WtaEngine<'d> {
         // recent post spike may depress. Neither built-in rule uses this
         // pathway (depression is consolidated at the post event), but the
         // dispatch supports custom rules that do.
-        if plastic && self.rule.uses_pre_events() && !self.spiking_inputs.is_empty() {
+        if plastic && self.rule.uses_pre_events() && n_active > 0 {
             let ctx = self.synapses.update_ctx();
             let rule = &*self.rule;
-            let spikers = &self.spiking_inputs;
             let cells = &self.cells;
             self.device.launch_rows_mut(
                 "stdp_pre_dep",
@@ -462,75 +560,133 @@ impl<'d> WtaEngine<'d> {
                     }
                 },
             );
+            if let Some(gt) = &mut self.transposed {
+                let cells = gt.refresh(&self.synapses, None, Some(spikers));
+                self.device.bump_counter("transpose_cells_refreshed", cells);
+            }
         }
 
-        // (3) Current accumulation kernel (Eq. 3): exponentially decaying
-        // synaptic current plus this step's arrivals.
+        // (3+4) Fused current-delivery + neuron-update kernel (Eqs. 1–3
+        // plus adaptive threshold). Both delivery modes compute the exact
+        // same canonical blocked fold — `i_syn[j] = i_syn[j]·decay +
+        // Σ_b block_b[j]`, blocks of SPIKE_BLOCK ascending active inputs —
+        // so they are bit-identical; they differ only in how the blocks are
+        // produced (full-row scan vs transposed-column scatter).
         {
-            let g = self.synapses.as_flat();
-            let spikers = &self.spiking_inputs;
             let v_spike = self.cfg.v_spike;
             let decay = self.syn_decay;
-            self.device.launch_slice_mut("accumulate_current", &mut self.i_syn, |j, i_j| {
-                let mut acc = *i_j * decay;
-                let row = &g[j * n_pre..(j + 1) * n_pre];
-                for &i in spikers {
-                    acc += row[i as usize] * v_spike;
-                }
-                *i_j = acc;
-            });
-        }
-
-        // (4) Neuron update kernel (Eqs. 1–2 plus adaptive threshold; the
-        // configured model decides the dynamics).
-        {
             let lif_params = self.cfg.lif;
             let neuron_kind = self.cfg.neuron;
-            let i_syn = &self.i_syn;
             let theta_decay = self.theta_decay;
             let homeostasis = plastic && self.cfg.theta_plus > 0.0;
-            self.device.launch_slice_mut("update_neurons", &mut self.cells, |j, cell| {
-                cell.spiked = false;
-                if homeostasis {
-                    cell.theta *= theta_decay;
+            let n_exc = self.cfg.n_excitatory;
+            let decay_inh = matches!(self.cfg.inhibition, InhibitionMode::Explicit { .. });
+            let cell_bytes = n_exc * (16 + std::mem::size_of::<ExcCell>() * 2);
+            let i_syn = SharedSlice::new(&mut self.i_syn);
+            let cells = SharedSlice::new(&mut self.cells);
+            let inh_drive = SharedSlice::new(&mut self.inh_drive);
+            match &self.transposed {
+                // Sparse path: scatter each (spike block × neuron tile)
+                // rectangle of partial sums from the transposed view, then
+                // reduce the blocks in ascending order, fused with the
+                // neuron integration.
+                Some(gt) => {
+                    let n_blocks = n_active.div_ceil(SPIKE_BLOCK);
+                    let n_tiles = n_exc.div_ceil(POST_TILE).max(1);
+                    let scatter_items = n_blocks * n_tiles;
+                    let mut partial = self.device.lease_scratch_f64(n_blocks * n_exc);
+                    let partial_view = SharedSlice::new(&mut partial);
+                    let cost = (n_active + n_blocks + 4) * n_exc;
+                    let bytes = ((n_active + 2 * n_blocks + 2) * n_exc * 8 + cell_bytes) as u64;
+                    self.device.launch_fused("deliver_integrate_sparse", cost, bytes, |ctx| {
+                        for k in ctx.strided(scatter_items) {
+                            let b = k / n_tiles;
+                            let tile = k % n_tiles;
+                            let j0 = tile * POST_TILE;
+                            let j1 = ((tile + 1) * POST_TILE).min(n_exc);
+                            let lo = b * SPIKE_BLOCK;
+                            let hi = (lo + SPIKE_BLOCK).min(n_active);
+                            // SAFETY: each (block, tile) pair is owned by
+                            // exactly one work item, and work items
+                            // partition over workers.
+                            let part =
+                                unsafe { partial_view.slice_mut(b * n_exc + j0..b * n_exc + j1) };
+                            for &i in &spikers[lo..hi] {
+                                let col = &gt.col(i as usize)[j0..j1];
+                                for (p, &gv) in part.iter_mut().zip(col) {
+                                    *p += gv * v_spike;
+                                }
+                            }
+                        }
+                        ctx.sync();
+                        for j in ctx.chunk(n_exc) {
+                            // SAFETY: chunk() partitions 0..n_exc; stage-1
+                            // writes to `partial_view` are ordered by the
+                            // barrier and read-only here.
+                            let mut acc = unsafe { i_syn.read(j) } * decay;
+                            for b in 0..n_blocks {
+                                acc += unsafe { partial_view.read(b * n_exc + j) };
+                            }
+                            unsafe { i_syn.write(j, acc) };
+                            let cell = unsafe { cells.get_mut(j) };
+                            integrate_cell(
+                                cell, acc, t, dt, neuron_kind, lif_params, theta_decay,
+                                homeostasis,
+                            );
+                            if decay_inh {
+                                unsafe { *inh_drive.get_mut(j) *= decay };
+                            }
+                        }
+                    });
+                    self.device.bump_counter("delivery_blocks", n_blocks as u64);
+                    self.device.bump_counter(
+                        "delivery_dense_items_skipped",
+                        ((n_pre - n_active) * n_exc) as u64,
+                    );
                 }
-                let inhibited = t < cell.inhibited_until;
-                let mut state = NeuronState {
-                    v: cell.v,
-                    recovery: cell.recovery,
-                    refractory_ms: cell.refractory_ms,
-                };
-                let spiked = match neuron_kind {
-                    NeuronModelKind::Lif => {
-                        if inhibited {
-                            cell.v = lif_params.v_reset;
-                            return;
+                // Dense path: every neuron scans its whole synapse row,
+                // gated on the spike flags, folding active inputs into the
+                // same SPIKE_BLOCK-sized partial blocks.
+                None => {
+                    let g = self.synapses.as_flat();
+                    let flags = &self.input_spiked;
+                    let cost = n_exc * (n_pre + 4);
+                    let bytes = (n_exc * n_pre * 8 + n_pre + n_exc * 16 + cell_bytes) as u64;
+                    self.device.launch_fused("deliver_integrate_dense", cost, bytes, |ctx| {
+                        for j in ctx.chunk(n_exc) {
+                            let row = &g[j * n_pre..(j + 1) * n_pre];
+                            // SAFETY: chunk() partitions 0..n_exc per worker.
+                            let mut acc = unsafe { i_syn.read(j) } * decay;
+                            let mut block_acc = 0.0;
+                            let mut seen = 0usize;
+                            for (i, &s) in flags.iter().enumerate() {
+                                if s != 0 {
+                                    block_acc += row[i] * v_spike;
+                                    seen += 1;
+                                    if seen == SPIKE_BLOCK {
+                                        acc += block_acc;
+                                        block_acc = 0.0;
+                                        seen = 0;
+                                    }
+                                }
+                            }
+                            if seen > 0 {
+                                acc += block_acc;
+                            }
+                            unsafe { i_syn.write(j, acc) };
+                            let cell = unsafe { cells.get_mut(j) };
+                            integrate_cell(
+                                cell, acc, t, dt, neuron_kind, lif_params, theta_decay,
+                                homeostasis,
+                            );
+                            if decay_inh {
+                                unsafe { *inh_drive.get_mut(j) *= decay };
+                            }
                         }
-                        // Homeostasis shifts the LIF threshold directly.
-                        let mut params = lif_params;
-                        params.v_threshold += cell.theta;
-                        LifNeuron::new(params).step(&mut state, i_syn[j], dt)
-                    }
-                    NeuronModelKind::Izhikevich(p) => {
-                        if inhibited {
-                            return;
-                        }
-                        // Two-variable models take θ as an inhibitory
-                        // current offset.
-                        IzhikevichNeuron::new(p).step(&mut state, i_syn[j] - cell.theta, dt)
-                    }
-                    NeuronModelKind::Adex(p) => {
-                        if inhibited {
-                            return;
-                        }
-                        AdexNeuron::new(p).step(&mut state, i_syn[j] - cell.theta, dt)
-                    }
-                };
-                cell.v = state.v;
-                cell.recovery = state.recovery;
-                cell.refractory_ms = state.refractory_ms;
-                cell.spiked = spiked;
-            });
+                    });
+                    self.device.bump_counter("delivery_dense_items", (n_exc * n_pre) as u64);
+                }
+            }
         }
 
         if let Some(j) = self.traced_neuron {
@@ -569,9 +725,9 @@ impl<'d> WtaEngine<'d> {
             InhibitionMode::Explicit { w_exc_to_inh } => {
                 // Drive each spiker's private inhibitory partner; the
                 // partner integrates like any LIF neuron and only its own
-                // spike opens the suppression window.
+                // spike opens the suppression window. (The per-step drive
+                // decay already ran inside the fused delivery kernel.)
                 for (j, cell) in self.cells.iter().enumerate() {
-                    self.inh_drive[j] *= self.syn_decay;
                     if cell.spiked {
                         self.inh_drive[j] += w_exc_to_inh;
                     }
@@ -628,6 +784,11 @@ impl<'d> WtaEngine<'d> {
                             }
                         },
                     );
+                    if let Some(gt) = &mut self.transposed {
+                        let cells =
+                            gt.refresh(&self.synapses, Some(&self.spiking_posts), None);
+                        self.device.bump_counter("transpose_cells_refreshed", cells);
+                    }
                 }
                 PlasticityExecution::Lazy => {
                     for &j in &self.spiking_posts {
@@ -645,7 +806,7 @@ impl<'d> WtaEngine<'d> {
                     // the eager path, so they must settle before this step's
                     // timestamps go stale — earlier events on these synapses
                     // were already settled by this step's touch pass.
-                    if !self.spiking_inputs.is_empty() {
+                    if n_active > 0 {
                         let sctx = self.synapses.settle_ctx(&*self.rule, philox);
                         let last_pre = &self.last_pre;
                         let (events, applied, _) = self.ledger.split();
@@ -659,8 +820,16 @@ impl<'d> WtaEngine<'d> {
                             events,
                             n_pre,
                             last_pre,
-                            Some(&self.spiking_inputs),
+                            Some(spikers),
                         );
+                        if let Some(gt) = &mut self.transposed {
+                            let cells = gt.refresh(
+                                &self.synapses,
+                                Some(&self.spiking_posts),
+                                Some(spikers),
+                            );
+                            self.device.bump_counter("transpose_cells_refreshed", cells);
+                        }
                     }
                 }
             }
@@ -671,6 +840,61 @@ impl<'d> WtaEngine<'d> {
     }
 }
 
+/// The per-neuron integration body (Eqs. 1–2 plus adaptive threshold),
+/// shared verbatim by the dense and sparse arms of the fused delivery
+/// kernel so the two paths cannot drift apart.
+#[allow(clippy::too_many_arguments)]
+fn integrate_cell(
+    cell: &mut ExcCell,
+    i_syn_j: f64,
+    t: f64,
+    dt: f64,
+    neuron_kind: NeuronModelKind,
+    lif_params: LifParams,
+    theta_decay: f64,
+    homeostasis: bool,
+) {
+    cell.spiked = false;
+    if homeostasis {
+        cell.theta *= theta_decay;
+    }
+    let inhibited = t < cell.inhibited_until;
+    let mut state = NeuronState {
+        v: cell.v,
+        recovery: cell.recovery,
+        refractory_ms: cell.refractory_ms,
+    };
+    let spiked = match neuron_kind {
+        NeuronModelKind::Lif => {
+            if inhibited {
+                cell.v = lif_params.v_reset;
+                return;
+            }
+            // Homeostasis shifts the LIF threshold directly.
+            let mut params = lif_params;
+            params.v_threshold += cell.theta;
+            LifNeuron::new(params).step(&mut state, i_syn_j, dt)
+        }
+        NeuronModelKind::Izhikevich(p) => {
+            if inhibited {
+                return;
+            }
+            // Two-variable models take θ as an inhibitory current offset.
+            IzhikevichNeuron::new(p).step(&mut state, i_syn_j - cell.theta, dt)
+        }
+        NeuronModelKind::Adex(p) => {
+            if inhibited {
+                return;
+            }
+            AdexNeuron::new(p).step(&mut state, i_syn_j - cell.theta, dt)
+        }
+    };
+    cell.v = state.v;
+    cell.recovery = state.recovery;
+    cell.refractory_ms = state.refractory_ms;
+    cell.spiked = spiked;
+}
+
 impl std::fmt::Debug for WtaEngine<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WtaEngine")
@@ -678,6 +902,8 @@ impl std::fmt::Debug for WtaEngine<'_> {
             .field("n_excitatory", &self.cfg.n_excitatory)
             .field("rule", &self.cfg.rule)
             .field("precision", &self.cfg.precision)
+            .field("delivery", &self.cfg.delivery)
+            .field("active_inputs", &self.active_inputs)
             .field("time_ms", &self.time_ms)
             .finish()
     }
@@ -1077,4 +1303,114 @@ mod tests {
         assert!(report.counter("stdp_flush_rows").unwrap_or(0) > 0);
     }
 
+    #[test]
+    fn sparse_delivery_is_the_default() {
+        let device = Device::new(DeviceConfig::serial());
+        let e = WtaEngine::new(cfg(16, 4), &device, 1);
+        assert_eq!(e.current_delivery(), CurrentDelivery::Sparse);
+        assert!(e.transposed.is_some(), "sparse mode keeps a transposed view");
+        let e = WtaEngine::new(cfg(16, 4).with_delivery(CurrentDelivery::Dense), &device, 1);
+        assert_eq!(e.current_delivery(), CurrentDelivery::Dense);
+        assert!(e.transposed.is_none(), "dense mode carries no mirror");
+    }
+
+    /// The heart of the sparse-delivery contract: for the same seed, the
+    /// active-list path must reproduce the dense full-row scan bit for bit
+    /// — counts, conductances, thresholds and the full raster — under both
+    /// rules and both inhibition modes.
+    #[test]
+    fn sparse_matches_dense_bit_for_bit() {
+        use crate::config::InhibitionMode;
+        let device = Device::new(DeviceConfig::serial());
+        for rule in [RuleKind::Stochastic, RuleKind::Deterministic] {
+            for inhibition in
+                [InhibitionMode::Implicit, InhibitionMode::Explicit { w_exc_to_inh: 20.0 }]
+            {
+                let run = |delivery: CurrentDelivery| {
+                    let mut c = NetworkConfig::from_preset(Preset::Bit8, 24, 6)
+                        .with_rule(rule)
+                        .with_delivery(delivery);
+                    c.v_spike = 2.0;
+                    c.inhibition = inhibition;
+                    let mut e = WtaEngine::new(c, &device, 17);
+                    e.record_raster(true);
+                    let mut rates = vec![0.0; 24];
+                    for (i, r) in rates.iter_mut().enumerate() {
+                        *r = if i % 3 == 0 { 120.0 } else { 15.0 };
+                    }
+                    let counts = e.present(&rates, 500.0, true);
+                    (counts, e.synapses().as_flat().to_vec(), e.thetas(), e.take_raster())
+                };
+                let dense = run(CurrentDelivery::Dense);
+                let sparse = run(CurrentDelivery::Sparse);
+                assert_eq!(dense, sparse, "{rule:?}/{inhibition:?} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_the_worker_pool() {
+        // 256 × 32 synapses exceed the inline threshold, so the fused
+        // delivery kernel genuinely runs (and compacts) on the pool.
+        let run = |workers: usize, delivery: CurrentDelivery| {
+            let device = Device::new(DeviceConfig::default().with_workers(workers));
+            let mut c = cfg(256, 32).with_delivery(delivery);
+            c.v_spike = 1.0;
+            let mut e = WtaEngine::new(c, &device, 11);
+            let counts = e.present(&strong_rates(256), 300.0, true);
+            (counts, e.synapses().as_flat().to_vec())
+        };
+        let dense_serial = run(1, CurrentDelivery::Dense);
+        assert_eq!(dense_serial, run(1, CurrentDelivery::Sparse));
+        assert_eq!(dense_serial, run(4, CurrentDelivery::Sparse));
+        assert_eq!(dense_serial, run(4, CurrentDelivery::Dense));
+    }
+
+    #[test]
+    fn transposed_view_stays_coherent_through_learning() {
+        let device = Device::new(DeviceConfig::serial());
+        for exec in [PlasticityExecution::Lazy, PlasticityExecution::Eager] {
+            let mut c = cfg(16, 4).with_plasticity(exec);
+            c.v_spike = 2.0;
+            let mut e = WtaEngine::new(c, &device, 7);
+            let _ = e.present(&strong_rates(16), 300.0, true);
+            e.normalize_receptive_fields(8.0);
+            let gt = e.transposed.as_ref().expect("sparse default keeps the view");
+            assert!(gt.is_coherent(&e.synapses), "{exec:?} left the mirror stale");
+        }
+    }
+
+    #[test]
+    fn sparse_delivery_reports_active_list_metrics() {
+        let device = Device::new(DeviceConfig::serial());
+        let mut c = cfg(16, 4);
+        c.v_spike = 2.0;
+        let mut e = WtaEngine::new(c, &device, 1);
+        let _ = e.present(&strong_rates(16), 300.0, true);
+        let report = device.profile();
+        assert!(report.counter("delivery_active_spikes").unwrap_or(0) > 0);
+        assert!(report.counter("delivery_dense_items_skipped").unwrap_or(0) > 0);
+        assert!(report.counter("transpose_cells_refreshed").unwrap_or(0) > 0);
+        let gauge = report.gauge("active_fraction").expect("gauge recorded every step");
+        assert!(gauge.samples >= 600, "one sample per step");
+        assert!(gauge.mean() > 0.0 && gauge.mean() <= 1.0);
+        assert!(report.get("deliver_integrate_sparse").is_some());
+        assert!(report.get("encode_compact").is_some());
+    }
+
+    #[test]
+    fn compaction_produces_the_ascending_active_list() {
+        // Saturating rates make every input spike every step; the compacted
+        // list must then be exactly 0..n ascending at any worker count.
+        for workers in [1, 4] {
+            let device = Device::new(DeviceConfig::default().with_workers(workers));
+            let mut c = cfg(4097, 4);
+            c.v_spike = 0.0; // keep the network silent; we only test encoding
+            let mut e = WtaEngine::new(c, &device, 3);
+            let _ = e.present(&vec![2000.0; 4097], 1.0, false);
+            assert_eq!(e.active_inputs, 4097, "workers={workers}");
+            let expect: Vec<u32> = (0..4097).collect();
+            assert_eq!(e.spike_list.as_slice(), &expect[..], "workers={workers}");
+        }
+    }
 }

@@ -552,6 +552,139 @@ impl SettleCtx<'_> {
     }
 }
 
+/// An input-major mirror of the conductance matrix for sparse current
+/// delivery.
+///
+/// [`SynapseMatrix`] is row-major `[post][pre]` — the layout every
+/// learning kernel wants, because a post spike updates one contiguous
+/// receptive field. Sparse delivery wants the opposite: when input `i`
+/// spikes, the currents it injects into *all* post neurons live in column
+/// `i`, which in row-major layout is a stride-`n_pre` walk. This view
+/// stores the same values transposed (`gt[pre * n_post + post]`), so each
+/// active input contributes one contiguous streaming pass.
+///
+/// The view is a *cache*, not a second source of truth: the engine calls
+/// [`refresh`](Self::refresh) with the (rows × cols) rectangle of synapses
+/// a learning pass just changed, immediately after each pass that mutates
+/// the row-major matrix. [`is_coherent`](Self::is_coherent) lets the
+/// differential tests assert the contract.
+#[derive(Debug, Clone)]
+pub struct TransposedConductances {
+    n_pre: usize,
+    n_post: usize,
+    gt: Vec<f64>,
+}
+
+impl TransposedConductances {
+    /// Builds the transposed mirror of `m`.
+    #[must_use]
+    pub fn new(m: &SynapseMatrix) -> Self {
+        let mut view =
+            TransposedConductances { n_pre: m.n_pre, n_post: m.n_post, gt: vec![0.0; m.len()] };
+        view.refresh(m, None, None);
+        view
+    }
+
+    /// Number of pre-synaptic inputs (columns of the row-major matrix).
+    #[must_use]
+    pub fn n_pre(&self) -> usize {
+        self.n_pre
+    }
+
+    /// Number of post-synaptic neurons.
+    #[must_use]
+    pub fn n_post(&self) -> usize {
+        self.n_post
+    }
+
+    /// Input `pre`'s outgoing conductances, one contiguous slice of length
+    /// `n_post` — the streaming access of the sparse delivery kernel.
+    #[must_use]
+    pub fn col(&self, pre: usize) -> &[f64] {
+        &self.gt[pre * self.n_post..(pre + 1) * self.n_post]
+    }
+
+    /// Re-mirrors the rectangle `rows × cols` of `m` into this view and
+    /// returns how many cells were copied (the engine feeds that to a
+    /// profiler counter). `None` selects *all* rows / columns; `(None,
+    /// None)` is a full rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m`'s shape differs from this view's, or (in debug builds)
+    /// if an index is out of range.
+    pub fn refresh(&mut self, m: &SynapseMatrix, rows: Option<&[u32]>, cols: Option<&[u32]>) -> u64 {
+        assert_eq!(
+            (self.n_pre, self.n_post),
+            (m.n_pre, m.n_post),
+            "transposed view shape mismatch"
+        );
+        let g = m.as_flat();
+        let (n_pre, n_post) = (self.n_pre, self.n_post);
+        match (rows, cols) {
+            (None, None) => {
+                for j in 0..n_post {
+                    let row = &g[j * n_pre..(j + 1) * n_pre];
+                    for (i, &v) in row.iter().enumerate() {
+                        self.gt[i * n_post + j] = v;
+                    }
+                }
+                (n_pre * n_post) as u64
+            }
+            (Some(rows), None) => {
+                for &j in rows {
+                    let j = j as usize;
+                    debug_assert!(j < n_post, "refresh row {j} out of range");
+                    let row = &g[j * n_pre..(j + 1) * n_pre];
+                    for (i, &v) in row.iter().enumerate() {
+                        self.gt[i * n_post + j] = v;
+                    }
+                }
+                (rows.len() * n_pre) as u64
+            }
+            (None, Some(cols)) => {
+                for &i in cols {
+                    let i = i as usize;
+                    debug_assert!(i < n_pre, "refresh column {i} out of range");
+                    for j in 0..n_post {
+                        self.gt[i * n_post + j] = g[j * n_pre + i];
+                    }
+                }
+                (cols.len() * n_post) as u64
+            }
+            (Some(rows), Some(cols)) => {
+                for &j in rows {
+                    let j = j as usize;
+                    debug_assert!(j < n_post, "refresh row {j} out of range");
+                    for &i in cols {
+                        let i = i as usize;
+                        debug_assert!(i < n_pre, "refresh column {i} out of range");
+                        self.gt[i * n_post + j] = g[j * n_pre + i];
+                    }
+                }
+                (rows.len() * cols.len()) as u64
+            }
+        }
+    }
+
+    /// Whether every cell of this view bit-matches `m` — the coherence
+    /// contract the engine must maintain between learning passes and
+    /// delivery. Intended for tests and debug assertions.
+    #[must_use]
+    pub fn is_coherent(&self, m: &SynapseMatrix) -> bool {
+        if (self.n_pre, self.n_post) != (m.n_pre, m.n_post) {
+            return false;
+        }
+        let g = m.as_flat();
+        (0..self.n_post).all(|j| {
+            let row = &g[j * self.n_pre..(j + 1) * self.n_pre];
+            row.iter()
+                .enumerate()
+                .all(|(i, &v)| self.gt[i * self.n_post + j].to_bits() == v.to_bits())
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -849,6 +982,66 @@ mod tests {
         // Querlioz magnitudes under quantized stochastic rounding do.
         let m16 = SynapseMatrix::new_random(&cfg(Preset::Bit16), 1);
         assert!(m16.update_ctx().consumes_rounding_draw());
+    }
+
+    // ---- transposed view for sparse delivery ----
+
+    #[test]
+    fn transposed_view_mirrors_matrix() {
+        let c = cfg(Preset::FullPrecision);
+        let m = SynapseMatrix::new_random(&c, 11);
+        let t = TransposedConductances::new(&m);
+        assert_eq!((t.n_pre(), t.n_post()), (16, 4));
+        assert!(t.is_coherent(&m));
+        for i in 0..m.n_pre() {
+            let col = t.col(i);
+            assert_eq!(col.len(), m.n_post());
+            for (j, &v) in col.iter().enumerate() {
+                assert_eq!(v.to_bits(), m.get(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_refresh_rectangles_restore_coherence() {
+        let c = cfg(Preset::FullPrecision);
+        let mut m = SynapseMatrix::new_random(&c, 13);
+        let mut t = TransposedConductances::new(&m);
+
+        // Mutate one full row, refresh by row.
+        m.row_mut(2).fill(0.111);
+        assert!(!t.is_coherent(&m));
+        assert_eq!(t.refresh(&m, Some(&[2]), None), 16);
+        assert!(t.is_coherent(&m));
+
+        // Mutate one column, refresh by column.
+        for j in 0..m.n_post() {
+            m.row_mut(j)[5] = 0.222;
+        }
+        assert_eq!(t.refresh(&m, None, Some(&[5])), 4);
+        assert!(t.is_coherent(&m));
+
+        // Mutate a rectangle, refresh by rectangle.
+        m.row_mut(1)[3] = 0.333;
+        m.row_mut(3)[7] = 0.444;
+        assert_eq!(t.refresh(&m, Some(&[1, 3]), Some(&[3, 7])), 4);
+        assert!(t.is_coherent(&m));
+
+        // Full rebuild covers everything.
+        for j in 0..m.n_post() {
+            m.row_mut(j).fill(j as f64 * 0.1);
+        }
+        assert_eq!(t.refresh(&m, None, None), 64);
+        assert!(t.is_coherent(&m));
+    }
+
+    #[test]
+    fn transposed_coherence_rejects_shape_mismatch() {
+        let c = cfg(Preset::FullPrecision);
+        let m = SynapseMatrix::new_random(&c, 1);
+        let other = NetworkConfig::from_preset(Preset::FullPrecision, 8, 4);
+        let t = TransposedConductances::new(&SynapseMatrix::new_random(&other, 1));
+        assert!(!t.is_coherent(&m));
     }
 
     #[test]

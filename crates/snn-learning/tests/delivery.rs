@@ -1,0 +1,50 @@
+//! End-to-end differential check that the sparse current-delivery path is
+//! invisible to the learning protocol: the full train → label → infer
+//! pipeline must produce identical conductances, labels and accuracy under
+//! `CurrentDelivery::Dense` and `CurrentDelivery::Sparse`, at mismatched
+//! worker counts. This is the learning-layer mirror of the engine-level
+//! bit-identity suite in `tests/sparse_delivery.rs`.
+
+use gpu_device::{Device, DeviceConfig};
+use snn_core::config::{CurrentDelivery, NetworkConfig, PlasticityExecution, Preset, RuleKind};
+use snn_datasets::synthetic_mnist;
+use snn_learning::{Trainer, TrainerConfig};
+
+#[test]
+fn dense_and_sparse_delivery_train_identically() {
+    let dataset = synthetic_mnist(30, 30, 9);
+    for (preset, rule, exec) in [
+        (Preset::FullPrecision, RuleKind::Stochastic, PlasticityExecution::Lazy),
+        (Preset::Bit8, RuleKind::Deterministic, PlasticityExecution::Eager),
+    ] {
+        let run = |delivery: CurrentDelivery, workers: usize| {
+            let device = Device::new(DeviceConfig::default().with_workers(workers));
+            let mut cfg = TrainerConfig::new(
+                NetworkConfig::from_preset(preset, 784, 12)
+                    .with_rule(rule)
+                    .with_plasticity(exec)
+                    .with_delivery(delivery),
+            );
+            cfg.t_learn_ms = 100.0;
+            cfg.n_train_images = 30;
+            cfg.n_labeling = 15;
+            cfg.n_inference = 15;
+            Trainer::new(cfg, &device).run(&dataset)
+        };
+        let dense = run(CurrentDelivery::Dense, 2);
+        for workers in [1, 8] {
+            let sparse = run(CurrentDelivery::Sparse, workers);
+            assert_eq!(
+                dense.synapses.as_flat(),
+                sparse.synapses.as_flat(),
+                "{preset:?}/{rule:?}/w{workers}: learned conductances diverged"
+            );
+            assert_eq!(dense.labels, sparse.labels, "{preset:?}/{rule:?}/w{workers}");
+            assert_eq!(dense.accuracy, sparse.accuracy, "{preset:?}/{rule:?}/w{workers}");
+            assert_eq!(
+                dense.abstention_rate, sparse.abstention_rate,
+                "{preset:?}/{rule:?}/w{workers}"
+            );
+        }
+    }
+}

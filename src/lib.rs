@@ -50,8 +50,8 @@ pub mod prelude {
     pub use gpu_device::{Device, DeviceConfig, Philox4x32};
     pub use qformat::{QFormat, Quantizer, Rounding};
     pub use snn_core::config::{
-        FrequencyRange, InhibitionMode, LifParams, NetworkConfig, NeuronModelKind,
-        PlasticityExecution, Precision, Preset, RuleKind,
+        CurrentDelivery, FrequencyRange, InhibitionMode, LifParams, NetworkConfig,
+        NeuronModelKind, PlasticityExecution, Precision, Preset, RuleKind,
     };
     pub use snn_core::neuron::{LifNeuron, NeuronModel};
     pub use snn_core::sim::{GenericEngine, SpikeRaster, WtaEngine};

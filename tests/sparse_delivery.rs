@@ -1,0 +1,182 @@
+//! Differential tests for sparse spike-driven current delivery: for the
+//! same seed, the active-list path (compact → transposed scatter → blocked
+//! reduction) must reproduce the dense row-scan path **bit for bit** —
+//! spike counts, conductances, homeostasis thresholds and rasters — across
+//! precision presets, both plasticity rules and any worker count.
+//!
+//! The contract that makes this possible: both paths fold synaptic current
+//! in the same canonical order — fixed 32-wide blocks of the ascending
+//! active-input list, left-fold within a block, blocks added in ascending
+//! order — so the sum never depends on which path (or how many workers)
+//! computed it (see DESIGN.md §sparse-delivery).
+
+use parallel_spike_sim::prelude::*;
+use proptest::prelude::*;
+
+/// The precision sweep of the differential layer: full precision plus the
+/// Table I fixed-point formats from 16 bits down to 4.
+const PRESETS: [Preset; 4] = [Preset::FullPrecision, Preset::Bit16, Preset::Bit8, Preset::Bit4];
+
+/// The worker counts the sparse path must be invariant over.
+const WORKERS: [usize; 3] = [1, 2, 8];
+
+/// One plastic presentation stream on MNIST-shaped input (784 trains),
+/// returning every observable the two delivery paths must agree on.
+fn run_digits(
+    preset: Preset,
+    rule: RuleKind,
+    delivery: CurrentDelivery,
+    workers: usize,
+) -> (Vec<u32>, Vec<f64>, Vec<f64>, SpikeRaster) {
+    let device = Device::new(DeviceConfig::default().with_workers(workers));
+    let cfg = NetworkConfig::from_preset(preset, 784, 16)
+        .with_rule(rule)
+        .with_delivery(delivery);
+    let mut engine = WtaEngine::new(cfg, &device, 2019);
+    engine.record_raster(true);
+    let encoder = RateEncoder::new(engine.config().frequency);
+    let dataset = synthetic_mnist(4, 1, 11);
+    let mut counts = vec![0u32; 16];
+    for sample in &dataset.train {
+        let rates = encoder.rates(sample.image.pixels());
+        engine.reset_transients();
+        for (c, n) in counts.iter_mut().zip(engine.present(&rates, 100.0, true)) {
+            *c += n;
+        }
+    }
+    let raster = engine.take_raster().expect("raster enabled");
+    (counts, engine.synapses().as_flat().to_vec(), engine.thetas(), raster)
+}
+
+#[test]
+fn sparse_matches_dense_across_presets_rules_and_workers() {
+    for preset in PRESETS {
+        for rule in [RuleKind::Stochastic, RuleKind::Deterministic] {
+            let dense = run_digits(preset, rule, CurrentDelivery::Dense, 2);
+            for workers in WORKERS {
+                let sparse = run_digits(preset, rule, CurrentDelivery::Sparse, workers);
+                assert_eq!(
+                    dense.0, sparse.0,
+                    "{preset:?}/{rule:?}/w{workers}: spike counts diverged"
+                );
+                assert_eq!(
+                    dense.1, sparse.1,
+                    "{preset:?}/{rule:?}/w{workers}: conductances diverged"
+                );
+                assert_eq!(
+                    dense.2, sparse.2,
+                    "{preset:?}/{rule:?}/w{workers}: thresholds diverged"
+                );
+                assert_eq!(dense.3, sparse.3, "{preset:?}/{rule:?}/w{workers}: rasters diverged");
+            }
+            // The dense path must itself be worker-invariant, or the
+            // equalities above could hide a matched pair of bugs.
+            let dense8 = run_digits(preset, rule, CurrentDelivery::Dense, 8);
+            assert_eq!(dense.1, dense8.1, "{preset:?}/{rule:?}: dense path worker-variant");
+            // A silent network would make every equality vacuous.
+            assert!(dense.0.iter().sum::<u32>() > 0, "{preset:?}/{rule:?}: no spikes");
+        }
+    }
+}
+
+/// Large enough that both fused kernels clear the weighted dispatch
+/// threshold: the identity must hold on the *pooled* execution path, not
+/// just the inline fallback the small differential networks exercise.
+#[test]
+fn pooled_fused_kernels_stay_identical_to_serial() {
+    let rates = vec![900.0; 4200]; // ~45% of 4200 inputs active per step
+    let run = |delivery: CurrentDelivery, workers: usize| {
+        let device = Device::new(DeviceConfig::default().with_workers(workers));
+        let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 4200, 32)
+            .with_delivery(delivery);
+        let mut engine = WtaEngine::new(cfg, &device, 77);
+        let counts = engine.present(&rates, 50.0, true);
+        let report = device.profile();
+        let pooled = |name: &str| report.get(name).map_or(0, |s| s.pooled_launches);
+        (
+            counts,
+            engine.synapses().as_flat().to_vec(),
+            pooled("encode_compact"),
+            pooled("deliver_integrate_sparse"),
+        )
+    };
+    let serial = run(CurrentDelivery::Sparse, 1);
+    let pooled = run(CurrentDelivery::Sparse, 8);
+    let dense = run(CurrentDelivery::Dense, 8);
+    assert!(pooled.2 > 0, "encode_compact never dispatched to the pool");
+    assert!(pooled.3 > 0, "deliver_integrate_sparse never dispatched to the pool");
+    assert_eq!(serial.0, pooled.0, "pooled sparse diverged from serial sparse");
+    assert_eq!(serial.1, pooled.1, "pooled sparse conductances diverged");
+    assert_eq!(dense.0, pooled.0, "dense diverged from sparse on the pooled path");
+    assert_eq!(dense.1, pooled.1, "dense conductances diverged on the pooled path");
+}
+
+/// Runs one plastic presentation of an explicit rate vector and returns
+/// (spike counts, conductances).
+fn run_rates(
+    rates: &[f64],
+    delivery: CurrentDelivery,
+    workers: usize,
+    seed: u64,
+) -> (Vec<u32>, Vec<f64>) {
+    let device = Device::new(DeviceConfig::default().with_workers(workers));
+    let cfg = NetworkConfig::from_preset(Preset::Bit8, rates.len(), 8).with_delivery(delivery);
+    let mut engine = WtaEngine::new(cfg, &device, seed);
+    let counts = engine.present(rates, 60.0, true);
+    (counts, engine.synapses().as_flat().to_vec())
+}
+
+#[test]
+fn all_zero_rates_are_identical_and_silent() {
+    let rates = vec![0.0; 48];
+    for workers in WORKERS {
+        let dense = run_rates(&rates, CurrentDelivery::Dense, workers, 3);
+        let sparse = run_rates(&rates, CurrentDelivery::Sparse, workers, 3);
+        assert_eq!(dense, sparse, "w{workers}: zero-rate runs diverged");
+        assert_eq!(sparse.0.iter().sum::<u32>(), 0, "w{workers}: spikes without input");
+    }
+}
+
+#[test]
+fn all_saturated_rates_are_identical_with_a_full_active_list() {
+    // 2000 Hz at dt = 0.5 ms clamps the Bernoulli probability to 1: every
+    // input fires every step, so the active list is the full input range
+    // and the sparse kernel degenerates to a (blocked) dense scan.
+    let rates = vec![2500.0; 48];
+    for workers in WORKERS {
+        let device = Device::new(DeviceConfig::default().with_workers(workers));
+        let cfg = NetworkConfig::from_preset(Preset::Bit8, 48, 8)
+            .with_delivery(CurrentDelivery::Sparse);
+        let mut engine = WtaEngine::new(cfg, &device, 3);
+        let counts = engine.present(&rates, 60.0, true);
+        let flat = engine.synapses().as_flat().to_vec();
+        let gauge = device.profile();
+        let g = gauge.gauge("active_fraction").expect("active_fraction recorded");
+        assert_eq!(g.min, 1.0, "w{workers}: saturated input left the active list partial");
+        assert_eq!(g.max, 1.0);
+        let dense = run_rates(&rates, CurrentDelivery::Dense, workers, 3);
+        assert_eq!((counts, flat), dense, "w{workers}: saturated runs diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Dense and sparse delivery agree bit-for-bit on arbitrary rate
+    /// vectors — including the degenerate silent and saturated inputs the
+    /// generator occasionally lands on — at mismatched worker counts.
+    #[test]
+    fn random_rate_vectors_deliver_identically(
+        rates in prop::collection::vec(prop_oneof![
+            3 => 0.0f64..2500.0,
+            1 => Just(0.0f64),
+            1 => Just(2500.0f64),
+        ], 48),
+        seed in 0u64..1_000,
+    ) {
+        let dense = run_rates(&rates, CurrentDelivery::Dense, 1, seed);
+        let sparse = run_rates(&rates, CurrentDelivery::Sparse, 8, seed);
+        prop_assert_eq!(dense.0, sparse.0, "spike counts diverged");
+        prop_assert_eq!(dense.1, sparse.1, "conductances diverged");
+    }
+}

@@ -3,7 +3,10 @@
 #
 # Every PR must leave this green. The test suite includes the lazy-plasticity
 # differential layer (tests/lazy_plasticity.rs, crates/*/tests/*.rs), which
-# proves eager and lazy execution bit-identical before anything else runs.
+# proves eager and lazy execution bit-identical, and the sparse-delivery
+# differential layer (tests/sparse_delivery.rs,
+# crates/snn-learning/tests/delivery.rs), which proves the active-list
+# delivery path bit-identical to the dense scan at any worker count.
 set -euo pipefail
 cd "$(dirname "$0")"
 

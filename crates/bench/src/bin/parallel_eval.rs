@@ -1,0 +1,252 @@
+//! Parallel frozen-weight evaluation: replica sweep and encoder-pipeline
+//! ablation against the legacy serial evaluation loop, gated by a
+//! bit-identity check.
+//!
+//! The workload is the paper's evaluation shape — a trained 784 → 1000 WTA
+//! network classifying rate-coded digits with plasticity off. The legacy
+//! path presents images one by one on the training engine, re-drawing input
+//! spikes inside the per-step encode kernel. The parallel path snapshots
+//! the weights once ([`EvalSnapshot`]), mounts N frozen replica engines on
+//! the shared matrix, fans the presentations across them through a
+//! work-stealing queue, and precomputes each image's spike trains by
+//! gap-sampled generation (one uniform draw per spike instead of per step)
+//! — optionally on a pipelined encoder thread that stays one image ahead.
+//!
+//! Before any timing, the harness asserts that every parallel
+//! configuration (replica count × pipelining × service order) reproduces
+//! the one-replica inline evaluation bit for bit; the sweep is then pure
+//! wall-clock measurement.
+//!
+//! Run: `cargo run -p bench --release --bin parallel_eval`
+
+use bench::{results_dir, write_json_records, TextTable};
+use gpu_device::{Device, DeviceConfig};
+use serde::Serialize;
+use snn_core::config::{NetworkConfig, Preset};
+use snn_core::sim::{EvalSnapshot, WtaEngine};
+use snn_datasets::{synthetic_mnist, Dataset};
+use snn_learning::{evaluate_snapshot, EvalOptions, EvalOutcome};
+use spike_encoding::RateEncoder;
+use std::time::Instant;
+
+const N_LABEL: usize = 20;
+const N_INFER: usize = 20;
+const T_PRESENT_MS: f64 = 150.0;
+const SEED: u64 = 2019;
+
+#[derive(Serialize)]
+struct ParallelEvalRecord {
+    mode: String,
+    replicas: usize,
+    pipelined: bool,
+    n_labeling: usize,
+    n_inference: usize,
+    t_present_ms: f64,
+    wall_ms: f64,
+    speedup_vs_legacy: f64,
+    bit_identical_to_serial: bool,
+    provenance: String,
+}
+
+#[derive(Serialize)]
+struct SummaryRecord {
+    metric: String,
+    replicas: usize,
+    value: f64,
+    requirement: String,
+    meets_requirement: bool,
+    note: String,
+}
+
+/// A lightly trained network at paper scale — evaluation must run against
+/// structured weights, not the random initialization.
+fn trained_snapshot(network: &NetworkConfig, dataset: &Dataset) -> EvalSnapshot {
+    let device = Device::new(DeviceConfig::default());
+    let mut engine = WtaEngine::new(network.clone(), &device, SEED);
+    let encoder = RateEncoder::new(network.frequency);
+    for sample in dataset.train.iter().take(5) {
+        let rates = encoder.rates(sample.image.pixels());
+        engine.reset_transients();
+        let _ = engine.present(&rates, 100.0, true);
+    }
+    engine.snapshot()
+}
+
+/// The pre-refactor evaluation loop: one engine, one image at a time, input
+/// spikes re-drawn per step inside the fused encode kernel.
+fn legacy_serial_eval(network: &NetworkConfig, snapshot: &EvalSnapshot, dataset: &Dataset) -> f64 {
+    let device = Device::new(DeviceConfig::default());
+    let mut engine =
+        WtaEngine::replica(network.clone(), &device, SEED, snapshot).expect("valid network");
+    let encoder = RateEncoder::new(network.frequency);
+    let (label_set, infer_set) = dataset.labeling_split(N_LABEL);
+    let started = Instant::now();
+    for sample in label_set.iter().chain(&infer_set[..N_INFER]) {
+        let rates = encoder.rates(sample.image.pixels());
+        engine.reset_transients();
+        let _ = engine.present(&rates, T_PRESENT_MS, false);
+    }
+    started.elapsed().as_secs_f64() * 1000.0
+}
+
+fn parallel_eval(
+    network: &NetworkConfig,
+    snapshot: &EvalSnapshot,
+    dataset: &Dataset,
+    replicas: usize,
+    pipelined: bool,
+) -> (f64, EvalOutcome) {
+    let opts = EvalOptions { replicas, pipelined, ..EvalOptions::default() };
+    let started = Instant::now();
+    let out = evaluate_snapshot(
+        network,
+        SEED,
+        snapshot,
+        T_PRESENT_MS,
+        dataset,
+        N_LABEL,
+        N_INFER,
+        &opts,
+    );
+    (started.elapsed().as_secs_f64() * 1000.0, out)
+}
+
+fn identical(a: &EvalOutcome, b: &EvalOutcome) -> bool {
+    a.labels == b.labels
+        && a.confusion == b.confusion
+        && a.accuracy == b.accuracy
+        && a.abstention_rate == b.abstention_rate
+}
+
+fn main() {
+    println!("== parallel frozen-weight evaluation: 784 -> 1000, plasticity off ==\n");
+    let network = NetworkConfig::from_preset(Preset::FullPrecision, 784, 1000);
+    let dataset = synthetic_mnist(5, N_LABEL + N_INFER, 7);
+    let snapshot = trained_snapshot(&network, &dataset);
+    let reps = 3;
+    let replica_sweep = [1usize, 2, 4, 7];
+
+    // --- bit-identity gate, before any timing ---------------------------
+    let (_, serial) = parallel_eval(&network, &snapshot, &dataset, 1, false);
+    for &replicas in &replica_sweep {
+        for pipelined in [false, true] {
+            let (_, out) = parallel_eval(&network, &snapshot, &dataset, replicas, pipelined);
+            assert!(
+                identical(&serial, &out),
+                "replicas={replicas} pipelined={pipelined} diverged from serial — \
+                 determinism broken"
+            );
+        }
+    }
+    println!(
+        "bit-identity: OK across replicas {replica_sweep:?} x {{inline, pipelined}} \
+         (accuracy {:.3}, abstention {:.3})\n",
+        serial.accuracy, serial.abstention_rate
+    );
+
+    let host = DeviceConfig::host_parallelism();
+    let provenance = format!(
+        "measured in-process on a host exposing {host} CPU core(s); with one core the replica \
+         sweep is flat by construction (threads time-slice) and every speedup shown is \
+         algorithmic — gap-sampled train generation replaces the per-step encode kernel and the \
+         frozen step fast-forwards winner-take-all suppression windows, integrating only the \
+         uninhibited neurons — which multi-core hosts stack replica scaling on top of; the \
+         in-binary legacy loop itself benefits from this PR's shared step-pipeline work, so \
+         speedups against the pre-PR revision run higher than the conservative figures here; \
+         best of {reps} reps; regenerate with \
+         `cargo run -p bench --release --bin parallel_eval`"
+    );
+
+    // --- timing: legacy baseline, then the sweep ------------------------
+    let legacy_ms = (0..reps)
+        .map(|_| legacy_serial_eval(&network, &snapshot, &dataset))
+        .fold(f64::INFINITY, f64::min);
+
+    let mut records: Vec<ParallelEvalRecord> = vec![ParallelEvalRecord {
+        mode: "legacy_serial".into(),
+        replicas: 1,
+        pipelined: false,
+        n_labeling: N_LABEL,
+        n_inference: N_INFER,
+        t_present_ms: T_PRESENT_MS,
+        wall_ms: legacy_ms,
+        speedup_vs_legacy: 1.0,
+        bit_identical_to_serial: false,
+        provenance: provenance.clone(),
+    }];
+
+    let mut table = TextTable::new(["mode", "replicas", "encoder", "wall (ms)", "speedup"]);
+    table.row([
+        "legacy".into(),
+        "1".into(),
+        "per-step".into(),
+        format!("{legacy_ms:.1}"),
+        "1.00x".to_string(),
+    ]);
+
+    let mut speedup_at_4 = 0.0;
+    for &replicas in &replica_sweep {
+        for pipelined in [false, true] {
+            let wall_ms = (0..reps)
+                .map(|_| parallel_eval(&network, &snapshot, &dataset, replicas, pipelined).0)
+                .fold(f64::INFINITY, f64::min);
+            let speedup = legacy_ms / wall_ms.max(1e-9);
+            if replicas == 4 && pipelined {
+                speedup_at_4 = speedup;
+            }
+            table.row([
+                "parallel".into(),
+                replicas.to_string(),
+                if pipelined { "pipelined" } else { "inline" }.into(),
+                format!("{wall_ms:.1}"),
+                format!("{speedup:.2}x"),
+            ]);
+            records.push(ParallelEvalRecord {
+                mode: "parallel".into(),
+                replicas,
+                pipelined,
+                n_labeling: N_LABEL,
+                n_inference: N_INFER,
+                t_present_ms: T_PRESENT_MS,
+                wall_ms,
+                speedup_vs_legacy: speedup,
+                bit_identical_to_serial: true,
+                provenance: provenance.clone(),
+            });
+        }
+    }
+    println!("{table}");
+
+    let meets = speedup_at_4 >= 3.0;
+    println!(
+        "eval speedup at 4 replicas (pipelined): {speedup_at_4:.2}x  \
+         (requirement >= 3.0: {})",
+        if meets { "met" } else { "NOT met" }
+    );
+    let summaries = vec![SummaryRecord {
+        metric: "eval_speedup_at_4_replicas".into(),
+        replicas: 4,
+        value: speedup_at_4,
+        requirement: ">= 3.0".into(),
+        meets_requirement: meets,
+        note: "parallel pipelined evaluation vs the in-binary one-engine loop (a conservative \
+               baseline: it shares this PR's step-pipeline optimizations); the replica sweep \
+               and the pipelined-vs-inline ablation are recorded per row above"
+            .into(),
+    }];
+
+    let path = results_dir().join("BENCH_parallel_eval.json");
+    #[derive(Serialize)]
+    #[serde(untagged)]
+    enum Record {
+        Run(ParallelEvalRecord),
+        Summary(SummaryRecord),
+    }
+    let all: Vec<Record> = records
+        .into_iter()
+        .map(Record::Run)
+        .chain(summaries.into_iter().map(Record::Summary))
+        .collect();
+    write_json_records(&path, &all).expect("write bench record");
+    println!("\nwrote {}", path.display());
+}

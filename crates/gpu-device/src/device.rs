@@ -60,6 +60,15 @@ impl DeviceConfig {
         self.workers = workers.max(1);
         self
     }
+
+    /// The host's available parallelism (1 when it cannot be determined) —
+    /// the budget that [`Device::new_budgeted`] divides among replicas.
+    #[must_use]
+    pub fn host_parallelism() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
 }
 
 /// A simulated GPU.
@@ -140,6 +149,39 @@ impl Device {
         }
     }
 
+    /// Brings up one of `replicas` sibling devices sharing a host-wide
+    /// worker budget.
+    ///
+    /// [`Device::new`] takes `config.workers` uncritically — correct for a
+    /// single device, but `replicas` concurrent devices would oversubscribe
+    /// the host with `replicas × workers` pool threads that time-slice one
+    /// another instead of running kernels. This constructor clamps the
+    /// per-replica worker count so the *total* stays within
+    /// [`DeviceConfig::host_parallelism`]: each replica gets
+    /// `max(1, host / replicas)` workers, never more than requested. When
+    /// the clamp engages, the profiler counter `worker_budget_clamped`
+    /// records how many requested workers were denied, so merged replica
+    /// reports show the oversubscription that was avoided.
+    ///
+    /// Worker counts only affect wall time, never results — kernels are
+    /// deterministic in the worker count — so clamping is always safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    #[must_use]
+    pub fn new_budgeted(config: DeviceConfig, replicas: usize) -> Self {
+        assert!(replicas > 0, "a replica group needs at least one member");
+        let requested = config.workers.max(1);
+        let per_replica_budget = (DeviceConfig::host_parallelism() / replicas).max(1);
+        let granted = requested.min(per_replica_budget);
+        let device = Device::new(DeviceConfig { workers: granted, ..config });
+        if granted < requested {
+            device.bump_counter("worker_budget_clamped", (requested - granted) as u64);
+        }
+        device
+    }
+
     /// Number of workers.
     #[must_use]
     pub fn workers(&self) -> usize {
@@ -169,6 +211,13 @@ impl Device {
         self.profiler.reset();
     }
 
+    /// Folds a profile snapshot taken on another device (e.g. an eval
+    /// replica) into this device's profiler, so [`Device::profile`] returns
+    /// one merged report covering every device that contributed work.
+    pub fn absorb_profile(&self, report: &ProfileReport) {
+        self.profiler.absorb(report);
+    }
+
     /// Adds `delta` to a named monotonic profiler counter. Engines use this
     /// to account for work an execution strategy *avoided* (e.g. synapse
     /// updates deferred or dense launches skipped by a lazy path) — wall
@@ -187,6 +236,14 @@ impl Device {
     pub fn record_gauge(&self, name: &'static str, value: f64) {
         if self.config.profile {
             self.profiler.gauge(name, value);
+        }
+    }
+
+    /// Merges a batch of locally accumulated gauge samples (see
+    /// [`KernelProfiler::gauge_stats`]). No-op when profiling is disabled.
+    pub fn record_gauge_stats(&self, name: &'static str, stats: &crate::profiler::GaugeStats) {
+        if self.config.profile {
+            self.profiler.gauge_stats(name, stats);
         }
     }
 
@@ -774,6 +831,54 @@ mod tests {
         let mut a = vec![0u8; 8];
         let mut b = vec![0u8; 8];
         d.launch_gather_rows_mut("bad", &[2], &mut a, &mut b, 4, 4, |_, _, _, _| {});
+    }
+
+    #[test]
+    fn budgeted_devices_clamp_to_host_parallelism() {
+        let host = DeviceConfig::host_parallelism();
+        // Request far more workers than one replica's share of the host:
+        // the grant must keep replicas × workers within the host budget
+        // (with the ≥1 floor per replica).
+        let replicas = 4;
+        let d = Device::new_budgeted(DeviceConfig::default().with_workers(host * 8), replicas);
+        assert_eq!(d.workers(), (host / replicas).max(1));
+        assert!(
+            d.profile().counter("worker_budget_clamped").unwrap_or(0) > 0,
+            "denied workers must leave a profiler note"
+        );
+        // A request already within budget is granted untouched, no note.
+        let d = Device::new_budgeted(DeviceConfig::default().with_workers(1), 1);
+        assert_eq!(d.workers(), 1);
+        assert_eq!(d.profile().counter("worker_budget_clamped"), None);
+        // Results are unaffected by clamping (worker-count determinism).
+        let run = |dev: &Device| {
+            let mut buf = dev.alloc("v", 5000, 1.0f64);
+            dev.launch_mut("scale", &mut buf, |i, v| *v *= (i as f64).sin());
+            buf.copy_to_host()
+        };
+        let clamped = Device::new_budgeted(DeviceConfig::default().with_workers(8), 64);
+        assert_eq!(run(&Device::new(DeviceConfig::serial())), run(&clamped));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_replica_budget_rejected() {
+        let _ = Device::new_budgeted(DeviceConfig::default(), 0);
+    }
+
+    #[test]
+    fn absorbed_replica_profiles_merge_into_primary() {
+        let primary = dev(1);
+        primary.launch("shared_kernel", 10, |_| {});
+        let replica = dev(1);
+        replica.launch("shared_kernel", 10, |_| {});
+        replica.launch("replica_only", 5, |_| {});
+        replica.bump_counter("replica_items", 3);
+        primary.absorb_profile(&replica.profile());
+        let merged = primary.profile();
+        assert_eq!(merged.get("shared_kernel").unwrap().launches, 2);
+        assert_eq!(merged.get("replica_only").unwrap().launches, 1);
+        assert_eq!(merged.counter("replica_items"), Some(3));
     }
 
     #[test]

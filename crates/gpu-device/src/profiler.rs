@@ -50,6 +50,17 @@ impl KernelStats {
             self.bytes_touched as f64 / (self.total_ns as f64 * 1e-9)
         }
     }
+
+    /// Adds another accumulation of the same kernel (e.g. from a replica
+    /// device) into this one. Every field is a sum, so merging is exact and
+    /// order-independent.
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.launches += other.launches;
+        self.pooled_launches += other.pooled_launches;
+        self.total_ns += other.total_ns;
+        self.threads += other.threads;
+        self.bytes_touched += other.bytes_touched;
+    }
 }
 
 /// Accumulated samples of one named gauge: a per-launch scalar observation
@@ -77,17 +88,62 @@ impl GaugeStats {
             self.sum / self.samples as f64
         }
     }
+
+    /// Folds one observation into the accumulation.
+    pub fn merge_sample(&mut self, value: f64) {
+        if self.samples == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.sum += value;
+        self.samples += 1;
+    }
+
+    /// Merges another sample population of the same gauge (e.g. from a
+    /// replica device): sums and counts add, extrema combine.
+    pub fn merge(&mut self, other: &GaugeStats) {
+        if other.samples == 0 {
+            return;
+        }
+        if self.samples == 0 {
+            *self = *other;
+            return;
+        }
+        self.sum += other.sum;
+        self.samples += other.samples;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 /// Collects per-kernel-name launch counts and cumulative wall time, plus
 /// named monotonic counters for work that kernels *avoid* (skipped or
 /// deferred items in lazy execution paths) and named gauges for sampled
 /// scalars (e.g. active-list occupancy).
+///
+/// Keys are `String`s so a profiler can also absorb snapshots taken on
+/// *other* devices (replica devices of a parallel evaluation run); the
+/// per-launch hot path still avoids allocation once a kernel name has been
+/// seen.
 #[derive(Debug, Default)]
 pub struct KernelProfiler {
-    entries: Mutex<HashMap<&'static str, KernelStats>>,
-    counters: Mutex<HashMap<&'static str, u64>>,
-    gauges: Mutex<HashMap<&'static str, GaugeStats>>,
+    entries: Mutex<HashMap<String, KernelStats>>,
+    counters: Mutex<HashMap<String, u64>>,
+    gauges: Mutex<HashMap<String, GaugeStats>>,
+}
+
+/// `map[name] += ...` without allocating when the key already exists.
+fn with_entry<V: Default>(map: &mut HashMap<String, V>, name: &str, f: impl FnOnce(&mut V)) {
+    if let Some(v) = map.get_mut(name) {
+        f(v);
+    } else {
+        let mut v = V::default();
+        f(&mut v);
+        map.insert(name.to_owned(), v);
+    }
 }
 
 impl KernelProfiler {
@@ -108,33 +164,53 @@ impl KernelProfiler {
         pooled: bool,
         elapsed: Duration,
     ) {
-        let mut entries = self.entries.lock();
-        let e = entries.entry(name).or_default();
-        e.launches += 1;
-        e.pooled_launches += u64::from(pooled);
-        e.total_ns += elapsed.as_nanos() as u64;
-        e.threads += threads as u64;
-        e.bytes_touched += bytes;
+        with_entry(&mut self.entries.lock(), name, |e| {
+            e.launches += 1;
+            e.pooled_launches += u64::from(pooled);
+            e.total_ns += elapsed.as_nanos() as u64;
+            e.threads += threads as u64;
+            e.bytes_touched += bytes;
+        });
     }
 
     /// Adds `delta` to the named monotonic counter.
     pub fn bump(&self, name: &'static str, delta: u64) {
-        *self.counters.lock().entry(name).or_default() += delta;
+        with_entry(&mut self.counters.lock(), name, |c| *c += delta);
     }
 
     /// Records one sample of the named gauge.
     pub fn gauge(&self, name: &'static str, value: f64) {
-        let mut gauges = self.gauges.lock();
-        let g = gauges.entry(name).or_default();
-        if g.samples == 0 {
-            g.min = value;
-            g.max = value;
-        } else {
-            g.min = g.min.min(value);
-            g.max = g.max.max(value);
+        with_entry(&mut self.gauges.lock(), name, |g| g.merge_sample(value));
+    }
+
+    /// Merges a locally accumulated sample population into the named gauge.
+    /// Hot loops (e.g. a per-step engine pipeline) fold their samples into
+    /// a private [`GaugeStats`] and deposit it once per batch, instead of
+    /// taking the profiler lock on every step.
+    pub fn gauge_stats(&self, name: &'static str, stats: &GaugeStats) {
+        with_entry(&mut self.gauges.lock(), name, |g: &mut GaugeStats| g.merge(stats));
+    }
+
+    /// Folds a snapshot taken on another profiler (typically a replica
+    /// device of a parallel evaluation run) into this one, so one merged
+    /// report covers every device instead of losing all but the primary
+    /// device's numbers. Kernel stats and counters add; gauges merge their
+    /// sample populations (sum, count, min, max).
+    pub fn absorb(&self, report: &ProfileReport) {
+        let mut entries = self.entries.lock();
+        for (name, stats) in &report.kernels {
+            with_entry(&mut entries, name, |e: &mut KernelStats| e.merge(stats));
         }
-        g.sum += value;
-        g.samples += 1;
+        drop(entries);
+        let mut counters = self.counters.lock();
+        for (name, value) in &report.counters {
+            with_entry(&mut counters, name, |c| *c += value);
+        }
+        drop(counters);
+        let mut gauges = self.gauges.lock();
+        for (name, stats) in &report.gauges {
+            with_entry(&mut gauges, name, |g: &mut GaugeStats| g.merge(stats));
+        }
     }
 
     /// Snapshot of all kernels, sorted by descending total time.
@@ -144,21 +220,21 @@ impl KernelProfiler {
             .entries
             .lock()
             .iter()
-            .map(|(name, stats)| ((*name).to_owned(), *stats))
+            .map(|(name, stats)| (name.clone(), *stats))
             .collect();
         kernels.sort_by_key(|(_, stats)| std::cmp::Reverse(stats.total_ns));
         let mut counters: Vec<(String, u64)> = self
             .counters
             .lock()
             .iter()
-            .map(|(name, value)| ((*name).to_owned(), *value))
+            .map(|(name, value)| (name.clone(), *value))
             .collect();
         counters.sort();
         let mut gauges: Vec<(String, GaugeStats)> = self
             .gauges
             .lock()
             .iter()
-            .map(|(name, stats)| ((*name).to_owned(), *stats))
+            .map(|(name, stats)| (name.clone(), *stats))
             .collect();
         gauges.sort_by(|a, b| a.0.cmp(&b.0));
         ProfileReport { kernels, counters, gauges }
@@ -206,6 +282,21 @@ impl ProfileReport {
     #[must_use]
     pub fn gauge(&self, name: &str) -> Option<&GaugeStats> {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Merges per-device snapshots (e.g. one per eval replica) into one
+    /// report covering every device: kernel stats and counters sum, gauges
+    /// combine their sample populations, and the result is re-sorted the
+    /// way [`KernelProfiler::report`] sorts (kernels by descending total
+    /// time, counters and gauges by name) so the merged report is
+    /// independent of the order the snapshots arrive in.
+    #[must_use]
+    pub fn merged<'a, I: IntoIterator<Item = &'a ProfileReport>>(reports: I) -> ProfileReport {
+        let acc = KernelProfiler::new();
+        for report in reports {
+            acc.absorb(report);
+        }
+        acc.report()
     }
 }
 
@@ -365,6 +456,68 @@ mod tests {
         assert_eq!(human_bytes(512), "512 B");
         assert_eq!(human_bytes(2048), "2.0 KiB");
         assert_eq!(human_bytes(3 * 1024 * 1024), "3.0 MiB");
+    }
+
+    #[test]
+    fn merged_reports_sum_kernels_counters_and_gauges() {
+        let a = KernelProfiler::new();
+        a.record("deliver", 100, 800, true, Duration::from_micros(10));
+        a.bump("skipped", 5);
+        a.gauge("active_fraction", 0.2);
+        let b = KernelProfiler::new();
+        b.record("deliver", 50, 400, false, Duration::from_micros(30));
+        b.record("encode", 10, 0, false, Duration::from_micros(1));
+        b.bump("skipped", 7);
+        b.bump("extra", 1);
+        b.gauge("active_fraction", 0.6);
+        let merged = ProfileReport::merged([&a.report(), &b.report()]);
+        let deliver = merged.get("deliver").unwrap();
+        assert_eq!(deliver.launches, 2);
+        assert_eq!(deliver.pooled_launches, 1);
+        assert_eq!(deliver.threads, 150);
+        assert_eq!(deliver.bytes_touched, 1200);
+        assert_eq!(deliver.total(), Duration::from_micros(40));
+        assert!(merged.get("encode").is_some());
+        assert_eq!(merged.counter("skipped"), Some(12));
+        assert_eq!(merged.counter("extra"), Some(1));
+        let g = merged.gauge("active_fraction").unwrap();
+        assert_eq!(g.samples, 2);
+        assert!((g.mean() - 0.4).abs() < 1e-12);
+        assert_eq!(g.min, 0.2);
+        assert_eq!(g.max, 0.6);
+        // Merge order must not matter.
+        let swapped = ProfileReport::merged([&b.report(), &a.report()]);
+        assert_eq!(merged.counters, swapped.counters);
+        assert_eq!(merged.gauges.len(), swapped.gauges.len());
+        assert_eq!(merged.get("deliver"), swapped.get("deliver"));
+    }
+
+    #[test]
+    fn absorb_folds_into_live_profiler() {
+        let primary = KernelProfiler::new();
+        primary.record("k", 1, 0, false, Duration::from_micros(2));
+        let replica = KernelProfiler::new();
+        replica.record("k", 3, 16, true, Duration::from_micros(4));
+        replica.gauge("g", 1.0);
+        primary.absorb(&replica.report());
+        let r = primary.report();
+        let k = r.get("k").unwrap();
+        assert_eq!(k.launches, 2);
+        assert_eq!(k.threads, 4);
+        assert_eq!(r.gauge("g").unwrap().samples, 1);
+    }
+
+    #[test]
+    fn gauge_merge_handles_empty_sides() {
+        let mut empty = GaugeStats::default();
+        let mut full = GaugeStats::default();
+        full.merge_sample(2.0);
+        empty.merge(&full);
+        assert_eq!(empty.samples, 1);
+        assert_eq!(empty.min, 2.0);
+        let before = full;
+        full.merge(&GaugeStats::default());
+        assert_eq!(full, before);
     }
 
     #[test]

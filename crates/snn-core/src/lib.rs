@@ -62,6 +62,12 @@ pub mod streams {
     pub const INPUT: u64 = 1 << 40;
     /// Synapse acceptance and rounding draws.
     pub const SYNAPSE: u64 = 2 << 40;
+    /// Frozen-evaluation presentation keys: the eval train generator
+    /// derives one presentation-local Philox key per image from
+    /// `EVAL | image_index`, so a presentation's spikes depend only on the
+    /// seed and the image's dataset index — never on which replica runs it
+    /// or in what order.
+    pub const EVAL: u64 = 3 << 40;
 }
 
 /// Convenience re-exports of the types most callers need.
@@ -71,7 +77,7 @@ pub mod prelude {
         RuleKind, StdpMagnitudes, StochasticParams,
     };
     pub use crate::neuron::{LifNeuron, NeuronModel};
-    pub use crate::sim::{SpikeRaster, WtaEngine};
+    pub use crate::sim::{EvalSnapshot, SpikeRaster, SpikeTrains, WtaEngine};
     pub use crate::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp};
     pub use crate::synapse::{SynapseMatrix, TransposedConductances};
     pub use crate::SnnError;

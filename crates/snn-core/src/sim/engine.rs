@@ -5,13 +5,14 @@ use crate::config::{
     PlasticityExecution, RuleKind,
 };
 use crate::neuron::{AdexNeuron, IzhikevichNeuron, LifNeuron, NeuronModel, NeuronState};
-use crate::sim::SpikeRaster;
+use crate::sim::{EvalSnapshot, SpikeRaster, SpikeTrains};
 use crate::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp};
 use crate::synapse::{
     PlasticityLedger, PostEvent, SettleCtx, SynapseMatrix, TransposedConductances,
 };
 use crate::SnnError;
-use gpu_device::{Device, DeviceBuffer, Philox4x32, SharedSlice};
+use gpu_device::{Device, DeviceBuffer, GaugeStats, Philox4x32, SharedSlice};
+use std::sync::Arc;
 
 /// Canonical summation block of the current-delivery kernels: both the
 /// dense and the sparse path fold this step's active (spiking) inputs —
@@ -28,8 +29,12 @@ const SPIKE_BLOCK: usize = 32;
 const POST_TILE: usize = 256;
 
 /// Per-excitatory-neuron dynamic state, kept as an array of structs so the
-/// neuron-update kernel touches one cache line per neuron.
+/// neuron-update kernel touches one cache line per neuron. The explicit
+/// 64-byte alignment pads the natural 56-byte layout so no cell ever
+/// straddles two cache lines — the per-step integrate sweep touches exactly
+/// one line per neuron.
 #[derive(Debug, Clone, Copy)]
+#[repr(align(64))]
 struct ExcCell {
     v: f64,
     recovery: f64,
@@ -45,6 +50,51 @@ struct ExcCell {
 // lazy plasticity paths draw identical randomness).
 use crate::streams::{INPUT as STREAM_KIND_INPUT, SYNAPSE as STREAM_KIND_SYNAPSE};
 
+/// The engine's synapse storage: owned and mutable for learning engines,
+/// or an `Arc`-shared read-only snapshot for frozen evaluation replicas
+/// (which never copy the O(n_pre × n_post) weights).
+enum SynapseStore {
+    Owned(SynapseMatrix),
+    Frozen(Arc<SynapseMatrix>),
+}
+
+impl SynapseStore {
+    fn get(&self) -> &SynapseMatrix {
+        match self {
+            SynapseStore::Owned(m) => m,
+            SynapseStore::Frozen(m) => m,
+        }
+    }
+
+    fn get_mut(&mut self) -> &mut SynapseMatrix {
+        match self {
+            SynapseStore::Owned(m) => m,
+            SynapseStore::Frozen(_) => {
+                panic!("frozen replica synapses are immutable (mounted from an EvalSnapshot)")
+            }
+        }
+    }
+}
+
+/// The neuron-major conductance mirror backing sparse delivery: absent in
+/// dense mode, owned (and refreshed after every matrix mutation) on a
+/// learning engine, shared read-only on a frozen replica.
+enum TransposedView {
+    Absent,
+    Owned(TransposedConductances),
+    Frozen(Arc<TransposedConductances>),
+}
+
+impl TransposedView {
+    fn view(&self) -> Option<&TransposedConductances> {
+        match self {
+            TransposedView::Absent => None,
+            TransposedView::Owned(gt) => Some(gt),
+            TransposedView::Frozen(gt) => Some(gt),
+        }
+    }
+}
+
 /// The unsupervised-learning engine: rate-coded input trains, an excitatory
 /// LIF layer with all-to-all plastic synapses, winner-take-all lateral
 /// inhibition, and on-line (deterministic or stochastic) STDP.
@@ -58,7 +108,7 @@ pub struct WtaEngine<'d> {
     cfg: NetworkConfig,
     device: &'d Device,
     rule: Box<dyn PlasticityRule>,
-    synapses: SynapseMatrix,
+    synapses: SynapseStore,
     cells: Vec<ExcCell>,
     i_syn: Vec<f64>,
     last_pre: Vec<f64>,
@@ -74,8 +124,13 @@ pub struct WtaEngine<'d> {
     /// Neuron-major mirror of the synapse matrix, present only under
     /// [`CurrentDelivery::Sparse`]; kept bit-coherent with the row-major
     /// learning-side matrix by a rectangle refresh after every
-    /// matrix-mutating pass.
-    transposed: Option<TransposedConductances>,
+    /// matrix-mutating pass (shared read-only on frozen replicas).
+    transposed: TransposedView,
+    /// Persistent per-block partial-sum buffer of the sparse delivery
+    /// kernel, grown on demand; every cell in use is assigned (not
+    /// accumulated) by the first spike of its block each step, so no
+    /// zeroing pass is needed between steps.
+    partial_sums: Vec<f64>,
     spiking_posts: Vec<u32>,
     /// Resolved execution strategy: `cfg.plasticity`, downgraded to `Eager`
     /// when the rule consumes pre-side events (the deferral protocol only
@@ -96,6 +151,43 @@ pub struct WtaEngine<'d> {
     potential_trace: Vec<(f64, f64)>,
     syn_decay: f64,
     theta_decay: f64,
+    /// Per-step profiler accounting batched across a presentation, so the
+    /// step pipeline takes no profiler locks (see [`StepAccounting`]).
+    acct: StepAccounting,
+}
+
+/// Locally accumulated per-step profiler traffic: the delivery counters and
+/// the `active_fraction` gauge are bumped on every single step, so the step
+/// pipeline folds them into this plain struct and deposits the batch into
+/// the device profiler once per presentation instead of taking a
+/// string-keyed profiler lock three times per step.
+#[derive(Default)]
+struct StepAccounting {
+    active_spikes: u64,
+    blocks: u64,
+    dense_items: u64,
+    dense_items_skipped: u64,
+    active_fraction: GaugeStats,
+}
+
+impl StepAccounting {
+    fn flush(&mut self, device: &Device) {
+        if self.active_fraction.samples == 0 {
+            return;
+        }
+        device.bump_counter("delivery_active_spikes", self.active_spikes);
+        if self.blocks > 0 {
+            device.bump_counter("delivery_blocks", self.blocks);
+        }
+        if self.dense_items > 0 {
+            device.bump_counter("delivery_dense_items", self.dense_items);
+        }
+        if self.dense_items_skipped > 0 {
+            device.bump_counter("delivery_dense_items_skipped", self.dense_items_skipped);
+        }
+        device.record_gauge_stats("active_fraction", &self.active_fraction);
+        *self = Self::default();
+    }
 }
 
 impl<'d> WtaEngine<'d> {
@@ -114,6 +206,25 @@ impl<'d> WtaEngine<'d> {
     /// Fallible constructor: validates `cfg` first.
     pub fn try_new(cfg: NetworkConfig, device: &'d Device, seed: u64) -> Result<Self, SnnError> {
         cfg.validate()?;
+        let synapses = SynapseMatrix::new_random(&cfg, seed);
+        let transposed = match cfg.delivery {
+            CurrentDelivery::Sparse => TransposedView::Owned(TransposedConductances::new(&synapses)),
+            CurrentDelivery::Dense => TransposedView::Absent,
+        };
+        Ok(Self::assemble(cfg, device, seed, SynapseStore::Owned(synapses), transposed))
+    }
+
+    /// Assembles an engine around an existing synapse store — the shared
+    /// tail of [`WtaEngine::try_new`] (owned random weights) and
+    /// [`WtaEngine::replica`] (frozen shared weights, which skips the
+    /// random initialization entirely). `cfg` must already be validated.
+    fn assemble(
+        cfg: NetworkConfig,
+        device: &'d Device,
+        seed: u64,
+        synapses: SynapseStore,
+        transposed: TransposedView,
+    ) -> Self {
         let rule: Box<dyn PlasticityRule> = match cfg.rule {
             RuleKind::Deterministic => Box::new(DeterministicStdp::new(cfg.ltp_window_ms)),
             RuleKind::Stochastic => {
@@ -124,7 +235,6 @@ impl<'d> WtaEngine<'d> {
                 Box::new(StochasticStdp::new(params))
             }
         };
-        let synapses = SynapseMatrix::new_random(&cfg, seed);
         let init_state = match cfg.neuron {
             NeuronModelKind::Lif => LifNeuron::new(cfg.lif).initial_state(),
             NeuronModelKind::Izhikevich(p) => IzhikevichNeuron::new(p).initial_state(),
@@ -156,12 +266,9 @@ impl<'d> WtaEngine<'d> {
             PlasticityExecution::Lazy => PlasticityLedger::new(cfg.n_inputs, cfg.n_excitatory),
             PlasticityExecution::Eager => PlasticityLedger::new(cfg.n_inputs, 0),
         };
-        let transposed = match cfg.delivery {
-            CurrentDelivery::Sparse => Some(TransposedConductances::new(&synapses)),
-            CurrentDelivery::Dense => None,
-        };
-        Ok(WtaEngine {
+        WtaEngine {
             transposed,
+            partial_sums: Vec::new(),
             exec,
             ledger,
             inh_cells,
@@ -182,11 +289,81 @@ impl<'d> WtaEngine<'d> {
             potential_trace: Vec::new(),
             syn_decay,
             theta_decay,
+            acct: StepAccounting::default(),
             rule,
             synapses,
             device,
             cfg,
-        })
+        }
+    }
+
+    /// Mounts a frozen evaluation replica over `snapshot`: the replica
+    /// shares the snapshot's conductance matrix and transposed view by
+    /// reference count — no weight copy, N replicas hold one O(n_pre ×
+    /// n_post) allocation — and seeds its adaptive thresholds from the
+    /// snapshot. A replica only runs frozen presentations
+    /// ([`WtaEngine::present_frozen`] or [`WtaEngine::present`] with
+    /// `plastic = false`); any weight-mutating call panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the configuration is invalid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's shape does not match the configuration.
+    pub fn replica(
+        cfg: NetworkConfig,
+        device: &'d Device,
+        seed: u64,
+        snapshot: &EvalSnapshot,
+    ) -> Result<Self, SnnError> {
+        cfg.validate()?;
+        assert_eq!(
+            snapshot.synapses().n_pre(),
+            cfg.n_inputs,
+            "snapshot pre population mismatch"
+        );
+        assert_eq!(
+            snapshot.synapses().n_post(),
+            cfg.n_excitatory,
+            "snapshot post population mismatch"
+        );
+        // Mount the shared stores directly — a replica never touches the
+        // random initialization path, so construction is O(n_excitatory),
+        // not O(n_pre × n_post).
+        let transposed = match cfg.delivery {
+            CurrentDelivery::Sparse => TransposedView::Frozen(snapshot.transposed_arc()),
+            CurrentDelivery::Dense => TransposedView::Absent,
+        };
+        let mut engine = Self::assemble(
+            cfg,
+            device,
+            seed,
+            SynapseStore::Frozen(snapshot.synapses_arc()),
+            transposed,
+        );
+        for (cell, &theta) in engine.cells.iter_mut().zip(snapshot.thetas()) {
+            cell.theta = theta;
+        }
+        Ok(engine)
+    }
+
+    /// Captures a read-only, `Arc`-shared snapshot of the learned state —
+    /// the settled conductance matrix (row-major and transposed) plus the
+    /// homeostasis thresholds — for mounting evaluation replicas with
+    /// [`WtaEngine::replica`].
+    #[must_use]
+    pub fn snapshot(&self) -> EvalSnapshot {
+        debug_assert!(self.ledger.is_idle(), "snapshotting an unsettled synapse matrix");
+        EvalSnapshot::new(self.synapses.get().clone(), self.thetas())
+    }
+
+    /// Whether this engine is a frozen evaluation replica (mounted from an
+    /// [`EvalSnapshot`]; cannot learn).
+    #[must_use]
+    pub fn is_frozen(&self) -> bool {
+        matches!(self.synapses, SynapseStore::Frozen(_))
     }
 
     /// The configuration this engine was built with.
@@ -215,7 +392,7 @@ impl<'d> WtaEngine<'d> {
     #[must_use]
     pub fn synapses(&self) -> &SynapseMatrix {
         debug_assert!(self.ledger.is_idle(), "observing an unsettled synapse matrix");
-        &self.synapses
+        self.synapses.get()
     }
 
     /// Replaces the synapse matrix (e.g. when restoring a checkpoint).
@@ -227,10 +404,10 @@ impl<'d> WtaEngine<'d> {
         assert_eq!(synapses.n_pre(), self.cfg.n_inputs, "pre population mismatch");
         assert_eq!(synapses.n_post(), self.cfg.n_excitatory, "post population mismatch");
         debug_assert!(self.ledger.is_idle(), "replacing an unsettled synapse matrix");
-        self.synapses = synapses;
-        if self.transposed.is_some() {
-            self.transposed = Some(TransposedConductances::new(&self.synapses));
+        if !matches!(self.transposed, TransposedView::Absent) {
+            self.transposed = TransposedView::Owned(TransposedConductances::new(&synapses));
         }
+        self.synapses = SynapseStore::Owned(synapses);
     }
 
     /// Current simulated time (ms).
@@ -281,13 +458,13 @@ impl<'d> WtaEngine<'d> {
     pub fn normalize_receptive_fields(&mut self, target: f64) {
         assert!(target > 0.0, "normalization target must be positive");
         debug_assert!(self.ledger.is_idle(), "normalizing an unsettled synapse matrix");
-        let ctx = self.synapses.update_ctx();
+        let ctx = self.synapses.get().update_ctx();
         let philox = self.philox;
         let step = self.step;
         let n_pre = self.cfg.n_inputs;
         self.device.launch_rows_mut(
             "normalize_weights",
-            self.synapses.as_flat_mut(),
+            self.synapses.get_mut().as_flat_mut(),
             n_pre,
             |j, row| {
                 let sum: f64 = row.iter().sum();
@@ -302,8 +479,8 @@ impl<'d> WtaEngine<'d> {
                 }
             },
         );
-        if let Some(gt) = &mut self.transposed {
-            let cells = gt.refresh(&self.synapses, None, None);
+        if let TransposedView::Owned(gt) = &mut self.transposed {
+            let cells = gt.refresh(self.synapses.get(), None, None);
             self.device.bump_counter("transpose_cells_refreshed", cells);
         }
     }
@@ -329,6 +506,13 @@ impl<'d> WtaEngine<'d> {
         self.i_syn.fill(0.0);
         self.last_pre.fill(f64::NEG_INFINITY);
         self.inh_drive.fill(0.0);
+        // A canonical start also clears the spike flags: the dense delivery
+        // kernel gates on the whole flag array and the frozen-presentation
+        // path stages flags incrementally, so the previous presentation's
+        // final step must not leak in. (The encode kernel overwrites every
+        // flag each step, so this cannot change a training trajectory.)
+        self.input_spiked.fill(0);
+        self.active_inputs = 0;
         if let Some(inh) = &mut self.inh_cells {
             let init = LifNeuron::new(self.cfg.lif).initial_state();
             inh.fill(init);
@@ -351,6 +535,10 @@ impl<'d> WtaEngine<'d> {
             self.cfg.n_inputs,
             "rate vector does not match input population"
         );
+        assert!(
+            !(plastic && self.is_frozen()),
+            "frozen replica engines cannot learn (mounted from an EvalSnapshot)"
+        );
         let dt = self.cfg.dt_ms;
         // Per-step spike probability; a train faster than 1/dt saturates.
         let p_spike: Vec<f64> =
@@ -361,7 +549,239 @@ impl<'d> WtaEngine<'d> {
             self.step_once(&p_spike, plastic, &mut counts);
         }
         self.flush_plasticity();
+        self.acct.flush(self.device);
         counts
+    }
+
+    /// Presents one *precomputed* stimulus with plasticity off — the frozen
+    /// evaluation path. `trains` supplies every step's spiking inputs
+    /// directly (generated outside the engine, keyed by image index), so
+    /// the presentation consumes no engine RNG and starts from the
+    /// canonical post-[`WtaEngine::reset_transients`] state at local time
+    /// zero: the returned spike counts are a pure function of (weights,
+    /// thresholds, trains) — bit-identical on any engine mounting the same
+    /// snapshot, at any worker count, no matter which replica runs the
+    /// image or in what order presentations are queued.
+    ///
+    /// The engine's training clock and step counter are saved and restored
+    /// around the presentation, so interleaving frozen probes with training
+    /// does not perturb the training trajectory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trains' input count or step width disagree with the
+    /// engine configuration.
+    pub fn present_frozen(&mut self, trains: &SpikeTrains) -> Vec<u32> {
+        assert_eq!(
+            trains.n_inputs(),
+            self.cfg.n_inputs,
+            "train set does not match input population"
+        );
+        assert!(
+            (trains.dt_ms() - self.cfg.dt_ms).abs() < 1e-12,
+            "train step width does not match the configured dt"
+        );
+        debug_assert!(self.ledger.is_idle(), "frozen presentation with unsettled plasticity");
+        self.reset_transients();
+        // Local time zero: f64 arithmetic is not translation-invariant, so
+        // identical outcomes require an identical clock, not just identical
+        // inputs.
+        let saved_time = self.time_ms;
+        let saved_step = self.step;
+        self.time_ms = 0.0;
+        self.step = 0;
+        let mut counts = vec![0u32; self.cfg.n_excitatory];
+        // Inhibition fast-forward (see [`WtaEngine::step_quiet`]): inside a
+        // winner-take-all suppression window every inhibited neuron's update
+        // is the provable no-op `spiked = false; v = v_reset`, so only the
+        // event's spikers need integrating and the full-population kernel
+        // collapses to the synaptic-current fold. Requires the LIF model
+        // (other models touch recovery state even when suppressed), implicit
+        // inhibition, a transposed view for the fold, and no per-step
+        // observers.
+        let quiet_ok = matches!(self.cfg.neuron, NeuronModelKind::Lif)
+            && matches!(self.cfg.inhibition, InhibitionMode::Implicit)
+            && self.transposed.view().is_some()
+            && self.raster.is_none()
+            && self.traced_neuron.is_none()
+            && self.cfg.t_inh_ms > 0.0;
+        let mut quiet_until = f64::NEG_INFINITY;
+        let mut quiet_active: Vec<u32> = Vec::new();
+        let mut prev = 0usize;
+        for s in 0..trains.steps() {
+            let active = trains.active(s);
+            if quiet_ok && self.time_ms < quiet_until {
+                self.step_quiet(active, &mut quiet_active, &mut quiet_until, &mut counts);
+                continue;
+            }
+            // Stage the precomputed list where the encode kernel would
+            // have written it: retire the previous step's flags, copy
+            // the new list, raise its flags.
+            let list = self.spike_list.as_mut_slice();
+            for &i in &list[..prev] {
+                self.input_spiked[i as usize] = 0;
+            }
+            list[..active.len()].copy_from_slice(active);
+            for &i in active {
+                self.input_spiked[i as usize] = 1;
+            }
+            self.active_inputs = active.len();
+            prev = active.len();
+            self.step_core(false, &mut counts);
+            if quiet_ok && !self.spiking_posts.is_empty() {
+                self.enter_quiet(&mut quiet_active, &mut quiet_until);
+            }
+        }
+        // Leave the flag array clean for whatever runs next.
+        let list = self.spike_list.as_slice();
+        for &i in &list[..prev] {
+            self.input_spiked[i as usize] = 0;
+        }
+        self.active_inputs = 0;
+        self.time_ms = saved_time;
+        self.step = saved_step;
+        self.acct.flush(self.device);
+        counts
+    }
+
+    /// One frozen-evaluation step taken entirely inside a winner-take-all
+    /// suppression window (`t < quiet_until`). Every neuron outside
+    /// `quiet_active` is inhibited, and the inhibited arm of the LIF update
+    /// is `spiked = false; v = v_reset` — both already true in the stored
+    /// state (see [`WtaEngine::enter_quiet`]) — so the full-population
+    /// integration kernel is a provable no-op for them and is skipped
+    /// wholesale. What remains per step is the canonical synaptic-current
+    /// fold over the whole population (the current trajectory must stay
+    /// exact for when neurons rejoin) plus the ordinary per-neuron update
+    /// of the handful of uninhibited spikers, whose refractory countdown
+    /// and threshold crossings the window does not protect against.
+    ///
+    /// Every floating-point operation that still runs is the same op in the
+    /// same order as [`WtaEngine::step_core`], so the path is bit-identical
+    /// to the per-step pipeline; it differs only in the work it can prove
+    /// away. A spike inside the window re-enters the standard
+    /// winner-take-all commit and restarts the window from this step.
+    fn step_quiet(
+        &mut self,
+        spikers: &[u32],
+        quiet_active: &mut Vec<u32>,
+        quiet_until: &mut f64,
+        counts: &mut [u32],
+    ) {
+        let t = self.time_ms;
+        let dt = self.cfg.dt_ms;
+        let n_pre = self.cfg.n_inputs;
+        let n_exc = self.cfg.n_excitatory;
+        let n_active = spikers.len();
+        self.acct.active_fraction.merge_sample(n_active as f64 / n_pre as f64);
+        self.acct.active_spikes += n_active as u64;
+        for &i in spikers {
+            self.last_pre[i as usize] = t;
+        }
+        // The synaptic-current fold of the fused delivery kernel, minus the
+        // integration it normally feeds: `i_syn[j] = i_syn[j]·decay +
+        // Σ_b block_b[j]` with the same SPIKE_BLOCK partial-sum grouping.
+        {
+            let v_spike = self.cfg.v_spike;
+            let decay = self.syn_decay;
+            let gt = self.transposed.view().expect("quiet step requires a transposed view");
+            let i_syn = SharedSlice::new(&mut self.i_syn);
+            let n_blocks = n_active.div_ceil(SPIKE_BLOCK);
+            let cost = (n_active + 1) * n_exc;
+            let bytes = ((n_active + 2) * n_exc * 8) as u64;
+            self.device.launch_fused("deliver_decay_quiet", cost, bytes, |ctx| match *spikers {
+                [] => {
+                    for j in ctx.chunk(n_exc) {
+                        // SAFETY: chunk() partitions 0..n_exc per worker.
+                        unsafe { i_syn.write(j, i_syn.read(j) * decay) };
+                    }
+                }
+                [i0] => {
+                    let col = gt.col(i0 as usize);
+                    for j in ctx.chunk(n_exc) {
+                        // SAFETY: chunk() partitions 0..n_exc per worker.
+                        unsafe { i_syn.write(j, i_syn.read(j) * decay + col[j] * v_spike) };
+                    }
+                }
+                _ => {
+                    for j in ctx.chunk(n_exc) {
+                        // SAFETY: chunk() partitions 0..n_exc per worker.
+                        let mut acc = unsafe { i_syn.read(j) } * decay;
+                        for block in spikers.chunks(SPIKE_BLOCK) {
+                            let mut iter = block.iter();
+                            if let Some(&i0) = iter.next() {
+                                let mut b = gt.col(i0 as usize)[j] * v_spike;
+                                for &i in iter {
+                                    b += gt.col(i as usize)[j] * v_spike;
+                                }
+                                acc += b;
+                            }
+                        }
+                        unsafe { i_syn.write(j, acc) };
+                    }
+                }
+            });
+            self.acct.blocks += n_blocks as u64;
+            self.acct.dense_items_skipped += ((n_pre - n_active) * n_exc) as u64;
+        }
+        // Only the uninhibited neurons can change state or spike.
+        let lif_params = self.cfg.lif;
+        let theta_decay = self.theta_decay;
+        let mut any_spiked = false;
+        for &j in quiet_active.iter() {
+            let j = j as usize;
+            let cell = &mut self.cells[j];
+            integrate_cell_lif(cell, self.i_syn[j], t, dt, lif_params, theta_decay, false);
+            any_spiked |= cell.spiked;
+        }
+        if any_spiked {
+            // The standard frozen winner-take-all commit (no raster, no
+            // homeostasis bump), scanning only the neurons that could spike.
+            self.spiking_posts.clear();
+            for &j in quiet_active.iter() {
+                if self.cells[j as usize].spiked {
+                    self.spiking_posts.push(j);
+                    self.cells[j as usize].last_spike = t;
+                    counts[j as usize] += 1;
+                }
+            }
+            let until = t + self.cfg.t_inh_ms;
+            let v_reset = self.cfg.lif.v_reset;
+            for cell in &mut self.cells {
+                if !cell.spiked {
+                    cell.inhibited_until = until;
+                    cell.v = v_reset;
+                }
+            }
+            quiet_active.clear();
+            quiet_active.extend_from_slice(&self.spiking_posts);
+            *quiet_until = until;
+        }
+        self.step += 1;
+        self.time_ms += dt;
+    }
+
+    /// Opens a winner-take-all suppression window after a step that spiked:
+    /// records the window deadline and the spikers (the only neurons the
+    /// window leaves uninhibited), and pre-applies the inhibited arm's
+    /// `v = v_reset` so every skipped update is a no-op on the stored state.
+    /// The deadline is read back from a suppressed cell rather than
+    /// recomputed, so the `t < quiet_until` gate compares the exact f64 the
+    /// per-step inhibition branch would.
+    fn enter_quiet(&mut self, quiet_active: &mut Vec<u32>, quiet_until: &mut f64) {
+        let Some(suppressed) = self.cells.iter().find(|c| !c.spiked) else {
+            // Every neuron spiked: nothing is inhibited and no window opens.
+            return;
+        };
+        *quiet_until = suppressed.inhibited_until;
+        let v_reset = self.cfg.lif.v_reset;
+        for cell in &mut self.cells {
+            if !cell.spiked {
+                cell.v = v_reset;
+            }
+        }
+        quiet_active.clear();
+        quiet_active.extend_from_slice(&self.spiking_posts);
     }
 
     /// Settles every deferred plasticity event into the synapse matrix and
@@ -374,7 +794,7 @@ impl<'d> WtaEngine<'d> {
             return;
         }
         let outstanding = self.ledger.outstanding_updates();
-        let sctx = self.synapses.settle_ctx(&*self.rule, self.philox);
+        let sctx = self.synapses.get().settle_ctx(&*self.rule, self.philox);
         let n_pre = self.cfg.n_inputs;
         let last_pre = &self.last_pre;
         let (events, applied, active) = self.ledger.split();
@@ -382,7 +802,7 @@ impl<'d> WtaEngine<'d> {
             self.device,
             "stdp_flush_settle",
             active,
-            self.synapses.as_flat_mut(),
+            self.synapses.get_mut().as_flat_mut(),
             applied,
             sctx,
             events,
@@ -392,8 +812,8 @@ impl<'d> WtaEngine<'d> {
         );
         self.device.bump_counter("stdp_flush_rows", active.len() as u64);
         self.device.bump_counter("stdp_updates_settled_at_flush", outstanding);
-        if let Some(gt) = &mut self.transposed {
-            let cells = gt.refresh(&self.synapses, Some(active), None);
+        if let TransposedView::Owned(gt) = &mut self.transposed {
+            let cells = gt.refresh(self.synapses.get(), Some(active), None);
             self.device.bump_counter("transpose_cells_refreshed", cells);
         }
         self.ledger.clear_settled();
@@ -443,10 +863,9 @@ impl<'d> WtaEngine<'d> {
         });
     }
 
-    /// One `dt` step of the full pipeline.
+    /// One `dt` step of the full pipeline: encode + compact this step's
+    /// input spikes, then run the core phases.
     fn step_once(&mut self, p_spike: &[f64], plastic: bool, counts: &mut [u32]) {
-        let t = self.time_ms;
-        let dt = self.cfg.dt_ms;
         let step = self.step;
         let philox = self.philox;
         let n_pre = self.cfg.n_inputs;
@@ -492,10 +911,24 @@ impl<'d> WtaEngine<'d> {
                 }
             });
         }
-        let n_active = self.worker_slots.iter().map(|&c| c as usize).sum::<usize>();
-        self.active_inputs = n_active;
-        self.device.record_gauge("active_fraction", n_active as f64 / n_pre as f64);
-        self.device.bump_counter("delivery_active_spikes", n_active as u64);
+        self.active_inputs = self.worker_slots.iter().map(|&c| c as usize).sum::<usize>();
+        self.step_core(plastic, counts);
+    }
+
+    /// Phases (1b)–(6) of the step pipeline, consuming the staged
+    /// active-spike list (`spike_list[..active_inputs]` plus the coherent
+    /// `input_spiked` flags) — staged either by the encode kernel
+    /// ([`WtaEngine::step_once`]) or copied from precomputed trains
+    /// ([`WtaEngine::present_frozen`]).
+    fn step_core(&mut self, plastic: bool, counts: &mut [u32]) {
+        let t = self.time_ms;
+        let dt = self.cfg.dt_ms;
+        let step = self.step;
+        let philox = self.philox;
+        let n_pre = self.cfg.n_inputs;
+        let n_active = self.active_inputs;
+        self.acct.active_fraction.merge_sample(n_active as f64 / n_pre as f64);
+        self.acct.active_spikes += n_active as u64;
         let spikers = &self.spike_list.as_slice()[..n_active];
 
         // (1b) Touch-time settle (lazy path): a spiking input's column is
@@ -504,14 +937,14 @@ impl<'d> WtaEngine<'d> {
         // column) pairs must land NOW, while `last_pre` still holds the
         // value the eager path read when each event was recorded.
         if !self.ledger.is_idle() && n_active > 0 {
-            let sctx = self.synapses.settle_ctx(&*self.rule, philox);
+            let sctx = self.synapses.get().settle_ctx(&*self.rule, philox);
             let last_pre = &self.last_pre;
             let (events, applied, active) = self.ledger.split();
             Self::launch_settle(
                 self.device,
                 "stdp_touch_settle",
                 active,
-                self.synapses.as_flat_mut(),
+                self.synapses.get_mut().as_flat_mut(),
                 applied,
                 sctx,
                 events,
@@ -522,8 +955,8 @@ impl<'d> WtaEngine<'d> {
             // The settle mutated the (active rows × spiking columns)
             // rectangle, and the sparse kernel is about to stream exactly
             // those columns — re-mirror them into the transposed view.
-            if let Some(gt) = &mut self.transposed {
-                let cells = gt.refresh(&self.synapses, Some(active), Some(spikers));
+            if let TransposedView::Owned(gt) = &mut self.transposed {
+                let cells = gt.refresh(self.synapses.get(), Some(active), Some(spikers));
                 self.device.bump_counter("transpose_cells_refreshed", cells);
             }
         }
@@ -536,12 +969,12 @@ impl<'d> WtaEngine<'d> {
         // pathway (depression is consolidated at the post event), but the
         // dispatch supports custom rules that do.
         if plastic && self.rule.uses_pre_events() && n_active > 0 {
-            let ctx = self.synapses.update_ctx();
+            let ctx = self.synapses.get().update_ctx();
             let rule = &*self.rule;
             let cells = &self.cells;
             self.device.launch_rows_mut(
                 "stdp_pre_dep",
-                self.synapses.as_flat_mut(),
+                self.synapses.get_mut().as_flat_mut(),
                 n_pre,
                 |j, row| {
                     let dt_pair = t - cells[j].last_spike;
@@ -560,8 +993,8 @@ impl<'d> WtaEngine<'d> {
                     }
                 },
             );
-            if let Some(gt) = &mut self.transposed {
-                let cells = gt.refresh(&self.synapses, None, Some(spikers));
+            if let TransposedView::Owned(gt) = &mut self.transposed {
+                let cells = gt.refresh(self.synapses.get(), None, Some(spikers));
                 self.device.bump_counter("transpose_cells_refreshed", cells);
             }
         }
@@ -572,7 +1005,13 @@ impl<'d> WtaEngine<'d> {
         // Σ_b block_b[j]`, blocks of SPIKE_BLOCK ascending active inputs —
         // so they are bit-identical; they differ only in how the blocks are
         // produced (full-row scan vs transposed-column scatter).
-        {
+        // Output spikes this step, counted inside the fused kernels so the
+        // winner-take-all scan below can be skipped on silent steps (the
+        // overwhelmingly common case under rate coding). Each worker adds
+        // its chunk's tally once; only the total is read, so the relaxed
+        // ordering and the addition order are irrelevant to determinism.
+        let step_spikes = std::sync::atomic::AtomicU32::new(0);
+        'delivery: {
             let v_spike = self.cfg.v_spike;
             let decay = self.syn_decay;
             let lif_params = self.cfg.lif;
@@ -585,7 +1024,7 @@ impl<'d> WtaEngine<'d> {
             let i_syn = SharedSlice::new(&mut self.i_syn);
             let cells = SharedSlice::new(&mut self.cells);
             let inh_drive = SharedSlice::new(&mut self.inh_drive);
-            match &self.transposed {
+            match self.transposed.view() {
                 // Sparse path: scatter each (spike block × neuron tile)
                 // rectangle of partial sums from the transposed view, then
                 // reduce the blocks in ascending order, fused with the
@@ -594,10 +1033,105 @@ impl<'d> WtaEngine<'d> {
                     let n_blocks = n_active.div_ceil(SPIKE_BLOCK);
                     let n_tiles = n_exc.div_ceil(POST_TILE).max(1);
                     let scatter_items = n_blocks * n_tiles;
-                    let mut partial = self.device.lease_scratch_f64(n_blocks * n_exc);
-                    let partial_view = SharedSlice::new(&mut partial);
                     let cost = (n_active + n_blocks + 4) * n_exc;
                     let bytes = ((n_active + 2 * n_blocks + 2) * n_exc * 8 + cell_bytes) as u64;
+                    if n_blocks <= 1 {
+                        // Single-block fast path (the common case at rate-
+                        // coded activity: ≤ SPIKE_BLOCK active inputs per
+                        // step). The canonical fold has exactly one block
+                        // term, so its partial sum can be kept in-register
+                        // per neuron — same multiply/add sequence as the
+                        // scatter stage writes, with no partial-buffer
+                        // traffic and no barrier.
+                        let step_spikes = &step_spikes;
+                        self.device.launch_fused("deliver_integrate_sparse", cost, bytes, |ctx| {
+                            // The one- and two-spiker cases dominate under
+                            // rate coding; hoisting their column slices out
+                            // of the neuron loop avoids re-slicing the
+                            // transposed view per neuron. Both specializations
+                            // run the identical multiply/add sequence.
+                            let mut spiked = 0u32;
+                            match *spikers {
+                                [] => {
+                                    for j in ctx.chunk(n_exc) {
+                                        // SAFETY: chunk() partitions 0..n_exc
+                                        // per worker.
+                                        let acc = unsafe { i_syn.read(j) } * decay;
+                                        unsafe { i_syn.write(j, acc) };
+                                        let cell = unsafe { cells.get_mut(j) };
+                                        integrate_cell(
+                                            cell, acc, t, dt, neuron_kind, lif_params,
+                                            theta_decay, homeostasis,
+                                        );
+                                        spiked += u32::from(cell.spiked);
+                                        if decay_inh {
+                                            unsafe { *inh_drive.get_mut(j) *= decay };
+                                        }
+                                    }
+                                }
+                                [i0] => {
+                                    let col = gt.col(i0 as usize);
+                                    for j in ctx.chunk(n_exc) {
+                                        // SAFETY: chunk() partitions 0..n_exc
+                                        // per worker.
+                                        let acc =
+                                            unsafe { i_syn.read(j) } * decay + col[j] * v_spike;
+                                        unsafe { i_syn.write(j, acc) };
+                                        let cell = unsafe { cells.get_mut(j) };
+                                        integrate_cell(
+                                            cell, acc, t, dt, neuron_kind, lif_params,
+                                            theta_decay, homeostasis,
+                                        );
+                                        spiked += u32::from(cell.spiked);
+                                        if decay_inh {
+                                            unsafe { *inh_drive.get_mut(j) *= decay };
+                                        }
+                                    }
+                                }
+                                _ => {
+                                    for j in ctx.chunk(n_exc) {
+                                        // SAFETY: chunk() partitions 0..n_exc
+                                        // per worker.
+                                        let mut acc = unsafe { i_syn.read(j) } * decay;
+                                        let mut iter = spikers.iter();
+                                        if let Some(&i0) = iter.next() {
+                                            let mut block = gt.col(i0 as usize)[j] * v_spike;
+                                            for &i in iter {
+                                                block += gt.col(i as usize)[j] * v_spike;
+                                            }
+                                            acc += block;
+                                        }
+                                        unsafe { i_syn.write(j, acc) };
+                                        let cell = unsafe { cells.get_mut(j) };
+                                        integrate_cell(
+                                            cell, acc, t, dt, neuron_kind, lif_params,
+                                            theta_decay, homeostasis,
+                                        );
+                                        spiked += u32::from(cell.spiked);
+                                        if decay_inh {
+                                            unsafe { *inh_drive.get_mut(j) *= decay };
+                                        }
+                                    }
+                                }
+                            }
+                            step_spikes.fetch_add(spiked, std::sync::atomic::Ordering::Relaxed);
+                        });
+                        self.acct.blocks += n_blocks as u64;
+                        self.acct.dense_items_skipped += ((n_pre - n_active) * n_exc) as u64;
+                        // The multi-block machinery below is skipped
+                        // entirely; fall through to the trace probe.
+                        break 'delivery;
+                    }
+                    // The first spike of each block *assigns* its rectangle
+                    // (bit-identical to zero-then-accumulate, since every
+                    // block is non-empty), so the persistent buffer needs
+                    // no zeroing pass between steps.
+                    let needed = n_blocks * n_exc;
+                    if self.partial_sums.len() < needed {
+                        self.partial_sums.resize(needed, 0.0);
+                    }
+                    let partial_view = SharedSlice::new(&mut self.partial_sums[..needed]);
+                    let step_spikes = &step_spikes;
                     self.device.launch_fused("deliver_integrate_sparse", cost, bytes, |ctx| {
                         for k in ctx.strided(scatter_items) {
                             let b = k / n_tiles;
@@ -611,14 +1145,23 @@ impl<'d> WtaEngine<'d> {
                             // partition over workers.
                             let part =
                                 unsafe { partial_view.slice_mut(b * n_exc + j0..b * n_exc + j1) };
+                            let mut first = true;
                             for &i in &spikers[lo..hi] {
                                 let col = &gt.col(i as usize)[j0..j1];
-                                for (p, &gv) in part.iter_mut().zip(col) {
-                                    *p += gv * v_spike;
+                                if first {
+                                    for (p, &gv) in part.iter_mut().zip(col) {
+                                        *p = gv * v_spike;
+                                    }
+                                    first = false;
+                                } else {
+                                    for (p, &gv) in part.iter_mut().zip(col) {
+                                        *p += gv * v_spike;
+                                    }
                                 }
                             }
                         }
                         ctx.sync();
+                        let mut spiked = 0u32;
                         for j in ctx.chunk(n_exc) {
                             // SAFETY: chunk() partitions 0..n_exc; stage-1
                             // writes to `partial_view` are ordered by the
@@ -633,26 +1176,27 @@ impl<'d> WtaEngine<'d> {
                                 cell, acc, t, dt, neuron_kind, lif_params, theta_decay,
                                 homeostasis,
                             );
+                            spiked += u32::from(cell.spiked);
                             if decay_inh {
                                 unsafe { *inh_drive.get_mut(j) *= decay };
                             }
                         }
+                        step_spikes.fetch_add(spiked, std::sync::atomic::Ordering::Relaxed);
                     });
-                    self.device.bump_counter("delivery_blocks", n_blocks as u64);
-                    self.device.bump_counter(
-                        "delivery_dense_items_skipped",
-                        ((n_pre - n_active) * n_exc) as u64,
-                    );
+                    self.acct.blocks += n_blocks as u64;
+                    self.acct.dense_items_skipped += ((n_pre - n_active) * n_exc) as u64;
                 }
                 // Dense path: every neuron scans its whole synapse row,
                 // gated on the spike flags, folding active inputs into the
                 // same SPIKE_BLOCK-sized partial blocks.
                 None => {
-                    let g = self.synapses.as_flat();
+                    let g = self.synapses.get().as_flat();
                     let flags = &self.input_spiked;
                     let cost = n_exc * (n_pre + 4);
                     let bytes = (n_exc * n_pre * 8 + n_pre + n_exc * 16 + cell_bytes) as u64;
+                    let step_spikes = &step_spikes;
                     self.device.launch_fused("deliver_integrate_dense", cost, bytes, |ctx| {
+                        let mut spiked = 0u32;
                         for j in ctx.chunk(n_exc) {
                             let row = &g[j * n_pre..(j + 1) * n_pre];
                             // SAFETY: chunk() partitions 0..n_exc per worker.
@@ -679,12 +1223,14 @@ impl<'d> WtaEngine<'d> {
                                 cell, acc, t, dt, neuron_kind, lif_params, theta_decay,
                                 homeostasis,
                             );
+                            spiked += u32::from(cell.spiked);
                             if decay_inh {
                                 unsafe { *inh_drive.get_mut(j) *= decay };
                             }
                         }
+                        step_spikes.fetch_add(spiked, std::sync::atomic::Ordering::Relaxed);
                     });
-                    self.device.bump_counter("delivery_dense_items", (n_exc * n_pre) as u64);
+                    self.acct.dense_items += (n_exc * n_pre) as u64;
                 }
             }
         }
@@ -694,20 +1240,24 @@ impl<'d> WtaEngine<'d> {
         }
 
         // (5) Winner-take-all: every spiker's inhibition partner suppresses
-        // all non-spiking excitatory neurons for t_inh (Fig. 3).
+        // all non-spiking excitatory neurons for t_inh (Fig. 3). The scan
+        // only acts on spiking cells, so when the delivery kernel counted
+        // none it is a provable no-op and is skipped wholesale.
         let mut any_spiked = false;
         self.spiking_posts.clear();
-        for (j, cell) in self.cells.iter_mut().enumerate() {
-            if cell.spiked {
-                any_spiked = true;
-                self.spiking_posts.push(j as u32);
-                cell.last_spike = t;
-                if plastic {
-                    cell.theta += self.cfg.theta_plus;
-                }
-                counts[j] += 1;
-                if let Some(r) = &mut self.raster {
-                    r.push(t, j as u32);
+        if step_spikes.load(std::sync::atomic::Ordering::Relaxed) > 0 {
+            for (j, cell) in self.cells.iter_mut().enumerate() {
+                if cell.spiked {
+                    any_spiked = true;
+                    self.spiking_posts.push(j as u32);
+                    cell.last_spike = t;
+                    if plastic {
+                        cell.theta += self.cfg.theta_plus;
+                    }
+                    counts[j] += 1;
+                    if let Some(r) = &mut self.raster {
+                        r.push(t, j as u32);
+                    }
                 }
             }
         }
@@ -759,13 +1309,13 @@ impl<'d> WtaEngine<'d> {
         if plastic && any_spiked {
             match self.exec {
                 PlasticityExecution::Eager => {
-                    let ctx = self.synapses.update_ctx();
+                    let ctx = self.synapses.get().update_ctx();
                     let rule = &*self.rule;
                     let cells = &self.cells;
                     let last_pre = &self.last_pre;
                     self.device.launch_rows_mut(
                         "stdp_post",
-                        self.synapses.as_flat_mut(),
+                        self.synapses.get_mut().as_flat_mut(),
                         n_pre,
                         |j, row| {
                             if !cells[j].spiked {
@@ -784,9 +1334,9 @@ impl<'d> WtaEngine<'d> {
                             }
                         },
                     );
-                    if let Some(gt) = &mut self.transposed {
+                    if let TransposedView::Owned(gt) = &mut self.transposed {
                         let cells =
-                            gt.refresh(&self.synapses, Some(&self.spiking_posts), None);
+                            gt.refresh(self.synapses.get(), Some(&self.spiking_posts), None);
                         self.device.bump_counter("transpose_cells_refreshed", cells);
                     }
                 }
@@ -807,14 +1357,14 @@ impl<'d> WtaEngine<'d> {
                     // timestamps go stale — earlier events on these synapses
                     // were already settled by this step's touch pass.
                     if n_active > 0 {
-                        let sctx = self.synapses.settle_ctx(&*self.rule, philox);
+                        let sctx = self.synapses.get().settle_ctx(&*self.rule, philox);
                         let last_pre = &self.last_pre;
                         let (events, applied, _) = self.ledger.split();
                         Self::launch_settle(
                             self.device,
                             "stdp_post_settle",
                             &self.spiking_posts,
-                            self.synapses.as_flat_mut(),
+                            self.synapses.get_mut().as_flat_mut(),
                             applied,
                             sctx,
                             events,
@@ -822,9 +1372,9 @@ impl<'d> WtaEngine<'d> {
                             last_pre,
                             Some(spikers),
                         );
-                        if let Some(gt) = &mut self.transposed {
+                        if let TransposedView::Owned(gt) = &mut self.transposed {
                             let cells = gt.refresh(
-                                &self.synapses,
+                                self.synapses.get(),
                                 Some(&self.spiking_posts),
                                 Some(spikers),
                             );
@@ -844,6 +1394,46 @@ impl<'d> WtaEngine<'d> {
 /// shared verbatim by the dense and sparse arms of the fused delivery
 /// kernel so the two paths cannot drift apart.
 #[allow(clippy::too_many_arguments)]
+/// LIF specialization of [`integrate_cell`]: the same floating-point
+/// operations in the same order (so it is bit-identical to routing through
+/// [`LifNeuron::step`]), but without the `NeuronState` shuffle, the
+/// per-neuron model dispatch, or the untouched `recovery` field traffic —
+/// this loop body is the hot path of every delivery kernel.
+#[inline(always)]
+fn integrate_cell_lif(
+    cell: &mut ExcCell,
+    i_syn_j: f64,
+    t: f64,
+    dt: f64,
+    p: LifParams,
+    theta_decay: f64,
+    homeostasis: bool,
+) {
+    cell.spiked = false;
+    if homeostasis {
+        cell.theta *= theta_decay;
+    }
+    if t < cell.inhibited_until {
+        cell.v = p.v_reset;
+        return;
+    }
+    if cell.refractory_ms > 0.0 {
+        cell.refractory_ms = (cell.refractory_ms - dt).max(0.0);
+        cell.v = p.v_reset;
+        return;
+    }
+    let dv = p.a + p.b * cell.v + p.c * i_syn_j;
+    let v = cell.v + dv * dt;
+    // Homeostasis shifts the LIF threshold directly.
+    if v > p.v_threshold + cell.theta {
+        cell.v = p.v_reset;
+        cell.refractory_ms = p.t_refractory_ms;
+        cell.spiked = true;
+    } else {
+        cell.v = v;
+    }
+}
+
 fn integrate_cell(
     cell: &mut ExcCell,
     i_syn_j: f64,
@@ -854,6 +1444,9 @@ fn integrate_cell(
     theta_decay: f64,
     homeostasis: bool,
 ) {
+    if matches!(neuron_kind, NeuronModelKind::Lif) {
+        return integrate_cell_lif(cell, i_syn_j, t, dt, lif_params, theta_decay, homeostasis);
+    }
     cell.spiked = false;
     if homeostasis {
         cell.theta *= theta_decay;
@@ -865,16 +1458,7 @@ fn integrate_cell(
         refractory_ms: cell.refractory_ms,
     };
     let spiked = match neuron_kind {
-        NeuronModelKind::Lif => {
-            if inhibited {
-                cell.v = lif_params.v_reset;
-                return;
-            }
-            // Homeostasis shifts the LIF threshold directly.
-            let mut params = lif_params;
-            params.v_threshold += cell.theta;
-            LifNeuron::new(params).step(&mut state, i_syn_j, dt)
-        }
+        NeuronModelKind::Lif => unreachable!("handled by the specialized path"),
         NeuronModelKind::Izhikevich(p) => {
             if inhibited {
                 return;
@@ -1308,10 +1892,10 @@ mod tests {
         let device = Device::new(DeviceConfig::serial());
         let e = WtaEngine::new(cfg(16, 4), &device, 1);
         assert_eq!(e.current_delivery(), CurrentDelivery::Sparse);
-        assert!(e.transposed.is_some(), "sparse mode keeps a transposed view");
+        assert!(e.transposed.view().is_some(), "sparse mode keeps a transposed view");
         let e = WtaEngine::new(cfg(16, 4).with_delivery(CurrentDelivery::Dense), &device, 1);
         assert_eq!(e.current_delivery(), CurrentDelivery::Dense);
-        assert!(e.transposed.is_none(), "dense mode carries no mirror");
+        assert!(e.transposed.view().is_none(), "dense mode carries no mirror");
     }
 
     /// The heart of the sparse-delivery contract: for the same seed, the
@@ -1375,8 +1959,8 @@ mod tests {
             let mut e = WtaEngine::new(c, &device, 7);
             let _ = e.present(&strong_rates(16), 300.0, true);
             e.normalize_receptive_fields(8.0);
-            let gt = e.transposed.as_ref().expect("sparse default keeps the view");
-            assert!(gt.is_coherent(&e.synapses), "{exec:?} left the mirror stale");
+            let gt = e.transposed.view().expect("sparse default keeps the view");
+            assert!(gt.is_coherent(e.synapses.get()), "{exec:?} left the mirror stale");
         }
     }
 
@@ -1396,6 +1980,75 @@ mod tests {
         assert!(gauge.mean() > 0.0 && gauge.mean() <= 1.0);
         assert!(report.get("deliver_integrate_sparse").is_some());
         assert!(report.get("encode_compact").is_some());
+    }
+
+    /// A deterministic little train set exercising empty, singleton and
+    /// multi-spike steps.
+    fn test_trains(n_inputs: usize, steps: usize, dt_ms: f64) -> SpikeTrains {
+        let mut trains = SpikeTrains::new(n_inputs, dt_ms);
+        for s in 0..steps {
+            let active: Vec<u32> = (0..n_inputs as u32).filter(|&i| (i as usize + s) % 3 == 0).collect();
+            trains.push_step(&active);
+        }
+        trains
+    }
+
+    #[test]
+    fn frozen_replica_matches_the_source_engine() {
+        // Train a little, snapshot, and replay the same precomputed trains
+        // on the source engine and on replicas in both delivery modes and
+        // on a pooled device: all must agree bit for bit, and the source's
+        // training state must be untouched by the frozen presentation.
+        let device = Device::new(DeviceConfig::serial());
+        let mut c = cfg(24, 6);
+        c.v_spike = 2.0;
+        let mut source = WtaEngine::new(c.clone(), &device, 17);
+        let _ = source.present(&strong_rates(24), 300.0, true);
+        let snap = source.snapshot();
+        let trains = test_trains(24, 400, c.dt_ms);
+        let time_before = source.time_ms();
+        let expected = source.present_frozen(&trains);
+        assert_eq!(source.time_ms(), time_before, "frozen probe must not advance the clock");
+        assert!(expected.iter().sum::<u32>() > 0, "trains must drive spikes");
+
+        let mut sparse = WtaEngine::replica(c.clone(), &device, 999, &snap).unwrap();
+        assert!(sparse.is_frozen());
+        assert_eq!(sparse.present_frozen(&trains), expected, "sparse replica diverged");
+        // Purity: a second identical presentation reproduces the counts.
+        assert_eq!(sparse.present_frozen(&trains), expected, "frozen replay diverged");
+
+        let mut dense = WtaEngine::replica(
+            c.clone().with_delivery(CurrentDelivery::Dense),
+            &device,
+            999,
+            &snap,
+        )
+        .unwrap();
+        assert_eq!(dense.present_frozen(&trains), expected, "dense replica diverged");
+
+        let pooled = Device::new(DeviceConfig::default().with_workers(4));
+        let mut on_pool = WtaEngine::replica(c, &pooled, 7, &snap).unwrap();
+        assert_eq!(on_pool.present_frozen(&trains), expected, "pooled replica diverged");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot learn")]
+    fn frozen_replica_rejects_plastic_presentation() {
+        let device = Device::new(DeviceConfig::serial());
+        let c = cfg(16, 4);
+        let source = WtaEngine::new(c.clone(), &device, 1);
+        let snap = source.snapshot();
+        let mut replica = WtaEngine::replica(c, &device, 1, &snap).unwrap();
+        let _ = replica.present(&strong_rates(16), 10.0, true);
+    }
+
+    #[test]
+    #[should_panic(expected = "population mismatch")]
+    fn replica_shape_mismatch_is_rejected() {
+        let device = Device::new(DeviceConfig::serial());
+        let source = WtaEngine::new(cfg(16, 4), &device, 1);
+        let snap = source.snapshot();
+        let _ = WtaEngine::replica(cfg(16, 8), &device, 1, &snap);
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! Frozen-weight evaluation support: a shared read-only snapshot of the
+//! trained state that replica engines mount without copying, and the
+//! precomputed per-step spike trains that drive an RNG-free presentation.
+//!
+//! The determinism contract of the parallel evaluator rests on two pieces
+//! here:
+//!
+//! * [`EvalSnapshot`] — an `Arc`-shared view of the learned conductances
+//!   (row-major *and* transposed) plus the homeostasis thresholds. Every
+//!   replica mounts the same allocation, so N replicas cost O(1) extra
+//!   weight memory and trivially agree on the weights.
+//! * [`SpikeTrains`] — one presentation's input spikes, laid out per step.
+//!   The trains are generated *outside* the engine, keyed by
+//!   `(image index, input, spike number)`, so a frozen presentation consumes
+//!   no engine RNG at all: its outcome is a pure function of the snapshot
+//!   and the trains, bit-identical on any replica, at any worker count, in
+//!   any queue order.
+
+use std::sync::Arc;
+
+use crate::synapse::{SynapseMatrix, TransposedConductances};
+
+/// One presentation's precomputed input spikes in step-major CSR layout:
+/// `active(s)` is the ascending list of input indices that spike at step
+/// `s`. Built by the eval train generator (`spike_encoding::pipeline`) and
+/// consumed by `WtaEngine::present_frozen`, which stages each step's list
+/// directly into its active-spike buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpikeTrains {
+    n_inputs: usize,
+    dt_ms: f64,
+    /// CSR offsets: `indices[offsets[s]..offsets[s+1]]` is step `s`'s list.
+    offsets: Vec<u32>,
+    /// Concatenated ascending per-step input indices.
+    indices: Vec<u32>,
+}
+
+impl SpikeTrains {
+    /// An empty train set (zero steps) over `n_inputs` trains at `dt_ms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `dt_ms` is positive and finite.
+    #[must_use]
+    pub fn new(n_inputs: usize, dt_ms: f64) -> Self {
+        assert!(dt_ms > 0.0 && dt_ms.is_finite(), "dt must be positive");
+        SpikeTrains { n_inputs, dt_ms, offsets: vec![0], indices: Vec::new() }
+    }
+
+    /// Pre-allocates for `steps` further steps and `spikes` further spikes.
+    pub fn reserve(&mut self, steps: usize, spikes: usize) {
+        self.offsets.reserve(steps);
+        self.indices.reserve(spikes);
+    }
+
+    /// Appends one step whose spiking inputs are `active`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `active` is strictly ascending and in range — the
+    /// invariant the delivery kernels' canonical blocked fold relies on.
+    pub fn push_step(&mut self, active: &[u32]) {
+        assert!(
+            active.windows(2).all(|w| w[0] < w[1]),
+            "active list must be strictly ascending"
+        );
+        assert!(
+            active.last().is_none_or(|&i| (i as usize) < self.n_inputs),
+            "input index out of range"
+        );
+        self.indices.extend_from_slice(active);
+        self.offsets.push(u32::try_from(self.indices.len()).expect("spike count overflow"));
+    }
+
+    /// Number of input trains.
+    #[must_use]
+    pub fn n_inputs(&self) -> usize {
+        self.n_inputs
+    }
+
+    /// Step width (ms) the trains were generated at.
+    #[must_use]
+    pub fn dt_ms(&self) -> f64 {
+        self.dt_ms
+    }
+
+    /// Number of simulation steps covered.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Presentation duration (ms): `steps × dt`.
+    #[must_use]
+    pub fn duration_ms(&self) -> f64 {
+        self.steps() as f64 * self.dt_ms
+    }
+
+    /// The ascending input indices that spike at `step`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step >= self.steps()`.
+    #[must_use]
+    pub fn active(&self, step: usize) -> &[u32] {
+        let lo = self.offsets[step] as usize;
+        let hi = self.offsets[step + 1] as usize;
+        &self.indices[lo..hi]
+    }
+
+    /// Total spikes across all steps.
+    #[must_use]
+    pub fn total_spikes(&self) -> usize {
+        self.indices.len()
+    }
+}
+
+/// A read-only snapshot of a trained engine's learned state, shared across
+/// evaluation replicas by reference counting: the O(n_inputs × n_exc)
+/// conductance matrix and its transposed view exist exactly once no matter
+/// how many replicas mount them.
+///
+/// Capture one with [`crate::sim::WtaEngine::snapshot`] (or build it from a
+/// restored checkpoint matrix with [`EvalSnapshot::new`]), then mount any
+/// number of replicas with [`crate::sim::WtaEngine::replica`]. The snapshot
+/// always carries the transposed view so a replica can run either delivery
+/// mode.
+#[derive(Debug, Clone)]
+pub struct EvalSnapshot {
+    synapses: Arc<SynapseMatrix>,
+    transposed: Arc<TransposedConductances>,
+    thetas: Arc<[f64]>,
+}
+
+impl EvalSnapshot {
+    /// Builds a snapshot from a settled conductance matrix and the
+    /// per-neuron adaptive-threshold offsets (homeostasis state), e.g. as
+    /// restored from a checkpoint. The transposed view is derived here, so
+    /// it is coherent by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thetas.len()` differs from the matrix's post population.
+    #[must_use]
+    pub fn new(synapses: SynapseMatrix, thetas: Vec<f64>) -> Self {
+        assert_eq!(
+            thetas.len(),
+            synapses.n_post(),
+            "theta vector does not match the post population"
+        );
+        let transposed = TransposedConductances::new(&synapses);
+        EvalSnapshot {
+            synapses: Arc::new(synapses),
+            transposed: Arc::new(transposed),
+            thetas: thetas.into(),
+        }
+    }
+
+    /// The shared conductance matrix.
+    #[must_use]
+    pub fn synapses(&self) -> &SynapseMatrix {
+        &self.synapses
+    }
+
+    /// The per-neuron adaptive-threshold offsets.
+    #[must_use]
+    pub fn thetas(&self) -> &[f64] {
+        &self.thetas
+    }
+
+    pub(crate) fn synapses_arc(&self) -> Arc<SynapseMatrix> {
+        Arc::clone(&self.synapses)
+    }
+
+    pub(crate) fn transposed_arc(&self) -> Arc<TransposedConductances> {
+        Arc::clone(&self.transposed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NetworkConfig, Preset};
+
+    #[test]
+    fn spike_trains_round_trip_per_step_lists() {
+        let mut t = SpikeTrains::new(8, 0.5);
+        t.push_step(&[1, 3, 7]);
+        t.push_step(&[]);
+        t.push_step(&[0]);
+        assert_eq!(t.steps(), 3);
+        assert_eq!(t.n_inputs(), 8);
+        assert_eq!(t.active(0), &[1, 3, 7]);
+        assert_eq!(t.active(1), &[] as &[u32]);
+        assert_eq!(t.active(2), &[0]);
+        assert_eq!(t.total_spikes(), 4);
+        assert!((t.duration_ms() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_step_is_rejected() {
+        let mut t = SpikeTrains::new(8, 0.5);
+        t.push_step(&[3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_is_rejected() {
+        let mut t = SpikeTrains::new(8, 0.5);
+        t.push_step(&[8]);
+    }
+
+    #[test]
+    fn snapshot_shares_one_matrix_allocation() {
+        let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 16, 4);
+        let m = SynapseMatrix::new_random(&cfg, 1);
+        let snap = EvalSnapshot::new(m, vec![0.0; 4]);
+        let a = snap.clone();
+        let b = snap.clone();
+        assert!(Arc::ptr_eq(&a.synapses_arc(), &b.synapses_arc()));
+        assert!(Arc::ptr_eq(&a.transposed_arc(), &b.transposed_arc()));
+        assert!(snap.transposed.is_coherent(snap.synapses()));
+    }
+
+    #[test]
+    #[should_panic(expected = "post population")]
+    fn mismatched_thetas_are_rejected() {
+        let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 16, 4);
+        let m = SynapseMatrix::new_random(&cfg, 1);
+        let _ = EvalSnapshot::new(m, vec![0.0; 3]);
+    }
+}

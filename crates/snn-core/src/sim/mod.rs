@@ -8,11 +8,16 @@
 //!   [`crate::network::RecurrentNetwork`]s, the ParallelSpikeSim side of the
 //!   Fig. 4 cross-validation.
 //! * [`SpikeRaster`] — spike event recording shared by both engines.
+//! * [`EvalSnapshot`] / [`SpikeTrains`] — the shared read-only trained-state
+//!   snapshot and precomputed input trains of the parallel frozen-weight
+//!   evaluation path.
 
 mod engine;
+mod eval;
 mod generic;
 mod recorder;
 
 pub use engine::WtaEngine;
+pub use eval::{EvalSnapshot, SpikeTrains};
 pub use generic::GenericEngine;
 pub use recorder::SpikeRaster;

@@ -29,9 +29,14 @@ pub fn load(path: &Path) -> io::Result<TrainOutcome> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eval::{evaluate_snapshot, EvalOptions};
     use crate::metrics::ConfusionMatrix;
-    use snn_core::config::{NetworkConfig, Preset};
+    use crate::{Trainer, TrainerConfig};
+    use gpu_device::{Device, DeviceConfig};
+    use snn_core::config::{NetworkConfig, Preset, RuleKind};
+    use snn_core::sim::EvalSnapshot;
     use snn_core::synapse::SynapseMatrix;
+    use snn_datasets::{Dataset, Image, LabeledImage};
 
     fn outcome() -> TrainOutcome {
         let cfg = NetworkConfig::from_preset(Preset::Bit8, 4, 2);
@@ -75,5 +80,86 @@ mod tests {
     #[test]
     fn malformed_json_is_an_error() {
         assert!(from_json("{not json").is_err());
+    }
+
+    /// Two trivially separable 8×8 classes (left/right half bright).
+    fn stripes_dataset(n_train: usize, n_test: usize) -> Dataset {
+        let make = |label: u8, k: usize| {
+            let mut pixels = vec![0u8; 64];
+            for y in 0..8 {
+                for x in 0..8 {
+                    if (label == 0) == (x < 4) {
+                        pixels[y * 8 + x] = 200 + ((k * 5 + x + y) % 40) as u8;
+                    }
+                }
+            }
+            LabeledImage { image: Image::from_pixels(8, 8, pixels), label }
+        };
+        let gen = |n: usize| (0..n).map(|k| make((k % 2) as u8, k)).collect();
+        Dataset { name: "stripes".into(), n_classes: 2, train: gen(n_train), test: gen(n_test) }
+    }
+
+    fn trained_outcome(dataset: &Dataset) -> (TrainerConfig, TrainOutcome) {
+        let mut network = NetworkConfig::from_preset(Preset::FullPrecision, 64, 8)
+            .with_rule(RuleKind::Stochastic)
+            .with_frequency(2.0, 60.0);
+        network.v_spike = 0.8;
+        let cfg = TrainerConfig {
+            network,
+            t_learn_ms: 120.0,
+            n_train_images: 24,
+            n_labeling: 12,
+            n_inference: 20,
+            seed: 13,
+            eval_every: None,
+            eval_probe: (6, 6),
+            eval_parallelism: 2,
+        };
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let outcome = Trainer::new(cfg.clone(), &device).run(dataset);
+        (cfg, outcome)
+    }
+
+    /// Re-evaluates an outcome's weights through the parallel frozen path
+    /// and checks every statistic against the live run.
+    fn assert_restored_eval_matches(
+        cfg: &TrainerConfig,
+        live: &TrainOutcome,
+        restored: &TrainOutcome,
+        dataset: &Dataset,
+    ) {
+        let snapshot = EvalSnapshot::new(restored.synapses.clone(), restored.thetas.clone());
+        let out = evaluate_snapshot(
+            &cfg.network,
+            cfg.seed,
+            &snapshot,
+            cfg.t_learn_ms,
+            dataset,
+            cfg.n_labeling,
+            cfg.n_inference,
+            &EvalOptions { replicas: 3, ..EvalOptions::default() },
+        );
+        assert_eq!(out.labels, live.labels, "restored labeling must match the live run");
+        assert_eq!(out.confusion, live.confusion, "restored confusion must match the live run");
+        assert_eq!(out.accuracy, live.accuracy, "restored accuracy must match bit-for-bit");
+        assert_eq!(out.abstention_rate, live.abstention_rate);
+    }
+
+    #[test]
+    fn restored_state_reproduces_the_confusion_matrix_in_parallel() {
+        let dataset = stripes_dataset(24, 40);
+        let (cfg, outcome) = trained_outcome(&dataset);
+        // Clone-restore (exercises the state copy without the serializer).
+        let restored = outcome.clone();
+        assert_restored_eval_matches(&cfg, &outcome, &restored, &dataset);
+    }
+
+    #[test]
+    fn json_checkpoint_round_trip_reproduces_the_confusion_matrix() {
+        let dataset = stripes_dataset(24, 40);
+        let (cfg, outcome) = trained_outcome(&dataset);
+        let restored = from_json(&to_json(&outcome).unwrap()).unwrap();
+        assert_eq!(outcome.synapses.as_flat(), restored.synapses.as_flat());
+        assert_restored_eval_matches(&cfg, &outcome, &restored, &dataset);
     }
 }

@@ -1,0 +1,208 @@
+//! Parallel frozen-weight evaluation: replicated engines over `Arc`-shared
+//! synapses, fed by a work-stealing presentation queue with an optionally
+//! pipelined (double-buffered) encoder.
+//!
+//! The paper's accuracy protocol runs 1000 labeling + 9000 inference
+//! presentations with plasticity off — embarrassingly parallel across
+//! images. [`evaluate_snapshot`] fans those presentations over N replica
+//! [`WtaEngine`]s mounted on one [`EvalSnapshot`] (no weight copies) and
+//! reduces the results deterministically:
+//!
+//! * spike counts are keyed by **image index**, never by arrival order;
+//! * neuron-labeling votes and the confusion matrix are folded in
+//!   canonical index order after every presentation has landed;
+//! * each presentation's spike trains are generated from RNG streams keyed
+//!   by `(image_index, input, spike)` and its simulation consumes no
+//!   engine RNG at all ([`WtaEngine::present_frozen`]).
+//!
+//! Together these make parallel evaluation **bit-identical** to serial
+//! evaluation: replica count, encoder pipelining, queue order and worker
+//! budget are pure wall-clock knobs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use gpu_device::{Device, DeviceConfig, ProfileReport};
+use snn_core::config::NetworkConfig;
+use snn_core::sim::{EvalSnapshot, WtaEngine};
+use snn_datasets::Dataset;
+use spike_encoding::{EvalTrainGenerator, RateEncoder, TrainPipeline};
+
+use crate::labeler::{Classifier, Labeler};
+use crate::metrics::ConfusionMatrix;
+
+/// Execution knobs of the parallel evaluator. These control only *how*
+/// evaluation executes, never its outcome — results are bit-identical for
+/// every combination.
+#[derive(Debug, Clone)]
+pub struct EvalOptions {
+    /// Replica engine count (clamped to at least 1).
+    pub replicas: usize,
+    /// Per-replica device request; [`Device::new_budgeted`] clamps the
+    /// total worker budget (`replicas × workers`) to host parallelism.
+    pub device: DeviceConfig,
+    /// Precompute each presentation's trains on a dedicated encoder thread
+    /// (double-buffered) instead of encoding inline on the replica thread.
+    pub pipelined: bool,
+    /// Service-order permutation over the presentation queue — a test hook
+    /// for adversarial orderings. `None` is canonical index order.
+    pub order: Option<Vec<usize>>,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            replicas: DeviceConfig::host_parallelism(),
+            device: DeviceConfig::default(),
+            pipelined: true,
+            order: None,
+        }
+    }
+}
+
+/// What one labeling + inference pass produces.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// Per-neuron class labels from the labeling phase.
+    pub labels: Vec<u8>,
+    /// Inference confusion matrix (abstentions excluded).
+    pub confusion: ConfusionMatrix,
+    /// Accuracy over all inference presentations, abstentions as errors.
+    pub accuracy: f64,
+    /// Fraction of inference presentations where no assigned neuron spiked.
+    pub abstention_rate: f64,
+    /// Profiler activity merged across every replica device.
+    pub profile: ProfileReport,
+}
+
+/// Labels neurons on the first `n_labeling` test images of `dataset` and
+/// classifies the next `n_inference`, fanning all presentations across
+/// `opts.replicas` frozen replicas of `snapshot`.
+///
+/// `seed` must be the engine/trainer seed — it keys the evaluation train
+/// generator (`streams::EVAL`), so a given `(seed, dataset)` pair always
+/// sees identical input spikes regardless of `opts`.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, the snapshot shape does not
+/// match `network`, or `opts.order` is not a permutation of the
+/// presentation slots.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn evaluate_snapshot(
+    network: &NetworkConfig,
+    seed: u64,
+    snapshot: &EvalSnapshot,
+    t_present_ms: f64,
+    dataset: &Dataset,
+    n_labeling: usize,
+    n_inference: usize,
+    opts: &EvalOptions,
+) -> EvalOutcome {
+    let replicas = opts.replicas.max(1);
+    let (label_set, infer_set) = dataset.labeling_split(n_labeling);
+    let infer_set = &infer_set[..n_inference.min(infer_set.len())];
+    let n_label = label_set.len();
+    let n_total = n_label + infer_set.len();
+
+    let encoder = RateEncoder::new(network.frequency);
+    let generator = EvalTrainGenerator::new(seed, network.dt_ms);
+
+    // Service order over the presentation slots (slot = image index within
+    // the evaluation set: labeling first, then inference).
+    let order: Vec<usize> = match &opts.order {
+        Some(perm) => {
+            assert_eq!(perm.len(), n_total, "order must cover every presentation");
+            let mut seen = vec![false; n_total];
+            for &slot in perm {
+                assert!(slot < n_total && !seen[slot], "order must be a permutation");
+                seen[slot] = true;
+            }
+            perm.clone()
+        }
+        None => (0..n_total).collect(),
+    };
+
+    let sample = |slot: usize| {
+        if slot < n_label {
+            &label_set[slot]
+        } else {
+            &infer_set[slot - n_label]
+        }
+    };
+
+    // Per-slot spike counts, keyed by image index — never by arrival order.
+    let results: Mutex<Vec<Option<Vec<u32>>>> = Mutex::new(vec![None; n_total]);
+    let profiles: Mutex<Vec<ProfileReport>> = Mutex::new(Vec::new());
+
+    // In pipelined mode the bounded channel doubles as the work queue
+    // (whoever receives a presentation runs it); inline mode claims slots
+    // through an atomic cursor and encodes on the replica thread.
+    let pipeline = opts.pipelined.then(|| {
+        let jobs: Vec<(usize, u64, Vec<f64>)> = order
+            .iter()
+            .map(|&slot| (slot, slot as u64, encoder.rates(sample(slot).image.pixels())))
+            .collect();
+        TrainPipeline::spawn(generator, t_present_ms, jobs, 2 * replicas)
+    });
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..replicas {
+            scope.spawn(|| {
+                let device = Device::new_budgeted(opts.device.clone(), replicas);
+                let mut engine = WtaEngine::replica(network.clone(), &device, seed, snapshot)
+                    .expect("invalid network configuration");
+                loop {
+                    let (slot, trains) = match &pipeline {
+                        Some(p) => match p.next() {
+                            Some(job) => job,
+                            None => break,
+                        },
+                        None => {
+                            let k = cursor.fetch_add(1, Ordering::Relaxed);
+                            if k >= order.len() {
+                                break;
+                            }
+                            let slot = order[k];
+                            let rates = encoder.rates(sample(slot).image.pixels());
+                            (slot, generator.generate(slot as u64, &rates, t_present_ms))
+                        }
+                    };
+                    let counts = engine.present_frozen(&trains);
+                    results.lock().expect("results poisoned")[slot] = Some(counts);
+                }
+                profiles.lock().expect("profiles poisoned").push(device.profile());
+            });
+        }
+    });
+
+    // Reduce in canonical index order, whatever order the counts arrived.
+    let results = results.into_inner().expect("results poisoned");
+    let mut labeler = Labeler::new(network.n_excitatory, dataset.n_classes);
+    for (slot, sample) in label_set.iter().enumerate() {
+        let counts = results[slot].as_ref().expect("labeling presentation missing");
+        labeler.record(sample.label, counts);
+    }
+    let labels = labeler.assign();
+    let classifier = Classifier::new(labels.clone(), dataset.n_classes);
+
+    let mut confusion = ConfusionMatrix::new(dataset.n_classes);
+    let mut abstentions = 0usize;
+    for (k, sample) in infer_set.iter().enumerate() {
+        let counts = results[n_label + k].as_ref().expect("inference presentation missing");
+        match classifier.predict(counts) {
+            Some(predicted) => confusion.record(sample.label, predicted),
+            None => abstentions += 1,
+        }
+    }
+    // Abstentions count as errors in the headline accuracy.
+    let total = infer_set.len().max(1);
+    let accuracy = confusion.accuracy() * confusion.total() as f64 / total as f64;
+    let abstention_rate = abstentions as f64 / total as f64;
+
+    let profiles = profiles.into_inner().expect("profiles poisoned");
+    let profile = ProfileReport::merged(&profiles);
+    EvalOutcome { labels, confusion, accuracy, abstention_rate, profile }
+}

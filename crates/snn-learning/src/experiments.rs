@@ -7,7 +7,7 @@
 //! smoke-test, standard (default) and paper scale.
 
 use crate::{Trainer, TrainerConfig, TrainOutcome};
-use gpu_device::Device;
+use gpu_device::{Device, DeviceConfig};
 use qformat::Rounding;
 use serde::{Deserialize, Serialize};
 use snn_core::config::{NetworkConfig, Preset, RuleKind};
@@ -130,6 +130,7 @@ impl Experiment {
                 seed: 42,
                 eval_every: scale.eval_every,
                 eval_probe: (40, 80),
+                eval_parallelism: DeviceConfig::host_parallelism(),
             },
         }
     }

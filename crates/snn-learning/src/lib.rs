@@ -19,10 +19,12 @@
 #![deny(missing_docs)]
 
 pub mod checkpoint;
+mod eval;
 pub mod experiments;
 mod labeler;
 pub mod metrics;
 mod trainer;
 
+pub use eval::{evaluate_snapshot, EvalOptions, EvalOutcome};
 pub use labeler::{Classifier, Labeler, UNASSIGNED};
 pub use trainer::{LearningCurvePoint, TrainOutcome, Trainer, TrainerConfig};

@@ -1,13 +1,13 @@
 //! The training loop: present, learn, periodically evaluate.
 
-use crate::labeler::{Classifier, Labeler};
+use crate::eval::{evaluate_snapshot, EvalOptions};
 use crate::metrics::ConfusionMatrix;
-use gpu_device::Device;
+use gpu_device::{Device, DeviceConfig};
 use serde::{Deserialize, Serialize};
 use snn_core::config::NetworkConfig;
 use snn_core::sim::WtaEngine;
 use snn_core::synapse::SynapseMatrix;
-use snn_datasets::{Dataset, LabeledImage};
+use snn_datasets::Dataset;
 use spike_encoding::RateEncoder;
 
 /// Configuration of one training run.
@@ -37,6 +37,16 @@ pub struct TrainerConfig {
     pub eval_every: Option<usize>,
     /// Probe sizes (labeling, inference) for curve evaluation.
     pub eval_probe: (usize, usize),
+    /// How many replica engines the frozen-weight evaluation phases fan
+    /// presentations across (labeling, inference and curve probes). Purely
+    /// a wall-clock knob: evaluation results are bit-identical at any
+    /// value. Defaults to the host's available parallelism.
+    #[serde(default = "default_eval_parallelism")]
+    pub eval_parallelism: usize,
+}
+
+fn default_eval_parallelism() -> usize {
+    DeviceConfig::host_parallelism()
 }
 
 impl TrainerConfig {
@@ -53,6 +63,7 @@ impl TrainerConfig {
             seed: 42,
             eval_every: None,
             eval_probe: (60, 100),
+            eval_parallelism: default_eval_parallelism(),
         }
     }
 }
@@ -145,13 +156,8 @@ impl<'d> Trainer<'d> {
             if let Some(every) = self.config.eval_every {
                 if (k + 1) % every == 0 {
                     let (probe_label, probe_infer) = self.config.eval_probe;
-                    let (acc, _, _) = self.evaluate(
-                        &mut engine,
-                        &encoder,
-                        dataset,
-                        probe_label,
-                        probe_infer,
-                    );
+                    let (acc, _, _) =
+                        self.evaluate(&engine, dataset, probe_label, probe_infer);
                     curve.push(LearningCurvePoint {
                         images_seen: k + 1,
                         simulated_ms: (k + 1) as f64 * self.config.t_learn_ms,
@@ -164,13 +170,8 @@ impl<'d> Trainer<'d> {
         let train_simulated_ms = self.config.n_train_images as f64 * self.config.t_learn_ms;
 
         // Phases 2 + 3: labeling and inference.
-        let (accuracy, confusion, details) = self.evaluate(
-            &mut engine,
-            &encoder,
-            dataset,
-            self.config.n_labeling,
-            self.config.n_inference,
-        );
+        let (accuracy, confusion, details) =
+            self.evaluate(&engine, dataset, self.config.n_labeling, self.config.n_inference);
 
         TrainOutcome {
             synapses: engine.synapses().clone(),
@@ -186,46 +187,40 @@ impl<'d> Trainer<'d> {
     }
 
     /// Labels neurons on the first `n_labeling` test images and classifies
-    /// the next `n_inference`. Returns (accuracy, confusion, (labels,
-    /// abstention rate)).
+    /// the next `n_inference`, fanning the frozen presentations across
+    /// `eval_parallelism` replicas of the engine's current snapshot (see
+    /// [`crate::evaluate_snapshot`]). Returns (accuracy, confusion,
+    /// (labels, abstention rate)).
+    ///
+    /// The engine itself is untouched: probes no longer advance its clock,
+    /// step counter or RNG, so interleaved curve evaluation cannot perturb
+    /// the training trajectory.
     fn evaluate(
         &self,
-        engine: &mut WtaEngine<'_>,
-        encoder: &RateEncoder,
+        engine: &WtaEngine<'_>,
         dataset: &Dataset,
         n_labeling: usize,
         n_inference: usize,
     ) -> (f64, ConfusionMatrix, (Vec<u8>, f64)) {
-        let (label_set, infer_set) = dataset.labeling_split(n_labeling);
-        let infer_set: &[LabeledImage] =
-            &infer_set[..n_inference.min(infer_set.len())];
-
-        let mut labeler = Labeler::new(self.config.network.n_excitatory, dataset.n_classes);
-        for sample in label_set {
-            let rates = encoder.rates(sample.image.pixels());
-            engine.reset_transients();
-            let counts = engine.present(&rates, self.config.t_learn_ms, false);
-            labeler.record(sample.label, &counts);
-        }
-        let labels = labeler.assign();
-        let classifier = Classifier::new(labels.clone(), dataset.n_classes);
-
-        let mut confusion = ConfusionMatrix::new(dataset.n_classes);
-        let mut abstentions = 0usize;
-        for sample in infer_set {
-            let rates = encoder.rates(sample.image.pixels());
-            engine.reset_transients();
-            let counts = engine.present(&rates, self.config.t_learn_ms, false);
-            match classifier.predict(&counts) {
-                Some(predicted) => confusion.record(sample.label, predicted),
-                None => abstentions += 1,
-            }
-        }
-        // Abstentions count as errors in the headline accuracy.
-        let total = infer_set.len().max(1);
-        let accuracy = confusion.accuracy() * confusion.total() as f64 / total as f64;
-        let abstention_rate = abstentions as f64 / total as f64;
-        (accuracy, confusion, (labels, abstention_rate))
+        let snapshot = engine.snapshot();
+        let opts = EvalOptions {
+            replicas: self.config.eval_parallelism.max(1),
+            ..EvalOptions::default()
+        };
+        let out = evaluate_snapshot(
+            &self.config.network,
+            self.config.seed,
+            &snapshot,
+            self.config.t_learn_ms,
+            dataset,
+            n_labeling,
+            n_inference,
+            &opts,
+        );
+        // Fold replica kernel/counter activity into the trainer's device so
+        // one profile covers the whole run.
+        self.device.absorb_profile(&out.profile);
+        (out.accuracy, out.confusion, (out.labels, out.abstention_rate))
     }
 }
 
@@ -234,6 +229,7 @@ mod tests {
     use super::*;
     use gpu_device::DeviceConfig;
     use snn_core::config::{Preset, RuleKind};
+    use snn_datasets::LabeledImage;
 
     /// A tiny two-class dataset of clearly separated patterns: left-half
     /// bright vs right-half bright 8×8 images.
@@ -269,6 +265,7 @@ mod tests {
             seed: 7,
             eval_every: None,
             eval_probe: (10, 10),
+            eval_parallelism: 2,
         }
     }
 

@@ -1,0 +1,144 @@
+//! Bit-identity suite for the parallel frozen-weight evaluator: replica
+//! count, encoder pipelining and queue service order are pure wall-clock
+//! knobs, so every combination must reproduce the serial baseline exactly —
+//! labels, confusion matrix, accuracy and abstention rate, bit for bit —
+//! across learning rules and both current-delivery paths.
+
+use snn_core::config::{CurrentDelivery, NetworkConfig, Preset, RuleKind};
+use snn_core::sim::EvalSnapshot;
+use snn_datasets::{synthetic_mnist, Dataset};
+use snn_learning::{evaluate_snapshot, EvalOptions, EvalOutcome, Trainer, TrainerConfig};
+
+const N_LABELING: usize = 15;
+const N_INFERENCE: usize = 15;
+
+/// Trains a small network and returns everything an evaluation needs.
+fn trained(rule: RuleKind, delivery: CurrentDelivery) -> (TrainerConfig, EvalSnapshot, Dataset) {
+    let dataset = synthetic_mnist(20, N_LABELING + N_INFERENCE, 7);
+    let mut cfg = TrainerConfig::new(
+        NetworkConfig::from_preset(Preset::FullPrecision, 784, 10)
+            .with_rule(rule)
+            .with_delivery(delivery),
+    );
+    cfg.t_learn_ms = 100.0;
+    cfg.n_train_images = 20;
+    cfg.n_labeling = N_LABELING;
+    cfg.n_inference = N_INFERENCE;
+    cfg.eval_parallelism = 1;
+    let device = gpu_device::Device::new(gpu_device::DeviceConfig::default().with_workers(2));
+    let outcome = Trainer::new(cfg.clone(), &device).run(&dataset);
+    let snapshot = EvalSnapshot::new(outcome.synapses, outcome.thetas);
+    (cfg, snapshot, dataset)
+}
+
+fn eval(cfg: &TrainerConfig, snapshot: &EvalSnapshot, dataset: &Dataset, opts: &EvalOptions) -> EvalOutcome {
+    evaluate_snapshot(
+        &cfg.network,
+        cfg.seed,
+        snapshot,
+        cfg.t_learn_ms,
+        dataset,
+        N_LABELING,
+        N_INFERENCE,
+        opts,
+    )
+}
+
+fn assert_identical(a: &EvalOutcome, b: &EvalOutcome, what: &str) {
+    assert_eq!(a.labels, b.labels, "{what}: neuron labels diverged");
+    assert_eq!(a.confusion, b.confusion, "{what}: confusion matrix diverged");
+    assert_eq!(a.accuracy, b.accuracy, "{what}: accuracy diverged");
+    assert_eq!(a.abstention_rate, b.abstention_rate, "{what}: abstention rate diverged");
+}
+
+#[test]
+fn replica_count_and_pipelining_cannot_change_the_outcome() {
+    for rule in [RuleKind::Stochastic, RuleKind::Deterministic] {
+        let mut serial_by_delivery = Vec::new();
+        for delivery in [CurrentDelivery::Sparse, CurrentDelivery::Dense] {
+            let (cfg, snapshot, dataset) = trained(rule, delivery);
+            // Serial baseline: one replica, inline encoding, canonical order.
+            let serial = eval(
+                &cfg,
+                &snapshot,
+                &dataset,
+                &EvalOptions { replicas: 1, pipelined: false, ..EvalOptions::default() },
+            );
+            // Sanity: the reduction saw a non-degenerate evaluation.
+            assert_eq!(serial.labels.len(), 10);
+            assert!(serial.accuracy >= 0.0 && serial.accuracy <= 1.0);
+
+            for replicas in [1, 2, 4, 7] {
+                for pipelined in [false, true] {
+                    let parallel = eval(
+                        &cfg,
+                        &snapshot,
+                        &dataset,
+                        &EvalOptions { replicas, pipelined, ..EvalOptions::default() },
+                    );
+                    assert_identical(
+                        &serial,
+                        &parallel,
+                        &format!("{rule:?}/{delivery:?}/r{replicas}/pipelined={pipelined}"),
+                    );
+                }
+            }
+            serial_by_delivery.push(serial);
+        }
+        // The two delivery modes take different frozen step pipelines —
+        // sparse is eligible for the suppression-window fast-forward, dense
+        // integrates every neuron every step — so their agreement proves
+        // the fast-forward bit-identical to the plain per-step path.
+        assert_identical(
+            &serial_by_delivery[0],
+            &serial_by_delivery[1],
+            &format!("{rule:?}/sparse-vs-dense frozen evaluation"),
+        );
+    }
+}
+
+#[test]
+fn adversarial_queue_orders_cannot_change_the_outcome() {
+    let (cfg, snapshot, dataset) = trained(RuleKind::Stochastic, CurrentDelivery::Sparse);
+    let serial = eval(
+        &cfg,
+        &snapshot,
+        &dataset,
+        &EvalOptions { replicas: 1, pipelined: false, ..EvalOptions::default() },
+    );
+
+    let n = N_LABELING + N_INFERENCE;
+    // Reversed service order, and a stride permutation that interleaves
+    // labeling and inference presentations (gcd(7, 30) = 1).
+    let reversed: Vec<usize> = (0..n).rev().collect();
+    let strided: Vec<usize> = (0..n).map(|i| (i * 7 + 3) % n).collect();
+    for order in [reversed, strided] {
+        for pipelined in [false, true] {
+            let shuffled = eval(
+                &cfg,
+                &snapshot,
+                &dataset,
+                &EvalOptions {
+                    replicas: 3,
+                    pipelined,
+                    order: Some(order.clone()),
+                    ..EvalOptions::default()
+                },
+            );
+            assert_identical(&serial, &shuffled, &format!("order={order:?}"));
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "permutation")]
+fn a_non_permutation_order_is_rejected() {
+    let (cfg, snapshot, dataset) = trained(RuleKind::Deterministic, CurrentDelivery::Sparse);
+    let bad = vec![0; N_LABELING + N_INFERENCE];
+    let _ = eval(
+        &cfg,
+        &snapshot,
+        &dataset,
+        &EvalOptions { replicas: 2, order: Some(bad), ..EvalOptions::default() },
+    );
+}

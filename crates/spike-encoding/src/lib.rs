@@ -14,15 +14,21 @@
 //!   *frequency boost* (widen the range toward the 5–78 Hz high-frequency
 //!   regime) and *learning-time reduction* (shrink the per-image
 //!   presentation window, 500 ms → 100 ms in the paper).
+//! * [`EvalTrainGenerator`] / [`TrainPipeline`] — precomputed, image-keyed
+//!   spike trains for the frozen evaluation path, and the double-buffered
+//!   encoder pipeline that generates the next presentation's trains while
+//!   the current one simulates.
 
 #![deny(missing_docs)]
 
 mod controller;
 mod latency;
+mod pipeline;
 mod rate;
 mod trains;
 
 pub use controller::{EncodingSchedule, FrequencyController};
 pub use latency::LatencyEncoder;
+pub use pipeline::{EvalTrainGenerator, TrainPipeline};
 pub use rate::RateEncoder;
 pub use trains::{PoissonTrain, RegularTrain};

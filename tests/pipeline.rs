@@ -75,6 +75,7 @@ fn checkpoint_roundtrip_preserves_behaviour() {
             seed: 9,
             eval_every: None,
             eval_probe: (5, 5),
+            eval_parallelism: 2,
         },
         &device,
     );

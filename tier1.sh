@@ -3,10 +3,14 @@
 #
 # Every PR must leave this green. The test suite includes the lazy-plasticity
 # differential layer (tests/lazy_plasticity.rs, crates/*/tests/*.rs), which
-# proves eager and lazy execution bit-identical, and the sparse-delivery
+# proves eager and lazy execution bit-identical; the sparse-delivery
 # differential layer (tests/sparse_delivery.rs,
 # crates/snn-learning/tests/delivery.rs), which proves the active-list
-# delivery path bit-identical to the dense scan at any worker count.
+# delivery path bit-identical to the dense scan at any worker count; and
+# the parallel-evaluation identity layer
+# (crates/snn-learning/tests/parallel_eval.rs), which proves replica
+# count, encoder pipelining, queue order and the suppression-window
+# fast-forward are pure wall-clock knobs.
 set -euo pipefail
 cd "$(dirname "$0")"
 

@@ -3,6 +3,7 @@
 //! conductance-map figures.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod harness;
 pub mod output;

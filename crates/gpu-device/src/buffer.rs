@@ -1,6 +1,6 @@
 //! Typed device memory with host↔device transfer accounting.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use serde::Serialize;
 use std::ops::{Deref, DerefMut};
 use std::sync::Arc;
@@ -132,7 +132,7 @@ impl<T: Copy> DerefMut for DeviceBuffer<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

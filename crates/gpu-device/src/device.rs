@@ -5,8 +5,8 @@ use crate::fused::FusedCtx;
 use crate::grid::LaunchDims;
 use crate::pool::WorkerPool;
 use crate::profiler::{KernelProfiler, ProfileReport};
-use parking_lot::Mutex;
-use std::sync::{Arc, Barrier};
+use crate::sync::{Barrier, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Configuration for a simulated device.
@@ -124,12 +124,92 @@ impl std::fmt::Debug for ScratchLease<'_> {
 /// A raw-pointer wrapper that lets disjoint index ranges of one slice be
 /// mutated from several workers. Soundness is by construction: every launch
 /// partitions the index space so no two workers touch the same element.
-struct SharedMut<T>(*mut T);
+///
+/// The wrapper captures the slice length at construction and every accessor
+/// debug-asserts its bounds, so a mispartitioned launch fails fast in debug
+/// builds instead of racing (or scribbling out of bounds) in release.
+struct SharedMut<T> {
+    ptr: *mut T,
+    len: usize,
+    /// Under the model checker every element handed out is reported to a
+    /// vector-clock race detector, so the disjoint-partitioning claim in
+    /// each launch's SAFETY comment is a checked property (loom_tests.rs).
+    #[cfg(loom)]
+    log: std::sync::Arc<snn_loom::cell::AccessLog>,
+}
 
 // SAFETY: access is partitioned by index; see `SharedMut` docs.
 unsafe impl<T: Send> Send for SharedMut<T> {}
 // SAFETY: as above — the wrapper itself hands out only disjoint elements.
 unsafe impl<T: Send> Sync for SharedMut<T> {}
+
+impl<T> SharedMut<T> {
+    /// Captures `data`'s pointer and length; the borrow ends at the call
+    /// site, so all subsequent access runs through the checked accessors.
+    fn new(data: &mut [T]) -> Self {
+        SharedMut {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            #[cfg(loom)]
+            log: std::sync::Arc::new(snn_loom::cell::AccessLog::new(data.len())),
+        }
+    }
+
+    /// Exclusive access to element `i`.
+    ///
+    /// # Safety
+    ///
+    /// `i < len`, and no other worker may access element `i` during this
+    /// launch stage.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn at(&self, i: usize) -> &mut T {
+        debug_assert!(i < self.len, "SharedMut index {i} out of range {}", self.len);
+        #[cfg(loom)]
+        self.log.write(i);
+        // SAFETY: bounds checked above (debug) / guaranteed by the caller's
+        // partitioning contract (release).
+        unsafe { &mut *self.ptr.add(i) }
+    }
+
+    /// Exclusive access to `len` elements starting at `start`.
+    ///
+    /// # Safety
+    ///
+    /// `start + len <= self.len`, and no other worker may access any
+    /// element of the range during this launch stage.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slice(&self, start: usize, len: usize) -> &mut [T] {
+        debug_assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len),
+            "SharedMut range {start}..{} out of range {}",
+            start.wrapping_add(len),
+            self.len
+        );
+        #[cfg(loom)]
+        for i in start..start + len {
+            self.log.write(i);
+        }
+        // SAFETY: bounds checked above (debug) / guaranteed by the caller's
+        // partitioning contract (release).
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(start), len) }
+    }
+
+    /// The whole underlying slice, for serial (single-worker) paths.
+    ///
+    /// # Safety
+    ///
+    /// No other reference to the underlying slice may be live.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn whole(&self) -> &mut [T] {
+        #[cfg(loom)]
+        for i in 0..self.len {
+            self.log.write(i);
+        }
+        // SAFETY: `ptr`/`len` come from a live `&mut [T]` and the caller
+        // guarantees exclusivity.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr, self.len) }
+    }
+}
 
 impl Device {
     /// Brings up a device with `config`.
@@ -354,14 +434,13 @@ impl Device {
         let n = data.len();
         let dims = self.dims_for(n);
         let bytes = (std::mem::size_of_val(data) * 2) as u64;
-        let base = SharedMut(data.as_mut_ptr());
+        let base = SharedMut::new(data);
         let cost = n.saturating_mul(per_item_cost.max(1));
         let pool = self.pool_for(cost);
         self.timed(name, n, bytes, pool.is_some(), || match pool {
             None => {
-                // Serial path: plain iteration, no unsafe needed.
-                // SAFETY: `base` is unused here; iterate directly.
-                let data = unsafe { std::slice::from_raw_parts_mut(base.0, n) };
+                // SAFETY: serial path, exclusive access.
+                let data = unsafe { base.whole() };
                 for (i, item) in data.iter_mut().enumerate() {
                     kernel(i, item);
                 }
@@ -376,7 +455,7 @@ impl Device {
                             // SAFETY: block ranges partition 0..n and each
                             // block is visited by exactly one worker
                             // (strided assignment), so `i` is touched once.
-                            let item = unsafe { &mut *base.0.add(i) };
+                            let item = unsafe { base.at(i) };
                             kernel(i, item);
                         }
                         block += workers;
@@ -447,12 +526,12 @@ impl Device {
         let rows = data.len() / row_len;
         let dims = LaunchDims::cover(rows, 1.max(self.config.block_size / 32));
         let bytes = (std::mem::size_of_val(data) * 2) as u64;
-        let base = SharedMut(data.as_mut_ptr());
+        let base = SharedMut::new(data);
         let pool = self.pool_for(rows * row_len);
         self.timed(name, rows, bytes, pool.is_some(), || match pool {
             None => {
                 // SAFETY: serial path, exclusive access.
-                let data = unsafe { std::slice::from_raw_parts_mut(base.0, rows * row_len) };
+                let data = unsafe { base.whole() };
                 for (r, row) in data.chunks_exact_mut(row_len).enumerate() {
                     kernel(r, row);
                 }
@@ -466,9 +545,7 @@ impl Device {
                         for r in dims.block_range(block, rows) {
                             // SAFETY: rows are disjoint and each row index is
                             // visited by exactly one worker.
-                            let row = unsafe {
-                                std::slice::from_raw_parts_mut(base.0.add(r * row_len), row_len)
-                            };
+                            let row = unsafe { base.slice(r * row_len, row_len) };
                             kernel(r, row);
                         }
                         block += workers;
@@ -541,20 +618,16 @@ impl Device {
         let dims = LaunchDims::cover(n, row_block);
         let bytes =
             (n * row_len * (std::mem::size_of::<A>() + std::mem::size_of::<B>()) * 2) as u64;
-        let base_a = SharedMut(a.as_mut_ptr());
-        let base_b = SharedMut(b.as_mut_ptr());
+        let base_a = SharedMut::new(a);
+        let base_b = SharedMut::new(b);
         let pool = self.pool_for(work_items);
         self.timed(name, n, bytes, pool.is_some(), || match pool {
             None => {
                 // SAFETY: serial path, exclusive access to both slices.
                 for (k, &r) in rows.iter().enumerate() {
                     let r = r as usize;
-                    let row_a = unsafe {
-                        std::slice::from_raw_parts_mut(base_a.0.add(r * row_len), row_len)
-                    };
-                    let row_b = unsafe {
-                        std::slice::from_raw_parts_mut(base_b.0.add(r * row_len), row_len)
-                    };
+                    let row_a = unsafe { base_a.slice(r * row_len, row_len) };
+                    let row_b = unsafe { base_b.slice(r * row_len, row_len) };
                     kernel(k, r, row_a, row_b);
                 }
             }
@@ -571,18 +644,8 @@ impl Device {
                             // visited by exactly one worker, and the gather
                             // list holds distinct rows — so every row pair
                             // is touched by one worker only.
-                            let row_a = unsafe {
-                                std::slice::from_raw_parts_mut(
-                                    base_a.0.add(r * row_len),
-                                    row_len,
-                                )
-                            };
-                            let row_b = unsafe {
-                                std::slice::from_raw_parts_mut(
-                                    base_b.0.add(r * row_len),
-                                    row_len,
-                                )
-                            };
+                            let row_a = unsafe { base_a.slice(r * row_len, row_len) };
+                            let row_b = unsafe { base_b.slice(r * row_len, row_len) };
                             kernel(k, r, row_a, row_b);
                         }
                         block += workers;
@@ -605,12 +668,12 @@ impl Device {
         let combine_ref = &combine;
         let map_ref = &map;
         {
-            let base = SharedMut(partials.as_mut_ptr());
+            let base = SharedMut::new(&mut partials);
             let pool = self.pool_for(n);
             self.timed(name, n, 0, pool.is_some(), || match pool {
                 None => {
                     // SAFETY: serial path, exclusive access.
-                    let parts = unsafe { std::slice::from_raw_parts_mut(base.0, dims.grid) };
+                    let parts = unsafe { base.whole() };
                     for (b, slot) in parts.iter_mut().enumerate() {
                         let mut acc = identity.clone();
                         for i in dims.block_range(b, n) {
@@ -631,7 +694,7 @@ impl Device {
                                 acc = combine_ref(acc, map_ref(i));
                             }
                             // SAFETY: one writer per block slot.
-                            unsafe { *base.0.add(block) = acc };
+                            unsafe { *base.at(block) = acc };
                             block += workers;
                         }
                     });
@@ -670,7 +733,7 @@ impl std::fmt::Debug for Device {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

@@ -12,9 +12,9 @@
 //! inline (one worker, no-op syncs) when the estimated cost is below the
 //! dispatch threshold.
 
+use crate::sync::Barrier;
 use std::marker::PhantomData;
 use std::ops::Range;
-use std::sync::Barrier;
 
 /// Per-worker execution context inside a fused launch.
 ///
@@ -100,6 +100,12 @@ impl<'a> FusedCtx<'a> {
 pub struct SharedSlice<'a, T> {
     ptr: *mut T,
     len: usize,
+    /// Under the model checker every access is reported, per element, to a
+    /// vector-clock race detector, turning the prose contract above into a
+    /// checked property (loom_tests.rs exercises both the race-free fused
+    /// pipeline and a deliberately mispartitioned negative model).
+    #[cfg(loom)]
+    log: std::sync::Arc<snn_loom::cell::AccessLog>,
     _marker: PhantomData<&'a mut [T]>,
 }
 
@@ -113,7 +119,13 @@ impl<'a, T> SharedSlice<'a, T> {
     /// Wraps `slice`; the wrapper borrows it mutably for `'a`.
     #[must_use]
     pub fn new(slice: &'a mut [T]) -> Self {
-        SharedSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            #[cfg(loom)]
+            log: std::sync::Arc::new(snn_loom::cell::AccessLog::new(slice.len())),
+            _marker: PhantomData,
+        }
     }
 
     /// Length of the underlying slice.
@@ -137,6 +149,9 @@ impl<'a, T> SharedSlice<'a, T> {
     #[allow(clippy::mut_from_ref)]
     pub unsafe fn get_mut(&self, i: usize) -> &mut T {
         debug_assert!(i < self.len, "SharedSlice index {i} out of range {}", self.len);
+        #[cfg(loom)]
+        self.log.write(i);
+        // SAFETY: in bounds and unaliased per this function's contract.
         unsafe { &mut *self.ptr.add(i) }
     }
 
@@ -152,6 +167,10 @@ impl<'a, T> SharedSlice<'a, T> {
         T: Copy,
     {
         debug_assert!(i < self.len, "SharedSlice index {i} out of range {}", self.len);
+        #[cfg(loom)]
+        self.log.read(i);
+        // SAFETY: in bounds and no concurrent writer per this function's
+        // contract.
         unsafe { *self.ptr.add(i) }
     }
 
@@ -163,6 +182,9 @@ impl<'a, T> SharedSlice<'a, T> {
     /// stage.
     pub unsafe fn write(&self, i: usize, value: T) {
         debug_assert!(i < self.len, "SharedSlice index {i} out of range {}", self.len);
+        #[cfg(loom)]
+        self.log.write(i);
+        // SAFETY: in bounds and unaliased per this function's contract.
         unsafe { self.ptr.add(i).write(value) };
     }
 
@@ -179,11 +201,17 @@ impl<'a, T> SharedSlice<'a, T> {
             "SharedSlice range {range:?} out of range {}",
             self.len
         );
+        #[cfg(loom)]
+        for i in range.clone() {
+            self.log.write(i);
+        }
+        // SAFETY: the range is in bounds and unaliased per this function's
+        // contract.
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len()) }
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

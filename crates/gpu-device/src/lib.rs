@@ -33,14 +33,18 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod buffer;
 mod device;
 mod fused;
 mod grid;
+#[cfg(all(loom, test))]
+mod loom_tests;
 mod philox;
 mod pool;
 mod profiler;
+pub(crate) mod sync;
 
 pub use buffer::{DeviceBuffer, TransferStats};
 pub use device::{Device, DeviceConfig, ScratchLease};

@@ -8,37 +8,62 @@
 //! finished, which is what makes lending stack-borrowed closures to the
 //! workers sound (the same technique scoped thread pools such as rayon's
 //! use internally).
+//!
+//! All primitives come from [`crate::sync`], so `--cfg loom` builds swap in
+//! the model checker: `src/loom_tests.rs` exhaustively interleaves this
+//! pool and proves the latch protocol, the `run` lifetime argument, and the
+//! panic path below.
 
-use crossbeam::channel::{self, Sender};
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{channel, Condvar, Mutex, ThreadBuilder};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::thread::JoinHandle;
+
+/// A panic payload carried from a worker back to the dispatching thread.
+pub(crate) type Poison = Box<dyn std::any::Any + Send + 'static>;
+
+struct LatchState {
+    remaining: usize,
+    /// First worker panic of this launch, if any; re-raised by the waiter.
+    poison: Option<Poison>,
+}
 
 /// A countdown latch: `wait` returns once `count_down` has been called the
-/// configured number of times.
-struct Latch {
-    remaining: Mutex<usize>,
+/// configured number of times, handing back the first panic payload any
+/// caller deposited.
+///
+/// `pub(crate)` so `loom_tests.rs` can model the bare latch protocol
+/// exhaustively (the full pool has too many visible operations for an
+/// unbounded exploration).
+pub(crate) struct Latch {
+    state: Mutex<LatchState>,
     all_done: Condvar,
 }
 
 impl Latch {
-    fn new(count: usize) -> Self {
-        Latch { remaining: Mutex::new(count), all_done: Condvar::new() }
+    pub(crate) fn new(count: usize) -> Self {
+        Latch {
+            state: Mutex::new(LatchState { remaining: count, poison: None }),
+            all_done: Condvar::new(),
+        }
     }
 
-    fn count_down(&self) {
-        let mut remaining = self.remaining.lock();
-        *remaining -= 1;
-        if *remaining == 0 {
+    pub(crate) fn count_down(&self, poison: Option<Poison>) {
+        let mut state = self.state.lock();
+        state.remaining -= 1;
+        if state.poison.is_none() {
+            state.poison = poison;
+        }
+        if state.remaining == 0 {
             self.all_done.notify_all();
         }
     }
 
-    fn wait(&self) {
-        let mut remaining = self.remaining.lock();
-        while *remaining > 0 {
-            self.all_done.wait(&mut remaining);
+    pub(crate) fn wait(&self) -> Option<Poison> {
+        let mut state = self.state.lock();
+        while state.remaining > 0 {
+            self.all_done.wait(&mut state);
         }
+        state.poison.take()
     }
 }
 
@@ -54,8 +79,8 @@ struct Message {
 
 /// A fixed-size pool of persistent worker threads.
 pub struct WorkerPool {
-    senders: Vec<Sender<Message>>,
-    handles: Vec<JoinHandle<()>>,
+    senders: Vec<channel::Sender<Message>>,
+    handles: Vec<crate::sync::JoinHandle<()>>,
 }
 
 impl WorkerPool {
@@ -69,12 +94,18 @@ impl WorkerPool {
             let (tx, rx) = channel::unbounded::<Message>();
             senders.push(tx);
             handles.push(
-                std::thread::Builder::new()
+                ThreadBuilder::new()
                     .name(format!("gpu-sm-{worker_id}"))
                     .spawn(move || {
                         for msg in rx {
-                            (msg.job)(worker_id);
-                            msg.latch.count_down();
+                            // A panicking job must still count down, or the
+                            // dispatcher deadlocks in `latch.wait()` (and the
+                            // `run` borrow argument below would be void). The
+                            // payload travels back and re-raises on the
+                            // dispatching thread instead.
+                            let result =
+                                catch_unwind(AssertUnwindSafe(|| (msg.job)(worker_id)));
+                            msg.latch.count_down(result.err());
                         }
                     })
                     .expect("failed to spawn worker thread"),
@@ -94,6 +125,13 @@ impl WorkerPool {
     ///
     /// `f` may borrow from the caller's stack: the blocking wait below keeps
     /// those borrows alive while any worker can still observe them.
+    ///
+    /// # Panics
+    ///
+    /// If a worker's call panics, the first panic payload is re-raised here
+    /// after **every** worker has finished the launch — the latch still
+    /// counts down on the panic path, so the pool stays usable and the
+    /// borrow argument is unaffected.
     pub fn run<F>(&self, f: F)
     where
         F: Fn(usize) + Sync,
@@ -103,9 +141,12 @@ impl WorkerPool {
         // SAFETY: only the reference's lifetime is erased; the pointee type
         // is unchanged. `f` lives on this stack frame and `latch.wait()`
         // below does not return until every worker has called `count_down`,
-        // which each does strictly after its last use of `job`. Hence no
-        // worker can observe the reference after `run` returns and the
-        // borrow never outlives `f`.
+        // which each does strictly after its last use of `job` — including
+        // when the job panics, because the worker loop catches the unwind
+        // and counts down with the payload. Hence no worker can observe the
+        // reference after `run` returns and the borrow never outlives `f`.
+        // Checked property: the `run_return_is_ordered_after_worker_writes`
+        // and `panicking_job_counts_down_*` models in loom_tests.rs.
         let job: Job = unsafe {
             std::mem::transmute::<&(dyn Fn(usize) + Sync), Job>(f_ref)
         };
@@ -113,7 +154,9 @@ impl WorkerPool {
             tx.send(Message { job, latch: Arc::clone(&latch) })
                 .expect("worker thread terminated unexpectedly");
         }
-        latch.wait();
+        if let Some(poison) = latch.wait() {
+            resume_unwind(poison);
+        }
     }
 }
 
@@ -132,7 +175,7 @@ impl std::fmt::Debug for WorkerPool {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -189,5 +232,47 @@ mod tests {
             });
         }
         assert_eq!(count.load(Ordering::SeqCst), 40_000);
+    }
+
+    #[test]
+    fn panicking_job_does_not_deadlock_and_reraises() {
+        let pool = WorkerPool::new(3);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(|wid| {
+                if wid == 1 {
+                    panic!("job failure on worker {wid}");
+                }
+            });
+        }))
+        .expect_err("worker panic must propagate to the dispatcher");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("job failure"), "unexpected payload: {msg}");
+        // The pool must remain fully usable after a poisoned launch.
+        let count = AtomicUsize::new(0);
+        pool.run(|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn all_workers_panicking_reports_first_and_recovers() {
+        let pool = WorkerPool::new(2);
+        for _ in 0..3 {
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run(|_| panic!("every worker fails"));
+            }))
+            .expect_err("panic must propagate");
+            assert!(err.downcast_ref::<&str>().is_some()
+                || err.downcast_ref::<String>().is_some());
+        }
+        let count = AtomicUsize::new(0);
+        pool.run(|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 2);
     }
 }

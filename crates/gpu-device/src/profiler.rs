@@ -1,6 +1,6 @@
 //! Per-kernel timing, the simulator's stand-in for `nvprof`.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use serde::Serialize;
 use std::collections::HashMap;
 use std::time::Duration;
@@ -363,7 +363,7 @@ impl std::fmt::Display for ProfileReport {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
 

@@ -1,0 +1,30 @@
+//! The crate's single import point for concurrency primitives.
+//!
+//! Normal builds re-export the production primitives (`parking_lot`
+//! mutexes/condvars, `crossbeam` channels, `std` barriers and threads).
+//! Under `RUSTFLAGS="--cfg loom"` every one of them is swapped for its
+//! [`snn_loom`] model-checked double, which lets `src/loom_tests.rs`
+//! exhaustively interleave the worker pool, the fused-launch barrier
+//! pipeline, and the profiler merge paths and prove them race- and
+//! deadlock-free (see DESIGN.md §10).
+//!
+//! Everything that synchronizes in this crate must import from here — the
+//! `snn-lint` `sync-shim` rule rejects direct `parking_lot::`/
+//! `crossbeam::`/`std::sync::Barrier` imports elsewhere in the crate — so
+//! the model checker sees every primitive the production build uses.
+
+#[cfg(not(loom))]
+pub(crate) use crossbeam::channel;
+#[cfg(not(loom))]
+pub(crate) use parking_lot::{Condvar, Mutex};
+#[cfg(not(loom))]
+pub(crate) use std::sync::Barrier;
+#[cfg(not(loom))]
+pub(crate) use std::thread::{Builder as ThreadBuilder, JoinHandle};
+
+#[cfg(loom)]
+pub(crate) use snn_loom::channel;
+#[cfg(loom)]
+pub(crate) use snn_loom::sync::{Barrier, Condvar, Mutex};
+#[cfg(loom)]
+pub(crate) use snn_loom::thread::{Builder as ThreadBuilder, JoinHandle};

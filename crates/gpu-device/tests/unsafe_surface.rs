@@ -1,0 +1,226 @@
+//! Curated exercise of the crate's entire unsafe surface, for sanitizer
+//! runs (Miri, ThreadSanitizer) and as a living inventory of what the
+//! `unsafe` in this crate actually is. Every test here drives at least one
+//! of the following through its public entry point:
+//!
+//! | unsafe item                                   | driven by                           |
+//! |-----------------------------------------------|-------------------------------------|
+//! | `SharedSlice` manual `Send`/`Sync` impls      | `fused_two_stage_pipeline`          |
+//! | `SharedSlice::{get_mut, read, write, slice_mut}` | `shared_slice_single_thread`, `fused_two_stage_pipeline` |
+//! | `SharedMut` manual `Send`/`Sync` impls        | every pooled `launch_*` test        |
+//! | `SharedMut::at` (pooled per-element access)   | `slice_mut_pooled`, `reduce_pooled` |
+//! | `SharedMut::slice` (row-chunk access)         | `rows_mut_pooled`, `gather_rows_pooled` |
+//! | `SharedMut::whole` (serial fast path)         | `slice_mut_serial`, `reduce_serial` |
+//! | `WorkerPool::run` lifetime transmute          | every pooled test                   |
+//! | `WorkerPool` poison hand-off (`catch_unwind`) | `panicking_job_resurfaces_and_pool_survives` |
+//!
+//! Sizes are deliberately tiny (≤ 64 elements, 2 workers) so the whole
+//! binary finishes quickly under Miri's interpreter. Profiling is disabled
+//! in the pooled config so no `Instant::now` is reached (Miri isolation);
+//! `min_parallel_items: 0` forces every launch through the worker pool so
+//! the cross-thread unsafe paths are the ones actually executed.
+//!
+//! Miri skip-list: currently empty — every test below is Miri-clean. If a
+//! future test needs real time or the network, mark it
+//! `#[cfg_attr(miri, ignore)]` and record why here.
+
+use gpu_device::{Device, DeviceConfig, SharedSlice, WorkerPool};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Two workers, no inline threshold, no profiling: every launch dispatches
+/// to the pool and exercises the cross-thread unsafe paths.
+fn pooled_device() -> Device {
+    Device::new(DeviceConfig {
+        workers: 2,
+        block_size: 4,
+        min_parallel_items: 0,
+        profile: false,
+    })
+}
+
+/// Single worker: launches run inline and exercise the `whole()` fast path.
+fn serial_device() -> Device {
+    Device::new(DeviceConfig {
+        workers: 1,
+        block_size: 4,
+        min_parallel_items: 0,
+        profile: false,
+    })
+}
+
+#[test]
+fn shared_slice_single_thread() {
+    let mut data = vec![0i64; 8];
+    let view = SharedSlice::new(&mut data);
+    // SAFETY: single thread, every index touched at most once per "stage".
+    unsafe {
+        for i in 0..view.len() {
+            view.write(i, i as i64);
+        }
+        *view.get_mut(2) += 10;
+        view.slice_mut(4..6).fill(-1);
+        assert_eq!(view.read(2), 12);
+    }
+    assert_eq!(data, vec![0, 1, 12, 3, -1, -1, 6, 7]);
+}
+
+#[test]
+fn fused_two_stage_pipeline() {
+    // The canonical fused shape: stage 1 writes `a`, barrier, stage 2 reads
+    // a neighbouring element of `a` (written by the *other* worker) and
+    // writes `b`. Sends `SharedSlice` across threads (manual Send/Sync) and
+    // hits write/read/get_mut from two workers concurrently.
+    let device = pooled_device();
+    let n = 16usize;
+    let mut a = vec![0u64; n];
+    let mut b = vec![0u64; n];
+    {
+        let av = SharedSlice::new(&mut a);
+        let bv = SharedSlice::new(&mut b);
+        device.launch_fused("surface_fused", usize::MAX, 0, |ctx| {
+            for i in ctx.chunk(n) {
+                // SAFETY: chunk() partitions 0..n across workers.
+                unsafe { av.write(i, (i * i) as u64) };
+            }
+            ctx.sync();
+            for i in ctx.strided(n) {
+                // SAFETY: strided() partitions 0..n; the read of a[(i+1)%n]
+                // is ordered after its stage-1 write by the barrier.
+                unsafe {
+                    let neighbour = av.read((i + 1) % n);
+                    bv.write(i, neighbour + 1);
+                    *bv.get_mut(i) *= 2;
+                }
+            }
+        });
+    }
+    for i in 0..n {
+        let j = (i + 1) % n;
+        assert_eq!(b[i], ((j * j) as u64 + 1) * 2, "element {i}");
+    }
+}
+
+#[test]
+fn slice_mut_pooled() {
+    let device = pooled_device();
+    let mut data = vec![1.0f64; 64];
+    device.launch_slice_mut("surface_at", &mut data, |i, v| *v += i as f64);
+    for (i, v) in data.iter().enumerate() {
+        assert_eq!(*v, 1.0 + i as f64);
+    }
+}
+
+#[test]
+fn slice_mut_serial() {
+    let device = serial_device();
+    let mut data = vec![0.0f64; 16];
+    device.launch_slice_mut("surface_whole", &mut data, |i, v| *v = i as f64);
+    for (i, v) in data.iter().enumerate() {
+        assert_eq!(*v, i as f64);
+    }
+}
+
+#[test]
+fn rows_mut_pooled() {
+    let device = pooled_device();
+    let (rows, row_len) = (6usize, 5usize);
+    let mut data = vec![0u32; rows * row_len];
+    device.launch_rows_mut("surface_rows", &mut data, row_len, |r, row| {
+        for (c, cell) in row.iter_mut().enumerate() {
+            *cell = (r * 100 + c) as u32;
+        }
+    });
+    for r in 0..rows {
+        for c in 0..row_len {
+            assert_eq!(data[r * row_len + c], (r * 100 + c) as u32);
+        }
+    }
+}
+
+#[test]
+fn gather_rows_pooled() {
+    let device = pooled_device();
+    let (rows, row_len) = (8usize, 3usize);
+    let mut a = vec![0i32; rows * row_len];
+    let mut b = vec![0i32; rows * row_len];
+    let gather: Vec<u32> = vec![6, 1, 3];
+    device.launch_gather_rows_mut(
+        "surface_gather",
+        &gather,
+        &mut a,
+        &mut b,
+        row_len,
+        usize::MAX,
+        |k, r, row_a, row_b| {
+            row_a.fill(k as i32 + 1);
+            row_b.fill(-(r as i32));
+        },
+    );
+    for (k, &r) in gather.iter().enumerate() {
+        let r = r as usize;
+        assert!(a[r * row_len..(r + 1) * row_len].iter().all(|&v| v == k as i32 + 1));
+        assert!(b[r * row_len..(r + 1) * row_len].iter().all(|&v| v == -(r as i32)));
+    }
+    // Ungathered rows untouched.
+    assert!(a[0..row_len].iter().all(|&v| v == 0));
+}
+
+#[test]
+fn reduce_pooled_matches_serial() {
+    let pooled = pooled_device();
+    let serial = serial_device();
+    let map = |i: usize| (i as u64) * 3 + 1;
+    let p = pooled.reduce("surface_reduce_p", 57, 0u64, map, |a, b| a + b);
+    let s = serial.reduce("surface_reduce_s", 57, 0u64, map, |a, b| a + b);
+    assert_eq!(p, s);
+    assert_eq!(s, (0..57u64).map(|i| i * 3 + 1).sum::<u64>());
+}
+
+#[test]
+fn bare_pool_run_transmute() {
+    // Drives WorkerPool::run directly: the closure borrows a stack-local
+    // atomic, which is exactly the non-'static borrow the documented
+    // transmute makes sound (run() blocks until all workers finish).
+    let pool = WorkerPool::new(2);
+    let hits = AtomicU64::new(0);
+    pool.run(|wid| {
+        hits.fetch_add(1 << (wid * 8), Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), (1 << 8) | 1);
+}
+
+#[test]
+fn panicking_job_resurfaces_and_pool_survives() {
+    // The catch_unwind → Latch poison → resume_unwind hand-off: a worker
+    // panic must re-raise on the caller and must NOT deadlock or poison the
+    // pool for subsequent launches.
+    let pool = WorkerPool::new(2);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.run(|wid| {
+            if wid == 1 {
+                panic!("surface: deliberate worker panic");
+            }
+        });
+    }));
+    assert!(caught.is_err(), "worker panic must resurface from run()");
+    // Pool is still usable afterwards.
+    let hits = AtomicU64::new(0);
+    pool.run(|_| {
+        hits.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 2);
+}
+
+#[test]
+fn device_buffer_round_trip_through_launch() {
+    // DeviceBuffer hand-off into a pooled mutation launch and back to host;
+    // with alloc/copy accounting on the unsafe-free side, this pins the
+    // whole "allocate, mutate on device, read back" seam end to end.
+    let device = pooled_device();
+    let mut buf = device.alloc_from_slice("surface_buf", &[2.0f64; 32]);
+    device.launch_mut("surface_buf_mut", &mut buf, |i, v| *v *= (i + 1) as f64);
+    let host = buf.copy_to_host();
+    for (i, v) in host.iter().enumerate() {
+        assert_eq!(*v, 2.0 * (i + 1) as f64);
+    }
+}

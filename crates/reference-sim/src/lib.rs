@@ -27,6 +27,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use snn_core::config::LifParams;
 use snn_core::network::RecurrentNetwork;

@@ -40,6 +40,8 @@
 //! ```
 
 #![deny(missing_docs)]
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod config;
 mod error;

@@ -1,4 +1,10 @@
 //! The winner-take-all learning engine (Fig. 2/3 of the paper).
+//!
+//! The fused step kernels below use `SharedSlice` raw-pointer views, so
+//! this file (with `generic.rs`) is the audited unsafe surface of
+//! `snn-core` — see `snn-lint`'s `unsafe-surface` allow-list and the
+//! crate-root `#![deny(unsafe_code)]`.
+#![allow(unsafe_code)]
 
 use crate::config::{
     CurrentDelivery, InhibitionMode, LifParams, NetworkConfig, NeuronModelKind,
@@ -717,6 +723,7 @@ impl<'d> WtaEngine<'d> {
                                 acc += b;
                             }
                         }
+                        // SAFETY: as above — j is in this worker's chunk.
                         unsafe { i_syn.write(j, acc) };
                     }
                 }
@@ -1065,6 +1072,7 @@ impl<'d> WtaEngine<'d> {
                                         );
                                         spiked += u32::from(cell.spiked);
                                         if decay_inh {
+                                            // SAFETY: as above — j is in this worker's chunk.
                                             unsafe { *inh_drive.get_mut(j) *= decay };
                                         }
                                     }
@@ -1084,6 +1092,7 @@ impl<'d> WtaEngine<'d> {
                                         );
                                         spiked += u32::from(cell.spiked);
                                         if decay_inh {
+                                            // SAFETY: as above — j is in this worker's chunk.
                                             unsafe { *inh_drive.get_mut(j) *= decay };
                                         }
                                     }
@@ -1101,6 +1110,7 @@ impl<'d> WtaEngine<'d> {
                                             }
                                             acc += block;
                                         }
+                                        // SAFETY: as above — j is in this worker's chunk.
                                         unsafe { i_syn.write(j, acc) };
                                         let cell = unsafe { cells.get_mut(j) };
                                         integrate_cell(
@@ -1109,6 +1119,7 @@ impl<'d> WtaEngine<'d> {
                                         );
                                         spiked += u32::from(cell.spiked);
                                         if decay_inh {
+                                            // SAFETY: as above — j is in this worker's chunk.
                                             unsafe { *inh_drive.get_mut(j) *= decay };
                                         }
                                     }
@@ -1178,6 +1189,7 @@ impl<'d> WtaEngine<'d> {
                             );
                             spiked += u32::from(cell.spiked);
                             if decay_inh {
+                                // SAFETY: as above — j is in this worker's chunk.
                                 unsafe { *inh_drive.get_mut(j) *= decay };
                             }
                         }
@@ -1217,6 +1229,7 @@ impl<'d> WtaEngine<'d> {
                             if seen > 0 {
                                 acc += block_acc;
                             }
+                            // SAFETY: as above — j is in this worker's chunk.
                             unsafe { i_syn.write(j, acc) };
                             let cell = unsafe { cells.get_mut(j) };
                             integrate_cell(
@@ -1225,6 +1238,7 @@ impl<'d> WtaEngine<'d> {
                             );
                             spiked += u32::from(cell.spiked);
                             if decay_inh {
+                                // SAFETY: as above — j is in this worker's chunk.
                                 unsafe { *inh_drive.get_mut(j) *= decay };
                             }
                         }

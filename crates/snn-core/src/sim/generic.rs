@@ -1,4 +1,10 @@
 //! Fixed-step simulation of arbitrary recurrent networks (Fig. 4 workload).
+//!
+//! The spiked-flag scatter uses a raw-pointer view, so this file (with
+//! `engine.rs`) is the audited unsafe surface of `snn-core` — see
+//! `snn-lint`'s `unsafe-surface` allow-list and the crate-root
+//! `#![deny(unsafe_code)]`.
+#![allow(unsafe_code)]
 
 use crate::network::{Csr, RecurrentNetwork};
 use crate::neuron::{LifNeuron, NeuronModel, NeuronState};

@@ -9,7 +9,7 @@ use qformat::Rounding;
 use snn_core::config::{NetworkConfig, PlasticityExecution, Preset, RuleKind, StochasticParams};
 use snn_core::sim::WtaEngine;
 use snn_core::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp, UpdateKind};
-use snn_core::synapse::{PlasticityLedger, SynapseMatrix};
+use snn_core::synapse::{PlasticityLedger, SynapseMatrix, TransposedConductances};
 
 fn arb_preset() -> impl Strategy<Value = Preset> {
     prop_oneof![
@@ -239,4 +239,132 @@ fn empirical_acceptance_of_rule_matches_probability_under_philox() {
         (rate - expect).abs() < 5e-3,
         "acceptance {rate} vs expected {expect} under Philox draws"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Transposed-view coherence (the `transposed-coherence` snn-lint rule,
+// checked dynamically): the engine's mirror maintenance reduced to its
+// operation algebra.
+// ---------------------------------------------------------------------------
+
+/// One mutate-then-refresh pair, mirroring an actual engine mutation site:
+/// full-matrix normalization (`refresh(None, None)`), a row-rectangle
+/// learning pass (`refresh(Some(rows), None)` — flush/eager post-STDP), a
+/// column pass (`refresh(None, Some(cols))`), the touch-pass rectangle
+/// (`refresh(Some(rows), Some(cols))`), and `set_synapses`' from-scratch
+/// rebuild.
+#[derive(Debug, Clone)]
+enum MirrorOp {
+    FullPass,
+    RowPass(Vec<u8>),
+    ColPass(Vec<u8>),
+    RectPass(Vec<u8>, Vec<u8>),
+    Rebuild,
+}
+
+fn arb_mirror_op() -> impl Strategy<Value = MirrorOp> {
+    let idx = prop::collection::vec(any::<u8>(), 1..5);
+    prop_oneof![
+        Just(MirrorOp::FullPass),
+        idx.clone().prop_map(MirrorOp::RowPass),
+        idx.clone().prop_map(MirrorOp::ColPass),
+        (idx.clone(), idx).prop_map(|(r, c)| MirrorOp::RectPass(r, c)),
+        Just(MirrorOp::Rebuild),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of the engine's mutate→refresh pairs keeps the
+    /// transposed mirror bit-identical to a from-scratch rebuild. This is
+    /// the dynamic complement of the static `transposed-coherence` lint:
+    /// the lint proves every mutator *calls* the coherence API, this test
+    /// proves the API, applied to the rectangle that was mutated, is
+    /// *sufficient*.
+    #[test]
+    fn transposed_view_coherent_under_engine_op_algebra(
+        seed in 0u64..512,
+        ops in prop::collection::vec(arb_mirror_op(), 1..16),
+        vals in prop::collection::vec(0.0f64..1.0, 64),
+    ) {
+        let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 8, 5);
+        let mut m = SynapseMatrix::new_random(&cfg, seed);
+        let (n_pre, n_post) = (m.n_pre(), m.n_post());
+        let mut view = TransposedConductances::new(&m);
+        prop_assert!(view.is_coherent(&m));
+
+        let mut vi = 0usize;
+        let mut next = || {
+            vi += 1;
+            vals[(vi - 1) % vals.len()]
+        };
+        for op in &ops {
+            match op {
+                MirrorOp::FullPass => {
+                    for g in m.as_flat_mut() {
+                        *g = next();
+                    }
+                    view.refresh(&m, None, None);
+                }
+                MirrorOp::RowPass(rows) => {
+                    let rows: Vec<u32> =
+                        rows.iter().map(|&r| u32::from(r) % n_post as u32).collect();
+                    for &j in &rows {
+                        for g in m.row_mut(j as usize) {
+                            *g = next();
+                        }
+                    }
+                    view.refresh(&m, Some(&rows), None);
+                }
+                MirrorOp::ColPass(cols) => {
+                    let cols: Vec<u32> =
+                        cols.iter().map(|&c| u32::from(c) % n_pre as u32).collect();
+                    for &i in &cols {
+                        for j in 0..n_post {
+                            m.as_flat_mut()[j * n_pre + i as usize] = next();
+                        }
+                    }
+                    view.refresh(&m, None, Some(&cols));
+                }
+                MirrorOp::RectPass(rows, cols) => {
+                    let rows: Vec<u32> =
+                        rows.iter().map(|&r| u32::from(r) % n_post as u32).collect();
+                    let cols: Vec<u32> =
+                        cols.iter().map(|&c| u32::from(c) % n_pre as u32).collect();
+                    for &j in &rows {
+                        for &i in &cols {
+                            m.as_flat_mut()[j as usize * n_pre + i as usize] = next();
+                        }
+                    }
+                    view.refresh(&m, Some(&rows), Some(&cols));
+                }
+                MirrorOp::Rebuild => {
+                    for g in m.as_flat_mut() {
+                        *g = next();
+                    }
+                    view = TransposedConductances::new(&m);
+                }
+            }
+            prop_assert!(view.is_coherent(&m), "mirror diverged after {:?}", op);
+        }
+
+        // Bit-exact equality with a from-scratch rebuild, column by column.
+        let rebuilt = TransposedConductances::new(&m);
+        for i in 0..n_pre {
+            prop_assert_eq!(view.col(i), rebuilt.col(i));
+        }
+    }
+
+    /// Negative control: a mutation *without* the matching refresh is
+    /// visible to `is_coherent` (so the assertions above have teeth).
+    #[test]
+    fn stale_mirror_is_detected(seed in 0u64..512, pre in 0usize..8, post in 0usize..5) {
+        let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 8, 5);
+        let mut m = SynapseMatrix::new_random(&cfg, seed);
+        let view = TransposedConductances::new(&m);
+        let cell = &mut m.as_flat_mut()[post * 8 + pre];
+        *cell = if *cell > 0.5 { *cell - 0.25 } else { *cell + 0.25 };
+        prop_assert!(!view.is_coherent(&m));
+    }
 }

@@ -21,6 +21,7 @@
 //! harnesses run in both worlds.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod dataset;
 mod digits;

@@ -17,6 +17,7 @@
 //! one-call experiment runner the benches and figure harnesses use.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod checkpoint;
 mod eval;

@@ -1,0 +1,1154 @@
+//! `snn-lint` — the repo-specific invariant lint of the ParallelSpikeSim
+//! reproduction (DESIGN.md §10).
+//!
+//! `rustc` and clippy check language-level properties; this binary checks
+//! the *project*-level invariants that keep the unsafe concurrency core and
+//! the determinism contract honest. It is a plain-text scanner (comments
+//! and string literals are masked before matching), deliberately
+//! dependency-free so it runs in any environment that has `rustc`.
+//!
+//! Rules (each with a negative fixture test below):
+//!
+//! | rule | property |
+//! |------|----------|
+//! | `safety-comment` | every `unsafe` block / `unsafe impl` carries a `// SAFETY:` comment (a comment covers a contiguous cluster of unsafe statements) |
+//! | `unsafe-surface` | `unsafe` appears only in the audited allow-list of files; leaf crates carry `#![forbid(unsafe_code)]`, unsafe crates carry `#![deny(unsafe_op_in_unsafe_fn)]` |
+//! | `philox-only` | kernel/step-path modules draw no randomness or wall-clock time outside the counter-based Philox streams |
+//! | `transposed-coherence` | every function that mutates row-major conductances also refreshes (or rebuilds) the transposed mirror |
+//! | `hash-iteration` | hot-path modules never *iterate* a `HashMap`/`HashSet` (iteration order is unordered ⇒ nondeterministic); keyed lookups are fine |
+//! | `sync-shim` | gpu-device uses sync primitives only through `src/sync.rs`, so `--cfg loom` swaps every primitive at once |
+//!
+//! A violation can be waived in place with a trailing or preceding comment
+//! `lint-allow: <rule-name> — <reason>`; waivers are surfaced in `--report`.
+//!
+//! Usage:
+//!
+//! ```text
+//! snn-lint [--root <workspace-dir>]   # lint; exit 1 on any violation
+//! snn-lint --report                   # JSON unsafe-surface inventory on stdout
+//! ```
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+// ---------------------------------------------------------------------------
+// Policy tables (paths are workspace-relative, forward slashes)
+// ---------------------------------------------------------------------------
+
+/// Files allowed to contain the token `unsafe` at all. Everything else in
+/// the workspace must be (and is declared) safe code.
+const UNSAFE_ALLOWED: &[&str] = &[
+    "crates/gpu-device/src/",
+    "crates/snn-loom/src/",
+    "crates/snn-core/src/sim/engine.rs",
+    "crates/snn-core/src/sim/generic.rs",
+    // The curated sanitizer suite exists to *drive* the unsafe surface
+    // (Miri/TSan CI jobs); see its header for the item -> test inventory.
+    "crates/gpu-device/tests/unsafe_surface.rs",
+];
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`.
+const FORBID_UNSAFE_ROOTS: &[&str] = &[
+    "crates/qformat/src/lib.rs",
+    "crates/spike-encoding/src/lib.rs",
+    "crates/snn-datasets/src/lib.rs",
+    "crates/snn-learning/src/lib.rs",
+    "crates/reference-sim/src/lib.rs",
+    "crates/bench/src/lib.rs",
+    "crates/snn-lint/src/main.rs",
+    "src/lib.rs",
+];
+
+/// Crate roots that host unsafe code and must therefore carry
+/// `#![deny(unsafe_op_in_unsafe_fn)]` (no implicit unsafe scope inside
+/// unsafe fns: every unsafe operation sits in its own commented block).
+const UNSAFE_OP_ROOTS: &[&str] = &[
+    "crates/gpu-device/src/lib.rs",
+    "crates/snn-core/src/lib.rs",
+    "crates/snn-loom/src/lib.rs",
+];
+
+/// Modules on the kernel/step path: one Philox draw per (synapse, step) is
+/// the *only* admissible stochastic or time-like input, which is what makes
+/// runs bit-identical at any worker count. `gpu-device/src/device.rs` is
+/// deliberately absent: its `timed()` profiler wrapper reads
+/// `Instant::now`, which never feeds kernel results (the standing waiver).
+const PHILOX_SCOPE: &[&str] = &[
+    "crates/snn-core/src/sim/",
+    "crates/snn-core/src/stdp/",
+    "crates/snn-core/src/synapse.rs",
+    "crates/gpu-device/src/fused.rs",
+    "crates/gpu-device/src/grid.rs",
+    "crates/gpu-device/src/pool.rs",
+    "crates/gpu-device/src/philox.rs",
+];
+
+/// Tokens forbidden in [`PHILOX_SCOPE`] (non-test code).
+const PHILOX_FORBIDDEN: &[&str] =
+    &["rand::", "thread_rng", "from_entropy", "SystemTime", "Instant::now"];
+
+/// Modules whose hot loops must not iterate hash containers.
+const HASH_SCOPE: &[&str] = &[
+    "crates/snn-core/src/sim/",
+    "crates/snn-core/src/stdp/",
+    "crates/gpu-device/src/fused.rs",
+];
+
+/// Files where functions mutating the row-major conductance matrix must
+/// also touch the transposed-view coherence API.
+const COHERENCE_SCOPE: &[&str] = &["crates/snn-core/src/sim/"];
+/// Mutator tokens: raw mutable access to the conductance storage.
+const COHERENCE_MUTATORS: &[&str] = &["as_flat_mut", "row_mut("];
+/// Coherence tokens: any of these in the same function discharges the rule.
+const COHERENCE_API: &[&str] = &["refresh(", "TransposedConductances::new"];
+
+/// gpu-device files (other than the shim itself) must reach sync
+/// primitives only through `crate::sync`, so `--cfg loom` swaps them all.
+const SYNC_SHIM_SCOPE: &str = "crates/gpu-device/src/";
+const SYNC_SHIM_EXEMPT: &str = "crates/gpu-device/src/sync.rs";
+const SYNC_FORBIDDEN: &[&str] = &[
+    "parking_lot::",
+    "crossbeam::",
+    "std::sync::Mutex",
+    "std::sync::Condvar",
+    "std::sync::Barrier",
+    "std::sync::mpsc",
+    "std::thread::spawn",
+    "std::thread::Builder",
+];
+
+/// How many non-unsafe lines may separate two unsafe statements that share
+/// one `// SAFETY:` comment (a "cluster"), and how far above the cluster
+/// head the comment may sit.
+const SAFETY_CLUSTER_GAP: usize = 2;
+const SAFETY_LOOKBACK: usize = 4;
+
+// ---------------------------------------------------------------------------
+// Source model: one file, comment/string-masked, with test regions marked
+// ---------------------------------------------------------------------------
+
+struct Line {
+    /// Source text with comments and string/char-literal *contents* blanked.
+    code: String,
+    /// Concatenated comment text of this line.
+    comment: String,
+    /// Inside an item gated on `#[cfg(test)]` / `#[cfg(all(test, ...))]`.
+    in_test: bool,
+}
+
+struct SourceFile {
+    rel: String,
+    lines: Vec<Line>,
+}
+
+impl SourceFile {
+    fn parse(rel: &str, text: &str) -> SourceFile {
+        let mut lines: Vec<Line> = Vec::new();
+        let mut code = String::new();
+        let mut comment = String::new();
+
+        #[derive(PartialEq)]
+        enum St {
+            Code,
+            Line,
+            Block(u32),
+            Str,
+            RawStr(usize),
+            Char,
+        }
+        let mut st = St::Code;
+        let chars: Vec<char> = text.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '\n' {
+                if st == St::Line {
+                    st = St::Code;
+                }
+                lines.push(Line {
+                    code: std::mem::take(&mut code),
+                    comment: std::mem::take(&mut comment),
+                    in_test: false,
+                });
+                i += 1;
+                continue;
+            }
+            match st {
+                St::Code => {
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        st = St::Line;
+                        i += 2;
+                        continue;
+                    }
+                    if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        st = St::Block(1);
+                        i += 2;
+                        continue;
+                    }
+                    if c == 'r'
+                        && matches!(chars.get(i + 1), Some(&'"') | Some(&'#'))
+                        && !prev_is_ident(&chars, i)
+                    {
+                        // raw string: r"..." or r#"..."#
+                        let mut hashes = 0;
+                        let mut j = i + 1;
+                        while chars.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if chars.get(j) == Some(&'"') {
+                            st = St::RawStr(hashes);
+                            code.push('"');
+                            i = j + 1;
+                            continue;
+                        }
+                    }
+                    if c == '"' {
+                        st = St::Str;
+                        code.push('"');
+                        i += 1;
+                        continue;
+                    }
+                    if c == '\'' && is_char_literal(&chars, i) {
+                        st = St::Char;
+                        code.push('\'');
+                        i += 1;
+                        continue;
+                    }
+                    code.push(c);
+                    i += 1;
+                }
+                St::Line => {
+                    comment.push(c);
+                    i += 1;
+                }
+                St::Block(depth) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        st = if depth == 1 { St::Code } else { St::Block(depth - 1) };
+                        i += 2;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        st = St::Block(depth + 1);
+                        i += 2;
+                    } else {
+                        comment.push(c);
+                        i += 1;
+                    }
+                }
+                St::Str => {
+                    if c == '\\' {
+                        i += 2;
+                    } else if c == '"' {
+                        st = St::Code;
+                        code.push('"');
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                St::RawStr(hashes) => {
+                    if c == '"' && (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
+                        st = St::Code;
+                        code.push('"');
+                        i += hashes + 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                St::Char => {
+                    if c == '\\' {
+                        i += 2;
+                    } else if c == '\'' {
+                        st = St::Code;
+                        code.push('\'');
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        if !code.is_empty() || !comment.is_empty() {
+            lines.push(Line { code, comment, in_test: false });
+        }
+
+        mark_test_regions(&mut lines);
+        SourceFile { rel: rel.to_string(), lines }
+    }
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// `'` at `chars[i]` starts a char literal (vs a lifetime) if the closing
+/// quote appears within a few characters.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    if chars.get(i + 1) == Some(&'\\') {
+        return true;
+    }
+    // 'x'   (one char, then the closing quote)
+    chars.get(i + 2) == Some(&'\'')
+}
+
+/// Marks every line inside a `#[cfg(test)]`-gated item as test code, by
+/// brace matching from the attribute to the end of the item it gates.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut pending_attr = false;
+    let mut region_depth: Option<i64> = None; // depth *before* the region opened
+    let mut depth: i64 = 0;
+    for idx in 0..lines.len() {
+        let code = lines[idx].code.clone();
+        if code.contains("#[cfg(test)") || code.contains("#[cfg(all(test") {
+            pending_attr = true;
+        }
+        let mut line_in_test = region_depth.is_some() || pending_attr;
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    if pending_attr {
+                        region_depth = Some(depth);
+                        pending_attr = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_depth == Some(depth) {
+                        region_depth = None;
+                        line_in_test = true; // closing brace still in region
+                    }
+                }
+                ';' => {
+                    // attribute gated a braceless item (`use`, `fn;` etc.)
+                    if pending_attr {
+                        pending_attr = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if region_depth.is_some() {
+            line_in_test = true;
+        }
+        lines[idx].in_test = line_in_test;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Violations & waivers
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Violation {
+    file: String,
+    line: usize, // 1-based
+    rule: &'static str,
+    msg: String,
+}
+
+/// A `lint-allow: <rule>` waiver on this line or the line above.
+fn waived(file: &SourceFile, idx: usize, rule: &str) -> bool {
+    let tag = format!("lint-allow: {rule}");
+    file.lines[idx].comment.contains(&tag)
+        || (idx > 0 && file.lines[idx - 1].comment.contains(&tag))
+}
+
+/// Every rule a waiver may name. A `lint-allow:` whose first token is not
+/// in this list is prose *about* the mechanism (docs, examples), not a
+/// waiver, and is excluded from the `--report` inventory.
+const RULE_NAMES: &[&str] = &[
+    "safety-comment",
+    "unsafe-surface",
+    "philox-only",
+    "transposed-coherence",
+    "hash-iteration",
+    "sync-shim",
+];
+
+fn collect_waivers(files: &[SourceFile]) -> Vec<(String, usize, String)> {
+    let mut out = Vec::new();
+    for f in files {
+        for (i, l) in f.lines.iter().enumerate() {
+            if let Some(pos) = l.comment.find("lint-allow:") {
+                let rest = l.comment[pos + "lint-allow:".len()..].trim();
+                let named_rule = rest.split_whitespace().next().unwrap_or("");
+                if RULE_NAMES.contains(&named_rule) {
+                    out.push((f.rel.clone(), i + 1, rest.to_string()));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Rule: safety-comment
+// ---------------------------------------------------------------------------
+
+/// Whether `code` contains an occurrence of the `unsafe` keyword that opens
+/// a block or an `unsafe impl` (declarations `unsafe fn`/`unsafe trait`
+/// document their contract in `# Safety` docs instead).
+fn unsafe_kind(code: &str) -> Option<&'static str> {
+    let mut search = 0;
+    while let Some(pos) = code[search..].find("unsafe") {
+        let at = search + pos;
+        search = at + "unsafe".len();
+        let before_ok = at == 0 || !is_ident_char(code.as_bytes()[at - 1] as char);
+        let after = &code[at + "unsafe".len()..];
+        if !before_ok || after.starts_with(|c: char| is_ident_char(c)) {
+            continue; // part of a longer identifier e.g. `unsafe_code`
+        }
+        let rest = after.trim_start();
+        if rest.starts_with("impl") {
+            return Some("unsafe impl");
+        }
+        if rest.starts_with("fn") || rest.starts_with("trait") || rest.starts_with("extern") {
+            continue;
+        }
+        // `unsafe {`, `unsafe{`, or `unsafe` at end of line (block opens on
+        // the next line).
+        return Some("unsafe block");
+    }
+    None
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn rule_safety_comment(file: &SourceFile, out: &mut Vec<Violation>) {
+    // Cluster consecutive unsafe lines (gap <= SAFETY_CLUSTER_GAP) and
+    // require a SAFETY comment within SAFETY_LOOKBACK lines above the
+    // cluster head (or on the head itself).
+    let unsafe_lines: Vec<(usize, &'static str)> = file
+        .lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.code.contains("#!") && !l.code.contains("#["))
+        .filter_map(|(i, l)| unsafe_kind(&l.code).map(|k| (i, k)))
+        .collect();
+    let mut cluster_head: Option<usize> = None;
+    let mut prev: Option<usize> = None;
+    for &(idx, kind) in &unsafe_lines {
+        let new_cluster = match prev {
+            Some(p) => idx - p > SAFETY_CLUSTER_GAP + 1,
+            None => true,
+        };
+        if new_cluster {
+            cluster_head = Some(idx);
+            let head = idx;
+            // Walk upward: comment-only / blank lines are free (a multi-line
+            // SAFETY comment counts however long it is); each line with code
+            // consumes one unit of the lookback budget.
+            let mut covered = file.lines[head].comment.contains("SAFETY")
+                || waived(file, head, "safety-comment");
+            let mut budget = SAFETY_LOOKBACK;
+            let mut j = head;
+            while !covered && budget > 0 && j > 0 {
+                j -= 1;
+                let l = &file.lines[j];
+                if l.comment.contains("SAFETY") {
+                    covered = true;
+                }
+                if !l.code.trim().is_empty() {
+                    budget -= 1;
+                }
+            }
+            if !covered {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: head + 1,
+                    rule: "safety-comment",
+                    msg: format!(
+                        "{kind} without a `// SAFETY:` comment within {SAFETY_LOOKBACK} \
+                         lines above"
+                    ),
+                });
+            }
+        }
+        let _ = cluster_head;
+        prev = Some(idx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unsafe-surface
+// ---------------------------------------------------------------------------
+
+fn rule_unsafe_surface(files: &[SourceFile], out: &mut Vec<Violation>) {
+    for f in files {
+        let allowed = UNSAFE_ALLOWED.iter().any(|p| f.rel.starts_with(p));
+        if !allowed {
+            for (i, l) in f.lines.iter().enumerate() {
+                // Attribute mentions (`forbid(unsafe_code)`) are fine.
+                if l.code.contains("unsafe")
+                    && unsafe_kind(&l.code).is_some()
+                    && !l.code.contains("#!")
+                    && !waived(f, i, "unsafe-surface")
+                {
+                    out.push(Violation {
+                        file: f.rel.clone(),
+                        line: i + 1,
+                        rule: "unsafe-surface",
+                        msg: "unsafe code outside the audited allow-list \
+                              (see snn-lint UNSAFE_ALLOWED)"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+    for root in FORBID_UNSAFE_ROOTS {
+        check_root_attr(files, root, "#![forbid(unsafe_code)]", out);
+    }
+    for root in UNSAFE_OP_ROOTS {
+        check_root_attr(files, root, "#![deny(unsafe_op_in_unsafe_fn)]", out);
+    }
+}
+
+fn check_root_attr(files: &[SourceFile], root: &str, attr: &str, out: &mut Vec<Violation>) {
+    let Some(f) = files.iter().find(|f| f.rel == root) else {
+        out.push(Violation {
+            file: root.to_string(),
+            line: 1,
+            rule: "unsafe-surface",
+            msg: "expected crate root is missing".into(),
+        });
+        return;
+    };
+    if !f.lines.iter().any(|l| l.code.contains(attr)) {
+        out.push(Violation {
+            file: f.rel.clone(),
+            line: 1,
+            rule: "unsafe-surface",
+            msg: format!("crate root must declare `{attr}`"),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: philox-only
+// ---------------------------------------------------------------------------
+
+fn rule_philox_only(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !PHILOX_SCOPE.iter().any(|p| file.rel.starts_with(p)) {
+        return;
+    }
+    for (i, l) in file.lines.iter().enumerate() {
+        if l.in_test || waived(file, i, "philox-only") {
+            continue;
+        }
+        for tok in PHILOX_FORBIDDEN {
+            if l.code.contains(tok) {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: i + 1,
+                    rule: "philox-only",
+                    msg: format!(
+                        "`{tok}` on the kernel/step path: all randomness and time \
+                         must come from the (synapse, step)-keyed Philox streams"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: transposed-coherence
+// ---------------------------------------------------------------------------
+
+/// `fn` item spans `(head_line, body_start..body_end)` (0-based, inclusive),
+/// found by brace matching from each `fn` keyword.
+fn fn_spans(file: &SourceFile) -> Vec<(usize, usize, usize)> {
+    let mut spans = Vec::new();
+    let n = file.lines.len();
+    let mut i = 0;
+    while i < n {
+        let code = &file.lines[i].code;
+        if let Some(pos) = find_fn_keyword(code) {
+            // find the opening brace of the body (skipping the signature)
+            let mut depth = 0i64;
+            let mut started = false;
+            let mut j = i;
+            let mut col = pos;
+            'outer: while j < n {
+                let lc = &file.lines[j].code;
+                for ch in lc.chars().skip(if j == i { col } else { 0 }) {
+                    match ch {
+                        ';' if !started && depth == 0 => break 'outer, // fn decl w/o body
+                        '{' => {
+                            started = true;
+                            depth += 1;
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if started && depth == 0 {
+                                spans.push((i, i, j));
+                                break 'outer;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+                col = 0;
+            }
+            i = i + 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+fn find_fn_keyword(code: &str) -> Option<usize> {
+    let mut search = 0;
+    while let Some(pos) = code[search..].find("fn ") {
+        let at = search + pos;
+        search = at + 3;
+        let before_ok = at == 0 || !is_ident_char(code.as_bytes()[at - 1] as char);
+        if before_ok {
+            return Some(at);
+        }
+    }
+    None
+}
+
+fn rule_transposed_coherence(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !COHERENCE_SCOPE.iter().any(|p| file.rel.starts_with(p)) {
+        return;
+    }
+    for (head, start, end) in fn_spans(file) {
+        if file.lines[head].in_test {
+            continue;
+        }
+        let mut mutator_line = None;
+        let mut coherent = false;
+        for idx in start..=end {
+            let code = &file.lines[idx].code;
+            if mutator_line.is_none() && COHERENCE_MUTATORS.iter().any(|m| code.contains(m)) {
+                mutator_line = Some(idx);
+            }
+            if COHERENCE_API.iter().any(|a| code.contains(a)) {
+                coherent = true;
+            }
+        }
+        if let Some(m) = mutator_line {
+            if !coherent && !waived(file, m, "transposed-coherence") && !waived(file, head, "transposed-coherence") {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: m + 1,
+                    rule: "transposed-coherence",
+                    msg: "conductance mutator without a transposed-view refresh/rebuild \
+                          in the same function (sparse delivery would read stale currents)"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hash-iteration
+// ---------------------------------------------------------------------------
+
+fn rule_hash_iteration(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !HASH_SCOPE.iter().any(|p| file.rel.starts_with(p)) {
+        return;
+    }
+    // Collect identifiers bound to hash containers anywhere in the file.
+    let mut names: Vec<String> = Vec::new();
+    for l in &file.lines {
+        let code = &l.code;
+        if !(code.contains("HashMap") || code.contains("HashSet")) {
+            continue;
+        }
+        // `let [mut] name: ...Hash{Map,Set}` or `name: Hash{Map,Set}` field
+        if let Some(let_pos) = code.find("let ") {
+            let rest = code[let_pos + 4..].trim_start().trim_start_matches("mut ");
+            let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+            if !name.is_empty() {
+                names.push(name);
+            }
+        } else if let Some(colon) = code.find(':') {
+            let name: String = code[..colon]
+                .trim_end()
+                .chars()
+                .rev()
+                .take_while(|&c| is_ident_char(c))
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            if !name.is_empty() && code[colon..].contains("Hash") {
+                names.push(name);
+            }
+        }
+    }
+    if names.is_empty() {
+        return;
+    }
+    const ITER_SUFFIXES: &[&str] = &[".iter()", ".keys()", ".values()", ".drain(", ".into_iter()", ".retain("];
+    for (i, l) in file.lines.iter().enumerate() {
+        if l.in_test || waived(file, i, "hash-iteration") {
+            continue;
+        }
+        let code = &l.code;
+        for name in &names {
+            let direct_iter = ITER_SUFFIXES.iter().any(|s| {
+                code.contains(&format!("{name}{s}"))
+            });
+            let for_iter = code.contains("for ")
+                && code.contains(" in ")
+                && (code.contains(&format!("in &{name}")) || code.contains(&format!("in {name}")));
+            if direct_iter || for_iter {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: i + 1,
+                    rule: "hash-iteration",
+                    msg: format!(
+                        "iteration over hash container `{name}` on a hot path: \
+                         unordered iteration is nondeterministic; iterate a sorted \
+                         key list or a Vec instead (lookups are fine)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: sync-shim
+// ---------------------------------------------------------------------------
+
+fn rule_sync_shim(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !file.rel.starts_with(SYNC_SHIM_SCOPE) || file.rel == SYNC_SHIM_EXEMPT {
+        return;
+    }
+    for (i, l) in file.lines.iter().enumerate() {
+        if waived(file, i, "sync-shim") {
+            continue;
+        }
+        for tok in SYNC_FORBIDDEN {
+            if l.code.contains(tok) {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: i + 1,
+                    rule: "sync-shim",
+                    msg: format!(
+                        "`{tok}` used directly: import it through `crate::sync` so \
+                         `--cfg loom` swaps every primitive for the model checker"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report mode: unsafe-surface inventory as JSON
+// ---------------------------------------------------------------------------
+
+fn report(files: &[SourceFile]) -> String {
+    #[derive(Default)]
+    struct Entry {
+        blocks: Vec<usize>,
+        impls: Vec<usize>,
+        fns: Vec<usize>,
+    }
+    let mut entries: Vec<(String, Entry)> = Vec::new();
+    for f in files {
+        let mut e = Entry::default();
+        for (i, l) in f.lines.iter().enumerate() {
+            if l.code.contains("#!") || l.code.contains("#[") {
+                continue;
+            }
+            match unsafe_kind(&l.code) {
+                Some("unsafe impl") => e.impls.push(i + 1),
+                Some("unsafe block") => e.blocks.push(i + 1),
+                _ => {}
+            }
+            if l.code.contains("unsafe fn ") {
+                e.fns.push(i + 1);
+            }
+        }
+        if !(e.blocks.is_empty() && e.impls.is_empty() && e.fns.is_empty()) {
+            entries.push((f.rel.clone(), e));
+        }
+    }
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    let waivers = collect_waivers(files);
+
+    let mut s = String::from("{\n  \"generated_by\": \"snn-lint --report\",\n  \"files\": [\n");
+    let (mut tb, mut ti, mut tf) = (0, 0, 0);
+    for (n, (rel, e)) in entries.iter().enumerate() {
+        tb += e.blocks.len();
+        ti += e.impls.len();
+        tf += e.fns.len();
+        let _ = write!(
+            s,
+            "    {{\"path\": \"{rel}\", \"unsafe_blocks\": {}, \"unsafe_impls\": {}, \
+             \"unsafe_fns\": {}, \"block_lines\": {:?}, \"impl_lines\": {:?}, \
+             \"fn_lines\": {:?}}}{}\n",
+            e.blocks.len(),
+            e.impls.len(),
+            e.fns.len(),
+            e.blocks,
+            e.impls,
+            e.fns,
+            if n + 1 < entries.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(
+        s,
+        "  ],\n  \"totals\": {{\"files_with_unsafe\": {}, \"unsafe_blocks\": {tb}, \
+         \"unsafe_impls\": {ti}, \"unsafe_fns\": {tf}}},\n  \"waivers\": [\n",
+        entries.len(),
+    );
+    for (n, (rel, line, what)) in waivers.iter().enumerate() {
+        let what = what.replace('"', "'");
+        let _ = write!(
+            s,
+            "    {{\"path\": \"{rel}\", \"line\": {line}, \"waiver\": \"{what}\"}}{}\n",
+            if n + 1 < waivers.len() { "," } else { "" },
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join("crates"), root.join("src"), root.join("tests")];
+    while let Some(dir) = stack.pop() {
+        let Ok(rd) = fs::read_dir(&dir) else { continue };
+        for entry in rd.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn run_rules(files: &[SourceFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    rule_unsafe_surface(files, &mut out);
+    for f in files {
+        rule_safety_comment(f, &mut out);
+        rule_philox_only(f, &mut out);
+        rule_transposed_coherence(f, &mut out);
+        rule_hash_iteration(f, &mut out);
+        rule_sync_shim(f, &mut out);
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+fn load_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
+    if !root.join("Cargo.toml").exists() {
+        return Err(format!("{} is not a workspace root (no Cargo.toml)", root.display()));
+    }
+    let mut files = Vec::new();
+    for path in collect_rs_files(root) {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        files.push(SourceFile::parse(&rel, &text));
+    }
+    Ok(files)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut report_mode = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("snn-lint: --root requires a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--report" => report_mode = true,
+            "--help" | "-h" => {
+                eprintln!("usage: snn-lint [--root <workspace-dir>] [--report]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("snn-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Auto-ascend to the workspace root (so `cargo run -p snn-lint` works
+    // from anywhere inside the tree).
+    let mut probe = root.clone();
+    for _ in 0..6 {
+        if probe.join("Cargo.toml").exists() && probe.join("crates").exists() {
+            root = probe;
+            break;
+        }
+        probe = probe.join("..");
+    }
+    let files = match load_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("snn-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if report_mode {
+        print!("{}", report(&files));
+        return ExitCode::SUCCESS;
+    }
+    let violations = run_rules(&files);
+    if violations.is_empty() {
+        eprintln!("snn-lint: {} files clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{}:{}: {}: {}", v.file, v.line, v.rule, v.msg);
+        }
+        eprintln!("snn-lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests: one clean and one violating fixture per rule
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single(rel: &str, text: &str) -> Vec<SourceFile> {
+        vec![SourceFile::parse(rel, text)]
+    }
+
+    fn rules_on(rel: &str, text: &str) -> Vec<Violation> {
+        let files = single(rel, text);
+        let mut out = Vec::new();
+        for f in &files {
+            rule_safety_comment(f, &mut out);
+            rule_philox_only(f, &mut out);
+            rule_transposed_coherence(f, &mut out);
+            rule_hash_iteration(f, &mut out);
+            rule_sync_shim(f, &mut out);
+        }
+        out
+    }
+
+    // -- masking ----------------------------------------------------------
+
+    #[test]
+    fn comments_and_strings_are_masked() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let s = \"unsafe { in a string }\"; // unsafe in a comment\nlet c = 'x';\n",
+        );
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(f.lines[0].comment.contains("unsafe in a comment"));
+        assert!(f.lines[1].code.contains("let c ="));
+    }
+
+    #[test]
+    fn lifetimes_do_not_start_char_literals() {
+        let f = SourceFile::parse("x.rs", "fn f<'a>(x: &'a str) -> &'a str { x } // ok\n");
+        assert!(f.lines[0].code.contains("-> &'a str"));
+        assert!(f.lines[0].comment.contains("ok"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn hot2() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(!f.lines[5].in_test);
+    }
+
+    // -- safety-comment ---------------------------------------------------
+
+    #[test]
+    fn safety_comment_flags_uncommented_unsafe_block() {
+        let v = rules_on("crates/gpu-device/src/x.rs", "fn f() {\n    unsafe { work() };\n}\n");
+        assert!(v.iter().any(|v| v.rule == "safety-comment"), "{v:?}");
+    }
+
+    #[test]
+    fn safety_comment_accepts_commented_block_and_cluster() {
+        let src = "fn f() {\n    // SAFETY: disjoint indices.\n    unsafe { a() };\n    \
+                   unsafe { b() };\n    let x = 1;\n    unsafe { c() };\n}\n";
+        let v = rules_on("crates/gpu-device/src/x.rs", src);
+        assert!(v.iter().all(|v| v.rule != "safety-comment"), "{v:?}");
+    }
+
+    #[test]
+    fn safety_comment_flags_uncommented_unsafe_impl() {
+        let v = rules_on("crates/gpu-device/src/x.rs", "unsafe impl Send for X {}\n");
+        assert!(v.iter().any(|v| v.rule == "safety-comment"));
+        let ok = rules_on(
+            "crates/gpu-device/src/x.rs",
+            "// SAFETY: X owns no thread-bound state.\nunsafe impl Send for X {}\n",
+        );
+        assert!(ok.iter().all(|v| v.rule != "safety-comment"));
+    }
+
+    #[test]
+    fn safety_comment_ignores_unsafe_fn_declarations() {
+        let v = rules_on(
+            "crates/gpu-device/src/x.rs",
+            "/// # Safety\n/// caller checks i.\npub unsafe fn get(i: usize) -> f64;\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "safety-comment"), "{v:?}");
+    }
+
+    // -- unsafe-surface ---------------------------------------------------
+
+    #[test]
+    fn unsafe_surface_flags_unsafe_outside_allow_list() {
+        let files = single("crates/snn-learning/src/x.rs", "fn f() { unsafe { boom() } }\n");
+        let mut out = Vec::new();
+        rule_unsafe_surface(&files, &mut out);
+        assert!(out.iter().any(|v| v.rule == "unsafe-surface"));
+    }
+
+    #[test]
+    fn unsafe_surface_accepts_allow_listed_files() {
+        let files = single(
+            "crates/gpu-device/src/device.rs",
+            "fn f() {\n    // SAFETY: fine.\n    unsafe { ok() }\n}\n",
+        );
+        let mut out = Vec::new();
+        rule_unsafe_surface(&files, &mut out);
+        assert!(out.iter().all(|v| v.file != "crates/gpu-device/src/device.rs"));
+    }
+
+    // -- philox-only ------------------------------------------------------
+
+    #[test]
+    fn philox_only_flags_wall_clock_and_rand_on_step_path() {
+        let v = rules_on(
+            "crates/snn-core/src/sim/engine.rs",
+            "fn step() { let t = Instant::now(); }\n",
+        );
+        assert!(v.iter().any(|v| v.rule == "philox-only"));
+        let v = rules_on(
+            "crates/snn-core/src/stdp/rule.rs",
+            "fn draw() { let r = rand::random::<f64>(); }\n",
+        );
+        assert!(v.iter().any(|v| v.rule == "philox-only"));
+    }
+
+    #[test]
+    fn philox_only_ignores_tests_waivers_and_out_of_scope_files() {
+        let v = rules_on(
+            "crates/snn-core/src/sim/engine.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { let t = Instant::now(); }\n}\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "philox-only"), "{v:?}");
+        let v = rules_on(
+            "crates/snn-core/src/sim/engine.rs",
+            "// lint-allow: philox-only — profiling only, never feeds results\n\
+             fn step() { let t = Instant::now(); }\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "philox-only"), "{v:?}");
+        // device.rs is out of scope (the timed() waiver).
+        let v = rules_on(
+            "crates/gpu-device/src/device.rs",
+            "fn timed() { let t = Instant::now(); }\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "philox-only"), "{v:?}");
+    }
+
+    // -- transposed-coherence ---------------------------------------------
+
+    #[test]
+    fn coherence_flags_mutation_without_refresh() {
+        let src = "impl E {\n    fn learn(&mut self) {\n        let g = self.synapses.as_flat_mut();\n        g[0] = 1.0;\n    }\n}\n";
+        let v = rules_on("crates/snn-core/src/sim/engine.rs", src);
+        assert!(v.iter().any(|v| v.rule == "transposed-coherence"), "{v:?}");
+    }
+
+    #[test]
+    fn coherence_accepts_mutation_with_refresh_or_rebuild() {
+        let src = "impl E {\n    fn learn(&mut self) {\n        self.synapses.as_flat_mut()[0] = 1.0;\n        self.view.refresh(&self.synapses, None, None);\n    }\n    fn swap(&mut self) {\n        self.synapses.row_mut(0)[0] = 1.0;\n        self.view = TransposedConductances::new(&self.synapses);\n    }\n}\n";
+        let v = rules_on("crates/snn-core/src/sim/engine.rs", src);
+        assert!(v.iter().all(|v| v.rule != "transposed-coherence"), "{v:?}");
+    }
+
+    // -- hash-iteration ---------------------------------------------------
+
+    #[test]
+    fn hash_iteration_flags_hot_path_iteration() {
+        let src = "fn hot() {\n    let mut seen: std::collections::HashMap<u32, f64> = Default::default();\n    for (k, v) in &seen { use_it(k, v); }\n}\n";
+        let v = rules_on("crates/snn-core/src/sim/engine.rs", src);
+        assert!(v.iter().any(|v| v.rule == "hash-iteration"), "{v:?}");
+    }
+
+    #[test]
+    fn hash_iteration_accepts_keyed_lookups() {
+        let src = "fn hot() {\n    let mut seen: std::collections::HashMap<u32, f64> = Default::default();\n    seen.insert(1, 2.0);\n    let v = seen.get(&1);\n}\n";
+        let v = rules_on("crates/snn-core/src/sim/engine.rs", src);
+        assert!(v.iter().all(|v| v.rule != "hash-iteration"), "{v:?}");
+    }
+
+    // -- sync-shim --------------------------------------------------------
+
+    #[test]
+    fn sync_shim_flags_direct_primitive_imports() {
+        let v = rules_on("crates/gpu-device/src/pool.rs", "use parking_lot::Mutex;\n");
+        assert!(v.iter().any(|v| v.rule == "sync-shim"));
+        let v = rules_on("crates/gpu-device/src/buffer.rs", "use std::sync::Barrier;\n");
+        assert!(v.iter().any(|v| v.rule == "sync-shim"));
+    }
+
+    #[test]
+    fn sync_shim_exempts_the_shim_and_other_crates() {
+        let v = rules_on("crates/gpu-device/src/sync.rs", "pub use parking_lot::Mutex;\n");
+        assert!(v.iter().all(|v| v.rule != "sync-shim"), "{v:?}");
+        let v = rules_on("crates/snn-core/src/lib.rs", "use parking_lot::Mutex;\n");
+        assert!(v.iter().all(|v| v.rule != "sync-shim"), "{v:?}");
+    }
+
+    // -- report -----------------------------------------------------------
+
+    #[test]
+    fn report_counts_blocks_impls_and_fns() {
+        let files = single(
+            "crates/gpu-device/src/x.rs",
+            "// SAFETY: a.\nunsafe impl Send for X {}\nfn f() {\n    // SAFETY: b.\n    \
+             unsafe { g() };\n}\npub unsafe fn h() {}\n",
+        );
+        let json = report(&files);
+        assert!(json.contains("\"unsafe_blocks\": 1"), "{json}");
+        assert!(json.contains("\"unsafe_impls\": 1"), "{json}");
+        assert!(json.contains("\"unsafe_fns\": 1"), "{json}");
+        assert!(json.contains("\"files_with_unsafe\": 1"), "{json}");
+    }
+}

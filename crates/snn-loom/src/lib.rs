@@ -1,0 +1,1422 @@
+//! A small, zero-dependency, loom-style model checker for the workspace's
+//! unsafe concurrency core.
+//!
+//! The real [loom](https://github.com/tokio-rs/loom) crate is the obvious
+//! tool for this job, but this repository must build from a cold offline
+//! cache, so we implement the subset we need from scratch:
+//!
+//! - [`model`] runs a closure repeatedly, exploring **every** schedule of
+//!   its threads via depth-first search over scheduling decisions. Real OS
+//!   threads execute the body, but a token-passing scheduler keeps exactly
+//!   one runnable thread active at a time and replays recorded decision
+//!   prefixes to enumerate alternatives exhaustively.
+//! - [`sync::Mutex`] / [`sync::Condvar`] mirror the `parking_lot` API used
+//!   by `gpu-device`, [`sync::Barrier`] mirrors `std::sync::Barrier`, and
+//!   [`channel::unbounded`] mirrors `crossbeam::channel::unbounded`, so the
+//!   production code can swap them in behind `cfg(loom)` without changes.
+//! - [`cell::AccessLog`] is an instrumentation hook for raw-pointer shared
+//!   buffers (`SharedSlice`/`SharedMut`): it records per-index reads and
+//!   writes with FastTrack-style vector clocks and fails the model on any
+//!   pair of conflicting accesses not ordered by happens-before.
+//! - Deadlocks (no runnable thread while some thread is blocked) and thread
+//!   leaks (the model closure returns while spawned threads are unjoined)
+//!   fail the model with the full decision trace.
+//!
+//! # Memory model
+//!
+//! Only **sequential consistency** is modeled: every atomic operation is
+//! treated as `SeqCst` regardless of the `Ordering` passed, and each store
+//! synchronizes-with the loads that read it. Weak-memory behaviors
+//! (`Relaxed` reorderings, store buffering) are therefore *not* explored;
+//! the CI ThreadSanitizer job covers those at the hardware level. This is
+//! the standard trade-off for a homemade checker and is documented in
+//! DESIGN.md §10.
+//!
+//! # Bounding
+//!
+//! Exploration is exhaustive by default. For models whose visible-operation
+//! count makes full enumeration intractable, [`model_bounded`] limits the
+//! number of *preemptive* context switches per execution (switches away
+//! from a runnable thread; blocking switches are never counted), the same
+//! bounding strategy loom exposes via `LOOM_MAX_PREEMPTIONS`. The
+//! environment variables `SNN_LOOM_MAX_ITER` (default 500 000) and
+//! `SNN_LOOM_PREEMPTION_BOUND` override the iteration cap and the bound.
+
+#![deny(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex};
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A vector clock over thread ids. Component `i` counts the visible
+/// operations thread `i` has performed; `a ⊑ b` component-wise encodes
+/// happens-before.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn inc(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// Does this clock order the epoch `(tid, time)` before the present?
+    fn covers(&self, tid: usize, time: u32) -> bool {
+        self.get(tid) >= time
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler core
+// ---------------------------------------------------------------------------
+
+/// Sentinel panic payload used to unwind model threads when an execution is
+/// aborted (failure found, or teardown). Swallowed by the thread wrappers
+/// and filtered out of the global panic hook's output.
+struct ExecAbort;
+
+/// One recorded scheduling (or handoff) decision: `chosen` out of `n`
+/// options. The DFS explorer replays prefixes of these and increments the
+/// last incrementable entry to enumerate every path.
+#[derive(Clone, Copy, Debug)]
+struct Decision {
+    chosen: usize,
+    n: usize,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    Blocked(&'static str),
+    Finished,
+}
+
+struct ThreadInfo {
+    state: TState,
+    clock: VClock,
+    name: Option<String>,
+    /// Threads blocked in `JoinHandle::join` on this thread.
+    join_waiters: Vec<usize>,
+}
+
+struct Sched {
+    threads: Vec<ThreadInfo>,
+    /// The thread currently holding the execution token.
+    active: usize,
+    /// Replay prefix from the explorer.
+    preset: Vec<Decision>,
+    /// Decisions taken during this execution (prefix replayed + new).
+    trace: Vec<Decision>,
+    /// Preemptive switches taken so far (for bounded exploration).
+    preemptions: usize,
+    abort: bool,
+    failure: Option<String>,
+}
+
+struct Exec {
+    sched: OsMutex<Sched>,
+    cv: OsCondvar,
+    os_handles: OsMutex<Vec<std::thread::JoinHandle<()>>>,
+    preemption_bound: Option<usize>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn current() -> (Arc<Exec>, usize) {
+    CURRENT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("snn-loom primitive used outside of snn_loom::model")
+    })
+}
+
+fn panic_abort() -> ! {
+    std::panic::panic_any(ExecAbort)
+}
+
+/// Install (once, process-wide) a panic hook that suppresses output for the
+/// internal [`ExecAbort`] teardown panics and for panics on model threads
+/// (those are captured and re-reported — once — by the controller as the
+/// model failure; printing them per explored execution would flood the
+/// output of expected-failure tests). Everything else delegates to the
+/// previously installed hook.
+fn install_quiet_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let on_model_thread = CURRENT
+                .try_with(|c| c.try_borrow().map(|b| b.is_some()).unwrap_or(false))
+                .unwrap_or(false);
+            if info.payload().downcast_ref::<ExecAbort>().is_none() && !on_model_thread {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl Exec {
+    fn new(preset: Vec<Decision>, preemption_bound: Option<usize>) -> Arc<Self> {
+        Arc::new(Exec {
+            sched: OsMutex::new(Sched {
+                threads: Vec::new(),
+                active: 0,
+                preset,
+                trace: Vec::new(),
+                preemptions: 0,
+                abort: false,
+                failure: None,
+            }),
+            cv: OsCondvar::new(),
+            os_handles: OsMutex::new(Vec::new()),
+            preemption_bound,
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Sched> {
+        // The scheduler mutex is never held across a user-visible panic, so
+        // poisoning only happens if snn-loom itself has a bug; recover the
+        // guard to keep teardown deterministic in that case too.
+        match self.sched.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    fn runnable(s: &Sched) -> Vec<usize> {
+        s.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == TState::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Record (or replay) a `chosen`-of-`n` decision. Must be called with
+    /// the scheduler lock held.
+    fn choose(&self, s: &mut Sched, n: usize) -> usize {
+        if n <= 1 || s.abort {
+            return 0;
+        }
+        let idx = s.trace.len();
+        let chosen = if idx < s.preset.len() {
+            let d = s.preset[idx];
+            if d.n != n {
+                self.fail_locked(
+                    s,
+                    format!(
+                        "nondeterministic model: decision {idx} had {} options \
+                         on a previous execution but {n} now; the model body \
+                         must be deterministic apart from scheduling",
+                        d.n
+                    ),
+                );
+                return 0;
+            }
+            d.chosen
+        } else {
+            0
+        };
+        s.trace.push(Decision { chosen, n });
+        chosen
+    }
+
+    fn fail_locked(&self, s: &mut Sched, msg: String) {
+        if s.failure.is_none() {
+            let states: Vec<String> = s
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    format!(
+                        "t{}{}: {:?}",
+                        i,
+                        t.name.as_deref().map(|n| format!(" ({n})")).unwrap_or_default(),
+                        t.state
+                    )
+                })
+                .collect();
+            s.failure = Some(format!(
+                "{msg}\n  thread states: [{}]\n  decision trace: {:?}",
+                states.join(", "),
+                s.trace
+            ));
+        }
+        s.abort = true;
+        self.cv.notify_all();
+    }
+
+    fn fail(&self, msg: String) {
+        let mut s = self.lock();
+        self.fail_locked(&mut s, msg);
+    }
+
+    /// Pick the next active thread after the current one blocked or
+    /// finished. Detects deadlock. Scheduler lock held.
+    fn pick_next(&self, s: &mut Sched) {
+        if s.abort {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable = Self::runnable(s);
+        if runnable.is_empty() {
+            if s.threads.iter().any(|t| matches!(t.state, TState::Blocked(_))) {
+                self.fail_locked(s, "deadlock: every live thread is blocked".to_string());
+            }
+            // else: all threads finished; nothing left to schedule.
+        } else {
+            let c = self.choose(s, runnable.len());
+            s.active = runnable[c];
+        }
+        self.cv.notify_all();
+    }
+
+    /// A visible operation is about to happen on the current thread: bump
+    /// its clock and offer the scheduler a chance to switch.
+    fn yield_point(&self) {
+        let (_, me) = current();
+        let mut s = self.lock();
+        if s.abort {
+            drop(s);
+            panic_abort();
+        }
+        s.threads[me].clock.inc(me);
+        let runnable = Self::runnable(&s);
+        debug_assert!(runnable.contains(&me));
+        let bounded_out = self
+            .preemption_bound
+            .is_some_and(|b| s.preemptions >= b);
+        if !bounded_out {
+            let c = self.choose(&mut s, runnable.len());
+            let next = runnable[c];
+            if next != me {
+                s.preemptions += 1;
+            }
+            s.active = next;
+            self.cv.notify_all();
+        }
+        while !s.abort && s.active != me {
+            s = match self.cv.wait(s) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        if s.abort {
+            drop(s);
+            panic_abort();
+        }
+    }
+
+    /// Block the current thread (it must have already enqueued itself on
+    /// whatever primitive will wake it) and run something else. Returns
+    /// when a waker has marked this thread runnable *and* the scheduler
+    /// has handed it the token.
+    fn block(&self, reason: &'static str) {
+        let (_, me) = current();
+        let mut s = self.lock();
+        if s.abort {
+            drop(s);
+            panic_abort();
+        }
+        s.threads[me].state = TState::Blocked(reason);
+        self.pick_next(&mut s);
+        loop {
+            if s.abort {
+                drop(s);
+                panic_abort();
+            }
+            if s.threads[me].state == TState::Runnable && s.active == me {
+                return;
+            }
+            s = match self.cv.wait(s) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    /// Mark `tid` runnable (it stays descheduled until the token reaches
+    /// it). Called by wakers, who currently hold the token.
+    fn make_runnable(&self, tid: usize) {
+        let mut s = self.lock();
+        debug_assert!(
+            matches!(s.threads[tid].state, TState::Blocked(_)),
+            "waking a thread that is not blocked"
+        );
+        s.threads[tid].state = TState::Runnable;
+    }
+
+    /// A non-scheduling decision (mutex-handoff winner, `notify_one`
+    /// target): recorded in the same trace so the explorer enumerates it.
+    fn choose_extra(&self, n: usize) -> usize {
+        let mut s = self.lock();
+        self.choose(&mut s, n)
+    }
+
+    fn with_clock<R>(&self, tid: usize, f: impl FnOnce(&mut VClock) -> R) -> R {
+        let mut s = self.lock();
+        f(&mut s.threads[tid].clock)
+    }
+
+    fn register_thread(&self, name: Option<String>, parent: Option<usize>) -> usize {
+        let mut s = self.lock();
+        let clock = match parent {
+            Some(p) => {
+                // The spawn happens-before everything in the child.
+                let mut c = s.threads[p].clock.clone();
+                c.inc(s.threads.len());
+                c
+            }
+            None => VClock::default(),
+        };
+        let tid = s.threads.len();
+        s.threads.push(ThreadInfo {
+            state: TState::Runnable,
+            clock,
+            name,
+            join_waiters: Vec::new(),
+        });
+        tid
+    }
+
+    /// Park until the scheduler first hands this (just-spawned) thread the
+    /// token. Returns `false` if the execution aborted before that.
+    fn wait_first_schedule(&self, me: usize) -> bool {
+        let mut s = self.lock();
+        loop {
+            if s.abort {
+                return false;
+            }
+            if s.active == me {
+                return true;
+            }
+            s = match self.cv.wait(s) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+
+    fn finish_thread(&self, me: usize, leak_check: bool) {
+        let mut s = self.lock();
+        s.threads[me].state = TState::Finished;
+        let waiters = std::mem::take(&mut s.threads[me].join_waiters);
+        for w in waiters {
+            debug_assert!(matches!(s.threads[w].state, TState::Blocked(_)));
+            s.threads[w].state = TState::Runnable;
+        }
+        if leak_check && !s.abort {
+            let leaked: Vec<usize> = s
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.state != TState::Finished)
+                .map(|(i, _)| i)
+                .collect();
+            if !leaked.is_empty() {
+                self.fail_locked(
+                    &mut s,
+                    format!("thread leak: model returned with unjoined threads {leaked:?}"),
+                );
+                return;
+            }
+        }
+        self.pick_next(&mut s);
+    }
+
+    fn fail_from_panic(&self, me: usize, payload: Box<dyn std::any::Any + Send>) {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "model thread panicked with a non-string payload".to_string()
+        };
+        let mut s = self.lock();
+        s.threads[me].state = TState::Finished;
+        self.fail_locked(&mut s, format!("thread t{me} panicked: {msg}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Explorer
+// ---------------------------------------------------------------------------
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// Exhaustively check `f` under every thread interleaving.
+///
+/// Panics (failing the enclosing `#[test]`) on the first execution that
+/// panics, data-races (via [`cell::AccessLog`]), deadlocks, or leaks a
+/// thread, reporting the decision trace that reached it.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_inner(f, env_usize("SNN_LOOM_PREEMPTION_BOUND"));
+}
+
+/// Like [`model`], but bounds the number of preemptive context switches per
+/// execution. Blocking switches are always explored; only switches away
+/// from a still-runnable thread count against the bound. Use for models
+/// whose visible-op count makes full enumeration intractable; the result is
+/// a bounded proof, which DESIGN.md §10 documents per test.
+pub fn model_bounded<F>(bound: usize, f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_inner(f, Some(bound));
+}
+
+/// Number of executions explored by the last completed [`model`] call on
+/// this thread. Exposed so completeness self-tests can assert the explored
+/// schedule count.
+pub fn last_execution_count() -> usize {
+    LAST_EXEC_COUNT.with(|c| c.get())
+}
+
+thread_local! {
+    static LAST_EXEC_COUNT: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+fn model_inner<F>(f: F, preemption_bound: Option<usize>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let f = Arc::new(f);
+    let max_iter = env_usize("SNN_LOOM_MAX_ITER").unwrap_or(500_000);
+    let mut preset: Vec<Decision> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        if executions > max_iter {
+            panic!(
+                "snn-loom: exceeded {max_iter} executions without exhausting the \
+                 schedule space; shrink the model or raise SNN_LOOM_MAX_ITER"
+            );
+        }
+        let exec = Exec::new(preset.clone(), preemption_bound);
+        run_one(&exec, Arc::clone(&f));
+        let (failure, trace) = {
+            let s = exec.lock();
+            (s.failure.clone(), s.trace.clone())
+        };
+        if let Some(msg) = failure {
+            panic!("snn-loom: model failed on execution {executions}: {msg}");
+        }
+        // Depth-first backtrack: bump the deepest decision that still has
+        // an unexplored alternative, drop everything after it.
+        preset = trace;
+        loop {
+            match preset.last_mut() {
+                None => {
+                    LAST_EXEC_COUNT.with(|c| c.set(executions));
+                    return; // schedule space exhausted
+                }
+                Some(d) if d.chosen + 1 < d.n => {
+                    d.chosen += 1;
+                    break;
+                }
+                Some(_) => {
+                    preset.pop();
+                }
+            }
+        }
+    }
+}
+
+fn run_one<F>(exec: &Arc<Exec>, f: Arc<F>)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let root = exec.register_thread(Some("model-root".to_string()), None);
+    {
+        let mut s = exec.lock();
+        s.active = root;
+    }
+    let exec2 = Arc::clone(exec);
+    let handle = std::thread::Builder::new()
+        .name("snn-loom-root".to_string())
+        .spawn(move || {
+            CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec2), root)));
+            if !exec2.wait_first_schedule(root) {
+                return;
+            }
+            match catch_unwind(AssertUnwindSafe(|| f())) {
+                Ok(()) => exec2.finish_thread(root, true),
+                Err(p) if p.is::<ExecAbort>() => {
+                    let mut s = exec2.lock();
+                    s.threads[root].state = TState::Finished;
+                }
+                Err(p) => exec2.fail_from_panic(root, p),
+            }
+        })
+        .expect("failed to spawn snn-loom root thread");
+    match exec.os_handles.lock() {
+        Ok(mut h) => h.push(handle),
+        Err(p) => p.into_inner().push(handle),
+    }
+    // Join every OS thread of this execution (threads may spawn more while
+    // we drain, hence the loop). Abort/failure paths wake all blocked model
+    // threads, which then unwind with ExecAbort, so this terminates.
+    loop {
+        let drained: Vec<std::thread::JoinHandle<()>> = {
+            let mut h = match exec.os_handles.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            h.drain(..).collect()
+        };
+        if drained.is_empty() {
+            break;
+        }
+        for h in drained {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread
+// ---------------------------------------------------------------------------
+
+/// Model-aware replacement for `std::thread` (spawn/join only).
+pub mod thread {
+    use super::{current, Arc, AssertUnwindSafe, TState};
+    use std::panic::catch_unwind;
+
+    /// Handle to a model thread; `join` blocks (in model time) until it
+    /// finishes and establishes happens-before from its last operation.
+    pub struct JoinHandle<T> {
+        tid: usize,
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    /// Builder mirroring `std::thread::Builder` (name only).
+    #[derive(Default)]
+    pub struct Builder {
+        name: Option<String>,
+    }
+
+    impl Builder {
+        /// Creates a builder.
+        #[must_use]
+        pub fn new() -> Self {
+            Builder { name: None }
+        }
+
+        /// Names the thread (diagnostics only).
+        #[must_use]
+        pub fn name(mut self, name: String) -> Self {
+            self.name = Some(name);
+            self
+        }
+
+        /// Spawns a model thread. Never fails (the `io::Result` mirrors
+        /// std's signature).
+        pub fn spawn<F>(self, f: F) -> std::io::Result<JoinHandle<()>>
+        where
+            F: FnOnce() + Send + 'static,
+        {
+            Ok(spawn_inner(self.name, f))
+        }
+    }
+
+    /// Spawns an unnamed model thread.
+    pub fn spawn<F>(f: F) -> JoinHandle<()>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        spawn_inner(None, f)
+    }
+
+    fn spawn_inner<F>(name: Option<String>, f: F) -> JoinHandle<()>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let (exec, me) = current();
+        let child = exec.register_thread(name, Some(me));
+        let exec2 = Arc::clone(&exec);
+        let os = std::thread::Builder::new()
+            .name(format!("snn-loom-t{child}"))
+            .spawn(move || {
+                super::CURRENT
+                    .with(|c| *c.borrow_mut() = Some((Arc::clone(&exec2), child)));
+                if !exec2.wait_first_schedule(child) {
+                    let mut s = exec2.lock();
+                    s.threads[child].state = TState::Finished;
+                    return;
+                }
+                match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(()) => exec2.finish_thread(child, false),
+                    Err(p) if p.is::<super::ExecAbort>() => {
+                        let mut s = exec2.lock();
+                        s.threads[child].state = TState::Finished;
+                    }
+                    Err(p) => exec2.fail_from_panic(child, p),
+                }
+            })
+            .expect("failed to spawn snn-loom model thread");
+        match exec.os_handles.lock() {
+            Ok(mut h) => h.push(os),
+            Err(p) => p.into_inner().push(os),
+        }
+        // The child is now schedulable; give the scheduler the chance to
+        // run it before the parent's next operation.
+        exec.yield_point();
+        JoinHandle { tid: child, _marker: std::marker::PhantomData }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits (in model time) for the thread to finish. Always `Ok`:
+        /// a panicking model thread fails the whole model instead.
+        pub fn join(self) -> std::thread::Result<()> {
+            if std::thread::panicking() {
+                // Drop-during-unwind (e.g. a pool joining its workers while
+                // the execution aborts): the controller joins the OS
+                // threads; a model op here would panic inside a Drop.
+                return Ok(());
+            }
+            let (exec, me) = current();
+            exec.yield_point();
+            loop {
+                let mut s = exec.lock();
+                if s.abort {
+                    drop(s);
+                    super::panic_abort();
+                }
+                if s.threads[self.tid].state == TState::Finished {
+                    let child_clock = s.threads[self.tid].clock.clone();
+                    s.threads[me].clock.join(&child_clock);
+                    return Ok(());
+                }
+                s.threads[self.tid].join_waiters.push(me);
+                drop(s);
+                exec.block("join");
+            }
+        }
+    }
+
+    /// Model-aware yield: a pure scheduling point.
+    pub fn yield_now() {
+        let (exec, _) = current();
+        exec.yield_point();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sync: Mutex / Condvar / Barrier / atomics
+// ---------------------------------------------------------------------------
+
+/// Model-aware replacements for the `parking_lot` / `std::sync` primitives
+/// used by `gpu-device`.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    use super::{current, VClock};
+    use std::cell::UnsafeCell;
+    use std::sync::Mutex as OsMutex;
+
+    fn plock<T>(m: &OsMutex<T>) -> std::sync::MutexGuard<'_, T> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    struct MuState {
+        owner: Option<usize>,
+        waiters: Vec<usize>,
+        clock: VClock,
+    }
+
+    /// A `parking_lot`-style mutex (guard from `lock()`, no poisoning)
+    /// with exhaustive handoff: when contended, the scheduler enumerates
+    /// every possible next owner.
+    pub struct Mutex<T> {
+        st: OsMutex<MuState>,
+        data: UnsafeCell<T>,
+    }
+
+    // SAFETY: the model scheduler guarantees mutual exclusion — `data` is
+    // only touched between a successful `lock_internal` (which records the
+    // caller as `owner`) and the guard's release, and only one thread can
+    // be the owner at a time. `T: Send` bounds match std's Mutex.
+    unsafe impl<T: Send> Send for Mutex<T> {}
+    // SAFETY: as above; `&Mutex<T>` only exposes `T` through the guard,
+    // which requires ownership of the model-level lock.
+    unsafe impl<T: Send> Sync for Mutex<T> {}
+
+    /// Guard returned by [`Mutex::lock`]; releases (with a scheduler
+    /// handoff decision) on drop.
+    pub struct MutexGuard<'a, T> {
+        mutex: &'a Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates a mutex holding `value`.
+        pub fn new(value: T) -> Self {
+            Mutex {
+                st: OsMutex::new(MuState {
+                    owner: None,
+                    waiters: Vec::new(),
+                    clock: VClock::default(),
+                }),
+                data: UnsafeCell::new(value),
+            }
+        }
+
+        /// Acquires the mutex, blocking (in model time) while contended.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            let (exec, _) = current();
+            exec.yield_point();
+            self.lock_internal();
+            MutexGuard { mutex: self }
+        }
+
+        /// Acquire without a leading scheduling point (used on re-acquire
+        /// after a condvar wait, where the wakeup itself was the visible
+        /// event).
+        fn lock_internal(&self) {
+            let (exec, me) = current();
+            let mut st = plock(&self.st);
+            if st.owner.is_none() {
+                st.owner = Some(me);
+                let acquired = st.clock.clone();
+                drop(st);
+                exec.with_clock(me, |c| c.join(&acquired));
+                return;
+            }
+            st.waiters.push(me);
+            drop(st);
+            exec.block("mutex");
+            // Handoff: the releasing thread made us the owner.
+            let st = plock(&self.st);
+            debug_assert_eq!(st.owner, Some(me), "mutex handoff bug");
+            let acquired = st.clock.clone();
+            drop(st);
+            exec.with_clock(me, |c| c.join(&acquired));
+        }
+
+        /// Release; if waiters exist, the scheduler picks (and enumerates)
+        /// the next owner and hands the lock over directly.
+        fn unlock_internal(&self) {
+            let (exec, me) = current();
+            let released = exec.with_clock(me, |c| c.clone());
+            let mut st = plock(&self.st);
+            st.clock.join(&released);
+            if st.waiters.is_empty() {
+                st.owner = None;
+                return;
+            }
+            let winners = st.waiters.len();
+            drop(st);
+            let w = exec.choose_extra(winners);
+            let mut st = plock(&self.st);
+            // The waiter set cannot have changed: we still hold the
+            // scheduling token, so no other thread ran since the drop.
+            let idx = w.min(st.waiters.len() - 1);
+            let next = st.waiters.remove(idx);
+            st.owner = Some(next);
+            drop(st);
+            exec.make_runnable(next);
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Mutex").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // SAFETY: this guard proves model-level ownership of the lock,
+            // so no other thread can concurrently touch `data`.
+            unsafe { &*self.mutex.data.get() }
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // SAFETY: as in `deref`; `&mut self` additionally guarantees
+            // this is the only live reference derived from the guard.
+            unsafe { &mut *self.mutex.data.get() }
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                // Teardown unwind: release raw ownership without touching
+                // the (possibly aborting) scheduler.
+                plock(&self.mutex.st).owner = None;
+                return;
+            }
+            let (exec, _) = current();
+            exec.yield_point();
+            self.mutex.unlock_internal();
+        }
+    }
+
+    /// A `parking_lot`-style condition variable (`wait(&mut guard)`).
+    pub struct Condvar {
+        waiters: OsMutex<Vec<usize>>,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Condvar {
+        /// Creates a condvar.
+        #[must_use]
+        pub fn new() -> Self {
+            Condvar { waiters: OsMutex::new(Vec::new()) }
+        }
+
+        /// Atomically releases the guard's mutex and blocks until
+        /// notified, then re-acquires. No spurious wakeups are modeled, so
+        /// callers' `while` loops simply re-check.
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            let (exec, me) = current();
+            exec.yield_point();
+            // Enqueue *before* releasing the mutex: a notifier must hold
+            // the mutex to race us here, and it can't until we release it
+            // below, so no wakeup can be lost.
+            plock(&self.waiters).push(me);
+            guard.mutex.unlock_internal();
+            exec.block("condvar");
+            guard.mutex.lock_internal();
+        }
+
+        /// Wakes every waiter (they still re-acquire the mutex one at a
+        /// time through the normal handoff path).
+        pub fn notify_all(&self) {
+            let (exec, _) = current();
+            exec.yield_point();
+            let woken: Vec<usize> = plock(&self.waiters).drain(..).collect();
+            for w in woken {
+                exec.make_runnable(w);
+            }
+        }
+
+        /// Wakes one waiter; with several waiting, the scheduler
+        /// enumerates every choice of which.
+        pub fn notify_one(&self) {
+            let (exec, _) = current();
+            exec.yield_point();
+            let n = plock(&self.waiters).len();
+            if n == 0 {
+                return;
+            }
+            let i = exec.choose_extra(n);
+            let mut ws = plock(&self.waiters);
+            let idx = i.min(ws.len() - 1);
+            let w = ws.remove(idx);
+            drop(ws);
+            exec.make_runnable(w);
+        }
+    }
+
+    struct BarrierState {
+        waiting: Vec<usize>,
+        acc: VClock,
+        release: VClock,
+    }
+
+    /// `std::sync::Barrier` lookalike. Reuse across generations is
+    /// supported for the common case where the same threads participate in
+    /// every generation (true of the fused-launch pipeline).
+    pub struct Barrier {
+        n: usize,
+        st: OsMutex<BarrierState>,
+    }
+
+    /// Result of [`Barrier::wait`]; the last arriver is the leader.
+    pub struct BarrierWaitResult(bool);
+
+    impl BarrierWaitResult {
+        /// True for exactly one participant per generation.
+        #[must_use]
+        pub fn is_leader(&self) -> bool {
+            self.0
+        }
+    }
+
+    impl Barrier {
+        /// A barrier for `n` participants.
+        #[must_use]
+        pub fn new(n: usize) -> Self {
+            Barrier {
+                n: n.max(1),
+                st: OsMutex::new(BarrierState {
+                    waiting: Vec::new(),
+                    acc: VClock::default(),
+                    release: VClock::default(),
+                }),
+            }
+        }
+
+        /// Blocks until `n` threads have called `wait`; every participant
+        /// then observes every other participant's pre-barrier operations.
+        pub fn wait(&self) -> BarrierWaitResult {
+            let (exec, me) = current();
+            exec.yield_point();
+            let mine = exec.with_clock(me, |c| c.clone());
+            let mut st = plock(&self.st);
+            st.acc.join(&mine);
+            if st.waiting.len() + 1 == self.n {
+                // Leader: release this generation.
+                let release = std::mem::take(&mut st.acc);
+                st.release = release.clone();
+                let woken: Vec<usize> = st.waiting.drain(..).collect();
+                drop(st);
+                exec.with_clock(me, |c| c.join(&release));
+                for w in woken {
+                    exec.make_runnable(w);
+                }
+                BarrierWaitResult(true)
+            } else {
+                st.waiting.push(me);
+                drop(st);
+                exec.block("barrier");
+                let release = plock(&self.st).release.clone();
+                exec.with_clock(me, |c| c.join(&release));
+                BarrierWaitResult(false)
+            }
+        }
+    }
+
+    /// Sequentially-consistent model atomics. The `Ordering` argument is
+    /// accepted for source compatibility and ignored: every operation is
+    /// modeled as `SeqCst` (see the crate docs for why that is the one
+    /// deliberate infidelity of this checker).
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        use super::super::{current, VClock};
+        use super::plock;
+        use std::sync::Mutex as OsMutex;
+
+        macro_rules! model_atomic {
+            ($name:ident, $ty:ty, $doc:literal) => {
+                #[doc = $doc]
+                pub struct $name {
+                    st: OsMutex<($ty, VClock)>,
+                }
+
+                impl $name {
+                    /// Creates the atomic with an initial value.
+                    #[must_use]
+                    pub fn new(v: $ty) -> Self {
+                        $name { st: OsMutex::new((v, VClock::default())) }
+                    }
+
+                    /// SeqCst load; acquires the clock of the last store.
+                    pub fn load(&self, _order: Ordering) -> $ty {
+                        let (exec, me) = current();
+                        exec.yield_point();
+                        let st = plock(&self.st);
+                        let (v, clock) = (st.0, st.1.clone());
+                        drop(st);
+                        exec.with_clock(me, |c| c.join(&clock));
+                        v
+                    }
+
+                    /// SeqCst store; releases this thread's clock.
+                    pub fn store(&self, v: $ty, _order: Ordering) {
+                        let (exec, me) = current();
+                        exec.yield_point();
+                        let mine = exec.with_clock(me, |c| c.clone());
+                        let mut st = plock(&self.st);
+                        st.0 = v;
+                        st.1.join(&mine);
+                    }
+
+                    /// SeqCst swap (full acquire+release).
+                    pub fn swap(&self, v: $ty, _order: Ordering) -> $ty {
+                        self.rmw(move |_| v)
+                    }
+
+                    /// SeqCst compare-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        expect: $ty,
+                        new: $ty,
+                        _ok: Ordering,
+                        _err: Ordering,
+                    ) -> Result<$ty, $ty> {
+                        let (exec, me) = current();
+                        exec.yield_point();
+                        let mine = exec.with_clock(me, |c| c.clone());
+                        let mut st = plock(&self.st);
+                        let old = st.0;
+                        if old == expect {
+                            st.0 = new;
+                            st.1.join(&mine);
+                            let clock = st.1.clone();
+                            drop(st);
+                            exec.with_clock(me, |c| c.join(&clock));
+                            Ok(old)
+                        } else {
+                            let clock = st.1.clone();
+                            drop(st);
+                            exec.with_clock(me, |c| c.join(&clock));
+                            Err(old)
+                        }
+                    }
+
+                    fn rmw(&self, f: impl FnOnce($ty) -> $ty) -> $ty {
+                        let (exec, me) = current();
+                        exec.yield_point();
+                        let mine = exec.with_clock(me, |c| c.clone());
+                        let mut st = plock(&self.st);
+                        let old = st.0;
+                        st.0 = f(old);
+                        st.1.join(&mine);
+                        let clock = st.1.clone();
+                        drop(st);
+                        exec.with_clock(me, |c| c.join(&clock));
+                        old
+                    }
+                }
+            };
+        }
+
+        model_atomic!(AtomicUsize, usize, "SeqCst-modeled `AtomicUsize`.");
+        model_atomic!(AtomicU64, u64, "SeqCst-modeled `AtomicU64`.");
+        model_atomic!(AtomicU32, u32, "SeqCst-modeled `AtomicU32`.");
+        model_atomic!(AtomicBool, bool, "SeqCst-modeled `AtomicBool`.");
+
+        macro_rules! model_atomic_arith {
+            ($name:ident, $ty:ty) => {
+                impl $name {
+                    /// SeqCst fetch-add (wrapping).
+                    pub fn fetch_add(&self, v: $ty, _order: Ordering) -> $ty {
+                        self.rmw(move |old| old.wrapping_add(v))
+                    }
+
+                    /// SeqCst fetch-sub (wrapping).
+                    pub fn fetch_sub(&self, v: $ty, _order: Ordering) -> $ty {
+                        self.rmw(move |old| old.wrapping_sub(v))
+                    }
+
+                    /// SeqCst fetch-max.
+                    pub fn fetch_max(&self, v: $ty, _order: Ordering) -> $ty {
+                        self.rmw(move |old| old.max(v))
+                    }
+                }
+            };
+        }
+
+        model_atomic_arith!(AtomicUsize, usize);
+        model_atomic_arith!(AtomicU64, u64);
+        model_atomic_arith!(AtomicU32, u32);
+
+        impl AtomicBool {
+            /// SeqCst fetch-or.
+            pub fn fetch_or(&self, v: bool, _order: Ordering) -> bool {
+                self.rmw(move |old| old | v)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// channel (crossbeam::channel::unbounded lookalike)
+// ---------------------------------------------------------------------------
+
+/// Model-aware replacement for `crossbeam::channel` (unbounded only).
+pub mod channel {
+    use super::{current, VClock};
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex as OsMutex};
+
+    fn plock<T>(m: &OsMutex<T>) -> std::sync::MutexGuard<'_, T> {
+        match m.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    struct ChanState<T> {
+        queue: VecDeque<(T, VClock)>,
+        senders: usize,
+        receiver_alive: bool,
+        /// Receiver thread blocked in `recv`, if any.
+        parked_receiver: Option<usize>,
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender has been dropped.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        st: Arc<OsMutex<ChanState<T>>>,
+    }
+
+    /// Receiving half; iterable (`for msg in rx`) until disconnect.
+    pub struct Receiver<T> {
+        st: Arc<OsMutex<ChanState<T>>>,
+    }
+
+    /// Creates an unbounded FIFO channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let st = Arc::new(OsMutex::new(ChanState {
+            queue: VecDeque::new(),
+            senders: 1,
+            receiver_alive: true,
+            parked_receiver: None,
+        }));
+        (Sender { st: Arc::clone(&st) }, Receiver { st })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`; the receive of this message observes every
+        /// operation that happened before this send.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let (exec, me) = current();
+            exec.yield_point();
+            let mine = exec.with_clock(me, |c| c.clone());
+            let mut st = plock(&self.st);
+            if !st.receiver_alive {
+                return Err(SendError(value));
+            }
+            st.queue.push_back((value, mine));
+            let parked = st.parked_receiver.take();
+            drop(st);
+            if let Some(r) = parked {
+                exec.make_runnable(r);
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            plock(&self.st).senders += 1;
+            Sender { st: Arc::clone(&self.st) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                plock(&self.st).senders -= 1;
+                return;
+            }
+            let (exec, _) = current();
+            exec.yield_point();
+            let mut st = plock(&self.st);
+            st.senders -= 1;
+            let parked =
+                if st.senders == 0 { st.parked_receiver.take() } else { None };
+            drop(st);
+            if let Some(r) = parked {
+                exec.make_runnable(r);
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks (in model time) for the next message; `Err(RecvError)`
+        /// once the queue is empty and all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let (exec, me) = current();
+            exec.yield_point();
+            loop {
+                let mut st = plock(&self.st);
+                if let Some((value, clock)) = st.queue.pop_front() {
+                    drop(st);
+                    exec.with_clock(me, |c| c.join(&clock));
+                    return Ok(value);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                debug_assert!(
+                    st.parked_receiver.is_none(),
+                    "two threads blocked in recv on one receiver"
+                );
+                st.parked_receiver = Some(me);
+                drop(st);
+                exec.block("recv");
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            plock(&self.st).receiver_alive = false;
+        }
+    }
+
+    /// Blocking iterator over received messages (ends on disconnect).
+    pub struct IntoIter<T> {
+        rx: Receiver<T>,
+    }
+
+    impl<T> Iterator for IntoIter<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = IntoIter<T>;
+        fn into_iter(self) -> IntoIter<T> {
+            IntoIter { rx: self }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cell: data-race detection for raw shared buffers
+// ---------------------------------------------------------------------------
+
+/// Race-detection instrumentation for raw-pointer shared buffers.
+pub mod cell {
+    use super::current;
+    use std::sync::Mutex as OsMutex;
+
+    #[derive(Clone, Copy, Debug)]
+    struct Epoch {
+        tid: usize,
+        time: u32,
+    }
+
+    #[derive(Default)]
+    struct Slot {
+        last_write: Option<Epoch>,
+        /// One read epoch per thread that read since the last write.
+        reads: Vec<Epoch>,
+    }
+
+    /// A FastTrack-style per-index access log for a shared buffer.
+    ///
+    /// `gpu-device`'s `SharedSlice` carries one of these under `cfg(loom)`
+    /// and reports every `read`/`write` with the element index; two
+    /// accesses to the same index race unless ordered by happens-before
+    /// (same thread, or separated by a mutex/channel/barrier/atomic edge),
+    /// and a race fails the model immediately with both thread ids.
+    pub struct AccessLog {
+        slots: OsMutex<Vec<Slot>>,
+    }
+
+    impl AccessLog {
+        /// A log for a buffer of `len` elements.
+        #[must_use]
+        pub fn new(len: usize) -> Self {
+            let mut slots = Vec::with_capacity(len);
+            slots.resize_with(len, Slot::default);
+            AccessLog { slots: OsMutex::new(slots) }
+        }
+
+        /// Records a read of element `index`; fails the model if it races
+        /// with a prior write.
+        pub fn read(&self, index: usize) {
+            self.access(index, false);
+        }
+
+        /// Records a write of element `index`; fails the model if it races
+        /// with any prior access.
+        pub fn write(&self, index: usize) {
+            self.access(index, true);
+        }
+
+        fn access(&self, index: usize, is_write: bool) {
+            let (exec, me) = current();
+            exec.yield_point();
+            let my_clock = exec.with_clock(me, |c| c.clone());
+            let mut slots = match self.slots.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            let slot = &mut slots[index];
+            let mut race_with: Option<usize> = None;
+            if let Some(w) = slot.last_write {
+                if w.tid != me && !my_clock.covers(w.tid, w.time) {
+                    race_with = Some(w.tid);
+                }
+            }
+            if is_write {
+                for r in &slot.reads {
+                    if r.tid != me && !my_clock.covers(r.tid, r.time) {
+                        race_with = Some(r.tid);
+                    }
+                }
+            }
+            if let Some(other) = race_with {
+                drop(slots);
+                exec.fail(format!(
+                    "data race on shared element {index}: {} by t{me} is \
+                     concurrent with an access by t{other}",
+                    if is_write { "write" } else { "read" },
+                ));
+                super::panic_abort();
+            }
+            let epoch = Epoch { tid: me, time: my_clock.get(me) };
+            if is_write {
+                slot.last_write = Some(epoch);
+                slot.reads.clear();
+            } else if let Some(r) =
+                slot.reads.iter_mut().find(|r| r.tid == me)
+            {
+                *r = epoch;
+            } else {
+                slot.reads.push(epoch);
+            }
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //!   the current one simulates.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod controller;
 mod latency;

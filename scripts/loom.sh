@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the model-checking layer locally, mirroring the `loom` CI job:
+#   1. the snn-loom self-test suite (std build — the checker checking
+#      itself on known-racy and known-correct fixtures), then
+#   2. the gpu-device models (crates/gpu-device/src/loom_tests.rs) with
+#      RUSTFLAGS="--cfg loom", which swaps crate::sync over to the
+#      snn-loom shims and explores worker-pool/fused-launch interleavings
+#      exhaustively (or preemption-bounded where noted in the tests).
+#
+# In the offline container, use the shadow build instead:
+#   bash target/scratch/shadow/build.sh loom && \
+#     target/scratch/shadow/snn_loom_selftest && \
+#     target/scratch/shadow/gpu_device_loom_tests
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export SNN_LOOM_MAX_ITER="${SNN_LOOM_MAX_ITER:-500000}"
+cargo test --release -p snn-loom
+exec env RUSTFLAGS="--cfg loom" cargo test --release -p gpu-device --lib

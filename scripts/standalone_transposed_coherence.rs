@@ -1,0 +1,108 @@
+//! Standalone replica of the `transposed_view_coherent_under_engine_op_algebra`
+//! proptest in `crates/snn-core/tests/invariants.rs`, for environments
+//! without the proptest crate (e.g. the offline shadow build, see
+//! `target/scratch/shadow/build.sh`). Same operation algebra, driven by a
+//! splitmix64 sequence instead of proptest strategies.
+//!
+//! Build & run (from the shadow directory, after `bash build.sh`):
+//!
+//! ```text
+//! rustc --edition 2021 -O -L . ../../../scripts/standalone_transposed_coherence.rs \
+//!   --extern snn_core=libsnn_core.rlib --extern gpu_device=libgpu_device.rlib \
+//!   --extern qformat=libqformat.rlib --extern serde=libserde.rlib \
+//!   -o transposed_coherence && ./transposed_coherence
+//! ```
+
+use snn_core::config::{NetworkConfig, Preset};
+use snn_core::synapse::{SynapseMatrix, TransposedConductances};
+
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn indices(rng: &mut SplitMix, max: usize) -> Vec<u32> {
+    (0..1 + rng.below(4)).map(|_| rng.below(max) as u32).collect()
+}
+
+fn main() {
+    let (n_pre, n_post) = (8usize, 5usize);
+    let cfg = NetworkConfig::from_preset(Preset::FullPrecision, n_pre, n_post);
+    let mut checked = 0u64;
+    for case in 0..256u64 {
+        let mut rng = SplitMix(0xc0ffee ^ case);
+        let mut m = SynapseMatrix::new_random(&cfg, case);
+        let mut view = TransposedConductances::new(&m);
+        assert!(view.is_coherent(&m), "fresh mirror incoherent (case {case})");
+        for _ in 0..12 {
+            match rng.below(5) {
+                0 => {
+                    for g in m.as_flat_mut() {
+                        *g = rng.uniform();
+                    }
+                    view.refresh(&m, None, None);
+                }
+                1 => {
+                    let rows = indices(&mut rng, n_post);
+                    for &j in &rows {
+                        for g in m.row_mut(j as usize) {
+                            *g = rng.uniform();
+                        }
+                    }
+                    view.refresh(&m, Some(&rows), None);
+                }
+                2 => {
+                    let cols = indices(&mut rng, n_pre);
+                    for &i in &cols {
+                        for j in 0..n_post {
+                            m.as_flat_mut()[j * n_pre + i as usize] = rng.uniform();
+                        }
+                    }
+                    view.refresh(&m, None, Some(&cols));
+                }
+                3 => {
+                    let rows = indices(&mut rng, n_post);
+                    let cols = indices(&mut rng, n_pre);
+                    for &j in &rows {
+                        for &i in &cols {
+                            m.as_flat_mut()[j as usize * n_pre + i as usize] = rng.uniform();
+                        }
+                    }
+                    view.refresh(&m, Some(&rows), Some(&cols));
+                }
+                _ => {
+                    for g in m.as_flat_mut() {
+                        *g = rng.uniform();
+                    }
+                    view = TransposedConductances::new(&m);
+                }
+            }
+            assert!(view.is_coherent(&m), "mirror diverged (case {case})");
+            checked += 1;
+        }
+        let rebuilt = TransposedConductances::new(&m);
+        for i in 0..n_pre {
+            assert_eq!(view.col(i), rebuilt.col(i), "column {i} differs (case {case})");
+        }
+        // Negative control: an unrefreshed mutation must be visible.
+        let cell = &mut m.as_flat_mut()[0];
+        *cell = if *cell > 0.5 { *cell - 0.25 } else { *cell + 0.25 };
+        assert!(!view.is_coherent(&m), "stale mirror undetected (case {case})");
+    }
+    println!("transposed-coherence: {checked} op-pairs coherent across 256 cases");
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the unsafe-surface suite and gpu-device unit tests under
+# ThreadSanitizer, mirroring the `tsan` CI job.
+#
+# Needs nightly for -Zsanitizer=thread and -Zbuild-std (std must be
+# instrumented too, which needs the rust-src component). Gracefully skips
+# (exit 0 with a notice) when either is unavailable — e.g. offline
+# containers. CI always runs it (see .github/workflows/ci.yml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! rustc +nightly --version >/dev/null 2>&1; then
+  echo "tsan.sh: no nightly toolchain; skipping. CI runs this job." >&2
+  exit 0
+fi
+if ! rustup +nightly component list --installed 2>/dev/null | grep -q rust-src; then
+  echo "tsan.sh: rust-src component missing (needed by -Zbuild-std);" \
+       "skipping. CI runs this job." >&2
+  exit 0
+fi
+
+target="$(rustc +nightly -vV | sed -n 's/^host: //p')"
+export RUSTFLAGS="-Zsanitizer=thread"
+export TSAN_OPTIONS="halt_on_error=1"
+cargo +nightly test -Zbuild-std --target "$target" -p gpu-device --test unsafe_surface
+exec cargo +nightly test -Zbuild-std --target "$target" -p gpu-device --lib

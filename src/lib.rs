@@ -36,6 +36,8 @@
 //!     .run(&dataset, &device);
 //! assert!(record.accuracy >= 0.0 && record.accuracy <= 1.0);
 //! ```
+#![forbid(unsafe_code)]
+
 
 pub use gpu_device as device;
 pub use qformat as fixed;

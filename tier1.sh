@@ -11,8 +11,15 @@
 # (crates/snn-learning/tests/parallel_eval.rs), which proves replica
 # count, encoder pipelining, queue order and the suppression-window
 # fast-forward are pure wall-clock knobs.
+#
+# The snn-lint pass enforces the repo's concurrency/determinism invariants
+# as machine-checked rules (SAFETY comments, unsafe-surface allow-list,
+# Philox-only randomness in step paths, transposed-view coherence,
+# no hash-order iteration in hot paths, sync-shim discipline) — see
+# crates/snn-lint and DESIGN.md §10.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+cargo run --release -p snn-lint

@@ -7,13 +7,12 @@
 //!
 //! Run: `cargo run -p bench --release --bin fig4`
 
-use bench::{results_dir, write_json_records, TextTable};
+use bench::{enable_tracing, results_dir, write_json_records, write_trace_artifact, TextTable};
 use gpu_device::{Device, DeviceConfig};
 use reference_sim::ReferenceSimulator;
 use serde::Serialize;
 use snn_core::network::RecurrentNetwork;
 use snn_core::sim::GenericEngine;
-use std::time::Instant;
 
 #[derive(Serialize)]
 struct Fig4Record {
@@ -26,15 +25,17 @@ struct Fig4Record {
 
 fn main() {
     println!("== Fig. 4: spiking-activity agreement and performance ==\n");
+    enable_tracing();
     let net = RecurrentNetwork::random(1000, 10_000, 0.1, 0.5, 2024);
     let i_ext: Vec<f64> = (0..1000).map(|j| if j % 9 == 0 { 4.5 } else { 2.0 }).collect();
     let duration_ms = 1000.0;
 
     // Reference (sequential, independent implementation).
-    let started = Instant::now();
-    let mut reference = ReferenceSimulator::new(&net, 5.0, 0.5);
-    let ref_counts = reference.run(&i_ext, duration_ms);
-    let ref_wall = started.elapsed().as_secs_f64() * 1000.0;
+    let ((reference, ref_counts), ref_wall) = snn_trace::time_ms("bench/fig4/reference", || {
+        let mut reference = ReferenceSimulator::new(&net, 5.0, 0.5);
+        let counts = reference.run(&i_ext, duration_ms);
+        (reference, counts)
+    });
     let ref_spikes: u64 = ref_counts.iter().map(|&c| u64::from(c)).sum();
 
     let mut table = TextTable::new(["simulator", "workers", "wall (ms)", "spikes", "agreement"]);
@@ -57,10 +58,11 @@ fn main() {
     let mut profile_text = String::new();
     for workers in [1usize, 2, 4, 8] {
         let device = Device::new(DeviceConfig::default().with_workers(workers));
-        let started = Instant::now();
-        let mut engine = GenericEngine::new(&net, &device, 5.0, 0.5);
-        let counts = engine.run(&i_ext, duration_ms);
-        let wall = started.elapsed().as_secs_f64() * 1000.0;
+        let ((engine, counts), wall) = snn_trace::time_ms("bench/fig4/parallel", || {
+            let mut engine = GenericEngine::new(&net, &device, 5.0, 0.5);
+            let counts = engine.run(&i_ext, duration_ms);
+            (engine, counts)
+        });
         let spikes: u64 = counts.iter().map(|&c| u64::from(c)).sum();
         let agreement = engine.raster().coincidence(reference.raster(), 1e-9);
         assert_eq!(counts, ref_counts, "engines must agree exactly");
@@ -96,4 +98,6 @@ fn main() {
     let path = results_dir().join("fig4.json");
     write_json_records(&path, &records).expect("write records");
     println!("records -> {}", path.display());
+    let trace = write_trace_artifact("fig4").expect("write trace artifact");
+    println!("trace -> {}", trace.display());
 }

@@ -10,14 +10,13 @@
 //!
 //! Run: `cargo run -p bench --release --bin lazy_vs_eager`
 
-use bench::{results_dir, write_json_records, TextTable};
+use bench::{enable_tracing, results_dir, write_json_records, write_trace_artifact, TextTable};
 use gpu_device::{Device, DeviceConfig};
 use serde::Serialize;
 use snn_core::config::{NetworkConfig, PlasticityExecution, Preset, RuleKind};
 use snn_core::sim::WtaEngine;
 use snn_datasets::synthetic_mnist;
 use spike_encoding::RateEncoder;
-use std::time::Instant;
 
 /// Kernels that make up the plasticity path of each execution strategy.
 const EAGER_KERNELS: [&str; 1] = ["stdp_post"];
@@ -70,16 +69,17 @@ fn run(
     let encoder = RateEncoder::new(engine.config().frequency);
     let dataset = synthetic_mnist(n_images, 1, 7);
 
-    let started = Instant::now();
-    let mut counts = vec![0u32; 1000];
-    for sample in &dataset.train {
-        let rates = encoder.rates(sample.image.pixels());
-        engine.reset_transients();
-        for (acc, n) in counts.iter_mut().zip(engine.present(&rates, t_ms, true)) {
-            *acc += n;
+    let (counts, wall_ms) = snn_trace::time_ms("bench/lazy_vs_eager/run", || {
+        let mut counts = vec![0u32; 1000];
+        for sample in &dataset.train {
+            let rates = encoder.rates(sample.image.pixels());
+            engine.reset_transients();
+            for (acc, n) in counts.iter_mut().zip(engine.present(&rates, t_ms, true)) {
+                *acc += n;
+            }
         }
-    }
-    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        counts
+    });
 
     let report = device.profile();
     let names: &[&str] =
@@ -102,6 +102,7 @@ fn run(
 
 fn main() {
     println!("== lazy vs eager plasticity: 784 -> 1000, low-frequency digits ==\n");
+    enable_tracing();
     let workers = std::thread::available_parallelism().map_or(4, usize::from).min(8);
     let n_images = 10;
     let t_ms = 150.0;
@@ -176,4 +177,6 @@ fn main() {
     let path = results_dir().join("BENCH_lazy_plasticity.json");
     write_json_records(&path, &records).expect("write bench record");
     println!("\nwrote {}", path.display());
+    let trace = write_trace_artifact("lazy_plasticity").expect("write trace artifact");
+    println!("wrote {}", trace.display());
 }

@@ -19,7 +19,7 @@
 //!
 //! Run: `cargo run -p bench --release --bin parallel_eval`
 
-use bench::{results_dir, write_json_records, TextTable};
+use bench::{enable_tracing, results_dir, write_json_records, write_trace_artifact, TextTable};
 use gpu_device::{Device, DeviceConfig};
 use serde::Serialize;
 use snn_core::config::{NetworkConfig, Preset};
@@ -27,7 +27,6 @@ use snn_core::sim::{EvalSnapshot, WtaEngine};
 use snn_datasets::{synthetic_mnist, Dataset};
 use snn_learning::{evaluate_snapshot, EvalOptions, EvalOutcome};
 use spike_encoding::RateEncoder;
-use std::time::Instant;
 
 const N_LABEL: usize = 20;
 const N_INFER: usize = 20;
@@ -80,13 +79,14 @@ fn legacy_serial_eval(network: &NetworkConfig, snapshot: &EvalSnapshot, dataset:
         WtaEngine::replica(network.clone(), &device, SEED, snapshot).expect("valid network");
     let encoder = RateEncoder::new(network.frequency);
     let (label_set, infer_set) = dataset.labeling_split(N_LABEL);
-    let started = Instant::now();
-    for sample in label_set.iter().chain(&infer_set[..N_INFER]) {
-        let rates = encoder.rates(sample.image.pixels());
-        engine.reset_transients();
-        let _ = engine.present(&rates, T_PRESENT_MS, false);
-    }
-    started.elapsed().as_secs_f64() * 1000.0
+    let ((), wall_ms) = snn_trace::time_ms("bench/parallel_eval/serial", || {
+        for sample in label_set.iter().chain(&infer_set[..N_INFER]) {
+            let rates = encoder.rates(sample.image.pixels());
+            engine.reset_transients();
+            let _ = engine.present(&rates, T_PRESENT_MS, false);
+        }
+    });
+    wall_ms
 }
 
 fn parallel_eval(
@@ -97,18 +97,19 @@ fn parallel_eval(
     pipelined: bool,
 ) -> (f64, EvalOutcome) {
     let opts = EvalOptions { replicas, pipelined, ..EvalOptions::default() };
-    let started = Instant::now();
-    let out = evaluate_snapshot(
-        network,
-        SEED,
-        snapshot,
-        T_PRESENT_MS,
-        dataset,
-        N_LABEL,
-        N_INFER,
-        &opts,
-    );
-    (started.elapsed().as_secs_f64() * 1000.0, out)
+    let (out, wall_ms) = snn_trace::time_ms("bench/parallel_eval/parallel", || {
+        evaluate_snapshot(
+            network,
+            SEED,
+            snapshot,
+            T_PRESENT_MS,
+            dataset,
+            N_LABEL,
+            N_INFER,
+            &opts,
+        )
+    });
+    (wall_ms, out)
 }
 
 fn identical(a: &EvalOutcome, b: &EvalOutcome) -> bool {
@@ -120,6 +121,7 @@ fn identical(a: &EvalOutcome, b: &EvalOutcome) -> bool {
 
 fn main() {
     println!("== parallel frozen-weight evaluation: 784 -> 1000, plasticity off ==\n");
+    enable_tracing();
     let network = NetworkConfig::from_preset(Preset::FullPrecision, 784, 1000);
     let dataset = synthetic_mnist(5, N_LABEL + N_INFER, 7);
     let snapshot = trained_snapshot(&network, &dataset);
@@ -249,4 +251,6 @@ fn main() {
         .collect();
     write_json_records(&path, &all).expect("write bench record");
     println!("\nwrote {}", path.display());
+    let trace = write_trace_artifact("parallel_eval").expect("write trace artifact");
+    println!("wrote {}", trace.display());
 }

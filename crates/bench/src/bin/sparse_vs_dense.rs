@@ -15,14 +15,13 @@
 //!
 //! Run: `cargo run -p bench --release --bin sparse_vs_dense`
 
-use bench::{results_dir, write_json_records, TextTable};
+use bench::{enable_tracing, results_dir, write_json_records, write_trace_artifact, TextTable};
 use gpu_device::{Device, DeviceConfig};
 use serde::Serialize;
 use snn_core::config::{CurrentDelivery, NetworkConfig, Preset};
 use snn_core::sim::WtaEngine;
 use snn_datasets::synthetic_mnist;
 use spike_encoding::RateEncoder;
-use std::time::Instant;
 
 /// Kernels that make up the current-delivery path of each strategy. The
 /// fused encode+compact kernel is shared (the dense path also consumes the
@@ -88,16 +87,17 @@ fn run(delivery: CurrentDelivery, f_max: f64, workers: usize, n_images: usize, t
     let encoder = RateEncoder::new(engine.config().frequency);
     let dataset = synthetic_mnist(n_images, 1, 7);
 
-    let started = Instant::now();
-    let mut counts = vec![0u32; 1000];
-    for sample in &dataset.train {
-        let rates = encoder.rates(sample.image.pixels());
-        engine.reset_transients();
-        for (acc, n) in counts.iter_mut().zip(engine.present(&rates, t_ms, true)) {
-            *acc += n;
+    let (counts, wall_ms) = snn_trace::time_ms("bench/sparse_vs_dense/run", || {
+        let mut counts = vec![0u32; 1000];
+        for sample in &dataset.train {
+            let rates = encoder.rates(sample.image.pixels());
+            engine.reset_transients();
+            for (acc, n) in counts.iter_mut().zip(engine.present(&rates, t_ms, true)) {
+                *acc += n;
+            }
         }
-    }
-    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        counts
+    });
 
     let report = device.profile();
     let names: &[&str] =
@@ -121,6 +121,7 @@ fn run(delivery: CurrentDelivery, f_max: f64, workers: usize, n_images: usize, t
 
 fn main() {
     println!("== sparse vs dense current delivery: 784 -> 1000, rate-coded digits ==\n");
+    enable_tracing();
     let workers = std::thread::available_parallelism().map_or(4, usize::from).min(8);
     let n_images = 10;
     let t_ms = 150.0;
@@ -257,9 +258,8 @@ fn main() {
             .with_delivery(delivery);
         let mut engine = WtaEngine::new(cfg, &device, 2019);
         let rates = vec![frac * 2000.0; 784];
-        let started = Instant::now();
-        let counts = engine.present(&rates, 300.0, false);
-        let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+        let (counts, wall_ms) =
+            snn_trace::time_ms("bench/sparse_vs_dense/probe", || engine.present(&rates, 300.0, false));
         (wall_ms, counts)
     };
     let mut uniform_crossover: Option<f64> = None;
@@ -304,4 +304,6 @@ fn main() {
         .collect();
     write_json_records(&path, &all).expect("write bench record");
     println!("\nwrote {}", path.display());
+    let trace = write_trace_artifact("sparse_delivery").expect("write trace artifact");
+    println!("wrote {}", trace.display());
 }

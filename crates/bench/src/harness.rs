@@ -48,6 +48,34 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}", x * 100.0)
 }
 
+/// Turns on span capture for this harness run at full (`Detail::Steps`)
+/// granularity — trace artifacts are offline timelines, so they want the
+/// per-step and per-launch spans the low-overhead default omits. Call once
+/// at the top of `main` in binaries that emit a `TRACE_*.json` artifact.
+pub fn enable_tracing() {
+    snn_trace::set_enabled(true);
+    snn_trace::set_detail(snn_trace::Detail::Steps);
+}
+
+/// Drains every span captured so far and writes a Chrome Trace Event
+/// Format artifact to `results/TRACE_<name>.json` (open in Perfetto or
+/// `about://tracing`), returning the path. The device profiler's numbers
+/// are unaffected — the trace is the timeline view, the `BENCH_*.json`
+/// records stay the aggregate view.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating or writing the artifact.
+pub fn write_trace_artifact(name: &str) -> std::io::Result<PathBuf> {
+    let trace = snn_trace::drain();
+    let path = results_dir().join(format!("TRACE_{name}.json"));
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    snn_trace::write_chrome_trace(&path, &trace)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

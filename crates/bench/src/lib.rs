@@ -1,6 +1,12 @@
 //! Shared harness utilities for the experiment binaries and Criterion
 //! benches: text tables, CSV/JSON emission, and PGM image dumps for the
 //! conductance-map figures.
+//!
+//! DESIGN.md §4 maps each figure/table binary to the paper experiment it
+//! reproduces; §6 lists the ablation axes the `ablation` binary sweeps;
+//! §11 documents the `TRACE_*.json` timeline artifacts
+//! [`harness::write_trace_artifact`] emits next to the `BENCH_*.json`
+//! records.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -9,6 +15,8 @@ pub mod harness;
 pub mod output;
 pub mod viz;
 
-pub use harness::{dataset_for, device, pct, results_dir, scale_banner};
+pub use harness::{
+    dataset_for, device, enable_tracing, pct, results_dir, scale_banner, write_trace_artifact,
+};
 pub use output::{write_json_records, TextTable};
 pub use viz::{conductance_map, conductance_mosaic, histogram_ascii, write_pgm};

@@ -484,15 +484,39 @@ impl Device {
         K: Fn(&FusedCtx<'_>) + Sync,
     {
         let pool = self.pool_for(cost);
+        // Stage-sync telemetry (`device/fused_stage_syncs`): worker 0 counts
+        // barrier crossings into this atomic, sampled only while tracing so
+        // the default path stays untouched.
+        let syncs = std::sync::atomic::AtomicU64::new(0);
+        let count_syncs = snn_trace::enabled() && self.config.profile;
         self.timed(name, cost, bytes, pool.is_some(), || match pool {
-            None => kernel(&FusedCtx::inline()),
+            None => {
+                let ctx = FusedCtx::inline();
+                if count_syncs {
+                    kernel(&ctx.with_sync_counter(&syncs));
+                } else {
+                    kernel(&ctx);
+                }
+            }
             Some(pool) => {
                 let workers = pool.workers();
                 let barrier = Barrier::new(workers);
                 let barrier = &barrier;
-                pool.run(|wid| kernel(&FusedCtx::pooled(wid, workers, barrier)));
+                let syncs = &syncs;
+                pool.run(|wid| {
+                    let ctx = FusedCtx::pooled(wid, workers, barrier);
+                    if count_syncs {
+                        kernel(&ctx.with_sync_counter(syncs));
+                    } else {
+                        kernel(&ctx);
+                    }
+                });
             }
         });
+        let crossed = syncs.load(std::sync::atomic::Ordering::Relaxed);
+        if crossed > 0 {
+            self.bump_counter("fused_stage_syncs", crossed);
+        }
     }
 
     /// Launches a per-element mutation kernel over a device buffer.
@@ -714,10 +738,25 @@ impl Device {
         pooled: bool,
         f: F,
     ) {
-        if self.config.profile {
+        // One clock path serves both consumers: the profiler's aggregate
+        // per-kernel stats and (when tracing is on) a `kernel`-category
+        // span reusing the same measurement, so traces and profiles can
+        // never disagree about a launch's duration. Kernel spans are
+        // per-launch events, so they ride behind `Detail::Steps`: at the
+        // default phase detail an unprofiled launch pays only the
+        // `enabled()` load, which keeps the documented <2% overhead bound
+        // (DESIGN.md §11.3) independent of launch count.
+        let tracing = snn_trace::enabled() && snn_trace::detail() == snn_trace::Detail::Steps;
+        if self.config.profile || tracing {
             let start = Instant::now();
             f();
-            self.profiler.record(name, threads, bytes, pooled, start.elapsed());
+            let elapsed = start.elapsed();
+            if self.config.profile {
+                self.profiler.record(name, threads, bytes, pooled, elapsed);
+            }
+            if tracing {
+                snn_trace::record_span_at(name, "kernel", start, elapsed);
+            }
         } else {
             f();
         }

@@ -15,6 +15,7 @@
 use crate::sync::Barrier;
 use std::marker::PhantomData;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-worker execution context inside a fused launch.
 ///
@@ -27,18 +28,29 @@ pub struct FusedCtx<'a> {
     worker: usize,
     workers: usize,
     barrier: Option<&'a Barrier>,
+    /// Stage-sync telemetry: worker 0 counts barrier crossings here when
+    /// the launch is traced (`device/fused_stage_syncs` in DESIGN.md §11).
+    /// `None` (the default) keeps `sync` on the untraced fast path.
+    syncs: Option<&'a AtomicU64>,
 }
 
 impl<'a> FusedCtx<'a> {
     /// Context for the inline (single-worker) path.
     pub(crate) fn inline() -> Self {
-        FusedCtx { worker: 0, workers: 1, barrier: None }
+        FusedCtx { worker: 0, workers: 1, barrier: None, syncs: None }
     }
 
     /// Context for worker `worker` of a pooled dispatch over `workers`
     /// workers sharing `barrier`.
     pub(crate) fn pooled(worker: usize, workers: usize, barrier: &'a Barrier) -> Self {
-        FusedCtx { worker, workers, barrier: Some(barrier) }
+        FusedCtx { worker, workers, barrier: Some(barrier), syncs: None }
+    }
+
+    /// Attaches the stage-sync counter (telemetry-only; one counter per
+    /// launch, written by worker 0 so every stage is counted exactly once).
+    pub(crate) fn with_sync_counter(mut self, counter: &'a AtomicU64) -> Self {
+        self.syncs = Some(counter);
+        self
     }
 
     /// This worker's id in `0..workers()`.
@@ -57,6 +69,11 @@ impl<'a> FusedCtx<'a> {
     /// arrived, establishing happens-before for all writes made in the
     /// previous stage. No-op on the inline path.
     pub fn sync(&self) {
+        if self.worker == 0 {
+            if let Some(counter) = self.syncs {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         if let Some(barrier) = self.barrier {
             barrier.wait();
         }
@@ -222,7 +239,7 @@ mod tests {
                 let barrier = Barrier::new(1);
                 let mut covered = vec![0u32; n];
                 for w in 0..workers {
-                    let ctx = FusedCtx { worker: w, workers, barrier: Some(&barrier) };
+                    let ctx = FusedCtx { worker: w, workers, barrier: Some(&barrier), syncs: None };
                     for i in ctx.chunk(n) {
                         covered[i] += 1;
                     }
@@ -236,7 +253,7 @@ mod tests {
     fn chunk_sizes_differ_by_at_most_one() {
         let barrier = Barrier::new(1);
         let sizes: Vec<usize> = (0..5)
-            .map(|w| FusedCtx { worker: w, workers: 5, barrier: Some(&barrier) }.chunk(13).len())
+            .map(|w| FusedCtx { worker: w, workers: 5, barrier: Some(&barrier), syncs: None }.chunk(13).len())
             .collect();
         assert_eq!(sizes.iter().sum::<usize>(), 13);
         assert!(sizes.iter().all(|&s| s == 2 || s == 3));
@@ -247,7 +264,7 @@ mod tests {
         let barrier = Barrier::new(1);
         let mut covered = vec![0u32; 23];
         for w in 0..4 {
-            let ctx = FusedCtx { worker: w, workers: 4, barrier: Some(&barrier) };
+            let ctx = FusedCtx { worker: w, workers: 4, barrier: Some(&barrier), syncs: None };
             for i in ctx.strided(23) {
                 covered[i] += 1;
             }

@@ -21,6 +21,12 @@
 //! * [`KernelProfiler`] — per-kernel cumulative wall time and launch counts,
 //!   standing in for `nvprof`, used by the Fig. 4 performance comparison.
 //!
+//! DESIGN.md §2 records why this CPU substitution preserves the paper's
+//! behaviour, §10 documents the soundness analysis of the concurrency
+//! primitives (loom models, sanitizer CI, the `snn-lint` rules), and §11
+//! defines the telemetry names the device emits (kernel spans, `device/*`
+//! counters and gauges).
+//!
 //! # Example
 //!
 //! ```

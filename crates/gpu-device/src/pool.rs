@@ -136,6 +136,15 @@ impl WorkerPool {
     where
         F: Fn(usize) + Sync,
     {
+        // A `pool`-category span nested inside the kernel span that
+        // `Device::timed` records: the gap between the two is the fixed
+        // dispatch cost the `min_parallel_items` threshold amortizes.
+        // Per-dispatch like kernel spans, so it rides behind
+        // `Detail::Steps`; at the default phase detail each dispatch pays
+        // two relaxed loads and nothing else.
+        let _dispatch_span = (snn_trace::enabled()
+            && snn_trace::detail() == snn_trace::Detail::Steps)
+            .then(|| snn_trace::span_cat("pool/run", "pool"));
         let latch = Arc::new(Latch::new(self.workers()));
         let f_ref: &(dyn Fn(usize) + Sync) = &f;
         // SAFETY: only the reference's lifetime is erased; the pointee type

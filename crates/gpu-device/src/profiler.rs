@@ -214,6 +214,25 @@ impl KernelProfiler {
     }
 
     /// Snapshot of all kernels, sorted by descending total time.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gpu_device::KernelProfiler;
+    /// use std::time::Duration;
+    ///
+    /// let profiler = KernelProfiler::new();
+    /// profiler.record("lif_step", 1000, 8000, true, Duration::from_micros(30));
+    /// profiler.record("lif_step", 1000, 8000, false, Duration::from_micros(10));
+    /// profiler.record("encode_inputs", 784, 0, false, Duration::from_micros(5));
+    ///
+    /// let report = profiler.report();
+    /// assert_eq!(report.kernels[0].0, "lif_step"); // most expensive first
+    /// let lif = report.get("lif_step").unwrap();
+    /// assert_eq!(lif.launches, 2);
+    /// assert_eq!(lif.pooled_launches, 1);
+    /// assert_eq!(lif.mean(), Duration::from_micros(20));
+    /// ```
     #[must_use]
     pub fn report(&self) -> ProfileReport {
         let mut kernels: Vec<(String, KernelStats)> = self
@@ -282,6 +301,32 @@ impl ProfileReport {
     #[must_use]
     pub fn gauge(&self, name: &str) -> Option<&GaugeStats> {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Publishes this report into a [`snn_trace::MetricsHub`] under the
+    /// DESIGN.md §11 names: kernels as `kernel/<name>/{launches,
+    /// pooled_launches, total_ns, threads, bytes}` counters, device
+    /// counters as `device/<name>` counters, device gauges as
+    /// `device/<name>` gauges. Re-exporting an updated report of the same
+    /// device overwrites kernel/counter values (they are cumulative
+    /// snapshots) and folds gauge populations.
+    pub fn export_metrics(&self, hub: &snn_trace::MetricsHub) {
+        for (name, k) in &self.kernels {
+            hub.record_kernel(
+                name,
+                k.launches,
+                k.pooled_launches,
+                k.total_ns,
+                k.threads,
+                k.bytes_touched,
+            );
+        }
+        for (name, value) in &self.counters {
+            hub.set_counter(&format!("device/{name}"), *value);
+        }
+        for (name, g) in &self.gauges {
+            hub.merge_gauge(&format!("device/{name}"), g.sum, g.samples, g.min, g.max);
+        }
     }
 
     /// Merges per-device snapshots (e.g. one per eval replica) into one
@@ -381,6 +426,37 @@ mod tests {
         assert_eq!(lif.bytes_touched, 16_000);
         assert_eq!(lif.total(), Duration::from_micros(40));
         assert_eq!(lif.mean(), Duration::from_micros(20));
+    }
+
+    #[test]
+    fn export_metrics_publishes_schema_names() {
+        let p = KernelProfiler::new();
+        p.record("lif_step", 1000, 8000, true, Duration::from_micros(10));
+        p.bump("skipped_synapses", 42);
+        p.gauge("active_fraction", 0.25);
+        p.gauge("active_fraction", 0.75);
+        let hub = snn_trace::MetricsHub::new();
+        p.report().export_metrics(&hub);
+        assert_eq!(
+            hub.get("kernel/lif_step/launches").unwrap().as_f64() as u64,
+            1
+        );
+        assert_eq!(
+            hub.get("kernel/lif_step/total_ns").unwrap().as_f64() as u64,
+            10_000
+        );
+        assert_eq!(
+            hub.get("device/skipped_synapses").unwrap().as_f64() as u64,
+            42
+        );
+        let snn_trace::MetricValue::Gauge { samples, min, max, .. } =
+            hub.get("device/active_fraction").unwrap()
+        else {
+            panic!("expected gauge")
+        };
+        assert_eq!(samples, 2);
+        assert_eq!(min, 0.25);
+        assert_eq!(max, 0.75);
     }
 
     #[test]

@@ -16,6 +16,10 @@
 //! uniform draw as an argument so that callers can use counter-based,
 //! reproducible random streams (see the `gpu-device` crate).
 //!
+//! DESIGN.md §1 locates low-precision learning in the paper's contribution
+//! list; §5 records the calibration decisions behind the format/rounding
+//! matrix the Table II experiments (`bench` binary `table2`) sweep.
+//!
 //! # Example
 //!
 //! ```

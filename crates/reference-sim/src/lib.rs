@@ -14,6 +14,9 @@
 //! * exponentially decaying synaptic current with time constant `τ_syn`;
 //! * spikes propagate with one-step delay along the synapse list.
 //!
+//! DESIGN.md §2 explains the CARLsim→reference-sim substitution; §4 maps
+//! the cross-validation to the `fig4` experiment binary.
+//!
 //! # Example
 //!
 //! ```

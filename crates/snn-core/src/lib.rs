@@ -23,6 +23,11 @@
 //! * [`config`] — every parameter of the paper, including the Table I
 //!   presets, encoded verbatim.
 //!
+//! DESIGN.md §1 summarizes what the paper builds, §5 records the
+//! interpretation/calibration decisions baked into the presets, §7
+//! specifies the lazy event-driven plasticity path, and §8 the sparse
+//! spike-driven current delivery the engine's step pipeline uses.
+//!
 //! # Quickstart
 //!
 //! ```

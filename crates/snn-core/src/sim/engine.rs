@@ -110,6 +110,29 @@ impl TransposedView {
 /// acceptance, stochastic rounding) is drawn from counter-based Philox
 /// streams keyed by `(entity id, step)`, so a run is bit-reproducible for a
 /// given seed at any worker count.
+///
+/// # Example
+///
+/// ```
+/// use gpu_device::{Device, DeviceConfig};
+/// use snn_core::config::{NetworkConfig, Preset, RuleKind};
+/// use snn_core::sim::WtaEngine;
+///
+/// let device = Device::new(DeviceConfig::default().with_workers(2));
+/// let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 4, 3)
+///     .with_rule(RuleKind::Stochastic);
+/// let mut engine = WtaEngine::new(cfg.clone(), &device, 7);
+///
+/// // Present one 4-input "image" at 60 Hz for 50 ms of simulated time,
+/// // with plasticity on; the result is one spike count per neuron.
+/// let spikes = engine.present(&[60.0; 4], 50.0, true);
+/// assert_eq!(spikes.len(), 3);
+///
+/// // The same seed replays bit-identically at any worker count.
+/// let solo = Device::new(DeviceConfig::default().with_workers(1));
+/// let mut replay = WtaEngine::new(cfg, &solo, 7);
+/// assert_eq!(replay.present(&[60.0; 4], 50.0, true), spikes);
+/// ```
 pub struct WtaEngine<'d> {
     cfg: NetworkConfig,
     device: &'d Device,
@@ -545,6 +568,7 @@ impl<'d> WtaEngine<'d> {
             !(plastic && self.is_frozen()),
             "frozen replica engines cannot learn (mounted from an EvalSnapshot)"
         );
+        let _span = snn_trace::span_cat("engine/present", "engine");
         let dt = self.cfg.dt_ms;
         // Per-step spike probability; a train faster than 1/dt saturates.
         let p_spike: Vec<f64> =
@@ -552,6 +576,7 @@ impl<'d> WtaEngine<'d> {
         let steps = (duration_ms / dt).round() as u64;
         let mut counts = vec![0u32; self.cfg.n_excitatory];
         for _ in 0..steps {
+            let _step = snn_trace::step_span("engine/step");
             self.step_once(&p_spike, plastic, &mut counts);
         }
         self.flush_plasticity();
@@ -588,6 +613,7 @@ impl<'d> WtaEngine<'d> {
             "train step width does not match the configured dt"
         );
         debug_assert!(self.ledger.is_idle(), "frozen presentation with unsettled plasticity");
+        let _span = snn_trace::span_cat("engine/present_frozen", "engine");
         self.reset_transients();
         // Local time zero: f64 arithmetic is not translation-invariant, so
         // identical outcomes require an identical clock, not just identical
@@ -617,9 +643,11 @@ impl<'d> WtaEngine<'d> {
         for s in 0..trains.steps() {
             let active = trains.active(s);
             if quiet_ok && self.time_ms < quiet_until {
+                let _step = snn_trace::step_span("engine/step_quiet");
                 self.step_quiet(active, &mut quiet_active, &mut quiet_until, &mut counts);
                 continue;
             }
+            let _step = snn_trace::step_span("engine/step");
             // Stage the precomputed list where the encode kernel would
             // have written it: retire the previous step's flags, copy
             // the new list, raise its flags.
@@ -800,6 +828,7 @@ impl<'d> WtaEngine<'d> {
         if self.ledger.is_idle() {
             return;
         }
+        let _span = snn_trace::span_cat("engine/settle", "engine");
         let outstanding = self.ledger.outstanding_updates();
         let sctx = self.synapses.get().settle_ctx(&*self.rule, self.philox);
         let n_pre = self.cfg.n_inputs;

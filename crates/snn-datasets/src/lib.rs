@@ -19,6 +19,9 @@
 //! found via the `MNIST_DIR` / `FASHION_MNIST_DIR` environment variables)
 //! and falls back to the synthetic generators otherwise, so the same
 //! harnesses run in both worlds.
+//!
+//! DESIGN.md §2 records the dataset substitution and what it preserves;
+//! §5 discusses how accuracy expectations shift on the synthetic tasks.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

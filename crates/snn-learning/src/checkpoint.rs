@@ -16,12 +16,14 @@ pub fn from_json(json: &str) -> serde_json::Result<TrainOutcome> {
 
 /// Writes a training outcome to `path` as JSON.
 pub fn save(outcome: &TrainOutcome, path: &Path) -> io::Result<()> {
+    let _span = snn_trace::span_cat("checkpoint/save", "checkpoint");
     let json = to_json(outcome).map_err(io::Error::other)?;
     std::fs::write(path, json)
 }
 
 /// Reads a training outcome back from `path`.
 pub fn load(path: &Path) -> io::Result<TrainOutcome> {
+    let _span = snn_trace::span_cat("checkpoint/load", "checkpoint");
     let json = std::fs::read_to_string(path)?;
     from_json(&json).map_err(io::Error::other)
 }

@@ -100,6 +100,7 @@ pub fn evaluate_snapshot(
     n_inference: usize,
     opts: &EvalOptions,
 ) -> EvalOutcome {
+    let _span = snn_trace::span_cat("eval/run", "eval");
     let replicas = opts.replicas.max(1);
     let (label_set, infer_set) = dataset.labeling_split(n_labeling);
     let infer_set = &infer_set[..n_inference.min(infer_set.len())];
@@ -170,6 +171,9 @@ pub fn evaluate_snapshot(
                             (slot, generator.generate(slot as u64, &rates, t_present_ms))
                         }
                     };
+                    // One span per presentation on the replica thread; the
+                    // per-thread ring flushes when the scoped thread exits.
+                    let _image_span = snn_trace::span_cat("eval/image", "eval");
                     let counts = engine.present_frozen(&trains);
                     results.lock().expect("results poisoned")[slot] = Some(counts);
                 }
@@ -204,5 +208,10 @@ pub fn evaluate_snapshot(
 
     let profiles = profiles.into_inner().expect("profiles poisoned");
     let profile = ProfileReport::merged(&profiles);
+    let hub = snn_trace::metrics();
+    hub.set_counter("eval/images", n_total as u64);
+    hub.set_counter("eval/replicas", replicas as u64);
+    hub.set_value("eval/accuracy", accuracy);
+    hub.set_value("eval/abstention_rate", abstention_rate);
     EvalOutcome { labels, confusion, accuracy, abstention_rate, profile }
 }

@@ -15,6 +15,11 @@
 //! backs the paper's learning curves (Fig. 8c); [`checkpoint`] serializes
 //! trained state; [`experiments`] wraps the whole pipeline into the
 //! one-call experiment runner the benches and figure harnesses use.
+//!
+//! DESIGN.md §4 indexes the experiments this pipeline backs, §9 specifies
+//! the parallel frozen-weight evaluation the labeling/inference phases fan
+//! out over, and §11 documents the `train/*` and `eval/*` telemetry the
+//! [`Trainer`] publishes.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

@@ -103,16 +103,68 @@ pub struct TrainOutcome {
 }
 
 /// Runs the paper's three-phase protocol over a dataset.
+///
+/// # Example
+///
+/// ```
+/// use gpu_device::{Device, DeviceConfig};
+/// use snn_core::config::{NetworkConfig, Preset, RuleKind};
+/// use snn_datasets::synthetic_mnist;
+/// use snn_learning::{Trainer, TrainerConfig};
+///
+/// let dataset = synthetic_mnist(4, 4, 7);
+/// let mut cfg = TrainerConfig::new(
+///     NetworkConfig::from_preset(Preset::FullPrecision, 784, 10)
+///         .with_rule(RuleKind::Stochastic),
+/// );
+/// cfg.t_learn_ms = 30.0;
+/// cfg.n_train_images = 4;
+/// cfg.n_labeling = 2;
+/// cfg.n_inference = 2;
+/// cfg.eval_parallelism = 1;
+///
+/// let device = Device::new(DeviceConfig::default().with_workers(2));
+/// let outcome = Trainer::new(cfg, &device).run(&dataset);
+/// assert_eq!(outcome.labels.len(), 10); // one class label per neuron
+/// assert!((0.0..=1.0).contains(&outcome.accuracy));
+/// ```
 pub struct Trainer<'d> {
     config: TrainerConfig,
     device: &'d Device,
+    /// Optional JSONL progress stream: one [`snn_trace::MetricsHub`]
+    /// snapshot line after every curve probe and at the end of the run.
+    progress: Option<std::cell::RefCell<snn_trace::JsonlSink<Box<dyn std::io::Write>>>>,
 }
 
 impl<'d> Trainer<'d> {
     /// Creates a trainer executing on `device`.
     #[must_use]
     pub fn new(config: TrainerConfig, device: &'d Device) -> Self {
-        Trainer { config, device }
+        Trainer { config, device, progress: None }
+    }
+
+    /// Streams training progress to `writer` as JSONL: after every curve
+    /// probe (and once at the end of the run) the process-wide
+    /// [`snn_trace::metrics`] hub is snapshotted into one
+    /// `{"t_ms": …, "metrics": {…}}` line (schema: DESIGN.md §11).
+    #[must_use]
+    pub fn with_progress_jsonl(mut self, writer: Box<dyn std::io::Write>) -> Self {
+        self.progress = Some(std::cell::RefCell::new(snn_trace::JsonlSink::new(writer)));
+        self
+    }
+
+    /// Publishes the run's current state into the unified metrics hub and,
+    /// if a progress stream is attached, appends one snapshot line.
+    fn publish_progress(&self, images_seen: usize, accuracy: f64, started: std::time::Instant) {
+        let hub = snn_trace::metrics();
+        hub.set_counter("train/images", images_seen as u64);
+        hub.set_value("train/accuracy", accuracy);
+        hub.set_value("train/simulated_ms", images_seen as f64 * self.config.t_learn_ms);
+        let wall_s = started.elapsed().as_secs_f64();
+        hub.set_value("train/wall_s", wall_s);
+        if let Some(sink) = &self.progress {
+            let _ = sink.borrow_mut().snapshot(wall_s * 1e3, hub);
+        }
     }
 
     /// The configuration.
@@ -145,6 +197,7 @@ impl<'d> Trainer<'d> {
         // Phase 1: training.
         let started = std::time::Instant::now();
         for k in 0..self.config.n_train_images {
+            let _image_span = snn_trace::span_cat("train/image", "train");
             let sample = &dataset.train[k % dataset.train.len()];
             let rates = encoder.rates(sample.image.pixels());
             engine.reset_transients();
@@ -152,9 +205,11 @@ impl<'d> Trainer<'d> {
             if let Some(target) = self.config.network.weight_norm_target {
                 engine.normalize_receptive_fields(target);
             }
+            drop(_image_span);
 
             if let Some(every) = self.config.eval_every {
                 if (k + 1) % every == 0 {
+                    let _probe_span = snn_trace::span_cat("train/probe", "train");
                     let (probe_label, probe_infer) = self.config.eval_probe;
                     let (acc, _, _) =
                         self.evaluate(&engine, dataset, probe_label, probe_infer);
@@ -163,6 +218,7 @@ impl<'d> Trainer<'d> {
                         simulated_ms: (k + 1) as f64 * self.config.t_learn_ms,
                         accuracy: acc,
                     });
+                    self.publish_progress(k + 1, acc, started);
                 }
             }
         }
@@ -172,6 +228,10 @@ impl<'d> Trainer<'d> {
         // Phases 2 + 3: labeling and inference.
         let (accuracy, confusion, details) =
             self.evaluate(&engine, dataset, self.config.n_labeling, self.config.n_inference);
+
+        let hub = snn_trace::metrics();
+        hub.set_value("train/abstention_rate", details.1);
+        self.publish_progress(self.config.n_train_images, accuracy, started);
 
         TrainOutcome {
             synapses: engine.synapses().clone(),

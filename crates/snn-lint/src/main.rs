@@ -17,6 +17,7 @@
 //! | `transposed-coherence` | every function that mutates row-major conductances also refreshes (or rebuilds) the transposed mirror |
 //! | `hash-iteration` | hot-path modules never *iterate* a `HashMap`/`HashSet` (iteration order is unordered ⇒ nondeterministic); keyed lookups are fine |
 //! | `sync-shim` | gpu-device uses sync primitives only through `src/sync.rs`, so `--cfg loom` swaps every primitive at once |
+//! | `trace-schema` | every span/kernel/metric name passed as a literal to the telemetry APIs appears in the DESIGN.md §11 schema tables (unlike other rules, string literals are *kept* for this scan) |
 //!
 //! A violation can be waived in place with a trailing or preceding comment
 //! `lint-allow: <rule-name> — <reason>`; waivers are surfaced in `--report`.
@@ -60,6 +61,7 @@ const FORBID_UNSAFE_ROOTS: &[&str] = &[
     "crates/reference-sim/src/lib.rs",
     "crates/bench/src/lib.rs",
     "crates/snn-lint/src/main.rs",
+    "crates/snn-trace/src/lib.rs",
     "src/lib.rs",
 ];
 
@@ -121,6 +123,50 @@ const SYNC_FORBIDDEN: &[&str] = &[
     "std::thread::Builder",
 ];
 
+/// Telemetry call tokens whose literal first string argument is a span,
+/// kernel or metric name. Every such name must appear backticked in the
+/// DESIGN.md §11 schema tables, so the documented schema can never drift
+/// from what the code emits. Matching requires the token to start an
+/// identifier boundary, so `record_gauge(` never double-counts as `gauge(`.
+const TRACE_NAME_CALLS: &[&str] = &[
+    // span recording (snn-trace)
+    "span(",
+    "span_cat(",
+    "step_span(",
+    "time_ms(",
+    "record_span_at(",
+    // kernel launches (gpu-device) — the name becomes a `kernel/<k>/*`
+    // metric family and a span at Detail::Steps
+    "launch(",
+    "launch_mut(",
+    "launch_slice_mut(",
+    "launch_slice_mut_weighted(",
+    "launch_rows_mut(",
+    "launch_fused(",
+    "reduce(",
+    // device-level counters/gauges → `device/<name>` metrics
+    "bump_counter(",
+    "record_gauge(",
+    "record_gauge_stats(",
+    "gauge(",
+    "gauge_stats(",
+    // MetricsHub publication
+    "add_counter(",
+    "set_counter(",
+    "set_value(",
+    "observe(",
+    "merge_gauge(",
+];
+
+/// Files exempt from `trace-schema`: the recorder/hub implementation and
+/// its fixtures, this lint's own fixtures, and the loom scenario file
+/// (whose kernels exist only under `--cfg loom`).
+const TRACE_SCHEMA_EXEMPT: &[&str] = &[
+    "crates/snn-trace/",
+    "crates/snn-lint/",
+    "crates/gpu-device/src/loom_tests.rs",
+];
+
 /// How many non-unsafe lines may separate two unsafe statements that share
 /// one `// SAFETY:` comment (a "cluster"), and how far above the cluster
 /// head the comment may sit.
@@ -134,6 +180,9 @@ const SAFETY_LOOKBACK: usize = 4;
 struct Line {
     /// Source text with comments and string/char-literal *contents* blanked.
     code: String,
+    /// Source text with comments blanked but string contents *kept* — the
+    /// view the `trace-schema` rule scans for telemetry name literals.
+    full: String,
     /// Concatenated comment text of this line.
     comment: String,
     /// Inside an item gated on `#[cfg(test)]` / `#[cfg(all(test, ...))]`.
@@ -149,6 +198,7 @@ impl SourceFile {
     fn parse(rel: &str, text: &str) -> SourceFile {
         let mut lines: Vec<Line> = Vec::new();
         let mut code = String::new();
+        let mut full = String::new();
         let mut comment = String::new();
 
         #[derive(PartialEq)]
@@ -171,6 +221,7 @@ impl SourceFile {
                 }
                 lines.push(Line {
                     code: std::mem::take(&mut code),
+                    full: std::mem::take(&mut full),
                     comment: std::mem::take(&mut comment),
                     in_test: false,
                 });
@@ -203,6 +254,7 @@ impl SourceFile {
                         if chars.get(j) == Some(&'"') {
                             st = St::RawStr(hashes);
                             code.push('"');
+                            full.push('"');
                             i = j + 1;
                             continue;
                         }
@@ -210,16 +262,19 @@ impl SourceFile {
                     if c == '"' {
                         st = St::Str;
                         code.push('"');
+                        full.push('"');
                         i += 1;
                         continue;
                     }
                     if c == '\'' && is_char_literal(&chars, i) {
                         st = St::Char;
                         code.push('\'');
+                        full.push('\'');
                         i += 1;
                         continue;
                     }
                     code.push(c);
+                    full.push(c);
                     i += 1;
                 }
                 St::Line => {
@@ -240,12 +295,18 @@ impl SourceFile {
                 }
                 St::Str => {
                     if c == '\\' {
+                        full.push('\\');
+                        if let Some(&e) = chars.get(i + 1) {
+                            full.push(e);
+                        }
                         i += 2;
                     } else if c == '"' {
                         st = St::Code;
                         code.push('"');
+                        full.push('"');
                         i += 1;
                     } else {
+                        full.push(c);
                         i += 1;
                     }
                 }
@@ -253,26 +314,34 @@ impl SourceFile {
                     if c == '"' && (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
                         st = St::Code;
                         code.push('"');
+                        full.push('"');
                         i += hashes + 1;
                     } else {
+                        full.push(c);
                         i += 1;
                     }
                 }
                 St::Char => {
                     if c == '\\' {
+                        full.push('\\');
+                        if let Some(&e) = chars.get(i + 1) {
+                            full.push(e);
+                        }
                         i += 2;
                     } else if c == '\'' {
                         st = St::Code;
                         code.push('\'');
+                        full.push('\'');
                         i += 1;
                     } else {
+                        full.push(c);
                         i += 1;
                     }
                 }
             }
         }
         if !code.is_empty() || !comment.is_empty() {
-            lines.push(Line { code, comment, in_test: false });
+            lines.push(Line { code, full, comment, in_test: false });
         }
 
         mark_test_regions(&mut lines);
@@ -367,6 +436,7 @@ const RULE_NAMES: &[&str] = &[
     "transposed-coherence",
     "hash-iteration",
     "sync-shim",
+    "trace-schema",
 ];
 
 fn collect_waivers(files: &[SourceFile]) -> Vec<(String, usize, String)> {
@@ -751,6 +821,104 @@ fn rule_sync_shim(file: &SourceFile, out: &mut Vec<Violation>) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: trace-schema
+// ---------------------------------------------------------------------------
+
+/// Extracts the set of backticked names from the `## 11` telemetry section
+/// of DESIGN.md. Returns `None` when the section is missing entirely (a
+/// violation in itself — the schema reference is load-bearing).
+fn design_schema_names(design: &str) -> Option<Vec<String>> {
+    let mut in_section = false;
+    let mut found = false;
+    let mut names = Vec::new();
+    for line in design.lines() {
+        if line.starts_with("## ") {
+            in_section = line.starts_with("## 11");
+            found |= in_section;
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            let tail = &rest[open + 1..];
+            let Some(close) = tail.find('`') else { break };
+            let name = &tail[..close];
+            if !name.is_empty() {
+                names.push(name.to_string());
+            }
+            rest = &tail[close + 1..];
+        }
+    }
+    found.then_some(names)
+}
+
+/// Scans a file's comment-masked (strings kept) text for telemetry calls
+/// whose first argument is a string literal; yields `(line_idx, name)`.
+/// Calls that pass a variable or `format!` as the name are skipped — only
+/// literals can be checked against the schema statically.
+fn trace_names(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut text = String::new();
+    let mut starts = Vec::with_capacity(file.lines.len());
+    for l in &file.lines {
+        starts.push(text.len());
+        text.push_str(&l.full);
+        text.push('\n');
+    }
+    let line_of = |off: usize| match starts.binary_search(&off) {
+        Ok(i) => i,
+        Err(i) => i.saturating_sub(1),
+    };
+    let mut out = Vec::new();
+    for tok in TRACE_NAME_CALLS {
+        let mut search = 0;
+        while let Some(pos) = text[search..].find(tok) {
+            let at = search + pos;
+            search = at + tok.len();
+            if at > 0 && is_ident_char(text.as_bytes()[at - 1] as char) {
+                continue; // suffix of a longer identifier (e.g. `step_span(`)
+            }
+            let rest = text[at + tok.len()..].trim_start();
+            let rest = rest.strip_prefix('&').unwrap_or(rest);
+            let Some(lit) = rest.strip_prefix('"') else { continue };
+            let Some(end) = lit.find('"') else { continue };
+            if end > 0 {
+                out.push((line_of(at), lit[..end].to_string()));
+            }
+        }
+    }
+    out
+}
+
+fn rule_trace_schema(file: &SourceFile, schema: &[String], out: &mut Vec<Violation>) {
+    let in_src = file.rel.starts_with("src/") || file.rel.contains("/src/");
+    if !in_src || TRACE_SCHEMA_EXEMPT.iter().any(|p| file.rel.starts_with(p)) {
+        return;
+    }
+    for (idx, name) in trace_names(file) {
+        if file.lines[idx].in_test || waived(file, idx, "trace-schema") {
+            continue;
+        }
+        // Device counters/gauges are published under `device/<name>`;
+        // kernel and span names are documented verbatim.
+        let device_form = format!("device/{name}");
+        if schema.iter().any(|s| *s == name || *s == device_form) {
+            continue;
+        }
+        out.push(Violation {
+            file: file.rel.clone(),
+            line: idx + 1,
+            rule: "trace-schema",
+            msg: format!(
+                "telemetry name `{name}` is not documented in the DESIGN.md §11 \
+                 schema tables (add a row there, or waive with lint-allow)"
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Report mode: unsafe-surface inventory as JSON
 // ---------------------------------------------------------------------------
 
@@ -848,15 +1016,28 @@ fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
     out
 }
 
-fn run_rules(files: &[SourceFile]) -> Vec<Violation> {
+fn run_rules(files: &[SourceFile], schema: Option<&[String]>) -> Vec<Violation> {
     let mut out = Vec::new();
     rule_unsafe_surface(files, &mut out);
+    if schema.is_none() {
+        out.push(Violation {
+            file: "DESIGN.md".into(),
+            line: 1,
+            rule: "trace-schema",
+            msg: "missing the `## 11` telemetry schema section that documents \
+                  every span and metric name"
+                .into(),
+        });
+    }
     for f in files {
         rule_safety_comment(f, &mut out);
         rule_philox_only(f, &mut out);
         rule_transposed_coherence(f, &mut out);
         rule_hash_iteration(f, &mut out);
         rule_sync_shim(f, &mut out);
+        if let Some(schema) = schema {
+            rule_trace_schema(f, schema, &mut out);
+        }
     }
     out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     out
@@ -925,7 +1106,9 @@ fn main() -> ExitCode {
         print!("{}", report(&files));
         return ExitCode::SUCCESS;
     }
-    let violations = run_rules(&files);
+    let design = fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+    let schema = design_schema_names(&design);
+    let violations = run_rules(&files, schema.as_deref());
     if violations.is_empty() {
         eprintln!("snn-lint: {} files clean", files.len());
         ExitCode::SUCCESS
@@ -1134,6 +1317,97 @@ mod tests {
         assert!(v.iter().all(|v| v.rule != "sync-shim"), "{v:?}");
         let v = rules_on("crates/snn-core/src/lib.rs", "use parking_lot::Mutex;\n");
         assert!(v.iter().all(|v| v.rule != "sync-shim"), "{v:?}");
+    }
+
+    // -- trace-schema -----------------------------------------------------
+
+    fn schema(names: &[&str]) -> Vec<String> {
+        names.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    fn trace_rule_on(rel: &str, text: &str, names: &[&str]) -> Vec<Violation> {
+        let files = single(rel, text);
+        let mut out = Vec::new();
+        rule_trace_schema(&files[0], &schema(names), &mut out);
+        out
+    }
+
+    #[test]
+    fn design_schema_extracts_backticked_names_from_section_11() {
+        let md = "## 10. Other\n`not/this`\n## 11. Telemetry\nSpans: `engine/step` \
+                  and `device/active_fraction` (gauge).\n### 11.2 More\n| `train/images` | count |\n";
+        let names = design_schema_names(md).expect("section present");
+        assert!(names.contains(&"engine/step".to_string()));
+        assert!(names.contains(&"device/active_fraction".to_string()));
+        assert!(names.contains(&"train/images".to_string()));
+        assert!(!names.contains(&"not/this".to_string()));
+        assert!(design_schema_names("## 10. Other\nno telemetry section\n").is_none());
+    }
+
+    #[test]
+    fn trace_schema_flags_undocumented_names() {
+        let v = trace_rule_on(
+            "crates/snn-core/src/sim/engine.rs",
+            "fn f() { let _s = snn_trace::span_cat(\"engine/mystery\", \"engine\"); }\n",
+            &["engine/step"],
+        );
+        assert!(v.iter().any(|v| v.rule == "trace-schema" && v.msg.contains("engine/mystery")));
+    }
+
+    #[test]
+    fn trace_schema_accepts_documented_and_device_prefixed_names() {
+        // Spans match verbatim; device counters/gauges match under the
+        // `device/<name>` form they are published as; multi-line launch
+        // calls put the literal on the line after the token.
+        let src = "fn f(d: &D) {\n    let _s = snn_trace::span_cat(\"engine/step\", \"engine\");\n    \
+                   d.bump_counter(\"delivery_blocks\", 1);\n    d.launch_rows_mut(\n        \
+                   \"normalize_weights\",\n        buf,\n    );\n}\n";
+        let v = trace_rule_on(
+            "crates/snn-core/src/sim/engine.rs",
+            src,
+            &["engine/step", "device/delivery_blocks", "normalize_weights"],
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn trace_schema_skips_tests_waivers_exempt_files_and_non_literals() {
+        let v = trace_rule_on(
+            "crates/snn-core/src/sim/engine.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(d: &D) { d.launch(\"k1\", 1, |_| {}); }\n}\n",
+            &[],
+        );
+        assert!(v.is_empty(), "{v:?}");
+        let v = trace_rule_on(
+            "crates/snn-core/src/sim/engine.rs",
+            "// lint-allow: trace-schema — experimental probe, not part of the schema\n\
+             fn f() { let _s = snn_trace::span_cat(\"scratch/span\", \"x\"); }\n",
+            &[],
+        );
+        assert!(v.is_empty(), "{v:?}");
+        let v = trace_rule_on(
+            "crates/snn-trace/src/recorder.rs",
+            "fn f() { let _s = span_cat(\"internal/fixture\", \"x\"); }\n",
+            &[],
+        );
+        assert!(v.is_empty(), "{v:?}");
+        // A variable or format! name cannot be checked statically: skipped.
+        let v = trace_rule_on(
+            "crates/gpu-device/src/device.rs",
+            "fn f(name: &str) { record_span_at(name, \"kernel\", s, e); }\n",
+            &[],
+        );
+        assert!(v.iter().all(|v| !v.msg.contains("kernel")), "{v:?}");
+    }
+
+    #[test]
+    fn trace_schema_comments_do_not_count_as_uses() {
+        let v = trace_rule_on(
+            "crates/snn-core/src/sim/engine.rs",
+            "/// Example: `span_cat(\"doc/only\", \"x\")` in prose.\nfn f() {}\n",
+            &[],
+        );
+        assert!(v.is_empty(), "{v:?}");
     }
 
     // -- report -----------------------------------------------------------

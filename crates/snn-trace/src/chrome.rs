@@ -1,0 +1,121 @@
+//! Chrome-trace (Trace Event Format) export.
+//!
+//! The emitted JSON object loads directly in `about://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): spans become complete (`"ph": "X"`)
+//! events with microsecond timestamps, and every recording thread gets a
+//! `thread_name` metadata row so replica threads are distinguishable.
+
+use crate::json::push_str_literal;
+use crate::recorder::{thread_names, Trace};
+use std::io;
+use std::path::Path;
+
+/// Converts a drained [`Trace`] into a chrome-trace JSON document (one
+/// event per line, so artifacts diff cleanly under version control).
+///
+/// Schema (validated by the tier-1 telemetry test against DESIGN.md §11):
+/// a top-level object with a `traceEvents` array, `displayTimeUnit: "ms"`,
+/// and `otherData.droppedEvents` carrying the ring-overflow count. Each
+/// span event has `name`, `cat`, `ph: "X"`, `ts`/`dur` in microseconds,
+/// `pid: 1` and the recording thread's `tid`; metadata rows (`ph: "M"`)
+/// name the process and each recording thread.
+#[must_use]
+pub fn chrome_trace(trace: &Trace) -> String {
+    let mut out = String::with_capacity(128 * (trace.events.len() + 4));
+    out.push_str("{\n\"displayTimeUnit\": \"ms\",\n");
+    out.push_str(&format!(
+        "\"otherData\": {{\"droppedEvents\": {}}},\n",
+        trace.dropped
+    ));
+    out.push_str("\"traceEvents\": [\n");
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"parallel-spike-sim\"}}",
+    );
+    let recorded: std::collections::BTreeSet<u64> = trace.events.iter().map(|e| e.tid).collect();
+    for (tid, name) in thread_names() {
+        if recorded.contains(&tid) {
+            out.push_str(",\n");
+            out.push_str(&format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":"
+            ));
+            push_str_literal(&mut out, &name);
+            out.push_str("}}");
+        }
+    }
+    for ev in &trace.events {
+        out.push_str(",\n{\"name\":");
+        push_str_literal(&mut out, ev.name);
+        out.push_str(",\"cat\":");
+        push_str_literal(&mut out, ev.cat);
+        out.push_str(&format!(
+            ",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{}}}",
+            ev.start_ns as f64 / 1000.0,
+            ev.dur_ns as f64 / 1000.0,
+            ev.tid
+        ));
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+/// Writes [`chrome_trace`] output to `path`.
+pub fn write_chrome_trace(path: &Path, trace: &Trace) -> io::Result<()> {
+    std::fs::write(path, chrome_trace(trace))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{drain, set_enabled, span_cat};
+
+    #[test]
+    fn chrome_trace_has_loadable_shape() {
+        let _g = crate::testutil::lock_recorder();
+        let _ = drain();
+        set_enabled(true);
+        {
+            let _a = span_cat("deliver_integrate_sparse", "kernel");
+            let _b = span_cat("engine/present", "engine");
+        }
+        set_enabled(false);
+        let doc = chrome_trace(&drain());
+
+        assert!(doc.contains("\"traceEvents\": ["));
+        assert!(doc.contains("\"displayTimeUnit\": \"ms\""));
+        assert!(doc.contains("\"otherData\": {\"droppedEvents\": 0}"));
+        assert!(doc.contains("\"name\":\"process_name\",\"ph\":\"M\""));
+        assert!(doc.contains("\"name\":\"deliver_integrate_sparse\",\"cat\":\"kernel\",\"ph\":\"X\""));
+        assert!(doc.contains("\"name\":\"engine/present\",\"cat\":\"engine\",\"ph\":\"X\""));
+        // Structural sanity without a JSON parser (the tier-1 telemetry
+        // test does full serde_json validation): balanced braces/brackets
+        // and one complete event object per line.
+        let opens = doc.matches('{').count();
+        let closes = doc.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(doc.matches("\"ph\":\"X\"").count(), 2);
+        for line in doc.lines().filter(|l| l.contains("\"ph\":\"X\"")) {
+            assert!(line.contains("\"ts\":") && line.contains("\"dur\":"));
+            assert!(line.contains("\"pid\":1"));
+        }
+    }
+
+    #[test]
+    fn thread_metadata_covers_recording_threads_only() {
+        let _g = crate::testutil::lock_recorder();
+        let _ = drain();
+        set_enabled(true);
+        std::thread::Builder::new()
+            .name("replica-7".into())
+            .spawn(|| {
+                let _s = span_cat("eval/image", "eval");
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        set_enabled(false);
+        let trace = drain();
+        let doc = chrome_trace(&trace);
+        assert!(doc.contains("\"args\":{\"name\":\"replica-7\"}"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Minimal JSON emission helpers.
+//!
+//! `snn-trace` deliberately has **no external dependencies** — it is linked
+//! into every crate of the workspace, including the device layer, and must
+//! stay buildable with a bare toolchain. The JSON it emits is tiny and
+//! fully under our control (object keys are schema names, values are
+//! numbers and short strings), so hand-rolled emission is both sufficient
+//! and exact. The tier-1 telemetry test parses the output with `serde_json`
+//! to prove it is well-formed.
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub(crate) fn push_str_literal(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number (`null` for non-finite values, which JSON
+/// cannot represent).
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // Rust's `Display` for finite f64 is always a valid JSON number
+        // (plain decimal notation, round-trippable digits).
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(s: &str) -> String {
+        let mut out = String::new();
+        push_str_literal(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(lit("plain"), "\"plain\"");
+        assert_eq!(lit("a\"b"), "\"a\\\"b\"");
+        assert_eq!(lit("a\\b"), "\"a\\\\b\"");
+        assert_eq!(lit("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(lit("\u{1}"), "\"\\u0001\"");
+        assert_eq!(lit("unicode ≥ fine"), "\"unicode ≥ fine\"");
+    }
+
+    #[test]
+    fn numbers_are_json_safe() {
+        let mut out = String::new();
+        push_f64(&mut out, 1.5);
+        out.push(',');
+        push_f64(&mut out, -0.25);
+        out.push(',');
+        push_f64(&mut out, 3.0);
+        out.push(',');
+        push_f64(&mut out, f64::NAN);
+        out.push(',');
+        push_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "1.5,-0.25,3,null,null");
+    }
+}

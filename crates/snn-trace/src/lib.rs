@@ -1,0 +1,76 @@
+//! Structured tracing and unified metrics for the ParallelSpikeSim stack
+//! (DESIGN.md §11 documents the full span/metric schema and measured
+//! overhead).
+//!
+//! The paper's claims are measurements — learning wall time vs. input
+//! frequency, per-phase kernel cost, speedup from low-precision updates —
+//! so the reproduction carries one observability layer that every crate
+//! reports through:
+//!
+//! * **Spans** ([`span`], [`span_cat`], [`step_span`], [`record_span_at`])
+//!   record named intervals into a per-thread ring buffer. Recording is
+//!   enabled at runtime with [`set_enabled`]; while disabled every entry
+//!   point is one relaxed atomic load, and building without the `capture`
+//!   feature compiles recording out entirely.
+//! * **Exporters**: [`chrome_trace`]/[`write_chrome_trace`] produce a
+//!   Trace Event Format JSON loadable in `about://tracing` or Perfetto;
+//!   [`JsonlSink`] streams periodic [`MetricsHub`] snapshots as JSONL for
+//!   training progress.
+//! * **[`MetricsHub`]** unifies the device profiler's kernel reports,
+//!   counters and gauges with the learning pipeline's accuracy and
+//!   convergence metrics behind one registry ([`metrics`] is the
+//!   process-wide instance).
+//!
+//! # Example
+//!
+//! Capture a trace, then export it:
+//!
+//! ```
+//! use snn_trace as trace;
+//!
+//! trace::set_enabled(true);
+//! {
+//!     let _present = trace::span_cat("engine/present", "engine");
+//!     // ... run one presentation ...
+//! }
+//! trace::set_enabled(false);
+//!
+//! let captured = trace::drain();
+//! assert_eq!(captured.events[0].name, "engine/present");
+//!
+//! let doc = trace::chrome_trace(&captured);          // open in Perfetto
+//! assert!(doc.contains("\"traceEvents\""));
+//! assert!(doc.contains("\"name\":\"engine/present\""));
+//!
+//! trace::metrics().set_value("train/accuracy", 0.91); // unified registry
+//! let line = trace::metrics().snapshot().jsonl_line(1500.0);
+//! assert!(line.contains("train/accuracy"));
+//! # trace::metrics().clear();
+//! ```
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod chrome;
+mod json;
+mod metrics;
+mod recorder;
+
+pub use chrome::{chrome_trace, write_chrome_trace};
+pub use metrics::{metrics, JsonlSink, MetricValue, MetricsHub, MetricsSnapshot};
+pub use recorder::{
+    detail, drain, enabled, flush_thread, record_span_at, set_detail, set_enabled, span,
+    span_cat, step_span, thread_names, time_ms, Detail, SpanEvent, SpanGuard, Trace,
+    RING_CAPACITY,
+};
+
+/// Serializes tests that toggle the process-global recorder state.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use std::sync::{Mutex, MutexGuard};
+
+    static TEST_GUARD: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn lock_recorder() -> MutexGuard<'static, ()> {
+        TEST_GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}

@@ -1,0 +1,364 @@
+//! `MetricsHub`: the unified metrics registry.
+//!
+//! Every layer of the stack reports into one namespace with a stable,
+//! documented schema (DESIGN.md §11): the device profiler exports per-kernel
+//! timing under `kernel/<name>/…` and its counters/gauges under
+//! `device/<name>`, the trainer and evaluator report accuracy and
+//! convergence under `train/…` and `eval/…`, and checkpoint I/O under
+//! `checkpoint/…`. Snapshots serialize to JSON, and [`JsonlSink`] appends
+//! one snapshot per line for streaming training progress.
+
+use crate::json::{push_f64, push_str_literal};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::Mutex;
+
+/// One registered metric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic event count.
+    Counter {
+        /// Accumulated count.
+        value: u64,
+    },
+    /// A last-write-wins scalar (e.g. final accuracy).
+    Value {
+        /// Most recently written value.
+        value: f64,
+    },
+    /// A sampled distribution summary, mergeable across replicas.
+    Gauge {
+        /// Sum of all samples (mean = `sum / samples`).
+        sum: f64,
+        /// Number of samples.
+        samples: u64,
+        /// Smallest sample.
+        min: f64,
+        /// Largest sample.
+        max: f64,
+    },
+}
+
+impl MetricValue {
+    /// A scalar view: counter value, scalar value, or gauge mean.
+    #[must_use]
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            MetricValue::Counter { value } => value as f64,
+            MetricValue::Value { value } => value,
+            MetricValue::Gauge { sum, samples, .. } => {
+                if samples == 0 {
+                    0.0
+                } else {
+                    sum / samples as f64
+                }
+            }
+        }
+    }
+
+    fn push_json(&self, out: &mut String) {
+        match *self {
+            MetricValue::Counter { value } => {
+                out.push_str(&format!("{{\"kind\":\"counter\",\"value\":{value}}}"));
+            }
+            MetricValue::Value { value } => {
+                out.push_str("{\"kind\":\"value\",\"value\":");
+                push_f64(out, value);
+                out.push('}');
+            }
+            MetricValue::Gauge { sum, samples, min, max } => {
+                out.push_str("{\"kind\":\"gauge\",\"sum\":");
+                push_f64(out, sum);
+                out.push_str(&format!(",\"samples\":{samples},\"min\":"));
+                push_f64(out, min);
+                out.push_str(",\"max\":");
+                push_f64(out, max);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// A point-in-time copy of the registry, ready to serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Metric name → value, in sorted (deterministic) order.
+    pub metrics: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up one metric by its schema name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.get(name)
+    }
+
+    fn push_metrics_object(&self, out: &mut String) {
+        out.push('{');
+        for (i, (name, value)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str_literal(out, name);
+            out.push(':');
+            value.push_json(out);
+        }
+        out.push('}');
+    }
+
+    /// Serializes the snapshot as one compact JSON object:
+    /// `{"metrics": {"<name>": {"kind": …, …}, …}}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 * (self.metrics.len() + 1));
+        out.push_str("{\"metrics\":");
+        self.push_metrics_object(&mut out);
+        out.push('}');
+        out
+    }
+
+    /// One JSONL progress line: `{"t_ms": …, "metrics": {…}}`.
+    #[must_use]
+    pub fn jsonl_line(&self, t_ms: f64) -> String {
+        let mut out = String::with_capacity(64 * (self.metrics.len() + 1));
+        out.push_str("{\"t_ms\":");
+        push_f64(&mut out, t_ms);
+        out.push_str(",\"metrics\":");
+        self.push_metrics_object(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// A thread-safe registry unifying counters, scalars and gauges from every
+/// layer behind the schema documented in DESIGN.md §11.
+///
+/// Metric writes are coarse-grained by design — once per presentation,
+/// probe or run, never per simulation step — so a single mutex-guarded map
+/// is plenty; the per-step hot path goes through the span recorder instead.
+#[derive(Debug)]
+pub struct MetricsHub {
+    inner: Mutex<BTreeMap<String, MetricValue>>,
+}
+
+impl Default for MetricsHub {
+    fn default() -> Self {
+        MetricsHub::new()
+    }
+}
+
+impl MetricsHub {
+    /// An empty registry. `const`, so hubs can live in statics.
+    #[must_use]
+    pub const fn new() -> Self {
+        MetricsHub { inner: Mutex::new(BTreeMap::new()) }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut BTreeMap<String, MetricValue>) -> R) -> R {
+        f(&mut self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at zero.
+    pub fn add_counter(&self, name: &str, delta: u64) {
+        self.with(|m| {
+            match m.get_mut(name) {
+                Some(MetricValue::Counter { value }) => *value += delta,
+                _ => {
+                    m.insert(name.to_owned(), MetricValue::Counter { value: delta });
+                }
+            };
+        });
+    }
+
+    /// Sets the counter `name` to an absolute count.
+    pub fn set_counter(&self, name: &str, value: u64) {
+        self.with(|m| m.insert(name.to_owned(), MetricValue::Counter { value }));
+    }
+
+    /// Sets the scalar `name` (last write wins).
+    pub fn set_value(&self, name: &str, value: f64) {
+        self.with(|m| m.insert(name.to_owned(), MetricValue::Value { value }));
+    }
+
+    /// Adds one sample to the gauge `name`, creating it if absent.
+    pub fn observe(&self, name: &str, sample: f64) {
+        self.merge_gauge(name, sample, 1, sample, sample);
+    }
+
+    /// Merges a pre-aggregated gauge summary (e.g. one replica's samples)
+    /// into the gauge `name`.
+    pub fn merge_gauge(&self, name: &str, sum: f64, samples: u64, min: f64, max: f64) {
+        if samples == 0 {
+            return;
+        }
+        self.with(|m| {
+            match m.get_mut(name) {
+                Some(MetricValue::Gauge { sum: s, samples: n, min: lo, max: hi }) => {
+                    *s += sum;
+                    *n += samples;
+                    *lo = lo.min(min);
+                    *hi = hi.max(max);
+                }
+                _ => {
+                    m.insert(name.to_owned(), MetricValue::Gauge { sum, samples, min, max });
+                }
+            };
+        });
+    }
+
+    /// Records one kernel's profile under `kernel/<kernel>/…` (see
+    /// DESIGN.md §11 for the per-field meaning and units).
+    pub fn record_kernel(
+        &self,
+        kernel: &str,
+        launches: u64,
+        pooled_launches: u64,
+        total_ns: u64,
+        threads: u64,
+        bytes: u64,
+    ) {
+        self.set_counter(&format!("kernel/{kernel}/launches"), launches);
+        self.set_counter(&format!("kernel/{kernel}/pooled_launches"), pooled_launches);
+        self.set_counter(&format!("kernel/{kernel}/total_ns"), total_ns);
+        self.set_counter(&format!("kernel/{kernel}/threads"), threads);
+        self.set_counter(&format!("kernel/{kernel}/bytes"), bytes);
+    }
+
+    /// Looks up one metric by name.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        self.with(|m| m.get(name).copied())
+    }
+
+    /// Copies the registry into a serializable snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot { metrics: self.with(|m| m.clone()) }
+    }
+
+    /// Removes every metric (used between runs and tests).
+    pub fn clear(&self) {
+        self.with(std::collections::BTreeMap::clear);
+    }
+}
+
+/// The process-wide hub that the engine, trainer, evaluator and benches
+/// report into by default.
+#[must_use]
+pub fn metrics() -> &'static MetricsHub {
+    static HUB: MetricsHub = MetricsHub::new();
+    &HUB
+}
+
+/// Appends [`MetricsSnapshot`] lines to a writer: the JSONL
+/// periodic-snapshot stream for training progress.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    writer: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps `writer`; each [`snapshot`](Self::snapshot) call appends one line.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer }
+    }
+
+    /// Writes the hub's current state as one progress line stamped `t_ms`
+    /// (milliseconds since the caller's chosen origin, typically run start).
+    pub fn snapshot(&mut self, t_ms: f64, hub: &MetricsHub) -> io::Result<()> {
+        writeln!(self.writer, "{}", hub.snapshot().jsonl_line(t_ms))?;
+        self.writer.flush()
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_values_overwrite() {
+        let hub = MetricsHub::new();
+        hub.add_counter("device/delivery_blocks", 3);
+        hub.add_counter("device/delivery_blocks", 4);
+        hub.set_value("train/accuracy", 0.5);
+        hub.set_value("train/accuracy", 0.75);
+        assert_eq!(hub.get("device/delivery_blocks"), Some(MetricValue::Counter { value: 7 }));
+        assert_eq!(hub.get("train/accuracy"), Some(MetricValue::Value { value: 0.75 }));
+        assert_eq!(hub.get("train/accuracy").unwrap().as_f64(), 0.75);
+    }
+
+    #[test]
+    fn gauges_merge_like_replica_summaries() {
+        let hub = MetricsHub::new();
+        hub.observe("device/active_fraction", 0.1);
+        hub.observe("device/active_fraction", 0.3);
+        hub.merge_gauge("device/active_fraction", 0.8, 2, 0.35, 0.45);
+        let MetricValue::Gauge { sum, samples, min, max } =
+            hub.get("device/active_fraction").unwrap()
+        else {
+            panic!("expected gauge")
+        };
+        assert!((sum - 1.2).abs() < 1e-12);
+        assert_eq!(samples, 4);
+        assert_eq!(min, 0.1);
+        assert_eq!(max, 0.45);
+        assert!((hub.get("device/active_fraction").unwrap().as_f64() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_serializes_deterministically() {
+        let hub = MetricsHub::new();
+        hub.set_counter("b/counter", 2);
+        hub.set_value("a/value", 1.5);
+        hub.observe("c/gauge", 2.0);
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.to_json(),
+            "{\"metrics\":{\
+             \"a/value\":{\"kind\":\"value\",\"value\":1.5},\
+             \"b/counter\":{\"kind\":\"counter\",\"value\":2},\
+             \"c/gauge\":{\"kind\":\"gauge\",\"sum\":2,\"samples\":1,\"min\":2,\"max\":2}\
+             }}"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_streams_lines() {
+        let hub = MetricsHub::new();
+        let mut sink = JsonlSink::new(Vec::new());
+        hub.set_value("train/accuracy", 0.25);
+        sink.snapshot(10.0, &hub).unwrap();
+        hub.set_value("train/accuracy", 0.5);
+        sink.snapshot(20.5, &hub).unwrap();
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"t_ms\":10,\"metrics\":{\"train/accuracy\":{\"kind\":\"value\",\"value\":0.25}}}"
+        );
+        assert!(lines[1].starts_with("{\"t_ms\":20.5,"));
+        assert!(lines[1].contains("\"value\":0.5"));
+    }
+
+    #[test]
+    fn record_kernel_uses_the_documented_namespace() {
+        let hub = MetricsHub::new();
+        hub.record_kernel("deliver_integrate_sparse", 10, 2, 5_000, 640, 4096);
+        assert_eq!(
+            hub.get("kernel/deliver_integrate_sparse/launches"),
+            Some(MetricValue::Counter { value: 10 })
+        );
+        assert_eq!(
+            hub.get("kernel/deliver_integrate_sparse/total_ns"),
+            Some(MetricValue::Counter { value: 5_000 })
+        );
+        hub.clear();
+        assert_eq!(hub.get("kernel/deliver_integrate_sparse/launches"), None);
+    }
+}

@@ -1,0 +1,404 @@
+//! Span recording into per-thread ring buffers.
+//!
+//! The hot path ([`record_span_at`], called on every kernel launch when
+//! tracing is on) touches only thread-local state: a bounded ring buffer
+//! owned by the recording thread. No lock is taken and no other thread is
+//! ever contended. Buffers hand their contents to the global sink in
+//! batches — when a thread exits (scoped eval-replica threads), or when
+//! [`flush_thread`]/[`drain`] is called on the owning thread — so the
+//! amortized cross-thread cost is one uncontended mutex acquisition per
+//! thread lifetime, not per event.
+//!
+//! When a ring fills, the *oldest* events are overwritten and counted in
+//! [`Trace::dropped`], bounding memory at [`RING_CAPACITY`] events per
+//! thread no matter how long a run traces for.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Maximum number of buffered events per thread before the oldest are
+/// dropped (and counted in [`Trace::dropped`]).
+pub const RING_CAPACITY: usize = 1 << 16;
+
+/// How fine-grained span recording is while tracing is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Detail {
+    /// Kernel launches and phase-level engine/trainer spans only (default).
+    /// Per-simulation-step spans are suppressed so enabling tracing stays
+    /// within the documented overhead bound even on very small networks.
+    Phases = 0,
+    /// Additionally record one span per simulation step ([`step_span`]).
+    Steps = 1,
+}
+
+/// One completed span: a named interval on one thread, timestamped in
+/// nanoseconds relative to the process trace epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name (see DESIGN.md §11 for the documented name schema).
+    pub name: &'static str,
+    /// Category: `kernel`, `engine`, `pool`, `train`, `eval`, `checkpoint`,
+    /// `bench` or `phase`.
+    pub cat: &'static str,
+    /// Start time in nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Recording thread id (small integers assigned in registration order).
+    pub tid: u64,
+}
+
+/// A drained set of events, ready for export.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Events sorted by start time (ties broken by thread id).
+    pub events: Vec<SpanEvent>,
+    /// Events lost to per-thread ring overflow before this drain.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total recorded duration of all spans named `name`, in milliseconds.
+    #[must_use]
+    pub fn total_ms(&self, name: &str) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.dur_ns as f64)
+            .sum::<f64>()
+            / 1e6
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static DETAIL: AtomicU8 = AtomicU8::new(Detail::Phases as u8);
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+struct Sink {
+    events: Vec<SpanEvent>,
+    dropped: u64,
+}
+
+static SINK: Mutex<Sink> = Mutex::new(Sink { events: Vec::new(), dropped: 0 });
+static THREAD_NAMES: Mutex<Vec<(u64, String)>> = Mutex::new(Vec::new());
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+struct Local {
+    ring: VecDeque<SpanEvent>,
+    dropped: u64,
+    tid: u64,
+}
+
+impl Local {
+    fn push(&mut self, mut ev: SpanEvent) {
+        ev.tid = self.tid;
+        if self.ring.len() == RING_CAPACITY {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    fn flush(&mut self) {
+        if self.ring.is_empty() && self.dropped == 0 {
+            return;
+        }
+        let mut sink = SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        sink.events.extend(self.ring.drain(..));
+        sink.dropped += self.dropped;
+        self.dropped = 0;
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Local> = RefCell::new({
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current().name().unwrap_or("unnamed").to_owned();
+        THREAD_NAMES
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((tid, name));
+        Local { ring: VecDeque::new(), dropped: 0, tid }
+    });
+}
+
+/// Whether span recording is currently on. One relaxed atomic load; all
+/// recording entry points return immediately when this is `false`, which is
+/// what makes instrumented call sites near-free in the disabled state.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    #[cfg(feature = "capture")]
+    {
+        ENABLED.load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "capture"))]
+    {
+        false
+    }
+}
+
+/// Turns span recording on or off at runtime. Enabling pins the trace
+/// epoch (time zero of exported timestamps) if it is not already set.
+pub fn set_enabled(on: bool) {
+    if on {
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Current recording detail level.
+#[must_use]
+pub fn detail() -> Detail {
+    if DETAIL.load(Ordering::Relaxed) == Detail::Steps as u8 {
+        Detail::Steps
+    } else {
+        Detail::Phases
+    }
+}
+
+/// Sets the recording detail level (see [`Detail`]).
+pub fn set_detail(level: Detail) {
+    DETAIL.store(level as u8, Ordering::Relaxed);
+}
+
+/// An RAII guard that records a span from its creation to its drop.
+/// Created disarmed (and therefore free) when tracing is disabled.
+#[must_use = "dropping the guard immediately records an empty span"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    armed: Option<(&'static str, &'static str, Instant)>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, cat, start)) = self.armed.take() {
+            record_span_at(name, cat, start, start.elapsed());
+        }
+    }
+}
+
+/// Opens a phase-category span; the returned guard records it on drop.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_cat(name, "phase")
+}
+
+/// Opens a span in an explicit category; the guard records it on drop.
+#[inline]
+pub fn span_cat(name: &'static str, cat: &'static str) -> SpanGuard {
+    if enabled() {
+        SpanGuard { armed: Some((name, cat, Instant::now())) }
+    } else {
+        SpanGuard { armed: None }
+    }
+}
+
+/// Opens a per-simulation-step span: armed only when tracing is enabled
+/// *and* the detail level is [`Detail::Steps`], so step granularity is
+/// opt-in and the default-enabled overhead stays bounded.
+#[inline]
+pub fn step_span(name: &'static str) -> SpanGuard {
+    if enabled() && detail() == Detail::Steps {
+        SpanGuard { armed: Some((name, "engine", Instant::now())) }
+    } else {
+        SpanGuard { armed: None }
+    }
+}
+
+/// Records an already-measured span. This is the zero-extra-clock-read
+/// path: callers that time work for other reasons (the device profiler)
+/// reuse their measurement instead of reading the clock again.
+#[inline]
+pub fn record_span_at(name: &'static str, cat: &'static str, start: Instant, dur: Duration) {
+    if !enabled() {
+        return;
+    }
+    let start_ns = start.checked_duration_since(epoch()).unwrap_or_default().as_nanos() as u64;
+    let ev = SpanEvent { name, cat, start_ns, dur_ns: dur.as_nanos() as u64, tid: 0 };
+    // try_with: events arriving during thread teardown are silently dropped
+    // rather than panicking in a TLS destructor.
+    let _ = LOCAL.try_with(|local| local.borrow_mut().push(ev));
+}
+
+/// Times `f`, records it as a `bench`-category span, and returns the result
+/// together with the elapsed wall time in milliseconds — so benchmark
+/// tables and trace artifacts report the *same* measurement. The wall time
+/// is measured (and returned) even when tracing is disabled.
+pub fn time_ms<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    let dur = start.elapsed();
+    record_span_at(name, "bench", start, dur);
+    (out, dur.as_secs_f64() * 1000.0)
+}
+
+/// Hands the calling thread's buffered events to the global sink. Threads
+/// that exit (e.g. scoped eval replicas) flush automatically on exit.
+pub fn flush_thread() {
+    let _ = LOCAL.try_with(|local| local.borrow_mut().flush());
+}
+
+/// Flushes the calling thread, then takes every event handed to the sink so
+/// far, sorted by start time. Events still buffered on *other live* threads
+/// are not included — flush them from their owning thread, or let the
+/// thread exit, before draining.
+#[must_use]
+pub fn drain() -> Trace {
+    flush_thread();
+    let (mut events, dropped) = {
+        let mut sink = SINK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        (std::mem::take(&mut sink.events), std::mem::replace(&mut sink.dropped, 0))
+    };
+    events.sort_by_key(|e| (e.start_ns, e.tid));
+    Trace { events, dropped }
+}
+
+/// Names registered for each recording thread, for exporter metadata.
+#[must_use]
+pub fn thread_names() -> Vec<(u64, String)> {
+    THREAD_NAMES.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Recorder state is process-global; tests that toggle it serialize on
+    /// the crate-wide test lock so `cargo test`'s default parallelism
+    /// cannot interleave them.
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        crate::testutil::lock_recorder()
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let _g = locked();
+        set_enabled(false);
+        let _ = drain();
+        {
+            let _s = span("should-not-appear");
+        }
+        record_span_at("nor-this", "kernel", Instant::now(), Duration::from_micros(5));
+        assert!(drain().is_empty());
+    }
+
+    #[test]
+    fn spans_round_trip_with_ordering() {
+        let _g = locked();
+        let _ = drain();
+        set_enabled(true);
+        {
+            let _outer = span_cat("outer", "engine");
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = span_cat("inner", "kernel");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        set_enabled(false);
+        let trace = drain();
+        assert_eq!(trace.dropped, 0);
+        let names: Vec<_> = trace.events.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["outer", "inner"], "sorted by start time");
+        let outer = trace.events[0];
+        let inner = trace.events[1];
+        assert!(outer.start_ns <= inner.start_ns);
+        assert!(outer.dur_ns >= inner.dur_ns, "outer span contains inner");
+        assert!(trace.total_ms("outer") >= 2.0);
+    }
+
+    #[test]
+    fn step_spans_respect_detail_level() {
+        let _g = locked();
+        let _ = drain();
+        set_enabled(true);
+        set_detail(Detail::Phases);
+        {
+            let _s = step_span("engine/step");
+        }
+        set_detail(Detail::Steps);
+        {
+            let _s = step_span("engine/step");
+        }
+        set_detail(Detail::Phases);
+        set_enabled(false);
+        let trace = drain();
+        assert_eq!(trace.len(), 1, "only the Steps-detail span is recorded");
+        assert_eq!(trace.events[0].name, "engine/step");
+    }
+
+    #[test]
+    fn exiting_threads_flush_into_the_sink() {
+        let _g = locked();
+        let _ = drain();
+        set_enabled(true);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    let _s = span_cat("replica-work", "eval");
+                });
+            }
+        });
+        set_enabled(false);
+        let trace = drain();
+        assert_eq!(trace.len(), 3);
+        let tids: std::collections::BTreeSet<_> = trace.events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 3, "each thread records under its own tid");
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_and_counts() {
+        let _g = locked();
+        let _ = drain();
+        set_enabled(true);
+        let t0 = Instant::now();
+        for _ in 0..RING_CAPACITY + 10 {
+            record_span_at("flood", "kernel", t0, Duration::from_nanos(1));
+        }
+        set_enabled(false);
+        let trace = drain();
+        assert_eq!(trace.len(), RING_CAPACITY);
+        assert_eq!(trace.dropped, 10);
+    }
+
+    #[test]
+    fn time_ms_returns_wall_time_even_when_disabled() {
+        let _g = locked();
+        set_enabled(false);
+        let _ = drain();
+        let (value, ms) = time_ms("bench/sleep", || {
+            std::thread::sleep(Duration::from_millis(3));
+            42
+        });
+        assert_eq!(value, 42);
+        assert!(ms >= 3.0, "measured {ms} ms");
+        assert!(drain().is_empty());
+    }
+}

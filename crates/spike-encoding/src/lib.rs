@@ -18,6 +18,9 @@
 //!   spike trains for the frozen evaluation path, and the double-buffered
 //!   encoder pipeline that generates the next presentation's trains while
 //!   the current one simulates.
+//!
+//! DESIGN.md §5 records the frequency-range calibration; §9 specifies the
+//! precomputed-train determinism contract of the evaluation path.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]

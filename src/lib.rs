@@ -18,7 +18,9 @@
 //!   IDX codec;
 //! * [`learning`] (`snn-learning`) — the train/label/infer pipeline;
 //! * [`reference`](mod@reference) (`reference-sim`) — the sequential golden-model
-//!   simulator.
+//!   simulator;
+//! * [`trace`] (`snn-trace`) — structured spans, chrome-trace export and
+//!   the unified metrics registry (DESIGN.md §11 documents the schema).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +47,7 @@ pub use reference_sim as reference;
 pub use snn_core as core;
 pub use snn_datasets as datasets;
 pub use snn_learning as learning;
+pub use snn_trace as trace;
 pub use spike_encoding as encoding;
 
 /// The types most applications need, in one import.

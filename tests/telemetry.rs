@@ -1,0 +1,330 @@
+//! Tier-1 telemetry gate (DESIGN.md §11): a short train + eval run under
+//! the recorder must produce a trace whose every span name appears in the
+//! documented schema, the chrome-trace export must be valid Trace Event
+//! Format JSON, the JSONL progress stream must emit snapshots, and turning
+//! instrumentation on at the default detail level must cost < 2% wall
+//! time. The recorder and the metrics hub are process-global, so every
+//! test in this file runs under one lock.
+
+use parallel_spike_sim::prelude::*;
+use parallel_spike_sim::trace;
+use snn_core::sim::EvalSnapshot;
+use snn_learning::{evaluate_snapshot, EvalOptions};
+use std::io::Write;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+static RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes tests (the recorder, detail level and hub are global) and
+/// restores a clean disabled state on drop even if a test panics.
+fn exclusive() -> MutexGuard<'static, ()> {
+    let guard = RECORDER_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    trace::set_enabled(false);
+    trace::set_detail(trace::Detail::Phases);
+    let _ = trace::drain();
+    trace::metrics().clear();
+    guard
+}
+
+/// Reads DESIGN.md from the workspace root: via `CARGO_MANIFEST_DIR` under
+/// cargo, else by walking up from the current directory (the offline
+/// shadow-build harness runs test binaries from a scratch directory).
+fn design_md() -> String {
+    let mut roots = Vec::new();
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        roots.push(std::path::PathBuf::from(dir));
+    }
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            roots.push(dir.clone());
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    for root in roots {
+        if let Ok(text) = std::fs::read_to_string(root.join("DESIGN.md")) {
+            return text;
+        }
+    }
+    panic!("DESIGN.md not found from CARGO_MANIFEST_DIR or any ancestor of the cwd");
+}
+
+/// Backticked names in the `## 11` telemetry section — the same extraction
+/// snn-lint's `trace-schema` rule applies to source files.
+fn schema_names() -> Vec<String> {
+    let md = design_md();
+    let mut in_section = false;
+    let mut names = Vec::new();
+    for line in md.lines() {
+        if line.starts_with("## ") {
+            in_section = line.starts_with("## 11");
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            let tail = &rest[open + 1..];
+            let Some(close) = tail.find('`') else { break };
+            if close > 0 {
+                names.push(tail[..close].to_string());
+            }
+            rest = &tail[close + 1..];
+        }
+    }
+    assert!(!names.is_empty(), "DESIGN.md §11 schema tables are missing or empty");
+    names
+}
+
+fn documented(name: &str, schema: &[String]) -> bool {
+    schema.iter().any(|s| s == name) || schema.iter().any(|s| *s == format!("device/{name}"))
+}
+
+/// A tiny but complete train → label → infer workload (784 → 10, six
+/// images), identical across calls for a given seed.
+fn short_train_eval(workers: usize, replicas: usize) -> f64 {
+    let dataset = synthetic_mnist(6, 8, 7);
+    let mut cfg = TrainerConfig::new(
+        NetworkConfig::from_preset(Preset::FullPrecision, 784, 10).with_rule(RuleKind::Stochastic),
+    );
+    cfg.t_learn_ms = 60.0;
+    cfg.n_train_images = 6;
+    cfg.n_labeling = 4;
+    cfg.n_inference = 4;
+    cfg.eval_parallelism = replicas;
+    let device = Device::new(DeviceConfig::default().with_workers(workers));
+    let outcome = Trainer::new(cfg.clone(), &device).run(&dataset);
+    let snapshot = EvalSnapshot::new(outcome.synapses, outcome.thetas);
+    let eval = evaluate_snapshot(
+        &cfg.network,
+        cfg.seed,
+        &snapshot,
+        cfg.t_learn_ms,
+        &dataset,
+        4,
+        4,
+        &EvalOptions { replicas, ..EvalOptions::default() },
+    );
+    eval.accuracy
+}
+
+#[test]
+fn trace_of_short_train_eval_covers_documented_spans() {
+    let _g = exclusive();
+    let schema = schema_names();
+
+    trace::set_enabled(true);
+    trace::set_detail(trace::Detail::Steps);
+    short_train_eval(2, 2);
+    trace::set_enabled(false);
+    trace::set_detail(trace::Detail::Phases);
+    let captured = trace::drain();
+
+    assert!(!captured.events.is_empty(), "tracing a train+eval run captured nothing");
+    for expect in
+        ["engine/present", "engine/step", "engine/present_frozen", "train/image", "eval/run", "eval/image", "pool/run"]
+    {
+        assert!(
+            captured.events.iter().any(|e| e.name == expect),
+            "span `{expect}` missing from the captured trace"
+        );
+    }
+    // Every captured span name — phases, steps and kernels alike — must be
+    // in the documented schema; this is the runtime half of the
+    // `trace-schema` lint (which checks the literals in the source).
+    for ev in &captured.events {
+        assert!(
+            documented(ev.name, &schema),
+            "captured span `{}` (cat `{}`) is not documented in DESIGN.md §11",
+            ev.name,
+            ev.cat
+        );
+    }
+    // The run also publishes its summary metrics to the unified hub.
+    for metric in ["train/images", "train/accuracy", "eval/images", "eval/accuracy"] {
+        assert!(
+            trace::metrics().get(metric).is_some(),
+            "metric `{metric}` missing from the hub after a train+eval run"
+        );
+    }
+    trace::metrics().clear();
+}
+
+#[test]
+fn chrome_trace_json_is_valid_and_schema_conformant() {
+    let _g = exclusive();
+    let schema = schema_names();
+
+    trace::set_enabled(true);
+    short_train_eval(2, 1);
+    trace::set_enabled(false);
+    let captured = trace::drain();
+    let doc = trace::chrome_trace(&captured);
+
+    let parsed: serde_json::Value = serde_json::from_str(&doc).expect("chrome trace must be valid JSON");
+    assert_eq!(parsed["displayTimeUnit"], "ms");
+    let events = parsed["traceEvents"].as_array().expect("traceEvents array");
+    assert!(!events.is_empty());
+    let mut saw_complete = false;
+    let mut saw_metadata = false;
+    for ev in events {
+        let ph = ev["ph"].as_str().expect("every event has a ph");
+        let name = ev["name"].as_str().expect("every event has a name");
+        assert!(ev["pid"].is_u64() && ev["tid"].is_u64(), "pid/tid must be integers");
+        match ph {
+            "X" => {
+                saw_complete = true;
+                assert!(ev["ts"].is_number() && ev["dur"].is_number(), "complete events carry ts+dur");
+                assert!(ev["cat"].is_string());
+                assert!(
+                    documented(name, &schema),
+                    "chrome-trace event `{name}` is not documented in DESIGN.md §11"
+                );
+            }
+            "M" => {
+                saw_metadata = true;
+                assert!(
+                    name == "process_name" || name == "thread_name",
+                    "unexpected metadata event `{name}`"
+                );
+            }
+            other => panic!("unexpected event phase `{other}`"),
+        }
+    }
+    assert!(saw_complete && saw_metadata);
+    assert!(parsed["otherData"]["droppedEvents"].is_u64());
+    trace::metrics().clear();
+}
+
+/// `Box<dyn Write>` progress sink whose buffer the test can read back.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap_or_else(PoisonError::into_inner).extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn trainer_streams_progress_snapshots() {
+    let _g = exclusive();
+    let dataset = synthetic_mnist(6, 8, 7);
+    let mut cfg = TrainerConfig::new(
+        NetworkConfig::from_preset(Preset::FullPrecision, 784, 10).with_rule(RuleKind::Stochastic),
+    );
+    cfg.t_learn_ms = 60.0;
+    cfg.n_train_images = 6;
+    cfg.n_labeling = 4;
+    cfg.n_inference = 4;
+    cfg.eval_every = Some(3);
+    cfg.eval_probe = (4, 4);
+    cfg.eval_parallelism = 1;
+    let device = Device::new(DeviceConfig::default().with_workers(2));
+    let buf = SharedBuf::default();
+    let _ = Trainer::new(cfg, &device).with_progress_jsonl(Box::new(buf.clone())).run(&dataset);
+
+    let bytes = buf.0.lock().unwrap_or_else(PoisonError::into_inner).clone();
+    let text = String::from_utf8(bytes).expect("progress stream is UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines.len() >= 2,
+        "expected at least one probe snapshot and the final snapshot, got {}",
+        lines.len()
+    );
+    for line in &lines {
+        assert!(line.starts_with("{\"t_ms\":"), "snapshot line must be timestamped: {line}");
+        assert!(line.contains("train/accuracy"), "snapshot line missing accuracy: {line}");
+        assert!(line.contains("train/images"), "snapshot line missing image count: {line}");
+    }
+    trace::metrics().clear();
+}
+
+#[test]
+fn instrumentation_overhead_is_under_two_percent() {
+    let _g = exclusive();
+    // Interleaved repetitions at the default detail level (Detail::Phases)
+    // over a deterministic presentation workload: each rep times both arms
+    // back to back (order alternating per rep), and the statistic is the
+    // ratio of the per-arm minima. Scheduler noise on shared machines is
+    // strictly additive with multi-second drift epochs; because every rep
+    // holds one sample of each arm, any quiet epoch contributes a
+    // near-noise-free sample to *both* minima, so their ratio estimates the
+    // true overhead even when individual reps swing by ±10%. A real
+    // overhead shifts the enabled arm's floor itself and survives any
+    // number of retries, whereas a co-tenant burst that happens to straddle
+    // one arm only inflates the estimate — so a measurement is retried up
+    // to three times and any attempt under the bound is accepted as an
+    // upper-bound witness. DESIGN.md §11.3 documents the measured numbers
+    // behind this bound.
+    // Sized so one workload run is tens of milliseconds: the recorder cost
+    // per presentation is sub-microsecond at phase detail, so the bound is
+    // about keeping measurement noise — not instrumentation — below 2%.
+    let dataset = synthetic_mnist(4, 1, 7);
+    let device = Device::new(DeviceConfig::default().with_workers(2));
+    let workload = |dataset: &snn_datasets::Dataset| {
+        let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 784, 600)
+            .with_rule(RuleKind::Stochastic);
+        let mut engine = WtaEngine::new(cfg, &device, 2019);
+        let encoder = RateEncoder::new(engine.config().frequency);
+        let mut total = 0u32;
+        for sample in &dataset.train {
+            let rates = encoder.rates(sample.image.pixels());
+            engine.reset_transients();
+            total += engine.present(&rates, 200.0, true).iter().sum::<u32>();
+        }
+        total
+    };
+
+    let spikes = workload(&dataset); // warmup, also pins the expected result
+    let timed_arm = |on: bool| {
+        trace::set_enabled(on);
+        let start = Instant::now();
+        let got = workload(&dataset);
+        let secs = start.elapsed().as_secs_f64();
+        trace::set_enabled(false);
+        assert_eq!(got, spikes, "tracing must not perturb simulation results");
+        if on {
+            let _ = trace::drain();
+        }
+        secs
+    };
+    let floor = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut last = (f64::INFINITY, Vec::new(), Vec::new());
+    for _attempt in 0..3 {
+        let mut offs = Vec::new();
+        let mut ons = Vec::new();
+        for rep in 0..11 {
+            if rep % 2 == 0 {
+                offs.push(timed_arm(false));
+                ons.push(timed_arm(true));
+            } else {
+                ons.push(timed_arm(true));
+                offs.push(timed_arm(false));
+            }
+        }
+        let ratio = floor(&ons) / floor(&offs);
+        last = (ratio, ons, offs);
+        if ratio < 1.02 {
+            break;
+        }
+    }
+    let (ratio, ons, offs) = last;
+    assert!(
+        ratio < 1.02,
+        "instrumentation overhead {:.2}% exceeds the 2% budget in 3 attempts \
+         (min on {:.2}ms vs min off {:.2}ms; per-rep ms on {:?} off {:?})",
+        (ratio - 1.0) * 100.0,
+        floor(&ons) * 1e3,
+        floor(&offs) * 1e3,
+        ons.iter().map(|s| format!("{:.1}", s * 1e3)).collect::<Vec<_>>(),
+        offs.iter().map(|s| format!("{:.1}", s * 1e3)).collect::<Vec<_>>()
+    );
+}

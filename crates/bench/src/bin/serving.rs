@@ -1,0 +1,360 @@
+//! Serving load generator: sustained closed-loop QPS and tail latency of
+//! `snn-serve` over one frozen snapshot, plus an admission-control burst
+//! that demonstrates typed load shedding.
+//!
+//! The workload is the deployment shape DESIGN.md §12 describes: a lightly
+//! trained 784 → 100 WTA network mounted as N zero-copy frozen replicas
+//! behind the bounded admission queue, classifying rate-coded digits for
+//! concurrent closed-loop clients. Before any timing, the harness asserts
+//! the identity gate — a served batch classifies exactly as offline
+//! `presentation_counts` + `Classifier` on the same images at every worker
+//! count — then sweeps replica counts under sustained load and records
+//! QPS, p50/p99 latency and per-replica utilization to
+//! `results/BENCH_serving.json`.
+//!
+//! Run: `cargo run -p bench --release --bin serving`
+
+use bench::{results_dir, write_json_records, TextTable};
+use gpu_device::{Device, DeviceConfig};
+use serde::Serialize;
+use snn_core::config::{NetworkConfig, Preset};
+use snn_core::sim::{EvalSnapshot, WtaEngine};
+use snn_datasets::{synthetic_mnist, Dataset};
+use snn_learning::{label_snapshot, presentation_counts, Classifier, EvalOptions};
+use snn_serve::{Overloaded, ServeConfig, ServeReport, SnnServer};
+use spike_encoding::RateEncoder;
+
+const SEED: u64 = 2019;
+const T_PRESENT_MS: f64 = 50.0;
+const N_LABEL: usize = 20;
+const N_INFER: usize = 20;
+
+#[derive(Serialize)]
+struct ServingRecord {
+    mode: String,
+    workers: usize,
+    clients: usize,
+    queue_capacity: usize,
+    submitted: u64,
+    accepted: u64,
+    shed: u64,
+    completed: u64,
+    qps: f64,
+    latency_p50_ms: f64,
+    latency_p99_ms: f64,
+    latency_mean_ms: f64,
+    latency_max_ms: f64,
+    wall_s: f64,
+    max_queue_depth: usize,
+    mean_replica_utilization: f64,
+    provenance: String,
+}
+
+#[derive(Serialize)]
+struct SummaryRecord {
+    metric: String,
+    workers: usize,
+    value: f64,
+    requirement: String,
+    meets_requirement: bool,
+    note: String,
+}
+
+/// A lightly trained snapshot — serving must run against structured
+/// weights, not the random initialization.
+fn trained_snapshot(network: &NetworkConfig, dataset: &Dataset) -> EvalSnapshot {
+    let device = Device::new(DeviceConfig::default());
+    let mut engine = WtaEngine::new(network.clone(), &device, SEED);
+    let encoder = RateEncoder::new(network.frequency);
+    for sample in dataset.train.iter().take(5) {
+        let rates = encoder.rates(sample.image.pixels());
+        engine.reset_transients();
+        let _ = engine.present(&rates, 100.0, true);
+    }
+    engine.snapshot()
+}
+
+fn serve_config(network: &NetworkConfig, workers: usize, queue_capacity: usize) -> ServeConfig {
+    ServeConfig {
+        network: network.clone(),
+        seed: SEED,
+        t_present_ms: T_PRESENT_MS,
+        workers,
+        queue_capacity,
+        device: DeviceConfig::default(),
+        start_paused: false,
+    }
+}
+
+/// Identity gate: the served inference batch must classify exactly as the
+/// offline evaluation path at every worker count in the sweep.
+fn assert_identity(
+    network: &NetworkConfig,
+    snapshot: &EvalSnapshot,
+    classifier: &Classifier,
+    dataset: &Dataset,
+    worker_sweep: &[usize],
+) {
+    let serial = EvalOptions { replicas: 1, pipelined: false, ..EvalOptions::default() };
+    let images: Vec<_> = dataset.test.iter().collect();
+    let (counts, _) = presentation_counts(network, SEED, snapshot, T_PRESENT_MS, &images, &serial);
+    let infer = &dataset.test[N_LABEL..];
+    for &workers in worker_sweep {
+        let server = SnnServer::start(
+            serve_config(network, workers, 2 * infer.len()),
+            snapshot,
+            classifier.clone(),
+        );
+        let tickets: Vec<_> = infer
+            .iter()
+            .enumerate()
+            .map(|(k, sample)| {
+                let key = (N_LABEL + k) as u64;
+                (k, server.submit(sample.image.pixels(), key).expect("queue has room"))
+            })
+            .collect();
+        for (k, ticket) in tickets {
+            let got = ticket.wait();
+            let want = &counts[N_LABEL + k];
+            assert_eq!(&got.counts, want, "workers={workers} slot {k}: counts diverged");
+            assert_eq!(
+                got.class,
+                classifier.predict(want),
+                "workers={workers} slot {k}: class diverged"
+            );
+        }
+        let report = server.shutdown();
+        assert_eq!(report.shed, 0, "identity batch must be shed-free");
+        assert_eq!(report.completed, infer.len() as u64);
+    }
+}
+
+/// Sustained closed-loop load: `clients` threads each issue `per_client`
+/// requests back to back, retrying (never blocking the server) on a
+/// `QueueFull` shed, and wait for each classification before issuing the
+/// next request.
+fn sustained_load(
+    network: &NetworkConfig,
+    snapshot: &EvalSnapshot,
+    classifier: &Classifier,
+    dataset: &Dataset,
+    workers: usize,
+    clients: usize,
+    per_client: usize,
+    queue_capacity: usize,
+) -> ServeReport {
+    let server = SnnServer::start(
+        serve_config(network, workers, queue_capacity),
+        snapshot,
+        classifier.clone(),
+    );
+    let infer = &dataset.test[N_LABEL..];
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let server = &server;
+            scope.spawn(move || {
+                for r in 0..per_client {
+                    let i = (client * per_client + r) % infer.len();
+                    let key = (client * per_client + r) as u64;
+                    let pixels = infer[i].image.pixels();
+                    loop {
+                        match server.submit(pixels, key) {
+                            Ok(ticket) => {
+                                let _ = ticket.wait();
+                                break;
+                            }
+                            Err(Overloaded::QueueFull { .. }) => std::thread::yield_now(),
+                            Err(Overloaded::ShuttingDown) => return,
+                        }
+                    }
+                }
+            });
+        }
+    });
+    server.shutdown()
+}
+
+/// Admission-control burst: a queue of `capacity` takes a paused burst of
+/// `burst` submissions; everything beyond capacity must shed with the
+/// typed `QueueFull` and the accepted remainder must still drain cleanly.
+fn shed_burst(
+    network: &NetworkConfig,
+    snapshot: &EvalSnapshot,
+    classifier: &Classifier,
+    dataset: &Dataset,
+    capacity: usize,
+    burst: usize,
+) -> ServeReport {
+    let mut config = serve_config(network, 2, capacity);
+    config.start_paused = true;
+    let server = SnnServer::start(config, snapshot, classifier.clone());
+    let pixels = dataset.test[N_LABEL].image.pixels();
+    let mut tickets = Vec::new();
+    for key in 0..burst as u64 {
+        match server.submit(pixels, key) {
+            Ok(t) => tickets.push(t),
+            Err(Overloaded::QueueFull { capacity: c }) => assert_eq!(c, capacity),
+            Err(Overloaded::ShuttingDown) => unreachable!("server is not shutting down"),
+        }
+    }
+    assert_eq!(tickets.len(), capacity, "exactly `capacity` requests fit the paused queue");
+    server.resume();
+    for ticket in tickets {
+        let _ = ticket.wait();
+    }
+    server.shutdown()
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 }
+}
+
+fn main() {
+    println!("== snn-serve sustained load: 784 -> 100, frozen replicas ==\n");
+    let network = NetworkConfig::from_preset(Preset::FullPrecision, 784, 100);
+    let dataset = synthetic_mnist(5, N_LABEL + N_INFER, 7);
+    let snapshot = trained_snapshot(&network, &dataset);
+    let serial = EvalOptions { replicas: 1, pipelined: false, ..EvalOptions::default() };
+    let (_, classifier) =
+        label_snapshot(&network, SEED, &snapshot, T_PRESENT_MS, &dataset, N_LABEL, &serial);
+
+    let host = DeviceConfig::host_parallelism();
+    let worker_sweep: Vec<usize> =
+        [1usize, 2, 4, host].into_iter().filter(|&w| w <= host.max(4)).collect::<Vec<_>>();
+    let worker_sweep: Vec<usize> = {
+        let mut s = worker_sweep;
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+
+    // --- identity gate, before any timing -------------------------------
+    assert_identity(&network, &snapshot, &classifier, &dataset, &worker_sweep);
+    println!("identity: OK — served batch == offline evaluation at workers {worker_sweep:?}\n");
+
+    let provenance = format!(
+        "measured in-process on a host exposing {host} CPU core(s); closed-loop clients \
+         (2 per replica, 150 requests each) retry on typed QueueFull sheds; latency is \
+         admission → completion; regenerate with `cargo run -p bench --release --bin serving`"
+    );
+
+    // --- sustained closed-loop sweep -------------------------------------
+    let mut records = Vec::new();
+    let mut table = TextTable::new([
+        "workers", "clients", "requests", "shed", "qps", "p50 (ms)", "p99 (ms)", "util",
+    ]);
+    let mut best_qps = (0usize, 0.0f64);
+    for &workers in &worker_sweep {
+        let clients = 2 * workers;
+        let per_client = 150;
+        let report = sustained_load(
+            &network, &snapshot, &classifier, &dataset, workers, clients, per_client,
+            2 * workers,
+        );
+        let util = mean(&report.replica_utilization);
+        if report.qps > best_qps.1 {
+            best_qps = (workers, report.qps);
+        }
+        table.row([
+            workers.to_string(),
+            clients.to_string(),
+            report.completed.to_string(),
+            report.shed.to_string(),
+            format!("{:.1}", report.qps),
+            format!("{:.2}", report.latency_p50_ms),
+            format!("{:.2}", report.latency_p99_ms),
+            format!("{util:.2}"),
+        ]);
+        records.push(ServingRecord {
+            mode: "sustained_closed_loop".into(),
+            workers,
+            clients,
+            queue_capacity: 2 * workers,
+            submitted: report.submitted,
+            accepted: report.accepted,
+            shed: report.shed,
+            completed: report.completed,
+            qps: report.qps,
+            latency_p50_ms: report.latency_p50_ms,
+            latency_p99_ms: report.latency_p99_ms,
+            latency_mean_ms: report.latency_mean_ms,
+            latency_max_ms: report.latency_max_ms,
+            wall_s: report.wall_s,
+            max_queue_depth: report.max_queue_depth,
+            mean_replica_utilization: util,
+            provenance: provenance.clone(),
+        });
+    }
+    println!("{table}");
+
+    // --- admission-control burst -----------------------------------------
+    let (capacity, burst) = (4usize, 32usize);
+    let report = shed_burst(&network, &snapshot, &classifier, &dataset, capacity, burst);
+    println!(
+        "\nshed burst: {burst} submissions into a paused queue of {capacity} → \
+         {} accepted, {} shed (typed QueueFull), max depth {}",
+        report.accepted, report.shed, report.max_queue_depth
+    );
+    records.push(ServingRecord {
+        mode: "shed_burst".into(),
+        workers: 2,
+        clients: 1,
+        queue_capacity: capacity,
+        submitted: report.submitted,
+        accepted: report.accepted,
+        shed: report.shed,
+        completed: report.completed,
+        qps: report.qps,
+        latency_p50_ms: report.latency_p50_ms,
+        latency_p99_ms: report.latency_p99_ms,
+        latency_mean_ms: report.latency_mean_ms,
+        latency_max_ms: report.latency_max_ms,
+        wall_s: report.wall_s,
+        max_queue_depth: report.max_queue_depth,
+        mean_replica_utilization: mean(&report.replica_utilization),
+        provenance: provenance.clone(),
+    });
+    let accounting_ok = report.accepted + report.shed == report.submitted
+        && report.max_queue_depth <= capacity
+        && report.completed == report.accepted;
+
+    let summaries = vec![
+        SummaryRecord {
+            metric: "sustained_qps".into(),
+            workers: best_qps.0,
+            value: best_qps.1,
+            requirement: "> 0 (recorded, host-dependent)".into(),
+            meets_requirement: best_qps.1 > 0.0,
+            note: "best sustained closed-loop throughput across the worker sweep; the \
+                   per-row records carry the full latency distribution"
+                .into(),
+        },
+        SummaryRecord {
+            metric: "admission_accounting".into(),
+            workers: 2,
+            value: report.shed as f64,
+            requirement: "accepted + shed == submitted, depth <= capacity, drain complete".into(),
+            meets_requirement: accounting_ok,
+            note: format!(
+                "burst of {burst} into capacity {capacity}: every overflow shed with a typed \
+                 QueueFull, every accepted request served on drain"
+            ),
+        },
+    ];
+    assert!(accounting_ok, "admission accounting must balance");
+
+    let path = results_dir().join("BENCH_serving.json");
+    #[derive(Serialize)]
+    #[serde(untagged)]
+    enum Record {
+        Run(ServingRecord),
+        Summary(SummaryRecord),
+    }
+    let all: Vec<Record> = records
+        .into_iter()
+        .map(Record::Run)
+        .chain(summaries.into_iter().map(Record::Summary))
+        .collect();
+    write_json_records(&path, &all).expect("write bench record");
+    println!("\nwrote {}", path.display());
+}

@@ -16,7 +16,8 @@ pub mod output;
 pub mod viz;
 
 pub use harness::{
-    dataset_for, device, enable_tracing, pct, results_dir, scale_banner, write_trace_artifact,
+    dataset_for, device, enable_tracing, pct, results_dir, scale_banner, upper_bound_witness,
+    write_trace_artifact, Witness,
 };
 pub use output::{write_json_records, TextTable};
 pub use viz::{conductance_map, conductance_mosaic, histogram_ascii, write_pgm};

@@ -25,7 +25,7 @@ use std::sync::Mutex;
 use gpu_device::{Device, DeviceConfig, ProfileReport};
 use snn_core::config::NetworkConfig;
 use snn_core::sim::{EvalSnapshot, WtaEngine};
-use snn_datasets::Dataset;
+use snn_datasets::{Dataset, LabeledImage};
 use spike_encoding::{EvalTrainGenerator, RateEncoder, TrainPipeline};
 
 use crate::labeler::{Classifier, Labeler};
@@ -75,6 +75,145 @@ pub struct EvalOutcome {
     pub profile: ProfileReport,
 }
 
+/// Runs one frozen presentation per image of `images` across
+/// `opts.replicas` replica engines mounted on `snapshot`, returning the
+/// per-image spike counts (keyed by image index, never by arrival order)
+/// and the merged device profile.
+///
+/// Presentation slot `k` draws its spike trains from the evaluation RNG
+/// stream keyed by `k` — the identity contract shared by
+/// [`evaluate_snapshot`] (slots `0..n_labeling + n_inference`),
+/// [`label_snapshot`] (slots `0..n_labeling`) and the serving layer
+/// (`snn-serve`, which keys each request explicitly).
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, the snapshot shape does not
+/// match `network`, or `opts.order` is not a permutation of
+/// `0..images.len()`.
+#[must_use]
+pub fn presentation_counts(
+    network: &NetworkConfig,
+    seed: u64,
+    snapshot: &EvalSnapshot,
+    t_present_ms: f64,
+    images: &[&LabeledImage],
+    opts: &EvalOptions,
+) -> (Vec<Vec<u32>>, ProfileReport) {
+    let replicas = opts.replicas.max(1);
+    let n_total = images.len();
+
+    let encoder = RateEncoder::new(network.frequency);
+    let generator = EvalTrainGenerator::new(seed, network.dt_ms);
+
+    // Service order over the presentation slots (slot = image index).
+    let order: Vec<usize> = match &opts.order {
+        Some(perm) => {
+            assert_eq!(perm.len(), n_total, "order must cover every presentation");
+            let mut seen = vec![false; n_total];
+            for &slot in perm {
+                assert!(slot < n_total && !seen[slot], "order must be a permutation");
+                seen[slot] = true;
+            }
+            perm.clone()
+        }
+        None => (0..n_total).collect(),
+    };
+
+    // Per-slot spike counts, keyed by image index — never by arrival order.
+    let results: Mutex<Vec<Option<Vec<u32>>>> = Mutex::new(vec![None; n_total]);
+    let profiles: Mutex<Vec<ProfileReport>> = Mutex::new(Vec::new());
+
+    // In pipelined mode the bounded channel doubles as the work queue
+    // (whoever receives a presentation runs it); inline mode claims slots
+    // through an atomic cursor and encodes on the replica thread.
+    let pipeline = opts.pipelined.then(|| {
+        let jobs: Vec<(usize, u64, Vec<f64>)> = order
+            .iter()
+            .map(|&slot| (slot, slot as u64, encoder.rates(images[slot].image.pixels())))
+            .collect();
+        TrainPipeline::spawn(generator, t_present_ms, jobs, 2 * replicas)
+    });
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..replicas {
+            scope.spawn(|| {
+                let device = Device::new_budgeted(opts.device.clone(), replicas);
+                let mut engine = WtaEngine::replica(network.clone(), &device, seed, snapshot)
+                    .expect("invalid network configuration");
+                loop {
+                    let (slot, trains) = match &pipeline {
+                        Some(p) => match p.next() {
+                            Some(job) => job,
+                            None => break,
+                        },
+                        None => {
+                            let k = cursor.fetch_add(1, Ordering::Relaxed);
+                            if k >= order.len() {
+                                break;
+                            }
+                            let slot = order[k];
+                            let rates = encoder.rates(images[slot].image.pixels());
+                            (slot, generator.generate(slot as u64, &rates, t_present_ms))
+                        }
+                    };
+                    // One span per presentation on the replica thread; the
+                    // per-thread ring flushes when the scoped thread exits.
+                    let _image_span = snn_trace::span_cat("eval/image", "eval");
+                    let counts = engine.present_frozen(&trains);
+                    results.lock().expect("results poisoned")[slot] = Some(counts);
+                }
+                profiles.lock().expect("profiles poisoned").push(device.profile());
+            });
+        }
+    });
+
+    let counts = results
+        .into_inner()
+        .expect("results poisoned")
+        .into_iter()
+        .map(|c| c.expect("presentation missing"))
+        .collect();
+    let profiles = profiles.into_inner().expect("profiles poisoned");
+    (counts, ProfileReport::merged(&profiles))
+}
+
+/// Runs only the labeling phase: presents the first `n_labeling` test
+/// images of `dataset` to frozen replicas of `snapshot` and returns the
+/// per-neuron labels plus the spike-count [`Classifier`] built from them.
+///
+/// Presentation slot `k` (`0..n_labeling`) is keyed exactly as
+/// [`evaluate_snapshot`] keys its labeling slots, so the returned
+/// classifier is bit-identical to the one evaluation builds internally —
+/// this is the classifier a serving deployment should mount.
+///
+/// # Panics
+///
+/// As [`presentation_counts`].
+#[must_use]
+pub fn label_snapshot(
+    network: &NetworkConfig,
+    seed: u64,
+    snapshot: &EvalSnapshot,
+    t_present_ms: f64,
+    dataset: &Dataset,
+    n_labeling: usize,
+    opts: &EvalOptions,
+) -> (Vec<u8>, Classifier) {
+    let _span = snn_trace::span_cat("eval/run", "eval");
+    let (label_set, _) = dataset.labeling_split(n_labeling);
+    let images: Vec<&LabeledImage> = label_set.iter().collect();
+    let (counts, _) = presentation_counts(network, seed, snapshot, t_present_ms, &images, opts);
+    let mut labeler = Labeler::new(network.n_excitatory, dataset.n_classes);
+    for (sample, counts) in label_set.iter().zip(&counts) {
+        labeler.record(sample.label, counts);
+    }
+    let labels = labeler.assign();
+    let classifier = Classifier::new(labels.clone(), dataset.n_classes);
+    (labels, classifier)
+}
+
 /// Labels neurons on the first `n_labeling` test images of `dataset` and
 /// classifies the next `n_inference`, fanning all presentations across
 /// `opts.replicas` frozen replicas of `snapshot`.
@@ -107,86 +246,14 @@ pub fn evaluate_snapshot(
     let n_label = label_set.len();
     let n_total = n_label + infer_set.len();
 
-    let encoder = RateEncoder::new(network.frequency);
-    let generator = EvalTrainGenerator::new(seed, network.dt_ms);
-
-    // Service order over the presentation slots (slot = image index within
-    // the evaluation set: labeling first, then inference).
-    let order: Vec<usize> = match &opts.order {
-        Some(perm) => {
-            assert_eq!(perm.len(), n_total, "order must cover every presentation");
-            let mut seen = vec![false; n_total];
-            for &slot in perm {
-                assert!(slot < n_total && !seen[slot], "order must be a permutation");
-                seen[slot] = true;
-            }
-            perm.clone()
-        }
-        None => (0..n_total).collect(),
-    };
-
-    let sample = |slot: usize| {
-        if slot < n_label {
-            &label_set[slot]
-        } else {
-            &infer_set[slot - n_label]
-        }
-    };
-
-    // Per-slot spike counts, keyed by image index — never by arrival order.
-    let results: Mutex<Vec<Option<Vec<u32>>>> = Mutex::new(vec![None; n_total]);
-    let profiles: Mutex<Vec<ProfileReport>> = Mutex::new(Vec::new());
-
-    // In pipelined mode the bounded channel doubles as the work queue
-    // (whoever receives a presentation runs it); inline mode claims slots
-    // through an atomic cursor and encodes on the replica thread.
-    let pipeline = opts.pipelined.then(|| {
-        let jobs: Vec<(usize, u64, Vec<f64>)> = order
-            .iter()
-            .map(|&slot| (slot, slot as u64, encoder.rates(sample(slot).image.pixels())))
-            .collect();
-        TrainPipeline::spawn(generator, t_present_ms, jobs, 2 * replicas)
-    });
-    let cursor = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..replicas {
-            scope.spawn(|| {
-                let device = Device::new_budgeted(opts.device.clone(), replicas);
-                let mut engine = WtaEngine::replica(network.clone(), &device, seed, snapshot)
-                    .expect("invalid network configuration");
-                loop {
-                    let (slot, trains) = match &pipeline {
-                        Some(p) => match p.next() {
-                            Some(job) => job,
-                            None => break,
-                        },
-                        None => {
-                            let k = cursor.fetch_add(1, Ordering::Relaxed);
-                            if k >= order.len() {
-                                break;
-                            }
-                            let slot = order[k];
-                            let rates = encoder.rates(sample(slot).image.pixels());
-                            (slot, generator.generate(slot as u64, &rates, t_present_ms))
-                        }
-                    };
-                    // One span per presentation on the replica thread; the
-                    // per-thread ring flushes when the scoped thread exits.
-                    let _image_span = snn_trace::span_cat("eval/image", "eval");
-                    let counts = engine.present_frozen(&trains);
-                    results.lock().expect("results poisoned")[slot] = Some(counts);
-                }
-                profiles.lock().expect("profiles poisoned").push(device.profile());
-            });
-        }
-    });
+    // Evaluation slots: labeling images first, then inference images.
+    let images: Vec<&LabeledImage> = label_set.iter().chain(infer_set.iter()).collect();
+    let (results, profile) =
+        presentation_counts(network, seed, snapshot, t_present_ms, &images, opts);
 
     // Reduce in canonical index order, whatever order the counts arrived.
-    let results = results.into_inner().expect("results poisoned");
     let mut labeler = Labeler::new(network.n_excitatory, dataset.n_classes);
-    for (slot, sample) in label_set.iter().enumerate() {
-        let counts = results[slot].as_ref().expect("labeling presentation missing");
+    for (sample, counts) in label_set.iter().zip(&results) {
         labeler.record(sample.label, counts);
     }
     let labels = labeler.assign();
@@ -195,8 +262,7 @@ pub fn evaluate_snapshot(
     let mut confusion = ConfusionMatrix::new(dataset.n_classes);
     let mut abstentions = 0usize;
     for (k, sample) in infer_set.iter().enumerate() {
-        let counts = results[n_label + k].as_ref().expect("inference presentation missing");
-        match classifier.predict(counts) {
+        match classifier.predict(&results[n_label + k]) {
             Some(predicted) => confusion.record(sample.label, predicted),
             None => abstentions += 1,
         }
@@ -206,8 +272,6 @@ pub fn evaluate_snapshot(
     let accuracy = confusion.accuracy() * confusion.total() as f64 / total as f64;
     let abstention_rate = abstentions as f64 / total as f64;
 
-    let profiles = profiles.into_inner().expect("profiles poisoned");
-    let profile = ProfileReport::merged(&profiles);
     let hub = snn_trace::metrics();
     hub.set_counter("eval/images", n_total as u64);
     hub.set_counter("eval/replicas", replicas as u64);

@@ -101,15 +101,15 @@ impl Classifier {
         &self.labels
     }
 
-    /// Predicts the class of one presentation from its spike counts;
-    /// `None` when no assigned neuron spiked (an abstention, counted as an
-    /// error by the evaluation).
+    /// Per-class confidence scores of one presentation: the mean spike
+    /// count of each label group (0.0 for classes with no assigned
+    /// neurons). [`Classifier::predict`] is the argmax of this vector.
     ///
     /// # Panics
     ///
     /// Panics if `counts.len()` differs from the label vector.
     #[must_use]
-    pub fn predict(&self, counts: &[u32]) -> Option<u8> {
+    pub fn scores(&self, counts: &[u32]) -> Vec<f64> {
         assert_eq!(counts.len(), self.labels.len(), "count vector mismatch");
         let mut sums = vec![0u64; self.n_classes];
         let mut sizes = vec![0u64; self.n_classes];
@@ -119,10 +119,24 @@ impl Classifier {
                 sizes[usize::from(label)] += 1;
             }
         }
-        let (best, score) = sums
-            .iter()
+        sums.iter()
             .zip(&sizes)
             .map(|(&s, &n)| if n == 0 { 0.0 } else { s as f64 / n as f64 })
+            .collect()
+    }
+
+    /// Predicts the class of one presentation from its spike counts;
+    /// `None` when no assigned neuron spiked (an abstention, counted as an
+    /// error by the evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len()` differs from the label vector.
+    #[must_use]
+    pub fn predict(&self, counts: &[u32]) -> Option<u8> {
+        let (best, score) = self
+            .scores(counts)
+            .into_iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"))?;
         if score > 0.0 {
@@ -162,6 +176,14 @@ mod tests {
         // class 0 (3 > 2); means favor class 1 (1.5 < 2).
         let c = Classifier::new(vec![0, 0, 1], 2);
         assert_eq!(c.predict(&[2, 1, 2]), Some(1));
+    }
+
+    #[test]
+    fn scores_are_group_means_and_predict_is_their_argmax() {
+        let c = Classifier::new(vec![0, 0, 1, UNASSIGNED], 3);
+        let scores = c.scores(&[2, 1, 4, 100]);
+        assert_eq!(scores, vec![1.5, 4.0, 0.0]);
+        assert_eq!(c.predict(&[2, 1, 4, 100]), Some(1));
     }
 
     #[test]

@@ -31,6 +31,6 @@ mod labeler;
 pub mod metrics;
 mod trainer;
 
-pub use eval::{evaluate_snapshot, EvalOptions, EvalOutcome};
+pub use eval::{evaluate_snapshot, label_snapshot, presentation_counts, EvalOptions, EvalOutcome};
 pub use labeler::{Classifier, Labeler, UNASSIGNED};
 pub use trainer::{LearningCurvePoint, TrainOutcome, Trainer, TrainerConfig};

@@ -1,0 +1,55 @@
+//! Multi-tenant inference serving over frozen
+//! [`EvalSnapshot`](snn_core::sim::EvalSnapshot) replicas — the front door
+//! the ROADMAP's "millions of users" direction calls for (DESIGN.md §12).
+//!
+//! The trained low-precision network is cheap to replicate: PR 3's
+//! snapshot Arc-shares one synapse matrix across any number of zero-copy
+//! frozen engines. This crate puts a request path on top:
+//!
+//! ```text
+//!  submit ──► [JobQueue: bounded, load-shedding] ──► replica workers ──► Ticket
+//!    │                (admission control)            (steal + serve)       │
+//!    └── Overloaded (typed rejection, never a hang or a silent drop)  wait ┘
+//! ```
+//!
+//! * [`SnnServer`] — the service: N replica engines on one snapshot, a
+//!   work-stealing distributor over the shared [`queue::JobQueue`],
+//!   graceful drain on [`SnnServer::shutdown`].
+//! * [`queue`] — the bounded admission queue (enqueue / steal / drain /
+//!   poison protocol; model-checked under `--cfg loom`, see DESIGN.md
+//!   §12.4).
+//! * [`Classification`] — class + per-class spike-count confidence, the
+//!   paper's spike-count vote applied per request.
+//! * [`stats`] — latency digests behind the `serve/latency_*` metrics.
+//!
+//! **Correctness contract, tested not asserted:** a served batch is
+//! classification-identical to `snn_learning::evaluate_snapshot` over the
+//! same images at any worker count, queue order and shed-free load
+//! (tier-1 `tests/serving.rs`); admission accounting satisfies
+//! `accepted + shed == submitted` with queue depth bounded by capacity
+//! under arbitrary interleavings (proptest + loom).
+//!
+//! Latency/throughput telemetry flows into the `serve/*` namespace of the
+//! unified [`MetricsHub`](snn_trace::MetricsHub) (schema: DESIGN.md §12.3,
+//! lint-enforced); `bench --bin serving` records sustained QPS and tail
+//! latency to `results/BENCH_serving.json`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod queue;
+mod slot;
+pub mod stats;
+mod sync;
+
+// The server proper mounts real engines and spawns OS threads; under the
+// model checker only the hand-off protocol (queue + slot) is compiled.
+#[cfg(not(loom))]
+mod server;
+
+#[cfg(loom)]
+mod loom_tests;
+
+#[cfg(not(loom))]
+pub use server::{Classification, Overloaded, ServeConfig, ServeReport, SnnServer, Ticket};
+pub use slot::{PanicPayload, Slot};

@@ -1,0 +1,183 @@
+//! Model-checked concurrency tests for the serving hand-off protocol,
+//! compiled only under `RUSTFLAGS="--cfg loom"` (see `src/sync.rs` and
+//! DESIGN.md §12.4).
+//!
+//! Each `snn_loom::model` call explores **every** schedule of the threads
+//! it spawns (or every schedule within the stated preemption bound) and
+//! fails on any data race, deadlock, panic, or leaked thread. These are
+//! the machine-checked versions of the queue/distributor contract in
+//! `queue.rs` and the panic hand-off in `slot.rs`:
+//!
+//! - admission accounting (`accepted + shed == submitted`, depth ≤
+//!   capacity) holds under every producer/consumer interleaving;
+//! - a close-and-drain hands every accepted job to exactly one stealer —
+//!   never zero, never two — and stealers observe exhaustion afterwards;
+//! - `poison` can never strand a stealer blocked on the condvar;
+//! - the worker-panic path re-raises on the caller: a panic caught on the
+//!   worker and routed through `Slot::fail` resumes inside the caller's
+//!   `Slot::wait`, in every schedule;
+//! - a poisoned queue's leftover jobs are reclaimable and their tickets
+//!   failable, so drain leaves no orphaned waiter.
+
+use std::sync::Arc;
+
+use crate::queue::JobQueue;
+use crate::slot::Slot;
+use snn_loom::sync::atomic::{AtomicUsize, Ordering};
+use snn_loom::thread;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+#[test]
+fn admission_accounting_is_exhaustive() {
+    // Two producers race one consumer over a capacity-1 queue. In every
+    // schedule within the preemption bound (the 3-thread condvar protocol
+    // exceeds the exhaustive budget): nothing blocks on admission, the
+    // depth bound holds, and accepted + shed == submitted == 2.
+    snn_loom::model_bounded(3, || {
+        let q = Arc::new(JobQueue::new(1));
+        let producers: Vec<_> = (0..2u32)
+            .map(|i| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let _ = q.try_push(i);
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                // Drain until exhaustion; the accounting assertions below
+                // check the counts, the model checks for hangs.
+                while q.steal().is_some() {}
+            })
+        };
+        for p in producers {
+            p.join().expect("producer never panics");
+        }
+        q.close();
+        consumer.join().expect("consumer never panics");
+        let s = q.stats();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.accepted + s.shed, s.submitted);
+        assert!(s.max_depth <= 1, "depth bound violated: {}", s.max_depth);
+        assert_eq!(s.stolen, s.accepted, "drain left a job behind");
+        assert_eq!(q.depth(), 0);
+    });
+}
+
+#[test]
+fn drain_hands_every_job_to_exactly_one_stealer() {
+    // Two jobs, two competing stealers, queue already closed: every
+    // schedule must deliver each job exactly once (the claimed set is a
+    // partition) and both stealers must terminate.
+    snn_loom::model(|| {
+        let q = Arc::new(JobQueue::new(2));
+        q.try_push(1u32).expect("fits");
+        q.try_push(2u32).expect("fits");
+        q.close();
+        let claimed = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let claimed = Arc::clone(&claimed);
+                thread::spawn(move || {
+                    while let Some(job) = q.steal() {
+                        // Bit-set accumulation: job k sets bit k; a double
+                        // delivery would be visible as a lost count below.
+                        claimed.fetch_add(job as usize, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("stealer never panics");
+        }
+        assert_eq!(claimed.load(Ordering::Relaxed), 3, "each of jobs {{1,2}} exactly once");
+        assert_eq!(q.stats().stolen, 2);
+    });
+}
+
+#[test]
+fn poison_never_strands_a_blocked_stealer() {
+    // A stealer parked on the empty-queue condvar must observe a poison
+    // from any schedule point and return None — the no-hang half of the
+    // worker-death contract.
+    snn_loom::model(|| {
+        let q = Arc::new(JobQueue::<u32>::new(1));
+        let stealer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                q.steal();
+            })
+        };
+        let poisoner = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.poison())
+        };
+        poisoner.join().expect("poison never panics");
+        stealer.join().expect("stealer never panics");
+        assert!(q.is_poisoned());
+    });
+}
+
+#[test]
+fn worker_panic_re_raises_on_the_caller_in_every_schedule() {
+    // The panic hand-off: the worker catches its own panic and routes the
+    // payload through Slot::fail; the caller's wait re-raises it. Explored
+    // against every interleaving of fail and wait (including wait-first,
+    // which must block then re-raise).
+    snn_loom::model(|| {
+        let slot = Arc::new(Slot::<u32>::new());
+        let caller = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                let err = catch_unwind(AssertUnwindSafe(|| slot.wait()))
+                    .expect_err("the worker panic must re-raise on the caller");
+                let msg = err.downcast_ref::<&str>().expect("payload forwarded verbatim");
+                assert_eq!(*msg, "replica panicked serving this request");
+            })
+        };
+        let worker = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                let payload =
+                    catch_unwind(|| panic!("replica panicked serving this request"))
+                        .expect_err("the probe panic fires");
+                slot.fail(payload);
+            })
+        };
+        worker.join().expect("worker survives its caught panic");
+        caller.join().expect("caller assertion holds");
+    });
+}
+
+#[test]
+fn poisoned_drain_leaves_no_orphaned_waiter() {
+    // A job is accepted, then its worker dies before serving it: the
+    // poison + drain_remaining + Slot::fail path must resolve the waiting
+    // ticket (by re-raising) in every schedule — never leave it parked.
+    snn_loom::model_bounded(3, || {
+        let q = Arc::new(JobQueue::new(1));
+        let slot = Arc::new(Slot::<u32>::new());
+        assert!(q.try_push(Arc::clone(&slot)).is_ok(), "fits");
+        let waiter = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                let err = catch_unwind(AssertUnwindSafe(|| slot.wait()))
+                    .expect_err("orphaned ticket must fail, not hang");
+                assert!(err.downcast_ref::<String>().is_some());
+            })
+        };
+        let dying_worker = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.poison())
+        };
+        dying_worker.join().expect("poison never panics");
+        // The shutdown path (SnnServer::finish): reclaim leftovers and
+        // fail their tickets.
+        for orphan in q.drain_remaining() {
+            orphan.fail(Box::new("worker died before serving".to_string()));
+        }
+        waiter.join().expect("waiter resolved");
+    });
+}

@@ -1,0 +1,303 @@
+//! The bounded admission queue between the serving front door and the
+//! replica workers.
+//!
+//! One [`JobQueue`] is shared by every producer (callers of
+//! `SnnServer::submit`) and every consumer (replica worker threads). Its
+//! contract, model-checked under `--cfg loom` in `src/loom_tests.rs` and
+//! property-tested in `tests/admission.rs`:
+//!
+//! * **Admission is all-or-nothing.** [`JobQueue::try_push`] either accepts
+//!   a job (queue depth strictly below capacity, queue open) or returns it
+//!   to the caller in a typed [`Rejected`] — a full queue *sheds* load, it
+//!   never blocks the producer and never drops a job silently.
+//! * **Every accepted job is stolen exactly once.** Workers claim jobs
+//!   through [`JobQueue::steal`], which blocks while the queue is open and
+//!   empty and returns `None` only once the queue is closed *and* drained
+//!   (or poisoned) — so a graceful shutdown serves everything it admitted.
+//! * **Accounting is exact.** `accepted + shed == submitted` at all times,
+//!   and the observed depth never exceeds the configured capacity
+//!   ([`QueueStats::max_depth`]).
+//! * **Poisoning never hangs a peer.** [`JobQueue::poison`] (a worker died
+//!   outside its per-job panic guard) wakes every blocked stealer; the
+//!   leftovers are reclaimed with [`JobQueue::drain_remaining`] so their
+//!   tickets can be failed instead of orphaned.
+//!
+//! The queue is deliberately engine-agnostic (`T` is opaque) so the loom
+//! models can drive it with plain integers.
+
+use std::collections::VecDeque;
+
+use crate::sync::{Condvar, Mutex};
+
+/// Why [`JobQueue::try_push`] refused a job; the job rides back to the
+/// caller so nothing is dropped.
+#[derive(Debug)]
+pub enum Rejected<T> {
+    /// The queue is at capacity — the caller should shed or retry later.
+    Full(T),
+    /// The queue has been closed (shutdown has begun) or poisoned.
+    Closed(T),
+}
+
+impl<T> Rejected<T> {
+    /// The rejected job itself.
+    pub fn into_job(self) -> T {
+        match self {
+            Rejected::Full(job) | Rejected::Closed(job) => job,
+        }
+    }
+}
+
+/// A monotonic snapshot of the queue's accounting counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Jobs offered to admission (accepted + shed).
+    pub submitted: u64,
+    /// Jobs admitted into the queue.
+    pub accepted: u64,
+    /// Jobs refused by admission control (full or closed).
+    pub shed: u64,
+    /// Jobs claimed by workers.
+    pub stolen: u64,
+    /// High-water queue depth ever observed.
+    pub max_depth: usize,
+}
+
+struct Inner<T> {
+    jobs: VecDeque<T>,
+    capacity: usize,
+    /// Test/bench hook: a paused queue admits jobs but hands none out, so a
+    /// test can fill the queue deterministically before resuming.
+    paused: bool,
+    /// Closed queues shed all new submissions; stealers drain what remains.
+    closed: bool,
+    /// Poisoned queues additionally stop handing out jobs at all.
+    poisoned: bool,
+    stats: QueueStats,
+}
+
+/// Bounded multi-producer multi-consumer job queue with load-shedding
+/// admission control, pause/resume, graceful close-and-drain, and a poison
+/// path for abnormal worker death. See the module docs for the contract.
+pub struct JobQueue<T> {
+    inner: Mutex<Inner<T>>,
+    takers: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    /// An open queue admitting at most `capacity` queued jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity queue could never
+    /// hand a job over.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        JobQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::with_capacity(capacity),
+                capacity,
+                paused: false,
+                closed: false,
+                poisoned: false,
+                stats: QueueStats::default(),
+            }),
+            takers: Condvar::new(),
+        }
+    }
+
+    /// Offers one job to admission control. Returns the depth after the
+    /// push on acceptance; returns the job itself inside [`Rejected`] when
+    /// the queue is full or closed. Never blocks.
+    pub fn try_push(&self, job: T) -> Result<usize, Rejected<T>> {
+        let mut g = self.inner.lock();
+        g.stats.submitted += 1;
+        if g.closed || g.poisoned {
+            g.stats.shed += 1;
+            return Err(Rejected::Closed(job));
+        }
+        if g.jobs.len() >= g.capacity {
+            g.stats.shed += 1;
+            return Err(Rejected::Full(job));
+        }
+        g.jobs.push_back(job);
+        g.stats.accepted += 1;
+        let depth = g.jobs.len();
+        g.stats.max_depth = g.stats.max_depth.max(depth);
+        drop(g);
+        self.takers.notify_one();
+        Ok(depth)
+    }
+
+    /// Claims the next job, blocking while the queue is open but empty (or
+    /// paused). Returns `None` once the queue is closed and fully drained,
+    /// or as soon as it is poisoned — a stealer can never hang on a dead
+    /// queue.
+    pub fn steal(&self) -> Option<T> {
+        let mut g = self.inner.lock();
+        loop {
+            if g.poisoned {
+                return None;
+            }
+            if !g.paused {
+                if let Some(job) = g.jobs.pop_front() {
+                    g.stats.stolen += 1;
+                    return Some(job);
+                }
+                if g.closed {
+                    return None;
+                }
+            }
+            self.takers.wait(&mut g);
+        }
+    }
+
+    /// Holds all jobs back from stealers (admission stays open). A closed
+    /// queue cannot be paused — [`JobQueue::close`] always resumes so a
+    /// drain can complete.
+    pub fn pause(&self) {
+        let mut g = self.inner.lock();
+        if !g.closed {
+            g.paused = true;
+        }
+    }
+
+    /// Releases a [`JobQueue::pause`].
+    pub fn resume(&self) {
+        let mut g = self.inner.lock();
+        g.paused = false;
+        drop(g);
+        self.takers.notify_all();
+    }
+
+    /// Begins a graceful drain: new submissions shed with
+    /// [`Rejected::Closed`], stealers keep claiming until the queue is
+    /// empty, then observe `None`. Clears any pause so the drain cannot
+    /// stall.
+    pub fn close(&self) {
+        let mut g = self.inner.lock();
+        g.closed = true;
+        g.paused = false;
+        drop(g);
+        self.takers.notify_all();
+    }
+
+    /// Marks the queue dead after an abnormal worker exit: admission sheds,
+    /// every blocked stealer wakes and observes `None`, and whatever jobs
+    /// remain queued are reclaimable via [`JobQueue::drain_remaining`] so
+    /// their tickets can be failed rather than orphaned.
+    pub fn poison(&self) {
+        let mut g = self.inner.lock();
+        g.poisoned = true;
+        g.closed = true;
+        g.paused = false;
+        drop(g);
+        self.takers.notify_all();
+    }
+
+    /// Whether [`JobQueue::poison`] has been called.
+    #[must_use]
+    pub fn is_poisoned(&self) -> bool {
+        self.inner.lock().poisoned
+    }
+
+    /// Whether [`JobQueue::close`] (or poison) has been called.
+    #[must_use]
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+
+    /// Takes every job still queued (normally empty after a graceful
+    /// drain; non-empty only after a poison).
+    #[must_use]
+    pub fn drain_remaining(&self) -> Vec<T> {
+        let mut g = self.inner.lock();
+        g.jobs.drain(..).collect()
+    }
+
+    /// Current queue depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.inner.lock().jobs.len()
+    }
+
+    /// A snapshot of the accounting counters.
+    #[must_use]
+    pub fn stats(&self) -> QueueStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn admission_sheds_exactly_above_capacity() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.try_push(1).expect("first fits"), 1);
+        assert_eq!(q.try_push(2).expect("second fits"), 2);
+        match q.try_push(3) {
+            Err(Rejected::Full(job)) => assert_eq!(job, 3),
+            other => panic!("expected Full rejection, got {other:?}"),
+        }
+        let s = q.stats();
+        assert_eq!((s.submitted, s.accepted, s.shed), (3, 2, 1));
+        assert_eq!(s.max_depth, 2);
+    }
+
+    #[test]
+    fn close_drains_then_signals_exhaustion() {
+        let q = JobQueue::new(4);
+        q.try_push(10).expect("accepted");
+        q.try_push(11).expect("accepted");
+        q.close();
+        match q.try_push(12) {
+            Err(Rejected::Closed(job)) => assert_eq!(job, 12),
+            other => panic!("expected Closed rejection, got {other:?}"),
+        }
+        assert_eq!(q.steal(), Some(10));
+        assert_eq!(q.steal(), Some(11));
+        assert_eq!(q.steal(), None);
+        assert_eq!(q.stats().stolen, 2);
+    }
+
+    #[test]
+    fn pause_holds_jobs_until_resume() {
+        let q = Arc::new(JobQueue::new(4));
+        q.pause();
+        q.try_push(1).expect("paused queues still admit");
+        let thief = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.steal())
+        };
+        // The stealer must block while paused; resume releases it.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!thief.is_finished(), "steal must block on a paused queue");
+        q.resume();
+        assert_eq!(thief.join().expect("no panic"), Some(1));
+    }
+
+    #[test]
+    fn poison_wakes_blocked_stealers_and_reclaims_jobs() {
+        let q = Arc::new(JobQueue::new(4));
+        q.pause();
+        q.try_push(7).expect("accepted");
+        let thief = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.steal())
+        };
+        q.poison();
+        assert_eq!(thief.join().expect("no panic"), None);
+        assert_eq!(q.drain_remaining(), vec![7]);
+        assert!(q.is_poisoned());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_is_rejected() {
+        let _ = JobQueue::<u32>::new(0);
+    }
+}

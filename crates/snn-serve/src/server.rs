@@ -1,0 +1,516 @@
+//! The serving front door: a pool of frozen replica engines behind the
+//! bounded admission queue.
+//!
+//! [`SnnServer::start`] mounts `workers` zero-copy [`WtaEngine`] replicas
+//! on one Arc-shared [`EvalSnapshot`] (no weight copies — the PR-3
+//! replication machinery) and parks each on the shared [`JobQueue`].
+//! [`SnnServer::submit`] is the admission edge: it either accepts a
+//! classification request and returns a [`Ticket`], or sheds it with a
+//! typed [`Overloaded`] — never blocking, never dropping silently.
+//! [`SnnServer::shutdown`] closes the queue, drains every accepted request
+//! and reduces the run into a [`ServeReport`].
+//!
+//! **Identity contract** (tier-1 `tests/serving.rs`): a served request with
+//! train key `k` is classified exactly as the serial evaluation loop
+//! classifies presentation slot `k` — spike trains are generated from RNG
+//! streams keyed by `(k, input, spike)` and a frozen presentation consumes
+//! no engine RNG, so worker count, queue order and shed-free load are pure
+//! wall-clock knobs.
+//!
+//! **Panic semantics:** a panic while serving a request is caught on the
+//! worker and re-raised on the caller's [`Ticket::wait`]; the worker and
+//! every other in-flight request keep going. A panic *outside* a request
+//! (replica construction) poisons the queue, fails every still-queued
+//! ticket, and re-raises on [`SnnServer::shutdown`].
+//!
+//! Telemetry flows into the `serve/*` namespace documented in DESIGN.md
+//! §12.3 (enforced by the snn-lint `trace-schema` rule).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gpu_device::{Device, DeviceConfig};
+use snn_core::config::NetworkConfig;
+use snn_core::sim::{EvalSnapshot, WtaEngine};
+use snn_learning::Classifier;
+use spike_encoding::{EvalTrainGenerator, RateEncoder};
+
+use crate::queue::{JobQueue, Rejected};
+use crate::slot::Slot;
+use crate::stats::LatencyDigest;
+use crate::sync::{JoinHandle, Mutex, ThreadBuilder};
+
+/// Everything the server needs to mount its replicas; execution knobs
+/// only — none of them can change what a request classifies as.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Network architecture the snapshot was trained under.
+    pub network: NetworkConfig,
+    /// Engine/trainer seed; keys the per-request spike-train generator, so
+    /// `(seed, key)` fully determines a request's input spikes.
+    pub seed: u64,
+    /// Presentation duration per request (ms).
+    pub t_present_ms: f64,
+    /// Replica worker count (clamped to at least 1).
+    pub workers: usize,
+    /// Admission bound: jobs queued beyond this are shed with
+    /// [`Overloaded::QueueFull`].
+    pub queue_capacity: usize,
+    /// Per-replica device request; [`Device::new_budgeted`] clamps the
+    /// total worker budget to host parallelism.
+    pub device: DeviceConfig,
+    /// Test/bench hook: start with the queue paused so a test can fill it
+    /// deterministically before releasing the workers.
+    pub start_paused: bool,
+}
+
+impl ServeConfig {
+    /// A serving configuration with host-sized defaults: one replica per
+    /// host thread and a queue of four jobs per replica.
+    #[must_use]
+    pub fn new(network: NetworkConfig, seed: u64, t_present_ms: f64) -> Self {
+        let workers = DeviceConfig::host_parallelism();
+        ServeConfig {
+            network,
+            seed,
+            t_present_ms,
+            workers,
+            queue_capacity: 4 * workers,
+            device: DeviceConfig::default(),
+            start_paused: false,
+        }
+    }
+}
+
+/// Why [`SnnServer::submit`] refused a request. The typed rejection *is*
+/// the backpressure signal — callers retry, redirect or report upstream;
+/// the server never blocks them and never drops an accepted request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Overloaded {
+    /// The admission queue is at capacity.
+    QueueFull {
+        /// The configured bound the queue is at.
+        capacity: usize,
+    },
+    /// The server is shutting down (or a worker died); no new requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Overloaded::QueueFull { capacity } => {
+                write!(f, "serving queue is at capacity ({capacity}); request shed")
+            }
+            Overloaded::ShuttingDown => write!(f, "server is shutting down; request shed"),
+        }
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+/// What one served request resolves to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// Predicted class, `None` when no labeled neuron spiked (abstention).
+    pub class: Option<u8>,
+    /// Per-class confidence: mean spike count of each label group — the
+    /// vote [`Classifier::predict`] takes the argmax of.
+    pub confidence: Vec<f64>,
+    /// Raw per-neuron spike counts of the presentation.
+    pub counts: Vec<u32>,
+    /// Which replica served the request.
+    pub replica: usize,
+    /// Queue + service latency, admission to completion (ms).
+    pub latency_ms: f64,
+}
+
+/// One queued request: the caller's pixels, the train key that pins its
+/// input spikes, and the slot its ticket waits on.
+struct Job {
+    key: u64,
+    pixels: Vec<u8>,
+    slot: Arc<Slot<Classification>>,
+    enqueued: Instant,
+}
+
+/// The caller's handle on an accepted request.
+pub struct Ticket {
+    slot: Arc<Slot<Classification>>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes. A worker panic on this request
+    /// re-raises here (see the module docs).
+    #[must_use = "dropping a ticket discards the classification"]
+    pub fn wait(self) -> Classification {
+        self.slot.wait()
+    }
+
+    /// Non-blocking readiness probe.
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        self.slot.is_ready()
+    }
+}
+
+/// Per-worker accounting, merged into the report at shutdown.
+struct WorkerLog {
+    index: usize,
+    completed: u64,
+    panicked: u64,
+    busy_ms: f64,
+    latencies: LatencyDigest,
+}
+
+#[derive(Default)]
+struct SharedState {
+    logs: Mutex<Vec<WorkerLog>>,
+    /// Panic payloads from worker deaths *outside* a request; re-raised by
+    /// [`SnnServer::shutdown`].
+    fatal: Mutex<Vec<crate::slot::PanicPayload>>,
+}
+
+/// What a full serve run amounted to; returned by [`SnnServer::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests offered to admission (accepted + shed).
+    pub submitted: u64,
+    /// Requests admitted.
+    pub accepted: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Requests whose processing panicked (payload re-raised on the ticket).
+    pub panicked: u64,
+    /// Median request latency (admission → completion), ms.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile request latency, ms.
+    pub latency_p99_ms: f64,
+    /// Mean request latency, ms.
+    pub latency_mean_ms: f64,
+    /// Worst request latency, ms.
+    pub latency_max_ms: f64,
+    /// Server lifetime, start to drained, seconds.
+    pub wall_s: f64,
+    /// Sustained throughput: completed requests per second of lifetime.
+    pub qps: f64,
+    /// Per-replica busy fraction (service time / server lifetime).
+    pub replica_utilization: Vec<f64>,
+    /// High-water queue depth (≤ the configured capacity, by construction).
+    pub max_queue_depth: usize,
+}
+
+/// A running multi-tenant inference service over one frozen snapshot. See
+/// the module docs for the admission, identity and panic contracts.
+pub struct SnnServer {
+    queue: Arc<JobQueue<Job>>,
+    shared: Arc<SharedState>,
+    handles: Vec<JoinHandle<()>>,
+    started: Instant,
+    n_inputs: usize,
+    queue_capacity: usize,
+    workers: usize,
+}
+
+impl SnnServer {
+    /// Spawns `config.workers` replica threads over `snapshot` and starts
+    /// accepting requests. The classifier is the one produced by the
+    /// labeling phase (`snn_learning::label_snapshot` or
+    /// `evaluate_snapshot`); serving applies it verbatim, which is what
+    /// makes served classifications identical to offline evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network configuration is invalid, the snapshot or
+    /// classifier shapes do not match it, or a worker thread cannot spawn.
+    #[must_use]
+    pub fn start(config: ServeConfig, snapshot: &EvalSnapshot, classifier: Classifier) -> Self {
+        config.network.validate().expect("invalid network configuration");
+        assert_eq!(
+            snapshot.synapses().n_pre(),
+            config.network.n_inputs,
+            "snapshot pre population does not match the network"
+        );
+        assert_eq!(
+            snapshot.synapses().n_post(),
+            config.network.n_excitatory,
+            "snapshot post population does not match the network"
+        );
+        assert_eq!(
+            classifier.labels().len(),
+            config.network.n_excitatory,
+            "classifier label vector does not match the excitatory population"
+        );
+        assert!(
+            config.t_present_ms > 0.0 && config.t_present_ms.is_finite(),
+            "presentation duration must be positive"
+        );
+
+        let workers = config.workers.max(1);
+        let queue = Arc::new(JobQueue::new(config.queue_capacity));
+        if config.start_paused {
+            queue.pause();
+        }
+        let shared = Arc::new(SharedState::default());
+
+        let handles = (0..workers)
+            .map(|index| {
+                let queue = Arc::clone(&queue);
+                let shared = Arc::clone(&shared);
+                let network = config.network.clone();
+                let device_cfg = config.device.clone();
+                let snapshot = snapshot.clone();
+                let classifier = classifier.clone();
+                let (seed, t_present_ms) = (config.seed, config.t_present_ms);
+                ThreadBuilder::new()
+                    .name(format!("snn-serve/{index}"))
+                    .spawn(move || {
+                        worker_main(
+                            index,
+                            workers,
+                            &queue,
+                            &shared,
+                            &network,
+                            device_cfg,
+                            seed,
+                            t_present_ms,
+                            &snapshot,
+                            &classifier,
+                        );
+                    })
+                    .expect("failed to spawn a serving worker")
+            })
+            .collect();
+
+        SnnServer {
+            queue,
+            shared,
+            handles,
+            started: Instant::now(),
+            n_inputs: config.network.n_inputs,
+            queue_capacity: config.queue_capacity,
+            workers,
+        }
+    }
+
+    /// Offers one classification request to admission control. `key` pins
+    /// the request's input spike trains (the identity contract: serving
+    /// key `k` classifies exactly as evaluation slot `k`); callers that
+    /// don't care about reproducibility can use any unique value.
+    ///
+    /// Never blocks: the request is either queued (returning a [`Ticket`])
+    /// or shed with a typed [`Overloaded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pixels` does not match the network's input population.
+    pub fn submit(&self, pixels: &[u8], key: u64) -> Result<Ticket, Overloaded> {
+        assert_eq!(pixels.len(), self.n_inputs, "pixel vector does not match the input population");
+        let slot = Arc::new(Slot::new());
+        let job =
+            Job { key, pixels: pixels.to_vec(), slot: Arc::clone(&slot), enqueued: Instant::now() };
+        match self.queue.try_push(job) {
+            Ok(depth) => {
+                snn_trace::metrics().observe("serve/queue_depth", depth as f64);
+                Ok(Ticket { slot })
+            }
+            Err(Rejected::Full(_)) => Err(Overloaded::QueueFull { capacity: self.queue_capacity }),
+            Err(Rejected::Closed(_)) => Err(Overloaded::ShuttingDown),
+        }
+    }
+
+    /// Test/bench hook: hold all queued jobs back from the replicas (see
+    /// [`ServeConfig::start_paused`]). Admission stays open.
+    pub fn pause(&self) {
+        self.queue.pause();
+    }
+
+    /// Releases a [`SnnServer::pause`].
+    pub fn resume(&self) {
+        self.queue.resume();
+    }
+
+    /// Current admission-queue depth.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Graceful drain: stops admitting, serves every already-accepted
+    /// request, joins the replicas and reduces the run into a
+    /// [`ServeReport`] (also published to the `serve/*` metrics namespace).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the payload of a worker that died outside a request
+    /// (after failing that worker's still-queued tickets).
+    #[must_use = "the report carries the run's accounting; drop it explicitly if unwanted"]
+    pub fn shutdown(mut self) -> ServeReport {
+        self.finish().expect("finish() always reports on the first call")
+    }
+
+    /// Shared close-drain-join-reduce path for `shutdown` and `Drop`.
+    fn finish(&mut self) -> Option<ServeReport> {
+        if self.handles.is_empty() {
+            return None; // already finished
+        }
+        let drain_start = Instant::now();
+        self.queue.close();
+        for handle in self.handles.drain(..) {
+            // Workers never unwind out of worker_main (panics are routed
+            // through the slot or the fatal list), so join errors are
+            // impossible; tolerate them anyway rather than aborting a drop.
+            let _ = handle.join();
+        }
+        snn_trace::record_span_at("serve/drain", "serve", drain_start, drain_start.elapsed());
+
+        // A poisoned queue may still hold jobs whose worker died; fail
+        // their tickets so no caller hangs.
+        let orphans = self.queue.drain_remaining();
+        let orphaned = orphans.len() as u64;
+        for job in orphans {
+            job.slot.fail(Box::new(
+                "snn-serve: replica worker died before serving this request".to_string(),
+            ));
+        }
+
+        let wall_s = self.started.elapsed().as_secs_f64();
+        snn_trace::record_span_at("serve/run", "serve", self.started, self.started.elapsed());
+
+        let logs = std::mem::take(&mut *self.shared.logs.lock());
+        let mut latencies = LatencyDigest::new();
+        let (mut completed, mut panicked) = (0u64, 0u64);
+        let mut replica_utilization = vec![0.0; self.workers];
+        for log in &logs {
+            completed += log.completed;
+            panicked += log.panicked;
+            latencies.merge(&log.latencies);
+            replica_utilization[log.index] = (log.busy_ms / 1e3 / wall_s.max(1e-9)).min(1.0);
+        }
+        let stats = self.queue.stats();
+        debug_assert_eq!(
+            completed + panicked + orphaned,
+            stats.accepted,
+            "drain accounting: every accepted request resolves exactly once"
+        );
+
+        let report = ServeReport {
+            submitted: stats.submitted,
+            accepted: stats.accepted,
+            shed: stats.shed,
+            completed,
+            panicked,
+            latency_p50_ms: latencies.quantile_ms(0.5),
+            latency_p99_ms: latencies.quantile_ms(0.99),
+            latency_mean_ms: latencies.mean_ms(),
+            latency_max_ms: latencies.max_ms(),
+            wall_s,
+            qps: completed as f64 / wall_s.max(1e-9),
+            replica_utilization,
+            max_queue_depth: stats.max_depth,
+        };
+        publish_report(&report);
+
+        // Worker death outside a request is fatal: surface it to the
+        // operator once every ticket has been resolved.
+        let mut fatal = self.shared.fatal.lock();
+        if let Some(payload) = fatal.pop() {
+            drop(fatal);
+            std::panic::resume_unwind(payload);
+        }
+        Some(report)
+    }
+}
+
+impl Drop for SnnServer {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            // Dropping without shutdown still drains gracefully; the
+            // report is discarded and fatal payloads are swallowed (a
+            // panicking drop during an unwind would abort).
+            let _ = self.finish();
+        }
+    }
+}
+
+/// Publishes the shutdown report to the unified metrics hub under the
+/// `serve/*` namespace (DESIGN.md §12.3).
+fn publish_report(report: &ServeReport) {
+    let hub = snn_trace::metrics();
+    hub.set_counter("serve/submitted", report.submitted);
+    hub.set_counter("serve/accepted", report.accepted);
+    hub.set_counter("serve/shed", report.shed);
+    hub.set_counter("serve/completed", report.completed);
+    hub.set_value("serve/latency_p50_ms", report.latency_p50_ms);
+    hub.set_value("serve/latency_p99_ms", report.latency_p99_ms);
+    hub.set_value("serve/qps", report.qps);
+    for &u in &report.replica_utilization {
+        hub.observe("serve/replica_utilization", u);
+    }
+}
+
+/// One replica thread: mount a frozen engine on the shared snapshot, then
+/// steal-serve until the queue drains. Per-request panics are forwarded to
+/// the requester's ticket; any other panic poisons the queue (failing
+/// still-queued tickets falls to `finish`) and lands in the fatal list.
+#[allow(clippy::too_many_arguments)]
+fn worker_main(
+    index: usize,
+    replicas: usize,
+    queue: &JobQueue<Job>,
+    shared: &SharedState,
+    network: &NetworkConfig,
+    device_cfg: DeviceConfig,
+    seed: u64,
+    t_present_ms: f64,
+    snapshot: &EvalSnapshot,
+    classifier: &Classifier,
+) {
+    let mut log =
+        WorkerLog { index, completed: 0, panicked: 0, busy_ms: 0.0, latencies: LatencyDigest::new() };
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        let device = Device::new_budgeted(device_cfg, replicas);
+        let mut engine = WtaEngine::replica(network.clone(), &device, seed, snapshot)
+            .expect("validated in SnnServer::start");
+        let encoder = RateEncoder::new(network.frequency);
+        let generator = EvalTrainGenerator::new(seed, network.dt_ms);
+        while let Some(job) = queue.steal() {
+            let begin = Instant::now();
+            let served = catch_unwind(AssertUnwindSafe(|| {
+                let _span = snn_trace::span_cat("serve/request", "serve");
+                let rates = encoder.rates(&job.pixels);
+                let trains = generator.generate(job.key, &rates, t_present_ms);
+                let counts = engine.present_frozen(&trains);
+                let confidence = classifier.scores(&counts);
+                let class = classifier.predict(&counts);
+                Classification { class, confidence, counts, replica: index, latency_ms: 0.0 }
+            }));
+            log.busy_ms += begin.elapsed().as_secs_f64() * 1e3;
+            match served {
+                Ok(mut result) => {
+                    let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+                    result.latency_ms = latency_ms;
+                    log.completed += 1;
+                    log.latencies.record(latency_ms);
+                    snn_trace::metrics().observe("serve/latency_ms", latency_ms);
+                    job.slot.fill(result);
+                }
+                Err(payload) => {
+                    // A request that panics its presentation may leave the
+                    // replica's transient state mid-flight; present_frozen
+                    // re-initializes all of it, so the worker serves on.
+                    log.panicked += 1;
+                    job.slot.fail(payload);
+                }
+            }
+        }
+    }));
+    if let Err(payload) = run {
+        queue.poison();
+        shared.fatal.lock().push(payload);
+    }
+    shared.logs.lock().push(log);
+}

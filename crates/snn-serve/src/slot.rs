@@ -1,0 +1,140 @@
+//! The one-shot result hand-off between a replica worker and the caller
+//! holding a ticket.
+//!
+//! A [`Slot`] is filled exactly once — with the classification, or with a
+//! worker's panic payload — and [`Slot::wait`] blocks until then. The
+//! panic path **re-raises on the caller**: a worker that panics while
+//! processing a request does not take the server down, it forwards the
+//! panic to the one caller who asked for that request (the same hand-off
+//! the gpu-device worker pool uses for kernel panics, DESIGN.md §10).
+//! The protocol is model-checked under `--cfg loom` in `src/loom_tests.rs`.
+
+use std::any::Any;
+
+use crate::sync::{Condvar, Mutex};
+
+/// A worker panic payload, forwarded verbatim so the caller's unwind shows
+/// the original message.
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+enum State<T> {
+    Pending,
+    Done(T),
+    Panicked(PanicPayload),
+    Taken,
+}
+
+/// A one-shot, fill-exactly-once result cell. See the module docs.
+pub struct Slot<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> Default for Slot<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Slot<T> {
+    /// An empty (pending) slot.
+    #[must_use]
+    pub fn new() -> Self {
+        Slot { state: Mutex::new(State::Pending), ready: Condvar::new() }
+    }
+
+    /// Fills the slot with a completed result and wakes the waiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was already filled — the queue hands every job to
+    /// exactly one worker, so a double fill is a protocol violation.
+    pub fn fill(&self, value: T) {
+        let mut g = self.state.lock();
+        assert!(matches!(*g, State::Pending), "slot filled twice");
+        *g = State::Done(value);
+        drop(g);
+        self.ready.notify_all();
+    }
+
+    /// Fills the slot with a worker's panic payload and wakes the waiter,
+    /// which will re-raise it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot was already filled.
+    pub fn fail(&self, payload: PanicPayload) {
+        let mut g = self.state.lock();
+        assert!(matches!(*g, State::Pending), "slot filled twice");
+        *g = State::Panicked(payload);
+        drop(g);
+        self.ready.notify_all();
+    }
+
+    /// Non-blocking probe: `true` once the slot has been filled (result or
+    /// panic) and not yet consumed by [`Slot::wait`].
+    #[must_use]
+    pub fn is_ready(&self) -> bool {
+        !matches!(*self.state.lock(), State::Pending)
+    }
+
+    /// Blocks until the slot is filled and takes the result. If the worker
+    /// panicked on this request, the panic resumes here, on the caller.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the worker's panic payload; also panics if called twice
+    /// (the serving API consumes the ticket, so this cannot happen there).
+    pub fn wait(&self) -> T {
+        let mut g = self.state.lock();
+        loop {
+            match std::mem::replace(&mut *g, State::Taken) {
+                State::Pending => {
+                    *g = State::Pending;
+                    self.ready.wait(&mut g);
+                }
+                State::Done(value) => return value,
+                State::Panicked(payload) => {
+                    drop(g);
+                    std::panic::resume_unwind(payload);
+                }
+                State::Taken => panic!("slot waited on twice"),
+            }
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fill_then_wait_round_trips() {
+        let slot = Arc::new(Slot::new());
+        let waiter = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.wait())
+        };
+        slot.fill(42u32);
+        assert_eq!(waiter.join().expect("no panic"), 42);
+    }
+
+    #[test]
+    fn worker_panic_re_raises_on_the_caller() {
+        let slot = Arc::new(Slot::<u32>::new());
+        slot.fail(Box::new("engine exploded".to_string()));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| slot.wait()))
+            .expect_err("wait must re-raise the worker panic");
+        let msg = err.downcast_ref::<String>().expect("payload forwarded verbatim");
+        assert_eq!(msg, "engine exploded");
+    }
+
+    #[test]
+    #[should_panic(expected = "slot filled twice")]
+    fn double_fill_is_a_protocol_violation() {
+        let slot = Slot::new();
+        slot.fill(1u32);
+        slot.fill(2u32);
+    }
+}

@@ -1,0 +1,115 @@
+//! Latency accounting for the serving layer: per-request samples collected
+//! by the replica workers, reduced to the percentile summary published as
+//! `serve/latency_p50_ms` / `serve/latency_p99_ms` (DESIGN.md §12.3) and
+//! recorded in `results/BENCH_serving.json` by the load generator.
+
+/// A bag of latency samples (milliseconds) with percentile reduction.
+/// Workers accumulate locally and merge once at exit, so the hot path
+/// never contends on a shared histogram.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyDigest {
+    samples_ms: Vec<f64>,
+}
+
+impl LatencyDigest {
+    /// An empty digest.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one request latency in milliseconds.
+    pub fn record(&mut self, ms: f64) {
+        self.samples_ms.push(ms);
+    }
+
+    /// Absorbs another digest (per-worker merge at exit).
+    pub fn merge(&mut self, other: &LatencyDigest) {
+        self.samples_ms.extend_from_slice(&other.samples_ms);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples_ms.len()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples_ms.is_empty()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) by the nearest-rank method on the
+    /// sorted samples; `0.0` on an empty digest. `q = 0.5` is the median,
+    /// `q = 0.99` the tail latency the serving bench reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or any sample is NaN.
+    #[must_use]
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Arithmetic mean; `0.0` on an empty digest.
+    #[must_use]
+    pub fn mean_ms(&self) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        self.samples_ms.iter().sum::<f64>() / self.samples_ms.len() as f64
+    }
+
+    /// Largest sample; `0.0` on an empty digest.
+    #[must_use]
+    pub fn max_ms(&self) -> f64 {
+        self.samples_ms.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut d = LatencyDigest::new();
+        for ms in [5.0, 1.0, 3.0, 2.0, 4.0] {
+            d.record(ms);
+        }
+        assert_eq!(d.len(), 5);
+        assert!((d.quantile_ms(0.5) - 3.0).abs() < 1e-12);
+        assert!((d.quantile_ms(0.99) - 5.0).abs() < 1e-12);
+        assert!((d.quantile_ms(0.0) - 1.0).abs() < 1e-12);
+        assert!((d.mean_ms() - 3.0).abs() < 1e-12);
+        assert!((d.max_ms() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_digest_reports_zero() {
+        let d = LatencyDigest::new();
+        assert!(d.is_empty());
+        assert_eq!(d.quantile_ms(0.5), 0.0);
+        assert_eq!(d.mean_ms(), 0.0);
+        assert_eq!(d.max_ms(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyDigest::new();
+        a.record(1.0);
+        let mut b = LatencyDigest::new();
+        b.record(9.0);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!((a.max_ms() - 9.0).abs() < 1e-12);
+    }
+}

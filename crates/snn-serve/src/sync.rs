@@ -1,0 +1,24 @@
+//! The crate's single import point for concurrency primitives.
+//!
+//! Normal builds re-export the production primitives (`parking_lot`
+//! mutexes/condvars, `std` threads). Under `RUSTFLAGS="--cfg loom"` every
+//! one of them is swapped for its [`snn_loom`] model-checked double, which
+//! lets `src/loom_tests.rs` exhaustively interleave the job-queue
+//! hand-off protocol (enqueue vs. steal vs. drain vs. poison) and the
+//! ticket slot's panic hand-off (see DESIGN.md §12.4).
+//!
+//! Everything that synchronizes in this crate must import from here — the
+//! `snn-lint` `sync-shim` rule rejects direct `parking_lot::` or
+//! `std::sync::Mutex`/`std::thread` use elsewhere in the crate — so the
+//! model checker sees every primitive the production build uses.
+
+#[cfg(not(loom))]
+pub(crate) use parking_lot::{Condvar, Mutex};
+#[cfg(not(loom))]
+pub(crate) use std::thread::{Builder as ThreadBuilder, JoinHandle};
+
+#[cfg(loom)]
+pub(crate) use snn_loom::sync::{Condvar, Mutex};
+#[cfg(loom)]
+#[allow(unused_imports)] // server.rs (the only spawner) is compiled out under loom
+pub(crate) use snn_loom::thread::{Builder as ThreadBuilder, JoinHandle};

@@ -1,0 +1,165 @@
+//! Property tests for the serving layer's admission-control invariants
+//! (DESIGN.md §12.2): under randomly generated request/complete/shed
+//! interleavings —
+//!
+//! * `accepted + shed == submitted`, always;
+//! * the queue depth never exceeds its configured bound;
+//! * a drain leaves no orphaned job: every accepted request is handed to
+//!   exactly one worker and every ticket resolves.
+//!
+//! The first property drives the bare [`JobQueue`] with real producer and
+//! consumer threads (the loom models in `src/loom_tests.rs` explore the
+//! small schedules exhaustively; this layer throws randomized volume at
+//! the same contract). The second drives a real [`SnnServer`] over a tiny
+//! frozen network end to end.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use snn_core::config::{NetworkConfig, Preset};
+use snn_core::sim::EvalSnapshot;
+use snn_core::synapse::SynapseMatrix;
+use snn_learning::Classifier;
+use snn_serve::queue::JobQueue;
+use snn_serve::{Overloaded, ServeConfig, SnnServer};
+
+const N_INPUTS: usize = 16;
+const N_EXC: usize = 4;
+
+fn tiny_network() -> NetworkConfig {
+    NetworkConfig::from_preset(Preset::FullPrecision, N_INPUTS, N_EXC)
+}
+
+fn tiny_snapshot(seed: u64) -> EvalSnapshot {
+    let cfg = tiny_network();
+    EvalSnapshot::new(SynapseMatrix::new_random(&cfg, seed), vec![0.0; N_EXC])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Queue-level accounting under concurrent producers and consumers.
+    #[test]
+    fn queue_accounting_holds_under_random_interleavings(
+        capacity in 1usize..6,
+        producers in 1usize..4,
+        per_producer in 0usize..24,
+        consumers in 1usize..4,
+        pause_first in proptest::bool::ANY,
+    ) {
+        let q = Arc::new(JobQueue::new(capacity));
+        if pause_first {
+            q.pause();
+        }
+        std::thread::scope(|scope| {
+            for p in 0..producers {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for k in 0..per_producer {
+                        let _ = q.try_push((p, k));
+                        if k % 3 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let handles: Vec<_> = (0..consumers)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    scope.spawn(move || {
+                        let mut seen = Vec::new();
+                        while let Some(job) = q.steal() {
+                            seen.push(job);
+                        }
+                        seen
+                    })
+                })
+                .collect();
+            if pause_first {
+                q.resume();
+            }
+            // try_push never blocks, so "all producers done" is visible as
+            // submitted == expected; a dedicated closer waits for that and
+            // then closes, which releases the consumers' drain.
+            let q2 = Arc::clone(&q);
+            let expected = (producers * per_producer) as u64;
+            scope.spawn(move || {
+                while q2.stats().submitted < expected {
+                    std::thread::yield_now();
+                }
+                q2.close();
+            });
+            let mut all = Vec::new();
+            for h in handles {
+                all.extend(h.join().expect("consumer never panics"));
+            }
+            let s = q.stats();
+            prop_assert_eq!(s.submitted, expected);
+            prop_assert_eq!(s.accepted + s.shed, s.submitted);
+            prop_assert!(s.max_depth <= capacity,
+                "depth {} exceeded capacity {}", s.max_depth, capacity);
+            prop_assert_eq!(s.stolen, s.accepted);
+            prop_assert_eq!(all.len() as u64, s.accepted);
+            // Exactly-once delivery: no job claimed twice.
+            let mut sorted = all.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), all.len(), "a job was delivered twice");
+            prop_assert_eq!(q.drain_remaining().len(), 0, "drain left an orphaned job");
+            Ok(())
+        })?;
+    }
+
+    /// Server-level accounting: every accepted request resolves exactly
+    /// once, everything else is shed with a typed rejection.
+    #[test]
+    fn server_drain_leaves_no_orphaned_request(
+        workers in 1usize..4,
+        capacity in 1usize..5,
+        burst in 1usize..12,
+        paused in proptest::bool::ANY,
+        seed in 1u64..1000,
+    ) {
+        let mut config = ServeConfig::new(tiny_network(), seed, 5.0);
+        config.workers = workers;
+        config.queue_capacity = capacity;
+        config.start_paused = paused;
+        let snapshot = tiny_snapshot(seed);
+        let classifier = Classifier::new(vec![0, 1, 0, 1], 2);
+        let server = SnnServer::start(config, &snapshot, classifier);
+
+        let pixels = vec![128u8; N_INPUTS];
+        let mut tickets = Vec::new();
+        let mut shed = 0u64;
+        for k in 0..burst {
+            match server.submit(&pixels, k as u64) {
+                Ok(t) => tickets.push(t),
+                Err(Overloaded::QueueFull { .. }) => shed += 1,
+                Err(Overloaded::ShuttingDown) => {
+                    prop_assert!(false, "server shed as ShuttingDown before shutdown");
+                }
+            }
+        }
+        if paused {
+            server.resume();
+        }
+        let accepted = tickets.len() as u64;
+        // Every ticket resolves (graceful drain serves all accepted work).
+        let classifications: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        let report = server.shutdown();
+
+        prop_assert_eq!(report.submitted, burst as u64);
+        prop_assert_eq!(report.accepted, accepted);
+        prop_assert_eq!(report.shed, shed);
+        prop_assert_eq!(report.accepted + report.shed, report.submitted);
+        prop_assert_eq!(report.completed, accepted);
+        prop_assert_eq!(report.panicked, 0);
+        prop_assert!(report.max_queue_depth <= capacity);
+        for c in &classifications {
+            prop_assert_eq!(c.counts.len(), N_EXC);
+            prop_assert_eq!(c.confidence.len(), 2);
+            prop_assert!(c.replica < workers);
+            prop_assert!(c.latency_ms >= 0.0);
+        }
+    }
+}

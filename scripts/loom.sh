@@ -5,7 +5,10 @@
 #   2. the gpu-device models (crates/gpu-device/src/loom_tests.rs) with
 #      RUSTFLAGS="--cfg loom", which swaps crate::sync over to the
 #      snn-loom shims and explores worker-pool/fused-launch interleavings
-#      exhaustively (or preemption-bounded where noted in the tests).
+#      exhaustively (or preemption-bounded where noted in the tests), then
+#   3. the snn-serve models (crates/snn-serve/src/loom_tests.rs), which
+#      interleave the serving queue's enqueue/steal/drain/poison protocol
+#      and the ticket slot's panic hand-off (DESIGN.md §12.4).
 #
 # In the offline container, use the shadow build instead:
 #   bash target/scratch/shadow/build.sh loom && \
@@ -16,4 +19,5 @@ cd "$(dirname "$0")/.."
 
 export SNN_LOOM_MAX_ITER="${SNN_LOOM_MAX_ITER:-500000}"
 cargo test --release -p snn-loom
-exec env RUSTFLAGS="--cfg loom" cargo test --release -p gpu-device --lib
+env RUSTFLAGS="--cfg loom" cargo test --release -p gpu-device --lib
+exec env RUSTFLAGS="--cfg loom" cargo test --release -p snn-serve --lib

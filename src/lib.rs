@@ -20,7 +20,9 @@
 //! * [`reference`](mod@reference) (`reference-sim`) — the sequential golden-model
 //!   simulator;
 //! * [`trace`] (`snn-trace`) — structured spans, chrome-trace export and
-//!   the unified metrics registry (DESIGN.md §11 documents the schema).
+//!   the unified metrics registry (DESIGN.md §11 documents the schema);
+//! * [`serve`] (`snn-serve`) — multi-tenant inference serving over frozen
+//!   snapshot replicas (DESIGN.md §12).
 //!
 //! ## Quickstart
 //!
@@ -47,6 +49,7 @@ pub use reference_sim as reference;
 pub use snn_core as core;
 pub use snn_datasets as datasets;
 pub use snn_learning as learning;
+pub use snn_serve as serve;
 pub use snn_trace as trace;
 pub use spike_encoding as encoding;
 
@@ -67,6 +70,7 @@ pub mod prelude {
     };
     pub use snn_learning::experiments::{Experiment, RunRecord, Scale, SeedStats};
     pub use snn_learning::{Classifier, Labeler, Trainer, TrainerConfig};
+    pub use snn_serve::{Classification, Overloaded, ServeConfig, SnnServer};
     pub use spike_encoding::{
         EncodingSchedule, FrequencyController, LatencyEncoder, RateEncoder,
     };

@@ -1,0 +1,406 @@
+//! Tier-1 serving gate (DESIGN.md §12): the serving layer must be
+//! classification-identical to offline evaluation — same class, same
+//! per-class confidence, same raw spike counts — at every worker count,
+//! submission order and current-delivery mode; shutdown must resolve every
+//! accepted request exactly once; a full queue must shed with a typed
+//! [`Overloaded`] instead of blocking or dropping; served latency must sit
+//! within a small multiple of the serial presentation cost; and every
+//! `serve/*` span and metric the run emits must be documented in the
+//! DESIGN.md schema tables.
+
+use parallel_spike_sim::prelude::*;
+use parallel_spike_sim::trace;
+use snn_core::sim::EvalSnapshot;
+use snn_learning::{label_snapshot, presentation_counts, EvalOptions};
+use snn_serve::Ticket;
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+const SEED: u64 = 2019;
+const T_PRESENT_MS: f64 = 60.0;
+const N_LABELING: usize = 4;
+const N_INFERENCE: usize = 4;
+
+/// What offline evaluation says presentation slot `k` resolves to; the
+/// serving layer must reproduce all three fields bit-for-bit.
+struct Expected {
+    class: Option<u8>,
+    confidence: Vec<f64>,
+    counts: Vec<u32>,
+}
+
+/// One trained snapshot + classifier + per-slot offline ground truth,
+/// shared by every test in this binary (training dominates the cost).
+struct Fixture {
+    network: NetworkConfig,
+    dataset: Dataset,
+    snapshot: EvalSnapshot,
+    classifier: Classifier,
+    /// Offline classifications of every test-set slot, labeling slots
+    /// first (`0..N_LABELING`), inference slots after.
+    expected: Vec<Expected>,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dataset = synthetic_mnist(6, N_LABELING + N_INFERENCE, 7);
+        let network = NetworkConfig::from_preset(Preset::FullPrecision, 784, 10)
+            .with_rule(RuleKind::Stochastic);
+        let mut cfg = TrainerConfig::new(network.clone());
+        cfg.seed = SEED;
+        cfg.t_learn_ms = T_PRESENT_MS;
+        cfg.n_train_images = 6;
+        cfg.n_labeling = N_LABELING;
+        cfg.n_inference = N_INFERENCE;
+        cfg.eval_parallelism = 1;
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let outcome = Trainer::new(cfg, &device).run(&dataset);
+        let snapshot = EvalSnapshot::new(outcome.synapses, outcome.thetas);
+
+        let serial = EvalOptions { replicas: 1, pipelined: false, ..EvalOptions::default() };
+        let (_, classifier) = label_snapshot(
+            &network, SEED, &snapshot, T_PRESENT_MS, &dataset, N_LABELING, &serial,
+        );
+        // Offline ground truth for every test-set slot, serially.
+        let images: Vec<_> = dataset.test.iter().collect();
+        let (counts, _) =
+            presentation_counts(&network, SEED, &snapshot, T_PRESENT_MS, &images, &serial);
+        let expected = counts
+            .into_iter()
+            .map(|counts| Expected {
+                class: classifier.predict(&counts),
+                confidence: classifier.scores(&counts),
+                counts,
+            })
+            .collect();
+        Fixture { network, dataset, snapshot, classifier, expected }
+    })
+}
+
+/// Serializes the tests that drive the process-global recorder/hub.
+fn exclusive_recorder() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let guard = LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    trace::set_enabled(false);
+    trace::set_detail(trace::Detail::Phases);
+    let _ = trace::drain();
+    guard
+}
+
+fn serve_config(fx: &Fixture, workers: usize, queue_capacity: usize) -> ServeConfig {
+    ServeConfig {
+        network: fx.network.clone(),
+        seed: SEED,
+        t_present_ms: T_PRESENT_MS,
+        workers,
+        queue_capacity,
+        device: DeviceConfig::default(),
+        start_paused: false,
+    }
+}
+
+/// The inference slots as serving requests: `(train key, pixels)` pairs,
+/// keyed exactly as `evaluate_snapshot` keys its inference presentations.
+fn inference_requests(fx: &Fixture) -> Vec<(u64, &[u8])> {
+    fx.dataset.test[N_LABELING..N_LABELING + N_INFERENCE]
+        .iter()
+        .enumerate()
+        .map(|(k, sample)| ((N_LABELING + k) as u64, sample.image.pixels()))
+        .collect()
+}
+
+fn assert_identical(slot: usize, got: &Classification, fx: &Fixture, workers: usize) {
+    let want = &fx.expected[slot];
+    assert_eq!(
+        got.class, want.class,
+        "slot {slot}: served class diverged from offline evaluation"
+    );
+    assert_eq!(
+        got.confidence, want.confidence,
+        "slot {slot}: served confidence diverged from offline evaluation"
+    );
+    assert_eq!(
+        got.counts, want.counts,
+        "slot {slot}: served spike counts diverged from offline evaluation"
+    );
+    assert!(got.replica < workers, "slot {slot}: replica index out of range");
+    assert!(got.latency_ms >= 0.0 && got.latency_ms.is_finite());
+}
+
+/// The headline identity matrix: a served batch is classification-identical
+/// to `evaluate_snapshot` on the same images at every worker count, every
+/// submission order and both current-delivery modes — parallel serving,
+/// like parallel evaluation, is a pure wall-clock knob.
+#[test]
+fn served_batch_is_identical_to_offline_evaluation() {
+    let fx = fixture();
+    let requests = inference_requests(fx);
+    // Submission orders over the four inference slots: canonical, reversed,
+    // and an interleave — admission order must not leak into results.
+    let orders: [Vec<usize>; 3] = [vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![2, 0, 3, 1]];
+    for workers in [1usize, 2, 4] {
+        for delivery in [CurrentDelivery::Sparse, CurrentDelivery::Dense] {
+            for order in &orders {
+                let mut config = serve_config(fx, workers, 2 * requests.len());
+                config.network = config.network.with_delivery(delivery);
+                let server = SnnServer::start(config, &fx.snapshot, fx.classifier.clone());
+                let tickets: Vec<(usize, Ticket)> = order
+                    .iter()
+                    .map(|&i| {
+                        let (key, pixels) = requests[i];
+                        (i, server.submit(pixels, key).expect("queue has room for the batch"))
+                    })
+                    .collect();
+                for (i, ticket) in tickets {
+                    let got = ticket.wait();
+                    assert_identical(N_LABELING + i, &got, fx, workers);
+                }
+                let report = server.shutdown();
+                assert_eq!(report.submitted, requests.len() as u64);
+                assert_eq!(report.accepted, requests.len() as u64);
+                assert_eq!(report.shed, 0);
+                assert_eq!(report.completed, requests.len() as u64);
+                assert_eq!(report.panicked, 0);
+            }
+        }
+    }
+}
+
+/// Shutdown is a graceful drain: every accepted request resolves exactly
+/// once even when the server is torn down while the whole batch is still
+/// queued, and the report's accounting balances.
+#[test]
+fn shutdown_drains_every_accepted_request_exactly_once() {
+    let fx = fixture();
+    let requests = inference_requests(fx);
+    let mut config = serve_config(fx, 2, 2 * requests.len());
+    config.start_paused = true;
+    let server = SnnServer::start(config, &fx.snapshot, fx.classifier.clone());
+    // Two rounds of the batch, all parked in the queue — nothing served yet.
+    let tickets: Vec<(usize, Ticket)> = (0..2)
+        .flat_map(|_| requests.iter().enumerate())
+        .map(|(i, &(key, pixels))| {
+            (i, server.submit(pixels, key).expect("queue has room for both rounds"))
+        })
+        .collect();
+    assert_eq!(server.queue_depth(), 2 * requests.len());
+
+    // Shutdown clears the pause and drains: every ticket must resolve with
+    // the offline-identical classification (exactly once is the type-level
+    // contract — `Ticket::wait` consumes the ticket).
+    let waiters: Vec<_> = tickets
+        .into_iter()
+        .map(|(i, ticket)| std::thread::spawn(move || (i, ticket.wait())))
+        .collect();
+    let report = server.shutdown();
+    for waiter in waiters {
+        let (i, got) = waiter.join().expect("ticket resolves without panic");
+        assert_identical(N_LABELING + i, &got, fx, 2);
+    }
+    assert_eq!(report.submitted, 2 * requests.len() as u64);
+    assert_eq!(report.accepted, report.completed);
+    assert_eq!(report.accepted + report.shed, report.submitted);
+    assert_eq!(report.shed, 0);
+    assert_eq!(report.max_queue_depth, 2 * requests.len());
+}
+
+/// Admission control under overload: a full queue sheds with a typed
+/// [`Overloaded::QueueFull`] immediately — the caller is never blocked and
+/// the shed request is never silently dropped into the queue.
+#[test]
+fn full_queue_sheds_with_typed_overloaded() {
+    let fx = fixture();
+    let requests = inference_requests(fx);
+    let capacity = 3usize;
+    let mut config = serve_config(fx, 1, capacity);
+    config.start_paused = true;
+    let server = SnnServer::start(config, &fx.snapshot, fx.classifier.clone());
+
+    let (key, pixels) = requests[0];
+    let mut tickets = Vec::new();
+    for _ in 0..capacity {
+        tickets.push(server.submit(pixels, key).expect("under capacity"));
+    }
+    // The queue is exactly full: the next submit must shed, and must do so
+    // without measurable blocking.
+    let begin = Instant::now();
+    match server.submit(pixels, key) {
+        Err(Overloaded::QueueFull { capacity: reported }) => assert_eq!(reported, capacity),
+        other => panic!("expected QueueFull, got {other:?}", other = other.map(|_| "Ticket")),
+    }
+    assert!(begin.elapsed().as_secs_f64() < 1.0, "shedding must not block the caller");
+    assert_eq!(server.queue_depth(), capacity, "a shed request must not enter the queue");
+
+    server.resume();
+    for ticket in tickets {
+        assert_identical(N_LABELING, &ticket.wait(), fx, 1);
+    }
+    let report = server.shutdown();
+    assert_eq!(report.submitted, capacity as u64 + 1);
+    assert_eq!(report.accepted, capacity as u64);
+    assert_eq!(report.shed, 1);
+    assert_eq!(report.max_queue_depth, capacity);
+}
+
+/// Served latency stays within a small multiple of the serial presentation
+/// cost. A single worker draining a pre-filled queue of `n` requests pays
+/// at worst about `n` serial presentations for the last request, so the
+/// max latency over the serial floor is bounded by a small constant — an
+/// upper-bound witness (see `bench::harness::upper_bound_witness`) absorbs
+/// co-tenant noise without masking a real regression.
+#[test]
+fn served_latency_is_a_small_multiple_of_serial_presentation() {
+    let fx = fixture();
+    let requests = inference_requests(fx);
+    let n = requests.len();
+
+    // Serial floor: one frozen presentation per request on this machine.
+    let serial = EvalOptions { replicas: 1, pipelined: false, ..EvalOptions::default() };
+    let images: Vec<_> = fx.dataset.test[N_LABELING..N_LABELING + N_INFERENCE].iter().collect();
+    let witness = bench::harness::upper_bound_witness(3, 8.0, || {
+        let begin = Instant::now();
+        let _ = presentation_counts(
+            &fx.network, SEED, &fx.snapshot, T_PRESENT_MS, &images, &serial,
+        );
+        let serial_ms = begin.elapsed().as_secs_f64() * 1e3;
+
+        let mut config = serve_config(fx, 1, n);
+        config.start_paused = true;
+        let server = SnnServer::start(config, &fx.snapshot, fx.classifier.clone());
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|&(key, pixels)| server.submit(pixels, key).expect("under capacity"))
+            .collect();
+        server.resume();
+        for ticket in tickets {
+            let _ = ticket.wait();
+        }
+        let report = server.shutdown();
+        (report.latency_max_ms / serial_ms.max(1e-9), report)
+    });
+    assert!(
+        witness.ok,
+        "served max latency {:.1}ms is {:.1}x the serial batch cost (bound 8x) \
+         after {} attempts (p50 {:.1}ms, p99 {:.1}ms)",
+        witness.detail.latency_max_ms,
+        witness.statistic,
+        witness.attempts_used,
+        witness.detail.latency_p50_ms,
+        witness.detail.latency_p99_ms,
+    );
+}
+
+/// Runtime half of the `serve/*` schema contract: every span a serving run
+/// captures and every metric it publishes is documented in the DESIGN.md
+/// §11/§12 tables (the static half is snn-lint's `trace-schema` rule).
+#[test]
+fn serve_trace_spans_and_metrics_are_schema_documented() {
+    let fx = fixture();
+    let _g = exclusive_recorder();
+    let schema = schema_names();
+
+    trace::set_enabled(true);
+    trace::set_detail(trace::Detail::Steps);
+    let requests = inference_requests(fx);
+    let server = serve_batch(fx, &requests, 2);
+    let report = server.shutdown();
+    trace::set_enabled(false);
+    trace::set_detail(trace::Detail::Phases);
+    let captured = trace::drain();
+
+    assert_eq!(report.completed, requests.len() as u64);
+    for expect in ["serve/request", "serve/drain", "serve/run"] {
+        assert!(
+            captured.events.iter().any(|e| e.name == expect),
+            "span `{expect}` missing from the captured serving trace"
+        );
+    }
+    for ev in captured.events.iter().filter(|e| e.cat == "serve") {
+        assert!(
+            schema.iter().any(|s| s == ev.name),
+            "captured serving span `{}` is not documented in DESIGN.md §12",
+            ev.name
+        );
+    }
+    for metric in [
+        "serve/submitted",
+        "serve/accepted",
+        "serve/shed",
+        "serve/completed",
+        "serve/queue_depth",
+        "serve/latency_ms",
+        "serve/latency_p50_ms",
+        "serve/latency_p99_ms",
+        "serve/qps",
+        "serve/replica_utilization",
+    ] {
+        assert!(
+            trace::metrics().get(metric).is_some(),
+            "metric `{metric}` missing from the hub after a serving run"
+        );
+        assert!(
+            schema.iter().any(|s| s == metric),
+            "published metric `{metric}` is not documented in DESIGN.md §12"
+        );
+    }
+    trace::metrics().clear();
+}
+
+/// Submits the whole batch and waits for it, returning the live server.
+fn serve_batch(fx: &Fixture, requests: &[(u64, &[u8])], workers: usize) -> SnnServer {
+    let server =
+        SnnServer::start(serve_config(fx, workers, 2 * requests.len()), &fx.snapshot, fx.classifier.clone());
+    let tickets: Vec<Ticket> = requests
+        .iter()
+        .map(|&(key, pixels)| server.submit(pixels, key).expect("queue has room"))
+        .collect();
+    for ticket in tickets {
+        let _ = ticket.wait();
+    }
+    server
+}
+
+/// Backticked names in the DESIGN.md `## 11` and `## 12` schema sections —
+/// the same extraction `tests/telemetry.rs` and snn-lint's `trace-schema`
+/// rule use.
+fn schema_names() -> Vec<String> {
+    let mut roots = Vec::new();
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        roots.push(std::path::PathBuf::from(dir));
+    }
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            roots.push(dir.clone());
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    let md = roots
+        .into_iter()
+        .find_map(|root| std::fs::read_to_string(root.join("DESIGN.md")).ok())
+        .expect("DESIGN.md not found from CARGO_MANIFEST_DIR or any ancestor of the cwd");
+    let mut in_section = false;
+    let mut names = Vec::new();
+    for line in md.lines() {
+        if line.starts_with("## ") {
+            in_section = line.starts_with("## 11") || line.starts_with("## 12");
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            let tail = &rest[open + 1..];
+            let Some(close) = tail.find('`') else { break };
+            if close > 0 {
+                names.push(tail[..close].to_string());
+            }
+            rest = &tail[close + 1..];
+        }
+    }
+    assert!(!names.is_empty(), "DESIGN.md §11/§12 schema tables are missing or empty");
+    names
+}

@@ -10,17 +10,22 @@
 # the parallel-evaluation identity layer
 # (crates/snn-learning/tests/parallel_eval.rs), which proves replica
 # count, encoder pipelining, queue order and the suppression-window
-# fast-forward are pure wall-clock knobs; and the telemetry gate
+# fast-forward are pure wall-clock knobs; the telemetry gate
 # (tests/telemetry.rs), which validates the chrome-trace export against
-# the DESIGN.md §11 schema and asserts enabled-instrumentation overhead
-# stays under 2%.
+# the DESIGN.md §11/§12 schema and asserts enabled-instrumentation
+# overhead stays under 2%; and the serving identity layer
+# (tests/serving.rs), which proves the snn-serve batch path bit-identical
+# to offline snapshot evaluation at any worker count / queue order, that
+# shutdown drains every accepted request exactly once, and that a full
+# queue sheds with the typed Overloaded error. snn-serve's own unit +
+# property tests (admission accounting) run via the crate test step.
 #
 # The snn-lint pass enforces the repo's concurrency/determinism invariants
 # as machine-checked rules (SAFETY comments, unsafe-surface allow-list,
 # Philox-only randomness in step paths, transposed-view coherence,
 # no hash-order iteration in hot paths, sync-shim discipline, and the
 # trace-schema rule: every span/gauge name used in source must appear in
-# DESIGN.md §11) — see crates/snn-lint and DESIGN.md §10.
+# DESIGN.md §11/§12) — see crates/snn-lint and DESIGN.md §10.
 #
 # The rustdoc pass holds the API docs warning-free (broken intra-doc
 # links, bad code fences) on top of the per-crate #![deny(missing_docs)].
@@ -29,5 +34,6 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+cargo test -q -p snn-serve
 cargo run --release -p snn-lint
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

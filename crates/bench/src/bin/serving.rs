@@ -83,6 +83,7 @@ fn serve_config(network: &NetworkConfig, workers: usize, queue_capacity: usize) 
         queue_capacity,
         device: DeviceConfig::default(),
         start_paused: false,
+        batch: 1,
     }
 }
 

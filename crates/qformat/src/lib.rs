@@ -34,12 +34,14 @@
 #![forbid(unsafe_code)]
 
 mod format;
+mod packed;
 mod quantizer;
 mod rounding;
 mod signed;
 mod value;
 
 pub use format::QFormat;
+pub use packed::{LaneLayout, ACCUM_HEADROOM_BITS, MAX_BLOCK_SPIKES};
 pub use quantizer::Quantizer;
 pub use rounding::Rounding;
 pub use signed::SignedQFormat;

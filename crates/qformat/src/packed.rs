@@ -1,0 +1,316 @@
+//! SWAR lane packing: several narrow Q-format raw codes in one `u64`.
+//!
+//! Low precision is what makes bit-parallel arithmetic possible: a `Q0.2`
+//! conductance is a 2-bit integer code, so a 64-bit word can carry many of
+//! them and one integer add can advance them all — "SIMD within a register"
+//! (SWAR). The catch is carry propagation: adding two packed words is only
+//! lane-wise if no lane can overflow into its neighbour. [`LaneLayout`]
+//! therefore widens each lane beyond the format's value width by
+//! [`ACCUM_HEADROOM_BITS`] guard bits, exactly enough for the engine's
+//! canonical delivery fold, which sums at most [`MAX_BLOCK_SPIKES`] on-grid
+//! codes per block (see DESIGN.md §13).
+//!
+//! Lane widths are restricted to the machine subword sizes {8, 16, 32} so a
+//! `std::simd` backend can reinterpret the same words as `u8x8`/`u16x4`/
+//! `u32x2` vectors without re-packing.
+
+use crate::QFormat;
+
+/// Guard bits reserved above each lane's value width so that block
+/// accumulation cannot carry into the neighbouring lane. The engine's
+/// canonical fold sums at most `2^ACCUM_HEADROOM_BITS` codes per block.
+pub const ACCUM_HEADROOM_BITS: u32 = 5;
+
+/// Maximum number of on-grid codes a single SWAR accumulation may sum
+/// without inter-lane carry: `2^`[`ACCUM_HEADROOM_BITS`]. The engine's
+/// `SPIKE_BLOCK` must not exceed this.
+pub const MAX_BLOCK_SPIKES: usize = 1 << ACCUM_HEADROOM_BITS;
+
+/// The supported SWAR lane widths, in bits: the machine subword sizes, so
+/// packed words double as `std::simd` vectors of the same layout.
+const LANE_WIDTHS: [u32; 3] = [8, 16, 32];
+
+/// How raw codes of one [`QFormat`] are packed into a `u64`.
+///
+/// A layout exists only when `total_bits + ACCUM_HEADROOM_BITS` fits one of
+/// the subword lane widths; wider formats (anything above 27 total bits,
+/// including the 31-bit maximum [`QFormat`] supports) have no layout and
+/// [`LaneLayout::for_format`] returns `None` — callers fall back to scalar
+/// arithmetic.
+///
+/// # Example
+///
+/// ```
+/// use qformat::{LaneLayout, QFormat};
+///
+/// let layout = LaneLayout::for_format(QFormat::Q0_2).unwrap();
+/// assert_eq!(layout.lanes(), 8); // 8-bit lanes: 2 value + 5 guard bits
+/// let word = layout.pack(&[3, 0, 1, 2, 3, 1, 0, 2]);
+/// assert_eq!(layout.unpack_vec(word), vec![3, 0, 1, 2, 3, 1, 0, 2]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneLayout {
+    format: QFormat,
+    lane_bits: u32,
+}
+
+impl LaneLayout {
+    /// The layout for `format`, or `None` when the format is too wide to
+    /// leave [`ACCUM_HEADROOM_BITS`] guard bits in any subword lane.
+    #[must_use]
+    pub fn for_format(format: QFormat) -> Option<Self> {
+        let need = u32::from(format.total_bits()) + ACCUM_HEADROOM_BITS;
+        let lane_bits = *LANE_WIDTHS.iter().find(|&&w| need <= w)?;
+        Some(LaneLayout { format, lane_bits })
+    }
+
+    /// The format this layout packs.
+    #[must_use]
+    pub fn format(&self) -> QFormat {
+        self.format
+    }
+
+    /// Width of one lane in bits (8, 16 or 32).
+    #[must_use]
+    pub fn lane_bits(&self) -> u32 {
+        self.lane_bits
+    }
+
+    /// Number of lanes per `u64` word: `64 / lane_bits`.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        (u64::BITS / self.lane_bits) as usize
+    }
+
+    /// Guard bits above the value in each lane:
+    /// `lane_bits − total_bits ≥ ACCUM_HEADROOM_BITS`.
+    #[must_use]
+    pub fn guard_bits(&self) -> u32 {
+        self.lane_bits - u32::from(self.format.total_bits())
+    }
+
+    /// Mask of one full lane, `2^lane_bits − 1`.
+    #[must_use]
+    pub fn lane_mask(&self) -> u64 {
+        if self.lane_bits == u64::BITS {
+            u64::MAX
+        } else {
+            (1u64 << self.lane_bits) - 1
+        }
+    }
+
+    /// The lane mask replicated across every lane of the word. And-ing an
+    /// accumulator word with this is a no-op (the mask covers whole lanes);
+    /// it exists for masking sub-lane fields built via shifts.
+    #[must_use]
+    pub fn word_mask(&self) -> u64 {
+        self.splat_raw(self.lane_mask())
+    }
+
+    /// The format's value mask (`max_raw`) replicated across every lane:
+    /// and-ing with this strips the guard bits of all lanes at once.
+    #[must_use]
+    pub fn value_mask(&self) -> u64 {
+        self.splat(self.format.max_raw())
+    }
+
+    /// Replicates a raw code into every lane of one word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw` exceeds the format's largest code.
+    #[must_use]
+    pub fn splat(&self, raw: u32) -> u64 {
+        assert!(raw <= self.format.max_raw(), "raw code {raw} exceeds {}", self.format);
+        self.splat_raw(u64::from(raw))
+    }
+
+    /// Replicates an arbitrary lane-sized field into every lane.
+    fn splat_raw(&self, field: u64) -> u64 {
+        let mut word = 0u64;
+        for lane in 0..self.lanes() {
+            word |= field << (lane as u32 * self.lane_bits);
+        }
+        word
+    }
+
+    /// Packs `raws[k]` into lane `k` (lane 0 is the least significant).
+    /// Missing trailing lanes are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raws` has more entries than lanes, or any code exceeds
+    /// the format's largest code.
+    #[must_use]
+    pub fn pack(&self, raws: &[u32]) -> u64 {
+        assert!(raws.len() <= self.lanes(), "{} codes exceed {} lanes", raws.len(), self.lanes());
+        let mut word = 0u64;
+        for (k, &raw) in raws.iter().enumerate() {
+            assert!(raw <= self.format.max_raw(), "raw code {raw} exceeds {}", self.format);
+            word |= u64::from(raw) << (k as u32 * self.lane_bits);
+        }
+        word
+    }
+
+    /// Extracts lane `k` of `word` (the full lane, guard bits included —
+    /// accumulator words legitimately carry sums above `max_raw`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not a lane index.
+    #[must_use]
+    pub fn lane(&self, word: u64, k: usize) -> u32 {
+        assert!(k < self.lanes(), "lane {k} out of {}", self.lanes());
+        ((word >> (k as u32 * self.lane_bits)) & self.lane_mask()) as u32
+    }
+
+    /// Unpacks every lane of `word` into `out` (`out[k]` = lane `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the lane count.
+    pub fn unpack(&self, word: u64, out: &mut [u32]) {
+        assert_eq!(out.len(), self.lanes(), "output slice must cover every lane");
+        for (k, slot) in out.iter_mut().enumerate() {
+            *slot = ((word >> (k as u32 * self.lane_bits)) & self.lane_mask()) as u32;
+        }
+    }
+
+    /// [`LaneLayout::unpack`] into a fresh vector.
+    #[must_use]
+    pub fn unpack_vec(&self, word: u64) -> Vec<u32> {
+        let mut out = vec![0u32; self.lanes()];
+        self.unpack(word, &mut out);
+        out
+    }
+}
+
+impl QFormat {
+    /// How many raw codes of this format fit in one SWAR `u64` word (with
+    /// the accumulation guard bits of [`LaneLayout`]), or `None` when the
+    /// format is too wide for lane packing and callers must use scalar
+    /// arithmetic: 8 for `Q0.2`, 4 for `Q0.4`/`Q1.7`, 2 for `Q1.15`.
+    #[must_use]
+    pub fn lanes_per_u64(&self) -> Option<usize> {
+        LaneLayout::for_format(*self).map(|l| l.lanes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_formats_have_expected_lane_counts() {
+        assert_eq!(QFormat::Q0_2.lanes_per_u64(), Some(8));
+        assert_eq!(QFormat::Q0_4.lanes_per_u64(), Some(4));
+        assert_eq!(QFormat::Q1_7.lanes_per_u64(), Some(4));
+        assert_eq!(QFormat::Q1_15.lanes_per_u64(), Some(2));
+    }
+
+    #[test]
+    fn layouts_leave_accumulation_headroom() {
+        for q in [QFormat::Q0_2, QFormat::Q0_4, QFormat::Q1_7, QFormat::Q1_15] {
+            let layout = LaneLayout::for_format(q).unwrap();
+            assert!(layout.guard_bits() >= ACCUM_HEADROOM_BITS, "{q}");
+            assert_eq!(layout.lanes() * layout.lane_bits() as usize, 64, "{q}");
+            // The guard bits are wide enough for a full canonical block:
+            // MAX_BLOCK_SPIKES × max_raw must fit in one lane.
+            let worst = u64::from(q.max_raw()) * MAX_BLOCK_SPIKES as u64;
+            assert!(worst <= layout.lane_mask(), "{q}: block sum overflows a lane");
+        }
+    }
+
+    #[test]
+    fn overwide_formats_are_rejected() {
+        // Anything above 27 total bits cannot leave 5 guard bits in a
+        // 32-bit lane — including the 31-bit maximum QFormat allows.
+        assert_eq!(QFormat::new(12, 16).lanes_per_u64(), None);
+        assert_eq!(QFormat::new(15, 16).lanes_per_u64(), None); // 31-bit max
+        assert!(LaneLayout::for_format(QFormat::new(0, 28)).is_none());
+        // 27 bits is the widest packable format (27 + 5 = 32).
+        assert_eq!(QFormat::new(11, 16).lanes_per_u64(), Some(2));
+    }
+
+    #[test]
+    fn masks_cover_values_and_lanes() {
+        let layout = LaneLayout::for_format(QFormat::Q0_4).unwrap();
+        assert_eq!(layout.lane_bits(), 16);
+        assert_eq!(layout.lane_mask(), 0xFFFF);
+        assert_eq!(layout.word_mask(), u64::MAX);
+        assert_eq!(layout.value_mask(), 0x000F_000F_000F_000F);
+        assert_eq!(layout.splat(0xF), 0x000F_000F_000F_000F);
+    }
+
+    #[test]
+    fn swar_block_add_matches_lanewise_sums() {
+        // The property the delivery kernel relies on: summing ≤
+        // MAX_BLOCK_SPIKES packed words with plain u64 adds is exact
+        // lane-wise (no carry crosses a boundary).
+        let layout = LaneLayout::for_format(QFormat::Q0_2).unwrap();
+        let max = QFormat::Q0_2.max_raw();
+        let words: Vec<u64> =
+            (0..MAX_BLOCK_SPIKES).map(|s| layout.splat((s as u32) % (max + 1))).collect();
+        let acc: u64 = words.iter().fold(0u64, |a, &w| a.wrapping_add(w));
+        let expect: u32 = (0..MAX_BLOCK_SPIKES as u32).map(|s| s % (max + 1)).sum();
+        for k in 0..layout.lanes() {
+            assert_eq!(layout.lane(acc, k), expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn pack_rejects_out_of_range_codes() {
+        let layout = LaneLayout::for_format(QFormat::Q0_2).unwrap();
+        let _ = layout.pack(&[4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes")]
+    fn pack_rejects_too_many_codes() {
+        let layout = LaneLayout::for_format(QFormat::Q1_15).unwrap();
+        let _ = layout.pack(&[0, 0, 0]);
+    }
+
+    proptest! {
+        /// The satellite contract: `pack(unpack(w)) == w` for every
+        /// supported format (and `unpack(pack(codes)) == codes`), with the
+        /// over-wide tail (incl. the 31-bit maximum) always taking the
+        /// rejection path. Lane codes are derived from the unit fills so
+        /// one strategy covers every lane count.
+        #[test]
+        fn pack_unpack_round_trips(
+            m in 0u8..=15,
+            n in 0u8..=16,
+            fills in proptest::collection::vec(0.0f64..1.0, 8),
+        ) {
+            prop_assume!(m + n >= 1);
+            let q = QFormat::new(m, n);
+            let total = u32::from(q.total_bits());
+            match LaneLayout::for_format(q) {
+                None => {
+                    // Rejection path: only formats too wide to leave the
+                    // guard bits in a 32-bit lane are unpackable.
+                    prop_assert!(total + ACCUM_HEADROOM_BITS > 32, "{q} wrongly rejected");
+                    prop_assert_eq!(q.lanes_per_u64(), None);
+                }
+                Some(layout) => {
+                    prop_assert!(total + ACCUM_HEADROOM_BITS <= layout.lane_bits());
+                    prop_assert_eq!(layout.lanes() as u32 * layout.lane_bits(), 64);
+                    let span = u64::from(q.max_raw()) + 1;
+                    let codes: Vec<u32> = fills
+                        .iter()
+                        .take(layout.lanes())
+                        .map(|&f| ((f * span as f64) as u64).min(span - 1) as u32)
+                        .collect();
+                    let word = layout.pack(&codes);
+                    prop_assert_eq!(layout.unpack_vec(word), codes);
+                    // Value-lane words round-trip the other way too.
+                    prop_assert_eq!(layout.pack(&layout.unpack_vec(word)), word);
+                    prop_assert_eq!(word & layout.value_mask(), word);
+                }
+            }
+        }
+    }
+}

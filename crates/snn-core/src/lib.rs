@@ -47,6 +47,9 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 #![deny(unsafe_op_in_unsafe_fn)]
+// The optional `simd` feature (nightly-only) switches the batched SWAR and
+// decay sweeps to `std::simd`; the scalar defaults are bit-identical.
+#![cfg_attr(feature = "simd", feature(portable_simd))]
 
 pub mod config;
 mod error;

@@ -1,0 +1,858 @@
+//! Batched multi-image frozen evaluation with SWAR low-precision delivery.
+//!
+//! [`BatchedEngine`] advances up to `B` frozen presentations **lock-step**
+//! through one fused deliver/decay/integrate kernel per simulation step,
+//! amortizing the per-step dispatch overhead that the serial path
+//! ([`crate::sim::WtaEngine::present_frozen`]) pays once per presentation
+//! per step. On top of the batch layout it exploits what low precision
+//! buys: quantized conductance columns are packed as raw fixed-point codes,
+//! several lanes to a `u64` (see [`qformat::LaneLayout`]), and the
+//! canonical blocked delivery fold runs as SWAR word additions — one `u64`
+//! add advances 2–8 neurons — while the synaptic-current decay sweeps the
+//! batch-contiguous state slabs as plain (auto-vectorizable, optionally
+//! `std::simd`) word operations.
+//!
+//! # Identity contract
+//!
+//! Every lane of a batched run is **bit-identical** to the serial
+//! `present_frozen` / `evaluate_snapshot` result at any batch size, worker
+//! count, and delivery mode. Three facts carry the proof:
+//!
+//! * The serial delivery fold is the canonical blocked fold —
+//!   `i_syn[j] = i_syn[j]·decay + Σ_b block_b[j]`, blocks of
+//!   [`SPIKE_BLOCK`] ascending active inputs — and each block term is a
+//!   left-to-right chain `((g₀·v) + g₁·v) + …` over on-grid conductances
+//!   `gₖ = rawₖ·res` with `res` a power of two. Whenever
+//!   `sig_bits(v_spike) + total_bits + ACCUM_HEADROOM_BITS ≤ 53`, every
+//!   partial sum of that chain is *exactly* `(Σ rawₖ)·(res·v_spike)` — no
+//!   rounding ever occurs — so summing the integer raw codes in SWAR lanes
+//!   (block sums of ≤ [`SPIKE_BLOCK`] codes fit the
+//!   [`qformat::ACCUM_HEADROOM_BITS`] guard bits by construction) and
+//!   scaling once yields the same `f64` the serial chain produced. The
+//!   engine checks the width condition and that every conductance is
+//!   on-grid at construction; otherwise it falls back to a scalar `f64`
+//!   fold that replays the serial chain op-for-op.
+//! * Neuron integration reuses the serial engine's
+//!   [`integrate_cell`] body verbatim, per image, at the same local clock
+//!   (time zero, accumulated by repeated `+= dt` like the serial path).
+//! * The winner-take-all commit mirrors the serial phase 5 per image:
+//!   a presentation only ever reads its own lane's state, so images cannot
+//!   interact.
+//!
+//! Dense and sparse serial delivery are themselves bit-identical (DESIGN.md
+//! §8), so one batched path matches both.
+//!
+//! # Layout
+//!
+//! Per-image state lives batch-contiguous (structure-of-arrays) in
+//! reusable [`DeviceBuffer`]s, grouped in *slabs* of [`SLAB`] = 64 neurons
+//! (one spike-bitset word):
+//!
+//! ```text
+//! cells/i_syn index:  (slab·B + image)·SLAB + lane     (lane = j mod SLAB)
+//! spike bitset:       masks[slab·B + image]            (bit k = neuron slab·SLAB+k)
+//! packed columns:     words[pre·words_per_col + w]     (lane l = neuron w·L+l)
+//! ```
+//!
+//! Each fused-kernel work item owns one `(slab, image)` pair — 64 neurons
+//! of one presentation — so every state write (including its bitset word)
+//! has exactly one writer. The host-side WTA commit scans only the bitset
+//! words, skipping silent images the way the serial engine skips silent
+//! steps.
+//!
+//! This file uses `SharedSlice` raw-pointer views inside the fused kernel,
+//! so it joins `engine.rs`/`generic.rs` on `snn-lint`'s audited
+//! unsafe-surface allow-list.
+//!
+//! DESIGN.md §13 documents the batch layout, the SWAR word format, the
+//! `batch/*` telemetry schema, and the measured speedups
+//! (`results/BENCH_batched.json`).
+#![allow(unsafe_code)]
+
+use crate::config::{InhibitionMode, NetworkConfig, NeuronModelKind, Precision};
+use crate::neuron::{AdexNeuron, IzhikevichNeuron, LifNeuron, NeuronModel};
+use crate::sim::engine::{integrate_cell, ExcCell, SPIKE_BLOCK};
+use crate::sim::{EvalSnapshot, SpikeTrains};
+use crate::synapse::TransposedConductances;
+use crate::SnnError;
+use gpu_device::{Device, DeviceBuffer, SharedSlice};
+use qformat::LaneLayout;
+use std::sync::Arc;
+
+/// Neurons per state slab: one spike-bitset word's worth. Derived from the
+/// bitset word width, not hard-coded, so the SWAR lane math (`u64` words of
+/// `L` lanes, `SLAB / L` words per slab) stays width-consistent.
+const SLAB: usize = u64::BITS as usize;
+
+// The packed lane guard bits are sized for blocks of up to
+// `qformat::MAX_BLOCK_SPIKES` addends; the delivery fold's block size must
+// never exceed that or a lane could overflow into its neighbor.
+const _: () = assert!(SPIKE_BLOCK <= qformat::MAX_BLOCK_SPIKES);
+
+/// Width of the significant-bit span of `x`'s significand (msb..=lsb): the
+/// number of mantissa bits a product with `x` consumes. `0` for zero.
+fn sig_bits(x: f64) -> u32 {
+    if x == 0.0 {
+        return 0;
+    }
+    let frac_width = f64::MANTISSA_DIGITS - 1;
+    let bits = x.abs().to_bits();
+    let frac = bits & ((1u64 << frac_width) - 1);
+    // Normals carry the implicit leading one; subnormals do not.
+    let significand = if x.is_normal() { frac | (1u64 << frac_width) } else { frac };
+    let width = u64::BITS - significand.leading_zeros();
+    width - significand.trailing_zeros()
+}
+
+/// The quantized conductance matrix re-encoded for SWAR delivery: each
+/// input's transposed column stored as raw fixed-point codes, `L` lanes per
+/// `u64` word (lane `l` of word `w` holds neuron `w·L + l`). Built once per
+/// engine; `None` (scalar fallback) when the format is too wide, a
+/// conductance is off-grid, or the exactness condition fails.
+struct PackedColumns {
+    layout: LaneLayout,
+    /// Words per packed column: `ceil(n_post / L)`.
+    words_per_col: usize,
+    /// `n_pre × words_per_col` packed words, column-major per input.
+    words: Vec<u64>,
+    /// The exact block scale `resolution · v_spike` (power-of-two ×
+    /// `v_spike`, hence exactly representable).
+    scale: f64,
+}
+
+impl PackedColumns {
+    /// Packs `gt` under `cfg`'s fixed-point format, or `None` when the
+    /// SWAR path cannot be bit-identical (see module docs).
+    fn build(cfg: &NetworkConfig, gt: &TransposedConductances) -> Option<PackedColumns> {
+        let Precision::Fixed(q) = cfg.precision else {
+            return None;
+        };
+        let layout = LaneLayout::for_format(q)?;
+        // Exactness gate: every partial sum of the serial fold must be
+        // exactly representable, i.e. the widest block sum times v_spike
+        // fits the f64 mantissa.
+        let need =
+            sig_bits(cfg.v_spike) + u32::from(q.total_bits()) + qformat::ACCUM_HEADROOM_BITS;
+        if need > f64::MANTISSA_DIGITS || !cfg.v_spike.is_finite() {
+            return None;
+        }
+        let res = q.resolution();
+        let max_raw = q.max_raw();
+        let lanes = layout.lanes();
+        let n_post = gt.n_post();
+        let words_per_col = n_post.div_ceil(lanes);
+        let mut words = vec![0u64; gt.n_pre() * words_per_col];
+        for i in 0..gt.n_pre() {
+            let col = gt.col(i);
+            let base = i * words_per_col;
+            for (j, &g) in col.iter().enumerate() {
+                let raw = (g / res).round();
+                // Off-grid or out-of-range conductances (possible if a
+                // checkpoint was produced under a different format) void
+                // the integer-domain identity argument: fall back.
+                if raw < 0.0 || raw > f64::from(max_raw) || raw * res != g {
+                    return None;
+                }
+                let shift = layout.lane_bits() * (j % lanes) as u32;
+                words[base + j / lanes] |= u64::from(raw as u32) << shift;
+            }
+        }
+        Some(PackedColumns { layout, words_per_col, words, scale: res * cfg.v_spike })
+    }
+}
+
+/// Synaptic-current decay over one batch-contiguous slab:
+/// `acc[k] = i_syn[k]·decay`. The optional `std::simd` variant performs the
+/// same IEEE operation per lane, so the two are bit-identical.
+#[cfg(not(feature = "simd"))]
+#[inline(always)]
+fn decay_slab(acc: &mut [f64], i_syn: &[f64], decay: f64) {
+    for (a, &v) in acc.iter_mut().zip(i_syn) {
+        *a = v * decay;
+    }
+}
+
+/// SWAR block accumulation: lane-parallel `dst[k] += src[k]` over packed
+/// words. Guard bits guarantee no lane carries into its neighbor for
+/// blocks of ≤ [`qformat::MAX_BLOCK_SPIKES`] addends.
+#[cfg(not(feature = "simd"))]
+#[inline(always)]
+fn add_words(dst: &mut [u64], src: &[u64]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// Hardware vector width of the nightly `std::simd` path (f64x4 / u64x4);
+/// a machine-vector choice, unrelated to the `QFormat`-derived SWAR lane
+/// counts.
+#[cfg(feature = "simd")]
+const SIMD_WIDTH: usize = 4;
+
+/// Synaptic-current decay over one batch-contiguous slab (`std::simd`
+/// variant; nightly-only): per-lane IEEE multiply, bit-identical to the
+/// scalar sweep.
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn decay_slab(acc: &mut [f64], i_syn: &[f64], decay: f64) {
+    use std::simd::f64x4;
+    let d = f64x4::splat(decay);
+    let main = acc.len() - acc.len() % SIMD_WIDTH;
+    for (a, v) in acc[..main]
+        .chunks_exact_mut(SIMD_WIDTH)
+        .zip(i_syn[..main].chunks_exact(SIMD_WIDTH))
+    {
+        (f64x4::from_slice(v) * d).copy_to_slice(a);
+    }
+    for k in main..acc.len() {
+        acc[k] = i_syn[k] * decay;
+    }
+}
+
+/// SWAR block accumulation (`std::simd` variant; nightly-only): integer
+/// adds are exact, so bit-identical to the scalar sweep.
+#[cfg(feature = "simd")]
+#[inline(always)]
+fn add_words(dst: &mut [u64], src: &[u64]) {
+    use std::simd::u64x4;
+    let main = dst.len() - dst.len() % SIMD_WIDTH;
+    for (d, s) in dst[..main]
+        .chunks_exact_mut(SIMD_WIDTH)
+        .zip(src[..main].chunks_exact(SIMD_WIDTH))
+    {
+        (u64x4::from_slice(d) + u64x4::from_slice(s)).copy_to_slice(d);
+    }
+    for k in main..dst.len() {
+        dst[k] += src[k];
+    }
+}
+
+/// Lock-step batched frozen evaluation over a shared [`EvalSnapshot`]:
+/// presents up to `batch` images per dispatch through one fused kernel per
+/// step, bit-identical per image to [`crate::sim::WtaEngine::present_frozen`]
+/// (see the module docs for the layout and the identity argument).
+///
+/// # Example
+///
+/// ```
+/// use gpu_device::{Device, DeviceConfig};
+/// use snn_core::config::{NetworkConfig, Preset};
+/// use snn_core::sim::{BatchedEngine, SpikeTrains, WtaEngine};
+///
+/// let device = Device::new(DeviceConfig::default().with_workers(2));
+/// let cfg = NetworkConfig::from_preset(Preset::Bit4, 6, 4);
+/// let mut source = WtaEngine::new(cfg.clone(), &device, 11);
+/// source.present(&[40.0; 6], 20.0, true);
+/// let snapshot = source.snapshot();
+///
+/// let mut batched = BatchedEngine::new(cfg.clone(), &device, &snapshot, 2).unwrap();
+/// let mut train = SpikeTrains::new(6, cfg.dt_ms);
+/// train.push_step(&[0, 3]);
+/// train.push_step(&[]);
+/// let counts = batched.present_frozen_batch(&[&train, &train]);
+/// assert_eq!(counts.len(), 2);
+/// // Lanes are independent: identical trains give identical lanes, and
+/// // each equals the serial frozen presentation.
+/// assert_eq!(counts[0], counts[1]);
+/// let mut serial = WtaEngine::replica(cfg, &device, 11, &snapshot).unwrap();
+/// assert_eq!(counts[0], serial.present_frozen(&train));
+/// ```
+pub struct BatchedEngine<'d> {
+    cfg: NetworkConfig,
+    device: &'d Device,
+    transposed: Arc<TransposedConductances>,
+    packed: Option<PackedColumns>,
+    thetas: Vec<f64>,
+    /// Batch capacity `B` (lanes per dispatch).
+    cap: usize,
+    /// Neuron slabs per image: `ceil(n_excitatory / SLAB)`.
+    n_slabs: usize,
+    /// Per-(slab, image, lane) neuron state, `(slab·cap + image)·SLAB + lane`.
+    cells: DeviceBuffer<ExcCell>,
+    /// Per-(slab, image, lane) synaptic current, same indexing as `cells`.
+    i_syn: DeviceBuffer<f64>,
+    /// Per-(slab, image) spike bitset words, `slab·cap + image`.
+    masks: DeviceBuffer<u64>,
+    init_v: f64,
+    init_recovery: f64,
+    syn_decay: f64,
+    theta_decay: f64,
+}
+
+impl<'d> BatchedEngine<'d> {
+    /// Builds a batched evaluator of capacity `batch` (clamped to ≥ 1) over
+    /// `snapshot`, sharing its transposed conductance view by reference
+    /// count. Packs the SWAR column view when the configured fixed-point
+    /// format supports the bit-identity argument; otherwise the engine
+    /// silently uses the scalar fallback fold (see [`BatchedEngine::swar_active`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if `cfg` is invalid or uses a
+    /// feature the batched path does not support (explicit inhibition —
+    /// check [`BatchedEngine::supports`] first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's shape does not match the configuration.
+    pub fn new(
+        cfg: NetworkConfig,
+        device: &'d Device,
+        snapshot: &EvalSnapshot,
+        batch: usize,
+    ) -> Result<Self, SnnError> {
+        cfg.validate()?;
+        if !Self::supports(&cfg) {
+            return Err(SnnError::InvalidConfig {
+                field: "inhibition",
+                reason: "batched execution supports implicit winner-take-all inhibition only"
+                    .to_string(),
+            });
+        }
+        assert_eq!(
+            snapshot.synapses().n_pre(),
+            cfg.n_inputs,
+            "snapshot pre population mismatch"
+        );
+        assert_eq!(
+            snapshot.synapses().n_post(),
+            cfg.n_excitatory,
+            "snapshot post population mismatch"
+        );
+        let transposed = snapshot.transposed_arc();
+        let packed = PackedColumns::build(&cfg, &transposed);
+        let init_state = match cfg.neuron {
+            NeuronModelKind::Lif => LifNeuron::new(cfg.lif).initial_state(),
+            NeuronModelKind::Izhikevich(p) => IzhikevichNeuron::new(p).initial_state(),
+            NeuronModelKind::Adex(p) => AdexNeuron::new(p).initial_state(),
+        };
+        let cap = batch.max(1);
+        let n_slabs = cfg.n_excitatory.div_ceil(SLAB);
+        let idle = ExcCell {
+            v: init_state.v,
+            recovery: init_state.recovery,
+            theta: 0.0,
+            refractory_ms: 0.0,
+            inhibited_until: f64::NEG_INFINITY,
+            last_spike: f64::NEG_INFINITY,
+            spiked: false,
+        };
+        let syn_decay = (-cfg.dt_ms / cfg.tau_syn_ms).exp();
+        let theta_decay = (-cfg.dt_ms / cfg.tau_theta_ms).exp();
+        Ok(BatchedEngine {
+            cells: device.alloc("batched_cells", n_slabs * cap * SLAB, idle),
+            i_syn: device.alloc("batched_i_syn", n_slabs * cap * SLAB, 0.0),
+            masks: device.alloc("batched_masks", n_slabs * cap, 0u64),
+            thetas: snapshot.thetas().to_vec(),
+            transposed,
+            packed,
+            cap,
+            n_slabs,
+            init_v: init_state.v,
+            init_recovery: init_state.recovery,
+            syn_decay,
+            theta_decay,
+            device,
+            cfg,
+        })
+    }
+
+    /// Whether the batched path can run `cfg` at all: it implements the
+    /// implicit winner-take-all commit only (explicit inhibitory partners
+    /// would need per-image partner dynamics). Callers such as the
+    /// evaluator use this to fall back to the serial path.
+    #[must_use]
+    pub fn supports(cfg: &NetworkConfig) -> bool {
+        matches!(cfg.inhibition, InhibitionMode::Implicit)
+    }
+
+    /// The batch capacity `B` this engine was allocated for.
+    #[must_use]
+    pub fn batch(&self) -> usize {
+        self.cap
+    }
+
+    /// Whether delivery runs on the packed SWAR path (`true`) or the scalar
+    /// `f64` fallback (`false`: float32 precision, a format too wide for
+    /// guarded `u64` lanes, off-grid conductances, or an exotic `v_spike`
+    /// that voids the exactness argument). Both are bit-identical to the
+    /// serial engine; only throughput differs.
+    #[must_use]
+    pub fn swar_active(&self) -> bool {
+        self.packed.is_some()
+    }
+
+    /// SWAR lanes per word on the packed path (`None` on the fallback).
+    #[must_use]
+    pub fn lanes(&self) -> Option<usize> {
+        self.packed.as_ref().map(|p| p.layout.lanes())
+    }
+
+    /// The configuration this engine was built with.
+    #[must_use]
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Resets every lane `< nb` to the canonical post-`reset_transients`
+    /// state the serial frozen presentation starts from: initial membrane
+    /// state, snapshot thresholds, cleared currents and bitsets.
+    fn reset_lanes(&mut self, nb: usize) {
+        let cells = self.cells.as_mut_slice();
+        for g in 0..self.n_slabs {
+            let jbase = g * SLAB;
+            let valid = SLAB.min(self.cfg.n_excitatory - jbase);
+            for b in 0..nb {
+                let sbase = (g * self.cap + b) * SLAB;
+                for (jj, cell) in cells[sbase..sbase + valid].iter_mut().enumerate() {
+                    cell.v = self.init_v;
+                    cell.recovery = self.init_recovery;
+                    cell.theta = self.thetas[jbase + jj];
+                    cell.refractory_ms = 0.0;
+                    cell.inhibited_until = f64::NEG_INFINITY;
+                    cell.last_spike = f64::NEG_INFINITY;
+                    cell.spiked = false;
+                }
+            }
+        }
+        self.i_syn.fill(0.0);
+        self.masks.fill(0);
+    }
+
+    /// Presents `trains.len() ≤ B` frozen stimuli lock-step and returns one
+    /// spike-count vector per train, in input order — each bit-identical to
+    /// [`crate::sim::WtaEngine::present_frozen`] of the same train on a
+    /// replica of the same snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trains` is empty or exceeds the batch capacity, if any
+    /// train's input count or step width disagrees with the configuration,
+    /// or if the trains' step counts differ (lock-step requires a common
+    /// horizon; the evaluator and the serving layer always present a fixed
+    /// `t_present_ms`).
+    pub fn present_frozen_batch(&mut self, trains: &[&SpikeTrains]) -> Vec<Vec<u32>> {
+        assert!(
+            !trains.is_empty() && trains.len() <= self.cap,
+            "batch size must be in 1..=capacity"
+        );
+        let steps = trains[0].steps();
+        for tr in trains {
+            assert_eq!(
+                tr.n_inputs(),
+                self.cfg.n_inputs,
+                "train set does not match input population"
+            );
+            assert!(
+                (tr.dt_ms() - self.cfg.dt_ms).abs() < 1e-12,
+                "train step width does not match the configured dt"
+            );
+            assert_eq!(tr.steps(), steps, "lock-step batch requires equal train lengths");
+        }
+        let _span = snn_trace::span_cat("batch/present", "batch");
+        let nb = trains.len();
+        self.reset_lanes(nb);
+        let mut counts = vec![vec![0u32; self.cfg.n_excitatory]; nb];
+        // Local time zero, accumulated by repeated `+= dt` — the exact f64
+        // clock sequence of the serial presentation.
+        let mut t = 0.0;
+        let dt = self.cfg.dt_ms;
+        let mut actives: Vec<&[u32]> = Vec::with_capacity(nb);
+        for s in 0..steps {
+            let _step = snn_trace::step_span("batch/step");
+            actives.clear();
+            actives.extend(trains.iter().map(|tr| tr.active(s)));
+            self.step_batch(&actives, t, &mut counts);
+            t += dt;
+        }
+        let hub = snn_trace::metrics();
+        hub.add_counter("batch/images", nb as u64);
+        hub.add_counter("batch/dispatches", 1);
+        hub.observe("batch/occupancy", nb as f64 / self.cap as f64);
+        counts
+    }
+
+    /// One lock-step simulation step over `actives.len()` images: the fused
+    /// deliver/decay/integrate kernel (each work item owns one
+    /// `(slab, image)` pair), then the per-image winner-take-all commit.
+    fn step_batch(&mut self, actives: &[&[u32]], t: f64, counts: &mut [Vec<u32>]) {
+        let nb = actives.len();
+        let cap = self.cap;
+        let n_exc = self.cfg.n_excitatory;
+        let n_slabs = self.n_slabs;
+        let dt = self.cfg.dt_ms;
+        let decay = self.syn_decay;
+        let theta_decay = self.theta_decay;
+        let v_spike = self.cfg.v_spike;
+        let lif_params = self.cfg.lif;
+        let neuron_kind = self.cfg.neuron;
+        let gt = &*self.transposed;
+        let packed = self.packed.as_ref();
+        let total_active: usize = actives.iter().map(|a| a.len()).sum();
+        let cell_bytes = std::mem::size_of::<ExcCell>() * 2 + 16;
+        let col_bytes = match packed {
+            Some(p) => p.words_per_col * std::mem::size_of::<u64>(),
+            None => n_exc * std::mem::size_of::<f64>(),
+        };
+        let cost = (total_active + 4 * nb) * n_exc;
+        let bytes = (total_active * col_bytes + nb * n_exc * cell_bytes) as u64;
+        let i_syn = SharedSlice::new(self.i_syn.as_mut_slice());
+        let cells = SharedSlice::new(self.cells.as_mut_slice());
+        let masks = SharedSlice::new(self.masks.as_mut_slice());
+        self.device.launch_fused("batched_deliver_integrate", cost, bytes, |ctx| {
+            for k in ctx.chunk(n_slabs * nb) {
+                let g = k / nb;
+                let b = k % nb;
+                let jbase = g * SLAB;
+                let valid = SLAB.min(n_exc - jbase);
+                let sbase = (g * cap + b) * SLAB;
+                let active = actives[b];
+                let mut acc = [0.0f64; SLAB];
+                // SAFETY: work item k is the only owner of slab g of image
+                // b (chunk() partitions the item space per worker), so its
+                // `sbase..sbase+valid` state range has exactly one writer.
+                let isyn_slab = unsafe { i_syn.slice_mut(sbase..sbase + valid) };
+                decay_slab(&mut acc[..valid], isyn_slab, decay);
+                match packed {
+                    Some(p) => {
+                        let lanes = p.layout.lanes();
+                        let lane_bits = p.layout.lane_bits();
+                        let lane_mask = p.layout.lane_mask();
+                        let w0 = jbase / lanes;
+                        let wn = valid.div_ceil(lanes);
+                        for block in active.chunks(SPIKE_BLOCK) {
+                            // Lane-parallel integer block sum: ≤ SPIKE_BLOCK
+                            // addends fit the guard bits, so lanes never
+                            // carry into each other.
+                            let mut words = [0u64; SLAB];
+                            for &i in block {
+                                let base = i as usize * p.words_per_col + w0;
+                                add_words(&mut words[..wn], &p.words[base..base + wn]);
+                            }
+                            // Fold each lane's exact block value into the
+                            // per-neuron chain in ascending neuron order —
+                            // the serial fold's block addition.
+                            for (w, &word) in words[..wn].iter().enumerate() {
+                                let mut word = word;
+                                let jj0 = w * lanes;
+                                for l in 0..lanes {
+                                    let raw = word & lane_mask;
+                                    word >>= lane_bits;
+                                    let jj = jj0 + l;
+                                    if jj < valid {
+                                        acc[jj] += (raw as f64) * p.scale;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        // Scalar fallback: replay the serial chain
+                        // op-for-op per neuron — per block, `g₀·v` assigns
+                        // and later spikes accumulate, then the block adds
+                        // to the decayed current in ascending block order.
+                        for block in active.chunks(SPIKE_BLOCK) {
+                            let mut bacc = [0.0f64; SLAB];
+                            let mut first = true;
+                            for &i in block {
+                                let col = &gt.col(i as usize)[jbase..jbase + valid];
+                                if first {
+                                    for (a, &gv) in bacc[..valid].iter_mut().zip(col) {
+                                        *a = gv * v_spike;
+                                    }
+                                    first = false;
+                                } else {
+                                    for (a, &gv) in bacc[..valid].iter_mut().zip(col) {
+                                        *a += gv * v_spike;
+                                    }
+                                }
+                            }
+                            if !first {
+                                for jj in 0..valid {
+                                    acc[jj] += bacc[jj];
+                                }
+                            }
+                        }
+                    }
+                }
+                // SAFETY: as above — this work item exclusively owns the
+                // slab's cell range.
+                let cells_slab = unsafe { cells.slice_mut(sbase..sbase + valid) };
+                let mut bits = 0u64;
+                for (jj, cell) in cells_slab.iter_mut().enumerate() {
+                    integrate_cell(
+                        cell,
+                        acc[jj],
+                        t,
+                        dt,
+                        neuron_kind,
+                        lif_params,
+                        theta_decay,
+                        false,
+                    );
+                    bits |= u64::from(cell.spiked) << jj;
+                    isyn_slab[jj] = acc[jj];
+                }
+                // SAFETY: one bitset word per (slab, image) pair — this
+                // item is its only writer.
+                unsafe { masks.write(g * cap + b, bits) };
+            }
+        });
+
+        // Winner-take-all commit, per image (serial phase 5, Implicit):
+        // spikers score and stamp their spike time, everyone else enters
+        // the suppression window. The bitset scan skips silent images the
+        // way the serial engine skips silent steps.
+        let until = t + self.cfg.t_inh_ms;
+        let masks = self.masks.as_slice();
+        let cells = self.cells.as_mut_slice();
+        for (b, image_counts) in counts.iter_mut().enumerate() {
+            if (0..n_slabs).all(|g| masks[g * cap + b] == 0) {
+                continue;
+            }
+            for g in 0..n_slabs {
+                let bits = masks[g * cap + b];
+                let jbase = g * SLAB;
+                let valid = SLAB.min(n_exc - jbase);
+                let sbase = (g * cap + b) * SLAB;
+                for (jj, cell) in cells[sbase..sbase + valid].iter_mut().enumerate() {
+                    if bits & (1u64 << jj) != 0 {
+                        cell.last_spike = t;
+                        image_counts[jbase + jj] += 1;
+                    } else {
+                        cell.inhibited_until = until;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for BatchedEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchedEngine")
+            .field("n_inputs", &self.cfg.n_inputs)
+            .field("n_excitatory", &self.cfg.n_excitatory)
+            .field("batch", &self.cap)
+            .field("swar", &self.swar_active())
+            .field("precision", &self.cfg.precision)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CurrentDelivery, Preset};
+    use crate::sim::WtaEngine;
+    use gpu_device::DeviceConfig;
+
+    /// Deterministic synthetic trains: input `i` spikes at step `s` when
+    /// `(i + s) % stride == 0`, with the stride varied per image so lanes
+    /// genuinely differ.
+    fn test_trains(n_inputs: usize, steps: usize, dt_ms: f64, stride: usize) -> SpikeTrains {
+        let mut t = SpikeTrains::new(n_inputs, dt_ms);
+        for s in 0..steps {
+            let active: Vec<u32> =
+                (0..n_inputs).filter(|i| (i + s) % stride == 0).map(|i| i as u32).collect();
+            t.push_step(&active);
+        }
+        t
+    }
+
+    fn trained_snapshot(cfg: &NetworkConfig, seed: u64) -> EvalSnapshot {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let mut engine = WtaEngine::new(cfg.clone(), &device, seed);
+        let rates: Vec<f64> =
+            (0..cfg.n_inputs).map(|i| 30.0 + 40.0 * ((i % 5) as f64) / 4.0).collect();
+        for _ in 0..3 {
+            engine.present(&rates, 25.0, true);
+        }
+        engine.snapshot()
+    }
+
+    fn serial_counts(
+        cfg: &NetworkConfig,
+        snapshot: &EvalSnapshot,
+        trains: &[SpikeTrains],
+    ) -> Vec<Vec<u32>> {
+        let device = Device::new(DeviceConfig::default().with_workers(1));
+        let mut replica = WtaEngine::replica(cfg.clone(), &device, 5, snapshot).unwrap();
+        trains.iter().map(|tr| replica.present_frozen(tr)).collect()
+    }
+
+    fn batch_matches_serial(preset: Preset, delivery: CurrentDelivery, batch: usize, workers: usize) {
+        let cfg = NetworkConfig::from_preset(preset, 19, 70).with_delivery(delivery);
+        let snapshot = trained_snapshot(&cfg, 23);
+        let trains: Vec<SpikeTrains> =
+            (0..batch).map(|b| test_trains(19, 60, cfg.dt_ms, 2 + b % 3)).collect();
+        let expected = serial_counts(&cfg, &snapshot, &trains);
+        let device = Device::new(DeviceConfig::default().with_workers(workers));
+        let mut batched = BatchedEngine::new(cfg, &device, &snapshot, batch).unwrap();
+        let refs: Vec<&SpikeTrains> = trains.iter().collect();
+        let got = batched.present_frozen_batch(&refs);
+        assert_eq!(got, expected, "batched lanes diverged from the serial engine");
+        // Real spiking activity, or the identity test proves nothing.
+        assert!(
+            expected.iter().flatten().any(|&c| c > 0),
+            "test network was silent; pick livelier inputs"
+        );
+    }
+
+    #[test]
+    fn quantized_presets_match_serial_on_the_swar_path() {
+        for preset in [Preset::Bit2, Preset::Bit4, Preset::Bit8] {
+            batch_matches_serial(preset, CurrentDelivery::Sparse, 4, 3);
+        }
+    }
+
+    #[test]
+    fn dense_delivery_matches_too() {
+        batch_matches_serial(Preset::Bit4, CurrentDelivery::Dense, 3, 2);
+    }
+
+    #[test]
+    fn full_precision_runs_the_scalar_fallback() {
+        let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 19, 70);
+        let snapshot = trained_snapshot(&cfg, 23);
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let batched = BatchedEngine::new(cfg, &device, &snapshot, 2).unwrap();
+        assert!(!batched.swar_active());
+        assert_eq!(batched.lanes(), None);
+        batch_matches_serial(Preset::FullPrecision, CurrentDelivery::Sparse, 2, 2);
+    }
+
+    #[test]
+    fn swar_activates_for_every_narrow_preset() {
+        for (preset, lanes) in [(Preset::Bit2, 8), (Preset::Bit4, 4), (Preset::Bit8, 4)] {
+            let cfg = NetworkConfig::from_preset(preset, 8, 9);
+            let snapshot = trained_snapshot(&cfg, 7);
+            let device = Device::new(DeviceConfig::default().with_workers(1));
+            let batched = BatchedEngine::new(cfg, &device, &snapshot, 1).unwrap();
+            assert!(batched.swar_active(), "{preset:?} should pack");
+            assert_eq!(batched.lanes(), Some(lanes), "{preset:?} lane count");
+        }
+    }
+
+    #[test]
+    fn off_grid_conductance_falls_back_but_stays_identical() {
+        let cfg = NetworkConfig::from_preset(Preset::Bit4, 11, 13);
+        let snapshot = trained_snapshot(&cfg, 3);
+        // Nudge one weight off the Q0.4 grid, as a checkpoint written under
+        // a different format would produce.
+        let mut matrix = snapshot.synapses().clone();
+        matrix.as_flat_mut()[17] = 0.3;
+        let snapshot = EvalSnapshot::new(matrix, snapshot.thetas().to_vec());
+        let device = Device::new(DeviceConfig::default().with_workers(3));
+        let mut batched = BatchedEngine::new(cfg.clone(), &device, &snapshot, 3).unwrap();
+        assert!(!batched.swar_active(), "off-grid weights must void the packed path");
+        let trains: Vec<SpikeTrains> =
+            (0..3).map(|b| test_trains(11, 50, cfg.dt_ms, 2 + b)).collect();
+        let refs: Vec<&SpikeTrains> = trains.iter().collect();
+        let got = batched.present_frozen_batch(&refs);
+        assert_eq!(got, serial_counts(&cfg, &snapshot, &trains));
+    }
+
+    #[test]
+    fn batch_of_one_equals_each_lane_of_a_wide_batch() {
+        let cfg = NetworkConfig::from_preset(Preset::Bit2, 16, 30);
+        let snapshot = trained_snapshot(&cfg, 41);
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let trains: Vec<SpikeTrains> =
+            (0..5).map(|b| test_trains(16, 40, cfg.dt_ms, 2 + b % 4)).collect();
+        let refs: Vec<&SpikeTrains> = trains.iter().collect();
+        let mut wide = BatchedEngine::new(cfg.clone(), &device, &snapshot, 5).unwrap();
+        let wide_counts = wide.present_frozen_batch(&refs);
+        let mut solo = BatchedEngine::new(cfg, &device, &snapshot, 1).unwrap();
+        for (tr, expected) in trains.iter().zip(&wide_counts) {
+            assert_eq!(&solo.present_frozen_batch(&[tr])[0], expected);
+        }
+    }
+
+    #[test]
+    fn explicit_inhibition_is_rejected() {
+        let mut cfg = NetworkConfig::from_preset(Preset::Bit4, 6, 4);
+        cfg.inhibition = InhibitionMode::Explicit { w_exc_to_inh: 1.0 };
+        assert!(!BatchedEngine::supports(&cfg));
+        let snapshot = {
+            let implicit = NetworkConfig::from_preset(Preset::Bit4, 6, 4);
+            trained_snapshot(&implicit, 1)
+        };
+        let device = Device::new(DeviceConfig::default().with_workers(1));
+        match BatchedEngine::new(cfg, &device, &snapshot, 2) {
+            Err(SnnError::InvalidConfig { field, .. }) => assert_eq!(field, "inhibition"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal train lengths")]
+    fn unequal_train_lengths_are_rejected() {
+        let cfg = NetworkConfig::from_preset(Preset::Bit4, 6, 4);
+        let snapshot = trained_snapshot(&cfg, 1);
+        let device = Device::new(DeviceConfig::default().with_workers(1));
+        let mut batched = BatchedEngine::new(cfg.clone(), &device, &snapshot, 2).unwrap();
+        let a = test_trains(6, 10, cfg.dt_ms, 2);
+        let b = test_trains(6, 11, cfg.dt_ms, 2);
+        let _ = batched.present_frozen_batch(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=capacity")]
+    fn oversized_batch_is_rejected() {
+        let cfg = NetworkConfig::from_preset(Preset::Bit4, 6, 4);
+        let snapshot = trained_snapshot(&cfg, 1);
+        let device = Device::new(DeviceConfig::default().with_workers(1));
+        let mut batched = BatchedEngine::new(cfg.clone(), &device, &snapshot, 1).unwrap();
+        let a = test_trains(6, 10, cfg.dt_ms, 2);
+        let _ = batched.present_frozen_batch(&[&a, &a]);
+    }
+
+    #[test]
+    fn reuse_across_dispatches_is_stateless() {
+        let cfg = NetworkConfig::from_preset(Preset::Bit4, 12, 20);
+        let snapshot = trained_snapshot(&cfg, 9);
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let mut batched = BatchedEngine::new(cfg.clone(), &device, &snapshot, 3).unwrap();
+        let lively = test_trains(12, 50, cfg.dt_ms, 2);
+        let quiet = test_trains(12, 50, cfg.dt_ms, 5);
+        let first = batched.present_frozen_batch(&[&lively, &quiet, &lively]);
+        // A second dispatch over the same trains must not see leftovers.
+        let second = batched.present_frozen_batch(&[&lively, &quiet, &lively]);
+        assert_eq!(first, second);
+        // And a smaller follow-up batch reuses the buffers cleanly.
+        let third = batched.present_frozen_batch(&[&quiet]);
+        assert_eq!(third[0], first[1]);
+    }
+
+    #[test]
+    fn sig_bits_measures_the_significand_span() {
+        assert_eq!(sig_bits(0.0), 0);
+        assert_eq!(sig_bits(1.0), 1);
+        assert_eq!(sig_bits(2.0), 1);
+        assert_eq!(sig_bits(-0.5), 1);
+        assert_eq!(sig_bits(3.0), 2);
+        assert_eq!(sig_bits(1.25), 3);
+        assert_eq!(sig_bits(1.0 + f64::EPSILON), f64::MANTISSA_DIGITS);
+    }
+
+    #[test]
+    fn packed_columns_mirror_the_transposed_view() {
+        let cfg = NetworkConfig::from_preset(Preset::Bit4, 9, 11);
+        let snapshot = trained_snapshot(&cfg, 13);
+        let packed = PackedColumns::build(&cfg, snapshot.transposed_arc().as_ref()).unwrap();
+        let q = match cfg.precision {
+            Precision::Fixed(q) => q,
+            Precision::Float32 => unreachable!(),
+        };
+        let gt = snapshot.transposed_arc();
+        for i in 0..9 {
+            let col = gt.col(i);
+            for (j, &g) in col.iter().enumerate() {
+                let word = packed.words[i * packed.words_per_col + j / packed.layout.lanes()];
+                let raw = packed.layout.lane(word, j % packed.layout.lanes());
+                assert_eq!(q.raw_to_f64(raw), g, "lane ({i},{j}) round-trip");
+            }
+        }
+    }
+}

@@ -27,7 +27,7 @@ use std::sync::Arc;
 /// ascending block order. The block structure depends only on the data,
 /// never on the worker count or the delivery mode, which is what makes
 /// `Dense` and `Sparse` bit-identical at any parallelism.
-const SPIKE_BLOCK: usize = 32;
+pub(crate) const SPIKE_BLOCK: usize = 32;
 
 /// Post-neuron tile width of the sparse scatter stage: each work item owns
 /// one `(spike block × neuron tile)` rectangle of the partial-sum matrix,
@@ -41,14 +41,14 @@ const POST_TILE: usize = 256;
 /// one line per neuron.
 #[derive(Debug, Clone, Copy)]
 #[repr(align(64))]
-struct ExcCell {
-    v: f64,
-    recovery: f64,
-    theta: f64,
-    refractory_ms: f64,
-    inhibited_until: f64,
-    last_spike: f64,
-    spiked: bool,
+pub(crate) struct ExcCell {
+    pub(crate) v: f64,
+    pub(crate) recovery: f64,
+    pub(crate) theta: f64,
+    pub(crate) refractory_ms: f64,
+    pub(crate) inhibited_until: f64,
+    pub(crate) last_spike: f64,
+    pub(crate) spiked: bool,
 }
 
 // Stream-id name spaces for the counter-based RNG (shared with the synapse
@@ -1443,7 +1443,7 @@ impl<'d> WtaEngine<'d> {
 /// per-neuron model dispatch, or the untouched `recovery` field traffic —
 /// this loop body is the hot path of every delivery kernel.
 #[inline(always)]
-fn integrate_cell_lif(
+pub(crate) fn integrate_cell_lif(
     cell: &mut ExcCell,
     i_syn_j: f64,
     t: f64,
@@ -1477,7 +1477,8 @@ fn integrate_cell_lif(
     }
 }
 
-fn integrate_cell(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn integrate_cell(
     cell: &mut ExcCell,
     i_syn_j: f64,
     t: f64,

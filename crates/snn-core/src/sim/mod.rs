@@ -11,12 +11,17 @@
 //! * [`EvalSnapshot`] / [`SpikeTrains`] — the shared read-only trained-state
 //!   snapshot and precomputed input trains of the parallel frozen-weight
 //!   evaluation path.
+//! * [`BatchedEngine`] — lock-step batched frozen evaluation with SWAR
+//!   low-precision delivery kernels, bit-identical per lane to the serial
+//!   frozen path.
 
+mod batched;
 mod engine;
 mod eval;
 mod generic;
 mod recorder;
 
+pub use batched::BatchedEngine;
 pub use engine::WtaEngine;
 pub use eval::{EvalSnapshot, SpikeTrains};
 pub use generic::GenericEngine;

@@ -902,7 +902,10 @@ mod tests {
     fn settle_all_is_bit_identical_to_eager_replay() {
         // (post row, step, t_ms) in step order: rows 1 and 2 spike.
         let events = [(1usize, 3u64, 1.5), (2, 5, 2.5), (1, 9, 4.5)];
-        let last_pre: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.25 - 1.0).collect();
+        // Each input has a distinct pre-spike time, all of them at or
+        // before the first post event (the engine's `last_pre ≤ t`
+        // invariant — `p_pot`/`p_dep` reject negative separations).
+        let last_pre: Vec<f64> = (0..16).map(|i| f64::from(i) * 0.25 - 3.0).collect();
         for preset in [Preset::FullPrecision, Preset::Bit8, Preset::Bit2] {
             for kind in [RuleKind::Deterministic, RuleKind::Stochastic] {
                 let c = cfg(preset).with_rule(kind);

@@ -126,7 +126,11 @@ proptest! {
         rule_kind in prop_oneof![Just(RuleKind::Deterministic), Just(RuleKind::Stochastic)],
         seed in 0u64..500,
         raw_events in prop::collection::vec((0usize..6, 1u64..40), 1..30),
-        pre_offsets in prop::collection::vec(0.0f64..10.0, 12),
+        // Offsets map to `last_pre = offset - 5.0` ∈ [-5, 0): always at or
+        // before the earliest possible post event (step 1 → t = dt), since
+        // the rule's `P_pot`/`P_dep` are only defined for Δt ≥ 0 — the
+        // engine upholds that via its `last_pre ≤ t` invariant.
+        pre_offsets in prop::collection::vec(0.0f64..5.0, 12),
     ) {
         const N_PRE: usize = 12;
         const N_POST: usize = 6;

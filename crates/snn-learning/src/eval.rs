@@ -24,7 +24,7 @@ use std::sync::Mutex;
 
 use gpu_device::{Device, DeviceConfig, ProfileReport};
 use snn_core::config::NetworkConfig;
-use snn_core::sim::{EvalSnapshot, WtaEngine};
+use snn_core::sim::{BatchedEngine, EvalSnapshot, SpikeTrains, WtaEngine};
 use snn_datasets::{Dataset, LabeledImage};
 use spike_encoding::{EvalTrainGenerator, RateEncoder, TrainPipeline};
 
@@ -47,6 +47,14 @@ pub struct EvalOptions {
     /// Service-order permutation over the presentation queue — a test hook
     /// for adversarial orderings. `None` is canonical index order.
     pub order: Option<Vec<usize>>,
+    /// Lock-step batch width: each replica drains up to `batch`
+    /// presentations per dispatch and advances them together through a
+    /// [`BatchedEngine`] (SWAR delivery kernels where the preset allows).
+    /// `1` (the default) keeps the serial per-presentation engines. Like
+    /// every other knob here this is wall-clock only — batched lanes are
+    /// bit-identical to serial presentations — and it silently falls back
+    /// to serial when the network is outside [`BatchedEngine::supports`].
+    pub batch: usize,
 }
 
 impl Default for EvalOptions {
@@ -56,6 +64,7 @@ impl Default for EvalOptions {
             device: DeviceConfig::default(),
             pipelined: true,
             order: None,
+            batch: 1,
         }
     }
 }
@@ -78,7 +87,9 @@ pub struct EvalOutcome {
 /// Runs one frozen presentation per image of `images` across
 /// `opts.replicas` replica engines mounted on `snapshot`, returning the
 /// per-image spike counts (keyed by image index, never by arrival order)
-/// and the merged device profile.
+/// and the merged device profile. With `opts.batch > 1` each replica
+/// drains up to `batch` presentations per claim and advances them in
+/// lock-step through a [`BatchedEngine`] — same counts, fewer dispatches.
 ///
 /// Presentation slot `k` draws its spike trains from the evaluation RNG
 /// stream keyed by `k` — the identity contract shared by
@@ -136,33 +147,75 @@ pub fn presentation_counts(
     });
     let cursor = AtomicUsize::new(0);
 
+    // Lock-step batch width: >1 routes presentations through a
+    // `BatchedEngine` (bit-identical per lane), clamped back to serial
+    // when the network uses a feature the batched path does not cover.
+    let batch = if BatchedEngine::supports(network) { opts.batch.max(1) } else { 1 };
+
     std::thread::scope(|scope| {
         for _ in 0..replicas {
             scope.spawn(|| {
                 let device = Device::new_budgeted(opts.device.clone(), replicas);
-                let mut engine = WtaEngine::replica(network.clone(), &device, seed, snapshot)
-                    .expect("invalid network configuration");
-                loop {
-                    let (slot, trains) = match &pipeline {
-                        Some(p) => match p.next() {
-                            Some(job) => job,
-                            None => break,
-                        },
-                        None => {
-                            let k = cursor.fetch_add(1, Ordering::Relaxed);
-                            if k >= order.len() {
-                                break;
+                // Claims the next up-to-`max` presentations: from the
+                // pipeline channel when enabled, else by advancing the
+                // shared cursor (disjoint ranges — each slot is claimed
+                // exactly once either way).
+                let claim = |max: usize| -> Vec<(usize, SpikeTrains)> {
+                    let mut jobs = Vec::with_capacity(max);
+                    match &pipeline {
+                        Some(p) => {
+                            while jobs.len() < max {
+                                match p.next() {
+                                    Some(job) => jobs.push(job),
+                                    None => break,
+                                }
                             }
-                            let slot = order[k];
-                            let rates = encoder.rates(images[slot].image.pixels());
-                            (slot, generator.generate(slot as u64, &rates, t_present_ms))
                         }
-                    };
-                    // One span per presentation on the replica thread; the
-                    // per-thread ring flushes when the scoped thread exits.
-                    let _image_span = snn_trace::span_cat("eval/image", "eval");
-                    let counts = engine.present_frozen(&trains);
-                    results.lock().expect("results poisoned")[slot] = Some(counts);
+                        None => {
+                            let k = cursor.fetch_add(max, Ordering::Relaxed);
+                            for &slot in order.iter().skip(k).take(max) {
+                                let rates = encoder.rates(images[slot].image.pixels());
+                                jobs.push((
+                                    slot,
+                                    generator.generate(slot as u64, &rates, t_present_ms),
+                                ));
+                            }
+                        }
+                    }
+                    jobs
+                };
+                if batch > 1 {
+                    let mut engine =
+                        BatchedEngine::new(network.clone(), &device, snapshot, batch)
+                            .expect("invalid network configuration");
+                    loop {
+                        let jobs = claim(batch);
+                        if jobs.is_empty() {
+                            break;
+                        }
+                        // One span per dispatch; the engine emits the
+                        // per-step `batch/*` spans and gauges itself.
+                        let _batch_span = snn_trace::span_cat("eval/batch", "eval");
+                        let trains: Vec<&SpikeTrains> = jobs.iter().map(|(_, t)| t).collect();
+                        let all = engine.present_frozen_batch(&trains);
+                        let mut results = results.lock().expect("results poisoned");
+                        for ((slot, _), counts) in jobs.iter().zip(all) {
+                            results[*slot] = Some(counts);
+                        }
+                    }
+                } else {
+                    let mut engine = WtaEngine::replica(network.clone(), &device, seed, snapshot)
+                        .expect("invalid network configuration");
+                    loop {
+                        let mut jobs = claim(1);
+                        let Some((slot, trains)) = jobs.pop() else { break };
+                        // One span per presentation on the replica thread;
+                        // the per-thread ring flushes when the scoped
+                        // thread exits.
+                        let _image_span = snn_trace::span_cat("eval/image", "eval");
+                        let counts = engine.present_frozen(&trains);
+                        results.lock().expect("results poisoned")[slot] = Some(counts);
+                    }
                 }
                 profiles.lock().expect("profiles poisoned").push(device.profile());
             });

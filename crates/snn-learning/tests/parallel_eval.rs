@@ -14,9 +14,19 @@ const N_INFERENCE: usize = 15;
 
 /// Trains a small network and returns everything an evaluation needs.
 fn trained(rule: RuleKind, delivery: CurrentDelivery) -> (TrainerConfig, EvalSnapshot, Dataset) {
+    trained_preset(Preset::FullPrecision, rule, delivery)
+}
+
+/// As [`trained`], with an explicit precision preset (the batched-dispatch
+/// tests need fixed-point storage so the SWAR path is on the tested line).
+fn trained_preset(
+    preset: Preset,
+    rule: RuleKind,
+    delivery: CurrentDelivery,
+) -> (TrainerConfig, EvalSnapshot, Dataset) {
     let dataset = synthetic_mnist(20, N_LABELING + N_INFERENCE, 7);
     let mut cfg = TrainerConfig::new(
-        NetworkConfig::from_preset(Preset::FullPrecision, 784, 10)
+        NetworkConfig::from_preset(preset, 784, 10)
             .with_rule(rule)
             .with_delivery(delivery),
     );
@@ -141,4 +151,57 @@ fn a_non_permutation_order_is_rejected() {
         &dataset,
         &EvalOptions { replicas: 2, order: Some(bad), ..EvalOptions::default() },
     );
+}
+
+#[test]
+fn batched_dispatch_cannot_change_the_outcome() {
+    // Fixed-point storage so the batched engine's SWAR delivery path (not
+    // just the scalar fallback) is what must reproduce the serial counts.
+    for preset in [Preset::Bit4, Preset::Bit2] {
+        let (cfg, snapshot, dataset) =
+            trained_preset(preset, RuleKind::Stochastic, CurrentDelivery::Sparse);
+        let serial = eval(
+            &cfg,
+            &snapshot,
+            &dataset,
+            &EvalOptions { replicas: 1, pipelined: false, ..EvalOptions::default() },
+        );
+        for batch in [2, 4, 8] {
+            for replicas in [1, 3] {
+                for pipelined in [false, true] {
+                    let batched = eval(
+                        &cfg,
+                        &snapshot,
+                        &dataset,
+                        &EvalOptions { replicas, pipelined, batch, ..EvalOptions::default() },
+                    );
+                    assert_identical(
+                        &serial,
+                        &batched,
+                        &format!("{preset:?} batch={batch} replicas={replicas} pipelined={pipelined}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_full_precision_falls_back_bit_identically() {
+    // Float32 storage routes the batched engine onto its scalar delivery
+    // fallback; the outcome contract is the same.
+    let (cfg, snapshot, dataset) = trained(RuleKind::Deterministic, CurrentDelivery::Dense);
+    let serial = eval(
+        &cfg,
+        &snapshot,
+        &dataset,
+        &EvalOptions { replicas: 1, pipelined: false, ..EvalOptions::default() },
+    );
+    let batched = eval(
+        &cfg,
+        &snapshot,
+        &dataset,
+        &EvalOptions { replicas: 2, batch: 4, ..EvalOptions::default() },
+    );
+    assert_identical(&serial, &batched, "full-precision batch=4");
 }

@@ -17,7 +17,8 @@
 //! | `transposed-coherence` | every function that mutates row-major conductances also refreshes (or rebuilds) the transposed mirror |
 //! | `hash-iteration` | hot-path modules never *iterate* a `HashMap`/`HashSet` (iteration order is unordered ⇒ nondeterministic); keyed lookups are fine |
 //! | `sync-shim` | the model-checked crates (gpu-device, snn-serve) use sync primitives only through their `src/sync.rs`, so `--cfg loom` swaps every primitive at once |
-//! | `trace-schema` | every span/kernel/metric name passed as a literal to the telemetry APIs appears in the DESIGN.md §11/§12 schema tables (unlike other rules, string literals are *kept* for this scan) |
+//! | `trace-schema` | every span/kernel/metric name passed as a literal to the telemetry APIs appears in the DESIGN.md §11–§13 schema tables (unlike other rules, string literals are *kept* for this scan) |
+//! | `lane-width` | SWAR kernel files carry no literal shift amounts or hex bit masks — lane counts, lane widths, shifts and masks must derive from the `qformat` `QFormat`/`LaneLayout` constants, so a format change cannot silently desynchronize a kernel |
 //!
 //! A violation can be waived in place with a trailing or preceding comment
 //! `lint-allow: <rule-name> — <reason>`; waivers are surfaced in `--report`.
@@ -46,6 +47,7 @@ const UNSAFE_ALLOWED: &[&str] = &[
     "crates/gpu-device/src/",
     "crates/snn-loom/src/",
     "crates/snn-core/src/sim/engine.rs",
+    "crates/snn-core/src/sim/batched.rs",
     "crates/snn-core/src/sim/generic.rs",
     // The curated sanitizer suite exists to *drive* the unsafe surface
     // (Miri/TSan CI jobs); see its header for the item -> test inventory.
@@ -170,6 +172,13 @@ const TRACE_SCHEMA_EXEMPT: &[&str] = &[
     "crates/snn-lint/",
     "crates/gpu-device/src/loom_tests.rs",
 ];
+
+/// SWAR kernel files the `lane-width` rule scopes to: bit-parallel code
+/// whose lane counts, lane widths, shift amounts and masks must derive
+/// from the `qformat` constants (`QFormat::lanes_per_u64`, `LaneLayout`),
+/// never appear as numeric literals — a hand-written `>> 8` or
+/// `0x00FF00FF` would silently desynchronize from a format change.
+const LANE_WIDTH_SCOPE: &[&str] = &["crates/snn-core/src/sim/batched.rs"];
 
 /// How many non-unsafe lines may separate two unsafe statements that share
 /// one `// SAFETY:` comment (a "cluster"), and how far above the cluster
@@ -441,6 +450,7 @@ const RULE_NAMES: &[&str] = &[
     "hash-iteration",
     "sync-shim",
     "trace-schema",
+    "lane-width",
 ];
 
 fn collect_waivers(files: &[SourceFile]) -> Vec<(String, usize, String)> {
@@ -831,20 +841,76 @@ fn rule_sync_shim(file: &SourceFile, out: &mut Vec<Violation>) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: lane-width
+// ---------------------------------------------------------------------------
+
+fn rule_lane_width(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !LANE_WIDTH_SCOPE.iter().any(|p| file.rel.starts_with(p)) {
+        return;
+    }
+    for (i, l) in file.lines.iter().enumerate() {
+        if l.in_test || waived(file, i, "lane-width") {
+            continue;
+        }
+        let code = l.code.as_str();
+        // Literal shift amounts: `<< 8`, `>>= 2`, … Shifts by an
+        // expression (a lane-layout accessor, a loop variable) are fine.
+        for op in ["<<", ">>"] {
+            let mut rest = code;
+            while let Some(pos) = rest.find(op) {
+                let tail = rest[pos + op.len()..].trim_start_matches('=').trim_start();
+                if tail.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                    out.push(Violation {
+                        file: file.rel.clone(),
+                        line: i + 1,
+                        rule: "lane-width",
+                        msg: format!(
+                            "literal shift amount after `{op}` in a SWAR kernel: derive \
+                             shifts from `LaneLayout::lane_bits()` / `QFormat` widths so a \
+                             format change cannot desynchronize the kernel"
+                        ),
+                    });
+                    break; // one violation per line per operator is plenty
+                }
+                rest = &rest[pos + op.len()..];
+            }
+        }
+        // Hex bit-mask literals: lane and value masks come from
+        // `LaneLayout::lane_mask()` / `splat`, never hand-packed.
+        if let Some(pos) = code.find("0x") {
+            let prev = code[..pos].chars().next_back();
+            if !prev.is_some_and(is_ident_char) {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: i + 1,
+                    rule: "lane-width",
+                    msg: "hex mask literal in a SWAR kernel: build lane/value masks \
+                          with `LaneLayout::lane_mask()`/`splat` instead of hand-packed \
+                          constants"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: trace-schema
 // ---------------------------------------------------------------------------
 
-/// Extracts the set of backticked names from the `## 11` telemetry and
-/// `## 12` serving sections of DESIGN.md. Returns `None` when both
-/// sections are missing entirely (a violation in itself — the schema
-/// reference is load-bearing).
+/// Extracts the set of backticked names from the `## 11` telemetry,
+/// `## 12` serving and `## 13` batched-execution sections of DESIGN.md.
+/// Returns `None` when all sections are missing entirely (a violation in
+/// itself — the schema reference is load-bearing).
 fn design_schema_names(design: &str) -> Option<Vec<String>> {
     let mut in_section = false;
     let mut found = false;
     let mut names = Vec::new();
     for line in design.lines() {
         if line.starts_with("## ") {
-            in_section = line.starts_with("## 11") || line.starts_with("## 12");
+            in_section = line.starts_with("## 11")
+                || line.starts_with("## 12")
+                || line.starts_with("## 13");
             found |= in_section;
             continue;
         }
@@ -1046,6 +1112,7 @@ fn run_rules(files: &[SourceFile], schema: Option<&[String]>) -> Vec<Violation> 
         rule_transposed_coherence(f, &mut out);
         rule_hash_iteration(f, &mut out);
         rule_sync_shim(f, &mut out);
+        rule_lane_width(f, &mut out);
         if let Some(schema) = schema {
             rule_trace_schema(f, schema, &mut out);
         }
@@ -1153,6 +1220,7 @@ mod tests {
             rule_transposed_coherence(f, &mut out);
             rule_hash_iteration(f, &mut out);
             rule_sync_shim(f, &mut out);
+            rule_lane_width(f, &mut out);
         }
         out
     }
@@ -1419,6 +1487,54 @@ mod tests {
             &[],
         );
         assert!(v.is_empty(), "{v:?}");
+    }
+
+    // -- lane-width -------------------------------------------------------
+
+    #[test]
+    fn lane_width_flags_literal_shifts_and_hex_masks_in_swar_kernels() {
+        let v = rules_on(
+            "crates/snn-core/src/sim/batched.rs",
+            "fn f(w: u64) -> u64 {\n    let lo = w & 0x00FF_00FF;\n    (lo << 8) | (w >> 8)\n}\n",
+        );
+        assert_eq!(v.iter().filter(|v| v.rule == "lane-width").count(), 3, "{v:?}");
+        assert!(v.iter().any(|v| v.msg.contains("hex mask")));
+        assert!(v.iter().any(|v| v.msg.contains("`<<`")));
+        assert!(v.iter().any(|v| v.msg.contains("`>>`")));
+    }
+
+    #[test]
+    fn lane_width_accepts_derived_shifts_and_out_of_scope_files() {
+        // Shifts by a lane-layout accessor or a variable are the point of
+        // the rule — only numeric literals are flagged.
+        let v = rules_on(
+            "crates/snn-core/src/sim/batched.rs",
+            "fn f(w: u64, p: &LaneLayout, jj: usize) -> u64 {\n    \
+             let m = p.lane_mask();\n    (w & m) << p.lane_bits() | (w >> jj)\n}\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "lane-width"), "{v:?}");
+        // The same literals outside the SWAR scope are another rule's
+        // business (e.g. the stream-id constants in snn-core/src/lib.rs).
+        let v = rules_on(
+            "crates/snn-core/src/lib.rs",
+            "pub const INPUT: u64 = 1 << 40;\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "lane-width"), "{v:?}");
+    }
+
+    #[test]
+    fn lane_width_skips_tests_and_waivers() {
+        let v = rules_on(
+            "crates/snn-core/src/sim/batched.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() -> u64 { 0xFF << 8 }\n}\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "lane-width"), "{v:?}");
+        let v = rules_on(
+            "crates/snn-core/src/sim/batched.rs",
+            "// lint-allow: lane-width — fixture demonstrating the forbidden shape\n\
+             fn f(w: u64) -> u64 { w << 8 }\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "lane-width"), "{v:?}");
     }
 
     // -- report -----------------------------------------------------------

@@ -153,6 +153,44 @@ impl<T> JobQueue<T> {
         }
     }
 
+    /// Claims up to `max` jobs in one critical section — the batch-forming
+    /// admission edge of the lock-step serving path. Blocks exactly like
+    /// [`JobQueue::steal`] while the queue is open but empty (or paused),
+    /// then drains whatever is queued at that moment, never waiting for a
+    /// full batch: latency of the first queued request always wins over
+    /// batch occupancy. Returns an empty vector only once the queue is
+    /// closed and drained, or as soon as it is poisoned.
+    ///
+    /// Accounting: the claimed jobs count into [`QueueStats::stolen`] the
+    /// same as individual steals, so `stolen == accepted` after a graceful
+    /// drain regardless of batch width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max` is zero — an empty claim would be indistinguishable
+    /// from queue exhaustion.
+    pub fn steal_many(&self, max: usize) -> Vec<T> {
+        assert!(max > 0, "batch claim width must be at least 1");
+        let mut g = self.inner.lock();
+        loop {
+            if g.poisoned {
+                return Vec::new();
+            }
+            if !g.paused {
+                if !g.jobs.is_empty() {
+                    let take = max.min(g.jobs.len());
+                    let batch: Vec<T> = g.jobs.drain(..take).collect();
+                    g.stats.stolen += batch.len() as u64;
+                    return batch;
+                }
+                if g.closed {
+                    return Vec::new();
+                }
+            }
+            self.takers.wait(&mut g);
+        }
+    }
+
     /// Holds all jobs back from stealers (admission stays open). A closed
     /// queue cannot be paused — [`JobQueue::close`] always resumes so a
     /// drain can complete.
@@ -299,5 +337,53 @@ mod tests {
     #[should_panic(expected = "capacity must be at least 1")]
     fn zero_capacity_is_rejected() {
         let _ = JobQueue::<u32>::new(0);
+    }
+
+    #[test]
+    fn steal_many_drains_at_most_max_in_queue_order() {
+        let q = JobQueue::new(8);
+        for k in 0..5 {
+            q.try_push(k).expect("fits");
+        }
+        assert_eq!(q.steal_many(3), vec![0, 1, 2]);
+        // A partial batch: takes what is there, never waits to fill up.
+        assert_eq!(q.steal_many(3), vec![3, 4]);
+        q.close();
+        assert_eq!(q.steal_many(3), Vec::<i32>::new());
+        assert_eq!(q.stats().stolen, 5);
+    }
+
+    #[test]
+    fn steal_many_blocks_while_open_and_empty() {
+        let q = Arc::new(JobQueue::new(4));
+        let thief = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.steal_many(4))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!thief.is_finished(), "steal_many must block on an open empty queue");
+        q.try_push(9).expect("accepted");
+        assert_eq!(thief.join().expect("no panic"), vec![9]);
+    }
+
+    #[test]
+    fn steal_many_returns_empty_on_poison() {
+        let q = Arc::new(JobQueue::new(4));
+        q.pause();
+        q.try_push(1).expect("accepted");
+        let thief = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.steal_many(2))
+        };
+        q.poison();
+        assert_eq!(thief.join().expect("no panic"), Vec::<i32>::new());
+        assert_eq!(q.drain_remaining(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch claim width must be at least 1")]
+    fn a_zero_width_claim_is_rejected() {
+        let q = JobQueue::<u32>::new(1);
+        let _ = q.steal_many(0);
     }
 }

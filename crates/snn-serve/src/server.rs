@@ -32,7 +32,7 @@ use std::time::Instant;
 
 use gpu_device::{Device, DeviceConfig};
 use snn_core::config::NetworkConfig;
-use snn_core::sim::{EvalSnapshot, WtaEngine};
+use snn_core::sim::{BatchedEngine, EvalSnapshot, SpikeTrains, WtaEngine};
 use snn_learning::Classifier;
 use spike_encoding::{EvalTrainGenerator, RateEncoder};
 
@@ -63,6 +63,15 @@ pub struct ServeConfig {
     /// Test/bench hook: start with the queue paused so a test can fill it
     /// deterministically before releasing the workers.
     pub start_paused: bool,
+    /// Lock-step batch width: each replica drains up to `batch` queued
+    /// requests per claim and advances them together through a
+    /// [`BatchedEngine`] (a partial queue yields a partial batch — the
+    /// admission edge never waits to fill up, so a lone request is served
+    /// immediately). `1` keeps the per-request serial path; networks
+    /// outside [`BatchedEngine::supports`] fall back to it silently.
+    /// Pure wall-clock knob: batched lanes are bit-identical to serial
+    /// presentations, so classifications cannot change.
+    pub batch: usize,
 }
 
 impl ServeConfig {
@@ -79,6 +88,7 @@ impl ServeConfig {
             queue_capacity: 4 * workers,
             device: DeviceConfig::default(),
             start_paused: false,
+            batch: 1,
         }
     }
 }
@@ -265,12 +275,14 @@ impl SnnServer {
                 let snapshot = snapshot.clone();
                 let classifier = classifier.clone();
                 let (seed, t_present_ms) = (config.seed, config.t_present_ms);
+                let batch = config.batch.max(1);
                 ThreadBuilder::new()
                     .name(format!("snn-serve/{index}"))
                     .spawn(move || {
                         worker_main(
                             index,
                             workers,
+                            batch,
                             &queue,
                             &shared,
                             &network,
@@ -460,6 +472,7 @@ fn publish_report(report: &ServeReport) {
 fn worker_main(
     index: usize,
     replicas: usize,
+    batch: usize,
     queue: &JobQueue<Job>,
     shared: &SharedState,
     network: &NetworkConfig,
@@ -473,10 +486,25 @@ fn worker_main(
         WorkerLog { index, completed: 0, panicked: 0, busy_ms: 0.0, latencies: LatencyDigest::new() };
     let run = catch_unwind(AssertUnwindSafe(|| {
         let device = Device::new_budgeted(device_cfg, replicas);
-        let mut engine = WtaEngine::replica(network.clone(), &device, seed, snapshot)
-            .expect("validated in SnnServer::start");
         let encoder = RateEncoder::new(network.frequency);
         let generator = EvalTrainGenerator::new(seed, network.dt_ms);
+        if batch > 1 && BatchedEngine::supports(network) {
+            let mut engine = BatchedEngine::new(network.clone(), &device, snapshot, batch)
+                .expect("validated in SnnServer::start");
+            serve_batched(
+                index,
+                &mut log,
+                queue,
+                &mut engine,
+                &encoder,
+                &generator,
+                t_present_ms,
+                classifier,
+            );
+            return;
+        }
+        let mut engine = WtaEngine::replica(network.clone(), &device, seed, snapshot)
+            .expect("validated in SnnServer::start");
         while let Some(job) = queue.steal() {
             let begin = Instant::now();
             let served = catch_unwind(AssertUnwindSafe(|| {
@@ -513,4 +541,75 @@ fn worker_main(
         shared.fatal.lock().push(payload);
     }
     shared.logs.lock().push(log);
+}
+
+/// The lock-step serving loop: claim up to the configured batch of queued
+/// requests in one [`JobQueue::steal_many`], advance them together through
+/// [`BatchedEngine::present_frozen_batch`], and resolve every ticket of
+/// the dispatch. A panic anywhere in a dispatch fails *all* of its lanes
+/// (the payload rides the first ticket, peers get a descriptive failure) —
+/// lanes advance lock-step, so no lane's result is trustworthy after one
+/// panics — and the worker serves on with the next claim.
+#[allow(clippy::too_many_arguments)]
+fn serve_batched(
+    index: usize,
+    log: &mut WorkerLog,
+    queue: &JobQueue<Job>,
+    engine: &mut BatchedEngine<'_>,
+    encoder: &RateEncoder,
+    generator: &EvalTrainGenerator,
+    t_present_ms: f64,
+    classifier: &Classifier,
+) {
+    loop {
+        let jobs = queue.steal_many(engine.batch());
+        if jobs.is_empty() {
+            break;
+        }
+        let begin = Instant::now();
+        let served = catch_unwind(AssertUnwindSafe(|| {
+            let _span = snn_trace::span_cat("serve/batch", "serve");
+            let trains: Vec<SpikeTrains> = jobs
+                .iter()
+                .map(|job| generator.generate(job.key, &encoder.rates(&job.pixels), t_present_ms))
+                .collect();
+            let refs: Vec<&SpikeTrains> = trains.iter().collect();
+            engine
+                .present_frozen_batch(&refs)
+                .into_iter()
+                .map(|counts| {
+                    let confidence = classifier.scores(&counts);
+                    let class = classifier.predict(&counts);
+                    Classification { class, confidence, counts, replica: index, latency_ms: 0.0 }
+                })
+                .collect::<Vec<_>>()
+        }));
+        log.busy_ms += begin.elapsed().as_secs_f64() * 1e3;
+        match served {
+            Ok(results) => {
+                snn_trace::metrics().observe("serve/batch_width", jobs.len() as f64);
+                for (job, mut result) in jobs.into_iter().zip(results) {
+                    let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+                    result.latency_ms = latency_ms;
+                    log.completed += 1;
+                    log.latencies.record(latency_ms);
+                    snn_trace::metrics().observe("serve/latency_ms", latency_ms);
+                    job.slot.fill(result);
+                }
+            }
+            Err(payload) => {
+                log.panicked += jobs.len() as u64;
+                let mut jobs = jobs.into_iter();
+                if let Some(first) = jobs.next() {
+                    first.slot.fail(payload);
+                }
+                for job in jobs {
+                    job.slot.fail(Box::new(
+                        "snn-serve: a lock-step batch peer panicked during this dispatch"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
 }

@@ -163,3 +163,129 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batch claims obey the same exactly-once contract as single steals:
+    /// no claim exceeds its width, no job is delivered twice or orphaned,
+    /// and `stolen == accepted` after a graceful drain.
+    #[test]
+    fn batch_claims_deliver_every_job_exactly_once(
+        capacity in 1usize..6,
+        producers in 1usize..4,
+        per_producer in 0usize..24,
+        consumers in 1usize..4,
+        width in 1usize..5,
+    ) {
+        let q = Arc::new(JobQueue::new(capacity));
+        std::thread::scope(|scope| {
+            for p in 0..producers {
+                let q = Arc::clone(&q);
+                scope.spawn(move || {
+                    for k in 0..per_producer {
+                        let _ = q.try_push((p, k));
+                        if k % 3 == 0 {
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+            let handles: Vec<_> = (0..consumers)
+                .map(|_| {
+                    let q = Arc::clone(&q);
+                    scope.spawn(move || {
+                        let mut seen = Vec::new();
+                        let mut oversized = 0usize;
+                        loop {
+                            let claim = q.steal_many(width);
+                            if claim.is_empty() {
+                                break;
+                            }
+                            if claim.len() > width {
+                                oversized += 1;
+                            }
+                            seen.extend(claim);
+                        }
+                        (seen, oversized)
+                    })
+                })
+                .collect();
+            let q2 = Arc::clone(&q);
+            let expected = (producers * per_producer) as u64;
+            scope.spawn(move || {
+                while q2.stats().submitted < expected {
+                    std::thread::yield_now();
+                }
+                q2.close();
+            });
+            let mut all = Vec::new();
+            for h in handles {
+                let (seen, oversized) = h.join().expect("consumer never panics");
+                prop_assert_eq!(oversized, 0, "a claim exceeded its width");
+                all.extend(seen);
+            }
+            let s = q.stats();
+            prop_assert_eq!(s.stolen, s.accepted);
+            prop_assert_eq!(all.len() as u64, s.accepted);
+            let mut sorted = all.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), all.len(), "a job was delivered twice");
+            prop_assert_eq!(q.drain_remaining().len(), 0, "drain left an orphaned job");
+            Ok(())
+        })?;
+    }
+
+    /// Server-level batch forming: with a lock-step batch width configured,
+    /// every accepted request still resolves exactly once and the report
+    /// accounting balances — batching changes dispatch shape, not the
+    /// admission contract.
+    #[test]
+    fn batched_server_drain_leaves_no_orphaned_request(
+        workers in 1usize..3,
+        capacity in 1usize..8,
+        burst in 1usize..12,
+        width in 2usize..5,
+        paused in proptest::bool::ANY,
+        seed in 1u64..1000,
+    ) {
+        let mut config = ServeConfig::new(tiny_network(), seed, 5.0);
+        config.workers = workers;
+        config.queue_capacity = capacity;
+        config.start_paused = paused;
+        config.batch = width;
+        let snapshot = tiny_snapshot(seed);
+        let classifier = Classifier::new(vec![0, 1, 0, 1], 2);
+        let server = SnnServer::start(config, &snapshot, classifier);
+
+        let pixels = vec![128u8; N_INPUTS];
+        let mut tickets = Vec::new();
+        let mut shed = 0u64;
+        for k in 0..burst {
+            match server.submit(&pixels, k as u64) {
+                Ok(t) => tickets.push(t),
+                Err(Overloaded::QueueFull { .. }) => shed += 1,
+                Err(Overloaded::ShuttingDown) => {
+                    prop_assert!(false, "server shed as ShuttingDown before shutdown");
+                }
+            }
+        }
+        if paused {
+            server.resume();
+        }
+        let accepted = tickets.len() as u64;
+        let classifications: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        let report = server.shutdown();
+
+        prop_assert_eq!(report.submitted, burst as u64);
+        prop_assert_eq!(report.accepted, accepted);
+        prop_assert_eq!(report.shed, shed);
+        prop_assert_eq!(report.completed, accepted);
+        prop_assert_eq!(report.panicked, 0);
+        for c in &classifications {
+            prop_assert_eq!(c.counts.len(), N_EXC);
+            prop_assert!(c.replica < workers);
+        }
+    }
+}

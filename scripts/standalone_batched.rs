@@ -1,0 +1,270 @@
+//! Offline generator for results/BENCH_batched.json: runs the SAME
+//! measurement as crates/bench/src/bin/batched.rs against the real
+//! workspace crates (compiled directly with rustc because the cargo
+//! registry is unreachable here), and hand-formats the JSON the bench bin
+//! would emit via serde. Only the emission differs; every measured code
+//! path — the identity gate, both device shapes, the batch × format
+//! sweep — is the workspace's own.
+//!
+//! Build (against a shadow rlib set of the workspace crates, see
+//! `.claude/skills/verify/SKILL.md`):
+//!
+//! ```bash
+//! rustc --edition 2021 -O -L target/scratch/shadow \
+//!     scripts/standalone_batched.rs \
+//!     --extern gpu_device=... --extern snn_core=... --extern snn_datasets=... \
+//!     --extern spike_encoding=... \
+//!     -o /tmp/sa_batched
+//! /tmp/sa_batched
+//! ```
+
+use gpu_device::{Device, DeviceConfig};
+use snn_core::config::{CurrentDelivery, NetworkConfig, Preset};
+use snn_core::sim::{BatchedEngine, EvalSnapshot, SpikeTrains, WtaEngine};
+use snn_datasets::synthetic_mnist;
+use spike_encoding::{EvalTrainGenerator, RateEncoder};
+use std::time::Instant;
+
+const SEED: u64 = 2019;
+const T_PRESENT_MS: f64 = 50.0;
+const N_EXC: usize = 100;
+const N_IMAGES: usize = 32;
+const BATCHES: [usize; 4] = [1, 4, 8, 16];
+const PRESETS: [(Preset, &str); 3] =
+    [(Preset::Bit2, "Q0.2"), (Preset::Bit4, "Q0.4"), (Preset::Bit8, "Q1.7")];
+
+fn device_shapes() -> [(&'static str, DeviceConfig); 2] {
+    [
+        ("inline", DeviceConfig::serial()),
+        ("pooled", DeviceConfig { workers: 4, min_parallel_items: 1, ..Default::default() }),
+    ]
+}
+
+fn trained_snapshot(network: &NetworkConfig) -> EvalSnapshot {
+    let device = Device::new(DeviceConfig::default());
+    let mut engine = WtaEngine::new(network.clone(), &device, SEED);
+    let encoder = RateEncoder::new(network.frequency);
+    let dataset = synthetic_mnist(5, 1, 7);
+    for sample in &dataset.train {
+        let rates = encoder.rates(sample.image.pixels());
+        engine.reset_transients();
+        let _ = engine.present(&rates, 100.0, true);
+    }
+    engine.snapshot()
+}
+
+fn eval_trains(network: &NetworkConfig) -> Vec<SpikeTrains> {
+    let encoder = RateEncoder::new(network.frequency);
+    let generator = EvalTrainGenerator::new(SEED, network.dt_ms);
+    let dataset = synthetic_mnist(N_IMAGES, 1, 29);
+    dataset
+        .train
+        .iter()
+        .enumerate()
+        .map(|(slot, sample)| {
+            let rates = encoder.rates(sample.image.pixels());
+            generator.generate(slot as u64, &rates, T_PRESENT_MS)
+        })
+        .collect()
+}
+
+fn serial_counts(
+    network: &NetworkConfig,
+    snapshot: &EvalSnapshot,
+    trains: &[SpikeTrains],
+) -> Vec<Vec<u32>> {
+    let device = Device::new(DeviceConfig::default());
+    let mut engine =
+        WtaEngine::replica(network.clone(), &device, SEED, snapshot).expect("valid replica");
+    trains.iter().map(|t| engine.present_frozen(t)).collect()
+}
+
+fn batched_counts(
+    network: &NetworkConfig,
+    snapshot: &EvalSnapshot,
+    trains: &[SpikeTrains],
+    batch: usize,
+    device_cfg: DeviceConfig,
+) -> Vec<Vec<u32>> {
+    let device = Device::new(device_cfg);
+    let mut engine =
+        BatchedEngine::new(network.clone(), &device, snapshot, batch).expect("valid engine");
+    let mut out = Vec::with_capacity(trains.len());
+    for chunk in trains.chunks(batch) {
+        let refs: Vec<&SpikeTrains> = chunk.iter().collect();
+        out.extend(engine.present_frozen_batch(&refs));
+    }
+    out
+}
+
+fn assert_identity() {
+    for (preset, format) in PRESETS {
+        for delivery in [CurrentDelivery::Dense, CurrentDelivery::Sparse] {
+            let network = NetworkConfig::from_preset(preset, 784, N_EXC).with_delivery(delivery);
+            let snapshot = trained_snapshot(&network);
+            let trains = eval_trains(&network);
+            let serial = serial_counts(&network, &snapshot, &trains);
+            assert!(
+                serial.iter().flatten().map(|&c| u64::from(c)).sum::<u64>() > 0,
+                "{format}/{delivery:?}: identity gate is vacuous on a silent network"
+            );
+            for batch in BATCHES {
+                for (shape, device_cfg) in device_shapes() {
+                    let batched = batched_counts(&network, &snapshot, &trains, batch, device_cfg);
+                    assert_eq!(
+                        serial, batched,
+                        "{format}/{delivery:?}/batch={batch}/{shape}: \
+                         batched lanes diverged from serial"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn timed(mut run: impl FnMut()) -> (f64, usize) {
+    run();
+    let mut reps = 0usize;
+    let start = Instant::now();
+    loop {
+        run();
+        reps += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if reps >= 2 && elapsed >= 0.4 {
+            return (elapsed, reps);
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_record(
+    mode: &str,
+    device: &str,
+    preset: &str,
+    format: &str,
+    batch: usize,
+    swar_active: bool,
+    lanes: usize,
+    reps: usize,
+    wall_s: f64,
+    ips: f64,
+    speedup: f64,
+    provenance: &str,
+) -> String {
+    format!(
+        "  {{\n    \"mode\": \"{mode}\",\n    \"device\": \"{device}\",\n    \
+         \"preset\": \"{preset}\",\n    \"format\": \"{format}\",\n    \
+         \"delivery\": \"Sparse\",\n    \"batch\": {batch},\n    \
+         \"swar_active\": {swar_active},\n    \"lanes_per_word\": {lanes},\n    \
+         \"images\": {N_IMAGES},\n    \"repetitions\": {reps},\n    \
+         \"wall_s\": {wall_s:.4},\n    \"images_per_s\": {ips:.1},\n    \
+         \"speedup_vs_batch1\": {speedup:.3},\n    \"provenance\": \"{provenance}\"\n  }}"
+    )
+}
+
+fn main() {
+    println!("== batched lock-step evaluation: 784 -> {N_EXC}, frozen snapshots ==\n");
+    assert_identity();
+    println!(
+        "identity: OK — every lane equals serial present_frozen over \
+         batch {BATCHES:?} x {{Q0.2, Q0.4, Q1.7}} x {{Dense, Sparse}} x both device shapes\n"
+    );
+
+    let host = DeviceConfig::host_parallelism();
+    let provenance = format!(
+        "measured in-process on a host exposing {host} CPU core(s); {N_IMAGES} images of \
+         {T_PRESENT_MS} ms per run, repeated to >= 0.4 s wall per cell after one warmup; \
+         sparse delivery; inline shape = serial device, pooled shape = 4 workers with \
+         min_parallel_items 1 so every step launch pays pool dispatch; regenerate with \
+         `cargo run -p bench --release --bin batched`"
+    );
+
+    let mut records: Vec<String> = Vec::new();
+    let mut summaries: Vec<String> = Vec::new();
+    for (shape, device_cfg) in device_shapes() {
+        for (preset, format) in PRESETS {
+            let network = NetworkConfig::from_preset(preset, 784, N_EXC)
+                .with_delivery(CurrentDelivery::Sparse);
+            let snapshot = trained_snapshot(&network);
+            let trains = eval_trains(&network);
+            let preset_name = format!("{preset:?}");
+
+            let device = Device::new(device_cfg);
+            let mut serial_engine = WtaEngine::replica(network.clone(), &device, SEED, &snapshot)
+                .expect("valid replica");
+            let (wall, reps) = timed(|| {
+                for t in &trains {
+                    let _ = serial_engine.present_frozen(t);
+                }
+            });
+            let serial_ips = (N_IMAGES * reps) as f64 / wall;
+            println!("{shape:>6} {format} serial: {serial_ips:>8.1} images/s");
+            records.push(run_record(
+                "serial_engine", shape, &preset_name, format, 1, false, 1, reps, wall,
+                serial_ips, 1.0, &provenance,
+            ));
+
+            let mut batch1_ips = 0.0_f64;
+            let mut best_gain = 0.0_f64;
+            let mut swar_on = false;
+            let mut lanes = 1usize;
+            for batch in BATCHES {
+                let device = Device::new(device_cfg);
+                let mut engine = BatchedEngine::new(network.clone(), &device, &snapshot, batch)
+                    .expect("valid engine");
+                swar_on = engine.swar_active();
+                lanes = engine.lanes().unwrap_or(1);
+                let (wall, reps) = timed(|| {
+                    for chunk in trains.chunks(batch) {
+                        let refs: Vec<&SpikeTrains> = chunk.iter().collect();
+                        let _ = engine.present_frozen_batch(&refs);
+                    }
+                });
+                let ips = (N_IMAGES * reps) as f64 / wall;
+                if batch == 1 {
+                    batch1_ips = ips;
+                }
+                let speedup = if batch1_ips > 0.0 { ips / batch1_ips } else { 0.0 };
+                if batch >= 8 {
+                    best_gain = best_gain.max(speedup);
+                }
+                println!(
+                    "{shape:>6} {format} b={batch:<2}: {ips:>8.1} images/s  {speedup:.2}x vs b=1"
+                );
+                records.push(run_record(
+                    "batched_engine", shape, &preset_name, format, batch, swar_on, lanes, reps,
+                    wall, ips, speedup, &provenance,
+                ));
+            }
+
+            let (requirement, meets) = if shape == "pooled" {
+                (
+                    ">= 2.0x at batch >= 8 over batch = 1 on the pool-dispatch device",
+                    best_gain >= 2.0,
+                )
+            } else {
+                (
+                    "informational: inline launches pay no dispatch latency, so only \
+                     per-step bookkeeping amortizes",
+                    true,
+                )
+            };
+            summaries.push(format!(
+                "  {{\n    \"metric\": \"batched_throughput_gain_{shape}\",\n    \
+                 \"device\": \"{shape}\",\n    \"preset\": \"{preset_name}\",\n    \
+                 \"value\": {best_gain:.3},\n    \"requirement\": \"{requirement}\",\n    \
+                 \"meets_requirement\": {meets},\n    \"note\": \"{format}: SWAR {} \
+                 ({lanes} lanes/word); batching amortizes the per-step launch cost over the \
+                 batch, while the SWAR delivery fold scales with the image count — so the \
+                 gain is launch-bound on the pooled shape and bookkeeping-bound on the \
+                 inline shape\"\n  }}",
+                if swar_on { "active" } else { "inactive" }
+            ));
+        }
+    }
+
+    records.extend(summaries);
+    let json = format!("[\n{}\n]", records.join(",\n"));
+    std::fs::write("/root/repo/results/BENCH_batched.json", json).unwrap();
+    println!("\nwrote /root/repo/results/BENCH_batched.json");
+}

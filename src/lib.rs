@@ -62,7 +62,9 @@ pub mod prelude {
         NeuronModelKind, PlasticityExecution, Precision, Preset, RuleKind,
     };
     pub use snn_core::neuron::{LifNeuron, NeuronModel};
-    pub use snn_core::sim::{GenericEngine, SpikeRaster, WtaEngine};
+    pub use snn_core::sim::{
+        BatchedEngine, EvalSnapshot, GenericEngine, SpikeRaster, SpikeTrains, WtaEngine,
+    };
     pub use snn_core::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp};
     pub use snn_datasets::{
         load_or_synthesize, synthetic_fashion, synthetic_mnist, Dataset, DatasetKind,

@@ -1,0 +1,187 @@
+//! Differential tests for batched lock-step frozen evaluation: every lane
+//! of a [`BatchedEngine`] run must reproduce the serial
+//! [`WtaEngine::present_frozen`] result **bit for bit** — per-image spike
+//! counts at every batch size, worker count, delivery mode and precision
+//! preset, whether the SWAR integer path or the scalar fallback carried
+//! the delivery fold.
+//!
+//! The contract that makes this possible: the batched kernel replays the
+//! serial per-neuron chain op for op — the same decay-then-blocked-fold
+//! current delivery (32-wide blocks of the ascending active list), the
+//! same integrate sequence, the same implicit-WTA commit — and the SWAR
+//! path is used only when an exactness argument guarantees its integer
+//! block sums round-trip to the identical `f64` partials (see
+//! DESIGN.md §13).
+
+use parallel_spike_sim::encoding::EvalTrainGenerator;
+use parallel_spike_sim::prelude::*;
+use proptest::prelude::*;
+
+/// The Table I fixed-point presets whose formats (Q0.2, Q0.4, Q1.7) pack
+/// into SWAR lanes, plus full precision to pin the scalar fallback.
+const SWAR_PRESETS: [Preset; 3] = [Preset::Bit2, Preset::Bit4, Preset::Bit8];
+
+/// The batch widths of the identity matrix (ISSUE contract).
+const BATCHES: [usize; 4] = [1, 4, 8, 16];
+
+/// The worker counts the batched path must be invariant over.
+const WORKERS: [usize; 2] = [1, 4];
+
+/// Images per matrix cell — enough to cover full and ragged final batches
+/// at every width in `BATCHES`.
+const N_IMAGES: usize = 14;
+
+const SEED: u64 = 2019;
+const T_PRESENT_MS: f64 = 40.0;
+
+/// Input/excitatory shape: two bitset slabs (64 + 16 neurons) so the
+/// kernel's slab tail handling is on the tested path. Inputs are the
+/// synthetic 28×28 images subsampled 4:1 to keep the matrix cheap.
+const N_INPUTS: usize = 196;
+const N_EXC: usize = 80;
+
+/// Rate vector over the subsampled input population: every 4th pixel, so
+/// the 196 inputs still span the whole digit.
+fn rates_for(encoder: &RateEncoder, image: &Image) -> Vec<f64> {
+    let rates = encoder.rates(image.pixels());
+    rates.iter().step_by(4).copied().take(N_INPUTS).collect()
+}
+
+/// Trains a small network briefly so the snapshot carries learned (and,
+/// for fixed-point presets, on-grid quantized) conductances, then returns
+/// the frozen snapshot plus one precomputed spike-train per image.
+fn trained_fixture(cfg: &NetworkConfig) -> (EvalSnapshot, Vec<SpikeTrains>) {
+    let device = Device::new(DeviceConfig::default().with_workers(2));
+    let mut engine = WtaEngine::new(cfg.clone(), &device, SEED);
+    let encoder = RateEncoder::new(engine.config().frequency);
+    let dataset = synthetic_mnist(3, 1, 13);
+    for sample in &dataset.train {
+        let rates = rates_for(&encoder, &sample.image);
+        engine.reset_transients();
+        engine.present(&rates, 25.0, true);
+    }
+    let snapshot = engine.snapshot();
+
+    let generator = EvalTrainGenerator::new(SEED, cfg.dt_ms);
+    let eval_images = synthetic_mnist(N_IMAGES, 1, 29);
+    let trains: Vec<SpikeTrains> = eval_images
+        .train
+        .iter()
+        .enumerate()
+        .map(|(slot, sample)| {
+            let rates = rates_for(&encoder, &sample.image);
+            generator.generate(slot as u64, &rates, T_PRESENT_MS)
+        })
+        .collect();
+    (snapshot, trains)
+}
+
+/// Serial reference: one frozen presentation per train on a replica engine.
+fn serial_counts(
+    cfg: &NetworkConfig,
+    snapshot: &EvalSnapshot,
+    trains: &[SpikeTrains],
+) -> Vec<Vec<u32>> {
+    let device = Device::new(DeviceConfig::default().with_workers(2));
+    let mut engine =
+        WtaEngine::replica(cfg.clone(), &device, SEED, snapshot).expect("valid replica");
+    trains.iter().map(|t| engine.present_frozen(t)).collect()
+}
+
+/// Batched run: drain `trains` through one reused engine in chunks of
+/// `batch` (the final chunk is ragged whenever `batch ∤ N_IMAGES`).
+fn batched_counts(
+    cfg: &NetworkConfig,
+    snapshot: &EvalSnapshot,
+    trains: &[SpikeTrains],
+    batch: usize,
+    workers: usize,
+) -> (Vec<Vec<u32>>, bool) {
+    let device = Device::new(DeviceConfig::default().with_workers(workers));
+    let mut engine =
+        BatchedEngine::new(cfg.clone(), &device, snapshot, batch).expect("valid batched engine");
+    let mut out = Vec::with_capacity(trains.len());
+    for chunk in trains.chunks(batch) {
+        let refs: Vec<&SpikeTrains> = chunk.iter().collect();
+        out.extend(engine.present_frozen_batch(&refs));
+    }
+    (out, engine.swar_active())
+}
+
+#[test]
+fn batched_lanes_match_serial_across_presets_batches_and_workers() {
+    for preset in SWAR_PRESETS {
+        for delivery in [CurrentDelivery::Dense, CurrentDelivery::Sparse] {
+            let cfg = NetworkConfig::from_preset(preset, N_INPUTS, N_EXC)
+                .with_rule(RuleKind::Stochastic)
+                .with_delivery(delivery);
+            let (snapshot, trains) = trained_fixture(&cfg);
+            let serial = serial_counts(&cfg, &snapshot, &trains);
+            // A silent network would make every equality below vacuous.
+            assert!(
+                serial.iter().flatten().map(|&c| u64::from(c)).sum::<u64>() > 0,
+                "{preset:?}/{delivery:?}: no spikes in the serial reference"
+            );
+            for batch in BATCHES {
+                for workers in WORKERS {
+                    let (batched, swar) = batched_counts(&cfg, &snapshot, &trains, batch, workers);
+                    // The narrow Table I formats must actually take the
+                    // SWAR path here, or the matrix would silently test
+                    // only the scalar fallback.
+                    assert!(swar, "{preset:?}/{delivery:?}: SWAR path inactive");
+                    assert_eq!(
+                        serial, batched,
+                        "{preset:?}/{delivery:?}/b{batch}/w{workers}: lanes diverged from serial"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn full_precision_fallback_matches_serial() {
+    for delivery in [CurrentDelivery::Dense, CurrentDelivery::Sparse] {
+        let cfg = NetworkConfig::from_preset(Preset::FullPrecision, N_INPUTS, N_EXC)
+            .with_rule(RuleKind::Stochastic)
+            .with_delivery(delivery);
+        let (snapshot, trains) = trained_fixture(&cfg);
+        let serial = serial_counts(&cfg, &snapshot, &trains);
+        for batch in [1, 8] {
+            let (batched, swar) = batched_counts(&cfg, &snapshot, &trains, batch, 4);
+            assert!(!swar, "Float32 storage must use the scalar fallback");
+            assert_eq!(serial, batched, "{delivery:?}/b{batch}: fallback diverged");
+        }
+    }
+}
+
+#[test]
+fn deterministic_rule_snapshots_are_covered_too() {
+    // The frozen path never consults the plasticity rule, but the trained
+    // conductance distributions differ — pin one deterministic-rule cell.
+    let cfg = NetworkConfig::from_preset(Preset::Bit4, N_INPUTS, N_EXC)
+        .with_rule(RuleKind::Deterministic)
+        .with_delivery(CurrentDelivery::Sparse);
+    let (snapshot, trains) = trained_fixture(&cfg);
+    let serial = serial_counts(&cfg, &snapshot, &trains);
+    let (batched, swar) = batched_counts(&cfg, &snapshot, &trains, 8, 4);
+    assert!(swar, "Bit4 must take the SWAR path");
+    assert_eq!(serial, batched, "deterministic-rule snapshot diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random batch widths and worker counts against one Bit2 fixture:
+    /// the identity must hold off the power-of-two grid as well.
+    #[test]
+    fn random_batch_geometry_is_identical(batch in 1usize..=11, workers in 1usize..=6) {
+        let cfg = NetworkConfig::from_preset(Preset::Bit2, N_INPUTS, N_EXC)
+            .with_rule(RuleKind::Stochastic)
+            .with_delivery(CurrentDelivery::Sparse);
+        let (snapshot, trains) = trained_fixture(&cfg);
+        let serial = serial_counts(&cfg, &snapshot, &trains);
+        let (batched, _) = batched_counts(&cfg, &snapshot, &trains, batch, workers);
+        prop_assert_eq!(serial, batched);
+    }
+}

@@ -97,6 +97,7 @@ fn serve_config(fx: &Fixture, workers: usize, queue_capacity: usize) -> ServeCon
         queue_capacity,
         device: DeviceConfig::default(),
         start_paused: false,
+        batch: 1,
     }
 }
 
@@ -163,6 +164,41 @@ fn served_batch_is_identical_to_offline_evaluation() {
                 assert_eq!(report.completed, requests.len() as u64);
                 assert_eq!(report.panicked, 0);
             }
+        }
+    }
+}
+
+/// Lock-step batched serving: with `batch > 1` each replica drains up to
+/// `batch` queued requests into one [`BatchedEngine`] dispatch, and every
+/// lane must still be classification-identical to offline evaluation —
+/// batch forming, like worker count, is a pure wall-clock knob. Starting
+/// paused fills the queue before any worker drains, so dispatches really
+/// carry multiple lanes.
+#[test]
+fn lock_step_batched_serving_is_identical_to_per_request() {
+    let fx = fixture();
+    let requests = inference_requests(fx);
+    for batch in [2usize, 4] {
+        for workers in [1usize, 2] {
+            let mut config = serve_config(fx, workers, 2 * requests.len());
+            config.batch = batch;
+            config.start_paused = true;
+            let server = SnnServer::start(config, &fx.snapshot, fx.classifier.clone());
+            let tickets: Vec<(usize, Ticket)> = requests
+                .iter()
+                .enumerate()
+                .map(|(i, &(key, pixels))| {
+                    (i, server.submit(pixels, key).expect("queue has room for the batch"))
+                })
+                .collect();
+            server.resume();
+            for (i, ticket) in tickets {
+                assert_identical(N_LABELING + i, &ticket.wait(), fx, workers);
+            }
+            let report = server.shutdown();
+            assert_eq!(report.accepted, requests.len() as u64, "b{batch}/w{workers}");
+            assert_eq!(report.completed, requests.len() as u64, "b{batch}/w{workers}");
+            assert_eq!(report.panicked, 0, "b{batch}/w{workers}");
         }
     }
 }
@@ -305,21 +341,37 @@ fn serve_trace_spans_and_metrics_are_schema_documented() {
     let requests = inference_requests(fx);
     let server = serve_batch(fx, &requests, 2);
     let report = server.shutdown();
+    // A lock-step batched run on top: its `serve/batch` dispatch spans and
+    // the engine's `batch/*` spans must be schema-documented too (§13).
+    let mut batched_cfg = serve_config(fx, 1, 2 * requests.len());
+    batched_cfg.batch = requests.len();
+    batched_cfg.start_paused = true;
+    let batched = SnnServer::start(batched_cfg, &fx.snapshot, fx.classifier.clone());
+    let tickets: Vec<Ticket> = requests
+        .iter()
+        .map(|&(key, pixels)| batched.submit(pixels, key).expect("queue has room"))
+        .collect();
+    batched.resume();
+    for ticket in tickets {
+        let _ = ticket.wait();
+    }
+    let batched_report = batched.shutdown();
     trace::set_enabled(false);
     trace::set_detail(trace::Detail::Phases);
     let captured = trace::drain();
 
     assert_eq!(report.completed, requests.len() as u64);
-    for expect in ["serve/request", "serve/drain", "serve/run"] {
+    assert_eq!(batched_report.completed, requests.len() as u64);
+    for expect in ["serve/request", "serve/drain", "serve/run", "serve/batch", "batch/present"] {
         assert!(
             captured.events.iter().any(|e| e.name == expect),
             "span `{expect}` missing from the captured serving trace"
         );
     }
-    for ev in captured.events.iter().filter(|e| e.cat == "serve") {
+    for ev in captured.events.iter().filter(|e| e.cat == "serve" || e.cat == "batch") {
         assert!(
             schema.iter().any(|s| s == ev.name),
-            "captured serving span `{}` is not documented in DESIGN.md §12",
+            "captured serving span `{}` is not documented in DESIGN.md §12/§13",
             ev.name
         );
     }
@@ -334,6 +386,10 @@ fn serve_trace_spans_and_metrics_are_schema_documented() {
         "serve/latency_p99_ms",
         "serve/qps",
         "serve/replica_utilization",
+        "serve/batch_width",
+        "batch/images",
+        "batch/dispatches",
+        "batch/occupancy",
     ] {
         assert!(
             trace::metrics().get(metric).is_some(),
@@ -341,7 +397,7 @@ fn serve_trace_spans_and_metrics_are_schema_documented() {
         );
         assert!(
             schema.iter().any(|s| s == metric),
-            "published metric `{metric}` is not documented in DESIGN.md §12"
+            "published metric `{metric}` is not documented in DESIGN.md §12/§13"
         );
     }
     trace::metrics().clear();
@@ -361,9 +417,9 @@ fn serve_batch(fx: &Fixture, requests: &[(u64, &[u8])], workers: usize) -> SnnSe
     server
 }
 
-/// Backticked names in the DESIGN.md `## 11` and `## 12` schema sections —
-/// the same extraction `tests/telemetry.rs` and snn-lint's `trace-schema`
-/// rule use.
+/// Backticked names in the DESIGN.md `## 11`, `## 12` and `## 13` schema
+/// sections — the same extraction `tests/telemetry.rs` and snn-lint's
+/// `trace-schema` rule use.
 fn schema_names() -> Vec<String> {
     let mut roots = Vec::new();
     if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
@@ -385,7 +441,9 @@ fn schema_names() -> Vec<String> {
     let mut names = Vec::new();
     for line in md.lines() {
         if line.starts_with("## ") {
-            in_section = line.starts_with("## 11") || line.starts_with("## 12");
+            in_section = line.starts_with("## 11")
+                || line.starts_with("## 12")
+                || line.starts_with("## 13");
             continue;
         }
         if !in_section {
@@ -401,6 +459,6 @@ fn schema_names() -> Vec<String> {
             rest = &tail[close + 1..];
         }
     }
-    assert!(!names.is_empty(), "DESIGN.md §11/§12 schema tables are missing or empty");
+    assert!(!names.is_empty(), "DESIGN.md §11–§13 schema tables are missing or empty");
     names
 }

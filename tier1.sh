@@ -19,6 +19,11 @@
 # shutdown drains every accepted request exactly once, and that a full
 # queue sheds with the typed Overloaded error. snn-serve's own unit +
 # property tests (admission accounting) run via the crate test step.
+# The batched identity layer (tests/batched.rs,
+# crates/snn-learning/tests/parallel_eval.rs batched cases) proves every
+# lane of a lock-step BatchedEngine dispatch — including the SWAR packed
+# delivery fold for the narrow fixed-point presets — bit-identical to the
+# serial present_frozen at any batch size, worker count or delivery mode.
 #
 # The snn-lint pass enforces the repo's concurrency/determinism invariants
 # as machine-checked rules (SAFETY comments, unsafe-surface allow-list,

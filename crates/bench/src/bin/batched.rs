@@ -24,7 +24,6 @@
 //!
 //! Run: `cargo run -p bench --release --bin batched`
 
-use std::time::Instant;
 
 use bench::{results_dir, write_json_records, TextTable};
 use gpu_device::{Device, DeviceConfig};
@@ -168,18 +167,8 @@ fn assert_identity() {
 /// Times `run` until it has consumed at least ~0.4 s of wall clock (and at
 /// least twice), returning (wall seconds, repetitions). One untimed warmup
 /// run primes caches and allocations.
-fn timed(mut run: impl FnMut()) -> (f64, usize) {
-    run();
-    let mut reps = 0usize;
-    let start = Instant::now();
-    loop {
-        run();
-        reps += 1;
-        let elapsed = start.elapsed().as_secs_f64();
-        if reps >= 2 && elapsed >= 0.4 {
-            return (elapsed, reps);
-        }
-    }
+fn timed(run: impl FnMut()) -> (f64, usize) {
+    bench::harness::timed_floor(2, 0.4, run)
 }
 
 fn main() {

@@ -160,9 +160,8 @@ fn main() {
     );
 
     // --- timing: legacy baseline, then the sweep ------------------------
-    let legacy_ms = (0..reps)
-        .map(|_| legacy_serial_eval(&network, &snapshot, &dataset))
-        .fold(f64::INFINITY, f64::min);
+    let legacy_ms =
+        bench::harness::best_of(reps, || legacy_serial_eval(&network, &snapshot, &dataset));
 
     let mut records: Vec<ParallelEvalRecord> = vec![ParallelEvalRecord {
         mode: "legacy_serial".into(),
@@ -189,9 +188,9 @@ fn main() {
     let mut speedup_at_4 = 0.0;
     for &replicas in &replica_sweep {
         for pipelined in [false, true] {
-            let wall_ms = (0..reps)
-                .map(|_| parallel_eval(&network, &snapshot, &dataset, replicas, pipelined).0)
-                .fold(f64::INFINITY, f64::min);
+            let wall_ms = bench::harness::best_of(reps, || {
+                parallel_eval(&network, &snapshot, &dataset, replicas, pipelined).0
+            });
             let speedup = legacy_ms / wall_ms.max(1e-9);
             if replicas == 4 && pipelined {
                 speedup_at_4 = speedup;

@@ -1,5 +1,9 @@
 //! Shared plumbing for the figure/table binaries: scale selection, dataset
-//! acquisition, result directories and record emission.
+//! acquisition, result directories, record emission, and the paired
+//! measurement scaffold (re-exported from [`crate::measure`], which the
+//! offline standalone generators in `scripts/` include verbatim).
+
+pub use crate::measure::{best_of, interleaved_best, timed_floor};
 
 use gpu_device::{Device, DeviceConfig};
 use snn_datasets::{load_or_synthesize, Dataset, DatasetKind};

@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod measure;
 pub mod output;
 pub mod viz;
 
@@ -19,5 +20,6 @@ pub use harness::{
     dataset_for, device, enable_tracing, pct, results_dir, scale_banner, upper_bound_witness,
     write_trace_artifact, Witness,
 };
+pub use measure::{best_of, interleaved_best, timed_floor};
 pub use output::{write_json_records, TextTable};
 pub use viz::{conductance_map, conductance_mosaic, histogram_ascii, write_pgm};

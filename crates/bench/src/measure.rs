@@ -1,0 +1,122 @@
+//! The paired-measurement scaffold shared by every timing surface: the
+//! bench binaries consume it through `bench::harness`, and the offline
+//! standalone generators in `scripts/` (which cannot always link the
+//! workspace) `include!` this file verbatim — one implementation, two
+//! worlds.
+//!
+//! Pure `std` on purpose: nothing here may grow a dependency, or the
+//! dependency-free standalones stop building with bare `rustc`.
+
+use std::time::Instant;
+
+/// Repeats `run` until at least `min_reps` repetitions AND `min_wall_s`
+/// seconds of wall time have accumulated, after one untimed warm-up run;
+/// returns `(elapsed_s, reps)`. The floor makes sub-millisecond workloads
+/// measurable on a noisy shared host without inflating long ones.
+pub fn timed_floor(min_reps: usize, min_wall_s: f64, mut run: impl FnMut()) -> (f64, usize) {
+    run();
+    let mut reps = 0usize;
+    let start = Instant::now();
+    loop {
+        run();
+        reps += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if reps >= min_reps && elapsed >= min_wall_s {
+            return (elapsed, reps);
+        }
+    }
+}
+
+/// The minimum of `reps` samples of `measure` (any unit the caller picks).
+/// Minimum, not mean: co-tenant interference on a shared host is strictly
+/// additive, so the smallest sample is the closest to the true cost.
+///
+/// # Panics
+///
+/// Panics if `reps` is zero.
+pub fn best_of(reps: usize, mut measure: impl FnMut() -> f64) -> f64 {
+    assert!(reps > 0, "at least one repetition is required");
+    (0..reps).map(|_| measure()).fold(f64::INFINITY, f64::min)
+}
+
+/// Paired A/B measurement: warms each side up once, then samples the two
+/// sides strictly interleaved (`a, b, a, b, …`) for `reps` rounds, folding
+/// each side's later samples into its first with `fold_a`/`fold_b`
+/// (typically a per-field minimum). Interleaving is the point — both sides
+/// see the same CPU-frequency drift and co-tenant phases, so their *ratio*
+/// stays honest even when the host is noisy.
+///
+/// # Panics
+///
+/// Panics if `reps` is zero.
+pub fn interleaved_best<A, B>(
+    reps: usize,
+    mut sample_a: impl FnMut() -> A,
+    mut sample_b: impl FnMut() -> B,
+    mut fold_a: impl FnMut(&mut A, A),
+    mut fold_b: impl FnMut(&mut B, B),
+) -> (A, B) {
+    assert!(reps > 0, "at least one repetition is required");
+    let _ = sample_a();
+    let _ = sample_b();
+    let mut a = sample_a();
+    let mut b = sample_b();
+    for _ in 1..reps {
+        fold_a(&mut a, sample_a());
+        fold_b(&mut b, sample_b());
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod measure_tests {
+    use super::*;
+
+    #[test]
+    fn timed_floor_respects_both_floors() {
+        let mut calls = 0usize;
+        let (elapsed, reps) = timed_floor(3, 0.0, || calls += 1);
+        assert_eq!(reps, 3);
+        assert_eq!(calls, 4, "three timed reps plus one warm-up");
+        assert!(elapsed >= 0.0);
+
+        let (elapsed, reps) = timed_floor(1, 0.01, || std::thread::sleep(std::time::Duration::from_millis(2)));
+        assert!(elapsed >= 0.01);
+        assert!(reps >= 1);
+    }
+
+    #[test]
+    fn best_of_takes_the_minimum() {
+        let mut samples = [5.0, 1.0, 3.0].into_iter();
+        assert_eq!(best_of(3, || samples.next().unwrap()), 1.0);
+    }
+
+    #[test]
+    fn interleaved_best_warms_up_interleaves_and_folds() {
+        // Both closures share one call log to prove strict a/b interleaving;
+        // the warm-up pair returns sentinels that must not reach the fold.
+        let log = std::cell::RefCell::new(Vec::new());
+        let mut seq_a = [0.5, 9.0, 7.0, 8.0].into_iter();
+        let mut seq_b = [0.5, 4.0, 6.0, 2.0].into_iter();
+        let (a, b) = interleaved_best(
+            3,
+            || {
+                log.borrow_mut().push('a');
+                seq_a.next().unwrap()
+            },
+            || {
+                log.borrow_mut().push('b');
+                seq_b.next().unwrap()
+            },
+            |best: &mut f64, next| *best = best.min(next),
+            |best: &mut f64, next| *best = best.min(next),
+        );
+        assert_eq!(a, 7.0, "the warm-up sentinel must not fold into side A");
+        assert_eq!(b, 2.0);
+        assert_eq!(
+            log.into_inner(),
+            vec!['a', 'b', 'a', 'b', 'a', 'b', 'a', 'b'],
+            "one warm-up pair plus three strictly interleaved rounds"
+        );
+    }
+}

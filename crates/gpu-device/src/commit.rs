@@ -1,0 +1,236 @@
+//! Atomic conductance-commit primitives for concurrent plasticity.
+//!
+//! The shared-atomics training mode folds many presentations' deferred STDP
+//! ledgers into **one** shared synapse matrix from several pool workers at
+//! once. On a real device this is an `atomicCAS` loop over the weight words;
+//! here [`AtomicGrid`] reinterprets the matrix's `&mut [f64]` storage as
+//! `&[AtomicU64]` for the duration of the commit kernel, and
+//! [`AtomicGrid::update`] runs the standard compare-exchange fetch-update
+//! loop (with low-precision *bit elision*: an update chain that lands back
+//! on the same grid code skips the store entirely — common for the 2-/4-bit
+//! Q formats, where most candidate updates are rounded away).
+//!
+//! Every `Ordering::` used by the commit path is one of the named constants
+//! below; the `snn-lint` `atomic-ordering` rule rejects raw ordering
+//! literals in this scope, so the soundness argument lives in exactly one
+//! place. See DESIGN.md §14 for the protocol and the ordering table.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Ordering of the optimistic initial load and of every in-loop re-read of
+/// a grid cell.
+///
+/// `Relaxed` is sound here because the commit protocol never publishes
+/// non-atomic data through a grid cell: each cell is an independent value
+/// fold (`g ← f(g)`), the closure `f` reads nothing but its argument, and
+/// the worker pool's launch barrier (an acquire/release pair in
+/// `pool.rs`) is what publishes the committed matrix to the host thread
+/// after the kernel returns.
+pub const COMMIT_LOAD: Ordering = Ordering::Relaxed;
+
+/// Success ordering of the commit compare-exchange. `Relaxed` for the same
+/// reason as [`COMMIT_LOAD`]: the CAS only has to be atomic on its own
+/// cell, not order any other memory.
+pub const COMMIT_CAS_SUCCESS: Ordering = Ordering::Relaxed;
+
+/// Failure ordering of the commit compare-exchange (the returned current
+/// value feeds the next loop iteration, nothing else).
+pub const COMMIT_CAS_FAILURE: Ordering = Ordering::Relaxed;
+
+/// Ordering of the grid's internal instrumentation counters (applied /
+/// elided / retry tallies). Pure statistics: only totals are read, after
+/// the launch barrier.
+pub const COMMIT_STATS: Ordering = Ordering::Relaxed;
+
+/// Commit instrumentation: how many update chains were applied, how many
+/// stores the bit-elision fast path skipped, and how many CAS retries the
+/// fold paid under contention. `retries / applied` is the commit-contention
+/// gauge the trainer publishes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitCounters {
+    /// Update chains applied (one per [`AtomicGrid::update`] call).
+    pub applied: u64,
+    /// Stores skipped because the folded value bit-matched the loaded one.
+    pub elided: u64,
+    /// Compare-exchange failures (another worker moved the cell first).
+    pub retries: u64,
+}
+
+impl std::ops::Add for CommitCounters {
+    type Output = CommitCounters;
+
+    fn add(self, rhs: CommitCounters) -> CommitCounters {
+        CommitCounters {
+            applied: self.applied + rhs.applied,
+            elided: self.elided + rhs.elided,
+            retries: self.retries + rhs.retries,
+        }
+    }
+}
+
+/// An atomic bit-view over a conductance matrix's `f64` storage, alive for
+/// one commit kernel.
+///
+/// Construction takes the storage by **exclusive** borrow, so for the
+/// grid's lifetime no non-atomic access to the same cells can exist — the
+/// view is a pure reinterpretation, not a copy, and dropping it returns the
+/// buffer to ordinary `&mut [f64]` use with every committed value in place.
+pub struct AtomicGrid<'a> {
+    cells: &'a [AtomicU64],
+    applied: AtomicU64,
+    elided: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl<'a> AtomicGrid<'a> {
+    /// Wraps `data` in an atomic view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the platform's `AtomicU64` layout differs from `f64`'s
+    /// (never on the supported 64-bit targets; the assert keeps the
+    /// transmute honest).
+    #[must_use]
+    pub fn new(data: &'a mut [f64]) -> Self {
+        assert_eq!(
+            (std::mem::size_of::<AtomicU64>(), std::mem::align_of::<AtomicU64>()),
+            (std::mem::size_of::<f64>(), std::mem::align_of::<f64>()),
+            "AtomicU64 must be layout-compatible with f64 for the bit view"
+        );
+        let len = data.len();
+        let ptr = data.as_mut_ptr().cast::<AtomicU64>();
+        // SAFETY: `ptr` comes from a live `&mut [f64]` of length `len`, so
+        // it is non-null, properly aligned (asserted layout-identical
+        // above) and valid for `len * 8` bytes for the lifetime `'a`. The
+        // exclusive borrow is held by this struct for all of `'a`, so no
+        // other reference (atomic or not) can alias the cells, and every
+        // access through the view is atomic. f64 and u64 have no invalid
+        // bit patterns, so reinterpreting in either direction is value-safe.
+        let cells = unsafe { std::slice::from_raw_parts(ptr, len) };
+        AtomicGrid {
+            cells,
+            applied: AtomicU64::new(0),
+            elided: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of grid cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the grid is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Atomically reads cell `idx`.
+    #[must_use]
+    pub fn load(&self, idx: usize) -> f64 {
+        f64::from_bits(self.cells[idx].load(COMMIT_LOAD))
+    }
+
+    /// Atomically folds `f` into cell `idx` with a compare-exchange loop
+    /// and returns the committed value.
+    ///
+    /// `f` must be a pure function of its argument: it re-runs on every
+    /// CAS retry. When the folded value bit-matches the loaded one the
+    /// store is skipped (*bit elision*) — equivalent to a successful
+    /// `CAS(old, old)` linearized at the load, so no update is lost.
+    pub fn update(&self, idx: usize, f: impl Fn(f64) -> f64) -> f64 {
+        let cell = &self.cells[idx];
+        let mut retries = 0u64;
+        let mut old = cell.load(COMMIT_LOAD);
+        let committed = loop {
+            let new = f(f64::from_bits(old)).to_bits();
+            if new == old {
+                self.elided.fetch_add(1, COMMIT_STATS);
+                break new;
+            }
+            match cell.compare_exchange_weak(old, new, COMMIT_CAS_SUCCESS, COMMIT_CAS_FAILURE) {
+                Ok(_) => break new,
+                Err(current) => {
+                    retries += 1;
+                    old = current;
+                }
+            }
+        };
+        self.applied.fetch_add(1, COMMIT_STATS);
+        if retries > 0 {
+            self.retries.fetch_add(retries, COMMIT_STATS);
+        }
+        f64::from_bits(committed)
+    }
+
+    /// The accumulated instrumentation totals. Call after the commit
+    /// kernel's launch barrier; concurrent callers see a momentary tally.
+    #[must_use]
+    pub fn counters(&self) -> CommitCounters {
+        CommitCounters {
+            applied: self.applied.load(COMMIT_STATS),
+            elided: self.elided.load(COMMIT_STATS),
+            retries: self.retries.load(COMMIT_STATS),
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::{Device, DeviceConfig};
+
+    #[test]
+    fn update_folds_and_returns_committed_value() {
+        let mut data = vec![1.0, 2.0, 3.0];
+        let grid = AtomicGrid::new(&mut data);
+        assert_eq!(grid.len(), 3);
+        assert!(!grid.is_empty());
+        assert_eq!(grid.update(1, |g| g + 0.5), 2.5);
+        assert_eq!(grid.load(1), 2.5);
+        drop(grid);
+        assert_eq!(data, vec![1.0, 2.5, 3.0]);
+    }
+
+    #[test]
+    fn bit_elision_counts_skipped_stores() {
+        let mut data = vec![0.25; 4];
+        let grid = AtomicGrid::new(&mut data);
+        for i in 0..4 {
+            grid.update(i, |g| g); // identity: every store elided
+        }
+        grid.update(0, |g| g + 0.25);
+        let c = grid.counters();
+        assert_eq!((c.applied, c.elided, c.retries), (5, 4, 0));
+    }
+
+    #[test]
+    fn concurrent_folds_lose_no_update() {
+        // 4 pool workers × 64 chains of +1.0 onto 8 shared cells: every
+        // fold must land exactly once whatever the interleaving.
+        let device = Device::new(DeviceConfig {
+            workers: 4,
+            min_parallel_items: 1,
+            ..DeviceConfig::default()
+        });
+        let mut data = vec![0.0f64; 8];
+        let grid = AtomicGrid::new(&mut data);
+        device.launch_weighted("commit_atomic", 64, 1, |k| {
+            grid.update(k % 8, |g| g + 1.0);
+        });
+        let c = grid.counters();
+        drop(grid);
+        assert!(data.iter().all(|&g| g == 8.0), "lost updates: {data:?}");
+        assert_eq!(c.applied, 64);
+        assert_eq!(c.elided, 0);
+    }
+
+    #[test]
+    fn counters_sum_with_add() {
+        let a = CommitCounters { applied: 1, elided: 2, retries: 3 };
+        let b = CommitCounters { applied: 10, elided: 20, retries: 30 };
+        assert_eq!(a + b, CommitCounters { applied: 11, elided: 22, retries: 33 });
+    }
+}

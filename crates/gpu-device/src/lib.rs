@@ -42,6 +42,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 mod buffer;
+mod commit;
 mod device;
 mod fused;
 mod grid;
@@ -53,6 +54,9 @@ mod profiler;
 pub(crate) mod sync;
 
 pub use buffer::{DeviceBuffer, TransferStats};
+pub use commit::{
+    AtomicGrid, CommitCounters, COMMIT_CAS_FAILURE, COMMIT_CAS_SUCCESS, COMMIT_LOAD, COMMIT_STATS,
+};
 pub use device::{Device, DeviceConfig, ScratchLease};
 pub use fused::{FusedCtx, SharedSlice};
 pub use grid::LaunchDims;

@@ -106,6 +106,36 @@ impl QFormat {
     pub fn clamp(&self, x: f64) -> f64 {
         x.clamp(0.0, self.max_value())
     }
+
+    /// Snaps `x` onto the grid with round-to-nearest, **ties to even** raw
+    /// code (IEEE-754 style "banker's rounding").
+    ///
+    /// This is not one of the paper's three learning-update rounding modes
+    /// (those live in [`crate::Rounding`], whose `Nearest` rounds ties *up*);
+    /// it exists for merge-style operations that average several on-grid
+    /// values — e.g. replica-merge weight averaging — where the symmetric
+    /// tie-break avoids the systematic upward drift a ties-up rule would
+    /// accumulate over repeated merges. The tie-break contract: a value
+    /// exactly halfway between two grid codes rounds to the code whose raw
+    /// integer is even.
+    #[must_use]
+    pub fn snap_rne(&self, x: f64) -> f64 {
+        let scaled = self.clamp(x) / self.resolution();
+        let down = scaled.floor();
+        let frac = scaled - down;
+        #[allow(clippy::float_cmp)] // the tie-break compares an exact 0.5
+        let code = if frac > 0.5 {
+            down + 1.0
+        } else if frac < 0.5 {
+            down
+        } else if (down as u64) % 2 == 0 {
+            down
+        } else {
+            down + 1.0
+        };
+        // Rounding up from the clamped maximum can overshoot by one code.
+        self.raw_to_f64((code as u32).min(self.max_raw()))
+    }
 }
 
 impl fmt::Display for QFormat {
@@ -164,6 +194,36 @@ mod tests {
             assert_eq!(u64::from(q.max_raw()) + 1, q.levels());
             assert!((q.raw_to_f64(q.max_raw()) - q.max_value()).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn snap_rne_rounds_ties_to_even_raw_code() {
+        let q = QFormat::Q0_2; // resolution 0.25, codes {0, 1, 2, 3}
+        // Halfway between codes 0 and 1 (x = 0.125): code 0 is even — down.
+        assert_eq!(q.snap_rne(0.125), 0.0);
+        // Halfway between codes 1 and 2 (x = 0.375): code 2 is even — up.
+        assert_eq!(q.snap_rne(0.375), 0.5);
+        // Halfway between codes 2 and 3 (x = 0.625): code 2 is even — down.
+        assert_eq!(q.snap_rne(0.625), 0.5);
+        // Off-tie values round to nearest as usual.
+        assert_eq!(q.snap_rne(0.24), 0.25);
+        assert_eq!(q.snap_rne(0.26), 0.25);
+        // On-grid values are fixed points; out-of-range values saturate.
+        assert_eq!(q.snap_rne(0.75), 0.75);
+        assert_eq!(q.snap_rne(9.0), 0.75);
+        assert_eq!(q.snap_rne(-1.0), 0.0);
+    }
+
+    #[test]
+    fn snap_rne_is_unbiased_over_symmetric_ties() {
+        // Averaging the two tie points around every even code must return
+        // exactly those codes' mean: the ties cancel instead of drifting up.
+        let q = QFormat::Q1_7;
+        let res = q.resolution();
+        let lo = q.snap_rne(0.5 + res / 2.0); // tie above code 64 (even)
+        let hi = q.snap_rne(0.5 - res / 2.0); // tie below code 64
+        assert_eq!(lo, 0.5);
+        assert_eq!(hi, 0.5);
     }
 
     #[test]

@@ -8,11 +8,11 @@
 
 use crate::config::{
     CurrentDelivery, InhibitionMode, LifParams, NetworkConfig, NeuronModelKind,
-    PlasticityExecution, RuleKind,
+    PlasticityExecution,
 };
 use crate::neuron::{AdexNeuron, IzhikevichNeuron, LifNeuron, NeuronModel, NeuronState};
 use crate::sim::{EvalSnapshot, SpikeRaster, SpikeTrains};
-use crate::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp};
+use crate::stdp::PlasticityRule;
 use crate::synapse::{
     PlasticityLedger, PostEvent, SettleCtx, SynapseMatrix, TransposedConductances,
 };
@@ -175,6 +175,11 @@ pub struct WtaEngine<'d> {
     /// neuron), present only in [`InhibitionMode::Explicit`].
     inh_cells: Option<Vec<NeuronState>>,
     inh_drive: Vec<f64>,
+    /// When set (only inside [`WtaEngine::present_recording`]), the causal
+    /// STDP phase records each spiking row's post event here instead of
+    /// touching the weights or the ledger — the parallel trainer replays
+    /// the events against the shared matrix at commit time.
+    recording: Option<Vec<Vec<PostEvent>>>,
     raster: Option<SpikeRaster>,
     traced_neuron: Option<usize>,
     potential_trace: Vec<(f64, f64)>,
@@ -254,16 +259,7 @@ impl<'d> WtaEngine<'d> {
         synapses: SynapseStore,
         transposed: TransposedView,
     ) -> Self {
-        let rule: Box<dyn PlasticityRule> = match cfg.rule {
-            RuleKind::Deterministic => Box::new(DeterministicStdp::new(cfg.ltp_window_ms)),
-            RuleKind::Stochastic => {
-                // Apply the documented depression calibration (see
-                // NetworkConfig::gamma_dep_scale).
-                let mut params = cfg.stochastic;
-                params.gamma_dep *= cfg.gamma_dep_scale;
-                Box::new(StochasticStdp::new(params))
-            }
-        };
+        let rule = crate::stdp::build_rule(&cfg);
         let init_state = match cfg.neuron {
             NeuronModelKind::Lif => LifNeuron::new(cfg.lif).initial_state(),
             NeuronModelKind::Izhikevich(p) => IzhikevichNeuron::new(p).initial_state(),
@@ -313,6 +309,7 @@ impl<'d> WtaEngine<'d> {
             philox: Philox4x32::new(seed),
             time_ms: 0.0,
             step: 0,
+            recording: None,
             raster: None,
             traced_neuron: None,
             potential_trace: Vec::new(),
@@ -449,6 +446,36 @@ impl<'d> WtaEngine<'d> {
     #[must_use]
     pub fn thetas(&self) -> Vec<f64> {
         self.cells.iter().map(|c| c.theta).collect()
+    }
+
+    /// Overwrites the adaptive thresholds — the homeostasis half of
+    /// restoring a checkpoint or resuming a replica-merge window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length does not match the excitatory population.
+    pub fn set_thetas(&mut self, thetas: &[f64]) {
+        assert_eq!(thetas.len(), self.cells.len(), "theta population mismatch");
+        for (cell, &theta) in self.cells.iter_mut().zip(thetas) {
+            cell.theta = theta;
+        }
+    }
+
+    /// Sets the training clock (step counter and simulated time). Used when
+    /// resuming training from a checkpoint or a replica-merge window: the
+    /// input Philox draws are keyed by the step counter, so a resumed
+    /// engine must continue from the exact counter the interrupted run
+    /// would have reached to reproduce its trajectory.
+    pub fn set_clock(&mut self, step: u64, time_ms: f64) {
+        debug_assert!(self.ledger.is_idle(), "re-clocking with unsettled plasticity events");
+        self.step = step;
+        self.time_ms = time_ms;
+    }
+
+    /// The training step counter (paired with [`WtaEngine::set_clock`]).
+    #[must_use]
+    pub fn clock(&self) -> (u64, f64) {
+        (self.step, self.time_ms)
     }
 
     /// Enables or disables spike-event recording.
@@ -676,6 +703,104 @@ impl<'d> WtaEngine<'d> {
         self.step = saved_step;
         self.acct.flush(self.device);
         counts
+    }
+
+    /// Presents one precomputed stimulus on a **frozen replica** with the
+    /// full training dynamics running — homeostasis evolves and the causal
+    /// STDP phase fires — but every would-be weight update is *recorded*
+    /// instead of applied: the returned per-row [`PostEvent`] lists, replayed
+    /// through [`SettleCtx::commit_synapse_value`] with the presentation's
+    /// pre-spike time table, produce exactly the updates a serial engine
+    /// would have made presenting these trains at the same step counter
+    /// against the same (frozen) round-start weights.
+    ///
+    /// `base_step` is the presentation's global step origin: the engine's
+    /// step counter runs `base_step..base_step + trains.steps()`, so every
+    /// recorded event's `(synapse, step)` draw key — and every input draw a
+    /// [`SpikeTrains`] generator used — is globally unique across the
+    /// round's presentations.
+    ///
+    /// The local clock starts at zero (accumulated per step exactly as in
+    /// training, so event `t_ms` values match a same-shaped pre-spike time
+    /// table), and the entry thetas are restored on exit with the per-cell
+    /// net change returned as the third tuple element: the round's theta
+    /// evolution is folded in at commit time, in presentation order, not
+    /// per-replica.
+    ///
+    /// No winner-take-all quiet fast-forward runs here: homeostasis decays
+    /// every neuron's theta every step, which the suppression-window
+    /// shortcut of [`WtaEngine::present_frozen`] would skip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine is not a frozen replica, if the rule consumes
+    /// pre-side events (the deferral protocol only covers post-triggered
+    /// updates), or if the trains' shape disagrees with the configuration.
+    pub fn present_recording(
+        &mut self,
+        trains: &SpikeTrains,
+        base_step: u64,
+    ) -> (Vec<u32>, Vec<Vec<PostEvent>>, Vec<f64>) {
+        assert!(
+            self.is_frozen(),
+            "recorded presentations run on frozen replicas of the round snapshot"
+        );
+        assert!(
+            !self.rule.uses_pre_events(),
+            "recorded presentations require a post-triggered rule"
+        );
+        assert_eq!(
+            trains.n_inputs(),
+            self.cfg.n_inputs,
+            "train set does not match input population"
+        );
+        assert!(
+            (trains.dt_ms() - self.cfg.dt_ms).abs() < 1e-12,
+            "train step width does not match the configured dt"
+        );
+        debug_assert!(self.ledger.is_idle(), "recorded presentation with unsettled plasticity");
+        let _span = snn_trace::span_cat("engine/present_recording", "engine");
+        self.reset_transients();
+        let saved_time = self.time_ms;
+        let saved_step = self.step;
+        self.time_ms = 0.0;
+        self.step = base_step;
+        let entry_thetas = self.thetas();
+        self.recording = Some(vec![Vec::new(); self.cfg.n_excitatory]);
+        let mut counts = vec![0u32; self.cfg.n_excitatory];
+        let mut prev = 0usize;
+        for s in 0..trains.steps() {
+            let active = trains.active(s);
+            let _step = snn_trace::step_span("engine/step");
+            let list = self.spike_list.as_mut_slice();
+            for &i in &list[..prev] {
+                self.input_spiked[i as usize] = 0;
+            }
+            list[..active.len()].copy_from_slice(active);
+            for &i in active {
+                self.input_spiked[i as usize] = 1;
+            }
+            self.active_inputs = active.len();
+            prev = active.len();
+            self.step_core(true, &mut counts);
+        }
+        let list = self.spike_list.as_slice();
+        for &i in &list[..prev] {
+            self.input_spiked[i as usize] = 0;
+        }
+        self.active_inputs = 0;
+        let theta_delta: Vec<f64> = self
+            .cells
+            .iter()
+            .zip(&entry_thetas)
+            .map(|(cell, &theta0)| cell.theta - theta0)
+            .collect();
+        self.set_thetas(&entry_thetas);
+        self.time_ms = saved_time;
+        self.step = saved_step;
+        let events = self.recording.take().expect("recording active for the presentation");
+        self.acct.flush(self.device);
+        (counts, events, theta_delta)
     }
 
     /// One frozen-evaluation step taken entirely inside a winner-take-all
@@ -1350,6 +1475,22 @@ impl<'d> WtaEngine<'d> {
         // per spiking row and settles only the coincident (spiking input ×
         // spiking post) pairs, deferring the rest to touch time.
         if plastic && any_spiked {
+            // Recorded presentation (parallel training): the post events are
+            // captured for a deferred commit against the shared matrix —
+            // weights and ledger stay untouched, so this branch is legal on
+            // frozen replicas.
+            if let Some(rec) = &mut self.recording {
+                for &j in &self.spiking_posts {
+                    rec[j as usize].push(PostEvent { step, t_ms: t });
+                }
+                self.device.bump_counter(
+                    "stdp_updates_recorded",
+                    self.spiking_posts.len() as u64 * n_pre as u64,
+                );
+                self.step += 1;
+                self.time_ms += dt;
+                return;
+            }
             match self.exec {
                 PlasticityExecution::Eager => {
                     let ctx = self.synapses.get().update_ctx();

@@ -175,6 +175,27 @@ impl EvalSnapshot {
     pub(crate) fn transposed_arc(&self) -> Arc<TransposedConductances> {
         Arc::clone(&self.transposed)
     }
+
+    /// Exclusive access to all three shared stores for a commit phase —
+    /// the row-major matrix, its transposed mirror, and the thetas.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any replica still holds a reference: the round protocol
+    /// joins (and drops) every replica engine before committing, so a
+    /// surviving clone means a presentation outlived its barrier.
+    pub(crate) fn commit_access(
+        &mut self,
+    ) -> (&mut SynapseMatrix, &mut TransposedConductances, &mut [f64]) {
+        (
+            Arc::get_mut(&mut self.synapses)
+                .expect("commit requires every replica's matrix reference dropped"),
+            Arc::get_mut(&mut self.transposed)
+                .expect("commit requires every replica's transposed reference dropped"),
+            Arc::get_mut(&mut self.thetas)
+                .expect("commit requires every replica's theta reference dropped"),
+        )
+    }
 }
 
 #[cfg(test)]

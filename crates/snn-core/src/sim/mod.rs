@@ -14,15 +14,23 @@
 //! * [`BatchedEngine`] — lock-step batched frozen evaluation with SWAR
 //!   low-precision delivery kernels, bit-identical per lane to the serial
 //!   frozen path.
+//! * [`RecordedPresentation`] and the round-commit kernels
+//!   ([`commit_ordered`] / [`commit_concurrent`]) — the parallel-training
+//!   protocol of DESIGN.md §14.
 
 mod batched;
 mod engine;
 mod eval;
 mod generic;
+mod parallel;
 mod recorder;
 
 pub use batched::BatchedEngine;
 pub use engine::WtaEngine;
 pub use eval::{EvalSnapshot, SpikeTrains};
 pub use generic::GenericEngine;
+pub use parallel::{
+    commit_concurrent, commit_ordered, merge_order, pre_spike_times, training_trains,
+    CommitStats, RecordedPresentation,
+};
 pub use recorder::SpikeRaster;

@@ -1,0 +1,415 @@
+//! Round-based parallel-training primitives: recorded presentations and
+//! their deferred plasticity commits (DESIGN.md §14).
+//!
+//! The serial trainer interleaves forward dynamics and weight updates
+//! within each presentation. The parallel trainer instead advances a
+//! *round* of R presentations concurrently against one frozen round-start
+//! snapshot — each worker records the post events a serial engine would
+//! have generated ([`crate::sim::WtaEngine::present_recording`]) — and then
+//! folds every presentation's deferred update chains into the shared
+//! matrix in a commit phase:
+//!
+//! * [`commit_ordered`] — the `SeededMergeOrder` kernel: each synapse folds
+//!   its update chains in the canonical `(presentation, step)` ascending
+//!   order ([`merge_order`]), so the result is bit-identical at any worker
+//!   count.
+//! * [`commit_concurrent`] — the shared-atomics kernel: presentation
+//!   workers fold their chains through `qformat`-aware CAS loops on an
+//!   [`AtomicGrid`] over the same matrix; arrival order (and therefore the
+//!   exact final bits) depends on scheduling, but every committed value is
+//!   an on-grid, in-bounds fold of real update chains.
+//!
+//! Both kernels restore transposed-view coherence and fold the round's
+//! homeostasis deltas (ascending presentation order) before returning, so
+//! the snapshot that emerges is a valid round-start state for the next
+//! round. Relative to the serial trainer the protocol is an *algorithmic
+//! relaxation* — plasticity lands at round boundaries instead of
+//! mid-presentation — so parity with serial training is statistical
+//! (accuracy within cross-validation tolerance), while reproducibility
+//! *within* the protocol is exact in `SeededMergeOrder` mode.
+
+use crate::sim::{EvalSnapshot, SpikeTrains};
+use crate::synapse::PostEvent;
+use gpu_device::{AtomicGrid, Device, Philox4x32};
+
+/// Everything one recorded presentation contributes to a round commit.
+#[derive(Debug, Clone)]
+pub struct RecordedPresentation {
+    /// Global presentation index (position in the training stream); the
+    /// first component of the canonical merge order.
+    pub index: usize,
+    /// Per-neuron spike counts of the presentation (label statistics).
+    pub counts: Vec<u32>,
+    /// Per-post-row deferred post events, steps ascending, on the global
+    /// step counter (`base_step = index × steps_per_presentation`).
+    pub events: Vec<Vec<PostEvent>>,
+    /// Per-input pre-spike timestamps on the presentation's accumulated
+    /// local clock — the table [`crate::synapse::SettleCtx::commit_synapse_value`]
+    /// resolves `last_pre` from.
+    pub pre_spikes: Vec<Vec<f64>>,
+    /// Net per-neuron adaptive-threshold change over the presentation.
+    pub theta_delta: Vec<f64>,
+}
+
+/// What a round commit did: update chains folded, stores elided by the
+/// low-precision fast path, CAS retries paid (zero in ordered mode), and
+/// raw post events replayed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CommitStats {
+    /// Per-synapse update chains folded into the matrix.
+    pub applied: u64,
+    /// Chains whose folded value bit-matched the loaded one (store skipped).
+    pub elided: u64,
+    /// Compare-exchange retries under contention (concurrent mode only).
+    pub retries: u64,
+    /// Total post events replayed across all chains.
+    pub events: u64,
+}
+
+/// Precomputes the Bernoulli input spike trains a training presentation
+/// draws, exactly as the engine's encode kernel would when its step counter
+/// runs `base_step..base_step + steps`: input `i` spikes at local step `s`
+/// iff `uniform(INPUT | i, base_step + s) < rate·dt`. Presentations get
+/// disjoint step ranges, so every draw key is globally unique and a serial
+/// engine presenting this image at the same counter sees identical spikes.
+#[must_use]
+pub fn training_trains(
+    seed: u64,
+    rates_hz: &[f64],
+    dt_ms: f64,
+    duration_ms: f64,
+    base_step: u64,
+) -> SpikeTrains {
+    let philox = Philox4x32::new(seed);
+    let p_spike: Vec<f64> = rates_hz.iter().map(|&f| (f * dt_ms / 1000.0).clamp(0.0, 1.0)).collect();
+    let steps = (duration_ms / dt_ms).round() as u64;
+    let mut trains = SpikeTrains::new(rates_hz.len(), dt_ms);
+    let mut active: Vec<u32> = Vec::new();
+    for s in 0..steps {
+        active.clear();
+        for (i, &p) in p_spike.iter().enumerate() {
+            if philox.uniform(crate::streams::INPUT | i as u64, base_step + s) < p {
+                active.push(i as u32);
+            }
+        }
+        trains.push_step(&active);
+    }
+    trains
+}
+
+/// Expands spike trains into per-input spike-time tables on the same
+/// accumulated clock the engine runs (`t` starts at zero and gains `dt`
+/// per step — **not** `s × dt`, which differs in the last bits), so the
+/// tables compare exactly against recorded event timestamps.
+#[must_use]
+pub fn pre_spike_times(trains: &SpikeTrains) -> Vec<Vec<f64>> {
+    let mut times = vec![Vec::new(); trains.n_inputs()];
+    let mut t = 0.0f64;
+    for s in 0..trains.steps() {
+        for &i in trains.active(s) {
+            times[i as usize].push(t);
+        }
+        t += trains.dt_ms();
+    }
+    times
+}
+
+/// The canonical merge order of one synapse row's commits: `(presentation
+/// position, event step)` pairs, presentations ascending and steps
+/// ascending within each. [`commit_ordered`] folds every synapse's chains
+/// in exactly this sequence — the determinism contract of
+/// `SeededMergeOrder` mode (DESIGN.md §14) — and the order depends only on
+/// the recorded data, never on worker count or scheduling.
+pub fn merge_order<'a>(
+    round: &'a [RecordedPresentation],
+    post: usize,
+) -> impl Iterator<Item = (usize, u64)> + 'a {
+    round
+        .iter()
+        .flat_map(move |rp| rp.events[post].iter().map(move |ev| (rp.index, ev.step)))
+}
+
+fn round_event_total(round: &[RecordedPresentation]) -> u64 {
+    round.iter().map(|rp| rp.events.iter().map(|e| e.len() as u64).sum::<u64>()).sum()
+}
+
+fn fold_theta_deltas(thetas: &mut [f64], round: &[RecordedPresentation]) {
+    // Ascending presentation order: the fold is a float sum, so fixing the
+    // order is what keeps it bit-reproducible.
+    for rp in round {
+        for (theta, &delta) in thetas.iter_mut().zip(&rp.theta_delta) {
+            *theta += delta;
+        }
+    }
+}
+
+/// Commits a round in the canonical merge order: row-parallel over post
+/// neurons, each synapse folding its update chains presentation-ascending
+/// ([`merge_order`]). Rows are independent, so the result is bit-identical
+/// at any worker count. Restores transposed coherence and folds the theta
+/// deltas before returning.
+///
+/// `philox` must be the generator the round's engines drew from (same
+/// seed), and `cfg` the shared network configuration — the rule is rebuilt
+/// here via [`crate::stdp::build_rule`] so the commit applies the same
+/// calibrated decision function the serial trainer would.
+pub fn commit_ordered(
+    device: &Device,
+    snapshot: &mut EvalSnapshot,
+    cfg: &crate::config::NetworkConfig,
+    philox: Philox4x32,
+    round: &[RecordedPresentation],
+) -> CommitStats {
+    let _span = snn_trace::span_cat("train/parallel_commit", "train");
+    let rule = crate::stdp::build_rule(cfg);
+    let (matrix, transposed, thetas) = snapshot.commit_access();
+    let n_pre = matrix.n_pre();
+    let sctx = matrix.settle_ctx(&*rule, philox);
+    let events_total = round_event_total(round);
+    device.launch_rows_mut("commit_apply", matrix.as_flat_mut(), n_pre, |j, row| {
+        for rp in round {
+            let events = &rp.events[j];
+            if events.is_empty() {
+                continue;
+            }
+            for (i, g) in row.iter_mut().enumerate() {
+                *g = sctx.commit_synapse_value(*g, events, j, i, &rp.pre_spikes[i]);
+            }
+        }
+    });
+    let cells = transposed.refresh(matrix, None, None);
+    device.bump_counter("transpose_cells_refreshed", cells);
+    fold_theta_deltas(thetas, round);
+    let applied: u64 = round
+        .iter()
+        .map(|rp| rp.events.iter().filter(|e| !e.is_empty()).count() as u64 * n_pre as u64)
+        .sum();
+    device.bump_counter("commit_events_applied", events_total);
+    CommitStats { applied, elided: 0, retries: 0, events: events_total }
+}
+
+/// Commits a round through shared atomics: one work item per presentation,
+/// each folding its chains into the matrix via [`AtomicGrid`] CAS loops
+/// (re-running the pure per-chain fold on retry). The final bits depend on
+/// arrival order, but every cell always holds an on-grid, in-bounds value
+/// and no chain is lost or double-applied. Coherence and theta folds as in
+/// [`commit_ordered`] (the theta fold stays ordered — it is cheap and
+/// keeping it deterministic shrinks the nondeterminism surface to the
+/// weight cells).
+pub fn commit_concurrent(
+    device: &Device,
+    snapshot: &mut EvalSnapshot,
+    cfg: &crate::config::NetworkConfig,
+    philox: Philox4x32,
+    round: &[RecordedPresentation],
+) -> CommitStats {
+    let _span = snn_trace::span_cat("train/parallel_commit", "train");
+    let rule = crate::stdp::build_rule(cfg);
+    let (matrix, transposed, thetas) = snapshot.commit_access();
+    let n_pre = matrix.n_pre();
+    let sctx = matrix.settle_ctx(&*rule, philox);
+    let events_total = round_event_total(round);
+    let per_item_cost =
+        ((events_total as usize).saturating_mul(n_pre) / round.len().max(1)).max(1);
+    let counters = {
+        let grid = AtomicGrid::new(matrix.as_flat_mut());
+        let grid_ref = &grid;
+        device.launch_weighted("commit_atomic", round.len(), per_item_cost, |p| {
+            let rp = &round[p];
+            for (j, events) in rp.events.iter().enumerate() {
+                if events.is_empty() {
+                    continue;
+                }
+                for i in 0..n_pre {
+                    grid_ref.update(j * n_pre + i, |g| {
+                        sctx.commit_synapse_value(g, events, j, i, &rp.pre_spikes[i])
+                    });
+                }
+            }
+        });
+        grid.counters()
+    };
+    let cells = transposed.refresh(matrix, None, None);
+    device.bump_counter("transpose_cells_refreshed", cells);
+    fold_theta_deltas(thetas, round);
+    device.bump_counter("commit_cas_retries", counters.retries);
+    device.bump_counter("commit_stores_elided", counters.elided);
+    device.bump_counter("commit_events_applied", events_total);
+    CommitStats {
+        applied: counters.applied,
+        elided: counters.elided,
+        retries: counters.retries,
+        events: events_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{NetworkConfig, Preset, RuleKind};
+    use crate::synapse::SynapseMatrix;
+    use gpu_device::DeviceConfig;
+
+    fn cfg(preset: Preset) -> NetworkConfig {
+        NetworkConfig::from_preset(preset, 16, 4)
+    }
+
+    fn synthetic_round(n_pre: usize, n_post: usize) -> Vec<RecordedPresentation> {
+        // Two presentations with hand-built event/pre-spike tables on
+        // disjoint global step ranges.
+        (0..2)
+            .map(|k| {
+                let base = k as u64 * 100;
+                let mut events = vec![Vec::new(); n_post];
+                events[0] = vec![
+                    PostEvent { step: base + 3, t_ms: 0.3 },
+                    PostEvent { step: base + 9, t_ms: 0.9 },
+                ];
+                events[2] = vec![PostEvent { step: base + 5, t_ms: 0.5 }];
+                let pre_spikes =
+                    (0..n_pre).map(|i| if i % 2 == k { vec![0.2, 0.8] } else { vec![] }).collect();
+                RecordedPresentation {
+                    index: k,
+                    counts: vec![0; n_post],
+                    events,
+                    pre_spikes,
+                    theta_delta: vec![0.25 * (k as f64 + 1.0); n_post],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_trains_is_a_pure_function_of_seed_and_step_origin() {
+        let rates = vec![400.0; 16];
+        let a = training_trains(7, &rates, 0.5, 10.0, 300);
+        let b = training_trains(7, &rates, 0.5, 10.0, 300);
+        let c = training_trains(7, &rates, 0.5, 10.0, 0);
+        assert_eq!(a.steps(), 20);
+        assert_eq!(
+            (0..a.steps()).map(|s| a.active(s).to_vec()).collect::<Vec<_>>(),
+            (0..b.steps()).map(|s| b.active(s).to_vec()).collect::<Vec<_>>()
+        );
+        // A different step origin keys different draws.
+        assert_ne!(
+            (0..a.steps()).map(|s| a.active(s).to_vec()).collect::<Vec<_>>(),
+            (0..c.steps()).map(|s| c.active(s).to_vec()).collect::<Vec<_>>()
+        );
+        assert!(a.total_spikes() > 0, "vacuous at these rates");
+    }
+
+    #[test]
+    fn pre_spike_times_accumulate_the_engine_clock() {
+        let rates = vec![2000.0; 3]; // saturated: every input fires each step
+        let trains = training_trains(1, &rates, 0.5, 1.5, 0);
+        let times = pre_spike_times(&trains);
+        let mut t = 0.0f64;
+        let expected: Vec<f64> = (0..3)
+            .map(|_| {
+                let v = t;
+                t += 0.5;
+                v
+            })
+            .collect();
+        for table in &times {
+            assert_eq!(table.len(), 3);
+            for (a, b) in table.iter().zip(&expected) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn merge_order_is_presentation_then_step_ascending() {
+        let round = synthetic_round(16, 4);
+        let order: Vec<(usize, u64)> = merge_order(&round, 0).collect();
+        assert_eq!(order, vec![(0, 3), (0, 9), (1, 103), (1, 109)]);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(order, sorted);
+    }
+
+    #[test]
+    fn ordered_commit_is_worker_count_invariant() {
+        for kind in [RuleKind::Deterministic, RuleKind::Stochastic] {
+            let c = cfg(Preset::Bit8).with_rule(kind);
+            let m = SynapseMatrix::new_random(&c, 11);
+            let round = synthetic_round(m.n_pre(), m.n_post());
+            let philox = Philox4x32::new(11);
+            let commit_with = |workers: usize| {
+                let device = Device::new(DeviceConfig {
+                    workers,
+                    min_parallel_items: 1,
+                    ..DeviceConfig::default()
+                });
+                let mut snap = EvalSnapshot::new(m.clone(), vec![0.0; m.n_post()]);
+                let stats = commit_ordered(&device, &mut snap, &c, philox, &round);
+                (snap, stats)
+            };
+            let (serial, s1) = commit_with(1);
+            let (pooled, s4) = commit_with(4);
+            assert_eq!(serial.synapses().as_flat(), pooled.synapses().as_flat());
+            assert_eq!(serial.thetas(), pooled.thetas());
+            assert_eq!(s1.events, s4.events);
+            assert!(s1.events > 0);
+            assert!(serial.synapses().check_invariants());
+            // The weights actually moved (the gate is not vacuous).
+            assert_ne!(serial.synapses().as_flat(), m.as_flat());
+        }
+    }
+
+    #[test]
+    fn concurrent_commit_on_one_worker_matches_ordered() {
+        // With a single worker the atomic kernel folds presentations in
+        // index order — exactly the canonical merge order — so the two
+        // kernels must agree bit for bit.
+        let c = cfg(Preset::Bit4).with_rule(RuleKind::Stochastic);
+        let m = SynapseMatrix::new_random(&c, 3);
+        let round = synthetic_round(m.n_pre(), m.n_post());
+        let philox = Philox4x32::new(3);
+        let device = Device::new(DeviceConfig::serial());
+        let mut ordered = EvalSnapshot::new(m.clone(), vec![0.1; m.n_post()]);
+        let mut atomic = EvalSnapshot::new(m.clone(), vec![0.1; m.n_post()]);
+        let so = commit_ordered(&device, &mut ordered, &c, philox, &round);
+        let sa = commit_concurrent(&device, &mut atomic, &c, philox, &round);
+        assert_eq!(ordered.synapses().as_flat(), atomic.synapses().as_flat());
+        assert_eq!(ordered.thetas(), atomic.thetas());
+        assert_eq!(so.events, sa.events);
+        assert!(sa.applied > 0);
+    }
+
+    #[test]
+    fn concurrent_commit_preserves_invariants_under_contention() {
+        let c = cfg(Preset::Bit2).with_rule(RuleKind::Deterministic);
+        let m = SynapseMatrix::new_random(&c, 5);
+        let round: Vec<RecordedPresentation> = (0..8)
+            .flat_map(|_| synthetic_round(m.n_pre(), m.n_post()))
+            .enumerate()
+            .map(|(k, mut rp)| {
+                rp.index = k;
+                rp
+            })
+            .collect();
+        let device = Device::new(DeviceConfig {
+            workers: 4,
+            min_parallel_items: 1,
+            ..DeviceConfig::default()
+        });
+        let mut snap = EvalSnapshot::new(m.clone(), vec![0.0; m.n_post()]);
+        let stats = commit_concurrent(&device, &mut snap, &c, Philox4x32::new(5), &round);
+        assert!(snap.synapses().check_invariants());
+        assert_eq!(stats.events, round_event_total(&round));
+        // Theta fold stayed deterministic: sum of all deltas.
+        let expected: f64 = round.iter().map(|rp| rp.theta_delta[0]).sum();
+        assert!((snap.thetas()[0] - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn theta_fold_is_presentation_ascending() {
+        let mut thetas = vec![0.0; 4];
+        let round = synthetic_round(16, 4);
+        fold_theta_deltas(&mut thetas, &round);
+        // 0.25 (presentation 0) then 0.5 (presentation 1), per cell.
+        assert!(thetas.iter().all(|&t| (t - 0.75).abs() < 1e-12));
+    }
+}

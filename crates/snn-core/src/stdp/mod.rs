@@ -25,7 +25,7 @@ mod stochastic;
 pub use deterministic::DeterministicStdp;
 pub use stochastic::StochasticStdp;
 
-use crate::config::RuleKind;
+use crate::config::{NetworkConfig, RuleKind};
 
 /// The direction of a synaptic update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +69,26 @@ pub trait PlasticityRule: Send + Sync {
 
     /// Which family this rule belongs to.
     fn kind(&self) -> RuleKind;
+}
+
+/// Builds the plasticity rule a network configuration asks for, including
+/// the documented depression calibration
+/// ([`NetworkConfig::gamma_dep_scale`]) for the stochastic rule.
+///
+/// This is the single constructor every trainer and commit path must use:
+/// the parallel-training commit kernels rebuild the rule from the same
+/// config as the serial engine, and bit-identity between them holds only
+/// if both apply the same calibration.
+#[must_use]
+pub fn build_rule(cfg: &NetworkConfig) -> Box<dyn PlasticityRule> {
+    match cfg.rule {
+        RuleKind::Deterministic => Box::new(DeterministicStdp::new(cfg.ltp_window_ms)),
+        RuleKind::Stochastic => {
+            let mut params = cfg.stochastic;
+            params.gamma_dep *= cfg.gamma_dep_scale;
+            Box::new(StochasticStdp::new(params))
+        }
+    }
 }
 
 #[cfg(test)]

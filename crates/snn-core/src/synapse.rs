@@ -97,6 +97,14 @@ impl SynapseMatrix {
         (self.g_min, self.g_max)
     }
 
+    /// The storage quantizer, or `None` for full-precision matrices. The
+    /// replica-merge trainer uses this to snap averaged weights back onto
+    /// the same grid the matrix stores.
+    #[must_use]
+    pub fn quantizer(&self) -> Option<Quantizer> {
+        self.quantizer
+    }
+
     /// One neuron's receptive field: the conductances of all its incoming
     /// synapses (the paper's per-neuron "conductance array", Fig. 5).
     #[must_use]
@@ -549,6 +557,60 @@ impl SettleCtx<'_> {
             }
         }
         *applied = events.len() as u32;
+    }
+
+    /// Replays one *recorded presentation's* post events for synapse
+    /// (`pre` → `post`) over conductance `g` and returns the settled value,
+    /// without touching any ledger state.
+    ///
+    /// Unlike [`settle_synapse`](Self::settle_synapse) — which reads the
+    /// engine's live `last_pre` timestamp because the deferral protocol
+    /// settles a synapse before that timestamp changes — this walks the
+    /// presentation's full pre-spike time table (`pre_spikes_ms`, strictly
+    /// ascending, on the presentation's own accumulated clock) with a
+    /// two-pointer scan, so it can be evaluated *after* the presentation
+    /// finished, from any thread, in any merge order. A pre spike coincident
+    /// with the post event counts (`Δt = 0`): the engine records pre
+    /// timestamps before the causal-STDP phase runs, and both clocks
+    /// accumulate identically so the comparison is exact.
+    ///
+    /// The function is pure in `g` — same `(g, events, pre_spikes_ms)`
+    /// always yields the same value — which is what lets the shared-atomics
+    /// commit kernel re-run it inside a CAS retry loop, and the
+    /// seeded-merge-order kernel obtain worker-count-independent results by
+    /// fixing the fold order. Draws stay keyed `(synapse, event step)`
+    /// exactly as in the serial paths.
+    #[must_use]
+    pub fn commit_synapse_value(
+        &self,
+        mut g: f64,
+        events: &[PostEvent],
+        post: usize,
+        pre: usize,
+        pre_spikes_ms: &[f64],
+    ) -> f64 {
+        let stream = crate::streams::SYNAPSE | (post * self.n_pre + pre) as u64;
+        let mut p = 0usize;
+        let mut last_pre_ms = f64::NEG_INFINITY;
+        for ev in events {
+            while p < pre_spikes_ms.len() && pre_spikes_ms[p] <= ev.t_ms {
+                last_pre_ms = pre_spikes_ms[p];
+                p += 1;
+            }
+            let dt_pair = ev.t_ms - last_pre_ms;
+            let u_accept =
+                if self.accept_draws { self.philox.uniform(stream, ev.step) } else { 0.0 };
+            if let Some(kind) = self.rule.on_post_spike(dt_pair, u_accept) {
+                let u_round = if self.round_draws {
+                    f64::from(self.philox.at(stream, ev.step, 2))
+                        / (u64::from(u32::MAX) + 1) as f64
+                } else {
+                    0.5
+                };
+                g = self.ctx.updated(g, kind, u_round);
+            }
+        }
+        g
     }
 }
 
@@ -1055,5 +1117,77 @@ mod tests {
         let rule = rule_for(&c);
         let mut ledger = PlasticityLedger::new(8, 4);
         m.settle_all(&mut ledger, &*rule, Philox4x32::new(0), &[0.0; 16]);
+    }
+
+    // ---- recorded-presentation commit (parallel training) ----
+
+    #[test]
+    fn commit_matches_per_event_settle_with_table_lookups() {
+        // The pre-spike table must resolve, for every post event, the same
+        // "most recent pre spike" timestamp the live engine would have held
+        // in `last_pre` — including a pre spike coincident with the event.
+        let events = [
+            PostEvent { step: 3, t_ms: 0.3 },
+            PostEvent { step: 11, t_ms: 1.1 },
+            PostEvent { step: 20, t_ms: 2.0 },
+        ];
+        let pre_spikes = [0.3, 0.9, 1.8];
+        for preset in [Preset::FullPrecision, Preset::Bit8, Preset::Bit2] {
+            for kind in [RuleKind::Deterministic, RuleKind::Stochastic] {
+                let c = cfg(preset).with_rule(kind);
+                let m = SynapseMatrix::new_random(&c, 13);
+                let rule = rule_for(&c);
+                let sctx = m.settle_ctx(&*rule, Philox4x32::new(99));
+                for (post, pre) in [(0usize, 0usize), (1, 5), (3, 15)] {
+                    let g0 = m.get(pre, post);
+                    let committed =
+                        sctx.commit_synapse_value(g0, &events, post, pre, &pre_spikes);
+                    // Reference: one settle_synapse call per event, with the
+                    // last-pre timestamp resolved from the table by hand.
+                    let mut g = g0;
+                    for ev in &events {
+                        let last_pre = pre_spikes
+                            .iter()
+                            .copied()
+                            .filter(|&t| t <= ev.t_ms)
+                            .fold(f64::NEG_INFINITY, f64::max);
+                        let mut applied = 0u32;
+                        sctx.settle_synapse(
+                            &mut g,
+                            &mut applied,
+                            std::slice::from_ref(ev),
+                            post,
+                            pre,
+                            last_pre,
+                        );
+                    }
+                    assert_eq!(
+                        committed.to_bits(),
+                        g.to_bits(),
+                        "{preset:?}/{kind:?} ({post},{pre}): commit diverged from settle"
+                    );
+                    // Purity: re-running the fold reproduces the value bit
+                    // for bit (the CAS retry loop relies on this).
+                    assert_eq!(
+                        committed.to_bits(),
+                        sctx.commit_synapse_value(g0, &events, post, pre, &pre_spikes).to_bits()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn commit_counts_coincident_pre_as_zero_separation() {
+        let c = cfg(Preset::FullPrecision).with_rule(RuleKind::Deterministic);
+        let m = SynapseMatrix::new_random(&c, 2);
+        let rule = rule_for(&c);
+        let sctx = m.settle_ctx(&*rule, Philox4x32::new(0));
+        let ev = [PostEvent { step: 5, t_ms: 0.5 }];
+        let g0 = 0.5;
+        // A pre spike at exactly the event time is Δt = 0 → potentiation…
+        assert!(sctx.commit_synapse_value(g0, &ev, 0, 0, &[0.5]) > g0);
+        // …and an input that never spiked is Δt = ∞ → depression.
+        assert!(sctx.commit_synapse_value(g0, &ev, 0, 0, &[]) < g0);
     }
 }

@@ -131,6 +131,7 @@ impl Experiment {
                 eval_every: scale.eval_every,
                 eval_probe: (40, 80),
                 eval_parallelism: DeviceConfig::host_parallelism(),
+                parallelism: crate::TrainParallelism::Serial,
             },
         }
     }

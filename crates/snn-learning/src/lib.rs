@@ -29,8 +29,12 @@ mod eval;
 pub mod experiments;
 mod labeler;
 pub mod metrics;
+mod parallel;
 mod trainer;
 
 pub use eval::{evaluate_snapshot, label_snapshot, presentation_counts, EvalOptions, EvalOutcome};
 pub use labeler::{Classifier, Labeler, UNASSIGNED};
+pub use parallel::{
+    AdvanceStats, CommitOrder, ParallelTrainState, ParallelTrainer, TrainParallelism,
+};
 pub use trainer::{LearningCurvePoint, TrainOutcome, Trainer, TrainerConfig};

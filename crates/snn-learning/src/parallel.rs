@@ -1,0 +1,637 @@
+//! Parallel training: shared-atomics concurrent plasticity and
+//! replica-merge training (DESIGN.md §14).
+//!
+//! The serial [`Trainer`] interleaves forward dynamics and plasticity
+//! within every presentation, which serializes the training phase even
+//! though evaluation already fans out. [`ParallelTrainer`] runs the same
+//! protocol with presentation-level parallelism in one of two modes,
+//! selected by [`TrainParallelism`]:
+//!
+//! * **Shared atomics** — rounds of R presentations advance concurrently
+//!   against one frozen round-start snapshot
+//!   ([`WtaEngine::present_recording`]); the recorded update chains then
+//!   fold into the shared matrix at the round boundary, either through
+//!   the canonical [`CommitOrder::SeededMergeOrder`] kernel
+//!   (bit-identical at any worker count) or the
+//!   [`CommitOrder::Concurrent`] CAS kernel (arrival-order final bits,
+//!   invariants always preserved).
+//! * **Replica merge** — K replicas train serially on disjoint shards
+//!   (presentation `k` belongs to shard `k mod K`) and their weights are
+//!   averaged back onto the Q-format grid (round-to-nearest-even,
+//!   [`qformat::QFormat::snap_rne`]) every `merge_every` presentations.
+//!
+//! Both modes are *algorithmic relaxations* of serial training —
+//! plasticity lands at window boundaries instead of mid-presentation —
+//! so accuracy parity with the serial trainer is statistical, while
+//! reproducibility within a mode is exact: shared-atomics
+//! `SeededMergeOrder` runs are bit-identical at any worker count, and
+//! replica-merge runs are bit-identical for a fixed replica count.
+//!
+//! Training state lives in a serializable [`ParallelTrainState`] and
+//! advances only at commit boundaries, so a checkpoint taken between
+//! [`ParallelTrainer::advance`] calls restores bit-exactly: recorded but
+//! uncommitted presentation work never mutates the state and is simply
+//! replayed from the round start after a restore.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use gpu_device::{Device, DeviceConfig, Philox4x32, ProfileReport};
+use serde::{Deserialize, Serialize};
+use snn_core::sim::{
+    commit_concurrent, commit_ordered, pre_spike_times, training_trains, EvalSnapshot,
+    RecordedPresentation, WtaEngine,
+};
+use snn_core::synapse::SynapseMatrix;
+use snn_datasets::Dataset;
+use spike_encoding::RateEncoder;
+
+use crate::trainer::{LearningCurvePoint, TrainOutcome, Trainer};
+
+/// How the training phase parallelises across presentations. Defaults to
+/// [`TrainParallelism::Serial`], the classic one-presentation-at-a-time
+/// trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum TrainParallelism {
+    /// The serial trainer: plasticity applies within each presentation.
+    #[default]
+    Serial,
+    /// Round-based concurrent plasticity over one shared synapse matrix:
+    /// `workers` presentation workers record rounds of `round` images
+    /// against a frozen round-start snapshot, then the round commits.
+    SharedAtomics {
+        /// Presentation worker threads per round.
+        workers: usize,
+        /// Presentations per round (the commit granularity).
+        round: usize,
+        /// How the round's update chains fold into the shared matrix.
+        commit_order: CommitOrder,
+    },
+    /// K replicas train serially on disjoint shards of the presentation
+    /// stream and merge by on-grid weight averaging every `merge_every`
+    /// presentations.
+    ReplicaMerge {
+        /// Replica count K (shard `k mod K` trains on replica `k`).
+        replicas: usize,
+        /// Presentations between weight merges (the window width).
+        merge_every: usize,
+    },
+}
+
+/// How a shared-atomics round folds its recorded update chains into the
+/// shared synapse matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CommitOrder {
+    /// Atomic CAS folds in arrival order: fastest, final bits depend on
+    /// scheduling (weight invariants always hold).
+    Concurrent,
+    /// The canonical `(presentation, synapse, step)` merge order:
+    /// bit-identical results at any worker count.
+    #[default]
+    SeededMergeOrder,
+}
+
+/// The durable state of a parallel training run between commit
+/// boundaries. Serializable: a checkpoint taken between
+/// [`ParallelTrainer::advance`] calls and restored later continues
+/// bit-exactly, because state only ever changes at boundaries and every
+/// in-flight recording is reproducible from `(seed, images_done)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParallelTrainState {
+    /// The shared (or merged) synapse matrix as of the last boundary.
+    pub synapses: SynapseMatrix,
+    /// Adaptive-threshold offsets as of the last boundary.
+    pub thetas: Vec<f64>,
+    /// Presentations committed so far (always a commit-boundary index).
+    pub images_done: usize,
+}
+
+/// What one [`ParallelTrainer::advance`] call did, summed over the
+/// windows it committed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdvanceStats {
+    /// Per-synapse update chains folded (shared atomics) or cells merged
+    /// (replica merge).
+    pub applied: u64,
+    /// Stores skipped because the folded value bit-matched the loaded one.
+    pub elided: u64,
+    /// Compare-exchange retries paid under contention.
+    pub retries: u64,
+    /// Post events replayed (shared atomics) or presentations trained
+    /// (replica merge).
+    pub events: u64,
+}
+
+/// Presentation-parallel driver for [`Trainer`] configurations whose
+/// `parallelism` is not [`TrainParallelism::Serial`]. Usually entered
+/// through [`Trainer::run`], which dispatches here automatically; the
+/// explicit [`ParallelTrainer::initial_state`] / [`ParallelTrainer::advance`]
+/// API exists for checkpointed training.
+pub struct ParallelTrainer<'a, 'd> {
+    trainer: &'a Trainer<'d>,
+}
+
+impl<'a, 'd> ParallelTrainer<'a, 'd> {
+    /// Wraps a trainer whose configuration selects a parallel mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's `parallelism` is
+    /// [`TrainParallelism::Serial`], if a shared-atomics mode is combined
+    /// with receptive-field normalization (a cross-synapse reduction that
+    /// cannot be deferred per presentation), or if the learning rule
+    /// consumes pre-side events (the recording protocol only defers
+    /// post-triggered updates).
+    #[must_use]
+    pub fn new(trainer: &'a Trainer<'d>) -> Self {
+        let cfg = trainer.config();
+        assert!(
+            cfg.parallelism != TrainParallelism::Serial,
+            "ParallelTrainer requires a parallel TrainParallelism mode"
+        );
+        if let TrainParallelism::SharedAtomics { .. } = cfg.parallelism {
+            assert!(
+                cfg.network.weight_norm_target.is_none(),
+                "shared-atomics training does not support receptive-field \
+                 normalization: the cross-synapse reduction cannot be deferred \
+                 per presentation (use ReplicaMerge, which trains serially \
+                 within each shard)"
+            );
+            assert!(
+                !snn_core::stdp::build_rule(&cfg.network).uses_pre_events(),
+                "shared-atomics training requires a post-triggered rule"
+            );
+        }
+        ParallelTrainer { trainer }
+    }
+
+    /// The untrained boundary state: the seeded random synapse matrix and
+    /// initial thresholds a fresh engine would start from.
+    #[must_use]
+    pub fn initial_state(&self) -> ParallelTrainState {
+        let cfg = self.trainer.config();
+        let engine =
+            WtaEngine::new(cfg.network.clone(), self.trainer.device, cfg.seed);
+        ParallelTrainState {
+            synapses: engine.synapses().clone(),
+            thetas: engine.thetas(),
+            images_done: 0,
+        }
+    }
+
+    /// The commit-window width of the configured mode (`round` for shared
+    /// atomics, `merge_every` for replica merge), clamped to at least 1.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        match self.trainer.config().parallelism {
+            TrainParallelism::SharedAtomics { round, .. } => round.max(1),
+            TrainParallelism::ReplicaMerge { merge_every, .. } => merge_every.max(1),
+            TrainParallelism::Serial => 1,
+        }
+    }
+
+    /// Advances `images` further presentations of the training stream,
+    /// committing at every window boundary, and returns what the commits
+    /// did. `state` must sit on a commit boundary (as produced by
+    /// [`ParallelTrainer::initial_state`] or a previous `advance`), and
+    /// the target `state.images_done + images` must land on a boundary or
+    /// on `n_train_images` — the determinism contract fixes window
+    /// boundaries by global presentation index, never by call
+    /// granularity, so an interrupted-and-restored run commits at exactly
+    /// the same points an uninterrupted one does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or the target violates the boundary contract or
+    /// overruns `n_train_images`.
+    pub fn advance(
+        &self,
+        dataset: &Dataset,
+        state: &mut ParallelTrainState,
+        images: usize,
+    ) -> AdvanceStats {
+        let cfg = self.trainer.config();
+        let w = self.window();
+        let target = state.images_done + images;
+        assert!(
+            state.images_done % w == 0,
+            "state is mid-window: advance only resumes from commit boundaries"
+        );
+        assert!(
+            target % w == 0 || target == cfg.n_train_images,
+            "advance target must land on a commit boundary or on n_train_images"
+        );
+        assert!(target <= cfg.n_train_images, "advance overruns n_train_images");
+        match cfg.parallelism {
+            TrainParallelism::SharedAtomics { workers, round: _, commit_order } => {
+                self.advance_shared(dataset, state, target, workers.max(1), commit_order)
+            }
+            TrainParallelism::ReplicaMerge { replicas, merge_every: _ } => {
+                self.advance_replicas(dataset, state, target, replicas.max(1))
+            }
+            TrainParallelism::Serial => unreachable!("checked in new()"),
+        }
+    }
+
+    /// Shared-atomics rounds: record `window()`-sized rounds concurrently
+    /// against the frozen round-start snapshot, then commit each round.
+    fn advance_shared(
+        &self,
+        dataset: &Dataset,
+        state: &mut ParallelTrainState,
+        target: usize,
+        workers: usize,
+        commit_order: CommitOrder,
+    ) -> AdvanceStats {
+        let cfg = self.trainer.config();
+        let net = &cfg.network;
+        let steps_per = (cfg.t_learn_ms / net.dt_ms).round() as u64;
+        let encoder = RateEncoder::new(net.frequency);
+        let round_width = self.window();
+        let mut snapshot =
+            EvalSnapshot::new(state.synapses.clone(), state.thetas.clone());
+        let mut total = AdvanceStats::default();
+
+        while state.images_done < target {
+            let done = state.images_done;
+            let r = round_width.min(target - done);
+            let _round_span = snn_trace::span_cat("train/parallel_round", "train");
+
+            // Record phase: workers claim presentation slots through a
+            // shared cursor, encode + generate the trains on the worker
+            // (keyed by the presentation's global step origin) and run a
+            // recorded presentation on a frozen replica of the snapshot.
+            let results: Mutex<Vec<Option<RecordedPresentation>>> =
+                Mutex::new(vec![None; r]);
+            let profiles: Mutex<Vec<ProfileReport>> = Mutex::new(Vec::new());
+            let cursor = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| {
+                        let device =
+                            Device::new_budgeted(DeviceConfig::default(), workers);
+                        let mut engine =
+                            WtaEngine::replica(net.clone(), &device, cfg.seed, &snapshot)
+                                .expect("invalid network configuration");
+                        loop {
+                            let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                            if slot >= r {
+                                break;
+                            }
+                            let k = done + slot;
+                            let _image_span = snn_trace::span_cat("train/image", "train");
+                            let sample = &dataset.train[k % dataset.train.len()];
+                            let rates = encoder.rates(sample.image.pixels());
+                            let base_step = k as u64 * steps_per;
+                            let trains = training_trains(
+                                cfg.seed,
+                                &rates,
+                                net.dt_ms,
+                                cfg.t_learn_ms,
+                                base_step,
+                            );
+                            let pre_spikes = pre_spike_times(&trains);
+                            let (counts, events, theta_delta) =
+                                engine.present_recording(&trains, base_step);
+                            results.lock().expect("results poisoned")[slot] =
+                                Some(RecordedPresentation {
+                                    index: k,
+                                    counts,
+                                    events,
+                                    pre_spikes,
+                                    theta_delta,
+                                });
+                        }
+                        profiles.lock().expect("profiles poisoned").push(device.profile());
+                    });
+                }
+            });
+            let round: Vec<RecordedPresentation> = results
+                .into_inner()
+                .expect("results poisoned")
+                .into_iter()
+                .map(|p| p.expect("presentation missing"))
+                .collect();
+            self.trainer
+                .device
+                .absorb_profile(&ProfileReport::merged(
+                    &profiles.into_inner().expect("profiles poisoned"),
+                ));
+
+            // Commit phase: every replica dropped at scope exit, so the
+            // snapshot's stores are exclusively ours again.
+            let philox = Philox4x32::new(cfg.seed);
+            let stats = match commit_order {
+                CommitOrder::SeededMergeOrder => commit_ordered(
+                    self.trainer.device,
+                    &mut snapshot,
+                    net,
+                    philox,
+                    &round,
+                ),
+                CommitOrder::Concurrent => commit_concurrent(
+                    self.trainer.device,
+                    &mut snapshot,
+                    net,
+                    philox,
+                    &round,
+                ),
+            };
+            total.applied += stats.applied;
+            total.elided += stats.elided;
+            total.retries += stats.retries;
+            total.events += stats.events;
+            state.images_done += r;
+        }
+
+        state.synapses = snapshot.synapses().clone();
+        state.thetas = snapshot.thetas().to_vec();
+        total
+    }
+
+    /// Replica-merge windows: K replicas train serially on disjoint
+    /// shards of the window, then merge by on-grid weight averaging.
+    fn advance_replicas(
+        &self,
+        dataset: &Dataset,
+        state: &mut ParallelTrainState,
+        target: usize,
+        replicas: usize,
+    ) -> AdvanceStats {
+        let cfg = self.trainer.config();
+        let net = &cfg.network;
+        let steps_per = (cfg.t_learn_ms / net.dt_ms).round() as u64;
+        let encoder = RateEncoder::new(net.frequency);
+        let window = self.window();
+        let mut total = AdvanceStats::default();
+
+        while state.images_done < target {
+            let done = state.images_done;
+            let w = window.min(target - done);
+            let _round_span = snn_trace::span_cat("train/parallel_round", "train");
+
+            // Shard the window: presentation k trains on replica k mod K.
+            let shards: Vec<Vec<usize>> = (0..replicas)
+                .map(|r| (done..done + w).filter(|k| k % replicas == r).collect())
+                .collect();
+            let results: Mutex<Vec<Option<(SynapseMatrix, Vec<f64>)>>> =
+                Mutex::new(vec![None; replicas]);
+            let profiles: Mutex<Vec<ProfileReport>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for (r, shard) in shards.iter().enumerate() {
+                    let results = &results;
+                    let profiles = &profiles;
+                    let encoder = &encoder;
+                    let state = &*state;
+                    scope.spawn(move || {
+                        let device =
+                            Device::new_budgeted(DeviceConfig::default(), replicas);
+                        let mut engine =
+                            WtaEngine::new(net.clone(), &device, cfg.seed);
+                        engine.set_synapses(state.synapses.clone());
+                        engine.set_thetas(&state.thetas);
+                        // Each replica owns a disjoint step-counter range:
+                        // origin r·2³² plus the steps its shard already
+                        // consumed, recomputed at every window start so an
+                        // interrupted-and-restored run re-derives the exact
+                        // same clocks at the same boundaries.
+                        let prior = shard_count_before(done, r, replicas) as u64;
+                        engine.set_clock(
+                            (r as u64) << 32 | prior * steps_per,
+                            prior as f64 * cfg.t_learn_ms,
+                        );
+                        for &k in shard {
+                            let _image_span = snn_trace::span_cat("train/image", "train");
+                            let sample = &dataset.train[k % dataset.train.len()];
+                            let rates = encoder.rates(sample.image.pixels());
+                            engine.reset_transients();
+                            let _ = engine.present(&rates, cfg.t_learn_ms, true);
+                            if let Some(norm) = net.weight_norm_target {
+                                engine.normalize_receptive_fields(norm);
+                            }
+                        }
+                        results.lock().expect("results poisoned")[r] =
+                            Some((engine.synapses().clone(), engine.thetas()));
+                        profiles.lock().expect("profiles poisoned").push(device.profile());
+                    });
+                }
+            });
+            let trained: Vec<(SynapseMatrix, Vec<f64>)> = results
+                .into_inner()
+                .expect("results poisoned")
+                .into_iter()
+                .map(|p| p.expect("replica missing"))
+                .collect();
+            self.trainer
+                .device
+                .absorb_profile(&ProfileReport::merged(
+                    &profiles.into_inner().expect("profiles poisoned"),
+                ));
+
+            let _commit_span = snn_trace::span_cat("train/parallel_commit", "train");
+            let cells = merge_on_grid(&mut state.synapses, &mut state.thetas, &trained);
+            self.trainer.device.bump_counter("commit_events_applied", w as u64);
+            total.applied += cells;
+            total.events += w as u64;
+            state.images_done += w;
+        }
+        total
+    }
+
+    /// Runs the full protocol — parallel training, then the standard
+    /// frozen labeling + inference evaluation — mirroring
+    /// [`Trainer::run`]'s curve probes and progress stream. Curve probes
+    /// land on the first commit boundary at or past each `eval_every`
+    /// multiple (plasticity only exists at boundaries here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or its geometry does not match the
+    /// network's input count.
+    #[must_use]
+    pub fn run(&self, dataset: &Dataset) -> TrainOutcome {
+        let cfg = self.trainer.config();
+        assert!(!dataset.train.is_empty(), "training split is empty");
+        assert!(!dataset.test.is_empty(), "test split is empty");
+        let sample = &dataset.train[0].image;
+        assert_eq!(
+            sample.width() * sample.height(),
+            cfg.network.n_inputs,
+            "image geometry does not match the network's input count"
+        );
+        let workers = match cfg.parallelism {
+            TrainParallelism::SharedAtomics { workers, .. } => workers.max(1),
+            TrainParallelism::ReplicaMerge { replicas, .. } => replicas.max(1),
+            TrainParallelism::Serial => 1,
+        };
+        snn_trace::metrics().set_counter("train/parallel_workers", workers as u64);
+
+        let started = std::time::Instant::now();
+        let mut state = self.initial_state();
+        let mut curve = Vec::new();
+        let n = cfg.n_train_images;
+        let w = self.window();
+        let mut epoch_started = std::time::Instant::now();
+        while state.images_done < n {
+            let prev = state.images_done;
+            let next = ((prev / w + 1) * w).min(n);
+            let stats = self.advance(dataset, &mut state, next - prev);
+            let epoch_wall_ms = epoch_started.elapsed().as_secs_f64() * 1e3;
+            epoch_started = std::time::Instant::now();
+            let contention = if stats.applied > 0 {
+                stats.retries as f64 / stats.applied as f64
+            } else {
+                0.0
+            };
+            let hub = snn_trace::metrics();
+            hub.set_value("train/epoch_wall_ms", epoch_wall_ms);
+            hub.set_value("train/commit_contention", contention);
+
+            if let Some(every) = cfg.eval_every {
+                if state.images_done / every > prev / every {
+                    let _probe_span = snn_trace::span_cat("train/probe", "train");
+                    let snapshot =
+                        EvalSnapshot::new(state.synapses.clone(), state.thetas.clone());
+                    let (probe_label, probe_infer) = cfg.eval_probe;
+                    let (acc, _, _) = self.trainer.evaluate_state(
+                        &snapshot,
+                        dataset,
+                        probe_label,
+                        probe_infer,
+                    );
+                    curve.push(LearningCurvePoint {
+                        images_seen: state.images_done,
+                        simulated_ms: state.images_done as f64 * cfg.t_learn_ms,
+                        accuracy: acc,
+                    });
+                    self.trainer.publish_progress(
+                        state.images_done,
+                        acc,
+                        started,
+                        epoch_wall_ms,
+                        contention,
+                    );
+                }
+            }
+        }
+        let train_wall_s = started.elapsed().as_secs_f64();
+        let train_simulated_ms = n as f64 * cfg.t_learn_ms;
+
+        let snapshot = EvalSnapshot::new(state.synapses.clone(), state.thetas.clone());
+        let (accuracy, confusion, details) =
+            self.trainer
+                .evaluate_state(&snapshot, dataset, cfg.n_labeling, cfg.n_inference);
+        let hub = snn_trace::metrics();
+        hub.set_value("train/abstention_rate", details.1);
+        self.trainer.publish_progress(n, accuracy, started, 0.0, 0.0);
+
+        TrainOutcome {
+            synapses: state.synapses,
+            thetas: state.thetas,
+            labels: details.0,
+            confusion,
+            accuracy,
+            abstention_rate: details.1,
+            curve,
+            train_simulated_ms,
+            train_wall_s,
+        }
+    }
+}
+
+/// How many of the presentations `0..start` belong to shard `r` of `k`
+/// round-robin shards.
+fn shard_count_before(start: usize, r: usize, k: usize) -> usize {
+    if start > r {
+        (start - r - 1) / k + 1
+    } else {
+        0
+    }
+}
+
+/// Merges K trained replicas into `base` by per-cell arithmetic mean in
+/// ascending replica order, snapped back onto the weight grid:
+/// round-to-nearest-even for quantized presets
+/// ([`qformat::QFormat::snap_rne`] — exact-half ties break to the even
+/// raw code), plain bound clamping for full precision. Thetas merge by
+/// plain mean. Returns the number of weight cells written.
+fn merge_on_grid(
+    base: &mut SynapseMatrix,
+    thetas: &mut [f64],
+    trained: &[(SynapseMatrix, Vec<f64>)],
+) -> u64 {
+    let k = trained.len() as f64;
+    let quantizer = base.quantizer();
+    let (lo, hi) = base.bounds();
+    let flat = base.as_flat_mut();
+    for (idx, cell) in flat.iter_mut().enumerate() {
+        // Ascending replica order: a float sum, so fixing the order keeps
+        // the merge bit-reproducible for a fixed replica count.
+        let mut sum = 0.0;
+        for (m, _) in trained {
+            sum += m.as_flat()[idx];
+        }
+        let mean = sum / k;
+        *cell = match &quantizer {
+            Some(q) => q.format().snap_rne(mean),
+            None => mean.clamp(lo, hi),
+        };
+    }
+    for (j, theta) in thetas.iter_mut().enumerate() {
+        let mut sum = 0.0;
+        for (_, t) in trained {
+            sum += t[j];
+        }
+        *theta = sum / k;
+    }
+    flat.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_counts_partition_every_prefix() {
+        for k in 1..5usize {
+            for start in 0..20usize {
+                let total: usize = (0..k).map(|r| shard_count_before(start, r, k)).sum();
+                assert_eq!(total, start, "prefix {start} over {k} shards");
+                for r in 0..k {
+                    let expected = (0..start).filter(|i| i % k == r).count();
+                    assert_eq!(shard_count_before(start, r, k), expected);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallelism_config_serde_round_trips() {
+        for mode in [
+            TrainParallelism::Serial,
+            TrainParallelism::SharedAtomics {
+                workers: 4,
+                round: 8,
+                commit_order: CommitOrder::SeededMergeOrder,
+            },
+            TrainParallelism::SharedAtomics {
+                workers: 2,
+                round: 4,
+                commit_order: CommitOrder::Concurrent,
+            },
+            TrainParallelism::ReplicaMerge { replicas: 3, merge_every: 12 },
+        ] {
+            let json = serde_json::to_string(&mode).unwrap();
+            let back: TrainParallelism = serde_json::from_str(&json).unwrap();
+            assert_eq!(mode, back);
+        }
+        // Missing field defaults to Serial (config forward compatibility).
+        #[derive(Deserialize)]
+        struct Holder {
+            #[serde(default)]
+            parallelism: TrainParallelism,
+        }
+        let h: Holder = serde_json::from_str("{}").unwrap();
+        assert_eq!(h.parallelism, TrainParallelism::Serial);
+    }
+}

@@ -2,10 +2,11 @@
 
 use crate::eval::{evaluate_snapshot, EvalOptions};
 use crate::metrics::ConfusionMatrix;
+use crate::parallel::{ParallelTrainer, TrainParallelism};
 use gpu_device::{Device, DeviceConfig};
 use serde::{Deserialize, Serialize};
 use snn_core::config::NetworkConfig;
-use snn_core::sim::WtaEngine;
+use snn_core::sim::{EvalSnapshot, WtaEngine};
 use snn_core::synapse::SynapseMatrix;
 use snn_datasets::Dataset;
 use spike_encoding::RateEncoder;
@@ -43,6 +44,13 @@ pub struct TrainerConfig {
     /// value. Defaults to the host's available parallelism.
     #[serde(default = "default_eval_parallelism")]
     pub eval_parallelism: usize,
+    /// How the *training* phase parallelises across presentations
+    /// (DESIGN.md §14). [`TrainParallelism::Serial`] (the default) is the
+    /// classic per-presentation trainer; the parallel modes trade exact
+    /// serial equivalence for wall-clock scaling and are dispatched to
+    /// [`crate::ParallelTrainer`] automatically by [`Trainer::run`].
+    #[serde(default)]
+    pub parallelism: TrainParallelism,
 }
 
 fn default_eval_parallelism() -> usize {
@@ -64,6 +72,7 @@ impl TrainerConfig {
             eval_every: None,
             eval_probe: (60, 100),
             eval_parallelism: default_eval_parallelism(),
+            parallelism: TrainParallelism::Serial,
         }
     }
 }
@@ -129,8 +138,8 @@ pub struct TrainOutcome {
 /// assert!((0.0..=1.0).contains(&outcome.accuracy));
 /// ```
 pub struct Trainer<'d> {
-    config: TrainerConfig,
-    device: &'d Device,
+    pub(crate) config: TrainerConfig,
+    pub(crate) device: &'d Device,
     /// Optional JSONL progress stream: one [`snn_trace::MetricsHub`]
     /// snapshot line after every curve probe and at the end of the run.
     progress: Option<std::cell::RefCell<snn_trace::JsonlSink<Box<dyn std::io::Write>>>>,
@@ -155,11 +164,27 @@ impl<'d> Trainer<'d> {
 
     /// Publishes the run's current state into the unified metrics hub and,
     /// if a progress stream is attached, appends one snapshot line.
-    fn publish_progress(&self, images_seen: usize, accuracy: f64, started: std::time::Instant) {
+    ///
+    /// `epoch_wall_ms` is the wall-clock time of the training interval
+    /// since the previous publication (an "epoch" in the progress-stream
+    /// sense: probe-to-probe serially, commit-window-to-publication in the
+    /// parallel modes) and `commit_contention` the CAS-retry-per-applied
+    /// ratio of that interval — always zero for the serial trainer and
+    /// `SeededMergeOrder` commits, which never contend.
+    pub(crate) fn publish_progress(
+        &self,
+        images_seen: usize,
+        accuracy: f64,
+        started: std::time::Instant,
+        epoch_wall_ms: f64,
+        commit_contention: f64,
+    ) {
         let hub = snn_trace::metrics();
         hub.set_counter("train/images", images_seen as u64);
         hub.set_value("train/accuracy", accuracy);
         hub.set_value("train/simulated_ms", images_seen as f64 * self.config.t_learn_ms);
+        hub.set_value("train/epoch_wall_ms", epoch_wall_ms);
+        hub.set_value("train/commit_contention", commit_contention);
         let wall_s = started.elapsed().as_secs_f64();
         hub.set_value("train/wall_s", wall_s);
         if let Some(sink) = &self.progress {
@@ -181,6 +206,9 @@ impl<'d> Trainer<'d> {
     /// network's input count.
     #[must_use]
     pub fn run(&self, dataset: &Dataset) -> TrainOutcome {
+        if self.config.parallelism != TrainParallelism::Serial {
+            return ParallelTrainer::new(self).run(dataset);
+        }
         assert!(!dataset.train.is_empty(), "training split is empty");
         assert!(!dataset.test.is_empty(), "test split is empty");
         let sample = &dataset.train[0].image;
@@ -196,6 +224,7 @@ impl<'d> Trainer<'d> {
 
         // Phase 1: training.
         let started = std::time::Instant::now();
+        let mut epoch_started = std::time::Instant::now();
         for k in 0..self.config.n_train_images {
             let _image_span = snn_trace::span_cat("train/image", "train");
             let sample = &dataset.train[k % dataset.train.len()];
@@ -218,7 +247,9 @@ impl<'d> Trainer<'d> {
                         simulated_ms: (k + 1) as f64 * self.config.t_learn_ms,
                         accuracy: acc,
                     });
-                    self.publish_progress(k + 1, acc, started);
+                    let epoch_wall_ms = epoch_started.elapsed().as_secs_f64() * 1e3;
+                    epoch_started = std::time::Instant::now();
+                    self.publish_progress(k + 1, acc, started, epoch_wall_ms, 0.0);
                 }
             }
         }
@@ -231,7 +262,8 @@ impl<'d> Trainer<'d> {
 
         let hub = snn_trace::metrics();
         hub.set_value("train/abstention_rate", details.1);
-        self.publish_progress(self.config.n_train_images, accuracy, started);
+        let epoch_wall_ms = epoch_started.elapsed().as_secs_f64() * 1e3;
+        self.publish_progress(self.config.n_train_images, accuracy, started, epoch_wall_ms, 0.0);
 
         TrainOutcome {
             synapses: engine.synapses().clone(),
@@ -262,7 +294,19 @@ impl<'d> Trainer<'d> {
         n_labeling: usize,
         n_inference: usize,
     ) -> (f64, ConfusionMatrix, (Vec<u8>, f64)) {
-        let snapshot = engine.snapshot();
+        self.evaluate_state(&engine.snapshot(), dataset, n_labeling, n_inference)
+    }
+
+    /// The snapshot-level core of [`Trainer::evaluate`], shared with the
+    /// parallel trainer (whose boundary state is a snapshot, not an
+    /// engine).
+    pub(crate) fn evaluate_state(
+        &self,
+        snapshot: &EvalSnapshot,
+        dataset: &Dataset,
+        n_labeling: usize,
+        n_inference: usize,
+    ) -> (f64, ConfusionMatrix, (Vec<u8>, f64)) {
         let opts = EvalOptions {
             replicas: self.config.eval_parallelism.max(1),
             ..EvalOptions::default()
@@ -270,7 +314,7 @@ impl<'d> Trainer<'d> {
         let out = evaluate_snapshot(
             &self.config.network,
             self.config.seed,
-            &snapshot,
+            snapshot,
             self.config.t_learn_ms,
             dataset,
             n_labeling,
@@ -326,6 +370,7 @@ mod tests {
             eval_every: None,
             eval_probe: (10, 10),
             eval_parallelism: 2,
+            parallelism: TrainParallelism::Serial,
         }
     }
 

@@ -1,0 +1,253 @@
+//! Integration tests of the parallel-training protocol (DESIGN.md §14):
+//! worker-count bit-identity in `SeededMergeOrder` mode, invariant
+//! preservation under concurrent commits, statistical accuracy parity
+//! with the serial trainer, replica-merge determinism, checkpoint/resume
+//! bit-identity mid-training, and the progress-stream gauges.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use gpu_device::{Device, DeviceConfig};
+use snn_core::config::{NetworkConfig, Preset, RuleKind};
+use snn_core::sim::{pre_spike_times, training_trains, EvalSnapshot, WtaEngine};
+use snn_datasets::{Dataset, Image, LabeledImage};
+use snn_learning::{
+    CommitOrder, ParallelTrainer, TrainParallelism, Trainer, TrainerConfig,
+};
+use spike_encoding::RateEncoder;
+
+/// Two trivially separable 8×8 classes: left-half vs right-half bright.
+fn two_class_dataset(n_train: usize, n_test: usize) -> Dataset {
+    let make = |label: u8, k: usize| {
+        let mut pixels = vec![0u8; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                if (label == 0) == (x < 4) {
+                    pixels[y * 8 + x] = 200 + ((k * 7 + x + y) % 40) as u8;
+                }
+            }
+        }
+        LabeledImage { image: Image::from_pixels(8, 8, pixels), label }
+    };
+    let gen = |n: usize| (0..n).map(|k| make((k % 2) as u8, k)).collect();
+    Dataset { name: "two-class".into(), n_classes: 2, train: gen(n_train), test: gen(n_test) }
+}
+
+fn base_config(rule: RuleKind, preset: Preset) -> TrainerConfig {
+    let mut network = NetworkConfig::from_preset(preset, 64, 8).with_rule(rule);
+    network.v_spike = 0.8;
+    network = network.with_frequency(2.0, 60.0);
+    let mut cfg = TrainerConfig::new(network);
+    cfg.t_learn_ms = 120.0;
+    cfg.n_train_images = 16;
+    cfg.n_labeling = 16;
+    cfg.n_inference = 24;
+    cfg.seed = 7;
+    cfg.eval_probe = (8, 8);
+    cfg.eval_parallelism = 2;
+    cfg
+}
+
+fn shared_atomics(workers: usize, round: usize, commit_order: CommitOrder) -> TrainParallelism {
+    TrainParallelism::SharedAtomics { workers, round, commit_order }
+}
+
+#[test]
+fn seeded_merge_order_is_bit_identical_across_worker_counts() {
+    let device = Device::new(DeviceConfig::default().with_workers(2));
+    let dataset = two_class_dataset(16, 40);
+    let run = |workers: usize| {
+        let mut cfg = base_config(RuleKind::Stochastic, Preset::Bit8);
+        cfg.parallelism = shared_atomics(workers, 4, CommitOrder::SeededMergeOrder);
+        Trainer::new(cfg, &device).run(&dataset)
+    };
+    let one = run(1);
+    let two = run(2);
+    let four = run(4);
+    assert_eq!(one.synapses.as_flat(), two.synapses.as_flat(), "1 vs 2 workers");
+    assert_eq!(one.synapses.as_flat(), four.synapses.as_flat(), "1 vs 4 workers");
+    assert_eq!(one.thetas, two.thetas);
+    assert_eq!(one.thetas, four.thetas);
+    assert_eq!(one.labels, four.labels);
+    assert_eq!(one.accuracy, four.accuracy);
+    assert!(one.synapses.check_invariants());
+}
+
+#[test]
+fn concurrent_commit_mode_trains_and_preserves_invariants() {
+    let device = Device::new(DeviceConfig::default().with_workers(2));
+    let dataset = two_class_dataset(16, 40);
+    let mut cfg = base_config(RuleKind::Stochastic, Preset::Bit4);
+    cfg.parallelism = shared_atomics(4, 4, CommitOrder::Concurrent);
+    let outcome = Trainer::new(cfg, &device).run(&dataset);
+    assert!(outcome.synapses.check_invariants());
+    assert!((0.0..=1.0).contains(&outcome.accuracy));
+    // Training actually moved the weights off their random initialization.
+    let fresh = base_config(RuleKind::Stochastic, Preset::Bit4);
+    let init = WtaEngine::new(fresh.network.clone(), &device, fresh.seed);
+    assert_ne!(outcome.synapses.as_flat(), init.synapses().as_flat());
+}
+
+#[test]
+fn parallel_accuracy_is_on_par_with_serial() {
+    let device = Device::new(DeviceConfig::default().with_workers(2));
+    let dataset = two_class_dataset(32, 60);
+    let serial = {
+        let mut cfg = base_config(RuleKind::Stochastic, Preset::FullPrecision);
+        cfg.n_train_images = 32;
+        Trainer::new(cfg, &device).run(&dataset)
+    };
+    let parallel = {
+        let mut cfg = base_config(RuleKind::Stochastic, Preset::FullPrecision);
+        cfg.n_train_images = 32;
+        cfg.parallelism = shared_atomics(4, 4, CommitOrder::SeededMergeOrder);
+        Trainer::new(cfg, &device).run(&dataset)
+    };
+    // Round-deferred plasticity is an algorithmic relaxation, so parity is
+    // statistical: both runs must solve the trivially separable task.
+    assert!(serial.accuracy > 0.85, "serial baseline: {}", serial.accuracy);
+    assert!(parallel.accuracy > 0.85, "parallel trainer: {}", parallel.accuracy);
+    assert!(
+        (serial.accuracy - parallel.accuracy).abs() <= 0.15,
+        "accuracy drift beyond cross-validation tolerance: serial {} vs parallel {}",
+        serial.accuracy,
+        parallel.accuracy
+    );
+}
+
+#[test]
+fn replica_merge_is_deterministic_and_learns() {
+    let device = Device::new(DeviceConfig::default().with_workers(2));
+    let dataset = two_class_dataset(32, 60);
+    let run = || {
+        let mut cfg = base_config(RuleKind::Stochastic, Preset::Bit8);
+        cfg.n_train_images = 32;
+        cfg.parallelism = TrainParallelism::ReplicaMerge { replicas: 2, merge_every: 8 };
+        Trainer::new(cfg, &device).run(&dataset)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.synapses.as_flat(), b.synapses.as_flat(), "replica-merge must be reproducible");
+    assert_eq!(a.thetas, b.thetas);
+    assert!(a.synapses.check_invariants());
+    // Every merged weight sits on the Q-format grid.
+    let q = a.synapses.quantizer().expect("Bit8 preset is quantized");
+    for &g in a.synapses.as_flat() {
+        assert_eq!(g.to_bits(), q.format().snap_rne(g).to_bits(), "off-grid weight {g}");
+    }
+    assert!(a.accuracy > 0.7, "replica merge should learn the task, got {}", a.accuracy);
+}
+
+#[test]
+fn replica_merge_supports_weight_normalization() {
+    let device = Device::new(DeviceConfig::default().with_workers(2));
+    let dataset = two_class_dataset(16, 30);
+    let mut cfg = base_config(RuleKind::Stochastic, Preset::FullPrecision);
+    cfg.network.weight_norm_target = Some(40.0);
+    cfg.parallelism = TrainParallelism::ReplicaMerge { replicas: 2, merge_every: 8 };
+    let outcome = Trainer::new(cfg, &device).run(&dataset);
+    assert!(outcome.synapses.check_invariants());
+}
+
+#[test]
+#[should_panic(expected = "receptive-field")]
+fn shared_atomics_rejects_weight_normalization() {
+    let device = Device::new(DeviceConfig::serial());
+    let dataset = two_class_dataset(8, 8);
+    let mut cfg = base_config(RuleKind::Stochastic, Preset::FullPrecision);
+    cfg.network.weight_norm_target = Some(40.0);
+    cfg.parallelism = shared_atomics(2, 4, CommitOrder::SeededMergeOrder);
+    let _ = Trainer::new(cfg, &device).run(&dataset);
+}
+
+/// Satellite: checkpoint round-trip mid-parallel-training. Interrupt with
+/// an uncommitted recording ledger in flight, serialize the boundary
+/// state, restore it, finish training, and demand bit-identity with an
+/// uninterrupted seeded run.
+#[test]
+fn checkpoint_resume_mid_training_is_bit_identical() {
+    let device = Device::new(DeviceConfig::default().with_workers(2));
+    let dataset = two_class_dataset(16, 16);
+    let mut cfg = base_config(RuleKind::Stochastic, Preset::Bit8);
+    cfg.parallelism = shared_atomics(2, 4, CommitOrder::SeededMergeOrder);
+
+    // Uninterrupted reference run over all 16 presentations.
+    let trainer = Trainer::new(cfg.clone(), &device);
+    let parallel = ParallelTrainer::new(&trainer);
+    let mut reference = parallel.initial_state();
+    parallel.advance(&dataset, &mut reference, 16);
+
+    // Interrupted run: train 8, then start round 3 and abandon it with its
+    // ledger uncommitted — recording never mutates the boundary state, so
+    // the checkpoint is unaffected and the round replays after restore.
+    let mut state = parallel.initial_state();
+    parallel.advance(&dataset, &mut state, 8);
+    {
+        let snapshot = EvalSnapshot::new(state.synapses.clone(), state.thetas.clone());
+        let mut replica =
+            WtaEngine::replica(cfg.network.clone(), &device, cfg.seed, &snapshot)
+                .expect("valid configuration");
+        let encoder = RateEncoder::new(cfg.network.frequency);
+        let steps_per = (cfg.t_learn_ms / cfg.network.dt_ms).round() as u64;
+        for k in 8..10 {
+            let rates = encoder.rates(dataset.train[k].image.pixels());
+            let trains =
+                training_trains(cfg.seed, &rates, cfg.network.dt_ms, cfg.t_learn_ms, k as u64 * steps_per);
+            let _tables = pre_spike_times(&trains);
+            let (_, events, _) = replica.present_recording(&trains, k as u64 * steps_per);
+            assert!(events.iter().any(|e| !e.is_empty()), "presentation {k} recorded no events");
+            // Interrupted here: the recorded ledger is dropped, never committed.
+        }
+    }
+
+    // Serialize / restore the boundary state (the checkpoint round-trip).
+    let json = serde_json::to_string(&state).expect("state serializes");
+    let mut restored: snn_learning::ParallelTrainState =
+        serde_json::from_str(&json).expect("state deserializes");
+    assert_eq!(restored.images_done, 8);
+    parallel.advance(&dataset, &mut restored, 8);
+
+    assert_eq!(
+        reference.synapses.as_flat(),
+        restored.synapses.as_flat(),
+        "resumed run must be bit-identical to the uninterrupted run"
+    );
+    assert_eq!(reference.thetas, restored.thetas);
+    assert_eq!(reference.images_done, restored.images_done);
+}
+
+/// A `Write` handle into a shared buffer, for capturing the JSONL
+/// progress stream.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buffer poisoned").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Satellite: the progress stream carries the per-epoch wall-clock and
+/// commit-contention gauges.
+#[test]
+fn progress_stream_reports_epoch_and_contention_gauges() {
+    let device = Device::new(DeviceConfig::default().with_workers(2));
+    let dataset = two_class_dataset(16, 16);
+    let mut cfg = base_config(RuleKind::Stochastic, Preset::Bit8);
+    cfg.parallelism = shared_atomics(2, 4, CommitOrder::Concurrent);
+    cfg.eval_every = Some(8);
+    let buf = SharedBuf::default();
+    let outcome = Trainer::new(cfg, &device)
+        .with_progress_jsonl(Box::new(buf.clone()))
+        .run(&dataset);
+    assert!((0.0..=1.0).contains(&outcome.accuracy));
+    let text = String::from_utf8(buf.0.lock().expect("buffer poisoned").clone()).unwrap();
+    assert!(!text.is_empty(), "progress stream is empty");
+    assert!(text.contains("train/epoch_wall_ms"), "missing epoch wall gauge: {text}");
+    assert!(text.contains("train/commit_contention"), "missing contention gauge: {text}");
+    assert!(text.contains("train/parallel_workers"), "missing worker counter: {text}");
+}

@@ -19,6 +19,7 @@
 //! | `sync-shim` | the model-checked crates (gpu-device, snn-serve) use sync primitives only through their `src/sync.rs`, so `--cfg loom` swaps every primitive at once |
 //! | `trace-schema` | every span/kernel/metric name passed as a literal to the telemetry APIs appears in the DESIGN.md §11–§13 schema tables (unlike other rules, string literals are *kept* for this scan) |
 //! | `lane-width` | SWAR kernel files carry no literal shift amounts or hex bit masks — lane counts, lane widths, shifts and masks must derive from the `qformat` `QFormat`/`LaneLayout` constants, so a format change cannot silently desynchronize a kernel |
+//! | `atomic-ordering` | commit-kernel files carry no raw `Ordering::` literals — every atomic memory ordering must come from the named allow-list constants in `gpu-device/src/commit.rs`, so the concurrent-commit soundness argument lives in exactly one audited place |
 //!
 //! A violation can be waived in place with a trailing or preceding comment
 //! `lint-allow: <rule-name> — <reason>`; waivers are surfaced in `--report`.
@@ -147,6 +148,7 @@ const TRACE_NAME_CALLS: &[&str] = &[
     "launch_mut(",
     "launch_slice_mut(",
     "launch_slice_mut_weighted(",
+    "launch_weighted(",
     "launch_rows_mut(",
     "launch_fused(",
     "reduce(",
@@ -179,6 +181,20 @@ const TRACE_SCHEMA_EXEMPT: &[&str] = &[
 /// never appear as numeric literals — a hand-written `>> 8` or
 /// `0x00FF00FF` would silently desynchronize from a format change.
 const LANE_WIDTH_SCOPE: &[&str] = &["crates/snn-core/src/sim/batched.rs"];
+
+/// Commit-kernel files the `atomic-ordering` rule scopes to: the atomic
+/// conductance grid of the shared-atomics training commit (DESIGN.md §14).
+/// Raw `Ordering::` literals are forbidden here — every ordering must be
+/// one of [`ATOMIC_ORDERING_CONSTS`], so weakening or strengthening an
+/// ordering is a reviewed edit to one documented table, never a drive-by
+/// change buried in a kernel body.
+const ATOMIC_ORDERING_SCOPE: &[&str] = &["crates/gpu-device/src/commit.rs"];
+
+/// The named ordering constants of the commit kernel; the only lines in
+/// [`ATOMIC_ORDERING_SCOPE`] allowed to spell `Ordering::` are their
+/// definitions.
+const ATOMIC_ORDERING_CONSTS: &[&str] =
+    &["COMMIT_LOAD", "COMMIT_CAS_SUCCESS", "COMMIT_CAS_FAILURE", "COMMIT_STATS"];
 
 /// How many non-unsafe lines may separate two unsafe statements that share
 /// one `// SAFETY:` comment (a "cluster"), and how far above the cluster
@@ -451,6 +467,7 @@ const RULE_NAMES: &[&str] = &[
     "sync-shim",
     "trace-schema",
     "lane-width",
+    "atomic-ordering",
 ];
 
 fn collect_waivers(files: &[SourceFile]) -> Vec<(String, usize, String)> {
@@ -895,13 +912,51 @@ fn rule_lane_width(file: &SourceFile, out: &mut Vec<Violation>) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule: atomic-ordering
+// ---------------------------------------------------------------------------
+
+fn rule_atomic_ordering(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !ATOMIC_ORDERING_SCOPE.iter().any(|p| file.rel.starts_with(p)) {
+        return;
+    }
+    for (i, l) in file.lines.iter().enumerate() {
+        if l.in_test || waived(file, i, "atomic-ordering") {
+            continue;
+        }
+        let code = l.code.as_str();
+        if !code.contains("Ordering::") {
+            continue;
+        }
+        // The definitions of the named constants are the one place a
+        // literal ordering may appear (`pub const COMMIT_LOAD: Ordering =
+        // Ordering::Relaxed;`).
+        let defines_allowed = ATOMIC_ORDERING_CONSTS
+            .iter()
+            .any(|c| code.contains(&format!("const {c}:")));
+        if defines_allowed {
+            continue;
+        }
+        out.push(Violation {
+            file: file.rel.clone(),
+            line: i + 1,
+            rule: "atomic-ordering",
+            msg: "raw `Ordering::` literal in the commit-kernel scope: use one of \
+                  the named constants (COMMIT_LOAD / COMMIT_CAS_SUCCESS / \
+                  COMMIT_CAS_FAILURE / COMMIT_STATS) so the soundness argument \
+                  stays in one audited place"
+                .into(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Rule: trace-schema
 // ---------------------------------------------------------------------------
 
 /// Extracts the set of backticked names from the `## 11` telemetry,
-/// `## 12` serving and `## 13` batched-execution sections of DESIGN.md.
-/// Returns `None` when all sections are missing entirely (a violation in
-/// itself — the schema reference is load-bearing).
+/// `## 12` serving, `## 13` batched-execution and `## 14` parallel-training
+/// sections of DESIGN.md. Returns `None` when all sections are missing
+/// entirely (a violation in itself — the schema reference is load-bearing).
 fn design_schema_names(design: &str) -> Option<Vec<String>> {
     let mut in_section = false;
     let mut found = false;
@@ -910,7 +965,8 @@ fn design_schema_names(design: &str) -> Option<Vec<String>> {
         if line.starts_with("## ") {
             in_section = line.starts_with("## 11")
                 || line.starts_with("## 12")
-                || line.starts_with("## 13");
+                || line.starts_with("## 13")
+                || line.starts_with("## 14");
             found |= in_section;
             continue;
         }
@@ -1113,6 +1169,7 @@ fn run_rules(files: &[SourceFile], schema: Option<&[String]>) -> Vec<Violation> 
         rule_hash_iteration(f, &mut out);
         rule_sync_shim(f, &mut out);
         rule_lane_width(f, &mut out);
+        rule_atomic_ordering(f, &mut out);
         if let Some(schema) = schema {
             rule_trace_schema(f, schema, &mut out);
         }
@@ -1221,6 +1278,7 @@ mod tests {
             rule_hash_iteration(f, &mut out);
             rule_sync_shim(f, &mut out);
             rule_lane_width(f, &mut out);
+            rule_atomic_ordering(f, &mut out);
         }
         out
     }
@@ -1535,6 +1593,54 @@ mod tests {
              fn f(w: u64) -> u64 { w << 8 }\n",
         );
         assert!(v.iter().all(|v| v.rule != "lane-width"), "{v:?}");
+    }
+
+    // -- atomic-ordering --------------------------------------------------
+
+    #[test]
+    fn atomic_ordering_flags_raw_literals_in_commit_scope() {
+        let v = rules_on(
+            "crates/gpu-device/src/commit.rs",
+            "fn fold(cell: &AtomicU64) -> u64 {\n    cell.load(Ordering::Acquire)\n}\n",
+        );
+        assert!(v.iter().any(|v| v.rule == "atomic-ordering"), "{v:?}");
+        let v = rules_on(
+            "crates/gpu-device/src/commit.rs",
+            "fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n",
+        );
+        assert!(v.iter().any(|v| v.rule == "atomic-ordering"), "{v:?}");
+    }
+
+    #[test]
+    fn atomic_ordering_accepts_named_constants_and_their_definitions() {
+        let src = "pub const COMMIT_LOAD: Ordering = Ordering::Relaxed;\n\
+                   pub const COMMIT_CAS_SUCCESS: Ordering = Ordering::Relaxed;\n\
+                   pub const COMMIT_CAS_FAILURE: Ordering = Ordering::Relaxed;\n\
+                   pub const COMMIT_STATS: Ordering = Ordering::Relaxed;\n\
+                   fn fold(cell: &AtomicU64) -> u64 {\n    cell.load(COMMIT_LOAD)\n}\n";
+        let v = rules_on("crates/gpu-device/src/commit.rs", src);
+        assert!(v.iter().all(|v| v.rule != "atomic-ordering"), "{v:?}");
+    }
+
+    #[test]
+    fn atomic_ordering_skips_tests_waivers_and_out_of_scope_files() {
+        let v = rules_on(
+            "crates/gpu-device/src/commit.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(c: &AtomicU64) { c.load(Ordering::SeqCst); }\n}\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "atomic-ordering"), "{v:?}");
+        let v = rules_on(
+            "crates/gpu-device/src/commit.rs",
+            "// lint-allow: atomic-ordering — fixture demonstrating the forbidden shape\n\
+             fn f(c: &AtomicU64) { c.load(Ordering::SeqCst); }\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "atomic-ordering"), "{v:?}");
+        // The pool's SeqCst counters are another file's business.
+        let v = rules_on(
+            "crates/gpu-device/src/pool.rs",
+            "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::SeqCst); }\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "atomic-ordering"), "{v:?}");
     }
 
     // -- report -----------------------------------------------------------

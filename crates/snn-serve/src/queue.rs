@@ -15,8 +15,10 @@
 //!   empty and returns `None` only once the queue is closed *and* drained
 //!   (or poisoned) — so a graceful shutdown serves everything it admitted.
 //! * **Accounting is exact.** `accepted + shed == submitted` at all times,
-//!   and the observed depth never exceeds the configured capacity
-//!   ([`QueueStats::max_depth`]).
+//!   sheds are attributed to their cause
+//!   (`shed_full + shed_closed == shed`, so a shutdown drain never pollutes
+//!   the queue-full overload signal), and the observed depth never exceeds
+//!   the configured capacity ([`QueueStats::max_depth`]).
 //! * **Poisoning never hangs a peer.** [`JobQueue::poison`] (a worker died
 //!   outside its per-job panic guard) wakes every blocked stealer; the
 //!   leftovers are reclaimed with [`JobQueue::drain_remaining`] so their
@@ -55,8 +57,15 @@ pub struct QueueStats {
     pub submitted: u64,
     /// Jobs admitted into the queue.
     pub accepted: u64,
-    /// Jobs refused by admission control (full or closed).
+    /// Jobs refused by admission control (full or closed);
+    /// always `shed_full + shed_closed`.
     pub shed: u64,
+    /// Jobs refused because the queue was at capacity — the overload
+    /// signal an operator sizes capacity against.
+    pub shed_full: u64,
+    /// Jobs refused because the queue was closed or poisoned (shutdown in
+    /// progress) — expected during a drain, not an overload symptom.
+    pub shed_closed: u64,
     /// Jobs claimed by workers.
     pub stolen: u64,
     /// High-water queue depth ever observed.
@@ -115,10 +124,12 @@ impl<T> JobQueue<T> {
         g.stats.submitted += 1;
         if g.closed || g.poisoned {
             g.stats.shed += 1;
+            g.stats.shed_closed += 1;
             return Err(Rejected::Closed(job));
         }
         if g.jobs.len() >= g.capacity {
             g.stats.shed += 1;
+            g.stats.shed_full += 1;
             return Err(Rejected::Full(job));
         }
         g.jobs.push_back(job);
@@ -283,6 +294,7 @@ mod tests {
         }
         let s = q.stats();
         assert_eq!((s.submitted, s.accepted, s.shed), (3, 2, 1));
+        assert_eq!((s.shed_full, s.shed_closed), (1, 0), "a capacity shed is not a shutdown shed");
         assert_eq!(s.max_depth, 2);
     }
 
@@ -296,6 +308,8 @@ mod tests {
             Err(Rejected::Closed(job)) => assert_eq!(job, 12),
             other => panic!("expected Closed rejection, got {other:?}"),
         }
+        let s = q.stats();
+        assert_eq!((s.shed, s.shed_full, s.shed_closed), (1, 0, 1), "a shutdown shed is not overload");
         assert_eq!(q.steal(), Some(10));
         assert_eq!(q.steal(), Some(11));
         assert_eq!(q.steal(), None);

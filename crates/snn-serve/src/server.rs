@@ -189,8 +189,16 @@ pub struct ServeReport {
     pub submitted: u64,
     /// Requests admitted.
     pub accepted: u64,
-    /// Requests shed by admission control.
+    /// Requests shed by admission control
+    /// (always `shed_full + shed_closed`).
     pub shed: u64,
+    /// Requests shed because the queue was at capacity
+    /// ([`Overloaded::QueueFull`]) — the true overload signal.
+    pub shed_full: u64,
+    /// Requests shed because shutdown had begun
+    /// ([`Overloaded::ShuttingDown`]) — expected during a drain, never an
+    /// overload symptom.
+    pub shed_closed: u64,
     /// Requests served to completion.
     pub completed: u64,
     /// Requests whose processing panicked (payload re-raised on the ticket).
@@ -413,6 +421,8 @@ impl SnnServer {
             submitted: stats.submitted,
             accepted: stats.accepted,
             shed: stats.shed,
+            shed_full: stats.shed_full,
+            shed_closed: stats.shed_closed,
             completed,
             panicked,
             latency_p50_ms: latencies.quantile_ms(0.5),
@@ -455,6 +465,8 @@ fn publish_report(report: &ServeReport) {
     hub.set_counter("serve/submitted", report.submitted);
     hub.set_counter("serve/accepted", report.accepted);
     hub.set_counter("serve/shed", report.shed);
+    hub.set_counter("serve/shed_full", report.shed_full);
+    hub.set_counter("serve/shed_closed", report.shed_closed);
     hub.set_counter("serve/completed", report.completed);
     hub.set_value("serve/latency_p50_ms", report.latency_p50_ms);
     hub.set_value("serve/latency_p99_ms", report.latency_p99_ms);

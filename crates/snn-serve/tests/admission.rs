@@ -96,6 +96,11 @@ proptest! {
             let s = q.stats();
             prop_assert_eq!(s.submitted, expected);
             prop_assert_eq!(s.accepted + s.shed, s.submitted);
+            prop_assert_eq!(s.shed_full + s.shed_closed, s.shed);
+            // The closer waits for every producer, so no submission can
+            // race the close: every shed here is a genuine capacity shed.
+            prop_assert_eq!(s.shed_closed, 0, "no producer ran past the close");
+            prop_assert_eq!(s.shed_full, s.shed);
             prop_assert!(s.max_depth <= capacity,
                 "depth {} exceeded capacity {}", s.max_depth, capacity);
             prop_assert_eq!(s.stolen, s.accepted);
@@ -152,6 +157,10 @@ proptest! {
         prop_assert_eq!(report.accepted, accepted);
         prop_assert_eq!(report.shed, shed);
         prop_assert_eq!(report.accepted + report.shed, report.submitted);
+        // All sheds happened before shutdown began, so every one is a
+        // capacity shed — none may leak into the shutdown bucket.
+        prop_assert_eq!(report.shed_full, shed);
+        prop_assert_eq!(report.shed_closed, 0);
         prop_assert_eq!(report.completed, accepted);
         prop_assert_eq!(report.panicked, 0);
         prop_assert!(report.max_queue_depth <= capacity);
@@ -160,6 +169,95 @@ proptest! {
             prop_assert_eq!(c.confidence.len(), 2);
             prop_assert!(c.replica < workers);
             prop_assert!(c.latency_ms >= 0.0);
+        }
+    }
+}
+
+/// One step of the single-threaded shed-attribution model.
+#[derive(Debug, Clone, Copy)]
+enum AdmissionOp {
+    Push,
+    Steal,
+    Pause,
+    Resume,
+    Close,
+}
+
+fn admission_op() -> impl Strategy<Value = AdmissionOp> {
+    prop_oneof![
+        6 => Just(AdmissionOp::Push),
+        3 => Just(AdmissionOp::Steal),
+        1 => Just(AdmissionOp::Pause),
+        1 => Just(AdmissionOp::Resume),
+        1 => Just(AdmissionOp::Close),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Shed attribution against a reference model: under random
+    /// push/steal/pause/resume/close sequences, every shed lands in
+    /// exactly one bucket and the bucket matches its cause — a push into a
+    /// closed queue is a `shed_closed` (shutdown, [`Rejected::Closed`] /
+    /// `Overloaded::ShuttingDown`), a push into a full open queue is a
+    /// `shed_full` (overload, [`Rejected::Full`]). In particular a
+    /// pause-then-close drain sheds only into `shed_closed`: shutdown
+    /// never pollutes the queue-full overload signal.
+    #[test]
+    fn shed_buckets_match_their_cause(
+        capacity in 1usize..5,
+        ops in proptest::collection::vec(admission_op(), 1..80),
+    ) {
+        use snn_serve::queue::Rejected;
+        let q = JobQueue::new(capacity);
+        let (mut depth, mut paused, mut closed) = (0usize, false, false);
+        let (mut full, mut shut, mut accepted) = (0u64, 0u64, 0u64);
+        for (k, op) in ops.into_iter().enumerate() {
+            match op {
+                AdmissionOp::Push => match q.try_push(k) {
+                    Ok(_) => {
+                        prop_assert!(!closed && depth < capacity, "accept at depth {depth}");
+                        depth += 1;
+                        accepted += 1;
+                    }
+                    Err(Rejected::Closed(_)) => {
+                        prop_assert!(closed, "Closed rejection from an open queue");
+                        shut += 1;
+                    }
+                    Err(Rejected::Full(_)) => {
+                        prop_assert!(!closed && depth == capacity, "Full rejection below capacity");
+                        full += 1;
+                    }
+                },
+                // Steal only when it cannot block: paused queues hold jobs
+                // back, open empty queues park the stealer.
+                AdmissionOp::Steal if !paused && (depth > 0 || closed) => {
+                    let got = q.steal();
+                    prop_assert_eq!(got.is_some(), depth > 0);
+                    depth = depth.saturating_sub(1);
+                }
+                AdmissionOp::Steal => {}
+                AdmissionOp::Pause => {
+                    q.pause();
+                    paused = !closed; // a closed queue cannot pause
+                }
+                AdmissionOp::Resume => {
+                    q.resume();
+                    paused = false;
+                }
+                AdmissionOp::Close => {
+                    q.close();
+                    closed = true;
+                    paused = false;
+                }
+            }
+            let s = q.stats();
+            prop_assert_eq!(s.shed_full + s.shed_closed, s.shed, "a shed fell in no bucket");
+            prop_assert_eq!(s.shed_full, full);
+            prop_assert_eq!(s.shed_closed, shut);
+            prop_assert_eq!(s.accepted, accepted);
+            prop_assert_eq!(s.accepted + s.shed, s.submitted);
         }
     }
 }
@@ -281,6 +379,8 @@ proptest! {
         prop_assert_eq!(report.submitted, burst as u64);
         prop_assert_eq!(report.accepted, accepted);
         prop_assert_eq!(report.shed, shed);
+        prop_assert_eq!(report.shed_full + report.shed_closed, report.shed);
+        prop_assert_eq!(report.shed_closed, 0, "no shutdown sheds before shutdown");
         prop_assert_eq!(report.completed, accepted);
         prop_assert_eq!(report.panicked, 0);
         for c in &classifications {

@@ -42,6 +42,7 @@ fn main() {
         eval_every: None,
         eval_probe: (40, 60),
         eval_parallelism: DeviceConfig::host_parallelism(),
+        parallelism: TrainParallelism::Serial,
     };
     let outcome = Trainer::new(trainer_config, &device).run(&dataset);
 

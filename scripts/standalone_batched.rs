@@ -23,7 +23,12 @@ use snn_core::config::{CurrentDelivery, NetworkConfig, Preset};
 use snn_core::sim::{BatchedEngine, EvalSnapshot, SpikeTrains, WtaEngine};
 use snn_datasets::synthetic_mnist;
 use spike_encoding::{EvalTrainGenerator, RateEncoder};
-use std::time::Instant;
+
+/// The workspace's own measurement scaffold (`bench::harness`), mounted by
+/// path so this generator and the bench bin share one implementation.
+#[allow(dead_code)]
+#[path = "../crates/bench/src/measure.rs"]
+mod measure;
 
 const SEED: u64 = 2019;
 const T_PRESENT_MS: f64 = 50.0;
@@ -122,18 +127,8 @@ fn assert_identity() {
     }
 }
 
-fn timed(mut run: impl FnMut()) -> (f64, usize) {
-    run();
-    let mut reps = 0usize;
-    let start = Instant::now();
-    loop {
-        run();
-        reps += 1;
-        let elapsed = start.elapsed().as_secs_f64();
-        if reps >= 2 && elapsed >= 0.4 {
-            return (elapsed, reps);
-        }
-    }
+fn timed(run: impl FnMut()) -> (f64, usize) {
+    measure::timed_floor(2, 0.4, run)
 }
 
 #[allow(clippy::too_many_arguments)]

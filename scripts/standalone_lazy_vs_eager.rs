@@ -23,6 +23,14 @@
 
 use std::time::{Duration, Instant};
 
+/// The workspace's own paired-measurement scaffold (`bench::harness`),
+/// mounted by path so this dependency-free replica and the bench bins
+/// share one implementation (the module itself is pure `std`). Each
+/// generator uses the scaffold entry point its measurement shape needs.
+#[allow(dead_code)]
+#[path = "../crates/bench/src/measure.rs"]
+mod measure;
+
 // ---------------------------------------------------------------- Philox
 
 const PHILOX_M0: u32 = 0xD251_1F53;
@@ -653,27 +661,29 @@ fn main() {
     );
     let mut records: Vec<String> = Vec::new();
     for rule in [Rule::Deterministic, Rule::Stochastic] {
-        // Warm-up run, then take the minimum plasticity-path times over REPS
-        // runs per path: the workload is a few ms, so single runs are
-        // scheduler-noise dominated. Serial and critical-path minima are
-        // tracked independently; g and the counters are bit-deterministic
-        // across runs, so any rep's RunOut carries them.
+        // Paired measurement: warm each path up, then sample the two
+        // strictly interleaved, keeping per-field minima over REPS rounds —
+        // the workload is a few ms, so single runs are scheduler-noise
+        // dominated and interleaving keeps the ratio honest under drift.
+        // g and the counters are bit-deterministic across runs, so any
+        // rep's RunOut carries them.
         const REPS: usize = 25;
-        let _ = run_eager(rule, &winner_by_step);
-        let _ = run_lazy(rule, &winner_by_step);
-        let mut eager = run_eager(rule, &winner_by_step);
-        let mut lazy = run_lazy(rule, &winner_by_step);
-        for _ in 1..REPS {
-            let e = run_eager(rule, &winner_by_step);
-            eager.plasticity = eager.plasticity.min(e.plasticity);
-            eager.plasticity_par = eager.plasticity_par.min(e.plasticity_par);
-            eager.wall = eager.wall.min(e.wall);
-            let l = run_lazy(rule, &winner_by_step);
-            lazy.plasticity = lazy.plasticity.min(l.plasticity);
-            lazy.plasticity_par = lazy.plasticity_par.min(l.plasticity_par);
-            lazy.bookkeeping = lazy.bookkeeping.min(l.bookkeeping);
-            lazy.wall = lazy.wall.min(l.wall);
-        }
+        let (eager, lazy) = measure::interleaved_best(
+            REPS,
+            || run_eager(rule, &winner_by_step),
+            || run_lazy(rule, &winner_by_step),
+            |best, e| {
+                best.plasticity = best.plasticity.min(e.plasticity);
+                best.plasticity_par = best.plasticity_par.min(e.plasticity_par);
+                best.wall = best.wall.min(e.wall);
+            },
+            |best, l| {
+                best.plasticity = best.plasticity.min(l.plasticity);
+                best.plasticity_par = best.plasticity_par.min(l.plasticity_par);
+                best.bookkeeping = best.bookkeeping.min(l.bookkeeping);
+                best.wall = best.wall.min(l.wall);
+            },
+        );
 
         let identical = eager.g == lazy.g;
         let changed = {

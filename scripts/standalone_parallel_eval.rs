@@ -32,6 +32,12 @@ use snn_learning::{evaluate_snapshot, EvalOptions, EvalOutcome};
 use spike_encoding::RateEncoder;
 use std::time::Instant;
 
+/// The workspace's own measurement scaffold (`bench::harness`), mounted by
+/// path so this generator and the bench bin share one implementation.
+#[allow(dead_code)]
+#[path = "../crates/bench/src/measure.rs"]
+mod measure;
+
 const N_LABEL: usize = 20;
 const N_INFER: usize = 20;
 const T_PRESENT_MS: f64 = 150.0;
@@ -148,9 +154,8 @@ fn main() {
     );
 
     // --- timing: legacy baseline, then the sweep ------------------------
-    let legacy_ms = (0..reps)
-        .map(|_| legacy_serial_eval(&network, &snapshot, &dataset))
-        .fold(f64::INFINITY, f64::min);
+    let legacy_ms =
+        measure::best_of(reps, || legacy_serial_eval(&network, &snapshot, &dataset));
     println!("legacy (in-binary, per-step encode, one engine): {legacy_ms:.1} ms");
     if let Some(s) = seed_ms {
         println!("seed revision (pre-PR end-to-end):               {s:.1} ms");
@@ -169,9 +174,9 @@ fn main() {
     let mut at4 = (0.0_f64, 0.0_f64); // (wall, speedup vs legacy) at r4 pipelined
     for &replicas in &replica_sweep {
         for pipelined in [false, true] {
-            let wall_ms = (0..reps)
-                .map(|_| parallel_eval(&network, &snapshot, &dataset, replicas, pipelined).0)
-                .fold(f64::INFINITY, f64::min);
+            let wall_ms = measure::best_of(reps, || {
+                parallel_eval(&network, &snapshot, &dataset, replicas, pipelined).0
+            });
             let speedup = legacy_ms / wall_ms.max(1e-9);
             if replicas == 4 && pipelined {
                 at4 = (wall_ms, speedup);

@@ -71,7 +71,10 @@ pub mod prelude {
         DatasetStats, Image,
     };
     pub use snn_learning::experiments::{Experiment, RunRecord, Scale, SeedStats};
-    pub use snn_learning::{Classifier, Labeler, Trainer, TrainerConfig};
+    pub use snn_learning::{
+        Classifier, CommitOrder, Labeler, ParallelTrainState, ParallelTrainer, TrainParallelism,
+        Trainer, TrainerConfig,
+    };
     pub use snn_serve::{Classification, Overloaded, ServeConfig, SnnServer};
     pub use spike_encoding::{
         EncodingSchedule, FrequencyController, LatencyEncoder, RateEncoder,

@@ -24,6 +24,7 @@ fn weight_normalized_training_keeps_row_budgets() {
             eval_every: None,
             eval_probe: (5, 5),
             eval_parallelism: 2,
+            parallelism: TrainParallelism::Serial,
         },
         &device,
     )
@@ -100,6 +101,7 @@ fn izhikevich_pipeline_runs_end_to_end() {
             eval_every: None,
             eval_probe: (5, 5),
             eval_parallelism: 2,
+            parallelism: TrainParallelism::Serial,
         },
         &device,
     )

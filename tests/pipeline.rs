@@ -76,6 +76,7 @@ fn checkpoint_roundtrip_preserves_behaviour() {
             eval_every: None,
             eval_probe: (5, 5),
             eval_parallelism: 2,
+            parallelism: TrainParallelism::Serial,
         },
         &device,
     );

@@ -276,6 +276,11 @@ fn full_queue_sheds_with_typed_overloaded() {
     assert_eq!(report.submitted, capacity as u64 + 1);
     assert_eq!(report.accepted, capacity as u64);
     assert_eq!(report.shed, 1);
+    assert_eq!(
+        (report.shed_full, report.shed_closed),
+        (1, 0),
+        "a capacity shed must land in the overload bucket, not the shutdown one"
+    );
     assert_eq!(report.max_queue_depth, capacity);
 }
 
@@ -379,6 +384,8 @@ fn serve_trace_spans_and_metrics_are_schema_documented() {
         "serve/submitted",
         "serve/accepted",
         "serve/shed",
+        "serve/shed_full",
+        "serve/shed_closed",
         "serve/completed",
         "serve/queue_depth",
         "serve/latency_ms",

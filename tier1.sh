@@ -24,13 +24,22 @@
 # lane of a lock-step BatchedEngine dispatch — including the SWAR packed
 # delivery fold for the narrow fixed-point presets — bit-identical to the
 # serial present_frozen at any batch size, worker count or delivery mode.
+# The parallel-training layer (crates/snn-learning/tests/parallel_train.rs)
+# proves SeededMergeOrder shared-atomics training bit-identical at any
+# worker count, replica-merge training reproducible and on-grid,
+# mid-training checkpoints bit-exact, and accuracy parity with the serial
+# trainer within cross-validation tolerance; it runs as an explicit step
+# because its commit kernels (gpu-device AtomicGrid, DESIGN.md §14) are a
+# determinism-critical surface.
 #
 # The snn-lint pass enforces the repo's concurrency/determinism invariants
 # as machine-checked rules (SAFETY comments, unsafe-surface allow-list,
 # Philox-only randomness in step paths, transposed-view coherence,
-# no hash-order iteration in hot paths, sync-shim discipline, and the
+# no hash-order iteration in hot paths, sync-shim discipline, the
 # trace-schema rule: every span/gauge name used in source must appear in
-# DESIGN.md §11/§12) — see crates/snn-lint and DESIGN.md §10.
+# DESIGN.md §11–§14, and the atomic-ordering rule: commit-kernel memory
+# orderings come only from the named constants of DESIGN.md §14.2) — see
+# crates/snn-lint and DESIGN.md §10.
 #
 # The rustdoc pass holds the API docs warning-free (broken intra-doc
 # links, bad code fences) on top of the per-crate #![deny(missing_docs)].
@@ -40,5 +49,6 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q
 cargo test -q -p snn-serve
+cargo test -q --release -p snn-learning --test parallel_train
 cargo run --release -p snn-lint
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

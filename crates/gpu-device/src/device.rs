@@ -730,6 +730,9 @@ impl Device {
             .fold(identity, combine)
     }
 
+    // lint-allow: determinism-taint — the launch-duration clock read feeds
+    // only profiler stats and trace spans; the kernel closure `f` runs the
+    // same either way and never observes the measurement.
     fn timed<F: FnOnce()>(
         &self,
         name: &'static str,

@@ -1,0 +1,229 @@
+//! `atomic-protocol`: structurally verify that each `COMMIT_*` ordering
+//! constant is used only in its documented operation kind (DESIGN.md
+//! §14.2). The older `atomic-ordering` rule only forbids *raw*
+//! `Ordering::` literals in the commit kernel; this analysis goes
+//! further and checks the named constants are not mis-wired — e.g.
+//! `fetch_add(1, COMMIT_LOAD)` or a `COMMIT_CAS_FAILURE` in the success
+//! slot of a `compare_exchange` both fail, even though neither spells a
+//! raw ordering.
+//!
+//! Implementation: a token walk with a call-frame stack. Every `(`
+//! pushes a frame recording the callee identifier immediately before it
+//! (if any) and counts top-level commas, so when a `COMMIT_*` token is
+//! reached the enclosing `(callee, argument index)` is known exactly —
+//! across line breaks, through nested calls, and never inside strings
+//! or comments (those aren't significant tokens).
+
+use crate::lex::{SourceFile, TokKind};
+use crate::Violation;
+
+/// One protocol row: constant name, allowed `(operation, argument
+/// index)` positions, and a human rendering for messages.
+pub type ProtocolRow = (&'static str, &'static [(&'static str, usize)], &'static str);
+
+/// The documented protocol (DESIGN.md §14.2), one row per constant.
+pub const COMMIT_PROTOCOL: &[ProtocolRow] = &[
+    (
+        "COMMIT_LOAD",
+        &[("load", 0)],
+        "the ordering of `load` (optimistic/in-loop re-read)",
+    ),
+    (
+        "COMMIT_CAS_SUCCESS",
+        &[("compare_exchange", 2), ("compare_exchange_weak", 2)],
+        "the success ordering (arg 3) of `compare_exchange[_weak]`",
+    ),
+    (
+        "COMMIT_CAS_FAILURE",
+        &[("compare_exchange", 3), ("compare_exchange_weak", 3)],
+        "the failure ordering (arg 4) of `compare_exchange[_weak]`",
+    ),
+    (
+        "COMMIT_STATS",
+        &[("fetch_add", 1), ("load", 0)],
+        "the ordering of stats-counter `fetch_add`/`load`",
+    ),
+];
+
+struct Frame {
+    /// Callee ident right before the `(`; `None` for grouping parens,
+    /// tuples, `[`/`{` regions.
+    callee: Option<String>,
+    arg: usize,
+    open: char,
+}
+
+/// Runs the protocol check over every workspace file.
+pub fn run(files: &[SourceFile], out: &mut Vec<Violation>) {
+    for f in files {
+        check_file(f, out);
+    }
+}
+
+fn check_file(f: &SourceFile, out: &mut Vec<Violation>) {
+    let sig = f.sig();
+    let text = |k: usize| -> &str { sig.get(k).map(|&i| f.toks[i].text.as_str()).unwrap_or("") };
+    let kind = |k: usize| sig.get(k).map(|&i| f.toks[i].kind);
+    let line = |k: usize| sig.get(k).map(|&i| f.toks[i].line).unwrap_or(0);
+
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut in_use = false;
+    for k in 0..sig.len() {
+        let t = text(k);
+        match t {
+            "use" => in_use = true,
+            ";" => in_use = false,
+            "(" | "[" | "{" => {
+                let callee = if t == "(" && kind(k.wrapping_sub(1)) == Some(TokKind::Ident) {
+                    Some(text(k - 1).to_string())
+                } else {
+                    None
+                };
+                stack.push(Frame {
+                    callee,
+                    arg: 0,
+                    open: t.chars().next().unwrap(),
+                });
+            }
+            ")" | "]" | "}" => {
+                stack.pop();
+            }
+            "," => {
+                if let Some(fr) = stack.last_mut() {
+                    fr.arg += 1;
+                }
+            }
+            _ => {}
+        }
+        let Some((_, allowed, doc)) = COMMIT_PROTOCOL.iter().find(|(name, _, _)| *name == t) else {
+            continue;
+        };
+        let li = line(k);
+        if f.lines.get(li).map(|l| l.in_test).unwrap_or(false) {
+            continue;
+        }
+        // Allowed non-argument contexts: the constant's own definition
+        // (`const COMMIT_LOAD: Ordering = …`) and `use` re-exports.
+        if text(k.wrapping_sub(1)) == "const" || in_use {
+            continue;
+        }
+        if crate::waived(f, li, "atomic-protocol") {
+            continue;
+        }
+        // Find the innermost *call* frame; `(`-frames without a callee
+        // (grouping) are transparent, `[`/`{` frames are opaque — an
+        // ordering constant in an array or struct literal is mis-use.
+        let mut ctx: Option<(&str, usize)> = None;
+        for fr in stack.iter().rev() {
+            match (fr.open, &fr.callee) {
+                ('(', Some(c)) => {
+                    ctx = Some((c.as_str(), fr.arg));
+                    break;
+                }
+                ('(', None) => continue,
+                _ => break,
+            }
+        }
+        match ctx {
+            Some((callee, arg)) if allowed.iter().any(|(op, ai)| *op == callee && *ai == arg) => {}
+            Some((callee, arg)) => out.push(Violation {
+                file: f.rel.clone(),
+                line: li + 1,
+                rule: "atomic-protocol",
+                msg: format!(
+                    "`{t}` used as argument {} of `{callee}`: DESIGN.md §14.2 documents it \
+                     only as {doc} — mis-wiring an ordering constant silently changes the \
+                     commit kernel's memory-ordering contract",
+                    arg + 1,
+                ),
+            }),
+            None => out.push(Violation {
+                file: f.rel.clone(),
+                line: li + 1,
+                rule: "atomic-protocol",
+                msg: format!(
+                    "`{t}` referenced outside a call position: DESIGN.md §14.2 documents it \
+                     only as {doc}",
+                ),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::SourceFile;
+
+    fn check(src: &str) -> Vec<Violation> {
+        let f = SourceFile::parse("crates/gpu-device/src/commit.rs", src);
+        let mut out = Vec::new();
+        check_file(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn documented_uses_are_clean_including_multiline() {
+        let src = "pub const COMMIT_LOAD: Ordering = Ordering::Relaxed;\n\
+                   pub const COMMIT_CAS_SUCCESS: Ordering = Ordering::Relaxed;\n\
+                   pub const COMMIT_CAS_FAILURE: Ordering = Ordering::Relaxed;\n\
+                   pub const COMMIT_STATS: Ordering = Ordering::Relaxed;\n\
+                   fn f(slot: &AtomicU64) {\n    let old = slot.load(COMMIT_LOAD);\n    \
+                   let _ = slot.compare_exchange_weak(\n        old,\n        1,\n        \
+                   COMMIT_CAS_SUCCESS,\n        COMMIT_CAS_FAILURE,\n    );\n    \
+                   stats.applied.fetch_add(1, COMMIT_STATS);\n    \
+                   let n = stats.applied.load(COMMIT_STATS);\n}\n";
+        let v = check(src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    /// The mis-kinded negative fixture from ISSUE 9: the constant is
+    /// *named* (so the old raw-`Ordering::` rule sees nothing wrong) but
+    /// wired into the wrong operation kind.
+    #[test]
+    fn miskinded_constant_is_flagged() {
+        let v = check("fn f(s: &AtomicU64) { s.fetch_add(1, COMMIT_LOAD); }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "atomic-protocol");
+        assert!(v[0].msg.contains("fetch_add"), "{}", v[0].msg);
+        // Old rule's logic: no raw `Ordering::` literal on the line → it
+        // would have passed this exact mis-use.
+        assert!(!"s.fetch_add(1, COMMIT_LOAD);".contains("Ordering::"));
+    }
+
+    #[test]
+    fn swapped_cas_slots_are_flagged() {
+        let v = check(
+            "fn f(s: &AtomicU64) { let _ = s.compare_exchange(0, 1, COMMIT_CAS_FAILURE, \
+             COMMIT_CAS_SUCCESS); }\n",
+        );
+        assert_eq!(v.len(), 2, "both swapped slots flag: {v:?}");
+    }
+
+    #[test]
+    fn store_with_load_ordering_is_flagged() {
+        let v = check("fn f(s: &AtomicU64) { s.store(1, COMMIT_LOAD); }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("store"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn non_call_reference_is_flagged_but_def_use_test_are_not() {
+        let v = check("fn f() { let x = [COMMIT_LOAD]; }\n");
+        assert_eq!(v.len(), 1, "array literal is a non-call context: {v:?}");
+        let v = check("pub const COMMIT_LOAD: Ordering = Ordering::Relaxed;\n");
+        assert!(v.is_empty(), "{v:?}");
+        let v = check("use crate::commit::COMMIT_LOAD;\n");
+        assert!(v.is_empty(), "{v:?}");
+        let v = check(
+            "#[cfg(test)]\nmod tests {\n    fn t(s: &AtomicU64) { s.store(1, COMMIT_LOAD); }\n}\n",
+        );
+        assert!(v.is_empty(), "test code exempt: {v:?}");
+    }
+
+    #[test]
+    fn grouping_parens_are_transparent() {
+        let v = check("fn f(s: &AtomicU64) { let _ = s.load((COMMIT_LOAD)); }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

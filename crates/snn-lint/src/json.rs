@@ -1,0 +1,260 @@
+//! Minimal dependency-free JSON: a value parser (for the unsafe-ratchet
+//! baseline and the SARIF shape test) and a string escaper (for every
+//! emitter). Not a general-purpose library — just enough of RFC 8259 for
+//! the documents this tool reads and writes.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Objects keep sorted key order (`BTreeMap`) so
+/// re-serialization is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// String (escapes decoded).
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+    /// Element lookup on an array.
+    pub fn idx(&self, i: usize) -> Option<&Value> {
+        match self {
+            Value::Arr(v) => v.get(i),
+            _ => None,
+        }
+    }
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    /// The numeric payload as `i64`, if this is a number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => Some(*n as i64),
+            _ => None,
+        }
+    }
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+    /// The object payload, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document. Returns `Err` with a byte offset on malformed
+/// input.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let b: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let v = parse_value(&b, &mut i)?;
+    skip_ws(&b, &mut i);
+    if i != b.len() {
+        return Err(format!("trailing characters at {i}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[char], i: &mut usize) {
+    while *i < b.len() && b[*i].is_whitespace() {
+        *i += 1;
+    }
+}
+
+fn parse_value(b: &[char], i: &mut usize) -> Result<Value, String> {
+    skip_ws(b, i);
+    match b.get(*i) {
+        Some('{') => {
+            *i += 1;
+            let mut m = BTreeMap::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&'}') {
+                *i += 1;
+                return Ok(Value::Obj(m));
+            }
+            loop {
+                skip_ws(b, i);
+                let k = match parse_value(b, i)? {
+                    Value::Str(s) => s,
+                    _ => return Err(format!("object key must be a string at {i}")),
+                };
+                skip_ws(b, i);
+                if b.get(*i) != Some(&':') {
+                    return Err(format!("expected ':' at {i}"));
+                }
+                *i += 1;
+                let v = parse_value(b, i)?;
+                m.insert(k, v);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(',') => *i += 1,
+                    Some('}') => {
+                        *i += 1;
+                        return Ok(Value::Obj(m));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at {i}")),
+                }
+            }
+        }
+        Some('[') => {
+            *i += 1;
+            let mut v = Vec::new();
+            skip_ws(b, i);
+            if b.get(*i) == Some(&']') {
+                *i += 1;
+                return Ok(Value::Arr(v));
+            }
+            loop {
+                v.push(parse_value(b, i)?);
+                skip_ws(b, i);
+                match b.get(*i) {
+                    Some(',') => *i += 1,
+                    Some(']') => {
+                        *i += 1;
+                        return Ok(Value::Arr(v));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at {i}")),
+                }
+            }
+        }
+        Some('"') => {
+            *i += 1;
+            let mut s = String::new();
+            while *i < b.len() {
+                match b[*i] {
+                    '"' => {
+                        *i += 1;
+                        return Ok(Value::Str(s));
+                    }
+                    '\\' => {
+                        *i += 1;
+                        match b.get(*i) {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('r') => s.push('\r'),
+                            Some('b') => s.push('\u{8}'),
+                            Some('f') => s.push('\u{c}'),
+                            Some('u') => {
+                                let hex: String = b[*i + 1..(*i + 5).min(b.len())].iter().collect();
+                                let cp = u32::from_str_radix(&hex, 16)
+                                    .map_err(|e| format!("bad \\u escape at {i}: {e}"))?;
+                                s.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                                *i += 4;
+                            }
+                            Some(&c) => s.push(c),
+                            None => return Err("unterminated escape".into()),
+                        }
+                        *i += 1;
+                    }
+                    c => {
+                        s.push(c);
+                        *i += 1;
+                    }
+                }
+            }
+            Err("unterminated string".into())
+        }
+        Some(c) if *c == '-' || c.is_ascii_digit() => {
+            let start = *i;
+            *i += 1;
+            while *i < b.len()
+                && (b[*i].is_ascii_digit() || matches!(b[*i], '.' | 'e' | 'E' | '+' | '-'))
+            {
+                *i += 1;
+            }
+            let s: String = b[start..*i].iter().collect();
+            s.parse::<f64>()
+                .map(Value::Num)
+                .map_err(|e| format!("bad number at {start}: {e}"))
+        }
+        Some('t') if b[*i..].starts_with(&['t', 'r', 'u', 'e']) => {
+            *i += 4;
+            Ok(Value::Bool(true))
+        }
+        Some('f') if b[*i..].starts_with(&['f', 'a', 'l', 's', 'e']) => {
+            *i += 5;
+            Ok(Value::Bool(false))
+        }
+        Some('n') if b[*i..].starts_with(&['n', 'u', 'l', 'l']) => {
+            *i += 4;
+            Ok(Value::Null)
+        }
+        _ => Err(format!("unexpected character at {i}")),
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal (quotes not added).
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = parse(r#"{"a": [1, 2.5, "x\n", true, null], "b": {"c": -3}}"#).unwrap();
+        assert_eq!(v.get("a").and_then(|a| a.idx(1)), Some(&Value::Num(2.5)));
+        assert_eq!(
+            v.get("a").and_then(|a| a.idx(2)).and_then(|s| s.as_str()),
+            Some("x\n")
+        );
+        assert_eq!(
+            v.get("b").and_then(|b| b.get("c")).and_then(|n| n.as_i64()),
+            Some(-3)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn escape_roundtrips_through_parse() {
+        let s = "a\"b\\c\nd\te";
+        let doc = format!("\"{}\"", esc(s));
+        assert_eq!(parse(&doc).unwrap().as_str(), Some(s));
+    }
+}

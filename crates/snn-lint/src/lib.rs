@@ -1,0 +1,347 @@
+//! `snn-lint` — the workspace dataflow analyzer of the ParallelSpikeSim
+//! reproduction (DESIGN.md §10 prong 3, §15).
+//!
+//! `rustc` and clippy check language-level properties; this crate checks
+//! the *project*-level invariants that keep the unsafe concurrency core
+//! and the determinism contract honest. It is deliberately
+//! dependency-free so it runs in any environment that has `rustc`.
+//!
+//! The analysis core is a lossless Rust tokenizer ([`lex`]) and an item
+//! extractor + conservative call graph ([`model`]). On top of it run
+//! three whole-workspace analyses and eight token-level rules:
+//!
+//! | rule | property | engine |
+//! |------|----------|--------|
+//! | `determinism-taint` | no RNG/wall-clock sink is transitively callable from a kernel/step entry point (`*Engine::step*`/`advance*`/`present*`, `commit_*`, `present_*`) — alias-resolved, zero hand-listed paths | call graph ([`taint`]) |
+//! | `atomic-protocol` | each `COMMIT_*` ordering constant is used only in its documented operation kind per DESIGN.md §14.2 | token frames ([`atomics`]) |
+//! | `unsafe-ratchet` | the classified unsafe surface (transmute / raw-deref / `unsafe impl Send/Sync` / FFI / …) never grows past `results/ANALYSIS_unsafe_audit.json` without a baseline update | classifier ([`unsafe_audit`]) |
+//! | `safety-comment` | every `unsafe` block / `unsafe impl` carries a `// SAFETY:` comment | line views ([`rules`]) |
+//! | `unsafe-surface` | `unsafe` appears only in the audited allow-list of files; leaf crates carry `#![forbid(unsafe_code)]`, unsafe crates `#![deny(unsafe_op_in_unsafe_fn)]` | line views |
+//! | `transposed-coherence` | every function that mutates row-major conductances also refreshes the transposed mirror | line views |
+//! | `hash-iteration` | hot-path modules never *iterate* a `HashMap`/`HashSet` | line views |
+//! | `sync-shim` | model-checked crates reach sync primitives only through `src/sync.rs` | line views |
+//! | `trace-schema` | every literal telemetry name is documented in DESIGN.md §11–§14 | line views |
+//! | `lane-width` | SWAR kernels carry no literal shifts/hex masks | line views |
+//! | `atomic-ordering` | no raw `Ordering::` literals in the commit kernel | line views |
+//!
+//! A violation can be waived in place with a comment
+//! `lint-allow: <rule-name> — <reason>` on the line or the line above
+//! (function-head placement for `determinism-taint`); waivers are
+//! surfaced in `--report` and as SARIF `note` results — string literals
+//! that merely *contain* the tag are never honored, because waiver
+//! lookup reads the comment projection of the token stream.
+//!
+//! Output modes: human text (default), `--report` (JSON inventory),
+//! `--sarif <path|->` (SARIF 2.1.0), `--write-baseline` (regenerate the
+//! unsafe ratchet baseline).
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub mod atomics;
+pub mod json;
+pub mod lex;
+pub mod model;
+pub mod rules;
+pub mod sarif;
+pub mod taint;
+pub mod unsafe_audit;
+
+use lex::SourceFile;
+
+/// One finding: file, 1-based line, rule id and message.
+#[derive(Debug)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+/// One surfaced `lint-allow:` waiver.
+#[derive(Debug)]
+pub struct Waiver {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number of the waiver comment.
+    pub line: usize,
+    /// The rule the waiver names.
+    pub rule: String,
+    /// The full waiver text (rule + reason).
+    pub text: String,
+}
+
+/// Every rule id with a one-line description (drives SARIF
+/// `reportingDescriptor`s and waiver validation).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "determinism-taint",
+        "No RNG or wall-clock sink is transitively callable from a kernel/step entry point \
+         (call-graph reachability after use-alias resolution)",
+    ),
+    (
+        "atomic-protocol",
+        "Each COMMIT_* ordering constant is used only in its documented operation kind \
+         (DESIGN.md 14.2)",
+    ),
+    (
+        "unsafe-ratchet",
+        "The classified unsafe surface never grows past the committed baseline \
+         results/ANALYSIS_unsafe_audit.json",
+    ),
+    (
+        "safety-comment",
+        "Every unsafe block / unsafe impl carries a SAFETY comment",
+    ),
+    (
+        "unsafe-surface",
+        "unsafe appears only in the audited allow-list; leaf crates forbid unsafe_code",
+    ),
+    (
+        "transposed-coherence",
+        "Functions mutating row-major conductances also refresh the transposed mirror",
+    ),
+    (
+        "hash-iteration",
+        "Hot-path modules never iterate a HashMap/HashSet",
+    ),
+    (
+        "sync-shim",
+        "Model-checked crates reach sync primitives only through src/sync.rs",
+    ),
+    (
+        "trace-schema",
+        "Every literal telemetry name is documented in DESIGN.md 11-14",
+    ),
+    (
+        "lane-width",
+        "SWAR kernels carry no literal shift amounts or hex masks",
+    ),
+    (
+        "atomic-ordering",
+        "No raw Ordering:: literals in the commit kernel",
+    ),
+];
+
+/// A `lint-allow: <rule>` waiver comment on this line or the line above.
+pub fn waived(file: &SourceFile, idx: usize, rule: &str) -> bool {
+    let tag = format!("lint-allow: {rule}");
+    file.lines[idx].comment.contains(&tag)
+        || (idx > 0 && file.lines[idx - 1].comment.contains(&tag))
+}
+
+/// Collects every waiver comment naming a real rule. A `lint-allow:`
+/// whose first token is not a rule id is prose *about* the mechanism
+/// (docs, examples), not a waiver, and is excluded.
+pub fn collect_waivers(files: &[SourceFile]) -> Vec<Waiver> {
+    let mut out = Vec::new();
+    for f in files {
+        for (i, l) in f.lines.iter().enumerate() {
+            if let Some(pos) = l.comment.find("lint-allow:") {
+                let rest = l.comment[pos + "lint-allow:".len()..].trim();
+                let named_rule = rest.split_whitespace().next().unwrap_or("");
+                if RULES.iter().any(|(r, _)| *r == named_rule) {
+                    out.push(Waiver {
+                        file: f.rel.clone(),
+                        line: i + 1,
+                        rule: named_rule.to_string(),
+                        text: rest.to_string(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The loaded workspace: parsed sources plus the DESIGN.md text and the
+/// committed unsafe baseline (when present).
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// Parsed `.rs` files, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// DESIGN.md contents (empty when absent).
+    pub design: String,
+    /// Raw text of `results/ANALYSIS_unsafe_audit.json`, when present.
+    pub baseline: Option<String>,
+}
+
+/// Workspace-relative path of the unsafe ratchet baseline.
+pub const BASELINE_PATH: &str = "results/ANALYSIS_unsafe_audit.json";
+
+fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.join("crates"), root.join("src"), root.join("tests")];
+    while let Some(dir) = stack.pop() {
+        let Ok(rd) = fs::read_dir(&dir) else { continue };
+        for entry in rd.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name != "target" {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Loads and parses every workspace `.rs` file plus DESIGN.md and the
+/// unsafe baseline.
+pub fn load_workspace(root: &Path) -> Result<Workspace, String> {
+    if !root.join("Cargo.toml").exists() {
+        return Err(format!(
+            "{} is not a workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+    let mut files = Vec::new();
+    for path in collect_rs_files(root) {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text =
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+        files.push(SourceFile::parse(&rel, &text));
+    }
+    let design = fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
+    let baseline = fs::read_to_string(root.join(BASELINE_PATH)).ok();
+    Ok(Workspace {
+        root: root.to_path_buf(),
+        files,
+        design,
+        baseline,
+    })
+}
+
+/// Runs every rule and analysis over a loaded workspace; returns sorted
+/// violations and the surfaced waivers.
+pub fn run_all(ws: &Workspace) -> (Vec<Violation>, Vec<Waiver>) {
+    let mut out = Vec::new();
+    let schema = rules::design_schema_names(&ws.design);
+    rules::run(&ws.files, schema.as_deref(), &mut out);
+    let m = model::Model::build(&ws.files);
+    taint::run(&ws.files, &m, &mut out);
+    atomics::run(&ws.files, &mut out);
+    let inv = unsafe_audit::inventory(&ws.files);
+    match &ws.baseline {
+        Some(text) => match unsafe_audit::parse_baseline(text) {
+            Ok(base) => unsafe_audit::ratchet(&inv, &base, &mut out),
+            Err(e) => out.push(Violation {
+                file: BASELINE_PATH.into(),
+                line: 1,
+                rule: "unsafe-ratchet",
+                msg: e,
+            }),
+        },
+        None => out.push(Violation {
+            file: BASELINE_PATH.into(),
+            line: 1,
+            rule: "unsafe-ratchet",
+            msg: "baseline missing — generate it with `snn-lint --write-baseline`".into(),
+        }),
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    (out, collect_waivers(&ws.files))
+}
+
+/// `--report`: the classified unsafe inventory plus all waivers, as JSON.
+pub fn report(files: &[SourceFile]) -> String {
+    let inv = unsafe_audit::inventory(files);
+    let waivers = collect_waivers(files);
+    let mut s = String::from("{\n  \"generated_by\": \"snn-lint --report\",\n  \"files\": {\n");
+    for (n, (file, counts)) in inv.iter().enumerate() {
+        let _ = write!(s, "    \"{}\": {{", json::esc(file));
+        for (m, (k, c)) in counts.iter().enumerate() {
+            let _ = write!(
+                s,
+                "\"{k}\": {c}{}",
+                if m + 1 < counts.len() { ", " } else { "" }
+            );
+        }
+        let _ = writeln!(s, "}}{}", if n + 1 < inv.len() { "," } else { "" });
+    }
+    s.push_str("  },\n  \"waivers\": [\n");
+    for (n, w) in waivers.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "    {{\"path\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"waiver\": \"{}\"}}{}",
+            json::esc(&w.file),
+            w.line,
+            json::esc(&w.rule),
+            json::esc(&w.text),
+            if n + 1 < waivers.len() { "," } else { "" },
+        );
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_collection_names_real_rules_only() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "// lint-allow: determinism-taint — profiler only\nfn a() {}\n\
+             // lint-allow: not-a-rule whatever\nfn b() {}\n",
+        );
+        let w = collect_waivers(&[f]);
+        assert_eq!(w.len(), 1, "{w:?}");
+        assert_eq!(w[0].rule, "determinism-taint");
+        assert_eq!(w[0].line, 1);
+    }
+
+    #[test]
+    fn report_is_valid_json_with_waivers() {
+        let f = SourceFile::parse(
+            "crates/gpu-device/src/x.rs",
+            "// SAFETY: ok. lint-allow: unsafe-surface — fixture\nunsafe impl Send for X {}\n",
+        );
+        let doc = report(&[f]);
+        let v = json::parse(&doc).unwrap_or_else(|e| panic!("report JSON: {e}\n{doc}"));
+        assert!(v.get("files").is_some());
+        assert_eq!(
+            v.get("waivers").and_then(|w| w.as_arr()).map(|a| a.len()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn rules_table_covers_all_rule_names() {
+        for name in [
+            "determinism-taint",
+            "atomic-protocol",
+            "unsafe-ratchet",
+            "safety-comment",
+            "unsafe-surface",
+            "transposed-coherence",
+            "hash-iteration",
+            "sync-shim",
+            "trace-schema",
+            "lane-width",
+            "atomic-ordering",
+        ] {
+            assert!(RULES.iter().any(|(r, _)| *r == name), "missing {name}");
+        }
+        assert_eq!(RULES.len(), 11);
+    }
+}

@@ -1,1204 +1,23 @@
-//! `snn-lint` — the repo-specific invariant lint of the ParallelSpikeSim
-//! reproduction (DESIGN.md §10).
-//!
-//! `rustc` and clippy check language-level properties; this binary checks
-//! the *project*-level invariants that keep the unsafe concurrency core and
-//! the determinism contract honest. It is a plain-text scanner (comments
-//! and string literals are masked before matching), deliberately
-//! dependency-free so it runs in any environment that has `rustc`.
-//!
-//! Rules (each with a negative fixture test below):
-//!
-//! | rule | property |
-//! |------|----------|
-//! | `safety-comment` | every `unsafe` block / `unsafe impl` carries a `// SAFETY:` comment (a comment covers a contiguous cluster of unsafe statements) |
-//! | `unsafe-surface` | `unsafe` appears only in the audited allow-list of files; leaf crates carry `#![forbid(unsafe_code)]`, unsafe crates carry `#![deny(unsafe_op_in_unsafe_fn)]` |
-//! | `philox-only` | kernel/step-path modules draw no randomness or wall-clock time outside the counter-based Philox streams |
-//! | `transposed-coherence` | every function that mutates row-major conductances also refreshes (or rebuilds) the transposed mirror |
-//! | `hash-iteration` | hot-path modules never *iterate* a `HashMap`/`HashSet` (iteration order is unordered ⇒ nondeterministic); keyed lookups are fine |
-//! | `sync-shim` | the model-checked crates (gpu-device, snn-serve) use sync primitives only through their `src/sync.rs`, so `--cfg loom` swaps every primitive at once |
-//! | `trace-schema` | every span/kernel/metric name passed as a literal to the telemetry APIs appears in the DESIGN.md §11–§13 schema tables (unlike other rules, string literals are *kept* for this scan) |
-//! | `lane-width` | SWAR kernel files carry no literal shift amounts or hex bit masks — lane counts, lane widths, shifts and masks must derive from the `qformat` `QFormat`/`LaneLayout` constants, so a format change cannot silently desynchronize a kernel |
-//! | `atomic-ordering` | commit-kernel files carry no raw `Ordering::` literals — every atomic memory ordering must come from the named allow-list constants in `gpu-device/src/commit.rs`, so the concurrent-commit soundness argument lives in exactly one audited place |
-//!
-//! A violation can be waived in place with a trailing or preceding comment
-//! `lint-allow: <rule-name> — <reason>`; waivers are surfaced in `--report`.
-//!
-//! Usage:
+//! `snn-lint` CLI — thin driver over the [`snn_lint`] library.
 //!
 //! ```text
-//! snn-lint [--root <workspace-dir>]   # lint; exit 1 on any violation
-//! snn-lint --report                   # JSON unsafe-surface inventory on stdout
+//! snn-lint [--root <dir>]            # lint; exit 1 on any violation
+//! snn-lint --report                  # JSON unsafe inventory + waivers
+//! snn-lint --sarif <path|->          # also write SARIF 2.1.0 output
+//! snn-lint --write-baseline          # regenerate the unsafe ratchet baseline
 //! ```
 
 #![forbid(unsafe_code)]
 
-use std::fmt::Write as _;
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
-
-// ---------------------------------------------------------------------------
-// Policy tables (paths are workspace-relative, forward slashes)
-// ---------------------------------------------------------------------------
-
-/// Files allowed to contain the token `unsafe` at all. Everything else in
-/// the workspace must be (and is declared) safe code.
-const UNSAFE_ALLOWED: &[&str] = &[
-    "crates/gpu-device/src/",
-    "crates/snn-loom/src/",
-    "crates/snn-core/src/sim/engine.rs",
-    "crates/snn-core/src/sim/batched.rs",
-    "crates/snn-core/src/sim/generic.rs",
-    // The curated sanitizer suite exists to *drive* the unsafe surface
-    // (Miri/TSan CI jobs); see its header for the item -> test inventory.
-    "crates/gpu-device/tests/unsafe_surface.rs",
-];
-
-/// Crate roots that must carry `#![forbid(unsafe_code)]`.
-const FORBID_UNSAFE_ROOTS: &[&str] = &[
-    "crates/qformat/src/lib.rs",
-    "crates/spike-encoding/src/lib.rs",
-    "crates/snn-datasets/src/lib.rs",
-    "crates/snn-learning/src/lib.rs",
-    "crates/reference-sim/src/lib.rs",
-    "crates/bench/src/lib.rs",
-    "crates/snn-lint/src/main.rs",
-    "crates/snn-trace/src/lib.rs",
-    "crates/snn-serve/src/lib.rs",
-    "src/lib.rs",
-];
-
-/// Crate roots that host unsafe code and must therefore carry
-/// `#![deny(unsafe_op_in_unsafe_fn)]` (no implicit unsafe scope inside
-/// unsafe fns: every unsafe operation sits in its own commented block).
-const UNSAFE_OP_ROOTS: &[&str] = &[
-    "crates/gpu-device/src/lib.rs",
-    "crates/snn-core/src/lib.rs",
-    "crates/snn-loom/src/lib.rs",
-];
-
-/// Modules on the kernel/step path: one Philox draw per (synapse, step) is
-/// the *only* admissible stochastic or time-like input, which is what makes
-/// runs bit-identical at any worker count. `gpu-device/src/device.rs` is
-/// deliberately absent: its `timed()` profiler wrapper reads
-/// `Instant::now`, which never feeds kernel results (the standing waiver).
-const PHILOX_SCOPE: &[&str] = &[
-    "crates/snn-core/src/sim/",
-    "crates/snn-core/src/stdp/",
-    "crates/snn-core/src/synapse.rs",
-    "crates/gpu-device/src/fused.rs",
-    "crates/gpu-device/src/grid.rs",
-    "crates/gpu-device/src/pool.rs",
-    "crates/gpu-device/src/philox.rs",
-];
-
-/// Tokens forbidden in [`PHILOX_SCOPE`] (non-test code).
-const PHILOX_FORBIDDEN: &[&str] =
-    &["rand::", "thread_rng", "from_entropy", "SystemTime", "Instant::now"];
-
-/// Modules whose hot loops must not iterate hash containers.
-const HASH_SCOPE: &[&str] = &[
-    "crates/snn-core/src/sim/",
-    "crates/snn-core/src/stdp/",
-    "crates/gpu-device/src/fused.rs",
-];
-
-/// Files where functions mutating the row-major conductance matrix must
-/// also touch the transposed-view coherence API.
-const COHERENCE_SCOPE: &[&str] = &["crates/snn-core/src/sim/"];
-/// Mutator tokens: raw mutable access to the conductance storage.
-const COHERENCE_MUTATORS: &[&str] = &["as_flat_mut", "row_mut("];
-/// Coherence tokens: any of these in the same function discharges the rule.
-const COHERENCE_API: &[&str] = &["refresh(", "TransposedConductances::new"];
-
-/// Model-checked crates: files (other than each crate's shim itself) must
-/// reach sync primitives only through `crate::sync`, so `--cfg loom` swaps
-/// them all. Pairs of (scope prefix, exempt shim path).
-const SYNC_SHIM_SCOPES: &[(&str, &str)] = &[
-    ("crates/gpu-device/src/", "crates/gpu-device/src/sync.rs"),
-    ("crates/snn-serve/src/", "crates/snn-serve/src/sync.rs"),
-];
-const SYNC_FORBIDDEN: &[&str] = &[
-    "parking_lot::",
-    "crossbeam::",
-    "std::sync::Mutex",
-    "std::sync::Condvar",
-    "std::sync::Barrier",
-    "std::sync::mpsc",
-    "std::thread::spawn",
-    "std::thread::Builder",
-];
-
-/// Telemetry call tokens whose literal first string argument is a span,
-/// kernel or metric name. Every such name must appear backticked in the
-/// DESIGN.md §11/§12 schema tables, so the documented schema can never drift
-/// from what the code emits. Matching requires the token to start an
-/// identifier boundary, so `record_gauge(` never double-counts as `gauge(`.
-const TRACE_NAME_CALLS: &[&str] = &[
-    // span recording (snn-trace)
-    "span(",
-    "span_cat(",
-    "step_span(",
-    "time_ms(",
-    "record_span_at(",
-    // kernel launches (gpu-device) — the name becomes a `kernel/<k>/*`
-    // metric family and a span at Detail::Steps
-    "launch(",
-    "launch_mut(",
-    "launch_slice_mut(",
-    "launch_slice_mut_weighted(",
-    "launch_weighted(",
-    "launch_rows_mut(",
-    "launch_fused(",
-    "reduce(",
-    // device-level counters/gauges → `device/<name>` metrics
-    "bump_counter(",
-    "record_gauge(",
-    "record_gauge_stats(",
-    "gauge(",
-    "gauge_stats(",
-    // MetricsHub publication
-    "add_counter(",
-    "set_counter(",
-    "set_value(",
-    "observe(",
-    "merge_gauge(",
-];
-
-/// Files exempt from `trace-schema`: the recorder/hub implementation and
-/// its fixtures, this lint's own fixtures, and the loom scenario file
-/// (whose kernels exist only under `--cfg loom`).
-const TRACE_SCHEMA_EXEMPT: &[&str] = &[
-    "crates/snn-trace/",
-    "crates/snn-lint/",
-    "crates/gpu-device/src/loom_tests.rs",
-];
-
-/// SWAR kernel files the `lane-width` rule scopes to: bit-parallel code
-/// whose lane counts, lane widths, shift amounts and masks must derive
-/// from the `qformat` constants (`QFormat::lanes_per_u64`, `LaneLayout`),
-/// never appear as numeric literals — a hand-written `>> 8` or
-/// `0x00FF00FF` would silently desynchronize from a format change.
-const LANE_WIDTH_SCOPE: &[&str] = &["crates/snn-core/src/sim/batched.rs"];
-
-/// Commit-kernel files the `atomic-ordering` rule scopes to: the atomic
-/// conductance grid of the shared-atomics training commit (DESIGN.md §14).
-/// Raw `Ordering::` literals are forbidden here — every ordering must be
-/// one of [`ATOMIC_ORDERING_CONSTS`], so weakening or strengthening an
-/// ordering is a reviewed edit to one documented table, never a drive-by
-/// change buried in a kernel body.
-const ATOMIC_ORDERING_SCOPE: &[&str] = &["crates/gpu-device/src/commit.rs"];
-
-/// The named ordering constants of the commit kernel; the only lines in
-/// [`ATOMIC_ORDERING_SCOPE`] allowed to spell `Ordering::` are their
-/// definitions.
-const ATOMIC_ORDERING_CONSTS: &[&str] =
-    &["COMMIT_LOAD", "COMMIT_CAS_SUCCESS", "COMMIT_CAS_FAILURE", "COMMIT_STATS"];
-
-/// How many non-unsafe lines may separate two unsafe statements that share
-/// one `// SAFETY:` comment (a "cluster"), and how far above the cluster
-/// head the comment may sit.
-const SAFETY_CLUSTER_GAP: usize = 2;
-const SAFETY_LOOKBACK: usize = 4;
-
-// ---------------------------------------------------------------------------
-// Source model: one file, comment/string-masked, with test regions marked
-// ---------------------------------------------------------------------------
-
-struct Line {
-    /// Source text with comments and string/char-literal *contents* blanked.
-    code: String,
-    /// Source text with comments blanked but string contents *kept* — the
-    /// view the `trace-schema` rule scans for telemetry name literals.
-    full: String,
-    /// Concatenated comment text of this line.
-    comment: String,
-    /// Inside an item gated on `#[cfg(test)]` / `#[cfg(all(test, ...))]`.
-    in_test: bool,
-}
-
-struct SourceFile {
-    rel: String,
-    lines: Vec<Line>,
-}
-
-impl SourceFile {
-    fn parse(rel: &str, text: &str) -> SourceFile {
-        let mut lines: Vec<Line> = Vec::new();
-        let mut code = String::new();
-        let mut full = String::new();
-        let mut comment = String::new();
-
-        #[derive(PartialEq)]
-        enum St {
-            Code,
-            Line,
-            Block(u32),
-            Str,
-            RawStr(usize),
-            Char,
-        }
-        let mut st = St::Code;
-        let chars: Vec<char> = text.chars().collect();
-        let mut i = 0;
-        while i < chars.len() {
-            let c = chars[i];
-            if c == '\n' {
-                if st == St::Line {
-                    st = St::Code;
-                }
-                lines.push(Line {
-                    code: std::mem::take(&mut code),
-                    full: std::mem::take(&mut full),
-                    comment: std::mem::take(&mut comment),
-                    in_test: false,
-                });
-                i += 1;
-                continue;
-            }
-            match st {
-                St::Code => {
-                    if c == '/' && chars.get(i + 1) == Some(&'/') {
-                        st = St::Line;
-                        i += 2;
-                        continue;
-                    }
-                    if c == '/' && chars.get(i + 1) == Some(&'*') {
-                        st = St::Block(1);
-                        i += 2;
-                        continue;
-                    }
-                    if c == 'r'
-                        && matches!(chars.get(i + 1), Some(&'"') | Some(&'#'))
-                        && !prev_is_ident(&chars, i)
-                    {
-                        // raw string: r"..." or r#"..."#
-                        let mut hashes = 0;
-                        let mut j = i + 1;
-                        while chars.get(j) == Some(&'#') {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        if chars.get(j) == Some(&'"') {
-                            st = St::RawStr(hashes);
-                            code.push('"');
-                            full.push('"');
-                            i = j + 1;
-                            continue;
-                        }
-                    }
-                    if c == '"' {
-                        st = St::Str;
-                        code.push('"');
-                        full.push('"');
-                        i += 1;
-                        continue;
-                    }
-                    if c == '\'' && is_char_literal(&chars, i) {
-                        st = St::Char;
-                        code.push('\'');
-                        full.push('\'');
-                        i += 1;
-                        continue;
-                    }
-                    code.push(c);
-                    full.push(c);
-                    i += 1;
-                }
-                St::Line => {
-                    comment.push(c);
-                    i += 1;
-                }
-                St::Block(depth) => {
-                    if c == '*' && chars.get(i + 1) == Some(&'/') {
-                        st = if depth == 1 { St::Code } else { St::Block(depth - 1) };
-                        i += 2;
-                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                        st = St::Block(depth + 1);
-                        i += 2;
-                    } else {
-                        comment.push(c);
-                        i += 1;
-                    }
-                }
-                St::Str => {
-                    if c == '\\' {
-                        full.push('\\');
-                        if let Some(&e) = chars.get(i + 1) {
-                            full.push(e);
-                        }
-                        i += 2;
-                    } else if c == '"' {
-                        st = St::Code;
-                        code.push('"');
-                        full.push('"');
-                        i += 1;
-                    } else {
-                        full.push(c);
-                        i += 1;
-                    }
-                }
-                St::RawStr(hashes) => {
-                    if c == '"' && (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
-                        st = St::Code;
-                        code.push('"');
-                        full.push('"');
-                        i += hashes + 1;
-                    } else {
-                        full.push(c);
-                        i += 1;
-                    }
-                }
-                St::Char => {
-                    if c == '\\' {
-                        full.push('\\');
-                        if let Some(&e) = chars.get(i + 1) {
-                            full.push(e);
-                        }
-                        i += 2;
-                    } else if c == '\'' {
-                        st = St::Code;
-                        code.push('\'');
-                        full.push('\'');
-                        i += 1;
-                    } else {
-                        full.push(c);
-                        i += 1;
-                    }
-                }
-            }
-        }
-        if !code.is_empty() || !comment.is_empty() {
-            lines.push(Line { code, full, comment, in_test: false });
-        }
-
-        mark_test_regions(&mut lines);
-        SourceFile { rel: rel.to_string(), lines }
-    }
-}
-
-fn prev_is_ident(chars: &[char], i: usize) -> bool {
-    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
-}
-
-/// `'` at `chars[i]` starts a char literal (vs a lifetime) if the closing
-/// quote appears within a few characters.
-fn is_char_literal(chars: &[char], i: usize) -> bool {
-    if chars.get(i + 1) == Some(&'\\') {
-        return true;
-    }
-    // 'x'   (one char, then the closing quote)
-    chars.get(i + 2) == Some(&'\'')
-}
-
-/// Marks every line inside a `#[cfg(test)]`-gated item as test code, by
-/// brace matching from the attribute to the end of the item it gates.
-fn mark_test_regions(lines: &mut [Line]) {
-    let mut pending_attr = false;
-    let mut region_depth: Option<i64> = None; // depth *before* the region opened
-    let mut depth: i64 = 0;
-    for idx in 0..lines.len() {
-        let code = lines[idx].code.clone();
-        if code.contains("#[cfg(test)") || code.contains("#[cfg(all(test") {
-            pending_attr = true;
-        }
-        let mut line_in_test = region_depth.is_some() || pending_attr;
-        for ch in code.chars() {
-            match ch {
-                '{' => {
-                    if pending_attr {
-                        region_depth = Some(depth);
-                        pending_attr = false;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if region_depth == Some(depth) {
-                        region_depth = None;
-                        line_in_test = true; // closing brace still in region
-                    }
-                }
-                ';' => {
-                    // attribute gated a braceless item (`use`, `fn;` etc.)
-                    if pending_attr {
-                        pending_attr = false;
-                    }
-                }
-                _ => {}
-            }
-        }
-        if region_depth.is_some() {
-            line_in_test = true;
-        }
-        lines[idx].in_test = line_in_test;
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Violations & waivers
-// ---------------------------------------------------------------------------
-
-#[derive(Debug)]
-struct Violation {
-    file: String,
-    line: usize, // 1-based
-    rule: &'static str,
-    msg: String,
-}
-
-/// A `lint-allow: <rule>` waiver on this line or the line above.
-fn waived(file: &SourceFile, idx: usize, rule: &str) -> bool {
-    let tag = format!("lint-allow: {rule}");
-    file.lines[idx].comment.contains(&tag)
-        || (idx > 0 && file.lines[idx - 1].comment.contains(&tag))
-}
-
-/// Every rule a waiver may name. A `lint-allow:` whose first token is not
-/// in this list is prose *about* the mechanism (docs, examples), not a
-/// waiver, and is excluded from the `--report` inventory.
-const RULE_NAMES: &[&str] = &[
-    "safety-comment",
-    "unsafe-surface",
-    "philox-only",
-    "transposed-coherence",
-    "hash-iteration",
-    "sync-shim",
-    "trace-schema",
-    "lane-width",
-    "atomic-ordering",
-];
-
-fn collect_waivers(files: &[SourceFile]) -> Vec<(String, usize, String)> {
-    let mut out = Vec::new();
-    for f in files {
-        for (i, l) in f.lines.iter().enumerate() {
-            if let Some(pos) = l.comment.find("lint-allow:") {
-                let rest = l.comment[pos + "lint-allow:".len()..].trim();
-                let named_rule = rest.split_whitespace().next().unwrap_or("");
-                if RULE_NAMES.contains(&named_rule) {
-                    out.push((f.rel.clone(), i + 1, rest.to_string()));
-                }
-            }
-        }
-    }
-    out
-}
-
-// ---------------------------------------------------------------------------
-// Rule: safety-comment
-// ---------------------------------------------------------------------------
-
-/// Whether `code` contains an occurrence of the `unsafe` keyword that opens
-/// a block or an `unsafe impl` (declarations `unsafe fn`/`unsafe trait`
-/// document their contract in `# Safety` docs instead).
-fn unsafe_kind(code: &str) -> Option<&'static str> {
-    let mut search = 0;
-    while let Some(pos) = code[search..].find("unsafe") {
-        let at = search + pos;
-        search = at + "unsafe".len();
-        let before_ok = at == 0 || !is_ident_char(code.as_bytes()[at - 1] as char);
-        let after = &code[at + "unsafe".len()..];
-        if !before_ok || after.starts_with(|c: char| is_ident_char(c)) {
-            continue; // part of a longer identifier e.g. `unsafe_code`
-        }
-        let rest = after.trim_start();
-        if rest.starts_with("impl") {
-            return Some("unsafe impl");
-        }
-        if rest.starts_with("fn") || rest.starts_with("trait") || rest.starts_with("extern") {
-            continue;
-        }
-        // `unsafe {`, `unsafe{`, or `unsafe` at end of line (block opens on
-        // the next line).
-        return Some("unsafe block");
-    }
-    None
-}
-
-fn is_ident_char(c: char) -> bool {
-    c.is_alphanumeric() || c == '_'
-}
-
-fn rule_safety_comment(file: &SourceFile, out: &mut Vec<Violation>) {
-    // Cluster consecutive unsafe lines (gap <= SAFETY_CLUSTER_GAP) and
-    // require a SAFETY comment within SAFETY_LOOKBACK lines above the
-    // cluster head (or on the head itself).
-    let unsafe_lines: Vec<(usize, &'static str)> = file
-        .lines
-        .iter()
-        .enumerate()
-        .filter(|(_, l)| !l.code.contains("#!") && !l.code.contains("#["))
-        .filter_map(|(i, l)| unsafe_kind(&l.code).map(|k| (i, k)))
-        .collect();
-    let mut cluster_head: Option<usize> = None;
-    let mut prev: Option<usize> = None;
-    for &(idx, kind) in &unsafe_lines {
-        let new_cluster = match prev {
-            Some(p) => idx - p > SAFETY_CLUSTER_GAP + 1,
-            None => true,
-        };
-        if new_cluster {
-            cluster_head = Some(idx);
-            let head = idx;
-            // Walk upward: comment-only / blank lines are free (a multi-line
-            // SAFETY comment counts however long it is); each line with code
-            // consumes one unit of the lookback budget.
-            let mut covered = file.lines[head].comment.contains("SAFETY")
-                || waived(file, head, "safety-comment");
-            let mut budget = SAFETY_LOOKBACK;
-            let mut j = head;
-            while !covered && budget > 0 && j > 0 {
-                j -= 1;
-                let l = &file.lines[j];
-                if l.comment.contains("SAFETY") {
-                    covered = true;
-                }
-                if !l.code.trim().is_empty() {
-                    budget -= 1;
-                }
-            }
-            if !covered {
-                out.push(Violation {
-                    file: file.rel.clone(),
-                    line: head + 1,
-                    rule: "safety-comment",
-                    msg: format!(
-                        "{kind} without a `// SAFETY:` comment within {SAFETY_LOOKBACK} \
-                         lines above"
-                    ),
-                });
-            }
-        }
-        let _ = cluster_head;
-        prev = Some(idx);
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: unsafe-surface
-// ---------------------------------------------------------------------------
-
-fn rule_unsafe_surface(files: &[SourceFile], out: &mut Vec<Violation>) {
-    for f in files {
-        let allowed = UNSAFE_ALLOWED.iter().any(|p| f.rel.starts_with(p));
-        if !allowed {
-            for (i, l) in f.lines.iter().enumerate() {
-                // Attribute mentions (`forbid(unsafe_code)`) are fine.
-                if l.code.contains("unsafe")
-                    && unsafe_kind(&l.code).is_some()
-                    && !l.code.contains("#!")
-                    && !waived(f, i, "unsafe-surface")
-                {
-                    out.push(Violation {
-                        file: f.rel.clone(),
-                        line: i + 1,
-                        rule: "unsafe-surface",
-                        msg: "unsafe code outside the audited allow-list \
-                              (see snn-lint UNSAFE_ALLOWED)"
-                            .into(),
-                    });
-                }
-            }
-        }
-    }
-    for root in FORBID_UNSAFE_ROOTS {
-        check_root_attr(files, root, "#![forbid(unsafe_code)]", out);
-    }
-    for root in UNSAFE_OP_ROOTS {
-        check_root_attr(files, root, "#![deny(unsafe_op_in_unsafe_fn)]", out);
-    }
-}
-
-fn check_root_attr(files: &[SourceFile], root: &str, attr: &str, out: &mut Vec<Violation>) {
-    let Some(f) = files.iter().find(|f| f.rel == root) else {
-        out.push(Violation {
-            file: root.to_string(),
-            line: 1,
-            rule: "unsafe-surface",
-            msg: "expected crate root is missing".into(),
-        });
-        return;
-    };
-    if !f.lines.iter().any(|l| l.code.contains(attr)) {
-        out.push(Violation {
-            file: f.rel.clone(),
-            line: 1,
-            rule: "unsafe-surface",
-            msg: format!("crate root must declare `{attr}`"),
-        });
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: philox-only
-// ---------------------------------------------------------------------------
-
-fn rule_philox_only(file: &SourceFile, out: &mut Vec<Violation>) {
-    if !PHILOX_SCOPE.iter().any(|p| file.rel.starts_with(p)) {
-        return;
-    }
-    for (i, l) in file.lines.iter().enumerate() {
-        if l.in_test || waived(file, i, "philox-only") {
-            continue;
-        }
-        for tok in PHILOX_FORBIDDEN {
-            if l.code.contains(tok) {
-                out.push(Violation {
-                    file: file.rel.clone(),
-                    line: i + 1,
-                    rule: "philox-only",
-                    msg: format!(
-                        "`{tok}` on the kernel/step path: all randomness and time \
-                         must come from the (synapse, step)-keyed Philox streams"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: transposed-coherence
-// ---------------------------------------------------------------------------
-
-/// `fn` item spans `(head_line, body_start..body_end)` (0-based, inclusive),
-/// found by brace matching from each `fn` keyword.
-fn fn_spans(file: &SourceFile) -> Vec<(usize, usize, usize)> {
-    let mut spans = Vec::new();
-    let n = file.lines.len();
-    let mut i = 0;
-    while i < n {
-        let code = &file.lines[i].code;
-        if let Some(pos) = find_fn_keyword(code) {
-            // find the opening brace of the body (skipping the signature)
-            let mut depth = 0i64;
-            let mut started = false;
-            let mut j = i;
-            let mut col = pos;
-            'outer: while j < n {
-                let lc = &file.lines[j].code;
-                for ch in lc.chars().skip(if j == i { col } else { 0 }) {
-                    match ch {
-                        ';' if !started && depth == 0 => break 'outer, // fn decl w/o body
-                        '{' => {
-                            started = true;
-                            depth += 1;
-                        }
-                        '}' => {
-                            depth -= 1;
-                            if started && depth == 0 {
-                                spans.push((i, i, j));
-                                break 'outer;
-                            }
-                        }
-                        _ => {}
-                    }
-                }
-                j += 1;
-                col = 0;
-            }
-            i = i + 1;
-        } else {
-            i += 1;
-        }
-    }
-    spans
-}
-
-fn find_fn_keyword(code: &str) -> Option<usize> {
-    let mut search = 0;
-    while let Some(pos) = code[search..].find("fn ") {
-        let at = search + pos;
-        search = at + 3;
-        let before_ok = at == 0 || !is_ident_char(code.as_bytes()[at - 1] as char);
-        if before_ok {
-            return Some(at);
-        }
-    }
-    None
-}
-
-fn rule_transposed_coherence(file: &SourceFile, out: &mut Vec<Violation>) {
-    if !COHERENCE_SCOPE.iter().any(|p| file.rel.starts_with(p)) {
-        return;
-    }
-    for (head, start, end) in fn_spans(file) {
-        if file.lines[head].in_test {
-            continue;
-        }
-        let mut mutator_line = None;
-        let mut coherent = false;
-        for idx in start..=end {
-            let code = &file.lines[idx].code;
-            if mutator_line.is_none() && COHERENCE_MUTATORS.iter().any(|m| code.contains(m)) {
-                mutator_line = Some(idx);
-            }
-            if COHERENCE_API.iter().any(|a| code.contains(a)) {
-                coherent = true;
-            }
-        }
-        if let Some(m) = mutator_line {
-            if !coherent && !waived(file, m, "transposed-coherence") && !waived(file, head, "transposed-coherence") {
-                out.push(Violation {
-                    file: file.rel.clone(),
-                    line: m + 1,
-                    rule: "transposed-coherence",
-                    msg: "conductance mutator without a transposed-view refresh/rebuild \
-                          in the same function (sparse delivery would read stale currents)"
-                        .into(),
-                });
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: hash-iteration
-// ---------------------------------------------------------------------------
-
-fn rule_hash_iteration(file: &SourceFile, out: &mut Vec<Violation>) {
-    if !HASH_SCOPE.iter().any(|p| file.rel.starts_with(p)) {
-        return;
-    }
-    // Collect identifiers bound to hash containers anywhere in the file.
-    let mut names: Vec<String> = Vec::new();
-    for l in &file.lines {
-        let code = &l.code;
-        if !(code.contains("HashMap") || code.contains("HashSet")) {
-            continue;
-        }
-        // `let [mut] name: ...Hash{Map,Set}` or `name: Hash{Map,Set}` field
-        if let Some(let_pos) = code.find("let ") {
-            let rest = code[let_pos + 4..].trim_start().trim_start_matches("mut ");
-            let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
-            if !name.is_empty() {
-                names.push(name);
-            }
-        } else if let Some(colon) = code.find(':') {
-            let name: String = code[..colon]
-                .trim_end()
-                .chars()
-                .rev()
-                .take_while(|&c| is_ident_char(c))
-                .collect::<String>()
-                .chars()
-                .rev()
-                .collect();
-            if !name.is_empty() && code[colon..].contains("Hash") {
-                names.push(name);
-            }
-        }
-    }
-    if names.is_empty() {
-        return;
-    }
-    const ITER_SUFFIXES: &[&str] = &[".iter()", ".keys()", ".values()", ".drain(", ".into_iter()", ".retain("];
-    for (i, l) in file.lines.iter().enumerate() {
-        if l.in_test || waived(file, i, "hash-iteration") {
-            continue;
-        }
-        let code = &l.code;
-        for name in &names {
-            let direct_iter = ITER_SUFFIXES.iter().any(|s| {
-                code.contains(&format!("{name}{s}"))
-            });
-            let for_iter = code.contains("for ")
-                && code.contains(" in ")
-                && (code.contains(&format!("in &{name}")) || code.contains(&format!("in {name}")));
-            if direct_iter || for_iter {
-                out.push(Violation {
-                    file: file.rel.clone(),
-                    line: i + 1,
-                    rule: "hash-iteration",
-                    msg: format!(
-                        "iteration over hash container `{name}` on a hot path: \
-                         unordered iteration is nondeterministic; iterate a sorted \
-                         key list or a Vec instead (lookups are fine)"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: sync-shim
-// ---------------------------------------------------------------------------
-
-fn rule_sync_shim(file: &SourceFile, out: &mut Vec<Violation>) {
-    let in_scope = SYNC_SHIM_SCOPES
-        .iter()
-        .any(|(scope, exempt)| file.rel.starts_with(scope) && file.rel != *exempt);
-    if !in_scope {
-        return;
-    }
-    for (i, l) in file.lines.iter().enumerate() {
-        // Unit tests drive the protocol with real threads deliberately
-        // (e.g. blocking-steal tests); only production lines must route
-        // through the shim.
-        if l.in_test || waived(file, i, "sync-shim") {
-            continue;
-        }
-        for tok in SYNC_FORBIDDEN {
-            if l.code.contains(tok) {
-                out.push(Violation {
-                    file: file.rel.clone(),
-                    line: i + 1,
-                    rule: "sync-shim",
-                    msg: format!(
-                        "`{tok}` used directly: import it through `crate::sync` so \
-                         `--cfg loom` swaps every primitive for the model checker"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: lane-width
-// ---------------------------------------------------------------------------
-
-fn rule_lane_width(file: &SourceFile, out: &mut Vec<Violation>) {
-    if !LANE_WIDTH_SCOPE.iter().any(|p| file.rel.starts_with(p)) {
-        return;
-    }
-    for (i, l) in file.lines.iter().enumerate() {
-        if l.in_test || waived(file, i, "lane-width") {
-            continue;
-        }
-        let code = l.code.as_str();
-        // Literal shift amounts: `<< 8`, `>>= 2`, … Shifts by an
-        // expression (a lane-layout accessor, a loop variable) are fine.
-        for op in ["<<", ">>"] {
-            let mut rest = code;
-            while let Some(pos) = rest.find(op) {
-                let tail = rest[pos + op.len()..].trim_start_matches('=').trim_start();
-                if tail.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-                    out.push(Violation {
-                        file: file.rel.clone(),
-                        line: i + 1,
-                        rule: "lane-width",
-                        msg: format!(
-                            "literal shift amount after `{op}` in a SWAR kernel: derive \
-                             shifts from `LaneLayout::lane_bits()` / `QFormat` widths so a \
-                             format change cannot desynchronize the kernel"
-                        ),
-                    });
-                    break; // one violation per line per operator is plenty
-                }
-                rest = &rest[pos + op.len()..];
-            }
-        }
-        // Hex bit-mask literals: lane and value masks come from
-        // `LaneLayout::lane_mask()` / `splat`, never hand-packed.
-        if let Some(pos) = code.find("0x") {
-            let prev = code[..pos].chars().next_back();
-            if !prev.is_some_and(is_ident_char) {
-                out.push(Violation {
-                    file: file.rel.clone(),
-                    line: i + 1,
-                    rule: "lane-width",
-                    msg: "hex mask literal in a SWAR kernel: build lane/value masks \
-                          with `LaneLayout::lane_mask()`/`splat` instead of hand-packed \
-                          constants"
-                        .into(),
-                });
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: atomic-ordering
-// ---------------------------------------------------------------------------
-
-fn rule_atomic_ordering(file: &SourceFile, out: &mut Vec<Violation>) {
-    if !ATOMIC_ORDERING_SCOPE.iter().any(|p| file.rel.starts_with(p)) {
-        return;
-    }
-    for (i, l) in file.lines.iter().enumerate() {
-        if l.in_test || waived(file, i, "atomic-ordering") {
-            continue;
-        }
-        let code = l.code.as_str();
-        if !code.contains("Ordering::") {
-            continue;
-        }
-        // The definitions of the named constants are the one place a
-        // literal ordering may appear (`pub const COMMIT_LOAD: Ordering =
-        // Ordering::Relaxed;`).
-        let defines_allowed = ATOMIC_ORDERING_CONSTS
-            .iter()
-            .any(|c| code.contains(&format!("const {c}:")));
-        if defines_allowed {
-            continue;
-        }
-        out.push(Violation {
-            file: file.rel.clone(),
-            line: i + 1,
-            rule: "atomic-ordering",
-            msg: "raw `Ordering::` literal in the commit-kernel scope: use one of \
-                  the named constants (COMMIT_LOAD / COMMIT_CAS_SUCCESS / \
-                  COMMIT_CAS_FAILURE / COMMIT_STATS) so the soundness argument \
-                  stays in one audited place"
-                .into(),
-        });
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Rule: trace-schema
-// ---------------------------------------------------------------------------
-
-/// Extracts the set of backticked names from the `## 11` telemetry,
-/// `## 12` serving, `## 13` batched-execution and `## 14` parallel-training
-/// sections of DESIGN.md. Returns `None` when all sections are missing
-/// entirely (a violation in itself — the schema reference is load-bearing).
-fn design_schema_names(design: &str) -> Option<Vec<String>> {
-    let mut in_section = false;
-    let mut found = false;
-    let mut names = Vec::new();
-    for line in design.lines() {
-        if line.starts_with("## ") {
-            in_section = line.starts_with("## 11")
-                || line.starts_with("## 12")
-                || line.starts_with("## 13")
-                || line.starts_with("## 14");
-            found |= in_section;
-            continue;
-        }
-        if !in_section {
-            continue;
-        }
-        let mut rest = line;
-        while let Some(open) = rest.find('`') {
-            let tail = &rest[open + 1..];
-            let Some(close) = tail.find('`') else { break };
-            let name = &tail[..close];
-            if !name.is_empty() {
-                names.push(name.to_string());
-            }
-            rest = &tail[close + 1..];
-        }
-    }
-    found.then_some(names)
-}
-
-/// Scans a file's comment-masked (strings kept) text for telemetry calls
-/// whose first argument is a string literal; yields `(line_idx, name)`.
-/// Calls that pass a variable or `format!` as the name are skipped — only
-/// literals can be checked against the schema statically.
-fn trace_names(file: &SourceFile) -> Vec<(usize, String)> {
-    let mut text = String::new();
-    let mut starts = Vec::with_capacity(file.lines.len());
-    for l in &file.lines {
-        starts.push(text.len());
-        text.push_str(&l.full);
-        text.push('\n');
-    }
-    let line_of = |off: usize| match starts.binary_search(&off) {
-        Ok(i) => i,
-        Err(i) => i.saturating_sub(1),
-    };
-    let mut out = Vec::new();
-    for tok in TRACE_NAME_CALLS {
-        let mut search = 0;
-        while let Some(pos) = text[search..].find(tok) {
-            let at = search + pos;
-            search = at + tok.len();
-            if at > 0 && is_ident_char(text.as_bytes()[at - 1] as char) {
-                continue; // suffix of a longer identifier (e.g. `step_span(`)
-            }
-            let rest = text[at + tok.len()..].trim_start();
-            let rest = rest.strip_prefix('&').unwrap_or(rest);
-            let Some(lit) = rest.strip_prefix('"') else { continue };
-            let Some(end) = lit.find('"') else { continue };
-            if end > 0 {
-                out.push((line_of(at), lit[..end].to_string()));
-            }
-        }
-    }
-    out
-}
-
-fn rule_trace_schema(file: &SourceFile, schema: &[String], out: &mut Vec<Violation>) {
-    let in_src = file.rel.starts_with("src/") || file.rel.contains("/src/");
-    if !in_src || TRACE_SCHEMA_EXEMPT.iter().any(|p| file.rel.starts_with(p)) {
-        return;
-    }
-    for (idx, name) in trace_names(file) {
-        if file.lines[idx].in_test || waived(file, idx, "trace-schema") {
-            continue;
-        }
-        // Device counters/gauges are published under `device/<name>`;
-        // kernel and span names are documented verbatim.
-        let device_form = format!("device/{name}");
-        if schema.iter().any(|s| *s == name || *s == device_form) {
-            continue;
-        }
-        out.push(Violation {
-            file: file.rel.clone(),
-            line: idx + 1,
-            rule: "trace-schema",
-            msg: format!(
-                "telemetry name `{name}` is not documented in the DESIGN.md §11/§12 \
-                 schema tables (add a row there, or waive with lint-allow)"
-            ),
-        });
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Report mode: unsafe-surface inventory as JSON
-// ---------------------------------------------------------------------------
-
-fn report(files: &[SourceFile]) -> String {
-    #[derive(Default)]
-    struct Entry {
-        blocks: Vec<usize>,
-        impls: Vec<usize>,
-        fns: Vec<usize>,
-    }
-    let mut entries: Vec<(String, Entry)> = Vec::new();
-    for f in files {
-        let mut e = Entry::default();
-        for (i, l) in f.lines.iter().enumerate() {
-            if l.code.contains("#!") || l.code.contains("#[") {
-                continue;
-            }
-            match unsafe_kind(&l.code) {
-                Some("unsafe impl") => e.impls.push(i + 1),
-                Some("unsafe block") => e.blocks.push(i + 1),
-                _ => {}
-            }
-            if l.code.contains("unsafe fn ") {
-                e.fns.push(i + 1);
-            }
-        }
-        if !(e.blocks.is_empty() && e.impls.is_empty() && e.fns.is_empty()) {
-            entries.push((f.rel.clone(), e));
-        }
-    }
-    entries.sort_by(|a, b| a.0.cmp(&b.0));
-    let waivers = collect_waivers(files);
-
-    let mut s = String::from("{\n  \"generated_by\": \"snn-lint --report\",\n  \"files\": [\n");
-    let (mut tb, mut ti, mut tf) = (0, 0, 0);
-    for (n, (rel, e)) in entries.iter().enumerate() {
-        tb += e.blocks.len();
-        ti += e.impls.len();
-        tf += e.fns.len();
-        let _ = write!(
-            s,
-            "    {{\"path\": \"{rel}\", \"unsafe_blocks\": {}, \"unsafe_impls\": {}, \
-             \"unsafe_fns\": {}, \"block_lines\": {:?}, \"impl_lines\": {:?}, \
-             \"fn_lines\": {:?}}}{}\n",
-            e.blocks.len(),
-            e.impls.len(),
-            e.fns.len(),
-            e.blocks,
-            e.impls,
-            e.fns,
-            if n + 1 < entries.len() { "," } else { "" },
-        );
-    }
-    let _ = write!(
-        s,
-        "  ],\n  \"totals\": {{\"files_with_unsafe\": {}, \"unsafe_blocks\": {tb}, \
-         \"unsafe_impls\": {ti}, \"unsafe_fns\": {tf}}},\n  \"waivers\": [\n",
-        entries.len(),
-    );
-    for (n, (rel, line, what)) in waivers.iter().enumerate() {
-        let what = what.replace('"', "'");
-        let _ = write!(
-            s,
-            "    {{\"path\": \"{rel}\", \"line\": {line}, \"waiver\": \"{what}\"}}{}\n",
-            if n + 1 < waivers.len() { "," } else { "" },
-        );
-    }
-    s.push_str("  ]\n}\n");
-    s
-}
-
-// ---------------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------------
-
-fn collect_rs_files(root: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![root.join("crates"), root.join("src"), root.join("tests")];
-    while let Some(dir) = stack.pop() {
-        let Ok(rd) = fs::read_dir(&dir) else { continue };
-        for entry in rd.flatten() {
-            let path = entry.path();
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
-            if path.is_dir() {
-                if name != "target" {
-                    stack.push(path);
-                }
-            } else if name.ends_with(".rs") {
-                out.push(path);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-fn run_rules(files: &[SourceFile], schema: Option<&[String]>) -> Vec<Violation> {
-    let mut out = Vec::new();
-    rule_unsafe_surface(files, &mut out);
-    if schema.is_none() {
-        out.push(Violation {
-            file: "DESIGN.md".into(),
-            line: 1,
-            rule: "trace-schema",
-            msg: "missing the `## 11` telemetry schema section that documents \
-                  every span and metric name"
-                .into(),
-        });
-    }
-    for f in files {
-        rule_safety_comment(f, &mut out);
-        rule_philox_only(f, &mut out);
-        rule_transposed_coherence(f, &mut out);
-        rule_hash_iteration(f, &mut out);
-        rule_sync_shim(f, &mut out);
-        rule_lane_width(f, &mut out);
-        rule_atomic_ordering(f, &mut out);
-        if let Some(schema) = schema {
-            rule_trace_schema(f, schema, &mut out);
-        }
-    }
-    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
-    out
-}
-
-fn load_workspace(root: &Path) -> Result<Vec<SourceFile>, String> {
-    if !root.join("Cargo.toml").exists() {
-        return Err(format!("{} is not a workspace root (no Cargo.toml)", root.display()));
-    }
-    let mut files = Vec::new();
-    for path in collect_rs_files(root) {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let text = fs::read_to_string(&path)
-            .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        files.push(SourceFile::parse(&rel, &text));
-    }
-    Ok(files)
-}
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut report_mode = false;
+    let mut write_baseline = false;
+    let mut sarif_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -1210,8 +29,19 @@ fn main() -> ExitCode {
                 }
             },
             "--report" => report_mode = true,
+            "--write-baseline" => write_baseline = true,
+            "--sarif" => match args.next() {
+                Some(p) => sarif_out = Some(p),
+                None => {
+                    eprintln!("snn-lint: --sarif requires a path (or `-` for stdout)");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: snn-lint [--root <workspace-dir>] [--report]");
+                eprintln!(
+                    "usage: snn-lint [--root <workspace-dir>] [--report] [--sarif <path|->] \
+                     [--write-baseline]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -1230,22 +60,44 @@ fn main() -> ExitCode {
         }
         probe = probe.join("..");
     }
-    let files = match load_workspace(&root) {
-        Ok(f) => f,
+    let ws = match snn_lint::load_workspace(&root) {
+        Ok(ws) => ws,
         Err(e) => {
             eprintln!("snn-lint: {e}");
             return ExitCode::from(2);
         }
     };
     if report_mode {
-        print!("{}", report(&files));
+        print!("{}", snn_lint::report(&ws.files));
         return ExitCode::SUCCESS;
     }
-    let design = fs::read_to_string(root.join("DESIGN.md")).unwrap_or_default();
-    let schema = design_schema_names(&design);
-    let violations = run_rules(&files, schema.as_deref());
+    if write_baseline {
+        let inv = snn_lint::unsafe_audit::inventory(&ws.files);
+        let text = snn_lint::unsafe_audit::render_baseline(&inv);
+        let path = ws.root.join(snn_lint::BASELINE_PATH);
+        if let Err(e) = fs::write(&path, text) {
+            eprintln!("snn-lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("snn-lint: wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+    let (violations, waivers) = snn_lint::run_all(&ws);
+    if let Some(dest) = sarif_out {
+        let doc = snn_lint::sarif::render(&violations, &waivers);
+        if dest == "-" {
+            print!("{doc}");
+        } else if let Err(e) = fs::write(&dest, doc) {
+            eprintln!("snn-lint: writing {dest}: {e}");
+            return ExitCode::from(2);
+        }
+    }
     if violations.is_empty() {
-        eprintln!("snn-lint: {} files clean", files.len());
+        eprintln!(
+            "snn-lint: {} files clean ({} waiver(s) in effect)",
+            ws.files.len(),
+            waivers.len()
+        );
         ExitCode::SUCCESS
     } else {
         for v in &violations {
@@ -1253,409 +105,5 @@ fn main() -> ExitCode {
         }
         eprintln!("snn-lint: {} violation(s)", violations.len());
         ExitCode::FAILURE
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Tests: one clean and one violating fixture per rule
-// ---------------------------------------------------------------------------
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn single(rel: &str, text: &str) -> Vec<SourceFile> {
-        vec![SourceFile::parse(rel, text)]
-    }
-
-    fn rules_on(rel: &str, text: &str) -> Vec<Violation> {
-        let files = single(rel, text);
-        let mut out = Vec::new();
-        for f in &files {
-            rule_safety_comment(f, &mut out);
-            rule_philox_only(f, &mut out);
-            rule_transposed_coherence(f, &mut out);
-            rule_hash_iteration(f, &mut out);
-            rule_sync_shim(f, &mut out);
-            rule_lane_width(f, &mut out);
-            rule_atomic_ordering(f, &mut out);
-        }
-        out
-    }
-
-    // -- masking ----------------------------------------------------------
-
-    #[test]
-    fn comments_and_strings_are_masked() {
-        let f = SourceFile::parse(
-            "x.rs",
-            "let s = \"unsafe { in a string }\"; // unsafe in a comment\nlet c = 'x';\n",
-        );
-        assert!(!f.lines[0].code.contains("unsafe"));
-        assert!(f.lines[0].comment.contains("unsafe in a comment"));
-        assert!(f.lines[1].code.contains("let c ="));
-    }
-
-    #[test]
-    fn lifetimes_do_not_start_char_literals() {
-        let f = SourceFile::parse("x.rs", "fn f<'a>(x: &'a str) -> &'a str { x } // ok\n");
-        assert!(f.lines[0].code.contains("-> &'a str"));
-        assert!(f.lines[0].comment.contains("ok"));
-    }
-
-    #[test]
-    fn cfg_test_regions_are_marked() {
-        let src = "fn hot() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn hot2() {}\n";
-        let f = SourceFile::parse("x.rs", src);
-        assert!(!f.lines[0].in_test);
-        assert!(f.lines[3].in_test);
-        assert!(!f.lines[5].in_test);
-    }
-
-    // -- safety-comment ---------------------------------------------------
-
-    #[test]
-    fn safety_comment_flags_uncommented_unsafe_block() {
-        let v = rules_on("crates/gpu-device/src/x.rs", "fn f() {\n    unsafe { work() };\n}\n");
-        assert!(v.iter().any(|v| v.rule == "safety-comment"), "{v:?}");
-    }
-
-    #[test]
-    fn safety_comment_accepts_commented_block_and_cluster() {
-        let src = "fn f() {\n    // SAFETY: disjoint indices.\n    unsafe { a() };\n    \
-                   unsafe { b() };\n    let x = 1;\n    unsafe { c() };\n}\n";
-        let v = rules_on("crates/gpu-device/src/x.rs", src);
-        assert!(v.iter().all(|v| v.rule != "safety-comment"), "{v:?}");
-    }
-
-    #[test]
-    fn safety_comment_flags_uncommented_unsafe_impl() {
-        let v = rules_on("crates/gpu-device/src/x.rs", "unsafe impl Send for X {}\n");
-        assert!(v.iter().any(|v| v.rule == "safety-comment"));
-        let ok = rules_on(
-            "crates/gpu-device/src/x.rs",
-            "// SAFETY: X owns no thread-bound state.\nunsafe impl Send for X {}\n",
-        );
-        assert!(ok.iter().all(|v| v.rule != "safety-comment"));
-    }
-
-    #[test]
-    fn safety_comment_ignores_unsafe_fn_declarations() {
-        let v = rules_on(
-            "crates/gpu-device/src/x.rs",
-            "/// # Safety\n/// caller checks i.\npub unsafe fn get(i: usize) -> f64;\n",
-        );
-        assert!(v.iter().all(|v| v.rule != "safety-comment"), "{v:?}");
-    }
-
-    // -- unsafe-surface ---------------------------------------------------
-
-    #[test]
-    fn unsafe_surface_flags_unsafe_outside_allow_list() {
-        let files = single("crates/snn-learning/src/x.rs", "fn f() { unsafe { boom() } }\n");
-        let mut out = Vec::new();
-        rule_unsafe_surface(&files, &mut out);
-        assert!(out.iter().any(|v| v.rule == "unsafe-surface"));
-    }
-
-    #[test]
-    fn unsafe_surface_accepts_allow_listed_files() {
-        let files = single(
-            "crates/gpu-device/src/device.rs",
-            "fn f() {\n    // SAFETY: fine.\n    unsafe { ok() }\n}\n",
-        );
-        let mut out = Vec::new();
-        rule_unsafe_surface(&files, &mut out);
-        assert!(out.iter().all(|v| v.file != "crates/gpu-device/src/device.rs"));
-    }
-
-    // -- philox-only ------------------------------------------------------
-
-    #[test]
-    fn philox_only_flags_wall_clock_and_rand_on_step_path() {
-        let v = rules_on(
-            "crates/snn-core/src/sim/engine.rs",
-            "fn step() { let t = Instant::now(); }\n",
-        );
-        assert!(v.iter().any(|v| v.rule == "philox-only"));
-        let v = rules_on(
-            "crates/snn-core/src/stdp/rule.rs",
-            "fn draw() { let r = rand::random::<f64>(); }\n",
-        );
-        assert!(v.iter().any(|v| v.rule == "philox-only"));
-    }
-
-    #[test]
-    fn philox_only_ignores_tests_waivers_and_out_of_scope_files() {
-        let v = rules_on(
-            "crates/snn-core/src/sim/engine.rs",
-            "#[cfg(test)]\nmod tests {\n    fn t() { let t = Instant::now(); }\n}\n",
-        );
-        assert!(v.iter().all(|v| v.rule != "philox-only"), "{v:?}");
-        let v = rules_on(
-            "crates/snn-core/src/sim/engine.rs",
-            "// lint-allow: philox-only — profiling only, never feeds results\n\
-             fn step() { let t = Instant::now(); }\n",
-        );
-        assert!(v.iter().all(|v| v.rule != "philox-only"), "{v:?}");
-        // device.rs is out of scope (the timed() waiver).
-        let v = rules_on(
-            "crates/gpu-device/src/device.rs",
-            "fn timed() { let t = Instant::now(); }\n",
-        );
-        assert!(v.iter().all(|v| v.rule != "philox-only"), "{v:?}");
-    }
-
-    // -- transposed-coherence ---------------------------------------------
-
-    #[test]
-    fn coherence_flags_mutation_without_refresh() {
-        let src = "impl E {\n    fn learn(&mut self) {\n        let g = self.synapses.as_flat_mut();\n        g[0] = 1.0;\n    }\n}\n";
-        let v = rules_on("crates/snn-core/src/sim/engine.rs", src);
-        assert!(v.iter().any(|v| v.rule == "transposed-coherence"), "{v:?}");
-    }
-
-    #[test]
-    fn coherence_accepts_mutation_with_refresh_or_rebuild() {
-        let src = "impl E {\n    fn learn(&mut self) {\n        self.synapses.as_flat_mut()[0] = 1.0;\n        self.view.refresh(&self.synapses, None, None);\n    }\n    fn swap(&mut self) {\n        self.synapses.row_mut(0)[0] = 1.0;\n        self.view = TransposedConductances::new(&self.synapses);\n    }\n}\n";
-        let v = rules_on("crates/snn-core/src/sim/engine.rs", src);
-        assert!(v.iter().all(|v| v.rule != "transposed-coherence"), "{v:?}");
-    }
-
-    // -- hash-iteration ---------------------------------------------------
-
-    #[test]
-    fn hash_iteration_flags_hot_path_iteration() {
-        let src = "fn hot() {\n    let mut seen: std::collections::HashMap<u32, f64> = Default::default();\n    for (k, v) in &seen { use_it(k, v); }\n}\n";
-        let v = rules_on("crates/snn-core/src/sim/engine.rs", src);
-        assert!(v.iter().any(|v| v.rule == "hash-iteration"), "{v:?}");
-    }
-
-    #[test]
-    fn hash_iteration_accepts_keyed_lookups() {
-        let src = "fn hot() {\n    let mut seen: std::collections::HashMap<u32, f64> = Default::default();\n    seen.insert(1, 2.0);\n    let v = seen.get(&1);\n}\n";
-        let v = rules_on("crates/snn-core/src/sim/engine.rs", src);
-        assert!(v.iter().all(|v| v.rule != "hash-iteration"), "{v:?}");
-    }
-
-    // -- sync-shim --------------------------------------------------------
-
-    #[test]
-    fn sync_shim_flags_direct_primitive_imports() {
-        let v = rules_on("crates/gpu-device/src/pool.rs", "use parking_lot::Mutex;\n");
-        assert!(v.iter().any(|v| v.rule == "sync-shim"));
-        let v = rules_on("crates/gpu-device/src/buffer.rs", "use std::sync::Barrier;\n");
-        assert!(v.iter().any(|v| v.rule == "sync-shim"));
-    }
-
-    #[test]
-    fn sync_shim_exempts_the_shim_and_other_crates() {
-        let v = rules_on("crates/gpu-device/src/sync.rs", "pub use parking_lot::Mutex;\n");
-        assert!(v.iter().all(|v| v.rule != "sync-shim"), "{v:?}");
-        let v = rules_on("crates/snn-core/src/lib.rs", "use parking_lot::Mutex;\n");
-        assert!(v.iter().all(|v| v.rule != "sync-shim"), "{v:?}");
-    }
-
-    // -- trace-schema -----------------------------------------------------
-
-    fn schema(names: &[&str]) -> Vec<String> {
-        names.iter().map(|s| (*s).to_string()).collect()
-    }
-
-    fn trace_rule_on(rel: &str, text: &str, names: &[&str]) -> Vec<Violation> {
-        let files = single(rel, text);
-        let mut out = Vec::new();
-        rule_trace_schema(&files[0], &schema(names), &mut out);
-        out
-    }
-
-    #[test]
-    fn design_schema_extracts_backticked_names_from_section_11() {
-        let md = "## 10. Other\n`not/this`\n## 11. Telemetry\nSpans: `engine/step` \
-                  and `device/active_fraction` (gauge).\n### 11.2 More\n| `train/images` | count |\n";
-        let names = design_schema_names(md).expect("section present");
-        assert!(names.contains(&"engine/step".to_string()));
-        assert!(names.contains(&"device/active_fraction".to_string()));
-        assert!(names.contains(&"train/images".to_string()));
-        assert!(!names.contains(&"not/this".to_string()));
-        assert!(design_schema_names("## 10. Other\nno telemetry section\n").is_none());
-    }
-
-    #[test]
-    fn trace_schema_flags_undocumented_names() {
-        let v = trace_rule_on(
-            "crates/snn-core/src/sim/engine.rs",
-            "fn f() { let _s = snn_trace::span_cat(\"engine/mystery\", \"engine\"); }\n",
-            &["engine/step"],
-        );
-        assert!(v.iter().any(|v| v.rule == "trace-schema" && v.msg.contains("engine/mystery")));
-    }
-
-    #[test]
-    fn trace_schema_accepts_documented_and_device_prefixed_names() {
-        // Spans match verbatim; device counters/gauges match under the
-        // `device/<name>` form they are published as; multi-line launch
-        // calls put the literal on the line after the token.
-        let src = "fn f(d: &D) {\n    let _s = snn_trace::span_cat(\"engine/step\", \"engine\");\n    \
-                   d.bump_counter(\"delivery_blocks\", 1);\n    d.launch_rows_mut(\n        \
-                   \"normalize_weights\",\n        buf,\n    );\n}\n";
-        let v = trace_rule_on(
-            "crates/snn-core/src/sim/engine.rs",
-            src,
-            &["engine/step", "device/delivery_blocks", "normalize_weights"],
-        );
-        assert!(v.is_empty(), "{v:?}");
-    }
-
-    #[test]
-    fn trace_schema_skips_tests_waivers_exempt_files_and_non_literals() {
-        let v = trace_rule_on(
-            "crates/snn-core/src/sim/engine.rs",
-            "#[cfg(test)]\nmod tests {\n    fn t(d: &D) { d.launch(\"k1\", 1, |_| {}); }\n}\n",
-            &[],
-        );
-        assert!(v.is_empty(), "{v:?}");
-        let v = trace_rule_on(
-            "crates/snn-core/src/sim/engine.rs",
-            "// lint-allow: trace-schema — experimental probe, not part of the schema\n\
-             fn f() { let _s = snn_trace::span_cat(\"scratch/span\", \"x\"); }\n",
-            &[],
-        );
-        assert!(v.is_empty(), "{v:?}");
-        let v = trace_rule_on(
-            "crates/snn-trace/src/recorder.rs",
-            "fn f() { let _s = span_cat(\"internal/fixture\", \"x\"); }\n",
-            &[],
-        );
-        assert!(v.is_empty(), "{v:?}");
-        // A variable or format! name cannot be checked statically: skipped.
-        let v = trace_rule_on(
-            "crates/gpu-device/src/device.rs",
-            "fn f(name: &str) { record_span_at(name, \"kernel\", s, e); }\n",
-            &[],
-        );
-        assert!(v.iter().all(|v| !v.msg.contains("kernel")), "{v:?}");
-    }
-
-    #[test]
-    fn trace_schema_comments_do_not_count_as_uses() {
-        let v = trace_rule_on(
-            "crates/snn-core/src/sim/engine.rs",
-            "/// Example: `span_cat(\"doc/only\", \"x\")` in prose.\nfn f() {}\n",
-            &[],
-        );
-        assert!(v.is_empty(), "{v:?}");
-    }
-
-    // -- lane-width -------------------------------------------------------
-
-    #[test]
-    fn lane_width_flags_literal_shifts_and_hex_masks_in_swar_kernels() {
-        let v = rules_on(
-            "crates/snn-core/src/sim/batched.rs",
-            "fn f(w: u64) -> u64 {\n    let lo = w & 0x00FF_00FF;\n    (lo << 8) | (w >> 8)\n}\n",
-        );
-        assert_eq!(v.iter().filter(|v| v.rule == "lane-width").count(), 3, "{v:?}");
-        assert!(v.iter().any(|v| v.msg.contains("hex mask")));
-        assert!(v.iter().any(|v| v.msg.contains("`<<`")));
-        assert!(v.iter().any(|v| v.msg.contains("`>>`")));
-    }
-
-    #[test]
-    fn lane_width_accepts_derived_shifts_and_out_of_scope_files() {
-        // Shifts by a lane-layout accessor or a variable are the point of
-        // the rule — only numeric literals are flagged.
-        let v = rules_on(
-            "crates/snn-core/src/sim/batched.rs",
-            "fn f(w: u64, p: &LaneLayout, jj: usize) -> u64 {\n    \
-             let m = p.lane_mask();\n    (w & m) << p.lane_bits() | (w >> jj)\n}\n",
-        );
-        assert!(v.iter().all(|v| v.rule != "lane-width"), "{v:?}");
-        // The same literals outside the SWAR scope are another rule's
-        // business (e.g. the stream-id constants in snn-core/src/lib.rs).
-        let v = rules_on(
-            "crates/snn-core/src/lib.rs",
-            "pub const INPUT: u64 = 1 << 40;\n",
-        );
-        assert!(v.iter().all(|v| v.rule != "lane-width"), "{v:?}");
-    }
-
-    #[test]
-    fn lane_width_skips_tests_and_waivers() {
-        let v = rules_on(
-            "crates/snn-core/src/sim/batched.rs",
-            "#[cfg(test)]\nmod tests {\n    fn t() -> u64 { 0xFF << 8 }\n}\n",
-        );
-        assert!(v.iter().all(|v| v.rule != "lane-width"), "{v:?}");
-        let v = rules_on(
-            "crates/snn-core/src/sim/batched.rs",
-            "// lint-allow: lane-width — fixture demonstrating the forbidden shape\n\
-             fn f(w: u64) -> u64 { w << 8 }\n",
-        );
-        assert!(v.iter().all(|v| v.rule != "lane-width"), "{v:?}");
-    }
-
-    // -- atomic-ordering --------------------------------------------------
-
-    #[test]
-    fn atomic_ordering_flags_raw_literals_in_commit_scope() {
-        let v = rules_on(
-            "crates/gpu-device/src/commit.rs",
-            "fn fold(cell: &AtomicU64) -> u64 {\n    cell.load(Ordering::Acquire)\n}\n",
-        );
-        assert!(v.iter().any(|v| v.rule == "atomic-ordering"), "{v:?}");
-        let v = rules_on(
-            "crates/gpu-device/src/commit.rs",
-            "fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n",
-        );
-        assert!(v.iter().any(|v| v.rule == "atomic-ordering"), "{v:?}");
-    }
-
-    #[test]
-    fn atomic_ordering_accepts_named_constants_and_their_definitions() {
-        let src = "pub const COMMIT_LOAD: Ordering = Ordering::Relaxed;\n\
-                   pub const COMMIT_CAS_SUCCESS: Ordering = Ordering::Relaxed;\n\
-                   pub const COMMIT_CAS_FAILURE: Ordering = Ordering::Relaxed;\n\
-                   pub const COMMIT_STATS: Ordering = Ordering::Relaxed;\n\
-                   fn fold(cell: &AtomicU64) -> u64 {\n    cell.load(COMMIT_LOAD)\n}\n";
-        let v = rules_on("crates/gpu-device/src/commit.rs", src);
-        assert!(v.iter().all(|v| v.rule != "atomic-ordering"), "{v:?}");
-    }
-
-    #[test]
-    fn atomic_ordering_skips_tests_waivers_and_out_of_scope_files() {
-        let v = rules_on(
-            "crates/gpu-device/src/commit.rs",
-            "#[cfg(test)]\nmod tests {\n    fn t(c: &AtomicU64) { c.load(Ordering::SeqCst); }\n}\n",
-        );
-        assert!(v.iter().all(|v| v.rule != "atomic-ordering"), "{v:?}");
-        let v = rules_on(
-            "crates/gpu-device/src/commit.rs",
-            "// lint-allow: atomic-ordering — fixture demonstrating the forbidden shape\n\
-             fn f(c: &AtomicU64) { c.load(Ordering::SeqCst); }\n",
-        );
-        assert!(v.iter().all(|v| v.rule != "atomic-ordering"), "{v:?}");
-        // The pool's SeqCst counters are another file's business.
-        let v = rules_on(
-            "crates/gpu-device/src/pool.rs",
-            "fn f(c: &AtomicU64) { c.fetch_add(1, Ordering::SeqCst); }\n",
-        );
-        assert!(v.iter().all(|v| v.rule != "atomic-ordering"), "{v:?}");
-    }
-
-    // -- report -----------------------------------------------------------
-
-    #[test]
-    fn report_counts_blocks_impls_and_fns() {
-        let files = single(
-            "crates/gpu-device/src/x.rs",
-            "// SAFETY: a.\nunsafe impl Send for X {}\nfn f() {\n    // SAFETY: b.\n    \
-             unsafe { g() };\n}\npub unsafe fn h() {}\n",
-        );
-        let json = report(&files);
-        assert!(json.contains("\"unsafe_blocks\": 1"), "{json}");
-        assert!(json.contains("\"unsafe_impls\": 1"), "{json}");
-        assert!(json.contains("\"unsafe_fns\": 1"), "{json}");
-        assert!(json.contains("\"files_with_unsafe\": 1"), "{json}");
     }
 }

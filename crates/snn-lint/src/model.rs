@@ -1,0 +1,1145 @@
+//! Workspace model: items, `use`-alias resolution and the conservative
+//! call graph (DESIGN.md §15).
+//!
+//! One pass over each file's token stream extracts function items (with
+//! their `impl` owner, parameter/return types and body span), `use`
+//! aliases, and struct field types. A second pass per function extracts
+//! call sites and local-variable type bindings. Resolution then maps each
+//! call to workspace callee candidates — **conservatively**: whenever the
+//! receiver type cannot be established, the call is assumed to reach
+//! *every* workspace function of that name, so reachability answers
+//! over-approximate (may flag, never miss an edge the source spells).
+//! Calls that resolve to no workspace item are kept as alias-expanded
+//! external references, which is where the determinism-taint sinks
+//! (`rand::…`, `Instant::now`, …) are recognised even through renames
+//! like `use std::time::Instant as T`.
+
+use crate::lex::{SourceFile, TokKind};
+use std::collections::{HashMap, HashSet};
+
+/// A function item extracted from the workspace.
+pub struct FnItem {
+    /// Index of the containing file in the workspace file list.
+    pub file: usize,
+    /// Bare function name.
+    pub name: String,
+    /// `impl`/`trait` owner type, when defined inside one.
+    pub owner: Option<String>,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    /// Body as a half-open range of significant-token indices
+    /// (empty for bodyless trait-method declarations).
+    pub body: (usize, usize),
+    /// Whether the item sits in `#[cfg(test)]`-gated code.
+    pub is_test: bool,
+    /// Core identifier of the return type (wrappers like `Option<&T>`
+    /// stripped to `T`), when one could be extracted.
+    pub ret_ty: Option<String>,
+    /// `(name, core type)` of simple typed parameters.
+    pub params: Vec<(String, String)>,
+}
+
+/// How a method call names its receiver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Recv {
+    /// `self.m(…)`
+    SelfRecv,
+    /// `self.field.m(…)`
+    SelfField(String),
+    /// `ident.m(…)`
+    Local(String),
+    /// Anything else (`expr().m(…)`, `a[i].m(…)`, chained calls).
+    Unknown,
+}
+
+/// A call or path reference found in a function body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Callee {
+    /// `a::b::c(…)` or bare `c(…)` (alias-unexpanded segments).
+    Path(Vec<String>),
+    /// `recv.name(…)`.
+    Method {
+        /// Receiver shape.
+        recv: Recv,
+        /// Method name.
+        name: String,
+    },
+}
+
+/// One call site (or function-pointer-like path reference).
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// What is being called/referenced.
+    pub callee: Callee,
+    /// 0-based source line.
+    pub line: usize,
+    /// `true` for an actual call (`…(`), `false` for a bare path
+    /// reference in expression position (possible fn-pointer pass).
+    pub is_call: bool,
+}
+
+/// An alias-expanded reference that resolved to nothing in the
+/// workspace: an external function/path, kept for sink matching.
+pub struct ExtRef {
+    /// Fully alias-expanded path, segments joined with `::`.
+    pub path: String,
+    /// 0-based source line.
+    pub line: usize,
+}
+
+/// A resolved workspace call edge.
+pub struct Edge {
+    /// Callee function index.
+    pub callee: usize,
+    /// 0-based source line of the call site.
+    pub line: usize,
+}
+
+/// The extracted workspace model plus the resolved call graph.
+pub struct Model {
+    /// All extracted functions, in file order.
+    pub fns: Vec<FnItem>,
+    /// Per-function resolved workspace call edges.
+    pub edges: Vec<Vec<Edge>>,
+    /// Per-function alias-expanded external references.
+    pub externals: Vec<Vec<ExtRef>>,
+    /// Workspace-defined type names (structs/enums).
+    pub types: HashSet<String>,
+    /// Per-file `use` alias maps: local ident → full path segments.
+    pub aliases: Vec<HashMap<String, Vec<String>>>,
+    /// `(owner type, field)` → core field type.
+    pub fields: HashMap<(String, String), String>,
+    fns_by_name: HashMap<String, Vec<usize>>,
+    fns_by_owner_name: HashMap<(String, String), Vec<usize>>,
+    crate_of_file: Vec<String>,
+    crate_names: HashSet<String>,
+    /// Crate → workspace crates any of its files mention by name. Used to
+    /// keep conservative name-fallback edges inside the caller's actual
+    /// dependency cone instead of linking unrelated crates through common
+    /// method names (`next`, `recv`, `wait`, …).
+    deps: HashMap<String, HashSet<String>>,
+}
+
+/// Smart-pointer / container heads stripped when extracting a core type:
+/// `Option<&WorkerPool>` binds as `WorkerPool` so a later
+/// `pool.run(…)` after an `if let Some(pool)` unwrap still resolves.
+const WRAPPERS: &[&str] = &[
+    "Option",
+    "Some",
+    "Ok",
+    "Result",
+    "Arc",
+    "Rc",
+    "Box",
+    "Vec",
+    "VecDeque",
+    "Mutex",
+    "RwLock",
+    "RefCell",
+    "Cell",
+    "ManuallyDrop",
+    "Pin",
+];
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "match", "return", "loop", "for", "in", "as", "move", "let", "fn",
+    "pub", "use", "mod", "impl", "trait", "struct", "enum", "where", "unsafe", "const", "static",
+    "mut", "ref", "break", "continue", "dyn", "async", "await", "type", "extern",
+];
+
+fn crate_of(rel: &str) -> String {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let name = rest.split('/').next().unwrap_or("");
+        name.replace('-', "_")
+    } else {
+        // Root crate (`src/`, `tests/`).
+        "crate_root".to_string()
+    }
+}
+
+impl Model {
+    /// Extracts items from every file and resolves the call graph.
+    pub fn build(files: &[SourceFile]) -> Model {
+        let mut m = Model {
+            fns: Vec::new(),
+            edges: Vec::new(),
+            externals: Vec::new(),
+            types: HashSet::new(),
+            aliases: Vec::new(),
+            fields: HashMap::new(),
+            fns_by_name: HashMap::new(),
+            fns_by_owner_name: HashMap::new(),
+            crate_of_file: Vec::new(),
+            crate_names: HashSet::new(),
+            deps: HashMap::new(),
+        };
+        for (fi, f) in files.iter().enumerate() {
+            let krate = crate_of(&f.rel);
+            m.crate_names.insert(krate.clone());
+            m.crate_of_file.push(krate);
+            let mut aliases = HashMap::new();
+            extract_items(f, fi, &mut m.fns, &mut m.types, &mut aliases, &mut m.fields);
+            m.aliases.push(aliases);
+        }
+        // Dependency cone: any identifier in a file that names another
+        // workspace crate (a `use` root or a qualified path head) marks
+        // that crate as reachable from the file's crate.
+        for (fi, f) in files.iter().enumerate() {
+            let krate = m.crate_of_file[fi].clone();
+            let entry = m.deps.entry(krate.clone()).or_default();
+            entry.insert(krate);
+            for t in &f.toks {
+                if t.kind == TokKind::Ident && m.crate_names.contains(&t.text) {
+                    entry.insert(t.text.clone());
+                }
+            }
+        }
+        for (i, f) in m.fns.iter().enumerate() {
+            m.fns_by_name.entry(f.name.clone()).or_default().push(i);
+            if let Some(o) = &f.owner {
+                m.fns_by_owner_name
+                    .entry((o.clone(), f.name.clone()))
+                    .or_default()
+                    .push(i);
+            }
+        }
+        // Second pass: calls + resolution.
+        for i in 0..m.fns.len() {
+            let f = &m.fns[i];
+            let file = &files[f.file];
+            let (sites, locals) = body_scan(file, f);
+            let (edges, ext) = m.resolve(i, &sites, &locals);
+            m.edges.push(edges);
+            m.externals.push(ext);
+        }
+        m
+    }
+
+    /// The function index of `owner::name`, if extracted.
+    pub fn find(&self, owner: &str, name: &str) -> Option<usize> {
+        self.fns_by_owner_name
+            .get(&(owner.to_string(), name.to_string()))
+            .map(|v| v[0])
+    }
+
+    /// Restricts candidate callees to the caller's dependency cone: a
+    /// crate that never mentions `snn_serve` cannot call into it, so a
+    /// same-named method there is a different function, not an edge.
+    fn visible(&self, krate: &str, cands: &[usize]) -> Vec<usize> {
+        let Some(dep) = self.deps.get(krate) else {
+            return cands.to_vec();
+        };
+        cands
+            .iter()
+            .copied()
+            .filter(|&i| dep.contains(&self.crate_of_file[self.fns[i].file]))
+            .collect()
+    }
+
+    /// Resolves a local-type marker (`let p = self.pool_for();` /
+    /// `let x = helper();`) to the callee's declared return type, or
+    /// passes a plain type name through unchanged. Returns `None` when
+    /// the callee is unknown — the caller then falls back to the
+    /// conservative all-candidates path.
+    fn deref_type_marker(&self, f: &FnItem, t: String) -> Option<String> {
+        if let Some(m) = t.strip_prefix(SELF_METHOD_MARKER) {
+            let o = f.owner.as_ref()?;
+            let idx = *self
+                .fns_by_owner_name
+                .get(&(o.clone(), m.to_string()))?
+                .first()?;
+            return self.fns[idx].ret_ty.clone();
+        }
+        if let Some(m) = t.strip_prefix(BARE_CALL_MARKER) {
+            let cands = self.fns_by_name.get(m)?;
+            // Only trust the ret-ty when it is unambiguous workspace-wide.
+            if cands.len() != 1 {
+                return None;
+            }
+            return self.fns[cands[0]].ret_ty.clone();
+        }
+        Some(t)
+    }
+
+    fn resolve(
+        &self,
+        caller: usize,
+        sites: &[CallSite],
+        locals: &HashMap<String, String>,
+    ) -> (Vec<Edge>, Vec<ExtRef>) {
+        let f = &self.fns[caller];
+        let aliases = &self.aliases[f.file];
+        let krate = &self.crate_of_file[f.file];
+        let mut edges = Vec::new();
+        let mut ext = Vec::new();
+        let push_edges = |edges: &mut Vec<Edge>, cands: &[usize], line: usize| {
+            for &c in cands {
+                edges.push(Edge { callee: c, line });
+            }
+        };
+        for s in sites {
+            match &s.callee {
+                Callee::Method { recv, name } => {
+                    // `drop` is the std intrinsic; explicit destructor
+                    // dispatch (and implicit drops generally) are out of
+                    // scope for this call graph.
+                    if name == "drop" {
+                        ext.push(ExtRef {
+                            path: "std::mem::drop".into(),
+                            line: s.line,
+                        });
+                        continue;
+                    }
+                    let ty: Option<String> = match recv {
+                        Recv::SelfRecv => f.owner.clone(),
+                        Recv::SelfField(field) => f
+                            .owner
+                            .as_ref()
+                            .and_then(|o| self.fields.get(&(o.clone(), field.clone())).cloned()),
+                        Recv::Local(l) => locals
+                            .get(l)
+                            .cloned()
+                            .or_else(|| {
+                                f.params
+                                    .iter()
+                                    .find(|(p, _)| p == l)
+                                    .map(|(_, t)| t.clone())
+                            })
+                            .and_then(|t| self.deref_type_marker(f, t)),
+                        Recv::Unknown => None,
+                    };
+                    let cands: Vec<usize> = match &ty {
+                        Some(t) => match self
+                            .fns_by_owner_name
+                            .get(&(t.clone(), name.clone()))
+                            .map(|v| self.visible(krate, v))
+                        {
+                            Some(v) if !v.is_empty() => v,
+                            // Known receiver type but no visible inherent
+                            // method: a trait/std method — conservatively
+                            // assume any same-named visible workspace fn.
+                            _ => self.visible(
+                                krate,
+                                &self.fns_by_name.get(name).cloned().unwrap_or_default(),
+                            ),
+                        },
+                        None => self.visible(
+                            krate,
+                            &self.fns_by_name.get(name).cloned().unwrap_or_default(),
+                        ),
+                    };
+                    if cands.is_empty() {
+                        ext.push(ExtRef {
+                            path: name.clone(),
+                            line: s.line,
+                        });
+                    } else {
+                        push_edges(&mut edges, &cands, s.line);
+                    }
+                }
+                Callee::Path(raw) => {
+                    let mut segs = raw.clone();
+                    // `Self::m` → the impl owner.
+                    if segs[0] == "Self" {
+                        if let Some(o) = &f.owner {
+                            segs[0] = o.clone();
+                        }
+                    }
+                    // Alias expansion (`use std::time::Instant as T` makes
+                    // `T::now` → `std::time::Instant::now`).
+                    if let Some(full) = aliases.get(&segs[0]) {
+                        let mut e = full.clone();
+                        e.extend(segs[1..].iter().cloned());
+                        segs = e;
+                    }
+                    if segs[0] == "crate" || segs[0] == "super" || segs[0] == "self" {
+                        segs[0] = krate.clone();
+                    }
+                    let name = segs.last().unwrap().clone();
+                    if segs.len() == 1 && name == "drop" {
+                        ext.push(ExtRef {
+                            path: "std::mem::drop".into(),
+                            line: s.line,
+                        });
+                        continue;
+                    }
+                    let qualifier = if segs.len() >= 2 {
+                        Some(segs[segs.len() - 2].clone())
+                    } else {
+                        None
+                    };
+                    let external_root = segs.len() >= 2
+                        && !self.crate_names.contains(&segs[0])
+                        && !self.types.contains(&segs[0])
+                        && !KNOWN_INTERNAL_HEADS.contains(&segs[0].as_str());
+                    let mut cands: Vec<usize> = Vec::new();
+                    if !external_root {
+                        if let Some(q) = &qualifier {
+                            if let Some(v) = self.fns_by_owner_name.get(&(q.clone(), name.clone()))
+                            {
+                                cands = self.visible(krate, v);
+                            }
+                        }
+                        if cands.is_empty() {
+                            if let Some(v) = self.fns_by_name.get(&name) {
+                                let v = &self.visible(krate, v);
+                                if segs.len() == 1 {
+                                    // Bare call/ref: prefer same file, then
+                                    // same crate, else every candidate.
+                                    let same_file: Vec<usize> = v
+                                        .iter()
+                                        .copied()
+                                        .filter(|&i| self.fns[i].file == f.file)
+                                        .collect();
+                                    let same_crate: Vec<usize> = v
+                                        .iter()
+                                        .copied()
+                                        .filter(|&i| self.crate_of_file[self.fns[i].file] == *krate)
+                                        .collect();
+                                    cands = if !same_file.is_empty() {
+                                        same_file
+                                    } else if !same_crate.is_empty() {
+                                        same_crate
+                                    } else if s.is_call {
+                                        v.clone()
+                                    } else {
+                                        // Bare non-call ident matching only
+                                        // out-of-crate fns: almost always a
+                                        // local variable, not a pointer.
+                                        Vec::new()
+                                    };
+                                } else {
+                                    cands = v.clone();
+                                }
+                            }
+                        }
+                    }
+                    if cands.is_empty() {
+                        ext.push(ExtRef {
+                            path: segs.join("::"),
+                            line: s.line,
+                        });
+                    } else {
+                        push_edges(&mut edges, &cands, s.line);
+                    }
+                }
+            }
+        }
+        (edges, ext)
+    }
+}
+
+/// Path heads that are workspace-internal but not crate or type names
+/// (module paths like `sim::engine::f`).
+const KNOWN_INTERNAL_HEADS: &[&str] = &[];
+
+// ---------------------------------------------------------------------------
+// Item extraction
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    f: &'a SourceFile,
+    sig: Vec<usize>,
+}
+
+impl<'a> Cursor<'a> {
+    fn text(&self, k: usize) -> &str {
+        self.sig
+            .get(k)
+            .map(|&i| self.f.toks[i].text.as_str())
+            .unwrap_or("")
+    }
+    fn kind(&self, k: usize) -> Option<TokKind> {
+        self.sig.get(k).map(|&i| self.f.toks[i].kind)
+    }
+    fn line(&self, k: usize) -> usize {
+        self.sig.get(k).map(|&i| self.f.toks[i].line).unwrap_or(0)
+    }
+    fn len(&self) -> usize {
+        self.sig.len()
+    }
+    /// Skips a balanced `<…>` region starting at `k` (which must point at
+    /// `<`); returns the index just past the matching `>`. Fused `<<`/`>>`
+    /// tokens count twice.
+    fn skip_angles(&self, mut k: usize) -> usize {
+        let mut depth: i64 = 0;
+        while k < self.len() {
+            match self.text(k) {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                // `->` inside Fn(..) -> X sugar: ignore.
+                "(" => {
+                    k = self.skip_group(k, "(", ")");
+                    continue;
+                }
+                _ => {}
+            }
+            k += 1;
+            if depth <= 0 {
+                break;
+            }
+        }
+        k
+    }
+    /// Skips a balanced group starting at `k` (pointing at `open`);
+    /// returns the index just past the matching `close`.
+    fn skip_group(&self, mut k: usize, open: &str, close: &str) -> usize {
+        let mut depth = 0i64;
+        while k < self.len() {
+            let t = self.text(k);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            k += 1;
+        }
+        k
+    }
+}
+
+/// Extracts the core type identifier from the significant tokens
+/// `[k, end)`: strips references, `mut`, lifetimes, `dyn`/`impl`, and
+/// descends through one or more [`WRAPPERS`] generics (`Option<&T>` → `T`),
+/// then returns the last path segment before any generic args.
+fn core_type(c: &Cursor, mut k: usize, end: usize) -> Option<String> {
+    loop {
+        match c.text(k) {
+            "&" | "mut" | "dyn" | "impl" | "*" | "const" => k += 1,
+            _ if c.kind(k) == Some(TokKind::Lifetime) => k += 1,
+            _ => break,
+        }
+        if k >= end {
+            return None;
+        }
+    }
+    if c.kind(k) != Some(TokKind::Ident) {
+        return None;
+    }
+    // Walk the path: a::b::C<…> — remember the last segment.
+    let mut last = c.text(k).to_string();
+    k += 1;
+    while k + 1 < end && c.text(k) == "::" && c.kind(k + 1) == Some(TokKind::Ident) {
+        last = c.text(k + 1).to_string();
+        k += 2;
+    }
+    if WRAPPERS.contains(&last.as_str()) && k < end && c.text(k) == "<" {
+        // Descend into the first generic argument.
+        return core_type(c, k + 1, c.skip_angles(k).min(end));
+    }
+    Some(last)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extract_items(
+    f: &SourceFile,
+    file_idx: usize,
+    fns: &mut Vec<FnItem>,
+    types: &mut HashSet<String>,
+    aliases: &mut HashMap<String, Vec<String>>,
+    fields: &mut HashMap<(String, String), String>,
+) {
+    let c = Cursor { f, sig: f.sig() };
+    let n = c.len();
+    let mut depth: i64 = 0;
+    let mut impl_stack: Vec<(i64, String)> = Vec::new(); // (depth of body, owner)
+    let mut pending_impl: Option<String> = None;
+    let mut k = 0usize;
+    while k < n {
+        match c.text(k) {
+            "{" => {
+                depth += 1;
+                if let Some(o) = pending_impl.take() {
+                    impl_stack.push((depth, o));
+                }
+                k += 1;
+            }
+            "}" => {
+                if impl_stack.last().is_some_and(|(d, _)| *d == depth) {
+                    impl_stack.pop();
+                }
+                depth -= 1;
+                k += 1;
+            }
+            "use" => {
+                k = parse_use(&c, k + 1, aliases);
+            }
+            "struct" | "enum" if c.kind(k + 1) == Some(TokKind::Ident) => {
+                let ty = c.text(k + 1).to_string();
+                types.insert(ty.clone());
+                let is_struct = c.text(k) == "struct";
+                let mut j = k + 2;
+                if c.text(j) == "<" {
+                    j = c.skip_angles(j);
+                }
+                while c.text(j) == "where"
+                    || (c.kind(j) == Some(TokKind::Ident) && !c.text(j).is_empty())
+                {
+                    // where clauses before the body: skip token-wise until
+                    // `{`, `;` or `(`.
+                    if matches!(c.text(j), "{" | ";" | "(") {
+                        break;
+                    }
+                    j += 1;
+                    if j >= n {
+                        break;
+                    }
+                }
+                if is_struct && c.text(j) == "{" {
+                    parse_struct_fields(&c, j, &ty, fields);
+                }
+                k += 2;
+            }
+            "impl" => {
+                let mut j = k + 1;
+                if c.text(j) == "<" {
+                    j = c.skip_angles(j);
+                }
+                // Read to `{` / `where`, tracking the path after a `for`.
+                let mut owner: Option<String> = None;
+                let mut after_for = false;
+                let mut first_path: Option<String> = None;
+                while j < n && c.text(j) != "{" && c.text(j) != "where" {
+                    match c.text(j) {
+                        "for" => {
+                            after_for = true;
+                            owner = None;
+                            j += 1;
+                        }
+                        "<" => j = c.skip_angles(j),
+                        _ if c.kind(j) == Some(TokKind::Ident) => {
+                            if after_for || first_path.is_none() {
+                                owner = Some(c.text(j).to_string());
+                            }
+                            if first_path.is_none() {
+                                first_path = Some(c.text(j).to_string());
+                            }
+                            j += 1;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                // `impl Type { }` (no `for`): owner is the last path
+                // segment read; handled above by overwriting `owner`.
+                pending_impl = owner.or(first_path);
+                // Continue from the path; the `{` case pushes the stack.
+                k += 1;
+            }
+            "fn" if c.kind(k + 1) == Some(TokKind::Ident) => {
+                let name = c.text(k + 1).to_string();
+                let line = c.line(k);
+                let mut j = k + 2;
+                if c.text(j) == "<" {
+                    j = c.skip_angles(j);
+                }
+                let mut params = Vec::new();
+                if c.text(j) == "(" {
+                    let pend = c.skip_group(j, "(", ")");
+                    parse_params(&c, j + 1, pend - 1, &mut params);
+                    j = pend;
+                }
+                let mut ret_ty = None;
+                if c.text(j) == "->" {
+                    let mut e = j + 1;
+                    while e < n && !matches!(c.text(e), "{" | ";" | "where") {
+                        if c.text(e) == "<" {
+                            e = c.skip_angles(e);
+                        } else {
+                            e += 1;
+                        }
+                    }
+                    ret_ty = core_type(&c, j + 1, e);
+                    j = e;
+                }
+                while j < n && !matches!(c.text(j), "{" | ";") {
+                    j += 1;
+                }
+                let body = if c.text(j) == "{" {
+                    let end = c.skip_group(j, "{", "}");
+                    (j + 1, end.saturating_sub(1))
+                } else {
+                    (j, j) // bodyless declaration
+                };
+                let is_test = f.lines.get(line).map(|l| l.in_test).unwrap_or(false);
+                fns.push(FnItem {
+                    file: file_idx,
+                    name,
+                    owner: impl_stack.last().map(|(_, o)| o.clone()),
+                    line,
+                    body,
+                    is_test,
+                    ret_ty,
+                    params,
+                });
+                // Do NOT skip the body: nested fns/impls are extracted too
+                // (brace tracking continues naturally).
+                k += 2;
+            }
+            _ => k += 1,
+        }
+    }
+}
+
+fn parse_params(c: &Cursor, mut k: usize, end: usize, out: &mut Vec<(String, String)>) {
+    while k < end {
+        // One parameter: until a top-level comma.
+        let mut j = k;
+        let mut pend = end;
+        let mut d = 0i64;
+        while j < end {
+            match c.text(j) {
+                "(" | "[" | "{" => d += 1,
+                ")" | "]" | "}" => d -= 1,
+                "<" => {
+                    j = c.skip_angles(j);
+                    continue;
+                }
+                "," if d == 0 => {
+                    pend = j;
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // `name : TYPE` with a simple ident pattern.
+        let mut p = k;
+        while matches!(c.text(p), "mut" | "&") {
+            p += 1;
+        }
+        if c.kind(p) == Some(TokKind::Ident) && c.text(p) != "self" && c.text(p + 1) == ":" {
+            if let Some(ty) = core_type(c, p + 2, pend) {
+                out.push((c.text(p).to_string(), ty));
+            }
+        }
+        k = pend + 1;
+    }
+}
+
+fn parse_struct_fields(
+    c: &Cursor,
+    body_start: usize,
+    ty: &str,
+    fields: &mut HashMap<(String, String), String>,
+) {
+    let end = c.skip_group(body_start, "{", "}").saturating_sub(1);
+    let mut k = body_start + 1;
+    while k < end {
+        // Skip attributes and visibility.
+        if c.text(k) == "#" {
+            if c.text(k + 1) == "[" {
+                k = c.skip_group(k + 1, "[", "]");
+            } else {
+                k += 1;
+            }
+            continue;
+        }
+        if c.text(k) == "pub" {
+            k += 1;
+            if c.text(k) == "(" {
+                k = c.skip_group(k, "(", ")");
+            }
+            continue;
+        }
+        if c.kind(k) == Some(TokKind::Ident) && c.text(k + 1) == ":" {
+            // Field: type runs to the next top-level comma or the end.
+            let name = c.text(k).to_string();
+            let mut j = k + 2;
+            let mut d = 0i64;
+            while j < end {
+                match c.text(j) {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" | "}" => d -= 1,
+                    "<" => {
+                        j = c.skip_angles(j);
+                        continue;
+                    }
+                    "," if d == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(t) = core_type(c, k + 2, j) {
+                fields.insert((ty.to_string(), name), t);
+            }
+            k = j + 1;
+        } else {
+            k += 1;
+        }
+    }
+}
+
+/// Parses one `use` declaration starting just past the `use` keyword;
+/// returns the index past the terminating `;`. Fills `aliases` with
+/// `local name → full path segments`, handling `as` renames and nested
+/// `{…}` groups; glob imports are skipped.
+fn parse_use(c: &Cursor, k: usize, aliases: &mut HashMap<String, Vec<String>>) -> usize {
+    fn go(
+        c: &Cursor,
+        mut k: usize,
+        prefix: &[String],
+        aliases: &mut HashMap<String, Vec<String>>,
+    ) -> usize {
+        let mut path: Vec<String> = prefix.to_vec();
+        loop {
+            match c.text(k) {
+                "{" => {
+                    // Group: parse comma-separated subtrees.
+                    k += 1;
+                    loop {
+                        if c.text(k) == "}" {
+                            return k + 1;
+                        }
+                        k = go(c, k, &path, aliases);
+                        if c.text(k) == "," {
+                            k += 1;
+                        } else if c.text(k) == "}" {
+                            return k + 1;
+                        } else if k >= c.len() {
+                            return k;
+                        }
+                    }
+                }
+                "*" => return k + 1,
+                _ if c.kind(k) == Some(TokKind::Ident) => {
+                    path.push(c.text(k).to_string());
+                    k += 1;
+                    if c.text(k) == "::" {
+                        k += 1;
+                        continue;
+                    }
+                    if c.text(k) == "as" && c.kind(k + 1) == Some(TokKind::Ident) {
+                        aliases.insert(c.text(k + 1).to_string(), path.clone());
+                        return k + 2;
+                    }
+                    // Plain leaf: the last segment becomes the local name.
+                    if let Some(last) = path.last().cloned() {
+                        aliases.insert(last, path.clone());
+                    }
+                    return k;
+                }
+                _ => return k + 1, // malformed / visibility like `pub use`
+            }
+        }
+    }
+    let mut k = k;
+    k = go(c, k, &[], aliases);
+    while k < c.len() && c.text(k) != ";" {
+        k += 1;
+    }
+    k + 1
+}
+
+// ---------------------------------------------------------------------------
+// Body scan: call sites + local type bindings
+// ---------------------------------------------------------------------------
+
+fn body_scan(f: &SourceFile, item: &FnItem) -> (Vec<CallSite>, HashMap<String, String>) {
+    let c = Cursor { f, sig: f.sig() };
+    let (b0, b1) = item.body;
+    let mut sites = Vec::new();
+    let mut locals: HashMap<String, String> = HashMap::new();
+    let mut k = b0;
+    while k < b1 {
+        // `let` bindings → local types.
+        if c.text(k) == "let" {
+            let mut j = k + 1;
+            if c.text(j) == "mut" {
+                j += 1;
+            }
+            // `let Some(x) = …` / `let Ok(x) = …` unwrap patterns.
+            let (name_idx, unwrapped) = if matches!(c.text(j), "Some" | "Ok")
+                && c.text(j + 1) == "("
+                && c.kind(j + 2) == Some(TokKind::Ident)
+                && c.text(j + 3) == ")"
+            {
+                (j + 2, true)
+            } else {
+                (j, false)
+            };
+            if c.kind(name_idx) == Some(TokKind::Ident) && !KEYWORDS.contains(&c.text(name_idx)) {
+                let name = c.text(name_idx).to_string();
+                let after = if unwrapped {
+                    name_idx + 2
+                } else {
+                    name_idx + 1
+                };
+                if c.text(after) == ":" {
+                    // Explicit annotation: type runs to `=` or `;`.
+                    let mut e = after + 1;
+                    while e < b1 && !matches!(c.text(e), "=" | ";") {
+                        if c.text(e) == "<" {
+                            e = c.skip_angles(e);
+                        } else {
+                            e += 1;
+                        }
+                    }
+                    if let Some(t) = core_type(&c, after + 1, e) {
+                        locals.insert(name, t);
+                    }
+                } else if c.text(after) == "=" {
+                    if let Some(t) = expr_head_type(&c, after + 1, item, &locals) {
+                        locals.insert(name, t);
+                    }
+                }
+            }
+        }
+        // Calls and path references.
+        if c.kind(k) == Some(TokKind::Ident) && !KEYWORDS.contains(&c.text(k)) {
+            let prev = if k > b0 { c.text(k - 1) } else { "" };
+            if prev == "." {
+                // Method call?
+                if c.text(k + 1) == "(" {
+                    let recv = if k >= b0 + 2 && c.text(k - 2) == "self" {
+                        Recv::SelfRecv
+                    } else if k >= b0 + 4
+                        && c.kind(k - 2) == Some(TokKind::Ident)
+                        && c.text(k - 3) == "."
+                        && c.text(k - 4) == "self"
+                    {
+                        Recv::SelfField(c.text(k - 2).to_string())
+                    } else if c.kind(k - 2) == Some(TokKind::Ident) {
+                        Recv::Local(c.text(k - 2).to_string())
+                    } else {
+                        Recv::Unknown
+                    };
+                    sites.push(CallSite {
+                        callee: Callee::Method {
+                            recv,
+                            name: c.text(k).to_string(),
+                        },
+                        line: c.line(k),
+                        is_call: true,
+                    });
+                }
+                k += 1;
+                continue;
+            }
+            if prev != "::" {
+                // Head of a path chain: collect `a::b::c`.
+                let mut segs = vec![c.text(k).to_string()];
+                let mut j = k + 1;
+                while c.text(j) == "::" && c.kind(j + 1) == Some(TokKind::Ident) {
+                    segs.push(c.text(j + 1).to_string());
+                    j += 2;
+                }
+                // Turbofish `f::<T>(…)`.
+                let mut call_at = j;
+                if c.text(j) == "::" && c.text(j + 1) == "<" {
+                    call_at = c.skip_angles(j + 1);
+                }
+                if c.text(call_at) == "(" {
+                    sites.push(CallSite {
+                        callee: Callee::Path(segs),
+                        line: c.line(k),
+                        is_call: true,
+                    });
+                } else {
+                    // Bare/path reference in expression position; skip
+                    // obvious non-expressions: macro names, struct field
+                    // inits / type ascriptions, receivers, `!` macros.
+                    let nxt = c.text(j);
+                    let skip = nxt == "!" || nxt == ":" || nxt == "." || nxt == "{";
+                    if !skip {
+                        sites.push(CallSite {
+                            callee: Callee::Path(segs),
+                            line: c.line(k),
+                            is_call: false,
+                        });
+                    }
+                }
+                k = j;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    (sites, locals)
+}
+
+/// Infers the core type of an expression head at `k`:
+/// `self.field`, `self.method(…)`, `Type::ctor(…)`, or a bare call.
+/// Marker prefix for a local whose type is the return type of a method on
+/// the enclosing impl's `Self` (`let p = self.pool_for();`). Resolved
+/// against the fn tables in [`Model::resolve`].
+pub(crate) const SELF_METHOD_MARKER: &str = "\u{0}self:";
+/// Marker prefix for a local bound to a bare free-fn call
+/// (`let x = helper();`) — resolved via the callee's return type.
+pub(crate) const BARE_CALL_MARKER: &str = "\u{0}call:";
+
+fn expr_head_type(
+    c: &Cursor,
+    k: usize,
+    item: &FnItem,
+    _locals: &HashMap<String, String>,
+) -> Option<String> {
+    // Shapes that need the model tables (ret-ty lookups) return markers;
+    // `Type::path(…)` resolves syntactically to `Type` right here.
+    if c.text(k) == "self"
+        && c.text(k + 1) == "."
+        && c.kind(k + 2) == Some(TokKind::Ident)
+        && c.text(k + 3) == "("
+    {
+        return Some(format!("{SELF_METHOD_MARKER}{}", c.text(k + 2)));
+    }
+    if c.kind(k) == Some(TokKind::Ident) {
+        let first = c.text(k).to_string();
+        // `Type::new(…)`-style constructor: qualifier is a type if it
+        // starts uppercase.
+        if c.text(k + 1) == "::"
+            && c.kind(k + 2) == Some(TokKind::Ident)
+            && first.chars().next().is_some_and(|ch| ch.is_uppercase())
+            && !WRAPPERS.contains(&first.as_str())
+        {
+            return Some(first);
+        }
+        if c.text(k + 1) == "(" && !KEYWORDS.contains(&first.as_str()) {
+            return Some(format!("{BARE_CALL_MARKER}{first}"));
+        }
+        let _ = item;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::SourceFile;
+
+    fn model(rel_srcs: &[(&str, &str)]) -> (Vec<SourceFile>, Model) {
+        let files: Vec<SourceFile> = rel_srcs
+            .iter()
+            .map(|(r, s)| SourceFile::parse(r, s))
+            .collect();
+        let m = Model::build(&files);
+        (files, m)
+    }
+
+    #[test]
+    fn extracts_fns_with_owners_and_bodies() {
+        let (_, m) = model(&[(
+            "crates/snn-core/src/sim/engine.rs",
+            "pub struct WtaEngine { device: Device }\n\
+             impl WtaEngine {\n    pub fn step_core(&mut self) { self.helper(); }\n    \
+             fn helper(&self) {}\n}\nfn free() {}\n",
+        )]);
+        assert_eq!(m.fns.len(), 3);
+        assert_eq!(m.fns[0].name, "step_core");
+        assert_eq!(m.fns[0].owner.as_deref(), Some("WtaEngine"));
+        assert_eq!(m.fns[2].name, "free");
+        assert_eq!(m.fns[2].owner, None);
+        // step_core → helper edge via self-method resolution.
+        let e = &m.edges[0];
+        assert!(
+            e.iter().any(|e| m.fns[e.callee].name == "helper"),
+            "self call resolves"
+        );
+    }
+
+    #[test]
+    fn use_alias_resolution_expands_renames() {
+        let (_, m) = model(&[(
+            "crates/snn-core/src/sim/engine.rs",
+            "use std::time::Instant as T;\nfn f() { let t = T::now(); }\n",
+        )]);
+        let ext = &m.externals[0];
+        assert!(
+            ext.iter().any(|e| e.path == "std::time::Instant::now"),
+            "alias must expand: {:?}",
+            ext.iter().map(|e| &e.path).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn use_groups_and_renames() {
+        let (_, m) = model(&[(
+            "crates/x/src/lib.rs",
+            "use a::b::{c, d as e, f::g};\nfn h() { c(); e(); g(); }\n",
+        )]);
+        let ext: Vec<&str> = m.externals[0].iter().map(|e| e.path.as_str()).collect();
+        assert!(ext.contains(&"a::b::c"), "{ext:?}");
+        assert!(ext.contains(&"a::b::d"), "{ext:?}");
+        assert!(ext.contains(&"a::b::f::g"), "{ext:?}");
+    }
+
+    #[test]
+    fn field_typed_method_resolution() {
+        let (_, m) = model(&[(
+            "crates/gpu-device/src/device.rs",
+            "pub struct Device { pool: Option<WorkerPool> }\n\
+             pub struct WorkerPool {}\n\
+             impl WorkerPool { pub fn run(&self) {} }\n\
+             pub struct Trainer {}\n\
+             impl Trainer { pub fn run(&self) { let t = std::time::Instant::now(); } }\n\
+             impl Device {\n  fn pool_for(&self) -> Option<&WorkerPool> { self.pool.as_ref() }\n  \
+             pub fn launch(&self) {\n    let pool = self.pool_for();\n    pool.run();\n  }\n}\n",
+        )]);
+        let launch = m.find("Device", "launch").expect("launch extracted");
+        let runs: Vec<&FnItem> = m.edges[launch]
+            .iter()
+            .map(|e| &m.fns[e.callee])
+            .filter(|f| f.name == "run")
+            .collect();
+        assert_eq!(
+            runs.len(),
+            1,
+            "local typed via ret-ty: only WorkerPool::run"
+        );
+        assert_eq!(runs[0].owner.as_deref(), Some("WorkerPool"));
+    }
+
+    #[test]
+    fn unknown_receiver_falls_back_to_all_candidates() {
+        let (_, m) = model(&[(
+            "crates/x/src/lib.rs",
+            "pub struct A {}\nimpl A { pub fn go(&self) {} }\n\
+             pub struct B {}\nimpl B { pub fn go(&self) {} }\n\
+             fn f(x: &dyn std::any::Any) { helper().go(); }\nfn helper() -> u32 { 0 }\n",
+        )]);
+        let f = m.fns.iter().position(|f| f.name == "f").unwrap();
+        let gos = m.edges[f]
+            .iter()
+            .filter(|e| m.fns[e.callee].name == "go")
+            .count();
+        assert_eq!(gos, 2, "untyped receiver: conservative edges to both go()s");
+    }
+
+    #[test]
+    fn sink_paths_survive_fn_pointer_position() {
+        // `Instant::now` passed as a value (no call parens) still shows
+        // up as an external reference.
+        let (_, m) = model(&[(
+            "crates/x/src/lib.rs",
+            "use std::time::Instant;\nfn f() { let e = EPOCH.get_or_init(Instant::now); }\n",
+        )]);
+        assert!(m.externals[0]
+            .iter()
+            .any(|e| e.path.ends_with("Instant::now")));
+    }
+
+    #[test]
+    fn param_types_resolve_methods() {
+        let (_, m) = model(&[(
+            "crates/x/src/lib.rs",
+            "pub struct D {}\nimpl D { pub fn go(&self) {} }\n\
+             fn f(d: &D) { d.go(); }\n",
+        )]);
+        let f = m.fns.iter().position(|f| f.name == "f").unwrap();
+        assert!(m.edges[f].iter().any(|e| m.fns[e.callee].name == "go"));
+    }
+
+    #[test]
+    fn test_code_is_marked() {
+        let (_, m) = model(&[(
+            "crates/x/src/lib.rs",
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n",
+        )]);
+        assert!(!m.fns[0].is_test);
+        assert!(m.fns[1].is_test);
+    }
+}

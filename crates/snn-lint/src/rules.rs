@@ -1,0 +1,1002 @@
+//! The token-level invariant rules, ported from the original line
+//! scanner onto the [`crate::lex`] views (DESIGN.md §15). The views are
+//! built from the lossless token stream, so literals inside macros and
+//! calls split across lines are handled exactly; the rule logic itself
+//! is unchanged where it was already sound.
+//!
+//! The old `philox-only` path-list rule is gone — its property is now
+//! *proved* by the call-graph [`crate::taint`] analysis.
+
+use crate::lex::SourceFile;
+use crate::{waived, Violation};
+
+// ---------------------------------------------------------------------------
+// Policy tables (paths are workspace-relative, forward slashes)
+// ---------------------------------------------------------------------------
+
+/// Files allowed to contain the token `unsafe` at all. Everything else in
+/// the workspace must be (and is declared) safe code.
+pub const UNSAFE_ALLOWED: &[&str] = &[
+    "crates/gpu-device/src/",
+    "crates/snn-loom/src/",
+    "crates/snn-core/src/sim/engine.rs",
+    "crates/snn-core/src/sim/batched.rs",
+    "crates/snn-core/src/sim/generic.rs",
+    // The curated sanitizer suite exists to *drive* the unsafe surface
+    // (Miri/TSan CI jobs); see its header for the item -> test inventory.
+    "crates/gpu-device/tests/unsafe_surface.rs",
+];
+
+/// Crate roots that must carry `#![forbid(unsafe_code)]`.
+pub const FORBID_UNSAFE_ROOTS: &[&str] = &[
+    "crates/qformat/src/lib.rs",
+    "crates/spike-encoding/src/lib.rs",
+    "crates/snn-datasets/src/lib.rs",
+    "crates/snn-learning/src/lib.rs",
+    "crates/reference-sim/src/lib.rs",
+    "crates/bench/src/lib.rs",
+    "crates/snn-lint/src/lib.rs",
+    "crates/snn-trace/src/lib.rs",
+    "crates/snn-serve/src/lib.rs",
+    "src/lib.rs",
+];
+
+/// Crate roots that host unsafe code and must therefore carry
+/// `#![deny(unsafe_op_in_unsafe_fn)]` (no implicit unsafe scope inside
+/// unsafe fns: every unsafe operation sits in its own commented block).
+pub const UNSAFE_OP_ROOTS: &[&str] = &[
+    "crates/gpu-device/src/lib.rs",
+    "crates/snn-core/src/lib.rs",
+    "crates/snn-loom/src/lib.rs",
+];
+
+/// Modules whose hot loops must not iterate hash containers.
+pub const HASH_SCOPE: &[&str] = &[
+    "crates/snn-core/src/sim/",
+    "crates/snn-core/src/stdp/",
+    "crates/gpu-device/src/fused.rs",
+];
+
+/// Files where functions mutating the row-major conductance matrix must
+/// also touch the transposed-view coherence API.
+pub const COHERENCE_SCOPE: &[&str] = &["crates/snn-core/src/sim/"];
+/// Mutator tokens: raw mutable access to the conductance storage.
+pub const COHERENCE_MUTATORS: &[&str] = &["as_flat_mut", "row_mut("];
+/// Coherence tokens: any of these in the same function discharges the rule.
+pub const COHERENCE_API: &[&str] = &["refresh(", "TransposedConductances::new"];
+
+/// Model-checked crates: files (other than each crate's shim itself) must
+/// reach sync primitives only through `crate::sync`, so `--cfg loom` swaps
+/// them all. Pairs of (scope prefix, exempt shim path).
+pub const SYNC_SHIM_SCOPES: &[(&str, &str)] = &[
+    ("crates/gpu-device/src/", "crates/gpu-device/src/sync.rs"),
+    ("crates/snn-serve/src/", "crates/snn-serve/src/sync.rs"),
+];
+/// Sync-primitive tokens forbidden outside the shim.
+pub const SYNC_FORBIDDEN: &[&str] = &[
+    "parking_lot::",
+    "crossbeam::",
+    "std::sync::Mutex",
+    "std::sync::Condvar",
+    "std::sync::Barrier",
+    "std::sync::mpsc",
+    "std::thread::spawn",
+    "std::thread::Builder",
+];
+
+/// Telemetry call tokens whose literal first string argument is a span,
+/// kernel or metric name. Every such name must appear backticked in the
+/// DESIGN.md §11/§12 schema tables, so the documented schema can never drift
+/// from what the code emits. Matching requires the token to start an
+/// identifier boundary, so `record_gauge(` never double-counts as `gauge(`.
+pub const TRACE_NAME_CALLS: &[&str] = &[
+    // span recording (snn-trace)
+    "span(",
+    "span_cat(",
+    "step_span(",
+    "time_ms(",
+    "record_span_at(",
+    // kernel launches (gpu-device) — the name becomes a `kernel/<k>/*`
+    // metric family and a span at Detail::Steps
+    "launch(",
+    "launch_mut(",
+    "launch_slice_mut(",
+    "launch_slice_mut_weighted(",
+    "launch_weighted(",
+    "launch_rows_mut(",
+    "launch_fused(",
+    "reduce(",
+    // device-level counters/gauges → `device/<name>` metrics
+    "bump_counter(",
+    "record_gauge(",
+    "record_gauge_stats(",
+    "gauge(",
+    "gauge_stats(",
+    // MetricsHub publication
+    "add_counter(",
+    "set_counter(",
+    "set_value(",
+    "observe(",
+    "merge_gauge(",
+];
+
+/// Files exempt from `trace-schema`: the recorder/hub implementation and
+/// its fixtures, this lint's own fixtures, and the loom scenario file
+/// (whose kernels exist only under `--cfg loom`).
+pub const TRACE_SCHEMA_EXEMPT: &[&str] = &[
+    "crates/snn-trace/",
+    "crates/snn-lint/",
+    "crates/gpu-device/src/loom_tests.rs",
+];
+
+/// SWAR kernel files the `lane-width` rule scopes to: bit-parallel code
+/// whose lane counts, lane widths, shift amounts and masks must derive
+/// from the `qformat` constants (`QFormat::lanes_per_u64`, `LaneLayout`),
+/// never appear as numeric literals — a hand-written `>> 8` or
+/// `0x00FF00FF` would silently desynchronize from a format change.
+pub const LANE_WIDTH_SCOPE: &[&str] = &["crates/snn-core/src/sim/batched.rs"];
+
+/// Commit-kernel files the `atomic-ordering` rule scopes to: the atomic
+/// conductance grid of the shared-atomics training commit (DESIGN.md §14).
+/// Raw `Ordering::` literals are forbidden here — every ordering must be
+/// one of [`ATOMIC_ORDERING_CONSTS`], so weakening or strengthening an
+/// ordering is a reviewed edit to one documented table, never a drive-by
+/// change buried in a kernel body. (The companion `atomic-protocol`
+/// analysis additionally checks the constants land in the right
+/// operation kind — see [`crate::atomics`].)
+pub const ATOMIC_ORDERING_SCOPE: &[&str] = &["crates/gpu-device/src/commit.rs"];
+
+/// The named ordering constants of the commit kernel; the only lines in
+/// [`ATOMIC_ORDERING_SCOPE`] allowed to spell `Ordering::` are their
+/// definitions.
+pub const ATOMIC_ORDERING_CONSTS: &[&str] = &[
+    "COMMIT_LOAD",
+    "COMMIT_CAS_SUCCESS",
+    "COMMIT_CAS_FAILURE",
+    "COMMIT_STATS",
+];
+
+/// How many non-unsafe lines may separate two unsafe statements that share
+/// one `// SAFETY:` comment (a "cluster").
+pub const SAFETY_CLUSTER_GAP: usize = 2;
+/// How far above the cluster head the comment may sit.
+pub const SAFETY_LOOKBACK: usize = 4;
+
+// ---------------------------------------------------------------------------
+// Rule: safety-comment
+// ---------------------------------------------------------------------------
+
+/// Whether `code` contains an occurrence of the `unsafe` keyword that opens
+/// a block or an `unsafe impl` (declarations `unsafe fn`/`unsafe trait`
+/// document their contract in `# Safety` docs instead).
+pub fn unsafe_kind(code: &str) -> Option<&'static str> {
+    let mut search = 0;
+    while let Some(pos) = code[search..].find("unsafe") {
+        let at = search + pos;
+        search = at + "unsafe".len();
+        let before_ok = at == 0 || !is_ident_char(code.as_bytes()[at - 1] as char);
+        let after = &code[at + "unsafe".len()..];
+        if !before_ok || after.starts_with(|c: char| is_ident_char(c)) {
+            continue; // part of a longer identifier e.g. `unsafe_code`
+        }
+        let rest = after.trim_start();
+        if rest.starts_with("impl") {
+            return Some("unsafe impl");
+        }
+        if rest.starts_with("fn") || rest.starts_with("trait") || rest.starts_with("extern") {
+            continue;
+        }
+        // `unsafe {`, `unsafe{`, or `unsafe` at end of line (block opens on
+        // the next line).
+        return Some("unsafe block");
+    }
+    None
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn rule_safety_comment(file: &SourceFile, out: &mut Vec<Violation>) {
+    // Cluster consecutive unsafe lines (gap <= SAFETY_CLUSTER_GAP) and
+    // require a SAFETY comment within SAFETY_LOOKBACK lines above the
+    // cluster head (or on the head itself).
+    let unsafe_lines: Vec<(usize, &'static str)> = file
+        .lines
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| !l.code.contains("#!") && !l.code.contains("#["))
+        .filter_map(|(i, l)| unsafe_kind(&l.code).map(|k| (i, k)))
+        .collect();
+    let mut prev: Option<usize> = None;
+    for &(idx, kind) in &unsafe_lines {
+        let new_cluster = match prev {
+            Some(p) => idx - p > SAFETY_CLUSTER_GAP + 1,
+            None => true,
+        };
+        if new_cluster {
+            let head = idx;
+            // Walk upward: comment-only / blank lines are free (a multi-line
+            // SAFETY comment counts however long it is); each line with code
+            // consumes one unit of the lookback budget.
+            let mut covered =
+                file.lines[head].comment.contains("SAFETY") || waived(file, head, "safety-comment");
+            let mut budget = SAFETY_LOOKBACK;
+            let mut j = head;
+            while !covered && budget > 0 && j > 0 {
+                j -= 1;
+                let l = &file.lines[j];
+                if l.comment.contains("SAFETY") {
+                    covered = true;
+                }
+                if !l.code.trim().is_empty() {
+                    budget -= 1;
+                }
+            }
+            if !covered {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: head + 1,
+                    rule: "safety-comment",
+                    msg: format!(
+                        "{kind} without a `// SAFETY:` comment within {SAFETY_LOOKBACK} \
+                         lines above"
+                    ),
+                });
+            }
+        }
+        prev = Some(idx);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: unsafe-surface
+// ---------------------------------------------------------------------------
+
+fn rule_unsafe_surface(files: &[SourceFile], out: &mut Vec<Violation>) {
+    for f in files {
+        let allowed = UNSAFE_ALLOWED.iter().any(|p| f.rel.starts_with(p));
+        if !allowed {
+            for (i, l) in f.lines.iter().enumerate() {
+                // Attribute mentions (`forbid(unsafe_code)`) are fine.
+                if l.code.contains("unsafe")
+                    && unsafe_kind(&l.code).is_some()
+                    && !l.code.contains("#!")
+                    && !waived(f, i, "unsafe-surface")
+                {
+                    out.push(Violation {
+                        file: f.rel.clone(),
+                        line: i + 1,
+                        rule: "unsafe-surface",
+                        msg: "unsafe code outside the audited allow-list \
+                              (see snn-lint UNSAFE_ALLOWED)"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+    for root in FORBID_UNSAFE_ROOTS {
+        check_root_attr(files, root, "#![forbid(unsafe_code)]", out);
+    }
+    for root in UNSAFE_OP_ROOTS {
+        check_root_attr(files, root, "#![deny(unsafe_op_in_unsafe_fn)]", out);
+    }
+}
+
+fn check_root_attr(files: &[SourceFile], root: &str, attr: &str, out: &mut Vec<Violation>) {
+    let Some(f) = files.iter().find(|f| f.rel == root) else {
+        // Only report a missing root when the crate's directory is part of
+        // the scanned set (fixture runs lint a handful of files; the real
+        // workspace walk always includes every crate directory).
+        let dir = root.rsplit_once('/').map(|(d, _)| d).unwrap_or("");
+        if files.iter().any(|f| f.rel.starts_with(dir)) {
+            out.push(Violation {
+                file: root.to_string(),
+                line: 1,
+                rule: "unsafe-surface",
+                msg: "expected crate root is missing".into(),
+            });
+        }
+        return;
+    };
+    if !f.lines.iter().any(|l| l.code.contains(attr)) {
+        out.push(Violation {
+            file: f.rel.clone(),
+            line: 1,
+            rule: "unsafe-surface",
+            msg: format!("crate root must declare `{attr}`"),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: transposed-coherence
+// ---------------------------------------------------------------------------
+
+/// `fn` item spans `(head_line, body_start..body_end)` (0-based, inclusive),
+/// found by brace matching from each `fn` keyword.
+fn fn_spans(file: &SourceFile) -> Vec<(usize, usize, usize)> {
+    let mut spans = Vec::new();
+    let n = file.lines.len();
+    let mut i = 0;
+    while i < n {
+        let code = &file.lines[i].code;
+        if let Some(pos) = find_fn_keyword(code) {
+            // find the opening brace of the body (skipping the signature)
+            let mut depth = 0i64;
+            let mut started = false;
+            let mut j = i;
+            let mut col = pos;
+            'outer: while j < n {
+                let lc = &file.lines[j].code;
+                for ch in lc.chars().skip(if j == i { col } else { 0 }) {
+                    match ch {
+                        ';' if !started && depth == 0 => break 'outer, // fn decl w/o body
+                        '{' => {
+                            started = true;
+                            depth += 1;
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if started && depth == 0 {
+                                spans.push((i, i, j));
+                                break 'outer;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                j += 1;
+                col = 0;
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    spans
+}
+
+fn find_fn_keyword(code: &str) -> Option<usize> {
+    let mut search = 0;
+    while let Some(pos) = code[search..].find("fn ") {
+        let at = search + pos;
+        search = at + 3;
+        let before_ok = at == 0 || !is_ident_char(code.as_bytes()[at - 1] as char);
+        if before_ok {
+            return Some(at);
+        }
+    }
+    None
+}
+
+fn rule_transposed_coherence(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !COHERENCE_SCOPE.iter().any(|p| file.rel.starts_with(p)) {
+        return;
+    }
+    for (head, start, end) in fn_spans(file) {
+        if file.lines[head].in_test {
+            continue;
+        }
+        let mut mutator_line = None;
+        let mut coherent = false;
+        for idx in start..=end {
+            let code = &file.lines[idx].code;
+            if mutator_line.is_none() && COHERENCE_MUTATORS.iter().any(|m| code.contains(m)) {
+                mutator_line = Some(idx);
+            }
+            if COHERENCE_API.iter().any(|a| code.contains(a)) {
+                coherent = true;
+            }
+        }
+        if let Some(m) = mutator_line {
+            if !coherent
+                && !waived(file, m, "transposed-coherence")
+                && !waived(file, head, "transposed-coherence")
+            {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: m + 1,
+                    rule: "transposed-coherence",
+                    msg: "conductance mutator without a transposed-view refresh/rebuild \
+                          in the same function (sparse delivery would read stale currents)"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: hash-iteration
+// ---------------------------------------------------------------------------
+
+fn rule_hash_iteration(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !HASH_SCOPE.iter().any(|p| file.rel.starts_with(p)) {
+        return;
+    }
+    // Collect identifiers bound to hash containers anywhere in the file.
+    let mut names: Vec<String> = Vec::new();
+    for l in &file.lines {
+        let code = &l.code;
+        if !(code.contains("HashMap") || code.contains("HashSet")) {
+            continue;
+        }
+        // `let [mut] name: ...Hash{Map,Set}` or `name: Hash{Map,Set}` field
+        if let Some(let_pos) = code.find("let ") {
+            let rest = code[let_pos + 4..].trim_start().trim_start_matches("mut ");
+            let name: String = rest.chars().take_while(|&c| is_ident_char(c)).collect();
+            if !name.is_empty() {
+                names.push(name);
+            }
+        } else if let Some(colon) = code.find(':') {
+            let name: String = code[..colon]
+                .trim_end()
+                .chars()
+                .rev()
+                .take_while(|&c| is_ident_char(c))
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
+            if !name.is_empty() && code[colon..].contains("Hash") {
+                names.push(name);
+            }
+        }
+    }
+    if names.is_empty() {
+        return;
+    }
+    const ITER_SUFFIXES: &[&str] = &[
+        ".iter()",
+        ".keys()",
+        ".values()",
+        ".drain(",
+        ".into_iter()",
+        ".retain(",
+    ];
+    for (i, l) in file.lines.iter().enumerate() {
+        if l.in_test || waived(file, i, "hash-iteration") {
+            continue;
+        }
+        let code = &l.code;
+        for name in &names {
+            let direct_iter = ITER_SUFFIXES
+                .iter()
+                .any(|s| code.contains(&format!("{name}{s}")));
+            let for_iter = code.contains("for ")
+                && code.contains(" in ")
+                && (code.contains(&format!("in &{name}")) || code.contains(&format!("in {name}")));
+            if direct_iter || for_iter {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: i + 1,
+                    rule: "hash-iteration",
+                    msg: format!(
+                        "iteration over hash container `{name}` on a hot path: \
+                         unordered iteration is nondeterministic; iterate a sorted \
+                         key list or a Vec instead (lookups are fine)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: sync-shim
+// ---------------------------------------------------------------------------
+
+fn rule_sync_shim(file: &SourceFile, out: &mut Vec<Violation>) {
+    let in_scope = SYNC_SHIM_SCOPES
+        .iter()
+        .any(|(scope, exempt)| file.rel.starts_with(scope) && file.rel != *exempt);
+    if !in_scope {
+        return;
+    }
+    for (i, l) in file.lines.iter().enumerate() {
+        // Unit tests drive the protocol with real threads deliberately
+        // (e.g. blocking-steal tests); only production lines must route
+        // through the shim.
+        if l.in_test || waived(file, i, "sync-shim") {
+            continue;
+        }
+        for tok in SYNC_FORBIDDEN {
+            if l.code.contains(tok) {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: i + 1,
+                    rule: "sync-shim",
+                    msg: format!(
+                        "`{tok}` used directly: import it through `crate::sync` so \
+                         `--cfg loom` swaps every primitive for the model checker"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: lane-width
+// ---------------------------------------------------------------------------
+
+fn rule_lane_width(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !LANE_WIDTH_SCOPE.iter().any(|p| file.rel.starts_with(p)) {
+        return;
+    }
+    for (i, l) in file.lines.iter().enumerate() {
+        if l.in_test || waived(file, i, "lane-width") {
+            continue;
+        }
+        let code = l.code.as_str();
+        // Literal shift amounts: `<< 8`, `>>= 2`, … Shifts by an
+        // expression (a lane-layout accessor, a loop variable) are fine.
+        for op in ["<<", ">>"] {
+            let mut rest = code;
+            while let Some(pos) = rest.find(op) {
+                let tail = rest[pos + op.len()..].trim_start_matches('=').trim_start();
+                if tail.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                    out.push(Violation {
+                        file: file.rel.clone(),
+                        line: i + 1,
+                        rule: "lane-width",
+                        msg: format!(
+                            "literal shift amount after `{op}` in a SWAR kernel: derive \
+                             shifts from `LaneLayout::lane_bits()` / `QFormat` widths so a \
+                             format change cannot desynchronize the kernel"
+                        ),
+                    });
+                    break; // one violation per line per operator is plenty
+                }
+                rest = &rest[pos + op.len()..];
+            }
+        }
+        // Hex bit-mask literals: lane and value masks come from
+        // `LaneLayout::lane_mask()` / `splat`, never hand-packed.
+        if let Some(pos) = code.find("0x") {
+            let prev = code[..pos].chars().next_back();
+            if !prev.is_some_and(is_ident_char) {
+                out.push(Violation {
+                    file: file.rel.clone(),
+                    line: i + 1,
+                    rule: "lane-width",
+                    msg: "hex mask literal in a SWAR kernel: build lane/value masks \
+                          with `LaneLayout::lane_mask()`/`splat` instead of hand-packed \
+                          constants"
+                        .into(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: atomic-ordering
+// ---------------------------------------------------------------------------
+
+fn rule_atomic_ordering(file: &SourceFile, out: &mut Vec<Violation>) {
+    if !ATOMIC_ORDERING_SCOPE
+        .iter()
+        .any(|p| file.rel.starts_with(p))
+    {
+        return;
+    }
+    for (i, l) in file.lines.iter().enumerate() {
+        if l.in_test || waived(file, i, "atomic-ordering") {
+            continue;
+        }
+        let code = l.code.as_str();
+        if !code.contains("Ordering::") {
+            continue;
+        }
+        // The definitions of the named constants are the one place a
+        // literal ordering may appear (`pub const COMMIT_LOAD: Ordering =
+        // Ordering::Relaxed;`).
+        let defines_allowed = ATOMIC_ORDERING_CONSTS
+            .iter()
+            .any(|c| code.contains(&format!("const {c}:")));
+        if defines_allowed {
+            continue;
+        }
+        out.push(Violation {
+            file: file.rel.clone(),
+            line: i + 1,
+            rule: "atomic-ordering",
+            msg: "raw `Ordering::` literal in the commit-kernel scope: use one of \
+                  the named constants (COMMIT_LOAD / COMMIT_CAS_SUCCESS / \
+                  COMMIT_CAS_FAILURE / COMMIT_STATS) so the soundness argument \
+                  stays in one audited place"
+                .into(),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: trace-schema
+// ---------------------------------------------------------------------------
+
+/// Extracts the set of backticked names from the `## 11` telemetry,
+/// `## 12` serving, `## 13` batched-execution and `## 14` parallel-training
+/// sections of DESIGN.md. Returns `None` when all sections are missing
+/// entirely (a violation in itself — the schema reference is load-bearing).
+pub fn design_schema_names(design: &str) -> Option<Vec<String>> {
+    let mut in_section = false;
+    let mut found = false;
+    let mut names = Vec::new();
+    for line in design.lines() {
+        if line.starts_with("## ") {
+            in_section = line.starts_with("## 11")
+                || line.starts_with("## 12")
+                || line.starts_with("## 13")
+                || line.starts_with("## 14");
+            found |= in_section;
+            continue;
+        }
+        if !in_section {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find('`') {
+            let tail = &rest[open + 1..];
+            let Some(close) = tail.find('`') else { break };
+            let name = &tail[..close];
+            if !name.is_empty() {
+                names.push(name.to_string());
+            }
+            rest = &tail[close + 1..];
+        }
+    }
+    found.then_some(names)
+}
+
+/// Scans a file's comment-masked (strings kept) text for telemetry calls
+/// whose first argument is a string literal; yields `(line_idx, name)`.
+/// Calls that pass a variable or `format!` as the name are skipped — only
+/// literals can be checked against the schema statically.
+fn trace_names(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut text = String::new();
+    let mut starts = Vec::with_capacity(file.lines.len());
+    for l in &file.lines {
+        starts.push(text.len());
+        text.push_str(&l.full);
+        text.push('\n');
+    }
+    let line_of = |off: usize| match starts.binary_search(&off) {
+        Ok(i) => i,
+        Err(i) => i.saturating_sub(1),
+    };
+    let mut out = Vec::new();
+    for tok in TRACE_NAME_CALLS {
+        let mut search = 0;
+        while let Some(pos) = text[search..].find(tok) {
+            let at = search + pos;
+            search = at + tok.len();
+            if at > 0 && is_ident_char(text.as_bytes()[at - 1] as char) {
+                continue; // suffix of a longer identifier (e.g. `step_span(`)
+            }
+            let rest = text[at + tok.len()..].trim_start();
+            let rest = rest.strip_prefix('&').unwrap_or(rest);
+            let Some(lit) = rest.strip_prefix('"') else {
+                continue;
+            };
+            let Some(end) = lit.find('"') else { continue };
+            if end > 0 {
+                out.push((line_of(at), lit[..end].to_string()));
+            }
+        }
+    }
+    out
+}
+
+fn rule_trace_schema(file: &SourceFile, schema: &[String], out: &mut Vec<Violation>) {
+    let in_src = file.rel.starts_with("src/") || file.rel.contains("/src/");
+    if !in_src || TRACE_SCHEMA_EXEMPT.iter().any(|p| file.rel.starts_with(p)) {
+        return;
+    }
+    for (idx, name) in trace_names(file) {
+        if file.lines[idx].in_test || waived(file, idx, "trace-schema") {
+            continue;
+        }
+        // Device counters/gauges are published under `device/<name>`;
+        // kernel and span names are documented verbatim.
+        let device_form = format!("device/{name}");
+        if schema.iter().any(|s| *s == name || *s == device_form) {
+            continue;
+        }
+        out.push(Violation {
+            file: file.rel.clone(),
+            line: idx + 1,
+            rule: "trace-schema",
+            msg: format!(
+                "telemetry name `{name}` is not documented in the DESIGN.md §11/§12 \
+                 schema tables (add a row there, or waive with lint-allow)"
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry point for the ported rule set
+// ---------------------------------------------------------------------------
+
+/// Runs the eight ported token-level rules over the workspace.
+pub fn run(files: &[SourceFile], schema: Option<&[String]>, out: &mut Vec<Violation>) {
+    rule_unsafe_surface(files, out);
+    if schema.is_none() {
+        out.push(Violation {
+            file: "DESIGN.md".into(),
+            line: 1,
+            rule: "trace-schema",
+            msg: "missing the `## 11` telemetry schema section that documents \
+                  every span and metric name"
+                .into(),
+        });
+    }
+    for f in files {
+        rule_safety_comment(f, out);
+        rule_transposed_coherence(f, out);
+        rule_hash_iteration(f, out);
+        rule_sync_shim(f, out);
+        rule_lane_width(f, out);
+        rule_atomic_ordering(f, out);
+        if let Some(schema) = schema {
+            rule_trace_schema(f, schema, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single(rel: &str, text: &str) -> Vec<SourceFile> {
+        vec![SourceFile::parse(rel, text)]
+    }
+
+    fn rules_on(rel: &str, text: &str) -> Vec<Violation> {
+        let files = single(rel, text);
+        let mut out = Vec::new();
+        for f in &files {
+            rule_safety_comment(f, &mut out);
+            rule_transposed_coherence(f, &mut out);
+            rule_hash_iteration(f, &mut out);
+            rule_sync_shim(f, &mut out);
+            rule_lane_width(f, &mut out);
+            rule_atomic_ordering(f, &mut out);
+        }
+        out
+    }
+
+    // -- safety-comment ---------------------------------------------------
+
+    #[test]
+    fn safety_comment_flags_uncommented_unsafe_block() {
+        let v = rules_on(
+            "crates/gpu-device/src/x.rs",
+            "fn f() {\n    unsafe { work() };\n}\n",
+        );
+        assert!(v.iter().any(|v| v.rule == "safety-comment"), "{v:?}");
+    }
+
+    #[test]
+    fn safety_comment_accepts_commented_block_and_cluster() {
+        let src = "fn f() {\n    // SAFETY: disjoint indices.\n    unsafe { a() };\n    \
+                   unsafe { b() };\n    let x = 1;\n    unsafe { c() };\n}\n";
+        let v = rules_on("crates/gpu-device/src/x.rs", src);
+        assert!(v.iter().all(|v| v.rule != "safety-comment"), "{v:?}");
+    }
+
+    #[test]
+    fn safety_comment_flags_uncommented_unsafe_impl() {
+        let v = rules_on("crates/gpu-device/src/x.rs", "unsafe impl Send for X {}\n");
+        assert!(v.iter().any(|v| v.rule == "safety-comment"));
+        let ok = rules_on(
+            "crates/gpu-device/src/x.rs",
+            "// SAFETY: X owns no thread-bound state.\nunsafe impl Send for X {}\n",
+        );
+        assert!(ok.iter().all(|v| v.rule != "safety-comment"));
+    }
+
+    #[test]
+    fn safety_comment_ignores_unsafe_fn_declarations() {
+        let v = rules_on(
+            "crates/gpu-device/src/x.rs",
+            "/// # Safety\n/// caller checks i.\npub unsafe fn get(i: usize) -> f64;\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "safety-comment"), "{v:?}");
+    }
+
+    // -- unsafe-surface ---------------------------------------------------
+
+    #[test]
+    fn unsafe_surface_flags_unsafe_outside_allow_list() {
+        let files = single(
+            "crates/snn-learning/src/x.rs",
+            "fn f() { unsafe { boom() } }\n",
+        );
+        let mut out = Vec::new();
+        rule_unsafe_surface(&files, &mut out);
+        assert!(out.iter().any(|v| v.rule == "unsafe-surface"));
+    }
+
+    #[test]
+    fn unsafe_surface_accepts_allow_listed_files() {
+        let files = single(
+            "crates/gpu-device/src/device.rs",
+            "fn f() {\n    // SAFETY: fine.\n    unsafe { ok() }\n}\n",
+        );
+        let mut out = Vec::new();
+        rule_unsafe_surface(&files, &mut out);
+        assert!(out
+            .iter()
+            .all(|v| v.file != "crates/gpu-device/src/device.rs"));
+    }
+
+    /// The string-literal-waiver evasion fixture from ISSUE 9: the old
+    /// scanner's *reported* behavior was comment-only waivers, but any
+    /// scanner that greps raw lines for `lint-allow:` (the natural naive
+    /// implementation) honors a waiver smuggled inside a string literal.
+    /// The token-stream views make that structurally impossible: string
+    /// contents never reach the `comment` view `waived()` consults.
+    #[test]
+    fn waiver_inside_string_literal_is_not_honored() {
+        let src = "fn f() {\n    let s = \"lint-allow: unsafe-surface — smuggled\";\n    \
+                   unsafe { boom() }\n}\n";
+        // Naive raw-line logic (what a line grep would do): sees the tag.
+        assert!(
+            src.lines()
+                .any(|l| l.contains("lint-allow: unsafe-surface")),
+            "fixture must contain the tag in a raw-line view"
+        );
+        // New analyzer: the tag sits in a Str token, not a comment — the
+        // unsafe block on the next line still flags.
+        let files = single("crates/snn-learning/src/x.rs", src);
+        let mut out = Vec::new();
+        rule_unsafe_surface(&files, &mut out);
+        assert!(
+            out.iter().any(|v| v.rule == "unsafe-surface"),
+            "string-literal waiver must not suppress: {out:?}"
+        );
+        // A real comment waiver on the line above *does* suppress.
+        let files = single(
+            "crates/snn-learning/src/x.rs",
+            "fn f() {\n    // lint-allow: unsafe-surface — justified here\n    unsafe { ok() }\n}\n",
+        );
+        let mut out = Vec::new();
+        rule_unsafe_surface(&files, &mut out);
+        assert!(
+            out.iter().all(|v| v.file != "crates/snn-learning/src/x.rs"),
+            "{out:?}"
+        );
+    }
+
+    // -- transposed-coherence ---------------------------------------------
+
+    #[test]
+    fn coherence_flags_mutator_without_refresh() {
+        let v = rules_on(
+            "crates/snn-core/src/sim/engine.rs",
+            "fn mutate(&mut self) {\n    let g = self.g.as_flat_mut();\n    g[0] = 1.0;\n}\n",
+        );
+        assert!(v.iter().any(|v| v.rule == "transposed-coherence"), "{v:?}");
+    }
+
+    #[test]
+    fn coherence_accepts_mutator_with_refresh() {
+        let v = rules_on(
+            "crates/snn-core/src/sim/engine.rs",
+            "fn mutate(&mut self) {\n    let g = self.g.as_flat_mut();\n    g[0] = 1.0;\n    \
+             self.transposed.refresh(&self.g);\n}\n",
+        );
+        assert!(v.iter().all(|v| v.rule != "transposed-coherence"), "{v:?}");
+    }
+
+    // -- hash-iteration ---------------------------------------------------
+
+    #[test]
+    fn hash_iteration_flags_iteration_not_lookup() {
+        let v = rules_on(
+            "crates/snn-core/src/sim/engine.rs",
+            "fn f() {\n    let mut m: HashMap<u32, f64> = HashMap::new();\n    \
+             for (k, v) in m.iter() { use_it(k, v); }\n}\n",
+        );
+        assert!(v.iter().any(|v| v.rule == "hash-iteration"), "{v:?}");
+        let ok = rules_on(
+            "crates/snn-core/src/sim/engine.rs",
+            "fn f() {\n    let m: HashMap<u32, f64> = HashMap::new();\n    \
+             let x = m.get(&3);\n}\n",
+        );
+        assert!(ok.iter().all(|v| v.rule != "hash-iteration"), "{ok:?}");
+    }
+
+    // -- sync-shim --------------------------------------------------------
+
+    #[test]
+    fn sync_shim_flags_direct_primitives_outside_shim() {
+        let v = rules_on(
+            "crates/gpu-device/src/pool.rs",
+            "fn f() { let m = parking_lot::Mutex::new(()); }\n",
+        );
+        assert!(v.iter().any(|v| v.rule == "sync-shim"), "{v:?}");
+        let ok = rules_on(
+            "crates/gpu-device/src/sync.rs",
+            "pub use parking_lot::Mutex;\n",
+        );
+        assert!(ok.iter().all(|v| v.rule != "sync-shim"), "{ok:?}");
+    }
+
+    // -- lane-width -------------------------------------------------------
+
+    #[test]
+    fn lane_width_flags_literal_shifts_and_hex_masks() {
+        let v = rules_on(
+            "crates/snn-core/src/sim/batched.rs",
+            "fn f(x: u64) -> u64 { (x >> 8) & 0x00FF00FF }\n",
+        );
+        assert!(
+            v.iter().filter(|v| v.rule == "lane-width").count() >= 2,
+            "{v:?}"
+        );
+        let ok = rules_on(
+            "crates/snn-core/src/sim/batched.rs",
+            "fn f(x: u64, l: LaneLayout) -> u64 { (x >> l.lane_bits()) & l.lane_mask() }\n",
+        );
+        assert!(ok.iter().all(|v| v.rule != "lane-width"), "{ok:?}");
+    }
+
+    // -- atomic-ordering --------------------------------------------------
+
+    #[test]
+    fn atomic_ordering_flags_raw_literals_outside_const_defs() {
+        let v = rules_on(
+            "crates/gpu-device/src/commit.rs",
+            "fn f(s: &AtomicU64) { s.load(Ordering::Relaxed); }\n",
+        );
+        assert!(v.iter().any(|v| v.rule == "atomic-ordering"), "{v:?}");
+        let ok = rules_on(
+            "crates/gpu-device/src/commit.rs",
+            "pub const COMMIT_LOAD: Ordering = Ordering::Relaxed;\n",
+        );
+        assert!(ok.iter().all(|v| v.rule != "atomic-ordering"), "{ok:?}");
+    }
+
+    // -- trace-schema -----------------------------------------------------
+
+    #[test]
+    fn trace_schema_checks_literal_names_against_design() {
+        let design =
+            "## 11. Telemetry\n| `step/deliver` | span |\n| `device/launches` | counter |\n";
+        let schema = design_schema_names(design).expect("schema found");
+        let f = SourceFile::parse(
+            "crates/gpu-device/src/device.rs",
+            "fn f(t: &Trace) {\n    t.span(\"step/deliver\");\n    t.bump_counter(\"launches\");\n    \
+             t.span(\"undocumented/name\");\n}\n",
+        );
+        let mut out = Vec::new();
+        rule_trace_schema(&f, &schema, &mut out);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("undocumented/name"), "{}", out[0].msg);
+    }
+
+    /// Multi-line calls were a blind spot of the line scanner: the name
+    /// literal sits on the line after the call token. The concatenated
+    /// `full` view scans across lines, so it is found now.
+    #[test]
+    fn trace_schema_sees_multiline_calls() {
+        let design = "## 11. Telemetry\n| `step/deliver` | span |\n";
+        let schema = design_schema_names(design).expect("schema");
+        let f = SourceFile::parse(
+            "crates/gpu-device/src/device.rs",
+            "fn f(t: &Trace) {\n    t.span(\n        \"not/in/schema\",\n    );\n}\n",
+        );
+        let mut out = Vec::new();
+        rule_trace_schema(&f, &schema, &mut out);
+        assert_eq!(
+            out.len(),
+            1,
+            "multi-line call literal must be checked: {out:?}"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! SARIF 2.1.0 emission (`--sarif`): one run, one driver (`snn-lint`),
+//! one `reportingDescriptor` per rule, one `result` per violation, and
+//! one `level: note` result per surfaced waiver — so CI can upload the
+//! log as an artifact and code-scanning UIs can annotate PRs.
+
+use crate::json::esc;
+use crate::{Violation, Waiver, RULES};
+use std::fmt::Write as _;
+
+/// Renders violations + waivers as a SARIF 2.1.0 document.
+pub fn render(violations: &[Violation], waivers: &[Waiver]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"snn-lint\",\n          \
+         \"informationUri\": \"https://example.invalid/snn-lint\",\n          \"rules\": [\n",
+    );
+    for (n, (name, desc)) in RULES.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}",
+            esc(name),
+            esc(desc),
+            if n + 1 < RULES.len() { "," } else { "" },
+        );
+    }
+    s.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    let total = violations.len() + waivers.len();
+    let mut n = 0usize;
+    for v in violations {
+        n += 1;
+        let _ = writeln!(
+            s,
+            "        {{\"ruleId\": \"{}\", \"level\": \"error\", \"message\": {{\"text\": \
+             \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}",
+            esc(v.rule),
+            esc(&v.msg),
+            esc(&v.file),
+            v.line.max(1),
+            if n < total { "," } else { "" },
+        );
+    }
+    for w in waivers {
+        n += 1;
+        let _ = writeln!(
+            s,
+            "        {{\"ruleId\": \"{}\", \"level\": \"note\", \"message\": {{\"text\": \
+             \"waiver: {}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
+             {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}{}",
+            esc(&w.rule),
+            esc(&w.text),
+            esc(&w.file),
+            w.line.max(1),
+            if n < total { "," } else { "" },
+        );
+    }
+    s.push_str("      ]\n    }\n  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Value};
+
+    fn sample() -> String {
+        render(
+            &[
+                Violation {
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 3,
+                    rule: "determinism-taint",
+                    msg: "entry `step` reaches `Instant::now` — \"quoted\"".into(),
+                },
+                Violation {
+                    file: "crates/y/src/lib.rs".into(),
+                    line: 9,
+                    rule: "unsafe-ratchet",
+                    msg: "surface grew".into(),
+                },
+            ],
+            &[Waiver {
+                file: "crates/gpu-device/src/device.rs".into(),
+                line: 733,
+                rule: "determinism-taint".into(),
+                text: "determinism-taint — profiler wall-clock never feeds kernels".into(),
+            }],
+        )
+    }
+
+    /// The SARIF 2.1.0 shape test from ISSUE 9: the emitted document must
+    /// parse as JSON and expose the spec-required structure.
+    #[test]
+    fn sarif_shape_is_valid() {
+        let doc = sample();
+        let v = parse(&doc).unwrap_or_else(|e| panic!("SARIF must be valid JSON: {e}\n{doc}"));
+        assert_eq!(
+            v.get("$schema").and_then(Value::as_str),
+            Some("https://json.schemastore.org/sarif-2.1.0.json")
+        );
+        assert_eq!(v.get("version").and_then(Value::as_str), Some("2.1.0"));
+        let run = v.get("runs").and_then(|r| r.idx(0)).expect("one run");
+        let driver = run
+            .get("tool")
+            .and_then(|t| t.get("driver"))
+            .expect("driver");
+        assert_eq!(driver.get("name").and_then(Value::as_str), Some("snn-lint"));
+        let rules = driver
+            .get("rules")
+            .and_then(Value::as_arr)
+            .expect("rules array");
+        assert!(!rules.is_empty());
+        for r in rules {
+            assert!(r.get("id").and_then(Value::as_str).is_some(), "rule id");
+            assert!(
+                r.get("shortDescription")
+                    .and_then(|d| d.get("text"))
+                    .is_some(),
+                "rule shortDescription.text"
+            );
+        }
+        let results = run
+            .get("results")
+            .and_then(Value::as_arr)
+            .expect("results array");
+        assert_eq!(results.len(), 3, "two errors + one waiver note");
+        for r in results {
+            let rule_id = r.get("ruleId").and_then(Value::as_str).expect("ruleId");
+            assert!(
+                rules
+                    .iter()
+                    .any(|ru| ru.get("id").and_then(Value::as_str) == Some(rule_id)),
+                "every result ruleId is declared by the driver: {rule_id}"
+            );
+            assert!(matches!(
+                r.get("level").and_then(Value::as_str),
+                Some("error" | "note")
+            ));
+            assert!(r.get("message").and_then(|m| m.get("text")).is_some());
+            let loc = r
+                .get("locations")
+                .and_then(|l| l.idx(0))
+                .and_then(|l| l.get("physicalLocation"))
+                .expect("physicalLocation");
+            assert!(
+                loc.get("artifactLocation")
+                    .and_then(|a| a.get("uri"))
+                    .is_some(),
+                "artifactLocation.uri"
+            );
+            let line = loc
+                .get("region")
+                .and_then(|r| r.get("startLine"))
+                .and_then(Value::as_i64)
+                .expect("region.startLine");
+            assert!(line >= 1, "startLine is 1-based");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_still_valid() {
+        let doc = render(&[], &[]);
+        let v = parse(&doc).expect("valid JSON");
+        let results = v
+            .get("runs")
+            .and_then(|r| r.idx(0))
+            .and_then(|r| r.get("results"))
+            .and_then(Value::as_arr)
+            .expect("results");
+        assert!(results.is_empty());
+    }
+}

@@ -1,0 +1,311 @@
+//! `determinism-taint`: prove that no RNG or wall-clock source is
+//! transitively callable from a kernel/step entry point (DESIGN.md §15).
+//!
+//! Replaces the old `philox-only` path allow-list: instead of grepping a
+//! hand-maintained list of files for forbidden substrings, this analysis
+//! seeds the call graph at sink references *after `use`-alias resolution*
+//! (`rand::…`, `thread_rng`, `from_entropy`, `Instant::now`,
+//! `SystemTime`) and walks callers backwards. Any entry-point function —
+//! matched structurally by `(owner, name)` glob, with **zero hand-listed
+//! file paths** — that can reach a sink is a violation, reported with the
+//! full call chain. The only escape hatch is an explicit, surfaced
+//! function-level waiver: `// lint-allow: determinism-taint — <reason>`
+//! on the `fn` line or within [`WAIVER_LOOKBACK`] lines above it, which
+//! cuts that function (and anything only reachable through it) out of the
+//! taint set. Waivers are listed in `--report` and as SARIF notes.
+
+use crate::lex::SourceFile;
+use crate::model::Model;
+use crate::Violation;
+
+/// Kernel/step entry points as `(owner glob, name glob)` pairs. `*`
+/// matches any run of characters; owners match `None` only via a bare
+/// `*`. These are *shapes*, not paths: a new engine or commit kernel
+/// added anywhere in the workspace is picked up automatically.
+pub const ENTRY_MATCHERS: &[(&str, &str)] = &[
+    ("*Engine", "step*"),
+    ("*Engine", "advance*"),
+    ("*Engine", "present*"),
+    ("*", "present_*"),
+    ("*", "commit_*"),
+];
+
+/// How many lines above a `fn` head a `lint-allow: determinism-taint`
+/// waiver comment may sit (doc comments in between are fine).
+pub const WAIVER_LOOKBACK: usize = 3;
+
+/// Matches `pat` (literal with `*` wildcards) against `s`.
+pub fn glob_match(pat: &str, s: &str) -> bool {
+    fn inner(p: &[u8], s: &[u8]) -> bool {
+        match (p.first(), s.first()) {
+            (None, None) => true,
+            (Some(b'*'), _) => inner(&p[1..], s) || (!s.is_empty() && inner(p, &s[1..])),
+            (Some(&pc), Some(&sc)) if pc == sc => inner(&p[1..], &s[1..]),
+            _ => false,
+        }
+    }
+    inner(pat.as_bytes(), s.as_bytes())
+}
+
+/// Classifies an alias-expanded external path as a determinism sink.
+/// Matching is segment-exact (never substring), so a workspace item that
+/// merely *contains* `rand` in its name cannot false-positive.
+fn sink_desc(path: &str) -> Option<String> {
+    let segs: Vec<&str> = path.split("::").collect();
+    if segs.contains(&"rand") {
+        return Some(format!("`{path}` (rand crate)"));
+    }
+    if segs
+        .iter()
+        .any(|s| *s == "thread_rng" || *s == "from_entropy")
+    {
+        return Some(format!("`{path}` (ambient RNG)"));
+    }
+    if segs.windows(2).any(|w| w == ["Instant", "now"]) {
+        return Some(format!("`{path}` (wall clock)"));
+    }
+    if segs.contains(&"SystemTime") {
+        return Some(format!("`{path}` (wall clock)"));
+    }
+    None
+}
+
+/// Whether the function whose `fn` keyword sits on 0-based `line` of
+/// `file` carries a determinism-taint waiver on its head.
+fn fn_waived(file: &SourceFile, line: usize) -> bool {
+    let lo = line.saturating_sub(WAIVER_LOOKBACK);
+    (lo..=line).any(|i| {
+        file.lines
+            .get(i)
+            .is_some_and(|l| l.comment.contains("lint-allow: determinism-taint"))
+    })
+}
+
+/// Runs the analysis: reverse-BFS from sink-referencing functions, then
+/// reports every matched entry point in the tainted set with its chain.
+pub fn run(files: &[SourceFile], model: &Model, out: &mut Vec<Violation>) {
+    let n = model.fns.len();
+    // Per-function: Some((next hop toward the sink, sink description)).
+    // next == usize::MAX marks a direct sink reference.
+    let mut taint: Vec<Option<(usize, String)>> = (0..n).map(|_| None).collect();
+    let mut queue: Vec<usize> = Vec::new();
+
+    let waived: Vec<bool> = model
+        .fns
+        .iter()
+        .map(|f| fn_waived(&files[f.file], f.line))
+        .collect();
+
+    for i in 0..n {
+        let f = &model.fns[i];
+        if f.is_test || waived[i] {
+            continue;
+        }
+        if let Some(desc) = model.externals[i]
+            .iter()
+            .find_map(|e| sink_desc(&e.path).map(|d| (d, e.line)))
+        {
+            taint[i] = Some((usize::MAX, format!("{} at line {}", desc.0, desc.1 + 1)));
+            queue.push(i);
+        }
+    }
+
+    // Reverse adjacency.
+    let mut rev: Vec<Vec<usize>> = (0..n).map(|_| Vec::new()).collect();
+    for (caller, edges) in model.edges.iter().enumerate() {
+        if model.fns[caller].is_test {
+            continue;
+        }
+        for e in edges {
+            if e.callee < n {
+                rev[e.callee].push(caller);
+            }
+        }
+    }
+
+    while let Some(i) = queue.pop() {
+        let sink = taint[i]
+            .as_ref()
+            .map(|(_, s)| s.clone())
+            .unwrap_or_default();
+        for &caller in &rev[i] {
+            if taint[caller].is_none() && !waived[caller] && !model.fns[caller].is_test {
+                taint[caller] = Some((i, sink.clone()));
+                queue.push(caller);
+            }
+        }
+    }
+
+    for i in 0..n {
+        let f = &model.fns[i];
+        if f.is_test || !files[f.file].rel.contains("src/") {
+            continue;
+        }
+        let owner = f.owner.as_deref().unwrap_or("");
+        let is_entry = ENTRY_MATCHERS
+            .iter()
+            .any(|(op, np)| glob_match(np, &f.name) && (*op == "*" || glob_match(op, owner)));
+        if !is_entry {
+            continue;
+        }
+        if taint[i].is_some() {
+            // Reconstruct the chain entry → … → sink.
+            let mut chain = vec![display_name(model, i)];
+            let mut cur = i;
+            let mut sink = String::new();
+            while let Some((next, s)) = &taint[cur] {
+                if *next == usize::MAX || chain.len() > 64 {
+                    sink = s.clone();
+                    break;
+                }
+                chain.push(display_name(model, *next));
+                cur = *next;
+            }
+            out.push(Violation {
+                file: files[f.file].rel.clone(),
+                line: f.line + 1,
+                rule: "determinism-taint",
+                msg: format!(
+                    "entry point `{}` can reach a non-Philox randomness/time source: {} \
+                     [{}] — all stochastic or time-like input on the step path must come \
+                     from the (synapse, step)-keyed Philox streams; waive the cut point \
+                     with `lint-allow: determinism-taint — <reason>` only if the value \
+                     provably never feeds kernel state",
+                    display_name(model, i),
+                    chain.join(" → "),
+                    sink,
+                ),
+            });
+        }
+    }
+}
+
+fn display_name(model: &Model, i: usize) -> String {
+    let f = &model.fns[i];
+    match &f.owner {
+        Some(o) => format!("{o}::{}", f.name),
+        None => f.name.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::SourceFile;
+    use crate::model::Model;
+
+    fn run_on(srcs: &[(&str, &str)]) -> Vec<Violation> {
+        let files: Vec<SourceFile> = srcs.iter().map(|(r, s)| SourceFile::parse(r, s)).collect();
+        let model = Model::build(&files);
+        let mut out = Vec::new();
+        run(&files, &model, &mut out);
+        out
+    }
+
+    #[test]
+    fn globs() {
+        assert!(glob_match("*Engine", "BatchedEngine"));
+        assert!(glob_match("step*", "step_core"));
+        assert!(glob_match("*", "anything"));
+        assert!(!glob_match("*Engine", "Trainer"));
+        assert!(!glob_match("commit_*", "commit"));
+    }
+
+    /// The negative fixture from ISSUE 9: taint through a wrapper
+    /// function. The entry point never names `Instant` itself — the sink
+    /// is two hops away — yet the chain is found and reported.
+    #[test]
+    fn taint_flows_through_wrapper_fn() {
+        let v = run_on(&[(
+            "crates/snn-core/src/sim/engine.rs",
+            "pub struct WtaEngine {}\nimpl WtaEngine {\n  pub fn step_core(&mut self) { helper(); }\n}\n\
+             fn helper() { stamp(); }\nfn stamp() { let t = std::time::Instant::now(); }\n",
+        )]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "determinism-taint");
+        assert!(v[0].msg.contains("step_core"), "{}", v[0].msg);
+        assert!(
+            v[0].msg.contains("helper"),
+            "chain must show the wrapper: {}",
+            v[0].msg
+        );
+        assert!(v[0].msg.contains("wall clock"), "{}", v[0].msg);
+    }
+
+    /// The alias-evasion fixture: `use std::time::Instant as T;` slipped
+    /// past the old scanner's `Instant::now` substring grep (`T::now()`
+    /// contains no forbidden token), but alias resolution catches it.
+    #[test]
+    fn alias_evasion_is_caught_where_the_old_scanner_missed_it() {
+        let src = "use std::time::Instant as T;\npub struct WtaEngine {}\nimpl WtaEngine {\n  \
+                   pub fn step_core(&mut self) { let t = T::now(); }\n}\n";
+        // Old philox-only logic: substring scan of the masked line for the
+        // forbidden-token list. `T::now()` matches none of them — evaded.
+        const OLD_FORBIDDEN: &[&str] = &[
+            "rand::",
+            "thread_rng",
+            "from_entropy",
+            "SystemTime",
+            "Instant::now",
+        ];
+        let evading_line = "let t = T::now();";
+        assert!(
+            OLD_FORBIDDEN.iter().all(|tok| !evading_line.contains(tok)),
+            "fixture must actually evade the old scanner's logic"
+        );
+        // New analyzer: caught.
+        let v = run_on(&[("crates/snn-core/src/sim/engine.rs", src)]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("Instant"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn waiver_on_the_cut_point_clears_and_is_function_scoped() {
+        let v = run_on(&[(
+            "crates/snn-core/src/sim/engine.rs",
+            "pub struct WtaEngine {}\nimpl WtaEngine {\n  pub fn step_core(&mut self) { helper(); }\n}\n\
+             /// Doc comment.\n// lint-allow: determinism-taint — profiling only, never feeds state\n\
+             fn helper() { let t = std::time::Instant::now(); }\n",
+        )]);
+        assert!(v.is_empty(), "waived cut point must clear the entry: {v:?}");
+    }
+
+    #[test]
+    fn rand_sink_and_rng_sinks_are_flagged() {
+        let v = run_on(&[(
+            "crates/gpu-device/src/fused.rs",
+            "pub fn commit_block() { let x = rand::random::<u64>(); }\n",
+        )]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("rand"), "{}", v[0].msg);
+        let v = run_on(&[(
+            "crates/gpu-device/src/fused.rs",
+            "pub fn commit_block() { let rng = StdRng::from_entropy(); }\n",
+        )]);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn unreachable_sinks_and_test_code_do_not_flag() {
+        let v = run_on(&[(
+            "crates/snn-learning/src/trainer.rs",
+            "pub struct Trainer {}\nimpl Trainer {\n  pub fn run(&mut self) { let t = std::time::Instant::now(); }\n}\n\
+             pub struct WtaEngine {}\nimpl WtaEngine { pub fn step_core(&mut self) {} }\n\
+             #[cfg(test)]\nmod tests {\n  fn present_fake() { let t = std::time::Instant::now(); }\n}\n",
+        )]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn fn_pointer_sink_reference_is_a_sink() {
+        let v = run_on(&[(
+            "crates/snn-trace/src/recorder.rs",
+            "use std::time::Instant;\npub fn commit_epoch() { let e = EPOCH.get_or_init(Instant::now); }\n",
+        )]);
+        assert_eq!(
+            v.len(),
+            1,
+            "fn-pointer position must still seed taint: {v:?}"
+        );
+    }
+}

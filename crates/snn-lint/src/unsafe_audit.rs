@@ -1,0 +1,342 @@
+//! `unsafe-ratchet`: classify every `unsafe` occurrence in the workspace
+//! by kind and diff the result against the committed baseline
+//! (`results/ANALYSIS_unsafe_audit.json`). The surface may shrink freely;
+//! any growth — a new kind in an audited file, or any unsafe in a file
+//! not in the baseline at all — fails the lint until the baseline is
+//! regenerated (`snn-lint --write-baseline`) in the same change, which
+//! makes every unsafe-surface expansion an explicit, reviewable diff.
+//!
+//! Classification runs on the significant-token stream, so `unsafe`
+//! inside strings, comments or `forbid(unsafe_code)` attributes can
+//! never count.
+
+use crate::json::{self, Value};
+use crate::lex::{SourceFile, TokKind};
+use crate::Violation;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The unsafe-surface kinds the classifier distinguishes.
+pub const KINDS: &[&str] = &[
+    "block_transmute",
+    "block_raw_deref",
+    "block_other",
+    "impl_send_sync",
+    "impl_trait",
+    "unsafe_fn",
+    "unsafe_trait",
+    "ffi",
+];
+
+/// Per-file classified counts: `file → kind → count`.
+pub type Inventory = BTreeMap<String, BTreeMap<String, usize>>;
+
+/// Idents inside an unsafe block that mark raw-pointer dereference
+/// territory (beyond a literal unary `*`).
+const RAW_MARKERS: &[&str] = &[
+    "from_raw_parts",
+    "from_raw_parts_mut",
+    "get_unchecked",
+    "get_unchecked_mut",
+    "read_volatile",
+    "write_volatile",
+    "as_mut_ptr",
+    "as_ptr",
+];
+
+/// Classifies every unsafe occurrence in `files`.
+pub fn inventory(files: &[SourceFile]) -> Inventory {
+    let mut inv = Inventory::new();
+    for f in files {
+        let counts = classify_file(f);
+        if !counts.is_empty() {
+            inv.insert(f.rel.clone(), counts);
+        }
+    }
+    inv
+}
+
+fn classify_file(f: &SourceFile) -> BTreeMap<String, usize> {
+    let sig = f.sig();
+    let text = |k: usize| -> &str { sig.get(k).map(|&i| f.toks[i].text.as_str()).unwrap_or("") };
+    let kind_of = |k: usize| sig.get(k).map(|&i| f.toks[i].kind);
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let bump = |counts: &mut BTreeMap<String, usize>, k: &str| {
+        *counts.entry(k.to_string()).or_insert(0) += 1;
+    };
+    for k in 0..sig.len() {
+        if text(k) != "unsafe" || kind_of(k) != Some(TokKind::Ident) {
+            continue;
+        }
+        match text(k + 1) {
+            "impl" => {
+                // Scan the header to `{`: `unsafe impl Send for X`.
+                let mut j = k + 2;
+                let mut send_sync = false;
+                while j < sig.len() && text(j) != "{" {
+                    if matches!(text(j), "Send" | "Sync") {
+                        send_sync = true;
+                    }
+                    j += 1;
+                }
+                bump(
+                    &mut counts,
+                    if send_sync {
+                        "impl_send_sync"
+                    } else {
+                        "impl_trait"
+                    },
+                );
+            }
+            "fn" => bump(&mut counts, "unsafe_fn"),
+            "trait" => bump(&mut counts, "unsafe_trait"),
+            "extern" => bump(&mut counts, "ffi"),
+            "{" => {
+                // Unsafe block: classify by body content.
+                let mut depth = 0i64;
+                let mut j = k + 1;
+                let mut transmute = false;
+                let mut raw = false;
+                while j < sig.len() {
+                    match text(j) {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        "transmute" | "transmute_copy" => transmute = true,
+                        t if RAW_MARKERS.contains(&t) => raw = true,
+                        // `.add(` / `.offset(` pointer arithmetic.
+                        "add" | "offset" if text(j.wrapping_sub(1)) == "." => raw = true,
+                        // Unary `*` deref: `*ptr` where `*` follows a
+                        // non-value token.
+                        "*" if kind_of(j + 1) == Some(TokKind::Ident)
+                            && matches!(
+                                text(j.wrapping_sub(1)),
+                                "=" | "(" | "," | "{" | ";" | "&" | "return"
+                            ) =>
+                        {
+                            raw = true
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let kind = if transmute {
+                    "block_transmute"
+                } else if raw {
+                    "block_raw_deref"
+                } else {
+                    "block_other"
+                };
+                bump(&mut counts, kind);
+            }
+            _ => {
+                // `unsafe` followed by something else (e.g. an attribute
+                // token sequence): count conservatively as a block.
+                bump(&mut counts, "block_other");
+            }
+        }
+    }
+    counts
+}
+
+/// Serializes an inventory as the baseline JSON document, with the
+/// update workflow documented in its header.
+pub fn render_baseline(inv: &Inventory) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"_how_to_update\": [\n");
+    s.push_str(
+        "    \"This file is the ratchet baseline for snn-lint's unsafe-surface analysis\",\n",
+    );
+    s.push_str("    \"(rule `unsafe-ratchet`, DESIGN.md SS15). The lint fails whenever the\",\n");
+    s.push_str(
+        "    \"classified unsafe surface grows past these counts. To accept a deliberate\",\n",
+    );
+    s.push_str("    \"expansion, regenerate with:  cargo run --release -p snn-lint -- --write-baseline\",\n");
+    s.push_str(
+        "    \"and commit the diff in the same change, so every unsafe-surface growth is\",\n",
+    );
+    s.push_str("    \"an explicit, reviewable edit. Never hand-edit the counts.\"\n");
+    s.push_str("  ],\n");
+    s.push_str("  \"version\": 2,\n");
+    s.push_str("  \"generated_by\": \"snn-lint --write-baseline\",\n");
+    s.push_str("  \"files\": {\n");
+    let mut totals: BTreeMap<&str, usize> = BTreeMap::new();
+    for (n, (file, counts)) in inv.iter().enumerate() {
+        let _ = write!(s, "    \"{}\": {{", json::esc(file));
+        for (m, (k, c)) in counts.iter().enumerate() {
+            *totals.entry(k.as_str()).or_insert(0) += c;
+            let _ = write!(
+                s,
+                "\"{}\": {c}{}",
+                json::esc(k),
+                if m + 1 < counts.len() { ", " } else { "" }
+            );
+        }
+        let _ = writeln!(s, "}}{}", if n + 1 < inv.len() { "," } else { "" });
+    }
+    s.push_str("  },\n  \"totals\": {");
+    for (m, (k, c)) in totals.iter().enumerate() {
+        let _ = write!(
+            s,
+            "\"{k}\": {c}{}",
+            if m + 1 < totals.len() { ", " } else { "" }
+        );
+    }
+    s.push_str("}\n}\n");
+    s
+}
+
+/// Parses a baseline document into an inventory. Accepts only the v2
+/// format this module writes.
+pub fn parse_baseline(text: &str) -> Result<Inventory, String> {
+    let v = json::parse(text).map_err(|e| format!("baseline JSON: {e}"))?;
+    if v.get("version").and_then(Value::as_i64) != Some(2) {
+        return Err("baseline is not version 2 — regenerate with --write-baseline".into());
+    }
+    let files = v
+        .get("files")
+        .and_then(Value::as_obj)
+        .ok_or("baseline missing `files` object")?;
+    let mut inv = Inventory::new();
+    for (file, counts) in files {
+        let obj = counts
+            .as_obj()
+            .ok_or_else(|| format!("bad counts for {file}"))?;
+        let mut m = BTreeMap::new();
+        for (k, c) in obj {
+            m.insert(k.clone(), c.as_i64().unwrap_or(0).max(0) as usize);
+        }
+        inv.insert(file.clone(), m);
+    }
+    Ok(inv)
+}
+
+/// The ratchet: every `(file, kind)` whose current count exceeds the
+/// baseline — or any unsafe in a file absent from the baseline — is a
+/// violation.
+pub fn ratchet(current: &Inventory, baseline: &Inventory, out: &mut Vec<Violation>) {
+    for (file, counts) in current {
+        let base = baseline.get(file);
+        for (kind, &cur) in counts {
+            let base_count = base.and_then(|b| b.get(kind)).copied().unwrap_or(0);
+            if cur > base_count {
+                out.push(Violation {
+                    file: file.clone(),
+                    line: 1,
+                    rule: "unsafe-ratchet",
+                    msg: format!(
+                        "unsafe surface grew: {cur} `{kind}` (baseline {base_count}{}) — if \
+                         deliberate, regenerate results/ANALYSIS_unsafe_audit.json with \
+                         `snn-lint --write-baseline` and commit it in the same change",
+                        if base.is_none() {
+                            ", file not in baseline"
+                        } else {
+                            ""
+                        },
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::SourceFile;
+
+    fn inv_of(srcs: &[(&str, &str)]) -> Inventory {
+        let files: Vec<SourceFile> = srcs.iter().map(|(r, s)| SourceFile::parse(r, s)).collect();
+        inventory(&files)
+    }
+
+    #[test]
+    fn classifies_kinds() {
+        let inv = inv_of(&[(
+            "crates/gpu-device/src/x.rs",
+            "fn a(p: *mut f64) {\n  unsafe { *p = 1.0; }\n  \
+             unsafe { std::mem::transmute::<u64, f64>(0) };\n  \
+             unsafe { helper() };\n}\n\
+             unsafe impl Send for X {}\nunsafe impl Widget for X {}\n\
+             unsafe fn raw() {}\nunsafe trait Marker {}\n\
+             unsafe extern \"C\" fn cb() {}\n",
+        )]);
+        let c = &inv["crates/gpu-device/src/x.rs"];
+        assert_eq!(c.get("block_raw_deref"), Some(&1), "{c:?}");
+        assert_eq!(c.get("block_transmute"), Some(&1), "{c:?}");
+        assert_eq!(c.get("block_other"), Some(&1), "{c:?}");
+        assert_eq!(c.get("impl_send_sync"), Some(&1), "{c:?}");
+        assert_eq!(c.get("impl_trait"), Some(&1), "{c:?}");
+        assert_eq!(c.get("unsafe_fn"), Some(&1), "{c:?}");
+        assert_eq!(c.get("unsafe_trait"), Some(&1), "{c:?}");
+        assert_eq!(c.get("ffi"), Some(&1), "{c:?}");
+    }
+
+    #[test]
+    fn strings_comments_attrs_never_count() {
+        let inv = inv_of(&[(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\n// unsafe { in a comment }\n\
+             const S: &str = \"unsafe { in a string }\";\n",
+        )]);
+        assert!(inv.is_empty(), "{inv:?}");
+    }
+
+    /// The un-baselined negative fixture from ISSUE 9: an artificially
+    /// added unsafe block fails the ratchet until the baseline is
+    /// regenerated.
+    #[test]
+    fn ratchet_fails_on_growth_until_baseline_updated() {
+        let before = inv_of(&[(
+            "crates/gpu-device/src/x.rs",
+            "fn a() {\n  // SAFETY: fine.\n  unsafe { helper() };\n}\n",
+        )]);
+        let after = inv_of(&[(
+            "crates/gpu-device/src/x.rs",
+            "fn a() {\n  // SAFETY: fine.\n  unsafe { helper() };\n  unsafe { helper2() };\n}\n",
+        )]);
+        let mut v = Vec::new();
+        ratchet(&after, &before, &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "unsafe-ratchet");
+        // Regenerating the baseline (= accepting `after`) clears it.
+        let mut v2 = Vec::new();
+        ratchet(&after, &after, &mut v2);
+        assert!(v2.is_empty(), "{v2:?}");
+        // Shrinking is always fine.
+        let mut v3 = Vec::new();
+        ratchet(&before, &after, &mut v3);
+        assert!(v3.is_empty(), "{v3:?}");
+    }
+
+    #[test]
+    fn unbaselined_file_fails() {
+        let cur = inv_of(&[(
+            "crates/snn-learning/src/new_kernel.rs",
+            "fn a() { unsafe { boom() } }\n",
+        )]);
+        let mut v = Vec::new();
+        ratchet(&cur, &Inventory::new(), &mut v);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].msg.contains("not in baseline"), "{}", v[0].msg);
+    }
+
+    #[test]
+    fn baseline_roundtrips_through_render_and_parse() {
+        let inv = inv_of(&[(
+            "crates/gpu-device/src/x.rs",
+            "unsafe impl Send for X {}\nfn a(p: *const u8) { unsafe { p.add(1); } }\n",
+        )]);
+        let text = render_baseline(&inv);
+        let back = parse_baseline(&text).expect("parse back");
+        assert_eq!(inv, back, "render/parse must round-trip\n{text}");
+        assert!(
+            text.contains("--write-baseline"),
+            "update workflow documented in header"
+        );
+    }
+}

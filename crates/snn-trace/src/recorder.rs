@@ -211,6 +211,8 @@ pub fn span(name: &'static str) -> SpanGuard {
 }
 
 /// Opens a span in an explicit category; the guard records it on drop.
+// lint-allow: determinism-taint — the clock read only stamps trace span
+// timestamps; no wall-clock value flows back into simulation state.
 #[inline]
 pub fn span_cat(name: &'static str, cat: &'static str) -> SpanGuard {
     if enabled() {
@@ -223,6 +225,8 @@ pub fn span_cat(name: &'static str, cat: &'static str) -> SpanGuard {
 /// Opens a per-simulation-step span: armed only when tracing is enabled
 /// *and* the detail level is [`Detail::Steps`], so step granularity is
 /// opt-in and the default-enabled overhead stays bounded.
+// lint-allow: determinism-taint — per-step trace timestamps never feed
+// kernel state; spans are observability-only.
 #[inline]
 pub fn step_span(name: &'static str) -> SpanGuard {
     if enabled() && detail() == Detail::Steps {
@@ -251,6 +255,8 @@ pub fn record_span_at(name: &'static str, cat: &'static str, start: Instant, dur
 /// together with the elapsed wall time in milliseconds — so benchmark
 /// tables and trace artifacts report the *same* measurement. The wall time
 /// is measured (and returned) even when tracing is disabled.
+// lint-allow: determinism-taint — measures benchmark wall time around `f`;
+// the measurement is reported, never fed back into simulation state.
 pub fn time_ms<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();

@@ -32,14 +32,18 @@
 # because its commit kernels (gpu-device AtomicGrid, DESIGN.md §14) are a
 # determinism-critical surface.
 #
-# The snn-lint pass enforces the repo's concurrency/determinism invariants
-# as machine-checked rules (SAFETY comments, unsafe-surface allow-list,
-# Philox-only randomness in step paths, transposed-view coherence,
-# no hash-order iteration in hot paths, sync-shim discipline, the
-# trace-schema rule: every span/gauge name used in source must appear in
-# DESIGN.md §11–§14, and the atomic-ordering rule: commit-kernel memory
-# orderings come only from the named constants of DESIGN.md §14.2) — see
-# crates/snn-lint and DESIGN.md §10.
+# The snn-lint pass runs the workspace analyzer (DESIGN.md §15): a
+# tokenizer + conservative call graph that PROVES the determinism
+# property (no kernel/step entry point reaches an RNG or wall-clock
+# sink, after use-alias expansion, with explicit audited waivers as the
+# only escapes), checks the COMMIT_* atomic-ordering protocol by call
+# shape, ratchets the classified unsafe surface against the committed
+# baseline results/ANALYSIS_unsafe_audit.json, and enforces the line
+# rules (SAFETY comments, unsafe-surface allow-list, transposed-view
+# coherence, no hash-order iteration in hot paths, sync-shim discipline,
+# trace-schema: every span/gauge name used in source must appear in
+# DESIGN.md §11–§14, atomic-ordering, lane-width). CI additionally
+# uploads the --sarif log and verifies the ratchet baseline is in sync.
 #
 # The rustdoc pass holds the API docs warning-free (broken intra-doc
 # links, bad code fences) on top of the per-crate #![deny(missing_docs)].

@@ -84,6 +84,7 @@ fn serve_config(network: &NetworkConfig, workers: usize, queue_capacity: usize) 
         device: DeviceConfig::default(),
         start_paused: false,
         batch: 1,
+        shards: 1,
     }
 }
 

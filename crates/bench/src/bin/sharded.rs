@@ -1,0 +1,266 @@
+//! Multi-device sharding harness: the identity gate and the capacity
+//! sweep for [`ShardedEngine`] (DESIGN.md §16).
+//!
+//! Two phases:
+//!
+//! 1. **Identity gate** — at a small paper-preset network, training and
+//!    frozen evaluation across shard counts {1, 2, 4} × both delivery
+//!    modes × both plasticity rules must reproduce the single-device
+//!    engine **bit for bit** (spike counts, conductances, thresholds).
+//!    The gate is an `assert`, not a report row: a diverging shard count
+//!    fails the run.
+//! 2. **Capacity sweep** — frozen evaluation at 10× and 20× the paper's
+//!    1000-neuron excitatory layer (784 inputs, the paper geometry),
+//!    sharded across {1, 2, 4} pooled devices, recording wall time per
+//!    presentation, the per-step spike-exchange traffic and the device
+//!    memory-pool recycling stats (`device/pool_*`).
+//!
+//! Set `PSS_SHARDED=quick` to shrink the sweep to a smoke run (1000
+//! neurons — the CI shape); the committed `results/BENCH_sharded.json`
+//! comes from the full sweep.
+//!
+//! Run: `cargo run -p bench --release --bin sharded`
+
+use bench::{results_dir, write_json_records, TextTable};
+use gpu_device::{Device, DeviceConfig, DeviceManager};
+use serde::Serialize;
+use snn_core::config::{CurrentDelivery, NetworkConfig, Preset, RuleKind};
+use snn_core::sim::{training_trains, ShardedEngine, ShardedSnapshot, WtaEngine};
+use std::time::Instant;
+
+const SEED: u64 = 2019;
+const SHARD_SWEEP: [usize; 3] = [1, 2, 4];
+
+#[derive(Serialize)]
+struct GateRecord {
+    phase: String,
+    delivery: String,
+    rule: String,
+    shards_checked: Vec<usize>,
+    bit_identical: bool,
+    note: String,
+}
+
+#[derive(Serialize)]
+struct SweepRecord {
+    phase: String,
+    n_excitatory: usize,
+    scale_vs_paper: f64,
+    shards: usize,
+    presentations: usize,
+    t_present_ms: f64,
+    wall_ms_per_presentation: f64,
+    speedup_vs_single: f64,
+    exchange_spikes: u64,
+    exchange_steps: u64,
+    pool_reuse_hits: u64,
+    pool_misses: u64,
+    pool_reuse_fraction: f64,
+    pool_high_water_bytes: u64,
+    pool_fragmentation: f64,
+    bit_identical_to_single: bool,
+    provenance: String,
+}
+
+fn gate_config(rule: RuleKind, delivery: CurrentDelivery) -> NetworkConfig {
+    NetworkConfig::from_preset(Preset::Bit4, 36, 12).with_rule(rule).with_delivery(delivery)
+}
+
+/// Mixed-rate stimuli (hot / cold / silent inputs) so winner-take-all
+/// windows open on one shard while others stay quiet.
+fn gate_stimuli() -> Vec<Vec<f64>> {
+    (0..3)
+        .map(|k| {
+            (0..36)
+                .map(|i| match (i + k) % 3 {
+                    0 => 700.0,
+                    1 => 150.0,
+                    _ => 0.0,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Trains on the stimuli and returns (counts, conductances, thetas).
+fn gate_observables(
+    cfg: &NetworkConfig,
+    n_shards: usize,
+    stimuli: &[Vec<f64>],
+) -> (Vec<u32>, Vec<f64>, Vec<f64>) {
+    let manager = DeviceManager::new(n_shards, DeviceConfig::default().with_workers(2));
+    let mut engine = ShardedEngine::new(cfg.clone(), &manager, SEED).expect("valid gate config");
+    let mut counts = vec![0u32; cfg.n_excitatory];
+    for rates in stimuli {
+        engine.reset_transients();
+        for (c, n) in counts.iter_mut().zip(engine.present(rates, 50.0, true)) {
+            *c += n;
+        }
+    }
+    engine.normalize_receptive_fields(8.0);
+    (counts, engine.synapses().as_flat().to_vec(), engine.thetas())
+}
+
+/// Phase 1: the differential matrix. Panics on any divergence.
+fn identity_gate() -> Vec<GateRecord> {
+    let stimuli = gate_stimuli();
+    let mut records = Vec::new();
+    for delivery in [CurrentDelivery::Dense, CurrentDelivery::Sparse] {
+        for rule in [RuleKind::Stochastic, RuleKind::Deterministic] {
+            let cfg = gate_config(rule, delivery);
+            let single = gate_observables(&cfg, 1, &stimuli);
+            assert!(
+                single.0.iter().sum::<u32>() > 0,
+                "{delivery:?}/{rule:?}: silent gate network proves nothing"
+            );
+            for n_shards in SHARD_SWEEP {
+                let sharded = gate_observables(&cfg, n_shards, &stimuli);
+                assert_eq!(single, sharded, "{delivery:?}/{rule:?}/s{n_shards}: diverged");
+            }
+            records.push(GateRecord {
+                phase: "identity_gate".into(),
+                delivery: format!("{delivery:?}"),
+                rule: format!("{rule:?}"),
+                shards_checked: SHARD_SWEEP.to_vec(),
+                bit_identical: true,
+                note: "training counts, conductances and thresholds bit-equal at every \
+                       shard count"
+                    .into(),
+            });
+            println!("identity gate ok: {delivery:?}/{rule:?} at shards {SHARD_SWEEP:?}");
+        }
+    }
+    records
+}
+
+/// Phase 2: frozen-evaluation capacity sweep at paper geometry.
+fn capacity_sweep(n_excitatory: usize, presentations: usize, t_ms: f64) -> Vec<SweepRecord> {
+    let cfg = NetworkConfig::from_preset(Preset::Bit8, 784, n_excitatory)
+        .with_rule(RuleKind::Stochastic)
+        .with_delivery(CurrentDelivery::Sparse);
+    let rates: Vec<f64> =
+        (0..784).map(|i| if i % 7 == 0 { 500.0 } else { f64::from((i % 5) as u32) * 30.0 }).collect();
+    let trains: Vec<_> = (0..presentations)
+        .map(|k| training_trains(SEED, &rates, cfg.dt_ms, t_ms, (k * 1000) as u64))
+        .collect();
+
+    // The frozen snapshot under test: the random initialization is fine
+    // here (the sweep measures execution, not learning), sliced once and
+    // shared by every shard count.
+    let device = Device::new(DeviceConfig::default());
+    let snapshot = WtaEngine::new(cfg.clone(), &device, SEED).snapshot();
+
+    let mut baseline: Option<(f64, Vec<Vec<u32>>)> = None;
+    let mut records = Vec::new();
+    for n_shards in SHARD_SWEEP {
+        let manager = DeviceManager::new(n_shards, DeviceConfig::default());
+        let sliced = ShardedSnapshot::new(&snapshot, n_shards);
+        let mut engine = ShardedEngine::replica(cfg.clone(), &manager, SEED, &sliced)
+            .expect("valid sweep config");
+        let begin = Instant::now();
+        let counts: Vec<Vec<u32>> = trains
+            .iter()
+            .map(|t| {
+                engine.reset_transients();
+                engine.present_frozen(t)
+            })
+            .collect();
+        let wall_ms = begin.elapsed().as_secs_f64() * 1e3 / presentations as f64;
+
+        let identical = baseline.as_ref().is_none_or(|(_, want)| want == &counts);
+        assert!(identical, "s{n_shards} @ {n_excitatory}: frozen counts diverged");
+        let single_ms = baseline.get_or_insert((wall_ms, counts)).0;
+
+        let (exchange_spikes, exchange_steps) = engine.exchange_stats();
+
+        // Replica churn: serving mounts and drops replicas on a long-lived
+        // device; remounting must recycle the dropped engine's buffers
+        // through the pool instead of allocating fresh backing stores.
+        drop(engine);
+        for _ in 0..3 {
+            let remounted = ShardedEngine::replica(cfg.clone(), &manager, SEED, &sliced)
+                .expect("valid sweep config");
+            drop(remounted);
+        }
+        let pool = manager.pool_stats();
+        assert!(pool.reuse_hits > 0, "replica remounts must recycle through the pool");
+        records.push(SweepRecord {
+            phase: "capacity_sweep".into(),
+            n_excitatory,
+            scale_vs_paper: n_excitatory as f64 / 1000.0,
+            shards: n_shards,
+            presentations,
+            t_present_ms: t_ms,
+            wall_ms_per_presentation: wall_ms,
+            speedup_vs_single: single_ms / wall_ms,
+            exchange_spikes,
+            exchange_steps,
+            pool_reuse_hits: pool.reuse_hits,
+            pool_misses: pool.misses,
+            pool_reuse_fraction: pool.reuse_hits as f64
+                / (pool.reuse_hits + pool.misses).max(1) as f64,
+            pool_high_water_bytes: pool.high_water_bytes,
+            pool_fragmentation: pool.fragmentation(),
+            bit_identical_to_single: true,
+            provenance: "simulated multi-device sharding on one host; wall times are \
+                         host-dependent, identity and pool accounting are not; pool \
+                         stats include 3 replica remounts on the same manager (the \
+                         serving churn shape)"
+                .into(),
+        });
+        println!(
+            "sweep {n_excitatory}n/s{n_shards}: {wall_ms:.1} ms/presentation, \
+             {exchange_spikes} exchanged spikes, pool reuse {:.0}%",
+            100.0 * pool.reuse_hits as f64 / (pool.reuse_hits + pool.misses).max(1) as f64
+        );
+    }
+    records
+}
+
+fn main() {
+    let quick = std::env::var("PSS_SHARDED").is_ok_and(|v| v == "quick");
+    println!("== sharded: multi-device identity gate + capacity sweep ==");
+
+    let gates = identity_gate();
+
+    let scales: &[(usize, usize, f64)] = if quick {
+        &[(1000, 2, 30.0)] // paper scale, CI smoke shape
+    } else {
+        &[(10_000, 3, 50.0), (20_000, 2, 50.0)] // 10x and 20x the paper
+    };
+    let mut sweeps = Vec::new();
+    for &(n_exc, presentations, t_ms) in scales {
+        sweeps.extend(capacity_sweep(n_exc, presentations, t_ms));
+    }
+
+    let mut table = TextTable::new(vec![
+        "n_exc", "shards", "ms/present", "speedup", "exch spikes", "pool reuse", "frag",
+    ]);
+    for r in &sweeps {
+        table.row(vec![
+            r.n_excitatory.to_string(),
+            r.shards.to_string(),
+            format!("{:.1}", r.wall_ms_per_presentation),
+            format!("{:.2}x", r.speedup_vs_single),
+            r.exchange_spikes.to_string(),
+            format!("{:.0}%", 100.0 * r.pool_reuse_fraction),
+            format!("{:.2}", r.pool_fragmentation),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    let path = results_dir().join("BENCH_sharded.json");
+    #[derive(Serialize)]
+    #[serde(untagged)]
+    enum Record {
+        Gate(GateRecord),
+        Sweep(SweepRecord),
+    }
+    let all: Vec<Record> = gates
+        .into_iter()
+        .map(Record::Gate)
+        .chain(sweeps.into_iter().map(Record::Sweep))
+        .collect();
+    write_json_records(&path, &all).expect("write bench record");
+    println!("\nwrote {}", path.display());
+}

@@ -1,5 +1,6 @@
 //! Typed device memory with host↔device transfer accounting.
 
+use crate::memory::MemoryPool;
 use crate::sync::Mutex;
 use serde::Serialize;
 use std::ops::{Deref, DerefMut};
@@ -38,14 +39,22 @@ impl TransferStats {
 /// simulated PCIe bus uses [`DeviceBuffer::copy_from_host`] /
 /// [`DeviceBuffer::copy_to_host`], which update the owning device's
 /// [`TransferStats`].
+///
+/// Buffers served by [`crate::Device::alloc`] are pool-backed: dropping
+/// the buffer returns its backing store to the owning device's
+/// [`MemoryPool`] for size-class reuse (the `Arc` keeps the pool alive
+/// even if the buffer outlives a borrow of the device).
 #[derive(Debug)]
-pub struct DeviceBuffer<T> {
+pub struct DeviceBuffer<T: Copy + Send + 'static> {
     data: Vec<T>,
     label: &'static str,
     stats: Arc<Mutex<TransferStats>>,
+    /// The recycler to return `data` to on drop; `None` for unpooled
+    /// (test-constructed) buffers, which free normally.
+    pool: Option<Arc<MemoryPool>>,
 }
 
-impl<T: Copy> DeviceBuffer<T> {
+impl<T: Copy + Send + 'static> DeviceBuffer<T> {
     pub(crate) fn new(
         label: &'static str,
         data: Vec<T>,
@@ -56,7 +65,20 @@ impl<T: Copy> DeviceBuffer<T> {
             s.htod_bytes += (data.len() * std::mem::size_of::<T>()) as u64;
             s.htod_count += 1;
         }
-        DeviceBuffer { data, label, stats }
+        DeviceBuffer { data, label, stats, pool: None }
+    }
+
+    /// A pool-backed buffer: `data` came from `pool` and returns to it
+    /// on drop.
+    pub(crate) fn new_pooled(
+        label: &'static str,
+        data: Vec<T>,
+        stats: Arc<Mutex<TransferStats>>,
+        pool: Arc<MemoryPool>,
+    ) -> Self {
+        let mut buf = Self::new(label, data, stats);
+        buf.pool = Some(pool);
+        buf
     }
 
     /// The debug label given at allocation.
@@ -118,7 +140,7 @@ impl<T: Copy> DeviceBuffer<T> {
     }
 }
 
-impl<T: Copy> Deref for DeviceBuffer<T> {
+impl<T: Copy + Send + 'static> Deref for DeviceBuffer<T> {
     type Target = [T];
 
     fn deref(&self) -> &[T] {
@@ -126,9 +148,17 @@ impl<T: Copy> Deref for DeviceBuffer<T> {
     }
 }
 
-impl<T: Copy> DerefMut for DeviceBuffer<T> {
+impl<T: Copy + Send + 'static> DerefMut for DeviceBuffer<T> {
     fn deref_mut(&mut self) -> &mut [T] {
         &mut self.data
+    }
+}
+
+impl<T: Copy + Send + 'static> Drop for DeviceBuffer<T> {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.release(std::mem::take(&mut self.data));
+        }
     }
 }
 

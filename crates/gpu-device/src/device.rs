@@ -3,6 +3,7 @@
 use crate::buffer::{DeviceBuffer, TransferStats};
 use crate::fused::FusedCtx;
 use crate::grid::LaunchDims;
+use crate::memory::{MemoryPool, PoolStats};
 use crate::pool::WorkerPool;
 use crate::profiler::{KernelProfiler, ProfileReport};
 use crate::sync::{Barrier, Mutex};
@@ -84,6 +85,14 @@ pub struct Device {
     profiler: KernelProfiler,
     transfers: Arc<Mutex<TransferStats>>,
     scratch: Mutex<Vec<Vec<f64>>>,
+    /// Size-class allocation recycler backing every [`Device::alloc`];
+    /// `Arc`-shared with the buffers it serves so a buffer outliving a
+    /// borrow of the device still returns its block on drop.
+    memory: Arc<MemoryPool>,
+    /// `pool_reuse`/`pool_miss`/`pool_release` totals at the last
+    /// [`Device::publish_pool_metrics`], so republishing emits deltas
+    /// into the monotonic profiler counters instead of double-counting.
+    pool_published: Mutex<(u64, u64, u64)>,
 }
 
 /// A zero-initialised `f64` scratch buffer leased from the device's
@@ -226,6 +235,8 @@ impl Device {
             profiler: KernelProfiler::new(),
             transfers: Arc::new(Mutex::new(TransferStats::default())),
             scratch: Mutex::new(Vec::new()),
+            memory: Arc::new(MemoryPool::new()),
+            pool_published: Mutex::new((0, 0, 0)),
         }
     }
 
@@ -251,10 +262,34 @@ impl Device {
     /// Panics if `replicas` is zero.
     #[must_use]
     pub fn new_budgeted(config: DeviceConfig, replicas: usize) -> Self {
+        Self::new_budgeted_split(config, replicas, 1)
+    }
+
+    /// The general form of [`Device::new_budgeted`]: brings up one of
+    /// `replicas × devices_per_replica` sibling devices sharing the host
+    /// worker budget. `new_budgeted` assumed every replica mounts exactly
+    /// one device; a sharded replica mounts `devices_per_replica` of
+    /// them, so the per-device share is
+    /// `max(1, host / (replicas × devices_per_replica))`. The
+    /// `worker_budget_clamped` counter records denied workers exactly as
+    /// in the single-device form. (`crate::DeviceManager` calls this for
+    /// every device it enumerates.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` or `devices_per_replica` is zero.
+    #[must_use]
+    pub fn new_budgeted_split(
+        config: DeviceConfig,
+        replicas: usize,
+        devices_per_replica: usize,
+    ) -> Self {
         assert!(replicas > 0, "a replica group needs at least one member");
+        assert!(devices_per_replica > 0, "a replica mounts at least one device");
         let requested = config.workers.max(1);
-        let per_replica_budget = (DeviceConfig::host_parallelism() / replicas).max(1);
-        let granted = requested.min(per_replica_budget);
+        let slots = replicas.saturating_mul(devices_per_replica);
+        let per_device_budget = (DeviceConfig::host_parallelism() / slots).max(1);
+        let granted = requested.min(per_device_budget);
         let device = Device::new(DeviceConfig { workers: granted, ..config });
         if granted < requested {
             device.bump_counter("worker_budget_clamped", (requested - granted) as u64);
@@ -340,15 +375,79 @@ impl Device {
     }
 
     /// Allocates a buffer of `len` elements initialized to `init`.
+    ///
+    /// Backed by the device's [`MemoryPool`]: dropping the returned
+    /// buffer parks its block on a size-class free shelf, and a later
+    /// allocation of the same class reuses it instead of touching the
+    /// host allocator (`device/pool_*` metrics, DESIGN.md §16).
     #[must_use]
-    pub fn alloc<T: Copy>(&self, label: &'static str, len: usize, init: T) -> DeviceBuffer<T> {
-        DeviceBuffer::new(label, vec![init; len], Arc::clone(&self.transfers))
+    pub fn alloc<T: Copy + Send + 'static>(
+        &self,
+        label: &'static str,
+        len: usize,
+        init: T,
+    ) -> DeviceBuffer<T> {
+        DeviceBuffer::new_pooled(
+            label,
+            self.memory.acquire(len, init),
+            Arc::clone(&self.transfers),
+            Arc::clone(&self.memory),
+        )
     }
 
-    /// Allocates a buffer initialized from a host slice.
+    /// Allocates a buffer initialized from a host slice, with the same
+    /// pool recycling as [`Device::alloc`].
     #[must_use]
-    pub fn alloc_from_slice<T: Copy>(&self, label: &'static str, src: &[T]) -> DeviceBuffer<T> {
-        DeviceBuffer::new(label, src.to_vec(), Arc::clone(&self.transfers))
+    pub fn alloc_from_slice<T: Copy + Send + 'static>(
+        &self,
+        label: &'static str,
+        src: &[T],
+    ) -> DeviceBuffer<T> {
+        DeviceBuffer::new_pooled(
+            label,
+            self.memory.acquire_from_slice(src),
+            Arc::clone(&self.transfers),
+            Arc::clone(&self.memory),
+        )
+    }
+
+    /// A snapshot of the device memory pool's accounting (reuse/miss
+    /// traffic, live/free/high-water bytes).
+    #[must_use]
+    pub fn memory_stats(&self) -> PoolStats {
+        self.memory.stats()
+    }
+
+    /// Drops every free block parked in the device memory pool,
+    /// returning the bytes released. Live buffers are unaffected.
+    pub fn trim_memory(&self) -> u64 {
+        self.memory.trim()
+    }
+
+    /// Publishes the memory pool's accounting into the profiler — and
+    /// from there, via [`ProfileReport::export_metrics`], into the
+    /// MetricsHub as `device/pool_reuse`, `device/pool_miss`,
+    /// `device/pool_release` counters and `device/pool_live_bytes`,
+    /// `device/pool_free_bytes`, `device/pool_high_water_bytes`,
+    /// `device/pool_fragmentation` gauges (schema: DESIGN.md §16).
+    /// Counter totals are published as deltas since the previous call,
+    /// so republishing never double-counts. No-op when profiling is
+    /// disabled.
+    pub fn publish_pool_metrics(&self) {
+        if !self.config.profile {
+            return;
+        }
+        let s = self.memory.stats();
+        let mut last = self.pool_published.lock();
+        self.profiler.bump("pool_reuse", s.reuse_hits - last.0);
+        self.profiler.bump("pool_miss", s.misses - last.1);
+        self.profiler.bump("pool_release", s.releases - last.2);
+        *last = (s.reuse_hits, s.misses, s.releases);
+        drop(last);
+        self.profiler.gauge("pool_live_bytes", s.live_bytes as f64);
+        self.profiler.gauge("pool_free_bytes", s.free_bytes as f64);
+        self.profiler.gauge("pool_high_water_bytes", s.high_water_bytes as f64);
+        self.profiler.gauge("pool_fragmentation", s.fragmentation());
     }
 
     fn dims_for(&self, n: usize) -> LaunchDims {

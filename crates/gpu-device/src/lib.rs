@@ -12,7 +12,14 @@
 //!   synchronization between dependent CUDA kernel launches on one stream.
 //! * [`DeviceBuffer`] — typed device memory with explicit host↔device copy
 //!   operations and byte-accurate transfer accounting, standing in for
-//!   `cudaMemcpy`.
+//!   `cudaMemcpy`. Every allocation is backed by the device's
+//!   [`MemoryPool`] — size-class free lists that recycle dropped buffers
+//!   the way a stream-ordered CUDA pool allocator does, with
+//!   reuse/high-water/fragmentation accounting published as
+//!   `device/pool_*` metrics.
+//! * [`DeviceManager`] — enumerates N simulated devices sharing the host
+//!   worker budget, the substrate of the sharded engine
+//!   (`snn_core::sim::ShardedEngine`, DESIGN.md §16).
 //! * [`Philox4x32`] / [`PhiloxStream`] — the counter-based random number
 //!   generator family used by cuRAND. Counter-based streams make the
 //!   stochastic STDP draws *independent of thread scheduling*: the draw for
@@ -48,6 +55,8 @@ mod fused;
 mod grid;
 #[cfg(all(loom, test))]
 mod loom_tests;
+mod manager;
+mod memory;
 mod philox;
 mod pool;
 mod profiler;
@@ -58,6 +67,8 @@ pub use commit::{
     AtomicGrid, CommitCounters, COMMIT_CAS_FAILURE, COMMIT_CAS_SUCCESS, COMMIT_LOAD, COMMIT_STATS,
 };
 pub use device::{Device, DeviceConfig, ScratchLease};
+pub use manager::DeviceManager;
+pub use memory::{MemoryPool, PoolStats};
 pub use fused::{FusedCtx, SharedSlice};
 pub use grid::LaunchDims;
 pub use philox::{Philox4x32, PhiloxStream};

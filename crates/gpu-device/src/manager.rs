@@ -1,0 +1,182 @@
+//! Multi-device enumeration: a [`DeviceManager`] brings up N simulated
+//! devices that share the host's worker budget.
+//!
+//! A sharded engine (`snn_core::sim::ShardedEngine`) mounts one layer
+//! partition per device; the manager's job is to make `N` devices
+//! coexist without oversubscribing the host. [`Device::new_budgeted`]
+//! solved this for replica groups under the assumption of *one device
+//! per replica*; the manager generalizes the split to
+//! `replica groups × devices per group` (see
+//! [`Device::new_budgeted_split`]), so eval replicas that each mount a
+//! multi-device shard set still keep the total pool-thread count within
+//! [`DeviceConfig::host_parallelism`].
+//!
+//! Every device carries its own [`crate::MemoryPool`] and profiler;
+//! [`DeviceManager::merged_profile`] and [`DeviceManager::pool_stats`]
+//! fold them into one report, mirroring how the replica evaluator
+//! aggregates per-replica profiles.
+//!
+//! # Example
+//!
+//! ```
+//! use gpu_device::{DeviceConfig, DeviceManager};
+//!
+//! // Four simulated devices splitting the host worker budget.
+//! let manager = DeviceManager::new(4, DeviceConfig::default());
+//! assert_eq!(manager.len(), 4);
+//! let host = DeviceConfig::host_parallelism();
+//! let total: usize = manager.devices().iter().map(|d| d.workers()).sum();
+//! // Every device gets at least one worker; beyond that the total
+//! // stays within the host budget.
+//! assert!(total <= host.max(manager.len()));
+//! ```
+
+use crate::device::{Device, DeviceConfig};
+use crate::memory::PoolStats;
+use crate::profiler::ProfileReport;
+
+/// A set of simulated devices sharing one host worker budget — the
+/// multi-device substrate of sharded execution.
+#[derive(Debug)]
+pub struct DeviceManager {
+    devices: Vec<Device>,
+}
+
+impl DeviceManager {
+    /// Enumerates `n_devices` devices, clamping each one's worker count
+    /// so the total stays within the host budget (each device keeps a
+    /// floor of one worker). Equivalent to
+    /// [`DeviceManager::new_budgeted`] with a single replica group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_devices` is zero.
+    #[must_use]
+    pub fn new(n_devices: usize, config: DeviceConfig) -> Self {
+        Self::new_budgeted(n_devices, config, 1)
+    }
+
+    /// Enumerates `n_devices` devices belonging to one of
+    /// `replica_groups` concurrent groups (e.g. one eval replica each
+    /// mounting an `n_devices`-way shard set). Each device's worker
+    /// count is clamped to
+    /// `max(1, host / (replica_groups × n_devices))`, so the whole
+    /// fleet — every group's every device — stays within the host
+    /// budget whenever the floor allows it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_devices` or `replica_groups` is zero.
+    #[must_use]
+    pub fn new_budgeted(n_devices: usize, config: DeviceConfig, replica_groups: usize) -> Self {
+        assert!(n_devices > 0, "a device manager needs at least one device");
+        let devices = (0..n_devices)
+            .map(|_| Device::new_budgeted_split(config, replica_groups, n_devices))
+            .collect();
+        DeviceManager { devices }
+    }
+
+    /// The enumerated devices, in device-ordinal order.
+    #[must_use]
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Device `ordinal`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ordinal >= self.len()`.
+    #[must_use]
+    pub fn device(&self, ordinal: usize) -> &Device {
+        &self.devices[ordinal]
+    }
+
+    /// Number of devices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the manager holds no devices (never true — construction
+    /// requires at least one).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// One profiler report folding every device's kernels, counters and
+    /// gauges together (same aggregation as cross-replica eval).
+    #[must_use]
+    pub fn merged_profile(&self) -> ProfileReport {
+        let reports: Vec<ProfileReport> = self.devices.iter().map(Device::profile).collect();
+        ProfileReport::merged(&reports)
+    }
+
+    /// Memory-pool accounting summed across every device.
+    #[must_use]
+    pub fn pool_stats(&self) -> PoolStats {
+        let stats: Vec<PoolStats> = self.devices.iter().map(Device::memory_stats).collect();
+        PoolStats::merged(&stats)
+    }
+
+    /// Publishes every device's `device/pool_*` metrics (see
+    /// [`Device::publish_pool_metrics`]).
+    pub fn publish_pool_metrics(&self) {
+        for d in &self.devices {
+            d.publish_pool_metrics();
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manager_splits_the_worker_budget_across_devices() {
+        let host = DeviceConfig::host_parallelism();
+        let m = DeviceManager::new(4, DeviceConfig::default().with_workers(host * 2));
+        assert_eq!(m.len(), 4);
+        for d in m.devices() {
+            assert_eq!(d.workers(), (host / 4).max(1));
+        }
+    }
+
+    #[test]
+    fn replica_groups_divide_the_budget_further() {
+        // The regression the `Device::new_budgeted` one-device assumption
+        // missed: 2 replica groups × 2 devices must split by 4, not 2.
+        let host = DeviceConfig::host_parallelism();
+        let m = DeviceManager::new_budgeted(2, DeviceConfig::default().with_workers(host * 2), 2);
+        for d in m.devices() {
+            assert_eq!(d.workers(), (host / 4).max(1));
+        }
+    }
+
+    #[test]
+    fn devices_never_drop_below_one_worker() {
+        let m = DeviceManager::new_budgeted(64, DeviceConfig::default().with_workers(8), 64);
+        assert!(m.devices().iter().all(|d| d.workers() == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_is_rejected() {
+        let _ = DeviceManager::new(0, DeviceConfig::default());
+    }
+
+    #[test]
+    fn pool_stats_aggregate_across_devices() {
+        let m = DeviceManager::new(2, DeviceConfig::serial());
+        let a = m.device(0).alloc("a", 100, 0u32);
+        let b = m.device(1).alloc("b", 100, 0u32);
+        let s = m.pool_stats();
+        assert_eq!(s.misses, 2);
+        assert!(s.live_bytes >= 2 * 100 * 4);
+        drop((a, b));
+        let s = m.pool_stats();
+        assert_eq!(s.releases, 2);
+        assert!(s.high_water_bytes >= s.live_bytes);
+    }
+}

@@ -1,0 +1,285 @@
+//! Per-device memory pooling: size-class free lists backing every
+//! [`crate::DeviceBuffer`] allocation.
+//!
+//! A real CUDA allocator (`cudaMalloc`/`cudaFree`, or the stream-ordered
+//! `cudaMallocAsync` pool) amortizes device allocations by recycling
+//! freed blocks from size-class bins instead of round-tripping to the
+//! driver. This module reproduces that discipline for the simulated
+//! device: dropping a [`crate::DeviceBuffer`] returns its backing store
+//! to the owning device's [`MemoryPool`], and the next allocation of a
+//! compatible size class reuses it instead of touching the host
+//! allocator.
+//!
+//! **Size classes** are power-of-two element counts per element type: a
+//! request for `len` elements of `T` is served from the
+//! `(T, len.next_power_of_two())` shelf. Classing by element count (not
+//! bytes) keeps every recycled block type-exact, so reuse is a plain
+//! `Vec` handoff with no transmutes — the pool holds no `unsafe` code at
+//! all.
+//!
+//! **Observability**: the pool keeps running reuse/miss/release counters
+//! and live/free/high-water byte gauges ([`PoolStats`]), published as
+//! `device/pool_*` metrics through [`crate::Device::publish_pool_metrics`]
+//! (schema: DESIGN.md §16). `fragmentation` is the fraction of
+//! pool-managed bytes sitting idle on free shelves — the cost of the
+//! size-class rounding that buys O(1) reuse.
+//!
+//! # Example
+//!
+//! ```
+//! use gpu_device::{Device, DeviceConfig};
+//!
+//! let device = Device::new(DeviceConfig::serial());
+//! let a = device.alloc("a", 1000, 0u32); // miss: fresh allocation
+//! drop(a);                               // block parked on the free shelf
+//! let _b = device.alloc("b", 900, 0u32); // hit: same 1024-element class
+//! let stats = device.memory_stats();
+//! assert_eq!(stats.reuse_hits, 1);
+//! assert_eq!(stats.misses, 1);
+//! assert!(stats.high_water_bytes >= stats.live_bytes);
+//! ```
+
+use crate::sync::Mutex;
+use std::any::{Any, TypeId};
+use std::collections::BTreeMap;
+
+/// A snapshot of a [`MemoryPool`]'s accounting: allocation traffic
+/// (hits/misses/releases) and byte occupancy (live/free/high-water).
+///
+/// Invariants maintained by the pool (and property-tested in
+/// `crates/gpu-device/tests/memory_pool.rs`):
+/// `high_water_bytes >= live_bytes`, `reuse_hits + misses` equals the
+/// total number of served allocations, and `free_bytes` is exactly the
+/// capacity parked on the free shelves.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Allocations served by recycling a freed block of the same class.
+    pub reuse_hits: u64,
+    /// Allocations that had to create a fresh backing store.
+    pub misses: u64,
+    /// Blocks returned to the pool by dropped buffers.
+    pub releases: u64,
+    /// Bytes currently checked out in live buffers (size-class capacity,
+    /// not requested length — the rounding *is* the allocation).
+    pub live_bytes: u64,
+    /// Bytes currently parked on the free shelves, ready for reuse.
+    pub free_bytes: u64,
+    /// The maximum `live_bytes` ever observed.
+    pub high_water_bytes: u64,
+    /// Blocks currently parked on the free shelves.
+    pub free_blocks: u64,
+}
+
+impl PoolStats {
+    /// Fraction of pool-managed bytes (live + free) sitting idle on the
+    /// free shelves; `0.0` when the pool manages nothing. This is the
+    /// internal-fragmentation price of size-class recycling.
+    #[must_use]
+    pub fn fragmentation(&self) -> f64 {
+        let total = self.live_bytes + self.free_bytes;
+        if total == 0 {
+            return 0.0;
+        }
+        self.free_bytes as f64 / total as f64
+    }
+
+    /// Aggregates the stats of several pools (e.g. every device of a
+    /// [`crate::DeviceManager`]) into one report.
+    #[must_use]
+    pub fn merged<'a, I: IntoIterator<Item = &'a PoolStats>>(stats: I) -> PoolStats {
+        let mut out = PoolStats::default();
+        for s in stats {
+            out.reuse_hits += s.reuse_hits;
+            out.misses += s.misses;
+            out.releases += s.releases;
+            out.live_bytes += s.live_bytes;
+            out.free_bytes += s.free_bytes;
+            out.high_water_bytes += s.high_water_bytes;
+            out.free_blocks += s.free_blocks;
+        }
+        out
+    }
+}
+
+/// One free shelf: recycled backing stores of a single `(type, class)`
+/// pair, type-erased for storage. Every entry is a `Vec<T>` whose
+/// capacity is exactly the class size, so a pop + `resize` never
+/// reallocates.
+type Shelf = Vec<Box<dyn Any + Send>>;
+
+struct PoolInner {
+    /// Free lists keyed by `(element type, class capacity)`. A `BTreeMap`
+    /// keeps iteration order deterministic (and keeps the `snn-lint`
+    /// hash-iteration rule trivially satisfied).
+    shelves: BTreeMap<(TypeId, usize), Shelf>,
+    stats: PoolStats,
+}
+
+/// The per-device allocation recycler (size-class free lists; see
+/// DESIGN.md §16.1 for the design). Construction is internal — every
+/// [`crate::Device`] owns one, created at device bring-up.
+pub struct MemoryPool {
+    inner: Mutex<PoolInner>,
+}
+
+impl std::fmt::Debug for MemoryPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("MemoryPool").field("stats", &stats).finish()
+    }
+}
+
+/// The size class serving a request for `len` elements: the next power
+/// of two, with a floor of one element so zero-length requests still
+/// class cleanly.
+fn class_for(len: usize) -> usize {
+    len.max(1).next_power_of_two()
+}
+
+impl MemoryPool {
+    pub(crate) fn new() -> Self {
+        MemoryPool {
+            inner: Mutex::new(PoolInner { shelves: BTreeMap::new(), stats: PoolStats::default() }),
+        }
+    }
+
+    /// Checks out a `Vec<T>` of exactly `len` elements, every element
+    /// `init`, backed by a recycled block of the `len`-covering size
+    /// class when one is free (fresh otherwise). The returned vector's
+    /// capacity is the class size.
+    pub(crate) fn acquire<T: Copy + Send + 'static>(&self, len: usize, init: T) -> Vec<T> {
+        let mut v = self.checkout::<T>(len);
+        v.resize(len, init);
+        v
+    }
+
+    /// Checks out a `Vec<T>` initialized as a copy of `src` (the
+    /// `alloc_from_slice` path), with the same recycling as
+    /// [`MemoryPool::acquire`].
+    pub(crate) fn acquire_from_slice<T: Copy + Send + 'static>(&self, src: &[T]) -> Vec<T> {
+        let mut v = self.checkout::<T>(src.len());
+        v.extend_from_slice(src);
+        v
+    }
+
+    /// The common checkout: an *empty* vector with capacity equal to the
+    /// class covering `len`, recycled when possible, with all accounting
+    /// done.
+    fn checkout<T: Copy + Send + 'static>(&self, len: usize) -> Vec<T> {
+        let class = class_for(len);
+        let bytes = (class * std::mem::size_of::<T>()) as u64;
+        let key = (TypeId::of::<T>(), class);
+        let mut inner = self.inner.lock();
+        let recycled = inner.shelves.get_mut(&key).and_then(Shelf::pop);
+        let vec = match recycled {
+            Some(block) => {
+                inner.stats.reuse_hits += 1;
+                inner.stats.free_bytes -= bytes;
+                inner.stats.free_blocks -= 1;
+                let mut v = *block
+                    .downcast::<Vec<T>>()
+                    .expect("shelf key pins the element type of every block");
+                v.clear();
+                v
+            }
+            None => {
+                inner.stats.misses += 1;
+                Vec::with_capacity(class)
+            }
+        };
+        inner.stats.live_bytes += bytes;
+        inner.stats.high_water_bytes = inner.stats.high_water_bytes.max(inner.stats.live_bytes);
+        debug_assert_eq!(vec.capacity(), class, "pooled blocks keep their class capacity");
+        vec
+    }
+
+    /// Returns a buffer's backing store to its free shelf. Blocks whose
+    /// capacity is not an exact class size (impossible for pool-served
+    /// allocations, possible for buffers built around foreign vectors)
+    /// are dropped instead of pooled, so the class accounting stays
+    /// exact.
+    pub(crate) fn release<T: Copy + Send + 'static>(&self, vec: Vec<T>) {
+        let class = vec.capacity();
+        let bytes = (class * std::mem::size_of::<T>()) as u64;
+        let mut inner = self.inner.lock();
+        if class == 0 || !class.is_power_of_two() {
+            // Foreign block: it was never counted live, so just drop it.
+            return;
+        }
+        inner.stats.live_bytes = inner.stats.live_bytes.saturating_sub(bytes);
+        inner.stats.releases += 1;
+        inner.stats.free_bytes += bytes;
+        inner.stats.free_blocks += 1;
+        inner.shelves.entry((TypeId::of::<T>(), class)).or_default().push(Box::new(vec));
+    }
+
+    /// A consistent snapshot of the pool's accounting.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Drops every parked free block, returning the bytes released to
+    /// the host allocator. Live buffers are unaffected.
+    pub fn trim(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        let freed = inner.stats.free_bytes;
+        inner.shelves.clear();
+        inner.stats.free_bytes = 0;
+        inner.stats.free_blocks = 0;
+        freed
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_round_up_to_powers_of_two() {
+        assert_eq!(class_for(0), 1);
+        assert_eq!(class_for(1), 1);
+        assert_eq!(class_for(3), 4);
+        assert_eq!(class_for(1000), 1024);
+        assert_eq!(class_for(1024), 1024);
+    }
+
+    #[test]
+    fn reuse_is_per_type_and_class() {
+        let pool = MemoryPool::new();
+        let a = pool.acquire::<u32>(100, 7);
+        assert_eq!(a.len(), 100);
+        assert!(a.iter().all(|&x| x == 7));
+        pool.release(a);
+        // Same class, different type: no reuse.
+        let b = pool.acquire::<f64>(100, 0.0);
+        assert_eq!(pool.stats().reuse_hits, 0);
+        // Same type and class: reused, fully reinitialized.
+        let c = pool.acquire::<u32>(128, 9);
+        assert_eq!(pool.stats().reuse_hits, 1);
+        assert!(c.iter().all(|&x| x == 9));
+        drop((b, c));
+    }
+
+    #[test]
+    fn trim_empties_the_shelves() {
+        let pool = MemoryPool::new();
+        pool.release(pool.acquire::<u64>(64, 0));
+        assert!(pool.stats().free_bytes > 0);
+        let freed = pool.trim();
+        assert_eq!(freed, 64 * 8);
+        assert_eq!(pool.stats().free_bytes, 0);
+        assert_eq!(pool.stats().free_blocks, 0);
+    }
+
+    #[test]
+    fn fragmentation_is_free_over_total() {
+        let pool = MemoryPool::new();
+        assert_eq!(pool.stats().fragmentation(), 0.0);
+        let a = pool.acquire::<u8>(1024, 0);
+        pool.release(pool.acquire::<u8>(1024, 0));
+        let s = pool.stats();
+        assert!((s.fragmentation() - 0.5).abs() < 1e-12);
+        drop(a);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property and scenario tests for the device [`MemoryPool`]
+//! (ISSUE 10): pooled allocations never alias live buffers, the
+//! accounting invariants hold under arbitrary alloc/free sequences, and
+//! the fragmentation/reuse life cycle behaves as documented in
+//! DESIGN.md §16.
+
+use gpu_device::{Device, DeviceBuffer, DeviceConfig, DeviceManager, PoolStats};
+use proptest::prelude::*;
+
+/// The data pointer of a buffer's backing store — the identity that must
+/// never be shared by two live buffers.
+fn addr(buf: &DeviceBuffer<u64>) -> usize {
+    buf.as_slice().as_ptr() as usize
+}
+
+fn check_invariants(s: &PoolStats) {
+    assert!(
+        s.high_water_bytes >= s.live_bytes,
+        "high water {} below live {}",
+        s.high_water_bytes,
+        s.live_bytes
+    );
+    assert!(s.reuse_hits <= s.releases, "cannot reuse more blocks than were ever released");
+    let frag = s.fragmentation();
+    assert!((0.0..=1.0).contains(&frag), "fragmentation {frag} out of [0,1]");
+    if s.free_bytes == 0 {
+        assert_eq!(s.free_blocks, 0, "no bytes parked but {} blocks listed", s.free_blocks);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary interleavings of allocations and frees: no two live
+    /// buffers ever share a backing store, buffers always come back
+    /// fully re-initialized, and every intermediate stats snapshot
+    /// satisfies the accounting invariants.
+    #[test]
+    fn alloc_free_sequences_never_alias_live_buffers(
+        ops in prop::collection::vec((0usize..2000, any::<bool>()), 1..120),
+    ) {
+        let device = Device::new(DeviceConfig::serial());
+        let mut live: Vec<DeviceBuffer<u64>> = Vec::new();
+        for (round, (len, free_first)) in ops.into_iter().enumerate() {
+            if free_first && !live.is_empty() {
+                // Free the oldest live buffer; its block may be reused
+                // by the very next allocation — but only after it left
+                // the live set.
+                live.remove(0);
+            }
+            let buf = device.alloc("prop", len, round as u64);
+            prop_assert!(buf.as_slice().iter().all(|&v| v == round as u64),
+                "reused block leaked stale contents");
+            if len > 0 {
+                for other in &live {
+                    prop_assert_ne!(addr(other), addr(&buf),
+                        "two live buffers share one backing store");
+                }
+            }
+            live.push(buf);
+            check_invariants(&device.memory_stats());
+        }
+        drop(live);
+        let end = device.memory_stats();
+        check_invariants(&end);
+        // Everything was dropped: all pool-managed bytes are parked free.
+        prop_assert_eq!(end.live_bytes, 0);
+    }
+
+    /// The reuse accounting ties out: hits + misses equals the number of
+    /// allocations served, and same-class churn after warm-up stops
+    /// missing entirely.
+    #[test]
+    fn steady_state_churn_reuses_instead_of_allocating(
+        len in 1usize..4096, rounds in 2usize..40,
+    ) {
+        let device = Device::new(DeviceConfig::serial());
+        for _ in 0..rounds {
+            drop(device.alloc("churn", len, 0u64));
+        }
+        let s = device.memory_stats();
+        prop_assert_eq!(s.misses, 1, "same-class churn should miss exactly once");
+        prop_assert_eq!(s.reuse_hits, rounds as u64 - 1);
+        prop_assert_eq!(s.releases, rounds as u64);
+        check_invariants(&s);
+    }
+}
+
+/// The documented fragmentation-reuse life cycle: parking blocks raises
+/// `fragmentation`, reacquiring the same class drives it back down, and
+/// `trim` releases the parked bytes to the host allocator.
+#[test]
+fn fragmentation_rises_on_free_and_falls_on_reuse() {
+    let device = Device::new(DeviceConfig::serial());
+    let bufs: Vec<_> = (0..4).map(|i| device.alloc("frag", 1024, i as u32)).collect();
+    assert_eq!(device.memory_stats().fragmentation(), 0.0, "nothing freed yet");
+    drop(bufs);
+    let parked = device.memory_stats();
+    assert_eq!(parked.fragmentation(), 1.0, "all managed bytes parked");
+    assert_eq!(parked.free_blocks, 4);
+
+    // Same-class reacquisition: fragmentation falls as shelves drain.
+    let again: Vec<_> = (0..3).map(|_| device.alloc("frag2", 1000, 0u32)).collect();
+    let s = device.memory_stats();
+    assert_eq!(s.reuse_hits, 3);
+    assert!((s.fragmentation() - 0.25).abs() < 1e-12, "one of four blocks still parked");
+    check_invariants(&s);
+    drop(again);
+
+    let freed = device.trim_memory();
+    assert_eq!(freed, 4 * 1024 * 4, "trim returns every parked byte");
+    let end = device.memory_stats();
+    assert_eq!(end.free_bytes, 0);
+    assert_eq!(end.free_blocks, 0);
+    // High water remembers the peak even after trimming.
+    assert_eq!(end.high_water_bytes, 4 * 1024 * 4);
+}
+
+/// Distinct element types never share shelves even when their byte sizes
+/// coincide: a reused block must be type-exact.
+#[test]
+fn size_classes_are_per_element_type() {
+    let device = Device::new(DeviceConfig::serial());
+    drop(device.alloc("a", 256, 0u32));
+    let _f = device.alloc("b", 256, 0.0f32); // same 1 KiB class, different type
+    let s = device.memory_stats();
+    assert_eq!(s.reuse_hits, 0, "u32 block must not back an f32 buffer");
+    assert_eq!(s.misses, 2);
+}
+
+/// The worker-budget regression of ISSUE 10: a replica group whose
+/// members each mount several devices must split the host budget by
+/// `replicas × devices`, not by `replicas` alone (the one-device
+/// assumption of `Device::new_budgeted`), while every device keeps the
+/// one-worker floor.
+#[test]
+fn budget_split_covers_multi_device_replicas() {
+    let host = DeviceConfig::host_parallelism();
+    let replicas = 2;
+    let devices = 2;
+    let greedy = DeviceConfig::default().with_workers(host * 4);
+
+    // The fixed split: every (replica, device) slot gets an equal share.
+    let managers: Vec<DeviceManager> =
+        (0..replicas).map(|_| DeviceManager::new_budgeted(devices, greedy, replicas)).collect();
+    let share = (host / (replicas * devices)).max(1);
+    let mut total = 0;
+    for m in &managers {
+        for d in m.devices() {
+            assert_eq!(d.workers(), share);
+            assert!(d.workers() >= 1, "floor of one worker per device");
+            total += d.workers();
+        }
+    }
+    // Within budget whenever the floor allows it (on tiny hosts the
+    // floor dominates and oversubscription is the documented fallback).
+    if host >= replicas * devices {
+        assert!(total <= host, "fleet of {total} workers oversubscribes host of {host}");
+    }
+
+    // The legacy single-device clamp would have granted each device
+    // host/replicas workers — oversubscribing by a factor of `devices`
+    // on any host with enough parallelism to matter.
+    let legacy = Device::new_budgeted(greedy, replicas);
+    assert_eq!(legacy.workers(), (host / replicas).max(1));
+}

@@ -248,6 +248,42 @@ impl<'d> WtaEngine<'d> {
         Ok(Self::assemble(cfg, device, seed, SynapseStore::Owned(synapses), transposed))
     }
 
+    /// Builds an engine around a pre-built (possibly sharded) synapse
+    /// matrix instead of drawing a fresh random one. `cfg` must describe
+    /// the matrix's own shape — for a shard, the *local* populations —
+    /// while the matrix's `row_origin` keeps the per-synapse draw keys
+    /// global (see `sim::sharded`).
+    pub(crate) fn with_matrix(
+        cfg: NetworkConfig,
+        device: &'d Device,
+        seed: u64,
+        synapses: SynapseMatrix,
+    ) -> Result<Self, SnnError> {
+        cfg.validate()?;
+        assert_eq!(synapses.n_pre(), cfg.n_inputs, "matrix pre population mismatch");
+        assert_eq!(synapses.n_post(), cfg.n_excitatory, "matrix post population mismatch");
+        let transposed = match cfg.delivery {
+            CurrentDelivery::Sparse => TransposedView::Owned(TransposedConductances::new(&synapses)),
+            CurrentDelivery::Dense => TransposedView::Absent,
+        };
+        Ok(Self::assemble(cfg, device, seed, SynapseStore::Owned(synapses), transposed))
+    }
+
+    /// The local neurons that spiked on the most recent step, ascending —
+    /// the list a sharded driver exchanges between
+    /// [`WtaEngine::step_integrate`] and [`WtaEngine::step_commit`].
+    pub(crate) fn spiking_posts(&self) -> &[u32] {
+        &self.spiking_posts
+    }
+
+    /// Deposits the batched per-step profiler traffic into the device
+    /// profiler. [`WtaEngine::present`] and friends do this on return; a
+    /// sharded driver stepping the engine directly calls it at its own
+    /// presentation boundary.
+    pub(crate) fn flush_step_accounting(&mut self) {
+        self.acct.flush(self.device);
+    }
+
     /// Assembles an engine around an existing synapse store — the shared
     /// tail of [`WtaEngine::try_new`] (owned random weights) and
     /// [`WtaEngine::replica`] (frozen shared weights, which skips the
@@ -518,6 +554,7 @@ impl<'d> WtaEngine<'d> {
         let philox = self.philox;
         let step = self.step;
         let n_pre = self.cfg.n_inputs;
+        let row_origin = self.synapses.get().row_origin();
         self.device.launch_rows_mut(
             "normalize_weights",
             self.synapses.get_mut().as_flat_mut(),
@@ -529,7 +566,7 @@ impl<'d> WtaEngine<'d> {
                 }
                 let scale = target / sum;
                 for (i, g) in row.iter_mut().enumerate() {
-                    let syn = (j * n_pre + i) as u64;
+                    let syn = ((row_origin + j) * n_pre + i) as u64;
                     let u = philox.uniform2(STREAM_KIND_SYNAPSE | syn, step.wrapping_add(1));
                     *g = ctx.requantize(*g * scale, u);
                 }
@@ -666,7 +703,6 @@ impl<'d> WtaEngine<'d> {
             && self.cfg.t_inh_ms > 0.0;
         let mut quiet_until = f64::NEG_INFINITY;
         let mut quiet_active: Vec<u32> = Vec::new();
-        let mut prev = 0usize;
         for s in 0..trains.steps() {
             let active = trains.active(s);
             if quiet_ok && self.time_ms < quiet_until {
@@ -675,30 +711,13 @@ impl<'d> WtaEngine<'d> {
                 continue;
             }
             let _step = snn_trace::step_span("engine/step");
-            // Stage the precomputed list where the encode kernel would
-            // have written it: retire the previous step's flags, copy
-            // the new list, raise its flags.
-            let list = self.spike_list.as_mut_slice();
-            for &i in &list[..prev] {
-                self.input_spiked[i as usize] = 0;
-            }
-            list[..active.len()].copy_from_slice(active);
-            for &i in active {
-                self.input_spiked[i as usize] = 1;
-            }
-            self.active_inputs = active.len();
-            prev = active.len();
+            self.stage_active(active);
             self.step_core(false, &mut counts);
             if quiet_ok && !self.spiking_posts.is_empty() {
                 self.enter_quiet(&mut quiet_active, &mut quiet_until);
             }
         }
-        // Leave the flag array clean for whatever runs next.
-        let list = self.spike_list.as_slice();
-        for &i in &list[..prev] {
-            self.input_spiked[i as usize] = 0;
-        }
-        self.active_inputs = 0;
+        self.clear_active();
         self.time_ms = saved_time;
         self.step = saved_step;
         self.acct.flush(self.device);
@@ -768,27 +787,13 @@ impl<'d> WtaEngine<'d> {
         let entry_thetas = self.thetas();
         self.recording = Some(vec![Vec::new(); self.cfg.n_excitatory]);
         let mut counts = vec![0u32; self.cfg.n_excitatory];
-        let mut prev = 0usize;
         for s in 0..trains.steps() {
             let active = trains.active(s);
             let _step = snn_trace::step_span("engine/step");
-            let list = self.spike_list.as_mut_slice();
-            for &i in &list[..prev] {
-                self.input_spiked[i as usize] = 0;
-            }
-            list[..active.len()].copy_from_slice(active);
-            for &i in active {
-                self.input_spiked[i as usize] = 1;
-            }
-            self.active_inputs = active.len();
-            prev = active.len();
+            self.stage_active(active);
             self.step_core(true, &mut counts);
         }
-        let list = self.spike_list.as_slice();
-        for &i in &list[..prev] {
-            self.input_spiked[i as usize] = 0;
-        }
-        self.active_inputs = 0;
+        self.clear_active();
         let theta_delta: Vec<f64> = self
             .cells
             .iter()
@@ -1027,6 +1032,16 @@ impl<'d> WtaEngine<'d> {
     /// One `dt` step of the full pipeline: encode + compact this step's
     /// input spikes, then run the core phases.
     fn step_once(&mut self, p_spike: &[f64], plastic: bool, counts: &mut [u32]) {
+        self.encode_step(p_spike);
+        self.step_core(plastic, counts);
+    }
+
+    /// Phase (1) of the step pipeline: encode this step's input spikes and
+    /// stage the compacted active list. The draws are keyed `(input, step)`
+    /// from the engine seed and nothing else, so every shard of a sharded
+    /// engine (same seed, same clock) encodes the *identical* spike train —
+    /// the input broadcast of DESIGN.md §16 costs no exchange traffic.
+    pub(crate) fn encode_step(&mut self, p_spike: &[f64]) {
         let step = self.step;
         let philox = self.philox;
         let n_pre = self.cfg.n_inputs;
@@ -1073,7 +1088,34 @@ impl<'d> WtaEngine<'d> {
             });
         }
         self.active_inputs = self.worker_slots.iter().map(|&c| c as usize).sum::<usize>();
-        self.step_core(plastic, counts);
+    }
+
+    /// Stages a precomputed active-input list exactly where the encode
+    /// kernel would have left it: retires the previous step's flags,
+    /// copies the (ascending) list, raises its flags, and records the
+    /// count. The shared staging step of [`WtaEngine::present_frozen`],
+    /// [`WtaEngine::present_recording`], and the sharded driver.
+    pub(crate) fn stage_active(&mut self, active: &[u32]) {
+        let prev = self.active_inputs;
+        let list = self.spike_list.as_mut_slice();
+        for &i in &list[..prev] {
+            self.input_spiked[i as usize] = 0;
+        }
+        list[..active.len()].copy_from_slice(active);
+        for &i in active {
+            self.input_spiked[i as usize] = 1;
+        }
+        self.active_inputs = active.len();
+    }
+
+    /// Retires the staged active list, leaving the flag array clean for
+    /// whatever runs next (the inverse of [`WtaEngine::stage_active`]).
+    pub(crate) fn clear_active(&mut self) {
+        let list = self.spike_list.as_slice();
+        for &i in &list[..self.active_inputs] {
+            self.input_spiked[i as usize] = 0;
+        }
+        self.active_inputs = 0;
     }
 
     /// Phases (1b)–(6) of the step pipeline, consuming the staged
@@ -1082,6 +1124,21 @@ impl<'d> WtaEngine<'d> {
     /// ([`WtaEngine::step_once`]) or copied from precomputed trains
     /// ([`WtaEngine::present_frozen`]).
     fn step_core(&mut self, plastic: bool, counts: &mut [u32]) {
+        let any_spiked = self.step_integrate(plastic, counts);
+        self.step_commit(any_spiked, plastic);
+    }
+
+    /// Phases (1b)–(5-scan) of the step pipeline: touch-time settle,
+    /// pre-side depression, the fused delivery + integration kernel, and
+    /// the winner-take-all spiker scan (last-spike stamps, homeostasis
+    /// bump, counts, raster). Returns whether any *local* neuron spiked.
+    ///
+    /// Split from [`WtaEngine::step_commit`] so a sharded driver
+    /// (`sim::sharded`) can integrate every shard, exchange the spiker
+    /// lists, and only then commit inhibition with the *global* spike
+    /// flag — the winner-take-all suppression of DESIGN.md §16. A
+    /// single-device step is exactly `step_commit(step_integrate(..))`.
+    pub(crate) fn step_integrate(&mut self, plastic: bool, counts: &mut [u32]) -> bool {
         let t = self.time_ms;
         let dt = self.cfg.dt_ms;
         let step = self.step;
@@ -1133,6 +1190,7 @@ impl<'d> WtaEngine<'d> {
             let ctx = self.synapses.get().update_ctx();
             let rule = &*self.rule;
             let cells = &self.cells;
+            let row_origin = self.synapses.get().row_origin();
             self.device.launch_rows_mut(
                 "stdp_pre_dep",
                 self.synapses.get_mut().as_flat_mut(),
@@ -1143,7 +1201,7 @@ impl<'d> WtaEngine<'d> {
                         return;
                     }
                     for &i in spikers {
-                        let syn = (j * n_pre + i as usize) as u64;
+                        let syn = ((row_origin + j) * n_pre + i as usize) as u64;
                         let u_accept = philox.uniform2(STREAM_KIND_SYNAPSE | syn, step);
                         if let Some(kind) = rule.on_pre_spike(dt_pair, u_accept) {
                             let u_round =
@@ -1429,6 +1487,31 @@ impl<'d> WtaEngine<'d> {
                 }
             }
         }
+        any_spiked
+    }
+
+    /// Phases (5-inhibit) and (6) of the step pipeline plus the clock
+    /// advance: winner-take-all suppression driven by `any_spiked`, then
+    /// causal STDP over the *local* spikers collected by
+    /// [`WtaEngine::step_integrate`].
+    ///
+    /// `any_spiked` is the population-wide spike flag. In a single-device
+    /// step it is exactly the integrate phase's return value; a sharded
+    /// driver passes the OR over all shards so implicit inhibition
+    /// suppresses a shard's non-spikers even when the step's only winners
+    /// live on another shard. The plasticity phase needs no such widening:
+    /// it iterates only `spiking_posts`, and every per-synapse draw is
+    /// keyed by the global row index, so running it shard-locally is
+    /// bit-identical to the whole-population kernel (spike-free rows are
+    /// no-ops and the counter-based Philox consumes no state).
+    pub(crate) fn step_commit(&mut self, any_spiked: bool, plastic: bool) {
+        let t = self.time_ms;
+        let dt = self.cfg.dt_ms;
+        let step = self.step;
+        let philox = self.philox;
+        let n_pre = self.cfg.n_inputs;
+        let n_active = self.active_inputs;
+        let spikers = &self.spike_list.as_slice()[..n_active];
         match self.cfg.inhibition {
             InhibitionMode::Implicit => {
                 if any_spiked {
@@ -1473,8 +1556,11 @@ impl<'d> WtaEngine<'d> {
         // consults the rule with its pre spike timer (Eqs. 4–6). The eager
         // path scans the whole matrix now; the lazy path records one event
         // per spiking row and settles only the coincident (spiking input ×
-        // spiking post) pairs, deferring the rest to touch time.
-        if plastic && any_spiked {
+        // spiking post) pairs, deferring the rest to touch time. Gated on
+        // the *local* spikers: under sharding `any_spiked` may be true
+        // while this shard stayed silent, and a silent shard's plasticity
+        // phase is a provable no-op.
+        if plastic && !self.spiking_posts.is_empty() {
             // Recorded presentation (parallel training): the post events are
             // captured for a deferred commit against the shared matrix —
             // weights and ledger stay untouched, so this branch is legal on
@@ -1497,6 +1583,7 @@ impl<'d> WtaEngine<'d> {
                     let rule = &*self.rule;
                     let cells = &self.cells;
                     let last_pre = &self.last_pre;
+                    let row_origin = self.synapses.get().row_origin();
                     self.device.launch_rows_mut(
                         "stdp_post",
                         self.synapses.get_mut().as_flat_mut(),
@@ -1507,7 +1594,7 @@ impl<'d> WtaEngine<'d> {
                             }
                             for (i, g) in row.iter_mut().enumerate() {
                                 let dt_pair = t - last_pre[i];
-                                let syn = (j * n_pre + i) as u64;
+                                let syn = ((row_origin + j) * n_pre + i) as u64;
                                 let u_accept = philox.uniform(STREAM_KIND_SYNAPSE | syn, step);
                                 if let Some(kind) = rule.on_post_spike(dt_pair, u_accept) {
                                     let u_round =

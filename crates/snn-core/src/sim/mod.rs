@@ -14,6 +14,10 @@
 //! * [`BatchedEngine`] — lock-step batched frozen evaluation with SWAR
 //!   low-precision delivery kernels, bit-identical per lane to the serial
 //!   frozen path.
+//! * [`ShardedEngine`] / [`ShardedSnapshot`] — the excitatory layer
+//!   partitioned across the devices of a [`gpu_device::DeviceManager`],
+//!   coupled by a per-step spike all-gather and bit-identical to the
+//!   single-device engine at any shard count (DESIGN.md §16).
 //! * [`RecordedPresentation`] and the round-commit kernels
 //!   ([`commit_ordered`] / [`commit_concurrent`]) — the parallel-training
 //!   protocol of DESIGN.md §14.
@@ -24,6 +28,7 @@ mod eval;
 mod generic;
 mod parallel;
 mod recorder;
+mod sharded;
 
 pub use batched::BatchedEngine;
 pub use engine::WtaEngine;
@@ -34,3 +39,4 @@ pub use parallel::{
     CommitStats, RecordedPresentation,
 };
 pub use recorder::SpikeRaster;
+pub use sharded::{ShardedEngine, ShardedSnapshot};

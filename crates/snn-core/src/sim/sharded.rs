@@ -1,0 +1,546 @@
+//! Multi-device sharded execution of the winner-take-all engine.
+//!
+//! [`ShardedEngine`] partitions the excitatory layer — and with it the
+//! rows of the synapse matrix — across the simulated devices of a
+//! [`DeviceManager`], runs each shard's fused deliver/integrate/decay
+//! kernels on its own device, and exchanges packed spike-event lists in
+//! an all-gather at every step boundary. DESIGN.md §16 records the
+//! protocol and its proof obligations; the short version:
+//!
+//! * **Row partition.** Shard `k` owns the contiguous global rows
+//!   `ranges[k]` of the excitatory layer: its cells, thetas, and the
+//!   matching rows of the synapse matrix (sliced with
+//!   [`SynapseMatrix::shard_rows`], which stamps the slice's
+//!   `row_origin` so every per-synapse Philox draw stays keyed by the
+//!   *global* flat index).
+//! * **Input broadcast.** Every shard encodes the full input population
+//!   from the same seed and step counter, so the active-spike lists are
+//!   identical across shards and cost no exchange traffic.
+//! * **Spike all-gather.** A step splits into the engine's integrate
+//!   phase (per shard, local winners) and commit phase (inhibition +
+//!   plasticity). Between them the driver gathers every shard's local
+//!   winners into one packed, globally ascending list and hands each
+//!   shard the population-wide "did anyone spike" flag — the only
+//!   cross-shard fact implicit winner-take-all inhibition needs.
+//! * **Bit-identity.** Each phase runs the same floating-point
+//!   operations in the same order as the single-device engine restricted
+//!   to the shard's rows, and every Philox draw is keyed globally, so
+//!   spike counts, thetas, and learned weights are bit-identical to a
+//!   single-device run at any shard count. The differential test matrix
+//!   (`tests/sharded.rs`) enforces this for shards × delivery × rules.
+//!
+//! Explicit (per-neuron LIF partner) inhibition is rejected at
+//! construction: its suppression decisions depend on *which* partners
+//! spiked, not just whether any did, and that cross-shard coupling is
+//! not carried by the flag exchange.
+
+use gpu_device::DeviceManager;
+
+use crate::config::{InhibitionMode, NetworkConfig};
+use crate::error::SnnError;
+use crate::sim::engine::WtaEngine;
+use crate::sim::eval::{EvalSnapshot, SpikeTrains};
+use crate::synapse::SynapseMatrix;
+
+/// A per-shard slice of an [`EvalSnapshot`], prepared once so that N
+/// sharded replicas can mount the same trained state without re-slicing
+/// (or copying) the conductance matrix per replica.
+#[derive(Debug, Clone)]
+pub struct ShardedSnapshot {
+    shards: Vec<EvalSnapshot>,
+    ranges: Vec<(usize, usize)>,
+}
+
+impl ShardedSnapshot {
+    /// Slices `snapshot` into `n_shards` contiguous row ranges (the
+    /// partition of [`ShardedEngine`]). Each slice is itself an
+    /// [`EvalSnapshot`], `Arc`-shared by every replica that mounts it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_shards` is zero or exceeds the excitatory population.
+    #[must_use]
+    pub fn new(snapshot: &EvalSnapshot, n_shards: usize) -> Self {
+        let n_exc = snapshot.synapses().n_post();
+        let ranges = partition(n_exc, n_shards);
+        let shards = ranges
+            .iter()
+            .map(|&(lo, hi)| {
+                EvalSnapshot::new(
+                    snapshot.synapses().shard_rows(lo, hi),
+                    snapshot.thetas()[lo..hi].to_vec(),
+                )
+            })
+            .collect();
+        ShardedSnapshot { shards, ranges }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global row range `[lo, hi)` owned by shard `k`.
+    #[must_use]
+    pub fn range(&self, k: usize) -> (usize, usize) {
+        self.ranges[k]
+    }
+}
+
+/// The contiguous balanced partition of `n` rows into `k` shards: the
+/// first `n % k` shards hold one extra row.
+fn partition(n: usize, k: usize) -> Vec<(usize, usize)> {
+    assert!(k > 0, "at least one shard");
+    assert!(k <= n, "more shards ({k}) than excitatory neurons ({n})");
+    let base = n / k;
+    let extra = n % k;
+    let mut ranges = Vec::with_capacity(k);
+    let mut lo = 0;
+    for s in 0..k {
+        let hi = lo + base + usize::from(s < extra);
+        ranges.push((lo, hi));
+        lo = hi;
+    }
+    ranges
+}
+
+/// The winner-take-all engine partitioned across the devices of a
+/// [`DeviceManager`] — one [`WtaEngine`] shard per device, coupled by a
+/// per-step spike all-gather (see the module docs and DESIGN.md §16).
+///
+/// The public surface mirrors the single-device engine where the
+/// semantics carry over ([`present`](Self::present),
+/// [`present_frozen`](Self::present_frozen),
+/// [`normalize_receptive_fields`](Self::normalize_receptive_fields),
+/// clock control), with gather entry points
+/// ([`synapses`](Self::synapses), [`thetas`](Self::thetas),
+/// [`snapshot`](Self::snapshot)) where the single-device engine returns
+/// borrowed whole-layer state.
+///
+/// # Example
+///
+/// ```
+/// use gpu_device::{Device, DeviceConfig, DeviceManager};
+/// use snn_core::config::{NetworkConfig, Preset, RuleKind};
+/// use snn_core::sim::{ShardedEngine, WtaEngine};
+///
+/// let cfg = NetworkConfig::from_preset(Preset::FullPrecision, 4, 3)
+///     .with_rule(RuleKind::Stochastic);
+///
+/// // Shard the layer across two simulated devices...
+/// let manager = DeviceManager::new(2, DeviceConfig::default().with_workers(2));
+/// let mut sharded = ShardedEngine::new(cfg.clone(), &manager, 7).unwrap();
+/// let spikes = sharded.present(&[60.0; 4], 50.0, true);
+///
+/// // ...and the trajectory is bit-identical to one device.
+/// let solo = Device::new(DeviceConfig::default().with_workers(1));
+/// let mut serial = WtaEngine::new(cfg, &solo, 7);
+/// assert_eq!(serial.present(&[60.0; 4], 50.0, true), spikes);
+/// assert_eq!(serial.synapses().as_flat(), sharded.synapses().as_flat());
+/// ```
+pub struct ShardedEngine<'d> {
+    cfg: NetworkConfig,
+    shards: Vec<WtaEngine<'d>>,
+    ranges: Vec<(usize, usize)>,
+    /// The packed globally-indexed spiker list of the current step — the
+    /// all-gather exchange buffer.
+    exchange: Vec<u32>,
+    exchange_spikes: u64,
+    exchange_steps: u64,
+}
+
+impl<'d> ShardedEngine<'d> {
+    /// Builds a learning engine for `cfg` sharded across every device of
+    /// `manager`, with all randomness keyed by `seed`.
+    ///
+    /// The full synapse matrix is drawn exactly as the single-device
+    /// engine draws it ([`SynapseMatrix::new_random`] keys every synapse
+    /// by its global flat index) and then sliced row-wise, so shard
+    /// initialization is bit-identical to the unsharded layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if `cfg` is invalid or uses
+    /// explicit inhibition (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the manager holds more devices than excitatory neurons.
+    pub fn new(
+        cfg: NetworkConfig,
+        manager: &'d DeviceManager,
+        seed: u64,
+    ) -> Result<Self, SnnError> {
+        Self::check(&cfg)?;
+        let full = SynapseMatrix::new_random(&cfg, seed);
+        let ranges = partition(cfg.n_excitatory, manager.len());
+        let shards = ranges
+            .iter()
+            .zip(manager.devices())
+            .map(|(&(lo, hi), device)| {
+                let mut local = cfg.clone();
+                local.n_excitatory = hi - lo;
+                WtaEngine::with_matrix(local, device, seed, full.shard_rows(lo, hi))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::from_shards(cfg, shards, ranges))
+    }
+
+    /// Mounts frozen evaluation replicas of `snapshot` across the devices
+    /// of `manager` — the sharded counterpart of [`WtaEngine::replica`].
+    /// Each shard shares its slice of the snapshot by reference count, so
+    /// N sharded replicas of one [`ShardedSnapshot`] hold one copy of the
+    /// weights per shard, not per replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnnError::InvalidConfig`] if `cfg` is invalid or uses
+    /// explicit inhibition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's shard count differs from the manager's
+    /// device count or its shape disagrees with `cfg`.
+    pub fn replica(
+        cfg: NetworkConfig,
+        manager: &'d DeviceManager,
+        seed: u64,
+        snapshot: &ShardedSnapshot,
+    ) -> Result<Self, SnnError> {
+        Self::check(&cfg)?;
+        assert_eq!(
+            snapshot.n_shards(),
+            manager.len(),
+            "snapshot shard count does not match the device count"
+        );
+        let ranges = snapshot.ranges.clone();
+        assert_eq!(
+            ranges.last().map_or(0, |&(_, hi)| hi),
+            cfg.n_excitatory,
+            "snapshot partition does not cover the excitatory population"
+        );
+        let shards = ranges
+            .iter()
+            .zip(manager.devices())
+            .zip(&snapshot.shards)
+            .map(|((&(lo, hi), device), slice)| {
+                let mut local = cfg.clone();
+                local.n_excitatory = hi - lo;
+                WtaEngine::replica(local, device, seed, slice)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self::from_shards(cfg, shards, ranges))
+    }
+
+    fn check(cfg: &NetworkConfig) -> Result<(), SnnError> {
+        cfg.validate()?;
+        if matches!(cfg.inhibition, InhibitionMode::Explicit { .. }) {
+            return Err(SnnError::InvalidConfig {
+                field: "inhibition",
+                reason: "sharded execution supports implicit winner-take-all inhibition only \
+                         (explicit partners couple shards beyond the spike all-gather)"
+                    .to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn from_shards(
+        cfg: NetworkConfig,
+        shards: Vec<WtaEngine<'d>>,
+        ranges: Vec<(usize, usize)>,
+    ) -> Self {
+        let n_exc = cfg.n_excitatory;
+        ShardedEngine {
+            cfg,
+            shards,
+            ranges,
+            exchange: Vec::with_capacity(n_exc),
+            exchange_spikes: 0,
+            exchange_steps: 0,
+        }
+    }
+
+    /// The full-network configuration (shard configs differ only in
+    /// their local `n_excitatory`).
+    #[must_use]
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Number of shards (= devices the engine runs across).
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The global row range `[lo, hi)` owned by shard `k`.
+    #[must_use]
+    pub fn range(&self, k: usize) -> (usize, usize) {
+        self.ranges[k]
+    }
+
+    /// Whether this engine mounts frozen replicas (cannot learn).
+    #[must_use]
+    pub fn is_frozen(&self) -> bool {
+        self.shards[0].is_frozen()
+    }
+
+    /// Resets every shard's transient state (membranes, currents,
+    /// inhibition, spike timers) — see [`WtaEngine::reset_transients`].
+    pub fn reset_transients(&mut self) {
+        for shard in &mut self.shards {
+            shard.reset_transients();
+        }
+    }
+
+    /// Sets the training clock on every shard (see
+    /// [`WtaEngine::set_clock`]); the shards always advance in lock-step,
+    /// so one clock describes them all.
+    pub fn set_clock(&mut self, step: u64, time_ms: f64) {
+        for shard in &mut self.shards {
+            shard.set_clock(step, time_ms);
+        }
+    }
+
+    /// The training clock `(step, time_ms)` (identical on every shard).
+    #[must_use]
+    pub fn clock(&self) -> (u64, f64) {
+        self.shards[0].clock()
+    }
+
+    /// Gathers the adaptive-threshold offsets of the whole excitatory
+    /// layer, in global row order.
+    #[must_use]
+    pub fn thetas(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.cfg.n_excitatory);
+        for shard in &self.shards {
+            out.extend(shard.thetas());
+        }
+        out
+    }
+
+    /// Gathers the full learned synapse matrix from the shards'
+    /// row slices (`row_origin` 0, whole-layer shape) — the sharded
+    /// counterpart of [`WtaEngine::synapses`], by value because the rows
+    /// live on different devices.
+    #[must_use]
+    pub fn synapses(&self) -> SynapseMatrix {
+        let slices: Vec<&SynapseMatrix> = self.shards.iter().map(WtaEngine::synapses).collect();
+        SynapseMatrix::concat_rows(&slices)
+    }
+
+    /// Captures a whole-layer [`EvalSnapshot`] of the learned state, for
+    /// mounting single-device or sharded evaluation replicas.
+    #[must_use]
+    pub fn snapshot(&self) -> EvalSnapshot {
+        EvalSnapshot::new(self.synapses(), self.thetas())
+    }
+
+    /// Rescales every receptive field so its conductances sum to
+    /// `target` (see [`WtaEngine::normalize_receptive_fields`]). Each
+    /// shard normalizes its own rows; the operation is row-local, so the
+    /// result is bit-identical to the single-device kernel.
+    pub fn normalize_receptive_fields(&mut self, target: f64) {
+        for shard in &mut self.shards {
+            shard.normalize_receptive_fields(target);
+        }
+    }
+
+    /// Cumulative all-gather traffic: `(exchanged spike events, exchange
+    /// rounds)` since construction. Published as `shard/*` metrics by
+    /// [`ShardedEngine::publish_metrics`].
+    #[must_use]
+    pub fn exchange_stats(&self) -> (u64, u64) {
+        (self.exchange_spikes, self.exchange_steps)
+    }
+
+    /// Publishes the sharding telemetry to the global
+    /// [`snn_trace::metrics`] hub: the shard count and the cumulative
+    /// all-gather traffic (schema: DESIGN.md §16).
+    pub fn publish_metrics(&self) {
+        let hub = snn_trace::metrics();
+        hub.set_counter("shard/count", self.shards.len() as u64);
+        hub.set_counter("shard/exchange_spikes", self.exchange_spikes);
+        hub.set_counter("shard/exchange_steps", self.exchange_steps);
+    }
+
+    /// One sharded step over staged inputs: integrate every shard,
+    /// all-gather the winners, commit every shard under the global spike
+    /// flag. `locals` are the per-shard spike-count accumulators.
+    fn step_exchanged(&mut self, plastic: bool, locals: &mut [Vec<u32>]) {
+        for (shard, counts) in self.shards.iter_mut().zip(locals.iter_mut()) {
+            shard.step_integrate(plastic, counts);
+        }
+        self.exchange.clear();
+        for (shard, &(lo, _)) in self.shards.iter().zip(&self.ranges) {
+            self.exchange.extend(shard.spiking_posts().iter().map(|&j| lo as u32 + j));
+        }
+        self.exchange_spikes += self.exchange.len() as u64;
+        self.exchange_steps += 1;
+        let any_spiked = !self.exchange.is_empty();
+        for shard in &mut self.shards {
+            shard.step_commit(any_spiked, plastic);
+        }
+    }
+
+    /// Folds the per-shard spike counts into one whole-layer vector.
+    fn gather_counts(&self, locals: &[Vec<u32>]) -> Vec<u32> {
+        let mut counts = vec![0u32; self.cfg.n_excitatory];
+        for (local, &(lo, hi)) in locals.iter().zip(&self.ranges) {
+            counts[lo..hi].copy_from_slice(local);
+        }
+        counts
+    }
+
+    /// Presents one stimulus for `duration_ms` across all shards — the
+    /// sharded counterpart of [`WtaEngine::present`], bit-identical to it
+    /// at any shard count. Returns the whole layer's spike counts in
+    /// global row order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rates_hz.len()` differs from the configured input
+    /// count, or if `plastic` is requested on frozen replicas.
+    pub fn present(&mut self, rates_hz: &[f64], duration_ms: f64, plastic: bool) -> Vec<u32> {
+        assert_eq!(
+            rates_hz.len(),
+            self.cfg.n_inputs,
+            "rate vector does not match input population"
+        );
+        assert!(
+            !(plastic && self.is_frozen()),
+            "frozen replica engines cannot learn (mounted from an EvalSnapshot)"
+        );
+        let _span = snn_trace::span_cat("engine/present_sharded", "engine");
+        let dt = self.cfg.dt_ms;
+        let p_spike: Vec<f64> =
+            rates_hz.iter().map(|&f| (f * dt / 1000.0).clamp(0.0, 1.0)).collect();
+        let steps = (duration_ms / dt).round() as u64;
+        let mut locals: Vec<Vec<u32>> =
+            self.ranges.iter().map(|&(lo, hi)| vec![0u32; hi - lo]).collect();
+        for _ in 0..steps {
+            let _step = snn_trace::step_span("engine/step");
+            // Input broadcast: every shard encodes the identical list
+            // from the shared (seed, step) key.
+            for shard in &mut self.shards {
+                shard.encode_step(&p_spike);
+            }
+            self.step_exchanged(plastic, &mut locals);
+        }
+        for shard in &mut self.shards {
+            shard.flush_plasticity();
+            shard.flush_step_accounting();
+        }
+        self.gather_counts(&locals)
+    }
+
+    /// Presents one precomputed stimulus with plasticity off — the
+    /// sharded counterpart of [`WtaEngine::present_frozen`], bit-identical
+    /// to it at any shard count (the single-device engine's quiet
+    /// fast-forward is itself proven bit-identical to the plain step
+    /// path, so identity transits even though the sharded driver always
+    /// takes plain steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trains' input count or step width disagree with the
+    /// engine configuration.
+    pub fn present_frozen(&mut self, trains: &SpikeTrains) -> Vec<u32> {
+        assert_eq!(
+            trains.n_inputs(),
+            self.cfg.n_inputs,
+            "train set does not match input population"
+        );
+        assert!(
+            (trains.dt_ms() - self.cfg.dt_ms).abs() < 1e-12,
+            "train step width does not match the configured dt"
+        );
+        let _span = snn_trace::span_cat("engine/present_frozen_sharded", "engine");
+        let saved = self.clock();
+        self.reset_transients();
+        // Local time zero, exactly as the single-device frozen path: f64
+        // arithmetic is not translation-invariant.
+        self.set_clock(0, 0.0);
+        let mut locals: Vec<Vec<u32>> =
+            self.ranges.iter().map(|&(lo, hi)| vec![0u32; hi - lo]).collect();
+        for s in 0..trains.steps() {
+            let _step = snn_trace::step_span("engine/step");
+            let active = trains.active(s);
+            for shard in &mut self.shards {
+                shard.stage_active(active);
+            }
+            self.step_exchanged(false, &mut locals);
+        }
+        for shard in &mut self.shards {
+            shard.clear_active();
+            shard.flush_step_accounting();
+        }
+        self.set_clock(saved.0, saved.1);
+        self.gather_counts(&locals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Preset;
+    use gpu_device::DeviceConfig;
+
+    fn cfg() -> NetworkConfig {
+        NetworkConfig::from_preset(Preset::Bit4, 24, 10)
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        assert_eq!(partition(10, 4), vec![(0, 3), (3, 6), (6, 8), (8, 10)]);
+        assert_eq!(partition(9, 3), vec![(0, 3), (3, 6), (6, 9)]);
+        assert_eq!(partition(1, 1), vec![(0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more shards")]
+    fn partition_rejects_overcommit() {
+        let _ = partition(2, 3);
+    }
+
+    #[test]
+    fn explicit_inhibition_is_rejected() {
+        let manager = DeviceManager::new(2, DeviceConfig::serial());
+        let mut cfg = cfg();
+        cfg.inhibition = InhibitionMode::Explicit { w_exc_to_inh: 1.0 };
+        match ShardedEngine::new(cfg, &manager, 7) {
+            Err(SnnError::InvalidConfig { field, .. }) => assert_eq!(field, "inhibition"),
+            Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+            Ok(_) => panic!("explicit inhibition must be rejected"),
+        }
+    }
+
+    #[test]
+    fn sharded_init_matches_single_device_rows() {
+        let manager = DeviceManager::new(3, DeviceConfig::serial());
+        let engine = ShardedEngine::new(cfg(), &manager, 42).unwrap();
+        let device = gpu_device::Device::new(DeviceConfig::serial());
+        let single = WtaEngine::new(cfg(), &device, 42);
+        assert_eq!(engine.synapses().as_flat(), single.synapses().as_flat());
+        let (lo, hi) = engine.range(1);
+        assert!(lo > 0 && hi > lo, "middle shard owns a proper slice");
+    }
+
+    #[test]
+    fn exchange_stats_accumulate() {
+        let manager = DeviceManager::new(2, DeviceConfig::serial());
+        let mut engine = ShardedEngine::new(cfg(), &manager, 1).unwrap();
+        let rates = vec![400.0; 24];
+        let _ = engine.present(&rates, 20.0, true);
+        let (spikes, steps) = engine.exchange_stats();
+        assert_eq!(steps, (20.0 / engine.config().dt_ms).round() as u64);
+        assert!(spikes > 0, "a hot stimulus should cross shard boundaries");
+        engine.publish_metrics();
+        match snn_trace::metrics().get("shard/count") {
+            Some(snn_trace::MetricValue::Counter { value }) => assert_eq!(value, 2),
+            other => panic!("expected shard/count counter, got {other:?}"),
+        }
+    }
+}

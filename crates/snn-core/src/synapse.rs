@@ -29,6 +29,14 @@ pub struct SynapseMatrix {
     g_max: f64,
     magnitudes: StdpMagnitudes,
     quantizer: Option<Quantizer>,
+    /// Global post index of local row 0 — zero for a whole-layer matrix,
+    /// the shard's partition offset for a row slice produced by
+    /// [`SynapseMatrix::shard_rows`]. Every per-synapse Philox stream is
+    /// keyed by the *global* flat index `(row_origin + post) * n_pre +
+    /// pre`, which is what makes a sharded engine's draws bit-identical
+    /// to the single-device engine's (DESIGN.md §16).
+    #[serde(default)]
+    row_origin: usize,
 }
 
 impl SynapseMatrix {
@@ -64,6 +72,75 @@ impl SynapseMatrix {
             g_max: cfg.g_max,
             magnitudes: cfg.magnitudes,
             quantizer,
+            row_origin: 0,
+        }
+    }
+
+    /// Global post index of this matrix's local row 0 (zero unless the
+    /// matrix is a [`SynapseMatrix::shard_rows`] slice).
+    #[must_use]
+    pub fn row_origin(&self) -> usize {
+        self.row_origin
+    }
+
+    /// Slices rows `lo..hi` into a standalone shard matrix whose
+    /// `row_origin` records the global index of its first row. Because
+    /// [`SynapseMatrix::new_random`] keys the init draw of every synapse
+    /// by its global flat index, slicing a freshly initialized matrix
+    /// yields exactly the rows a single-device engine would hold — and
+    /// because every update draw is keyed by the global index too, the
+    /// shard *stays* bit-identical to the corresponding rows of an
+    /// unsharded engine as learning proceeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lo < hi <= n_post`.
+    #[must_use]
+    pub fn shard_rows(&self, lo: usize, hi: usize) -> SynapseMatrix {
+        assert!(lo < hi && hi <= self.n_post, "shard range {lo}..{hi} out of {}", self.n_post);
+        SynapseMatrix {
+            n_pre: self.n_pre,
+            n_post: hi - lo,
+            g: self.g[lo * self.n_pre..hi * self.n_pre].to_vec(),
+            g_min: self.g_min,
+            g_max: self.g_max,
+            magnitudes: self.magnitudes,
+            quantizer: self.quantizer,
+            row_origin: self.row_origin + lo,
+        }
+    }
+
+    /// Reassembles shard matrices (ascending, contiguous `row_origin`
+    /// ranges) into one whole-layer matrix — the gather side of
+    /// [`SynapseMatrix::shard_rows`], used when a sharded engine
+    /// snapshots or checkpoints its learned state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shards are empty, disagree on shape/bounds, or do
+    /// not tile a contiguous `0..n` row range.
+    #[must_use]
+    pub fn concat_rows(shards: &[&SynapseMatrix]) -> SynapseMatrix {
+        let first = shards.first().expect("concat of zero shards");
+        assert_eq!(first.row_origin, 0, "the first shard must start at row 0");
+        let mut g = Vec::with_capacity(shards.iter().map(|s| s.g.len()).sum());
+        let mut next_row = 0usize;
+        for s in shards {
+            assert_eq!(s.n_pre, first.n_pre, "shard pre population mismatch");
+            assert_eq!(s.row_origin, next_row, "shards must tile contiguous row ranges");
+            assert_eq!((s.g_min, s.g_max), (first.g_min, first.g_max), "shard bounds mismatch");
+            g.extend_from_slice(&s.g);
+            next_row += s.n_post;
+        }
+        SynapseMatrix {
+            n_pre: first.n_pre,
+            n_post: next_row,
+            g,
+            g_min: first.g_min,
+            g_max: first.g_max,
+            magnitudes: first.magnitudes,
+            quantizer: first.quantizer,
+            row_origin: 0,
         }
     }
 
@@ -162,6 +239,7 @@ impl SynapseMatrix {
             accept_draws: rule.consumes_acceptance_draw(),
             round_draws: ctx.consumes_rounding_draw(),
             n_pre: self.n_pre,
+            row_origin: self.row_origin,
             ctx,
             rule,
             philox,
@@ -500,6 +578,9 @@ pub struct SettleCtx<'a> {
     rule: &'a dyn PlasticityRule,
     philox: Philox4x32,
     n_pre: usize,
+    /// Global index of the matrix's local row 0, so shard-local settles
+    /// key their draws exactly as the whole-layer matrix would.
+    row_origin: usize,
     accept_draws: bool,
     round_draws: bool,
 }
@@ -541,7 +622,8 @@ impl SettleCtx<'_> {
         if start >= events.len() {
             return;
         }
-        let stream = crate::streams::SYNAPSE | (post * self.n_pre + pre) as u64;
+        let stream =
+            crate::streams::SYNAPSE | ((self.row_origin + post) * self.n_pre + pre) as u64;
         for ev in &events[start..] {
             let dt_pair = ev.t_ms - last_pre_ms;
             let u_accept =
@@ -589,7 +671,8 @@ impl SettleCtx<'_> {
         pre: usize,
         pre_spikes_ms: &[f64],
     ) -> f64 {
-        let stream = crate::streams::SYNAPSE | (post * self.n_pre + pre) as u64;
+        let stream =
+            crate::streams::SYNAPSE | ((self.row_origin + post) * self.n_pre + pre) as u64;
         let mut p = 0usize;
         let mut last_pre_ms = f64::NEG_INFINITY;
         for ev in events {

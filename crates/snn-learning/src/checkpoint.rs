@@ -117,6 +117,7 @@ mod tests {
             eval_probe: (6, 6),
             eval_parallelism: 2,
             parallelism: crate::TrainParallelism::Serial,
+            shards: 1,
         };
         let device = Device::new(DeviceConfig::default().with_workers(2));
         let outcome = Trainer::new(cfg.clone(), &device).run(dataset);

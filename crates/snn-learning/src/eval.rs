@@ -22,9 +22,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use gpu_device::{Device, DeviceConfig, ProfileReport};
+use gpu_device::{Device, DeviceConfig, DeviceManager, ProfileReport};
 use snn_core::config::NetworkConfig;
-use snn_core::sim::{BatchedEngine, EvalSnapshot, SpikeTrains, WtaEngine};
+use snn_core::sim::{
+    BatchedEngine, EvalSnapshot, ShardedEngine, ShardedSnapshot, SpikeTrains, WtaEngine,
+};
 use snn_datasets::{Dataset, LabeledImage};
 use spike_encoding::{EvalTrainGenerator, RateEncoder, TrainPipeline};
 
@@ -55,6 +57,13 @@ pub struct EvalOptions {
     /// bit-identical to serial presentations — and it silently falls back
     /// to serial when the network is outside [`BatchedEngine::supports`].
     pub batch: usize,
+    /// Devices each replica shards the excitatory layer across
+    /// ([`ShardedEngine`], DESIGN.md §16). `1` (the default) mounts plain
+    /// single-device replicas. Sharded output is bit-identical to
+    /// single-device output, so this too is a wall-clock/capacity knob;
+    /// `shards > 1` takes precedence over `batch` (the batched path is
+    /// not sharded).
+    pub shards: usize,
 }
 
 impl Default for EvalOptions {
@@ -65,6 +74,7 @@ impl Default for EvalOptions {
             pipelined: true,
             order: None,
             batch: 1,
+            shards: 1,
         }
     }
 }
@@ -147,15 +157,21 @@ pub fn presentation_counts(
     });
     let cursor = AtomicUsize::new(0);
 
+    // Multi-device sharding: slice the snapshot once; every sharded
+    // replica mounts the same per-shard `Arc`s.
+    let shards = opts.shards.max(1);
+    let sharded = (shards > 1).then(|| ShardedSnapshot::new(snapshot, shards));
+
     // Lock-step batch width: >1 routes presentations through a
     // `BatchedEngine` (bit-identical per lane), clamped back to serial
     // when the network uses a feature the batched path does not cover.
-    let batch = if BatchedEngine::supports(network) { opts.batch.max(1) } else { 1 };
+    // Sharded replicas take precedence over batching.
+    let batch =
+        if shards == 1 && BatchedEngine::supports(network) { opts.batch.max(1) } else { 1 };
 
     std::thread::scope(|scope| {
         for _ in 0..replicas {
             scope.spawn(|| {
-                let device = Device::new_budgeted(opts.device.clone(), replicas);
                 // Claims the next up-to-`max` presentations: from the
                 // pipeline channel when enabled, else by advancing the
                 // shared cursor (disjoint ranges — each slot is claimed
@@ -184,6 +200,27 @@ pub fn presentation_counts(
                     }
                     jobs
                 };
+                if let Some(sliced) = &sharded {
+                    // Sharded replica: one DeviceManager per replica
+                    // thread, the worker budget split across the whole
+                    // `replicas × shards` fleet.
+                    let manager =
+                        DeviceManager::new_budgeted(shards, opts.device.clone(), replicas);
+                    let mut engine = ShardedEngine::replica(network.clone(), &manager, seed, sliced)
+                        .expect("invalid network configuration");
+                    loop {
+                        let mut jobs = claim(1);
+                        let Some((slot, trains)) = jobs.pop() else { break };
+                        let _image_span = snn_trace::span_cat("eval/image", "eval");
+                        let counts = engine.present_frozen(&trains);
+                        results.lock().expect("results poisoned")[slot] = Some(counts);
+                    }
+                    engine.publish_metrics();
+                    manager.publish_pool_metrics();
+                    profiles.lock().expect("profiles poisoned").push(manager.merged_profile());
+                    return;
+                }
+                let device = Device::new_budgeted(opts.device.clone(), replicas);
                 if batch > 1 {
                     let mut engine =
                         BatchedEngine::new(network.clone(), &device, snapshot, batch)
@@ -217,6 +254,7 @@ pub fn presentation_counts(
                         results.lock().expect("results poisoned")[slot] = Some(counts);
                     }
                 }
+                device.publish_pool_metrics();
                 profiles.lock().expect("profiles poisoned").push(device.profile());
             });
         }

@@ -132,6 +132,7 @@ impl Experiment {
                 eval_probe: (40, 80),
                 eval_parallelism: DeviceConfig::host_parallelism(),
                 parallelism: crate::TrainParallelism::Serial,
+                shards: 1,
             },
         }
     }

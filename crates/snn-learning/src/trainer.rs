@@ -3,10 +3,10 @@
 use crate::eval::{evaluate_snapshot, EvalOptions};
 use crate::metrics::ConfusionMatrix;
 use crate::parallel::{ParallelTrainer, TrainParallelism};
-use gpu_device::{Device, DeviceConfig};
+use gpu_device::{Device, DeviceConfig, DeviceManager};
 use serde::{Deserialize, Serialize};
 use snn_core::config::NetworkConfig;
-use snn_core::sim::{EvalSnapshot, WtaEngine};
+use snn_core::sim::{EvalSnapshot, ShardedEngine, WtaEngine};
 use snn_core::synapse::SynapseMatrix;
 use snn_datasets::Dataset;
 use spike_encoding::RateEncoder;
@@ -51,10 +51,22 @@ pub struct TrainerConfig {
     /// [`crate::ParallelTrainer`] automatically by [`Trainer::run`].
     #[serde(default)]
     pub parallelism: TrainParallelism,
+    /// Devices the excitatory layer is sharded across
+    /// ([`snn_core::sim::ShardedEngine`], DESIGN.md §16), for both the
+    /// training engine and the evaluation replicas. `1` (the default)
+    /// runs the classic single-device engine; any value is bit-identical
+    /// to it, so this is purely a capacity/wall-clock knob. Requires
+    /// [`TrainParallelism::Serial`].
+    #[serde(default = "default_shards")]
+    pub shards: usize,
 }
 
 fn default_eval_parallelism() -> usize {
     DeviceConfig::host_parallelism()
+}
+
+fn default_shards() -> usize {
+    1
 }
 
 impl TrainerConfig {
@@ -73,6 +85,7 @@ impl TrainerConfig {
             eval_probe: (60, 100),
             eval_parallelism: default_eval_parallelism(),
             parallelism: TrainParallelism::Serial,
+            shards: 1,
         }
     }
 }
@@ -207,7 +220,15 @@ impl<'d> Trainer<'d> {
     #[must_use]
     pub fn run(&self, dataset: &Dataset) -> TrainOutcome {
         if self.config.parallelism != TrainParallelism::Serial {
+            assert_eq!(
+                self.config.shards, 1,
+                "sharded training requires TrainParallelism::Serial \
+                 (presentation-parallel modes replicate, they do not shard)"
+            );
             return ParallelTrainer::new(self).run(dataset);
+        }
+        if self.config.shards > 1 {
+            return self.run_sharded(dataset);
         }
         assert!(!dataset.train.is_empty(), "training split is empty");
         assert!(!dataset.test.is_empty(), "test split is empty");
@@ -297,6 +318,89 @@ impl<'d> Trainer<'d> {
         self.evaluate_state(&engine.snapshot(), dataset, n_labeling, n_inference)
     }
 
+    /// The serial training loop over a [`ShardedEngine`] — same protocol
+    /// as [`Trainer::run`]'s serial branch, with the excitatory layer
+    /// partitioned across `config.shards` devices (bit-identical outcome;
+    /// DESIGN.md §16). The evaluation phases inherit the shard count
+    /// through [`EvalOptions::shards`].
+    fn run_sharded(&self, dataset: &Dataset) -> TrainOutcome {
+        assert!(!dataset.train.is_empty(), "training split is empty");
+        assert!(!dataset.test.is_empty(), "test split is empty");
+        let sample = &dataset.train[0].image;
+        assert_eq!(
+            sample.width() * sample.height(),
+            self.config.network.n_inputs,
+            "image geometry does not match the network's input count"
+        );
+
+        let encoder = RateEncoder::new(self.config.network.frequency);
+        let manager = DeviceManager::new(self.config.shards, self.device.config());
+        let mut engine =
+            ShardedEngine::new(self.config.network.clone(), &manager, self.config.seed)
+                .expect("invalid network configuration");
+        let mut curve = Vec::new();
+
+        let started = std::time::Instant::now();
+        let mut epoch_started = std::time::Instant::now();
+        for k in 0..self.config.n_train_images {
+            let _image_span = snn_trace::span_cat("train/image", "train");
+            let sample = &dataset.train[k % dataset.train.len()];
+            let rates = encoder.rates(sample.image.pixels());
+            engine.reset_transients();
+            let _ = engine.present(&rates, self.config.t_learn_ms, true);
+            if let Some(target) = self.config.network.weight_norm_target {
+                engine.normalize_receptive_fields(target);
+            }
+            drop(_image_span);
+
+            if let Some(every) = self.config.eval_every {
+                if (k + 1) % every == 0 {
+                    let _probe_span = snn_trace::span_cat("train/probe", "train");
+                    let (probe_label, probe_infer) = self.config.eval_probe;
+                    let (acc, _, _) =
+                        self.evaluate_state(&engine.snapshot(), dataset, probe_label, probe_infer);
+                    curve.push(LearningCurvePoint {
+                        images_seen: k + 1,
+                        simulated_ms: (k + 1) as f64 * self.config.t_learn_ms,
+                        accuracy: acc,
+                    });
+                    let epoch_wall_ms = epoch_started.elapsed().as_secs_f64() * 1e3;
+                    epoch_started = std::time::Instant::now();
+                    self.publish_progress(k + 1, acc, started, epoch_wall_ms, 0.0);
+                }
+            }
+        }
+        let train_wall_s = started.elapsed().as_secs_f64();
+        let train_simulated_ms = self.config.n_train_images as f64 * self.config.t_learn_ms;
+
+        let (accuracy, confusion, details) = self.evaluate_state(
+            &engine.snapshot(),
+            dataset,
+            self.config.n_labeling,
+            self.config.n_inference,
+        );
+
+        engine.publish_metrics();
+        manager.publish_pool_metrics();
+        self.device.absorb_profile(&manager.merged_profile());
+        let hub = snn_trace::metrics();
+        hub.set_value("train/abstention_rate", details.1);
+        let epoch_wall_ms = epoch_started.elapsed().as_secs_f64() * 1e3;
+        self.publish_progress(self.config.n_train_images, accuracy, started, epoch_wall_ms, 0.0);
+
+        TrainOutcome {
+            synapses: engine.synapses(),
+            thetas: engine.thetas(),
+            labels: details.0,
+            confusion,
+            accuracy,
+            abstention_rate: details.1,
+            curve,
+            train_simulated_ms,
+            train_wall_s,
+        }
+    }
+
     /// The snapshot-level core of [`Trainer::evaluate`], shared with the
     /// parallel trainer (whose boundary state is a snapshot, not an
     /// engine).
@@ -309,6 +413,7 @@ impl<'d> Trainer<'d> {
     ) -> (f64, ConfusionMatrix, (Vec<u8>, f64)) {
         let opts = EvalOptions {
             replicas: self.config.eval_parallelism.max(1),
+            shards: self.config.shards.max(1),
             ..EvalOptions::default()
         };
         let out = evaluate_snapshot(
@@ -371,6 +476,7 @@ mod tests {
             eval_probe: (10, 10),
             eval_parallelism: 2,
             parallelism: TrainParallelism::Serial,
+            shards: 1,
         }
     }
 
@@ -442,6 +548,38 @@ mod tests {
         assert_eq!(eager.thetas, lazy.thetas);
         assert_eq!(eager.labels, lazy.labels);
         assert_eq!(eager.accuracy, lazy.accuracy);
+    }
+
+    #[test]
+    fn sharded_training_is_bit_identical_to_single_device() {
+        let device = Device::new(DeviceConfig::default().with_workers(2));
+        let dataset = two_class_dataset(20, 20);
+        let mut cfg = quick_config(RuleKind::Stochastic);
+        cfg.n_train_images = 20;
+        cfg.eval_every = Some(10);
+        let single = Trainer::new(cfg.clone(), &device).run(&dataset);
+        cfg.shards = 3;
+        let sharded = Trainer::new(cfg, &device).run(&dataset);
+        assert_eq!(single.synapses.as_flat(), sharded.synapses.as_flat());
+        assert_eq!(single.thetas, sharded.thetas);
+        assert_eq!(single.labels, sharded.labels);
+        assert_eq!(single.accuracy, sharded.accuracy);
+        assert_eq!(single.curve, sharded.curve);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires TrainParallelism::Serial")]
+    fn sharding_rejected_under_parallel_training() {
+        let device = Device::new(DeviceConfig::serial());
+        let dataset = two_class_dataset(4, 4);
+        let mut cfg = quick_config(RuleKind::Stochastic);
+        cfg.parallelism = TrainParallelism::SharedAtomics {
+            workers: 2,
+            round: 2,
+            commit_order: crate::CommitOrder::SeededMergeOrder,
+        };
+        cfg.shards = 2;
+        let _ = Trainer::new(cfg, &device).run(&dataset);
     }
 
     #[test]

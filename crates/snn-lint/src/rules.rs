@@ -618,9 +618,10 @@ fn rule_atomic_ordering(file: &SourceFile, out: &mut Vec<Violation>) {
 // ---------------------------------------------------------------------------
 
 /// Extracts the set of backticked names from the `## 11` telemetry,
-/// `## 12` serving, `## 13` batched-execution and `## 14` parallel-training
-/// sections of DESIGN.md. Returns `None` when all sections are missing
-/// entirely (a violation in itself — the schema reference is load-bearing).
+/// `## 12` serving, `## 13` batched-execution, `## 14` parallel-training
+/// and `## 16` sharding/memory-pool sections of DESIGN.md. Returns `None`
+/// when all sections are missing entirely (a violation in itself — the
+/// schema reference is load-bearing).
 pub fn design_schema_names(design: &str) -> Option<Vec<String>> {
     let mut in_section = false;
     let mut found = false;
@@ -630,7 +631,8 @@ pub fn design_schema_names(design: &str) -> Option<Vec<String>> {
             in_section = line.starts_with("## 11")
                 || line.starts_with("## 12")
                 || line.starts_with("## 13")
-                || line.starts_with("## 14");
+                || line.starts_with("## 14")
+                || line.starts_with("## 16");
             found |= in_section;
             continue;
         }
@@ -710,7 +712,7 @@ fn rule_trace_schema(file: &SourceFile, schema: &[String], out: &mut Vec<Violati
             line: idx + 1,
             rule: "trace-schema",
             msg: format!(
-                "telemetry name `{name}` is not documented in the DESIGN.md §11/§12 \
+                "telemetry name `{name}` is not documented in the DESIGN.md §11/§12/§16 \
                  schema tables (add a row there, or waive with lint-allow)"
             ),
         });
@@ -978,6 +980,26 @@ mod tests {
         rule_trace_schema(&f, &schema, &mut out);
         assert_eq!(out.len(), 1, "{out:?}");
         assert!(out[0].msg.contains("undocumented/name"), "{}", out[0].msg);
+    }
+
+    /// The sharding/memory-pool section (§16) feeds the schema exactly as
+    /// the telemetry sections do: names documented only there are in
+    /// scope, and intervening non-schema sections close the scan.
+    #[test]
+    fn trace_schema_reads_section_16() {
+        let design = "## 11. Telemetry\n| `step/deliver` | span |\n\
+                      ## 15. Roadmap\n| `not/a/name` | prose |\n\
+                      ## 16. Sharding\n| `shard/count` | counter |\n| `device/pool_live_bytes` | gauge |\n";
+        let schema = design_schema_names(design).expect("schema found");
+        assert!(schema.iter().any(|s| s == "shard/count"), "{schema:?}");
+        assert!(!schema.iter().any(|s| s == "not/a/name"), "{schema:?}");
+        let f = SourceFile::parse(
+            "crates/snn-core/src/sim/sharded.rs",
+            "fn f(m: &Hub) {\n    m.set_counter(\"shard/count\", 1);\n}\n",
+        );
+        let mut out = Vec::new();
+        rule_trace_schema(&f, &schema, &mut out);
+        assert!(out.is_empty(), "{out:?}");
     }
 
     /// Multi-line calls were a blind spot of the line scanner: the name

@@ -30,9 +30,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 
-use gpu_device::{Device, DeviceConfig};
-use snn_core::config::NetworkConfig;
-use snn_core::sim::{BatchedEngine, EvalSnapshot, SpikeTrains, WtaEngine};
+use gpu_device::{Device, DeviceConfig, DeviceManager};
+use snn_core::config::{InhibitionMode, NetworkConfig};
+use snn_core::sim::{
+    BatchedEngine, EvalSnapshot, ShardedEngine, ShardedSnapshot, SpikeTrains, WtaEngine,
+};
 use snn_learning::Classifier;
 use spike_encoding::{EvalTrainGenerator, RateEncoder};
 
@@ -72,6 +74,13 @@ pub struct ServeConfig {
     /// Pure wall-clock knob: batched lanes are bit-identical to serial
     /// presentations, so classifications cannot change.
     pub batch: usize,
+    /// Devices each replica shards the excitatory layer across
+    /// ([`snn_core::sim::ShardedEngine`], DESIGN.md §16). `1` (the
+    /// default) mounts classic single-device replicas; larger values are
+    /// bit-identical to it — a capacity knob for snapshots too large for
+    /// one device. Sharded replicas serve request-at-a-time, so `batch`
+    /// is ignored when `shards > 1`. Requires implicit inhibition.
+    pub shards: usize,
 }
 
 impl ServeConfig {
@@ -89,6 +98,7 @@ impl ServeConfig {
             device: DeviceConfig::default(),
             start_paused: false,
             batch: 1,
+            shards: 1,
         }
     }
 }
@@ -266,6 +276,15 @@ impl SnnServer {
             config.t_present_ms > 0.0 && config.t_present_ms.is_finite(),
             "presentation duration must be positive"
         );
+        let shards = config.shards.max(1);
+        let sharded = (shards > 1).then(|| {
+            assert_eq!(
+                config.network.inhibition,
+                InhibitionMode::Implicit,
+                "sharded serving requires implicit inhibition (DESIGN.md §16)"
+            );
+            Arc::new(ShardedSnapshot::new(snapshot, shards))
+        });
 
         let workers = config.workers.max(1);
         let queue = Arc::new(JobQueue::new(config.queue_capacity));
@@ -281,6 +300,7 @@ impl SnnServer {
                 let network = config.network.clone();
                 let device_cfg = config.device.clone();
                 let snapshot = snapshot.clone();
+                let sharded = sharded.clone();
                 let classifier = classifier.clone();
                 let (seed, t_present_ms) = (config.seed, config.t_present_ms);
                 let batch = config.batch.max(1);
@@ -298,6 +318,7 @@ impl SnnServer {
                             seed,
                             t_present_ms,
                             &snapshot,
+                            sharded.as_deref(),
                             &classifier,
                         );
                     })
@@ -492,14 +513,32 @@ fn worker_main(
     seed: u64,
     t_present_ms: f64,
     snapshot: &EvalSnapshot,
+    sharded: Option<&ShardedSnapshot>,
     classifier: &Classifier,
 ) {
     let mut log =
         WorkerLog { index, completed: 0, panicked: 0, busy_ms: 0.0, latencies: LatencyDigest::new() };
     let run = catch_unwind(AssertUnwindSafe(|| {
-        let device = Device::new_budgeted(device_cfg, replicas);
         let encoder = RateEncoder::new(network.frequency);
         let generator = EvalTrainGenerator::new(seed, network.dt_ms);
+        if let Some(sliced) = sharded {
+            // Multi-device replica: the snapshot is partitioned across a
+            // manager's devices and each request runs the lock-step
+            // shard exchange (bit-identical to a single-device replica;
+            // DESIGN.md §16). Request-at-a-time: sharding and lock-step
+            // batching are mutually exclusive execution strategies.
+            let manager =
+                DeviceManager::new_budgeted(sliced.n_shards(), device_cfg, replicas);
+            let mut engine = ShardedEngine::replica(network.clone(), &manager, seed, sliced)
+                .expect("validated in SnnServer::start");
+            serve_serial(index, &mut log, queue, &encoder, &generator, t_present_ms, classifier, |t| {
+                engine.present_frozen(t)
+            });
+            engine.publish_metrics();
+            manager.publish_pool_metrics();
+            return;
+        }
+        let device = Device::new_budgeted(device_cfg, replicas);
         if batch > 1 && BatchedEngine::supports(network) {
             let mut engine = BatchedEngine::new(network.clone(), &device, snapshot, batch)
                 .expect("validated in SnnServer::start");
@@ -517,42 +556,61 @@ fn worker_main(
         }
         let mut engine = WtaEngine::replica(network.clone(), &device, seed, snapshot)
             .expect("validated in SnnServer::start");
-        while let Some(job) = queue.steal() {
-            let begin = Instant::now();
-            let served = catch_unwind(AssertUnwindSafe(|| {
-                let _span = snn_trace::span_cat("serve/request", "serve");
-                let rates = encoder.rates(&job.pixels);
-                let trains = generator.generate(job.key, &rates, t_present_ms);
-                let counts = engine.present_frozen(&trains);
-                let confidence = classifier.scores(&counts);
-                let class = classifier.predict(&counts);
-                Classification { class, confidence, counts, replica: index, latency_ms: 0.0 }
-            }));
-            log.busy_ms += begin.elapsed().as_secs_f64() * 1e3;
-            match served {
-                Ok(mut result) => {
-                    let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
-                    result.latency_ms = latency_ms;
-                    log.completed += 1;
-                    log.latencies.record(latency_ms);
-                    snn_trace::metrics().observe("serve/latency_ms", latency_ms);
-                    job.slot.fill(result);
-                }
-                Err(payload) => {
-                    // A request that panics its presentation may leave the
-                    // replica's transient state mid-flight; present_frozen
-                    // re-initializes all of it, so the worker serves on.
-                    log.panicked += 1;
-                    job.slot.fail(payload);
-                }
-            }
-        }
+        serve_serial(index, &mut log, queue, &encoder, &generator, t_present_ms, classifier, |t| {
+            engine.present_frozen(t)
+        });
     }));
     if let Err(payload) = run {
         queue.poison();
         shared.fatal.lock().push(payload);
     }
     shared.logs.lock().push(log);
+}
+
+/// The request-at-a-time serving loop, generic over the engine: `present`
+/// runs one frozen presentation and returns the per-neuron counts. Shared
+/// by single-device and sharded replicas.
+#[allow(clippy::too_many_arguments)]
+fn serve_serial(
+    index: usize,
+    log: &mut WorkerLog,
+    queue: &JobQueue<Job>,
+    encoder: &RateEncoder,
+    generator: &EvalTrainGenerator,
+    t_present_ms: f64,
+    classifier: &Classifier,
+    mut present: impl FnMut(&SpikeTrains) -> Vec<u32>,
+) {
+    while let Some(job) = queue.steal() {
+        let begin = Instant::now();
+        let served = catch_unwind(AssertUnwindSafe(|| {
+            let _span = snn_trace::span_cat("serve/request", "serve");
+            let rates = encoder.rates(&job.pixels);
+            let trains = generator.generate(job.key, &rates, t_present_ms);
+            let counts = present(&trains);
+            let confidence = classifier.scores(&counts);
+            let class = classifier.predict(&counts);
+            Classification { class, confidence, counts, replica: index, latency_ms: 0.0 }
+        }));
+        log.busy_ms += begin.elapsed().as_secs_f64() * 1e3;
+        match served {
+            Ok(mut result) => {
+                let latency_ms = job.enqueued.elapsed().as_secs_f64() * 1e3;
+                result.latency_ms = latency_ms;
+                log.completed += 1;
+                log.latencies.record(latency_ms);
+                snn_trace::metrics().observe("serve/latency_ms", latency_ms);
+                job.slot.fill(result);
+            }
+            Err(payload) => {
+                // A request that panics its presentation may leave the
+                // replica's transient state mid-flight; present_frozen
+                // re-initializes all of it, so the worker serves on.
+                log.panicked += 1;
+                job.slot.fail(payload);
+            }
+        }
+    }
 }
 
 /// The lock-step serving loop: claim up to the configured batch of queued

@@ -389,3 +389,47 @@ proptest! {
         }
     }
 }
+
+/// Serves `requests` through a server configured with `shards` devices per
+/// replica and returns the spike counts in submission order.
+fn serve_counts(shards: usize, requests: &[(u64, Vec<u8>)]) -> Vec<Vec<u32>> {
+    // A hotter variant of the tiny fixture so presentations actually spike.
+    let mut network = tiny_network().with_frequency(20.0, 800.0);
+    network.v_spike = 0.5;
+    let snapshot = EvalSnapshot::new(
+        SynapseMatrix::new_random(&network, 11),
+        vec![0.0; N_EXC],
+    );
+    let mut config = ServeConfig::new(network, 11, 40.0);
+    config.workers = 2;
+    config.queue_capacity = requests.len();
+    config.shards = shards;
+    let classifier = Classifier::new(vec![0, 1, 0, 1], 2);
+    let server = SnnServer::start(config, &snapshot, classifier);
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|(key, pixels)| server.submit(pixels, *key).expect("queue sized for the burst"))
+        .collect();
+    let counts = tickets.into_iter().map(|t| t.wait().counts).collect();
+    let report = server.shutdown();
+    assert_eq!(report.panicked, 0, "sharded replicas must not panic");
+    counts
+}
+
+/// Sharded serving identity (DESIGN.md §16): replicas that partition the
+/// snapshot across multiple devices classify every request exactly as
+/// single-device replicas do.
+#[test]
+fn sharded_serving_matches_single_device_replicas() {
+    let requests: Vec<(u64, Vec<u8>)> = (0..8u64)
+        .map(|k| (k, (0..N_INPUTS).map(|i| ((i as u64 * 37 + k * 101) % 256) as u8).collect()))
+        .collect();
+    let single = serve_counts(1, &requests);
+    assert!(
+        single.iter().flatten().map(|&c| u64::from(c)).sum::<u64>() > 0,
+        "silent fixture cannot prove identity"
+    );
+    for shards in [2, 4] {
+        assert_eq!(single, serve_counts(shards, &requests), "s{shards}: counts diverged");
+    }
+}

@@ -43,6 +43,7 @@ fn main() {
         eval_probe: (40, 60),
         eval_parallelism: DeviceConfig::host_parallelism(),
         parallelism: TrainParallelism::Serial,
+        shards: 1,
     };
     let outcome = Trainer::new(trainer_config, &device).run(&dataset);
 

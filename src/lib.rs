@@ -55,7 +55,7 @@ pub use spike_encoding as encoding;
 
 /// The types most applications need, in one import.
 pub mod prelude {
-    pub use gpu_device::{Device, DeviceConfig, Philox4x32};
+    pub use gpu_device::{Device, DeviceConfig, DeviceManager, Philox4x32};
     pub use qformat::{QFormat, Quantizer, Rounding};
     pub use snn_core::config::{
         CurrentDelivery, FrequencyRange, InhibitionMode, LifParams, NetworkConfig,
@@ -63,7 +63,8 @@ pub mod prelude {
     };
     pub use snn_core::neuron::{LifNeuron, NeuronModel};
     pub use snn_core::sim::{
-        BatchedEngine, EvalSnapshot, GenericEngine, SpikeRaster, SpikeTrains, WtaEngine,
+        BatchedEngine, EvalSnapshot, GenericEngine, ShardedEngine, ShardedSnapshot, SpikeRaster,
+        SpikeTrains, WtaEngine,
     };
     pub use snn_core::stdp::{DeterministicStdp, PlasticityRule, StochasticStdp};
     pub use snn_datasets::{

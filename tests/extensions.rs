@@ -25,6 +25,7 @@ fn weight_normalized_training_keeps_row_budgets() {
             eval_probe: (5, 5),
             eval_parallelism: 2,
             parallelism: TrainParallelism::Serial,
+            shards: 1,
         },
         &device,
     )
@@ -102,6 +103,7 @@ fn izhikevich_pipeline_runs_end_to_end() {
             eval_probe: (5, 5),
             eval_parallelism: 2,
             parallelism: TrainParallelism::Serial,
+            shards: 1,
         },
         &device,
     )

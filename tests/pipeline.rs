@@ -77,6 +77,7 @@ fn checkpoint_roundtrip_preserves_behaviour() {
             eval_probe: (5, 5),
             eval_parallelism: 2,
             parallelism: TrainParallelism::Serial,
+            shards: 1,
         },
         &device,
     );

@@ -98,6 +98,7 @@ fn serve_config(fx: &Fixture, workers: usize, queue_capacity: usize) -> ServeCon
         device: DeviceConfig::default(),
         start_paused: false,
         batch: 1,
+        shards: 1,
     }
 }
 

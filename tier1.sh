@@ -31,6 +31,14 @@
 # trainer within cross-validation tolerance; it runs as an explicit step
 # because its commit kernels (gpu-device AtomicGrid, DESIGN.md §14) are a
 # determinism-critical surface.
+# The sharding identity layer (tests/sharded.rs) proves the multi-device
+# ShardedEngine — the excitatory layer partitioned row-wise across a
+# pooled-allocator DeviceManager with per-step spike all-gather
+# (DESIGN.md §16) — bit-identical to the single-device engine at shards
+# {1,2,4} × both delivery modes × both plasticity rules, through
+# training, normalization, snapshot round-trip and frozen evaluation;
+# the trainer/eval/serve shard knobs are covered by the snn-learning and
+# snn-serve crate tests.
 #
 # The snn-lint pass runs the workspace analyzer (DESIGN.md §15): a
 # tokenizer + conservative call graph that PROVES the determinism
@@ -42,7 +50,7 @@
 # rules (SAFETY comments, unsafe-surface allow-list, transposed-view
 # coherence, no hash-order iteration in hot paths, sync-shim discipline,
 # trace-schema: every span/gauge name used in source must appear in
-# DESIGN.md §11–§14, atomic-ordering, lane-width). CI additionally
+# DESIGN.md §11–§14/§16, atomic-ordering, lane-width). CI additionally
 # uploads the --sarif log and verifies the ratchet baseline is in sync.
 #
 # The rustdoc pass holds the API docs warning-free (broken intra-doc
